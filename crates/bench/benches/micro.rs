@@ -1,0 +1,169 @@
+//! Criterion micro-benchmarks for the building blocks: crypto
+//! primitives, Merkle verification, Secure Cache hit/miss paths, the
+//! user-space allocator, store operations and workload sampling.
+//!
+//! These measure *wall time* of the implementation (the figure binaries
+//! report simulated cycles); they exist to keep the harness fast and to
+//! catch performance regressions in the hot paths.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use aria_cache::{CacheConfig, SecureCache};
+use aria_crypto::{Aes128, CipherSuite, CmacKey, RealSuite};
+use aria_mem::{AllocStrategy, UserHeap};
+use aria_merkle::MerkleTree;
+use aria_shieldstore::ShieldStore;
+use aria_sim::{CostModel, Enclave};
+use aria_store::{AriaHash, AriaTree, KvStore, StoreConfig};
+use aria_workload::{encode_key, value_bytes, ScrambledZipfian};
+
+fn enclave() -> Rc<Enclave> {
+    Rc::new(Enclave::new(CostModel::default(), 512 << 20))
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    c.bench_function("aes128_block", |b| {
+        let mut block = [0x42u8; 16];
+        b.iter(|| {
+            aes.encrypt_block(&mut block);
+            block[0]
+        })
+    });
+
+    let cmac = CmacKey::new(&[9u8; 16]);
+    let msg = vec![0xabu8; 128];
+    c.bench_function("cmac_128B", |b| b.iter(|| cmac.mac(&msg)));
+
+    let suite = RealSuite::from_master(&[3u8; 16]);
+    let mut data = vec![0u8; 512];
+    c.bench_function("ctr_crypt_512B", |b| b.iter(|| suite.crypt(&[1u8; 16], &mut data)));
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+    let tree = MerkleTree::new(100_000, 8, suite, 1);
+    c.bench_function("merkle_verify_path", |b| {
+        b.iter(|| tree.verify_path_plain(tree.locate_counter(42_424).0))
+    });
+    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+    let mut tree = MerkleTree::new(100_000, 8, suite, 1);
+    let mut i = 0u64;
+    c.bench_function("merkle_update_counter", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            tree.update_counter_plain(i, &[i as u8; 16]);
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+    let tree = MerkleTree::new(100_000, 8, suite, 1);
+    let mut cache =
+        SecureCache::new(tree, enclave(), CacheConfig::with_capacity(8 << 20)).unwrap();
+    cache.get_counter(1).unwrap();
+    c.bench_function("secure_cache_hit", |b| b.iter(|| cache.get_counter(1).unwrap()));
+
+    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+    let tree = MerkleTree::new(100_000, 8, suite, 1);
+    let cfg = CacheConfig { capacity_bytes: 64 * 1024, ..CacheConfig::default() };
+    let mut cache = SecureCache::new(tree, enclave(), cfg).unwrap();
+    let mut i = 0u64;
+    c.bench_function("secure_cache_miss_verify", |b| {
+        b.iter(|| {
+            // Stride large enough to defeat the tiny cache: every access
+            // verifies.
+            i = (i + 8_111) % 100_000;
+            cache.get_counter(i).unwrap()
+        })
+    });
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut heap = UserHeap::new(enclave(), AllocStrategy::UserSpace);
+    c.bench_function("user_heap_alloc_free_128B", |b| {
+        b.iter(|| {
+            let p = heap.alloc(128).unwrap();
+            heap.free(p).unwrap();
+        })
+    });
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut cfg = StoreConfig::for_keys(100_000);
+    cfg.cache = CacheConfig::with_capacity(16 << 20);
+    let mut store = AriaHash::new(cfg, enclave()).unwrap();
+    for i in 0..100_000u64 {
+        store.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("aria_hash_get_hot", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            store.get(&encode_key(i)).unwrap()
+        })
+    });
+    let mut i = 0u64;
+    c.bench_function("aria_hash_put_16B", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            store.put(&encode_key(i), &value_bytes(i ^ 1, 16)).unwrap()
+        })
+    });
+
+    let mut cfg = StoreConfig::for_keys(100_000);
+    cfg.cache = CacheConfig::with_capacity(16 << 20);
+    cfg.btree_order = 15;
+    let mut tree = AriaTree::new(cfg, enclave()).unwrap();
+    for i in 0..20_000u64 {
+        tree.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("aria_tree_get", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 20_000;
+            tree.get(&encode_key(i)).unwrap()
+        })
+    });
+
+    let mut shield = ShieldStore::new(50_000, enclave()).unwrap();
+    for i in 0..100_000u64 {
+        shield.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("shieldstore_get", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            shield.get(&encode_key(i)).unwrap()
+        })
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let zipf = ScrambledZipfian::new(10_000_000, 0.99);
+    c.bench_function("zipf_sample_10M", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| {
+                let mut acc = 0u64;
+                for _ in 0..100 {
+                    acc ^= zipf.next(&mut rng);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crypto, bench_merkle, bench_cache, bench_alloc, bench_stores, bench_workload
+}
+criterion_main!(benches);

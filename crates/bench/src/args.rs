@@ -1,0 +1,134 @@
+//! Minimal command-line parsing for the figure binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f>` — divide the paper's keyspace/EPC/roots by `f`
+//!   (default 16, sized for a laptop; `--full` is `--scale 1`).
+//! * `--ops <n>` — measured requests per configuration point.
+//! * `--fast` — use the harness-only fast cipher suite (identical code
+//!   paths; reported throughput is unaffected because costs come from
+//!   the cycle model).
+//! * `--out <dir>` — where JSONL result rows are written
+//!   (default `results/`).
+//! * `--seed <n>` — workload RNG seed.
+
+use std::collections::HashMap;
+
+/// Parsed arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    kv: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Args {
+        Args::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument vector.
+    pub fn from_vec(argv: Vec<String>) -> Args {
+        let mut kv = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    kv.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { kv, flags }
+    }
+
+    /// Boolean flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Typed value with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.kv.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// String value with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.kv.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// The scale divisor: `--full` = 1, else `--scale` (default 16).
+    pub fn scale(&self) -> f64 {
+        if self.flag("full") {
+            1.0
+        } else {
+            self.get("scale", 16.0f64).max(1.0)
+        }
+    }
+
+    /// Measured operations per point (default 200k, `--ops`).
+    pub fn ops(&self) -> u64 {
+        self.get("ops", 200_000u64)
+    }
+
+    /// Whether to use the fast cipher suite.
+    pub fn fast(&self) -> bool {
+        self.flag("fast")
+    }
+
+    /// Output directory for JSONL rows.
+    pub fn out_dir(&self) -> String {
+        self.get_str("out", "results")
+    }
+
+    /// Workload seed.
+    pub fn seed(&self) -> u64 {
+        self.get("seed", 0x5eed_u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from(argv: &[&str]) -> Args {
+        Args::from_vec(argv.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn values_flags_and_defaults() {
+        let a = from(&["--scale", "8", "--fast", "--ops", "5000"]);
+        assert_eq!(a.scale(), 8.0);
+        assert!(a.fast());
+        assert_eq!(a.ops(), 5000);
+        assert_eq!(a.out_dir(), "results");
+        assert!(!a.flag("full"));
+    }
+
+    #[test]
+    fn full_overrides_scale() {
+        let a = from(&["--full", "--scale", "8"]);
+        assert_eq!(a.scale(), 1.0);
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = from(&[]);
+        assert_eq!(a.scale(), 16.0);
+        assert_eq!(a.ops(), 200_000);
+        assert!(!a.fast());
+    }
+
+    #[test]
+    fn unparsable_value_falls_back() {
+        let a = from(&["--ops", "not-a-number"]);
+        assert_eq!(a.ops(), 200_000);
+    }
+}

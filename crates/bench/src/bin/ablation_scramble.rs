@@ -1,0 +1,55 @@
+//! Supplementary ablation (not a paper figure): plain vs scrambled
+//! zipfian key layout.
+//!
+//! The paper's measurements imply hot keys that cluster at page/node
+//! granularity (its Aria w/o Cache is "comparable to ShieldStore" at
+//! 10 M keys, which requires hardware paging to find page-level
+//! hotness). This ablation quantifies the difference: with YCSB's
+//! *scrambled* zipfian, every page and Merkle leaf mixes hot and cold
+//! keys, so page-granularity schemes collapse while KV-granularity
+//! ShieldStore is unaffected — exactly the §III motivation for
+//! fine-grained tracking.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let kinds = [StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let dists: [(&str, KeyDistribution); 2] = [
+        ("plain", KeyDistribution::Zipfian { theta: 0.99 }),
+        ("scrambled", KeyDistribution::ScrambledZipfian { theta: 0.99 }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (dname, dist) in &dists {
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.ops = args.ops();
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Ycsb { read_ratio: 0.95, value_len: 16, dist: dist.clone() };
+        let mut cells = vec![dname.to_string()];
+        for kind in kinds {
+            let r = run(kind, &cfg);
+            eprintln!(
+                "  [{dname}] {}: {} (hit {:?}, {} faults)",
+                r.kind,
+                fmt_tput(r.throughput),
+                r.cache_hit_ratio.map(|h| (h * 100.0).round()),
+                r.page_faults
+            );
+            cells.push(format!("{} ({} PF)", fmt_tput(r.throughput), r.page_faults));
+            rows.push(Row::new("ablation_scramble", r.kind, dname, &r));
+        }
+        table.push(cells);
+    }
+
+    print_table(
+        &format!("Ablation: zipfian key layout, RD_95 16B (scale 1/{scale})"),
+        &["layout", "ShieldStore", "Aria w/o Cache", "Aria"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "ablation_scramble", &rows);
+}

@@ -1,0 +1,34 @@
+//! Calibration probe: one YCSB point for each scheme with diagnostics.
+//! Not a paper figure; used to sanity-check the cost model.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let rr = args.get("rr", 0.95f64);
+    let uniform = args.flag("uniform");
+    let mut cfg = RunConfig::paper_default(scale);
+    cfg.ops = args.ops();
+    cfg.fast_crypto = args.fast();
+    cfg.workload = Workload::Ycsb {
+        read_ratio: rr,
+        value_len: args.get("vlen", 16usize),
+        dist: if uniform { KeyDistribution::Uniform } else { KeyDistribution::Zipfian { theta: 0.99 } },
+    };
+    for kind in [StoreKind::Shield, StoreKind::AriaHash, StoreKind::AriaHashWoCache] {
+        let r = run(kind, &cfg);
+        println!(
+            "{:<16} tput={:<8} cyc/op={:<6} faults={:<8} macs/op={:.2} hit={:?} swap={:?} epc={}MB",
+            r.kind,
+            fmt_tput(r.throughput),
+            r.cycles / r.ops,
+            r.page_faults,
+            r.snapshot.macs_computed as f64 / r.ops as f64,
+            r.cache_hit_ratio.map(|h| (h * 100.0).round()),
+            r.cache_swapping,
+            r.epc_used >> 20,
+        );
+    }
+}

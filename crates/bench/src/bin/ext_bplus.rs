@@ -1,0 +1,51 @@
+//! Extension benchmark (not a paper figure): Aria-T vs Aria-T+ — the
+//! B+-tree future work of §VII, implemented.
+//!
+//! Two effects to demonstrate:
+//! * point lookups: B+ routing decrypts short separator keys instead of
+//!   full KV entries, so the per-level cost no longer scales with value
+//!   size;
+//! * range scans: chained leaves stream sideways instead of re-descending.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let value_lens = [16usize, 128, 512];
+    let kinds = [StoreKind::AriaTree, StoreKind::AriaBPlus];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &vl in &value_lens {
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.ops = args.get("tree-ops", 30_000u64);
+        cfg.warmup = Some(cfg.ops);
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Ycsb {
+            read_ratio: 0.95,
+            value_len: vl,
+            dist: KeyDistribution::Zipfian { theta: 0.99 },
+        };
+        let mut cells = vec![format!("{vl}B")];
+        let mut tputs = Vec::new();
+        for kind in kinds {
+            let r = run(kind, &cfg);
+            eprintln!("  [{vl}B] {}: {}", r.kind, fmt_tput(r.throughput));
+            tputs.push(r.throughput);
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("ext_bplus", r.kind, &format!("{vl}B"), &r));
+        }
+        cells.push(format!("{:+.0}%", improvement(tputs[1], tputs[0])));
+        table.push(cells);
+    }
+
+    print_table(
+        &format!("Extension: B-tree vs B+-tree point lookups, skew RD_95 (scale 1/{scale})"),
+        &["value", "Aria-T (B-tree)", "Aria-T+ (B+-tree)", "B+ vs B"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "ext_bplus", &rows);
+}

@@ -1,0 +1,53 @@
+//! Figure 10 — Aria-T (B-tree index) overall performance on the YCSB
+//! grid, against Baseline and Aria w/o Cache.
+//!
+//! Paper shape: all tree-based schemes are roughly an order of magnitude
+//! below the hash index (every routing comparison decrypts an entry);
+//! Aria leads, Baseline collapses under paging.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let kinds = [StoreKind::Baseline, StoreKind::AriaTreeWoCache, StoreKind::AriaTree];
+    let dists: [(&str, KeyDistribution); 2] = [
+        ("skew", KeyDistribution::Zipfian { theta: 0.99 }),
+        ("uniform", KeyDistribution::Uniform),
+    ];
+    let read_ratios = [0.5f64, 0.95, 1.0];
+    let value_lens = [16usize, 128, 512];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (dname, dist) in &dists {
+        for &rr in &read_ratios {
+            for &vl in &value_lens {
+                let mut cfg = RunConfig::paper_default(scale);
+                cfg.ops = args.get("tree-ops", 30_000u64);
+                cfg.warmup = Some(cfg.ops);
+                cfg.fast_crypto = args.fast();
+                cfg.seed = args.seed();
+                cfg.workload =
+                    Workload::Ycsb { read_ratio: rr, value_len: vl, dist: dist.clone() };
+                let x = format!("{dname}/R{:.0}%/{vl}B", rr * 100.0);
+                let mut cells = vec![x.clone()];
+                for kind in kinds {
+                    let r = run(kind, &cfg);
+                    eprintln!("  [{x}] {}: {}", r.kind, fmt_tput(r.throughput));
+                    cells.push(fmt_tput(r.throughput));
+                    rows.push(Row::new("fig10", r.kind, &x, &r));
+                }
+                table.push(cells);
+            }
+        }
+    }
+
+    print_table(
+        &format!("Figure 10: Aria-T YCSB grid (scale 1/{scale})"),
+        &["config", "Baseline", "Aria w/o Cache", "Aria"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig10", &rows);
+}

@@ -1,0 +1,70 @@
+//! Figure 11 — Facebook ETC workload, hash and tree indexes, read
+//! ratios {0, 50, 95, 100} %.
+//!
+//! Paper shape: Aria beats every other scheme at all read ratios (~32 %
+//! over ShieldStore on average, hash index); Aria w/o Cache beats
+//! ShieldStore at 0 % reads (ShieldStore pays a bucket-root update per
+//! Put) and loses as reads grow; tree-based throughput is ~10x lower.
+
+use aria_bench::*;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let read_ratios = [0.0f64, 0.5, 0.95, 1.0];
+
+    let mut rows = Vec::new();
+
+    // Hash-index panel.
+    let hash_kinds = [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let mut table = Vec::new();
+    for &rr in &read_ratios {
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.ops = args.ops();
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Etc { read_ratio: rr, theta: 0.99 };
+        let x = format!("RD_{:.0}", rr * 100.0);
+        let mut cells = vec![x.clone()];
+        for kind in hash_kinds {
+            let r = run(kind, &cfg);
+            eprintln!("  [hash {x}] {}: {}", r.kind, fmt_tput(r.throughput));
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("fig11", &format!("hash/{}", r.kind), &x, &r));
+        }
+        table.push(cells);
+    }
+    print_table(
+        &format!("Figure 11 (hash): Facebook ETC (scale 1/{scale})"),
+        &["read ratio", "Baseline", "ShieldStore", "Aria w/o Cache", "Aria"],
+        &table,
+    );
+
+    // Tree-index panel.
+    let tree_kinds = [StoreKind::Baseline, StoreKind::AriaTreeWoCache, StoreKind::AriaTree];
+    let mut table = Vec::new();
+    for &rr in &read_ratios {
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.ops = args.get("tree-ops", 30_000u64);
+        cfg.warmup = Some(cfg.ops);
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Etc { read_ratio: rr, theta: 0.99 };
+        let x = format!("RD_{:.0}", rr * 100.0);
+        let mut cells = vec![x.clone()];
+        for kind in tree_kinds {
+            let r = run(kind, &cfg);
+            eprintln!("  [tree {x}] {}: {}", r.kind, fmt_tput(r.throughput));
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("fig11", &format!("tree/{}", r.kind), &x, &r));
+        }
+        table.push(cells);
+    }
+    print_table(
+        &format!("Figure 11 (tree): Facebook ETC (scale 1/{scale})"),
+        &["read ratio", "Baseline", "Aria w/o Cache", "Aria"],
+        &table,
+    );
+
+    write_jsonl(&args.out_dir(), "fig11", &rows);
+}

@@ -1,0 +1,83 @@
+//! Figure 12 — effect of each optimization and the total SGX overhead,
+//! ETC workload at read ratios {0, 50, 95, 100} %.
+//!
+//! Variants (paper §VI-C):
+//! * `AriaBase`   — OCALL per untrusted allocation, LRU, no pinning, no
+//!   semantic swap optimizations;
+//! * `+HeapAlloc` — user-space allocator (biggest jump at 0 % reads);
+//! * `+PIN`       — adds level-pinning (still LRU);
+//! * `+FIFO`      — FIFO replacement instead of LRU (no pinning);
+//! * `Aria`       — all optimizations;
+//! * `Aria w/o SGX` — all SGX-specific costs zeroed (protection
+//!   overhead reference, ~25 % above Aria in the paper);
+//! * plus ShieldStore and Aria w/o Cache for context.
+
+use aria_bench::*;
+use aria_cache::EvictionPolicy;
+use aria_mem::AllocStrategy;
+
+struct Variant {
+    name: &'static str,
+    alloc: AllocStrategy,
+    policy: EvictionPolicy,
+    pinned: u32,
+    semantic: bool,
+    no_sgx: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let read_ratios = [0.0f64, 0.5, 0.95, 1.0];
+    let variants = [
+        Variant { name: "AriaBase", alloc: AllocStrategy::Ocall, policy: EvictionPolicy::Lru, pinned: 0, semantic: false, no_sgx: false },
+        Variant { name: "+HeapAlloc", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Lru, pinned: 0, semantic: false, no_sgx: false },
+        Variant { name: "+PIN", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Lru, pinned: 3, semantic: false, no_sgx: false },
+        Variant { name: "+FIFO", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 0, semantic: false, no_sgx: false },
+        Variant { name: "Aria", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 3, semantic: true, no_sgx: false },
+        Variant { name: "Aria w/o SGX", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 3, semantic: true, no_sgx: true },
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &rr in &read_ratios {
+        let x = format!("RD_{:.0}", rr * 100.0);
+        let mut cells = vec![x.clone()];
+        // ShieldStore + Aria w/o Cache context columns.
+        for kind in [StoreKind::Shield, StoreKind::AriaHashWoCache] {
+            let mut cfg = RunConfig::paper_default(scale);
+            cfg.ops = args.ops();
+            cfg.fast_crypto = args.fast();
+            cfg.seed = args.seed();
+            cfg.workload = Workload::Etc { read_ratio: rr, theta: 0.99 };
+            let r = run(kind, &cfg);
+            eprintln!("  [{x}] {}: {}", r.kind, fmt_tput(r.throughput));
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("fig12", r.kind, &x, &r));
+        }
+        for v in &variants {
+            let mut cfg = RunConfig::paper_default(scale);
+            cfg.ops = args.ops();
+            cfg.fast_crypto = args.fast();
+            cfg.seed = args.seed();
+            cfg.workload = Workload::Etc { read_ratio: rr, theta: 0.99 };
+            cfg.alloc = v.alloc;
+            cfg.policy = v.policy;
+            cfg.pinned_levels = v.pinned;
+            cfg.semantic_opts = v.semantic;
+            cfg.no_sgx = v.no_sgx;
+            let r = run(StoreKind::AriaHash, &cfg);
+            eprintln!("  [{x}] {}: {}", v.name, fmt_tput(r.throughput));
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("fig12", v.name, &x, &r));
+        }
+        table.push(cells);
+    }
+
+    print_table(
+        &format!("Figure 12: optimization ablation + SGX overhead (ETC, scale 1/{scale})"),
+        &["read ratio", "ShieldStore", "Aria w/o Cache", "AriaBase", "+HeapAlloc", "+PIN", "+FIFO", "Aria", "Aria w/o SGX"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig12", &rows);
+}

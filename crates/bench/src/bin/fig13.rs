@@ -1,0 +1,64 @@
+//! Figure 13 — sensitivity to the keyspace size (119 MB → 2 GB at full
+//! scale), under uniform, skewed and ETC workloads, RD_95.
+//!
+//! Paper shape: everything declines with keyspace, but ShieldStore's
+//! fixed bucket count makes its chains — and its bucket-granularity
+//! verification — grow linearly, so Aria's lead widens (to ~104 % under
+//! skew at 2 GB); Aria w/o Cache falls behind once its counter array
+//! dwarfs the EPC.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let points_mb = [119u64, 256, 512, 1024, 2048];
+    let kinds = [StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let panels: [(&str, Workload); 3] = [
+        (
+            "uniform",
+            Workload::Ycsb { read_ratio: 0.95, value_len: 16, dist: KeyDistribution::Uniform },
+        ),
+        (
+            "skew",
+            Workload::Ycsb {
+                read_ratio: 0.95,
+                value_len: 16,
+                dist: KeyDistribution::Zipfian { theta: 0.99 },
+            },
+        ),
+        ("etc", Workload::Etc { read_ratio: 0.95, theta: 0.99 }),
+    ];
+
+    let mut rows = Vec::new();
+    for (panel, workload) in &panels {
+        let mut table = Vec::new();
+        for &mb in &points_mb {
+            let keys = ((mb * 1024 * 1024 / 16) as f64 / scale) as u64;
+            let mut cfg = RunConfig::paper_default(scale);
+            cfg.keys = keys;
+            cfg.ops = args.ops();
+            cfg.fast_crypto = args.fast();
+            cfg.seed = args.seed();
+            cfg.workload = workload.clone();
+            let mut cells = vec![format!("{mb} MB")];
+            let mut tputs = Vec::new();
+            for kind in kinds {
+                let r = run(kind, &cfg);
+                eprintln!("  [{panel} {mb}MB] {}: {}", r.kind, fmt_tput(r.throughput));
+                tputs.push(r.throughput);
+                cells.push(fmt_tput(r.throughput));
+                rows.push(Row::new("fig13", &format!("{panel}/{}", r.kind), &format!("{mb}MB"), &r));
+            }
+            cells.push(format!("{:+.0}%", improvement(tputs[2], tputs[0])));
+            table.push(cells);
+        }
+        print_table(
+            &format!("Figure 13 ({panel}): keyspace sweep, RD_95 (scale 1/{scale})"),
+            &["keyspace", "ShieldStore", "Aria w/o Cache", "Aria", "Aria vs Shield"],
+            &table,
+        );
+    }
+    write_jsonl(&args.out_dir(), "fig13", &rows);
+}

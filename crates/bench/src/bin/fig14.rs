@@ -1,0 +1,86 @@
+//! Figure 14 — sensitivity to the Secure Cache size: 100 % ("as much
+//! EPC as possible") down to 16 %, skew RD_95 16 B, 10 M and 30 M
+//! keyspaces, with ShieldStore reference lines.
+//!
+//! Paper shape: throughput degrades gracefully (-9 % at 50 %, -18 % at
+//! 16 % for 10 M keys) and Aria at 16 % (15 MB) still beats ShieldStore
+//! with its fixed 64 MB of roots.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let fractions = [(100u32, 1.0f64), (50, 0.5), (33, 0.33), (25, 0.25), (20, 0.20), (16, 0.16)];
+    let keyspaces = [10_000_000u64, 30_000_000];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+
+    // ShieldStore reference per keyspace.
+    let mut shield_ref = Vec::new();
+    for &ks in &keyspaces {
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.keys = (ks as f64 / scale) as u64;
+        cfg.ops = args.ops();
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Ycsb {
+            read_ratio: 0.95,
+            value_len: 16,
+            dist: KeyDistribution::Zipfian { theta: 0.99 },
+        };
+        let r = run(StoreKind::Shield, &cfg);
+        eprintln!("  [shield {ks}] {}", fmt_tput(r.throughput));
+        rows.push(Row::new("fig14", &format!("ShieldStore-{}M", ks / 1_000_000), "ref", &r));
+        shield_ref.push(r.throughput);
+    }
+
+    for (pct, frac) in fractions {
+        let mut cells = vec![format!("{pct}%")];
+        for &ks in &keyspaces {
+            let mut cfg = RunConfig::paper_default(scale);
+            cfg.keys = (ks as f64 / scale) as u64;
+            cfg.ops = args.ops();
+            cfg.fast_crypto = args.fast();
+            cfg.seed = args.seed();
+            cfg.workload = Workload::Ycsb {
+                read_ratio: 0.95,
+                value_len: 16,
+                dist: KeyDistribution::Zipfian { theta: 0.99 },
+            };
+            // 100% = the auto "as much as possible" sizing; fractions are
+            // relative to that.
+            let auto = cfg.auto_cache_bytes();
+            cfg.cache_bytes = Some(((auto as f64) * frac) as usize);
+            let r = run(StoreKind::AriaHash, &cfg);
+            eprintln!(
+                "  [{pct}% {}M] {} (hit {:?})",
+                ks / 1_000_000,
+                fmt_tput(r.throughput),
+                r.cache_hit_ratio.map(|h| (h * 100.0).round())
+            );
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new(
+                "fig14",
+                &format!("Aria-{}M", ks / 1_000_000),
+                &format!("{pct}%"),
+                &r,
+            ));
+        }
+        table.push(cells);
+    }
+
+    table.push(vec![
+        "Shield ref".to_string(),
+        fmt_tput(shield_ref[0]),
+        fmt_tput(shield_ref[1]),
+    ]);
+    print_table(
+        &format!("Figure 14: Secure Cache size sweep, skew RD_95 16B (scale 1/{scale})"),
+        &["cache size", "Aria 10M keys", "Aria 30M keys"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig14", &rows);
+}

@@ -1,0 +1,52 @@
+//! Figure 15 — sensitivity to the Merkle-tree branching factor (N-ary
+//! MT), uniform and skewed, RD_95 16 B, one Merkle tree.
+//!
+//! Paper shape: under skew, throughput rises with arity (bigger nodes →
+//! less per-entry cache metadata → more cached counters) until the MAC
+//! input length and node copy cost win (drop at 16); under uniform, Aria
+//! stops swapping so bigger nodes only make the per-op verification more
+//! expensive — monotonically decreasing.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let arities = [2usize, 4, 8, 10, 12, 14, 16];
+    let dists: [(&str, KeyDistribution); 2] = [
+        ("skew", KeyDistribution::Zipfian { theta: 0.99 }),
+        ("uniform", KeyDistribution::Uniform),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &arity in &arities {
+        let mut cells = vec![arity.to_string()];
+        for (dname, dist) in &dists {
+            let mut cfg = RunConfig::paper_default(scale);
+            cfg.ops = args.ops();
+            cfg.fast_crypto = args.fast();
+            cfg.seed = args.seed();
+            cfg.arity = arity;
+            cfg.workload =
+                Workload::Ycsb { read_ratio: 0.95, value_len: 16, dist: dist.clone() };
+            let r = run(StoreKind::AriaHash, &cfg);
+            eprintln!(
+                "  [{dname} arity {arity}] {} (hit {:?})",
+                fmt_tput(r.throughput),
+                r.cache_hit_ratio.map(|h| (h * 100.0).round())
+            );
+            cells.push(fmt_tput(r.throughput));
+            rows.push(Row::new("fig15", &format!("Aria-{dname}"), &arity.to_string(), &r));
+        }
+        table.push(cells);
+    }
+
+    print_table(
+        &format!("Figure 15: N-ary Merkle tree sweep, RD_95 16B (scale 1/{scale})"),
+        &["arity", "Aria-Skew", "Aria-Uniform"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig15", &rows);
+}

@@ -1,0 +1,85 @@
+//! Figure 16(a) — multi-tenant: 2 and 4 tenants sharing the EPC, each
+//! with its own enclave (multi-process isolation), keyspaces 10–50 M.
+//!
+//! EPC is split evenly: Aria tenants shrink their Secure Cache,
+//! ShieldStore tenants shrink their root count — both eliminate secure
+//! paging, as in the paper. Tenants are independent single-threaded
+//! instances (the paper runs them as separate processes on separate
+//! cores); we report the mean per-tenant throughput.
+//!
+//! Paper shape: the Aria-vs-ShieldStore gap widens with tenants and with
+//! keyspace (24 %/26 % at 10 M for 2/4 tenants, 44 %/67 % at 50 M).
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let tenant_counts = [2usize, 4];
+    let keyspaces = [10_000_000u64, 30_000_000, 50_000_000];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &ks in &keyspaces {
+        for &tenants in &tenant_counts {
+            let mut aria_sum = 0.0;
+            let mut shield_sum = 0.0;
+            for tenant in 0..tenants {
+                let mut cfg = RunConfig::paper_default(scale);
+                cfg.keys = (ks as f64 / scale) as u64;
+                cfg.ops = args.get("ops", 100_000u64);
+                cfg.fast_crypto = args.fast();
+                cfg.seed = args.seed() ^ (tenant as u64) << 32;
+                cfg.epc_bytes /= tenants;
+                cfg.shield_buckets =
+                    Some((((4_000_000 / tenants) as f64 / scale) as usize).max(64));
+                cfg.workload = Workload::Ycsb {
+                    read_ratio: 0.95,
+                    value_len: 16,
+                    dist: KeyDistribution::Zipfian { theta: 0.99 },
+                };
+                let ra = run(StoreKind::AriaHash, &cfg);
+                let rs = run(StoreKind::Shield, &cfg);
+                aria_sum += ra.throughput;
+                shield_sum += rs.throughput;
+                if tenant == 0 {
+                    rows.push(Row::new(
+                        "fig16a",
+                        &format!("Aria-{tenants}t"),
+                        &format!("{}M", ks / 1_000_000),
+                        &ra,
+                    ));
+                    rows.push(Row::new(
+                        "fig16a",
+                        &format!("ShieldStore-{tenants}t"),
+                        &format!("{}M", ks / 1_000_000),
+                        &rs,
+                    ));
+                }
+            }
+            let aria_avg = aria_sum / tenants as f64;
+            let shield_avg = shield_sum / tenants as f64;
+            eprintln!(
+                "  [{}M x{tenants}] Aria {} vs Shield {} ({:+.0}%)",
+                ks / 1_000_000,
+                fmt_tput(aria_avg),
+                fmt_tput(shield_avg),
+                improvement(aria_avg, shield_avg)
+            );
+            table.push(vec![
+                format!("{}M x {tenants} tenants", ks / 1_000_000),
+                fmt_tput(aria_avg),
+                fmt_tput(shield_avg),
+                format!("{:+.0}%", improvement(aria_avg, shield_avg)),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Figure 16(a): multi-tenant, skew RD_95 16B (scale 1/{scale})"),
+        &["config", "Aria (avg/tenant)", "ShieldStore (avg/tenant)", "Aria vs Shield"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig16a", &rows);
+}

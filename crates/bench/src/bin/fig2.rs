@@ -1,0 +1,49 @@
+//! Figure 2 — performance of the design schemes as the keyspace grows
+//! (16-byte KV pairs, skewed, 50 % reads), plus secure-paging counts.
+//!
+//! Paper shape: Baseline collapses once the keyspace outgrows the EPC
+//! (~24 MB); Aria w/o Cache stays flat until its counter array outgrows
+//! the EPC (~119 MB); ShieldStore is flat but below Aria; Aria stays on
+//! top throughout.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    // Keyspace sizes in MB at full scale (keyspace size = #keys x 16 B).
+    let points_mb = [4u64, 8, 16, 24, 32, 64, 119, 128];
+    let kinds = [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for &mb in &points_mb {
+        let keys = (mb * 1024 * 1024 / 16) as f64 / scale;
+        let mut cfg = RunConfig::paper_default(scale);
+        cfg.keys = keys as u64;
+        cfg.ops = args.ops();
+        cfg.fast_crypto = args.fast();
+        cfg.seed = args.seed();
+        cfg.workload = Workload::Ycsb {
+            read_ratio: 0.5,
+            value_len: 16,
+            dist: KeyDistribution::Zipfian { theta: 0.99 },
+        };
+        let mut cells = vec![format!("{mb} MB")];
+        for kind in kinds {
+            let r = run(kind, &cfg);
+            eprintln!("  [{mb} MB] {}: {} ops/s, {} faults", r.kind, fmt_tput(r.throughput), r.page_faults);
+            cells.push(format!("{} ({} PF)", fmt_tput(r.throughput), r.page_faults));
+            rows.push(Row::new("fig2", r.kind, &format!("{mb}MB"), &r));
+        }
+        table.push(cells);
+    }
+
+    print_table(
+        &format!("Figure 2: design schemes vs keyspace size (scale 1/{scale}, 50% read, skew 0.99, 16B KV)"),
+        &["keyspace", "Baseline", "ShieldStore", "Aria w/o Cache", "Aria"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig2", &rows);
+}

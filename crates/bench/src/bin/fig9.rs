@@ -1,0 +1,56 @@
+//! Figure 9 — Aria-H overall performance on the YCSB grid:
+//! {uniform, skew} x {50 %, 95 %, 100 % reads} x {16, 128, 512 B values},
+//! 10 M keys, against ShieldStore and Aria w/o Cache.
+//!
+//! Paper shape: Aria leads under skew (by ~28-40 %); ShieldStore is
+//! slightly ahead under uniform at this keyspace (Aria stops swapping);
+//! Aria w/o Cache is comparable to ShieldStore under skew.
+
+use aria_bench::*;
+use aria_workload::KeyDistribution;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let kinds = [StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let dists: [(&str, KeyDistribution); 2] = [
+        ("skew", KeyDistribution::Zipfian { theta: 0.99 }),
+        ("uniform", KeyDistribution::Uniform),
+    ];
+    let read_ratios = [0.5f64, 0.95, 1.0];
+    let value_lens = [16usize, 128, 512];
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (dname, dist) in &dists {
+        for &rr in &read_ratios {
+            for &vl in &value_lens {
+                let mut cfg = RunConfig::paper_default(scale);
+                cfg.ops = args.ops();
+                cfg.fast_crypto = args.fast();
+                cfg.seed = args.seed();
+                cfg.workload =
+                    Workload::Ycsb { read_ratio: rr, value_len: vl, dist: dist.clone() };
+                let x = format!("{dname}/R{:.0}%/{vl}B", rr * 100.0);
+                let mut cells = vec![x.clone()];
+                let mut tputs = Vec::new();
+                for kind in kinds {
+                    let r = run(kind, &cfg);
+                    eprintln!("  [{x}] {}: {}", r.kind, fmt_tput(r.throughput));
+                    tputs.push(r.throughput);
+                    cells.push(fmt_tput(r.throughput));
+                    rows.push(Row::new("fig9", r.kind, &x, &r));
+                }
+                cells.push(format!("{:+.0}%", improvement(tputs[2], tputs[0])));
+                table.push(cells);
+            }
+        }
+    }
+
+    print_table(
+        &format!("Figure 9: Aria-H YCSB grid (scale 1/{scale}, 10M/scale keys)"),
+        &["config", "ShieldStore", "Aria w/o Cache", "Aria", "Aria vs Shield"],
+        &table,
+    );
+    write_jsonl(&args.out_dir(), "fig9", &rows);
+}

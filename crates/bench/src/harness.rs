@@ -1,0 +1,408 @@
+//! Shared experiment runner: builds any of the paper's design schemes,
+//! loads a keyspace, replays a workload, and reports simulated
+//! throughput plus diagnostic counters.
+
+use std::rc::Rc;
+
+use aria_cache::{CacheConfig, EvictionPolicy, SwapMode};
+use aria_crypto::{CipherSuite, FastSuite};
+use aria_mem::AllocStrategy;
+use aria_shieldstore::ShieldStore;
+use aria_sim::{CostModel, Enclave, EnclaveSnapshot, DEFAULT_EPC_BYTES};
+use aria_store::{AriaBPlusTree, AriaHash, AriaTree, BaselineStore, KvStore, Scheme, StoreConfig, StoreError};
+use aria_workload::{
+    encode_key, value_bytes, EtcConfig, EtcWorkload, KeyDistribution, Request, YcsbConfig,
+    YcsbWorkload,
+};
+
+/// Which design scheme to run (paper §VI "Compared Schemes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Full Aria with the hash index.
+    AriaHash,
+    /// Aria w/o Cache (counters in a hardware-paged EPC array), hash index.
+    AriaHashWoCache,
+    /// Full Aria with the B-tree index.
+    AriaTree,
+    /// Aria w/o Cache with the B-tree index.
+    AriaTreeWoCache,
+    /// The B+-tree extension (paper future work): chained leaves +
+    /// separately encrypted routing keys.
+    AriaBPlus,
+    /// Whole store inside the enclave.
+    Baseline,
+    /// ShieldStore (bucket-granularity verification).
+    Shield,
+}
+
+impl StoreKind {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StoreKind::AriaHash => "Aria",
+            StoreKind::AriaHashWoCache => "Aria w/o Cache",
+            StoreKind::AriaTree => "Aria (tree)",
+            StoreKind::AriaTreeWoCache => "Aria w/o Cache (tree)",
+            StoreKind::AriaBPlus => "Aria (B+-tree)",
+            StoreKind::Baseline => "Baseline",
+            StoreKind::Shield => "ShieldStore",
+        }
+    }
+}
+
+/// Workload selection.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// YCSB grid point.
+    Ycsb {
+        /// Get fraction.
+        read_ratio: f64,
+        /// Fixed value bytes.
+        value_len: usize,
+        /// Key popularity.
+        dist: KeyDistribution,
+    },
+    /// Facebook ETC pool.
+    Etc {
+        /// Get fraction.
+        read_ratio: f64,
+        /// Zipf skew over the hot partition.
+        theta: f64,
+    },
+}
+
+/// One experiment configuration point.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Distinct keys loaded before measurement.
+    pub keys: u64,
+    /// Measured requests.
+    pub ops: u64,
+    /// Request mix.
+    pub workload: Workload,
+    /// EPC budget for the enclave.
+    pub epc_bytes: usize,
+    /// Secure Cache capacity; `None` = "as much EPC as possible".
+    pub cache_bytes: Option<usize>,
+    /// Merkle arity.
+    pub arity: usize,
+    /// Aria hash buckets; `None` = keys/2.
+    pub aria_buckets: Option<usize>,
+    /// ShieldStore buckets; `None` = scaled 4M (64 MB of roots at full
+    /// scale).
+    pub shield_buckets: Option<usize>,
+    /// B-tree order.
+    pub btree_order: usize,
+    /// Untrusted allocation strategy (Ocall = the `AriaBase` ablation).
+    pub alloc: AllocStrategy,
+    /// Secure Cache replacement policy.
+    pub policy: EvictionPolicy,
+    /// Pinned Merkle levels.
+    pub pinned_levels: u32,
+    /// Secure Cache swap mode.
+    pub swap_mode: SwapMode,
+    /// Enable the §IV-C semantic swap optimizations.
+    pub semantic_opts: bool,
+    /// Zero all SGX-specific costs ("Aria w/o SGX").
+    pub no_sgx: bool,
+    /// Use the fast cipher suite (harness wall-time only).
+    pub fast_crypto: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Scale divisor actually applied (recorded in results).
+    pub scale: f64,
+    /// Unmeasured warm-up requests before the measured phase (`None` =
+    /// same as `ops`), letting the Secure Cache reach steady state.
+    pub warmup: Option<u64>,
+}
+
+impl RunConfig {
+    /// The paper's default setup at a given scale divisor: 10 M keys,
+    /// 91 MB EPC, zipfian 0.99, 95 % reads, 16-byte values.
+    pub fn paper_default(scale: f64) -> RunConfig {
+        RunConfig {
+            keys: (10_000_000f64 / scale) as u64,
+            ops: 200_000,
+            workload: Workload::Ycsb {
+                read_ratio: 0.95,
+                value_len: 16,
+                dist: KeyDistribution::Zipfian { theta: 0.99 },
+            },
+            epc_bytes: (DEFAULT_EPC_BYTES as f64 / scale) as usize,
+            cache_bytes: None,
+            arity: 8,
+            aria_buckets: None,
+            shield_buckets: None,
+            btree_order: 15,
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Fifo,
+            pinned_levels: 3,
+            swap_mode: SwapMode::Auto,
+            semantic_opts: true,
+            no_sgx: false,
+            fast_crypto: false,
+            seed: 0x5eed,
+            scale,
+            warmup: None,
+        }
+    }
+
+    fn aria_bucket_count(&self) -> usize {
+        // Load factor ~2, but bounded so the in-EPC per-bucket counts
+        // (1 B each) never exceed a quarter of the EPC budget — the same
+        // discipline that fixes ShieldStore's root count. Beyond the cap,
+        // chains grow with the keyspace (as in the paper's Figure 13).
+        self.aria_buckets.unwrap_or_else(|| {
+            let by_keys = ((self.keys / 2).max(64) as usize).next_power_of_two();
+            let by_epc = (self.epc_bytes / 4).max(64).next_power_of_two();
+            by_keys.min(by_epc)
+        })
+    }
+
+    fn shield_bucket_count(&self) -> usize {
+        // 4 M roots at full scale, scaled down with everything else.
+        self.shield_buckets
+            .unwrap_or(((4_000_000f64 / self.scale) as usize).max(64))
+    }
+
+    fn value_len_for(&self, id: u64) -> usize {
+        match &self.workload {
+            Workload::Ycsb { value_len, .. } => *value_len,
+            Workload::Etc { .. } => EtcWorkload::value_len_for(self.keys, id),
+        }
+    }
+
+    /// Estimate the EPC left for the Secure Cache after the other trusted
+    /// structures take their share ("the content of Secure Cache is set
+    /// as large as possible", §VI).
+    pub fn auto_cache_bytes(&self) -> usize {
+        let counter_capacity = self.keys + self.keys / 8 + 1024;
+        let counter_bitmap = (counter_capacity as usize).div_ceil(64) * 8;
+        let buckets = self.aria_bucket_count();
+        // Heap bitmap estimate: sealed entries plus B-tree nodes.
+        let avg_value = match &self.workload {
+            Workload::Ycsb { value_len, .. } => *value_len,
+            Workload::Etc { .. } => 64,
+        };
+        let block = (40 + 16 + avg_value).next_power_of_two().max(32);
+        let blocks_per_chunk = (4 << 20) / block;
+        let chunks = ((self.keys as usize * block) >> 22) + 2;
+        let heap_bitmaps = chunks * blocks_per_chunk.div_ceil(64) * 8;
+        let margin = (self.epc_bytes / 16).max(128 * 1024);
+        let reserved = buckets + counter_bitmap + heap_bitmaps + margin;
+        self.epc_bytes.saturating_sub(reserved).max(64 * 1024)
+    }
+
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: self.cache_bytes.unwrap_or_else(|| self.auto_cache_bytes()),
+            policy: self.policy,
+            pinned_levels: self.pinned_levels,
+            swap_mode: self.swap_mode,
+            stop_swap_threshold: 0.70,
+            stop_swap_window: 50_000,
+            swap_without_encryption: self.semantic_opts,
+            skip_clean_writeback: self.semantic_opts,
+        }
+    }
+
+    fn store_config(&self, scheme: Scheme) -> StoreConfig {
+        StoreConfig {
+            scheme,
+            counter_capacity: self.keys + self.keys / 8 + 1024,
+            arity: self.arity,
+            cache: self.cache_config(),
+            expansion_cache_bytes: 1 << 20,
+            buckets: self.aria_bucket_count(),
+            btree_order: self.btree_order,
+            alloc: self.alloc,
+            master_key: [0x42; 16],
+            seed: self.seed,
+        }
+    }
+
+    fn cost_model(&self) -> CostModel {
+        if self.no_sgx {
+            CostModel::no_sgx()
+        } else {
+            CostModel::default()
+        }
+    }
+
+    fn suite(&self) -> Option<Rc<dyn CipherSuite>> {
+        if self.fast_crypto {
+            Some(Rc::new(FastSuite::from_master(&[0x42; 16])))
+        } else {
+            None
+        }
+    }
+}
+
+/// Result of one configuration point.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Scheme label.
+    pub kind: &'static str,
+    /// Simulated ops/s over the measured phase.
+    pub throughput: f64,
+    /// Simulated cycles spent in the measured phase.
+    pub cycles: u64,
+    /// Measured requests.
+    pub ops: u64,
+    /// Enclave counters over the measured phase.
+    pub snapshot: EnclaveSnapshot,
+    /// Secure Cache hit ratio (cached schemes only), over the whole run.
+    pub cache_hit_ratio: Option<f64>,
+    /// Whether the Secure Cache was still swapping at the end.
+    pub cache_swapping: Option<bool>,
+    /// Page faults during the measured phase.
+    pub page_faults: u64,
+    /// EPC bytes in use at the end of the run.
+    pub epc_used: usize,
+}
+
+/// ShieldStore adapter so every scheme drives through [`KvStore`].
+pub struct ShieldAdapter(pub ShieldStore);
+
+impl KvStore for ShieldAdapter {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.0.put(key, value).map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.0.get(key).map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        self.0.delete(key).map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
+    }
+
+    fn len(&self) -> u64 {
+        self.0.len()
+    }
+
+    fn enclave(&self) -> &Rc<Enclave> {
+        self.0.enclave()
+    }
+}
+
+fn build(kind: StoreKind, cfg: &RunConfig, enclave: Rc<Enclave>) -> Box<dyn KvStore> {
+    match kind {
+        StoreKind::AriaHash => Box::new(
+            AriaHash::with_suite(cfg.store_config(Scheme::Aria), enclave, cfg.suite())
+                .expect("aria-hash construction"),
+        ),
+        StoreKind::AriaHashWoCache => Box::new(
+            AriaHash::with_suite(cfg.store_config(Scheme::AriaWithoutCache), enclave, cfg.suite())
+                .expect("aria-hash w/o cache construction"),
+        ),
+        StoreKind::AriaTree => Box::new(
+            AriaTree::with_suite(cfg.store_config(Scheme::Aria), enclave, cfg.suite())
+                .expect("aria-tree construction"),
+        ),
+        StoreKind::AriaTreeWoCache => Box::new(
+            AriaTree::with_suite(cfg.store_config(Scheme::AriaWithoutCache), enclave, cfg.suite())
+                .expect("aria-tree w/o cache construction"),
+        ),
+        StoreKind::AriaBPlus => Box::new(
+            AriaBPlusTree::with_suite(cfg.store_config(Scheme::Aria), enclave, cfg.suite())
+                .expect("aria-b+tree construction"),
+        ),
+        StoreKind::Baseline => {
+            let avg_value = match &cfg.workload {
+                Workload::Ycsb { value_len, .. } => *value_len,
+                Workload::Etc { .. } => 64,
+            };
+            let expected = cfg.keys as usize * (16 + avg_value + 48);
+            Box::new(BaselineStore::new(enclave, expected))
+        }
+        StoreKind::Shield => Box::new(ShieldAdapter(
+            ShieldStore::with_suite(cfg.shield_bucket_count(), enclave, cfg.suite())
+                .expect("shieldstore construction"),
+        )),
+    }
+}
+
+/// Load the keyspace, replay the workload, report simulated throughput.
+pub fn run(kind: StoreKind, cfg: &RunConfig) -> RunResult {
+    let enclave = Rc::new(Enclave::new(cfg.cost_model(), cfg.epc_bytes));
+    let mut store = build(kind, cfg, Rc::clone(&enclave));
+
+    // Load phase (not measured).
+    for id in 0..cfg.keys {
+        let key = encode_key(id);
+        let value = value_bytes(id, cfg.value_len_for(id));
+        store.put(&key, &value).expect("load put");
+    }
+    enclave.reset_metrics();
+
+    // Warm-up (unmeasured) + measured phase over one generator stream.
+    let warmup = cfg.warmup.unwrap_or(cfg.ops);
+    let start_cycles;
+    match &cfg.workload {
+        Workload::Ycsb { read_ratio, value_len, dist } => {
+            let mut wl = YcsbWorkload::new(YcsbConfig {
+                keyspace: cfg.keys,
+                read_ratio: *read_ratio,
+                value_len: *value_len,
+                distribution: dist.clone(),
+                seed: cfg.seed,
+            });
+            for _ in 0..warmup {
+                dispatch(store.as_mut(), wl.next_request());
+            }
+            enclave.reset_metrics();
+            start_cycles = enclave.cycles();
+            for _ in 0..cfg.ops {
+                dispatch(store.as_mut(), wl.next_request());
+            }
+        }
+        Workload::Etc { read_ratio, theta } => {
+            let mut wl = EtcWorkload::new(EtcConfig {
+                keyspace: cfg.keys,
+                read_ratio: *read_ratio,
+                theta: *theta,
+                seed: cfg.seed,
+            });
+            for _ in 0..warmup {
+                dispatch(store.as_mut(), wl.next_request());
+            }
+            enclave.reset_metrics();
+            start_cycles = enclave.cycles();
+            for _ in 0..cfg.ops {
+                dispatch(store.as_mut(), wl.next_request());
+            }
+        }
+    }
+
+    let cycles = enclave.cycles() - start_cycles;
+    let snapshot = enclave.snapshot();
+    RunResult {
+        kind: kind.label(),
+        throughput: enclave.cost().throughput(cfg.ops, cycles),
+        cycles,
+        ops: cfg.ops,
+        snapshot: snapshot.clone(),
+        cache_hit_ratio: store.cache_hit_ratio(),
+        cache_swapping: store.cache_swapping(),
+        page_faults: snapshot.page_faults,
+        epc_used: enclave.epc_used() + enclave.resident_paged_bytes(),
+    }
+}
+
+fn dispatch(store: &mut dyn KvStore, req: Request) {
+    match req {
+        Request::Get { id } => {
+            let got = store.get(&encode_key(id)).expect("get");
+            debug_assert!(got.is_some(), "loaded key {id} missing");
+        }
+        Request::Put { id, value_len } => {
+            store.put(&encode_key(id), &value_bytes(id ^ 0xfeed, value_len)).expect("put");
+        }
+    }
+}
+
+/// Convenience: percentage improvement of `a` over `b`.
+pub fn improvement(a: f64, b: f64) -> f64 {
+    (a / b - 1.0) * 100.0
+}

@@ -1,0 +1,109 @@
+//! Result reporting: aligned console tables plus machine-readable JSONL
+//! rows that EXPERIMENTS.md is regenerated from.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::harness::RunResult;
+
+/// One emitted result row.
+#[derive(Debug, Serialize)]
+pub struct Row {
+    /// Experiment id (e.g. "fig9").
+    pub experiment: String,
+    /// Series label (e.g. "Aria", "ShieldStore").
+    pub series: String,
+    /// X-axis point (e.g. "RD_95/16B/skew").
+    pub x: String,
+    /// Simulated ops/s.
+    pub throughput: f64,
+    /// Simulated cycles in the measured phase.
+    pub cycles: u64,
+    /// Measured requests.
+    pub ops: u64,
+    /// Page faults during measurement.
+    pub page_faults: u64,
+    /// MACs computed during measurement.
+    pub macs: u64,
+    /// EPC bytes in use.
+    pub epc_used: usize,
+}
+
+impl Row {
+    /// Build a row from a run result.
+    pub fn new(experiment: &str, series: &str, x: &str, r: &RunResult) -> Row {
+        Row {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            x: x.to_string(),
+            throughput: r.throughput,
+            cycles: r.cycles,
+            ops: r.ops,
+            page_faults: r.page_faults,
+            macs: r.snapshot.macs_computed,
+            epc_used: r.epc_used,
+        }
+    }
+}
+
+/// Append rows to `<out>/<experiment>.jsonl`.
+pub fn write_jsonl(out_dir: &str, experiment: &str, rows: &[Row]) {
+    let dir = Path::new(out_dir);
+    if fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create {out_dir}; results not persisted");
+        return;
+    }
+    let path = dir.join(format!("{experiment}.jsonl"));
+    let mut file = match fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: cannot open {path:?}: {e}");
+            return;
+        }
+    };
+    for row in rows {
+        let line = serde_json::to_string(row).expect("serializable row");
+        let _ = writeln!(file, "{line}");
+    }
+    println!("\nresults appended to {}", path.display());
+}
+
+/// Human-readable ops/s (e.g. "1.23M", "456k").
+pub fn fmt_tput(t: f64) -> String {
+    if t >= 1e6 {
+        format!("{:.2}M", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.0}k", t / 1e3)
+    } else {
+        format!("{t:.0}")
+    }
+}
+
+/// Print an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        s.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}

@@ -1,0 +1,100 @@
+//! Configuration for the Secure Cache.
+
+/// Replacement policy for swappable cache entries (§IV-E).
+///
+/// The paper finds FIFO superior for a large in-EPC cache: LRU's hit-path
+/// recency update is itself a set of EPC memory operations (the "tax of
+/// hits"), while FIFO touches no metadata on a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// First-in first-out; no hit-path metadata update.
+    Fifo,
+    /// Least-recently-used; each hit pays a metadata-update charge.
+    Lru,
+}
+
+/// When the cache swaps nodes in and out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapMode {
+    /// Swap normally; disable swapping automatically when the measured hit
+    /// ratio over a window falls below `stop_swap_threshold` (§IV-E
+    /// "Stopping Swap").
+    Auto,
+    /// Always swap, never auto-stop.
+    Always,
+    /// Never swap: level-pinning only (the configuration Aria converges to
+    /// under uniform workloads).
+    Never,
+}
+
+/// Per-entry cache metadata overhead in EPC bytes (map slot, queue stamp,
+/// dirty bit, node id). Small nodes make this overhead proportionally
+/// larger — the space-utilization effect behind Figure 15.
+pub const ENTRY_META_BYTES: usize = 48;
+
+/// All Secure Cache tunables.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total EPC bytes for Secure Cache contents, *including* pinned
+    /// levels and per-entry metadata.
+    pub capacity_bytes: usize,
+    /// Replacement policy for swappable entries.
+    pub policy: EvictionPolicy,
+    /// Number of Merkle-tree levels, counted from the top (root end), to
+    /// pin permanently in the EPC. The top node is always effectively
+    /// anchored by the enclave root MAC; `pinned_levels = k` additionally
+    /// pins levels `h-1 .. h-k`.
+    pub pinned_levels: u32,
+    /// Swap behaviour.
+    pub swap_mode: SwapMode,
+    /// Hit-ratio threshold below which `SwapMode::Auto` stops swapping
+    /// (the paper uses 70%).
+    pub stop_swap_threshold: f64,
+    /// Number of accesses per hit-ratio evaluation window.
+    pub stop_swap_window: u64,
+    /// Semantic-aware optimization (§IV-C): swap out *without*
+    /// encrypting the node (metadata needs integrity, not secrecy). When
+    /// `false`, each write-back additionally pays the CTR cost the SGX
+    /// hardware path (EWB) would.
+    pub swap_without_encryption: bool,
+    /// Semantic-aware optimization (§IV-C): discard clean victims without
+    /// writing them back (hardware EWB cannot do this).
+    pub skip_clean_writeback: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 << 20,
+            policy: EvictionPolicy::Fifo,
+            pinned_levels: 3,
+            swap_mode: SwapMode::Auto,
+            stop_swap_threshold: 0.70,
+            stop_swap_window: 50_000,
+            swap_without_encryption: true,
+            skip_clean_writeback: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The paper's full-optimization configuration with a given capacity.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        CacheConfig { capacity_bytes, ..CacheConfig::default() }
+    }
+
+    /// The `AriaBase`-style cache: LRU, no pinning, no semantic
+    /// optimizations (Figure 12 ablation starting point).
+    pub fn base(capacity_bytes: usize) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            policy: EvictionPolicy::Lru,
+            pinned_levels: 0,
+            swap_mode: SwapMode::Always,
+            stop_swap_threshold: 0.0,
+            stop_swap_window: u64::MAX,
+            swap_without_encryption: false,
+            skip_clean_writeback: false,
+        }
+    }
+}

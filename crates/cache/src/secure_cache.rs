@@ -1,0 +1,666 @@
+//! The Secure Cache (paper §IV): a software-managed, fine-grained EPC
+//! cache of Merkle-tree nodes.
+//!
+//! Instead of letting SGX hardware page 4 KB mixtures of hot and cold
+//! metadata, Secure Cache tracks *individual Merkle-tree nodes*:
+//!
+//! * a **hit** on a leaf node yields the trusted counter with no Merkle
+//!   verification at all — KV-pair-granularity protection;
+//! * a **miss** verifies the node bottom-up, stopping at the *first cached
+//!   ancestor* (cached nodes are protected by SGX and act as roots of
+//!   sub-trees), then caches the requested node;
+//! * **eviction** of a dirty node writes its bytes back to untrusted
+//!   memory and publishes its fresh MAC into the first cached (or
+//!   untrusted, en route) ancestor so that the newest state of every leaf
+//!   is always anchored in the EPC;
+//! * the top-K levels are **pinned** (§IV-E), bounding worst-case
+//!   verification depth at `h - k - 1`;
+//! * when the observed hit ratio drops below a threshold the cache
+//!   **stops swapping** (§IV-E) and falls back to pinned-levels-only
+//!   verification, avoiding miss-penalty thrash under uniform workloads.
+//!
+//! Every operation charges simulated cycles to the shared [`Enclave`]:
+//! node verification pays an untrusted read, a copy into the EPC and a
+//! CMAC per level walked; hits pay a map lookup plus (for LRU only) the
+//! recency-update tax; write-backs pay untrusted writes — plus a CTR
+//! encryption when the "swap out without encryption" optimization is
+//! disabled, modelling what hardware EWB paging would force.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use aria_merkle::{MerkleTree, NodeId, SLOT};
+use aria_sim::Enclave;
+
+use crate::config::{CacheConfig, EvictionPolicy, SwapMode, ENTRY_META_BYTES};
+
+/// Integrity violation surfaced during verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityViolation {
+    /// The node whose MAC failed to verify.
+    pub node: NodeId,
+}
+
+impl std::fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Merkle integrity violation at level {} index {}", self.node.level, self.node.index)
+    }
+}
+
+impl std::error::Error for IntegrityViolation {}
+
+/// Errors constructing a Secure Cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The enclave could not reserve the requested capacity.
+    EpcExhausted {
+        /// Requested capacity in bytes.
+        requested: usize,
+        /// EPC bytes still available.
+        available: usize,
+    },
+    /// Capacity cannot hold even one swappable entry.
+    CapacityTooSmall {
+        /// Requested capacity in bytes.
+        capacity: usize,
+        /// Minimum required for this tree geometry.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::EpcExhausted { requested, available } => {
+                write!(f, "EPC exhausted: secure cache wants {requested} bytes, {available} free")
+            }
+            CacheError::CapacityTooSmall { capacity, required } => {
+                write!(f, "secure cache capacity {capacity} below minimum {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Monotonic Secure Cache statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses served from a cached node.
+    pub hits: u64,
+    /// Accesses that required verification.
+    pub misses: u64,
+    /// Swappable entries inserted.
+    pub inserts: u64,
+    /// Victims evicted.
+    pub evictions: u64,
+    /// Victim write-backs to untrusted memory.
+    pub writebacks: u64,
+    /// Clean victims discarded without write-back (§IV-C).
+    pub clean_discards: u64,
+    /// Total Merkle levels walked during verifications.
+    pub verify_levels: u64,
+    /// MAC propagations performed on eviction/update paths.
+    pub propagations: u64,
+}
+
+impl CacheStats {
+    /// Lifetime hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    data: Box<[u8]>,
+    dirty: bool,
+    pinned: bool,
+    stamp: u64,
+}
+
+/// The Secure Cache over one Merkle tree.
+pub struct SecureCache {
+    tree: MerkleTree,
+    enclave: Rc<Enclave>,
+    cfg: CacheConfig,
+    entries: HashMap<NodeId, Entry>,
+    queue: VecDeque<(NodeId, u64)>,
+    tick: u64,
+    /// EPC bytes consumed (node data + per-entry metadata, pinned included).
+    used_bytes: usize,
+    entry_bytes: usize,
+    /// Lowest pinned level (h = nothing pinned besides the enclave root).
+    pinned_floor: u32,
+    swapping: bool,
+    window_hits: u64,
+    window_accesses: u64,
+    /// Consecutive windows below the stop-swap threshold.
+    low_windows: u32,
+    stats: CacheStats,
+}
+
+impl SecureCache {
+    /// Build a Secure Cache over `tree`, reserving `cfg.capacity_bytes` of
+    /// EPC from `enclave` and pinning the configured top levels.
+    pub fn new(tree: MerkleTree, enclave: Rc<Enclave>, cfg: CacheConfig) -> Result<Self, CacheError> {
+        let entry_bytes = tree.node_size() + ENTRY_META_BYTES;
+        let min_capacity = entry_bytes * 2;
+        if cfg.capacity_bytes < min_capacity {
+            return Err(CacheError::CapacityTooSmall {
+                capacity: cfg.capacity_bytes,
+                required: min_capacity,
+            });
+        }
+        enclave.epc_alloc(cfg.capacity_bytes).map_err(|e| CacheError::EpcExhausted {
+            requested: cfg.capacity_bytes,
+            available: e.available,
+        })?;
+
+        let mut cache = SecureCache {
+            pinned_floor: tree.height(),
+            swapping: !matches!(cfg.swap_mode, SwapMode::Never),
+            tree,
+            enclave,
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+            used_bytes: 0,
+            entry_bytes,
+            window_hits: 0,
+            window_accesses: 0,
+            low_windows: 0,
+            stats: CacheStats::default(),
+            cfg,
+        };
+
+        // Pin the requested top levels, highest first, clamped to what
+        // fits: pinning must leave room for at least one swappable entry.
+        let want = cache.cfg.pinned_levels.min(cache.tree.height().saturating_sub(1));
+        for k in 0..want {
+            let level = cache.tree.height() - 1 - k;
+            if !cache.try_pin_level(level) {
+                break;
+            }
+        }
+
+        // In Never mode, immediately extend pinning as far as capacity
+        // allows (the stop-swap configuration).
+        if matches!(cache.cfg.swap_mode, SwapMode::Never) {
+            cache.extend_pinning();
+        }
+        Ok(cache)
+    }
+
+    fn level_pin_cost(&self, level: u32) -> usize {
+        self.tree.nodes_in_level(level) as usize * self.entry_bytes
+    }
+
+    /// Pin an entire level if it fits (leaving one swappable slot). The
+    /// tree is trusted at pin time: levels are pinned either at secure
+    /// initialization or after verifying each node during stop-swap.
+    fn try_pin_level(&mut self, level: u32) -> bool {
+        if level < self.pinned_floor && level + 1 != self.pinned_floor {
+            // Pin strictly contiguously from the top.
+            return false;
+        }
+        if level >= self.pinned_floor {
+            return true; // already pinned
+        }
+        let cost = self.level_pin_cost(level);
+        if self.used_bytes + cost + self.entry_bytes > self.cfg.capacity_bytes {
+            return false;
+        }
+        for index in 0..self.tree.nodes_in_level(level) {
+            let id = NodeId { level, index };
+            let data: Box<[u8]> = self.tree.node(id).into();
+            self.entries.insert(id, Entry { data, dirty: false, pinned: true, stamp: 0 });
+        }
+        self.used_bytes += cost;
+        self.pinned_floor = level;
+        true
+    }
+
+    /// Extend pinning downward (never into the leaf level) as far as the
+    /// capacity allows; used when swapping stops.
+    fn extend_pinning(&mut self) {
+        while self.pinned_floor > 1 {
+            let next = self.pinned_floor - 1;
+            // Verify the level against the already-anchored upper levels
+            // before trusting it into the EPC.
+            let cost = self.level_pin_cost(next);
+            if self.used_bytes + cost + self.entry_bytes > self.cfg.capacity_bytes {
+                break;
+            }
+            let nodes = self.tree.nodes_in_level(next);
+            let mut ok = true;
+            for index in 0..nodes {
+                let id = NodeId { level: next, index };
+                self.enclave.access_untrusted(self.tree.node_size());
+                self.enclave.charge_mac(self.tree.node_size());
+                if self.verify_against_parent(id, &self.tree.mac_of(id)).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                break;
+            }
+            if !self.try_pin_level(next) {
+                break;
+            }
+        }
+    }
+
+    /// Compare a node's MAC against its authoritative parent slot (cached
+    /// copy if cached, untrusted bytes otherwise; enclave root for the top
+    /// node).
+    fn verify_against_parent(&self, id: NodeId, mac: &[u8; 16]) -> Result<bool, IntegrityViolation> {
+        // Returns Ok(true) if the anchor was *trusted* (cached parent or
+        // root), Ok(false) if it matched an untrusted parent (caller must
+        // keep walking).
+        match self.tree.parent(id) {
+            None => {
+                if *mac != self.tree.root() {
+                    return Err(IntegrityViolation { node: id });
+                }
+                Ok(true)
+            }
+            Some(parent) => {
+                let slot = self.tree.slot_in_parent(id);
+                if let Some(entry) = self.entries.get(&parent) {
+                    self.enclave.access_epc(SLOT);
+                    let stored = &entry.data[slot * SLOT..(slot + 1) * SLOT];
+                    if stored != mac {
+                        return Err(IntegrityViolation { node: id });
+                    }
+                    Ok(true)
+                } else {
+                    let stored = self.tree.stored_child_mac(parent, slot);
+                    if stored != *mac {
+                        return Err(IntegrityViolation { node: id });
+                    }
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// Verify the chain from `id` up to the first trusted anchor and
+    /// return `id`'s untrusted bytes. Charges one untrusted read, one EPC
+    /// copy and one CMAC per level walked.
+    fn verify_and_fetch(&mut self, id: NodeId) -> Result<Box<[u8]>, IntegrityViolation> {
+        let mut result: Option<Box<[u8]>> = None;
+        let mut cur = id;
+        loop {
+            self.stats.verify_levels += 1;
+            let node_size = self.tree.node_size();
+            // Read from untrusted memory, copy into the enclave, MAC it.
+            self.enclave.access_untrusted(node_size);
+            self.enclave.access_epc(node_size);
+            self.enclave.charge_mac(node_size);
+            let mac = self.tree.mac_of(cur);
+            if result.is_none() {
+                result = Some(self.tree.node(cur).into());
+            }
+            if self.verify_against_parent(cur, &mac)? {
+                return Ok(result.unwrap());
+            }
+            cur = self.tree.parent(cur).expect("untrusted anchor implies a parent");
+        }
+    }
+
+    /// Publish `mac` as the stored child-MAC of `node`, walking up through
+    /// untrusted ancestors until a cached ancestor (or the root) absorbs
+    /// the change. Keeps the invariant that the newest state of every leaf
+    /// is anchored in the EPC.
+    fn propagate_mac_up(&mut self, mut node: NodeId, mut mac: [u8; 16]) {
+        loop {
+            self.stats.propagations += 1;
+            match self.tree.parent(node) {
+                None => {
+                    self.tree.set_root(mac);
+                    return;
+                }
+                Some(parent) => {
+                    let slot = self.tree.slot_in_parent(node);
+                    if let Some(entry) = self.entries.get_mut(&parent) {
+                        self.enclave.access_epc(SLOT);
+                        entry.data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(&mac);
+                        entry.dirty = true;
+                        return;
+                    }
+                    // Parent uncached: update its untrusted bytes and keep
+                    // climbing. (The paper swaps the parent into the cache
+                    // instead; the MAC-computation count per level is
+                    // identical and this variant cannot recurse into
+                    // further evictions.)
+                    self.enclave.access_untrusted(SLOT);
+                    let node_size = self.tree.node_size();
+                    let mut bytes = self.tree.node(parent).to_vec();
+                    bytes[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(&mac);
+                    self.tree.write_node(parent, &bytes);
+                    self.enclave.access_untrusted(node_size);
+                    self.enclave.charge_mac(node_size);
+                    mac = self.tree.mac_of(parent);
+                    node = parent;
+                }
+            }
+        }
+    }
+
+    fn evict_one(&mut self) -> bool {
+        while let Some((id, stamp)) = self.queue.pop_front() {
+            let stale = match self.entries.get(&id) {
+                Some(e) => e.pinned || e.stamp != stamp,
+                None => true,
+            };
+            if stale {
+                continue;
+            }
+            let entry = self.entries.remove(&id).expect("checked above");
+            self.used_bytes -= self.entry_bytes;
+            self.stats.evictions += 1;
+            let node_size = self.tree.node_size();
+            if entry.dirty {
+                // Write back (plaintext unless the semantic optimization
+                // is disabled, in which case pay the encryption the
+                // hardware path would force) and publish the fresh MAC.
+                if !self.cfg.swap_without_encryption {
+                    self.enclave.charge_crypt(node_size);
+                }
+                self.enclave.access_untrusted(node_size);
+                self.tree.write_node(id, &entry.data);
+                self.stats.writebacks += 1;
+                self.enclave.charge_mac(node_size);
+                let mac = self.tree.mac_of_bytes(&entry.data);
+                self.propagate_mac_up(id, mac);
+            } else if self.cfg.skip_clean_writeback {
+                // Clean: untrusted copy already matches; discard.
+                self.stats.clean_discards += 1;
+            } else {
+                // Model EWB-style forced write-back of clean pages.
+                if !self.cfg.swap_without_encryption {
+                    self.enclave.charge_crypt(node_size);
+                }
+                self.enclave.access_untrusted(node_size);
+                self.tree.write_node(id, &entry.data);
+                self.stats.writebacks += 1;
+            }
+            return true;
+        }
+        false
+    }
+
+    fn insert_entry(&mut self, id: NodeId, data: Box<[u8]>, dirty: bool) {
+        while self.used_bytes + self.entry_bytes > self.cfg.capacity_bytes {
+            if !self.evict_one() {
+                return; // nothing evictable; serve uncached
+            }
+        }
+        self.tick += 1;
+        let stamp = self.tick;
+        self.enclave.access_epc(self.tree.node_size());
+        self.entries.insert(id, Entry { data, dirty, pinned: false, stamp });
+        self.queue.push_back((id, stamp));
+        self.used_bytes += self.entry_bytes;
+        self.stats.inserts += 1;
+    }
+
+    fn record_access(&mut self, hit: bool) {
+        self.window_accesses += 1;
+        if hit {
+            self.window_hits += 1;
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        if matches!(self.cfg.swap_mode, SwapMode::Auto)
+            && self.swapping
+            && self.window_accesses >= self.cfg.stop_swap_window
+        {
+            let ratio = self.window_hits as f64 / self.window_accesses as f64;
+            if ratio < self.cfg.stop_swap_threshold {
+                // One cold window is normal after a working-set shift;
+                // only a sustained low hit ratio (a genuinely uniform
+                // access pattern) disables swapping.
+                self.low_windows += 1;
+                if self.low_windows >= 3 {
+                    self.stop_swapping();
+                }
+            } else {
+                self.low_windows = 0;
+            }
+            self.window_hits = 0;
+            self.window_accesses = 0;
+        }
+    }
+
+    /// Stop swapping: flush swappable entries and extend level pinning as
+    /// far as capacity allows (§IV-E "Stopping Swap").
+    fn stop_swapping(&mut self) {
+        self.swapping = false;
+        // Evict everything swappable (dirty state is propagated).
+        while self.evict_one() {}
+        self.queue.clear();
+        self.extend_pinning();
+    }
+
+    fn touch_policy(&mut self, id: NodeId) {
+        if self.cfg.policy == EvictionPolicy::Lru {
+            // The recency update is real work in EPC memory — the "hit
+            // penalty" Figure 12 measures.
+            self.enclave.charge(self.enclave.cost().lru_hit_update);
+            if let Some(entry) = self.entries.get_mut(&id) {
+                if !entry.pinned {
+                    self.tick += 1;
+                    entry.stamp = self.tick;
+                    self.queue.push_back((id, self.tick));
+                }
+            }
+        }
+    }
+
+    // --- public API --------------------------------------------------------
+
+    /// Fetch the trusted value of counter `idx`, verifying as needed.
+    pub fn get_counter(&mut self, idx: u64) -> Result<[u8; SLOT], IntegrityViolation> {
+        let (leaf, slot) = self.tree.locate_counter(idx);
+        self.enclave.charge(self.enclave.cost().cache_lookup);
+        if let Some(entry) = self.entries.get(&leaf) {
+            self.enclave.access_epc(SLOT);
+            let mut ctr = [0u8; SLOT];
+            ctr.copy_from_slice(&entry.data[slot * SLOT..(slot + 1) * SLOT]);
+            self.touch_policy(leaf);
+            self.record_access(true);
+            return Ok(ctr);
+        }
+        let bytes = match self.verify_and_fetch(leaf) {
+            Ok(b) => b,
+            Err(e) => {
+                self.record_access(false);
+                return Err(e);
+            }
+        };
+        let mut ctr = [0u8; SLOT];
+        ctr.copy_from_slice(&bytes[slot * SLOT..(slot + 1) * SLOT]);
+        if self.swapping {
+            self.insert_entry(leaf, bytes, false);
+        }
+        self.record_access(false);
+        Ok(ctr)
+    }
+
+    /// Overwrite counter `idx` with `value`, maintaining the EPC anchor
+    /// invariant.
+    pub fn update_counter(&mut self, idx: u64, value: &[u8; SLOT]) -> Result<(), IntegrityViolation> {
+        let (leaf, slot) = self.tree.locate_counter(idx);
+        self.enclave.charge(self.enclave.cost().cache_lookup);
+        if self.entries.contains_key(&leaf) {
+            self.enclave.access_epc(SLOT);
+            let entry = self.entries.get_mut(&leaf).expect("checked");
+            entry.data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(value);
+            entry.dirty = true;
+            // A pinned dirty node is never evicted; it *is* the EPC anchor.
+            self.touch_policy(leaf);
+            self.record_access(true);
+            return Ok(());
+        }
+        let bytes = match self.verify_and_fetch(leaf) {
+            Ok(b) => b,
+            Err(e) => {
+                self.record_access(false);
+                return Err(e);
+            }
+        };
+        if self.swapping {
+            let mut data = bytes;
+            data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(value);
+            self.insert_entry(leaf, data, true);
+            self.record_access(false);
+            return Ok(());
+        }
+        // No swapping: update untrusted leaf in place and propagate the
+        // MAC up to the pinned anchor.
+        self.enclave.access_untrusted(SLOT);
+        let mut data = bytes.to_vec();
+        data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(value);
+        self.tree.write_node(leaf, &data);
+        self.enclave.charge_mac(self.tree.node_size());
+        let mac = self.tree.mac_of_bytes(&data);
+        self.propagate_mac_up(leaf, mac);
+        self.record_access(false);
+        Ok(())
+    }
+
+    /// Read-increment-write a counter, returning the **new** value. This
+    /// is the Put-path primitive: the counter is bumped before every
+    /// re-encryption so the CTR keystream never repeats.
+    pub fn bump_counter(&mut self, idx: u64) -> Result<[u8; SLOT], IntegrityViolation> {
+        let mut ctr = self.get_counter(idx)?;
+        aria_crypto::increment_counter(&mut ctr);
+        // The leaf is cached after get_counter when swapping; the update
+        // below is then a pure cache write. Do not double-count the access
+        // in the hit-ratio window: account only the get above.
+        let (leaf, slot) = self.tree.locate_counter(idx);
+        if self.entries.contains_key(&leaf) {
+            self.enclave.access_epc(SLOT);
+            let entry = self.entries.get_mut(&leaf).expect("checked");
+            entry.data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(&ctr);
+            entry.dirty = true;
+        } else {
+            // Stop-swap path: write untrusted and propagate.
+            self.enclave.access_untrusted(SLOT);
+            let mut data = self.tree.node(leaf).to_vec();
+            data[slot * SLOT..(slot + 1) * SLOT].copy_from_slice(&ctr);
+            self.tree.write_node(leaf, &data);
+            self.enclave.charge_mac(self.tree.node_size());
+            let mac = self.tree.mac_of_bytes(&data);
+            self.propagate_mac_up(leaf, mac);
+        }
+        Ok(ctr)
+    }
+
+    /// Flush every swappable entry (write-backs + propagation), leaving
+    /// only pinned levels cached. After a flush the untrusted tree plus
+    /// root is fully self-consistent except under pinned dirty nodes.
+    pub fn flush(&mut self) {
+        while self.evict_one() {}
+        self.queue.clear();
+        // Also publish pinned dirty nodes so the untrusted tree + root is
+        // globally consistent (used by tests and by tenant shutdown).
+        let mut pinned_dirty: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pinned && e.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        // Lowest levels first so parents absorb child MACs before being
+        // written back themselves.
+        pinned_dirty.sort();
+        for id in pinned_dirty {
+            let data = {
+                let entry = self.entries.get_mut(&id).expect("pinned entry");
+                entry.dirty = false;
+                entry.data.clone()
+            };
+            self.enclave.access_untrusted(self.tree.node_size());
+            self.tree.write_node(id, &data);
+            self.enclave.charge_mac(self.tree.node_size());
+            let mac = self.tree.mac_of_bytes(&data);
+            // Propagation may re-dirty an upper pinned level; the sort
+            // guarantees we visit it afterwards and clean it again.
+            self.propagate_mac_up(id, mac);
+            if let Some(e) = self.entries.get_mut(&id) {
+                e.dirty = false;
+            }
+        }
+        // Clear any re-dirtied flags bottom-up one more time.
+        let redirty: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pinned && e.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        if !redirty.is_empty() {
+            self.flush();
+        }
+    }
+
+    // --- introspection ------------------------------------------------------
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Whether the cache is currently swapping nodes.
+    pub fn swapping(&self) -> bool {
+        self.swapping
+    }
+
+    /// The lowest pinned level (`height()` if nothing is pinned).
+    pub fn pinned_floor(&self) -> u32 {
+        self.pinned_floor
+    }
+
+    /// EPC bytes currently used by entries and metadata.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Configured capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.cfg.capacity_bytes
+    }
+
+    /// The underlying Merkle tree (untrusted state).
+    pub fn tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+
+    /// Attacker-side mutable access to the untrusted tree.
+    pub fn tree_mut_raw(&mut self) -> &mut MerkleTree {
+        &mut self.tree
+    }
+
+    /// The enclave costs are charged to.
+    pub fn enclave(&self) -> &Rc<Enclave> {
+        &self.enclave
+    }
+
+    /// Number of cached entries (pinned + swappable).
+    pub fn cached_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl Drop for SecureCache {
+    fn drop(&mut self) {
+        self.enclave.epc_free(self.cfg.capacity_bytes);
+    }
+}

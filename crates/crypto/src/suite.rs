@@ -1,0 +1,234 @@
+//! Pluggable cipher-suite abstraction used by every Aria component that
+//! encrypts or authenticates bytes.
+//!
+//! Two implementations are provided:
+//!
+//! * [`RealSuite`] — AES-128-CTR + AES-CMAC exactly as the paper's
+//!   implementation uses via the SGX SDK (`sgx_aes_ctr_encrypt`,
+//!   `sgx_rijndael128_cmac`). This is the default everywhere.
+//! * [`FastSuite`] — a keyed xorshift keystream and a keyed 128-bit
+//!   mixing MAC. Exercises the identical code paths (data really is
+//!   transformed, tampering really is detected by tag mismatch) but at a
+//!   fraction of the host-CPU cost; intended only for the largest
+//!   benchmark sweeps. Reported throughput is unaffected by the choice
+//!   because the simulator charges crypto cycles from its cost model, not
+//!   from wall time. **Not cryptographically secure.**
+
+use crate::aes::Aes128;
+use crate::cmac::{CmacKey, MAC_LEN};
+use crate::ctr::ctr_crypt;
+
+/// A 16-byte authentication tag.
+pub type Mac = [u8; MAC_LEN];
+
+/// Symmetric encryption + authentication provider.
+///
+/// Encryption is CTR-style: `crypt` is its own inverse given the same
+/// counter block, and security relies on the caller never reusing a
+/// counter for different plaintexts (Aria increments the per-KV counter on
+/// every re-encryption).
+pub trait CipherSuite: Send + Sync {
+    /// Encrypt or decrypt `data` in place under the suite's encryption key
+    /// and the given 16-byte counter block.
+    fn crypt(&self, counter: &[u8; 16], data: &mut [u8]);
+
+    /// MAC the concatenation of `parts` under the suite's MAC key.
+    fn mac_parts(&self, parts: &[&[u8]]) -> Mac;
+
+    /// MAC a single contiguous message.
+    fn mac(&self, data: &[u8]) -> Mac {
+        self.mac_parts(&[data])
+    }
+
+    /// Verify a tag over the concatenation of `parts`.
+    fn verify_parts(&self, parts: &[&[u8]], tag: &Mac) -> bool {
+        self.mac_parts(parts) == *tag
+    }
+}
+
+/// Production suite: AES-128-CTR encryption + AES-CMAC authentication.
+pub struct RealSuite {
+    enc: Aes128,
+    mac: CmacKey,
+}
+
+impl std::fmt::Debug for RealSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealSuite").finish_non_exhaustive()
+    }
+}
+
+impl RealSuite {
+    /// Build from independent encryption and MAC keys.
+    pub fn new(enc_key: &[u8; 16], mac_key: &[u8; 16]) -> Self {
+        RealSuite { enc: Aes128::new(enc_key), mac: CmacKey::new(mac_key) }
+    }
+
+    /// Derive both keys from a single 16-byte master secret (domain
+    /// separated by encrypting two distinct constants).
+    pub fn from_master(master: &[u8; 16]) -> Self {
+        let kdf = Aes128::new(master);
+        let enc_key = kdf.encrypt(&[0x01; 16]);
+        let mac_key = kdf.encrypt(&[0x02; 16]);
+        RealSuite::new(&enc_key, &mac_key)
+    }
+}
+
+impl CipherSuite for RealSuite {
+    fn crypt(&self, counter: &[u8; 16], data: &mut [u8]) {
+        ctr_crypt(&self.enc, counter, data);
+    }
+
+    fn mac_parts(&self, parts: &[&[u8]]) -> Mac {
+        self.mac.mac_parts(parts)
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Harness-only suite: keyed xorshift keystream + keyed mixing MAC.
+///
+/// See the module docs for when this is appropriate. It preserves every
+/// behavioural property the store relies on — deterministic keystream per
+/// (key, counter), ciphertext differs from plaintext, any bit flip in the
+/// message flips the tag with overwhelming probability — but offers no
+/// cryptographic security.
+#[derive(Debug, Clone)]
+pub struct FastSuite {
+    enc_seed: u64,
+    mac_seed: u64,
+}
+
+impl FastSuite {
+    /// Build from a 16-byte master secret.
+    pub fn from_master(master: &[u8; 16]) -> Self {
+        let a = u64::from_le_bytes(master[..8].try_into().unwrap());
+        let b = u64::from_le_bytes(master[8..].try_into().unwrap());
+        FastSuite { enc_seed: splitmix64(a ^ 0xa5a5), mac_seed: splitmix64(b ^ 0x5a5a) }
+    }
+}
+
+impl CipherSuite for FastSuite {
+    fn crypt(&self, counter: &[u8; 16], data: &mut [u8]) {
+        let c0 = u64::from_le_bytes(counter[..8].try_into().unwrap());
+        let c1 = u64::from_le_bytes(counter[8..].try_into().unwrap());
+        let mut state = splitmix64(splitmix64(self.enc_seed ^ c0) ^ c1);
+        let mut chunks = data.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            state = splitmix64(state);
+            let ks = state.to_le_bytes();
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            state = splitmix64(state);
+            let ks = state.to_le_bytes();
+            for (d, k) in tail.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    fn mac_parts(&self, parts: &[&[u8]]) -> Mac {
+        // 2x64-bit keyed multiply-mix over all bytes; length-prefixed per
+        // part so ("ab","c") and ("a","bc") differ.
+        let mut h0 = self.mac_seed;
+        let mut h1 = self.mac_seed ^ 0x6a09_e667_f3bc_c908;
+        let mut absorb = |word: u64| {
+            h0 = splitmix64(h0 ^ word);
+            h1 = h1.rotate_left(29) ^ splitmix64(word.wrapping_add(h1));
+        };
+        for part in parts {
+            absorb(part.len() as u64 ^ 0xdead_beef);
+            let mut chunks = part.chunks_exact(8);
+            for chunk in &mut chunks {
+                absorb(u64::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let mut last = [0u8; 8];
+                last[..rem.len()].copy_from_slice(rem);
+                absorb(u64::from_le_bytes(last) ^ 0x0101_0101);
+            }
+        }
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&splitmix64(h0 ^ h1).to_le_bytes());
+        out[8..].copy_from_slice(&splitmix64(h1.rotate_left(17) ^ h0).to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suites() -> Vec<Box<dyn CipherSuite>> {
+        vec![
+            Box::new(RealSuite::from_master(&[0x11; 16])),
+            Box::new(FastSuite::from_master(&[0x11; 16])),
+        ]
+    }
+
+    #[test]
+    fn crypt_roundtrip_both_suites() {
+        for suite in suites() {
+            for len in [0usize, 1, 7, 8, 9, 16, 33, 257] {
+                let original: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let mut data = original.clone();
+                suite.crypt(&[5u8; 16], &mut data);
+                if len > 0 {
+                    assert_ne!(data, original);
+                }
+                suite.crypt(&[5u8; 16], &mut data);
+                assert_eq!(data, original);
+            }
+        }
+    }
+
+    #[test]
+    fn mac_detects_tampering_both_suites() {
+        for suite in suites() {
+            let msg = b"the quick brown fox jumps over the lazy dog".to_vec();
+            let tag = suite.mac(&msg);
+            for i in 0..msg.len() {
+                let mut bad = msg.clone();
+                bad[i] ^= 0x40;
+                assert_ne!(suite.mac(&bad), tag);
+            }
+        }
+    }
+
+    #[test]
+    fn mac_parts_boundary_sensitivity() {
+        for suite in suites() {
+            // Part boundaries must be authenticated (length prefixing for
+            // FastSuite; CMAC concatenation is handled by the store always
+            // using fixed-width fields, but FastSuite hardens anyway).
+            let t1 = suite.mac_parts(&[b"ab", b"c"]);
+            let t2 = suite.mac_parts(&[b"a", b"bc"]);
+            // RealSuite concatenates, so only FastSuite distinguishes; both
+            // must at minimum be deterministic.
+            assert_eq!(t1, suite.mac_parts(&[b"ab", b"c"]));
+            assert_eq!(t2, suite.mac_parts(&[b"a", b"bc"]));
+        }
+    }
+
+    #[test]
+    fn different_counters_differ() {
+        for suite in suites() {
+            let mut a = vec![0u8; 64];
+            let mut b = vec![0u8; 64];
+            suite.crypt(&[0u8; 16], &mut a);
+            suite.crypt(&[1u8; 16], &mut b);
+            assert_ne!(a, b);
+        }
+    }
+}

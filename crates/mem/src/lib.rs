@@ -1,0 +1,540 @@
+//! Untrusted-memory management for the Aria secure KV store.
+//!
+//! Everything the store keeps *outside* the enclave — encrypted KV
+//! entries, index nodes, ShieldStore buckets — lives in a [`UserHeap`]:
+//! the paper's user-space heap allocator (§V-B) that eliminates an OCALL
+//! per untrusted allocation.
+//!
+//! Layout follows the paper: the untrusted pool is cut into 4 MB chunks;
+//! each chunk is cut into equal-size data blocks (one size class per
+//! chunk); a per-chunk occupation **bitmap lives in the EPC** (so the
+//! allocator metadata cannot be corrupted from outside), while the **free
+//! list lives in untrusted memory** (to save EPC). Chunk bases are 4 MB
+//! aligned in the paper so a block's bitmap slot is computable from its
+//! address; our [`UPtr`] handles encode `(chunk, offset)` directly, which
+//! models the same O(1) lookup.
+//!
+//! The allocator charges simulated cycle costs through the shared
+//! [`Enclave`]: bitmap updates are EPC accesses, free-list operations are
+//! untrusted accesses, and — in [`AllocStrategy::Ocall`] mode, used by the
+//! `AriaBase` ablation of Figure 12 — every allocation additionally pays
+//! an enclave exit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+use aria_sim::Enclave;
+
+/// Size of an untrusted memory chunk (4 MB, as in the paper).
+pub const CHUNK_SIZE: usize = 4 << 20;
+
+/// Size of one free-list entry in untrusted memory (paper §VI-D4).
+pub const FREELIST_ENTRY_BYTES: usize = 16;
+
+/// Block size classes. KV entries (header + encrypted payload + MAC) fall
+/// in 32 B – 64 KB; anything larger gets dedicated chunks.
+pub const SIZE_CLASSES: [usize; 12] =
+    [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+
+/// Handle to a block of untrusted memory.
+///
+/// Untrusted pointers are data, not references: they can be freely copied
+/// into untrusted structures (index nodes, entry headers) and are validated
+/// against the in-EPC bitmap when they matter for safety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UPtr {
+    chunk: u32,
+    offset: u32,
+}
+
+impl UPtr {
+    /// The null handle.
+    pub const NULL: UPtr = UPtr { chunk: u32::MAX, offset: u32::MAX };
+
+    /// Whether this is the null handle.
+    pub fn is_null(&self) -> bool {
+        *self == UPtr::NULL
+    }
+
+    /// Pack into 8 bytes for embedding in untrusted structures.
+    pub fn to_bytes(self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[..4].copy_from_slice(&self.chunk.to_le_bytes());
+        b[4..].copy_from_slice(&self.offset.to_le_bytes());
+        b
+    }
+
+    /// Unpack from 8 bytes.
+    pub fn from_bytes(b: &[u8; 8]) -> Self {
+        UPtr {
+            chunk: u32::from_le_bytes(b[..4].try_into().unwrap()),
+            offset: u32::from_le_bytes(b[4..].try_into().unwrap()),
+        }
+    }
+}
+
+/// How allocations are performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// The paper's user-space allocator: no enclave crossing.
+    UserSpace,
+    /// Naive scheme: every allocation OCALLs out to `malloc` (the
+    /// `AriaBase` configuration of Figure 12).
+    Ocall,
+}
+
+/// Errors surfaced by the heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapError {
+    /// The in-EPC bitmap contradicts the untrusted free list — an attack
+    /// on allocator metadata (paper §V-B: "If it is used, we assert that
+    /// an attack happens").
+    MetadataAttack {
+        /// The inconsistent handle.
+        ptr: UPtr,
+    },
+    /// A handle did not refer to a live allocation.
+    InvalidPointer {
+        /// The offending handle.
+        ptr: UPtr,
+    },
+    /// EPC budget exhausted while growing allocator metadata.
+    EpcExhausted,
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::MetadataAttack { ptr } => {
+                write!(f, "allocator metadata attack detected at {ptr:?}")
+            }
+            HeapError::InvalidPointer { ptr } => write!(f, "invalid untrusted pointer {ptr:?}"),
+            HeapError::EpcExhausted => write!(f, "EPC exhausted while growing allocator metadata"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+struct Chunk {
+    data: Vec<u8>,
+    /// Block size for this chunk; 0 for a dedicated oversize chunk.
+    block_size: usize,
+    /// Occupation bitmap (conceptually in the EPC).
+    bitmap: Vec<u64>,
+    /// Next never-carved block index.
+    next_fresh: usize,
+    live_blocks: usize,
+}
+
+impl Chunk {
+    fn new(block_size: usize) -> Self {
+        let blocks = CHUNK_SIZE.checked_div(block_size).unwrap_or(1).max(1);
+        Chunk {
+            data: vec![0u8; CHUNK_SIZE],
+            block_size,
+            bitmap: vec![0u64; blocks.div_ceil(64)],
+            next_fresh: 0,
+            live_blocks: 0,
+        }
+    }
+
+    fn bit(&self, block: usize) -> bool {
+        (self.bitmap[block / 64] >> (block % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, block: usize, value: bool) {
+        if value {
+            self.bitmap[block / 64] |= 1 << (block % 64);
+        } else {
+            self.bitmap[block / 64] &= !(1 << (block % 64));
+        }
+    }
+}
+
+/// Per-size-class allocator state.
+#[derive(Default)]
+struct SizeClass {
+    /// Free list (conceptually a circular buffer in untrusted memory).
+    free: Vec<UPtr>,
+    /// Chunk with fresh (never carved) blocks remaining.
+    open_chunk: Option<usize>,
+}
+
+/// Allocation statistics for the memory-consumption analysis (§VI-D4).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Bytes in live allocations (block-size granularity).
+    pub live_bytes: usize,
+    /// Number of live allocations.
+    pub live_blocks: usize,
+    /// Total untrusted bytes reserved from the OS (chunks).
+    pub chunk_bytes: usize,
+    /// Bytes of in-EPC bitmap metadata.
+    pub epc_bitmap_bytes: usize,
+    /// Bytes of untrusted free-list entries.
+    pub freelist_bytes: usize,
+}
+
+/// The user-space untrusted heap.
+pub struct UserHeap {
+    enclave: Rc<Enclave>,
+    strategy: AllocStrategy,
+    chunks: Vec<Chunk>,
+    classes: Vec<SizeClass>,
+    live_bytes: usize,
+    live_blocks: usize,
+}
+
+impl UserHeap {
+    /// Create a heap charging costs to `enclave`.
+    pub fn new(enclave: Rc<Enclave>, strategy: AllocStrategy) -> Self {
+        UserHeap {
+            enclave,
+            strategy,
+            chunks: Vec::new(),
+            classes: (0..SIZE_CLASSES.len()).map(|_| SizeClass::default()).collect(),
+            live_bytes: 0,
+            live_blocks: 0,
+        }
+    }
+
+    fn class_for(size: usize) -> Option<usize> {
+        SIZE_CLASSES.iter().position(|&c| c >= size)
+    }
+
+    /// The block size class two lengths would allocate from; two lengths
+    /// in the same class can share a block (in-place update).
+    pub fn same_block_class(a: usize, b: usize) -> bool {
+        Self::class_for(a) == Self::class_for(b)
+    }
+
+    fn new_chunk(&mut self, block_size: usize) -> Result<usize, HeapError> {
+        let chunk = Chunk::new(block_size);
+        // Bitmap lives in the EPC.
+        self.enclave
+            .epc_alloc(chunk.bitmap.len() * 8)
+            .map_err(|_| HeapError::EpcExhausted)?;
+        self.chunks.push(chunk);
+        Ok(self.chunks.len() - 1)
+    }
+
+    /// Allocate a block of at least `size` bytes.
+    pub fn alloc(&mut self, size: usize) -> Result<UPtr, HeapError> {
+        if self.strategy == AllocStrategy::Ocall {
+            // Leaving the enclave to call malloc, then re-entering.
+            self.enclave.ocall();
+        }
+        let Some(class_idx) = Self::class_for(size) else {
+            // Oversize: dedicated chunk(s). Rare in a KV store (paper §V-B).
+            let chunk_idx = self.new_chunk(0)?;
+            self.chunks[chunk_idx].set_bit(0, true);
+            self.chunks[chunk_idx].live_blocks = 1;
+            self.live_bytes += CHUNK_SIZE;
+            self.live_blocks += 1;
+            return Ok(UPtr { chunk: chunk_idx as u32, offset: 0 });
+        };
+        let block_size = SIZE_CLASSES[class_idx];
+
+        // 1. Try the untrusted free list.
+        if let Some(ptr) = self.classes[class_idx].free.pop() {
+            self.enclave.access_untrusted(FREELIST_ENTRY_BYTES);
+            // Validate against the in-EPC bitmap: a used block coming off
+            // the free list means the (untrusted) list was tampered with.
+            let chunk = &mut self.chunks[ptr.chunk as usize];
+            let block = ptr.offset as usize / chunk.block_size;
+            self.enclave.access_epc(8);
+            if chunk.bit(block) {
+                return Err(HeapError::MetadataAttack { ptr });
+            }
+            chunk.set_bit(block, true);
+            chunk.live_blocks += 1;
+            self.live_bytes += block_size;
+            self.live_blocks += 1;
+            return Ok(ptr);
+        }
+
+        // 2. Carve a fresh block from the open chunk for this class.
+        let chunk_idx = match self.classes[class_idx].open_chunk {
+            Some(idx) if self.chunks[idx].next_fresh < CHUNK_SIZE / block_size => idx,
+            _ => {
+                let idx = self.new_chunk(block_size)?;
+                self.classes[class_idx].open_chunk = Some(idx);
+                idx
+            }
+        };
+        let chunk = &mut self.chunks[chunk_idx];
+        let block = chunk.next_fresh;
+        chunk.next_fresh += 1;
+        chunk.set_bit(block, true);
+        chunk.live_blocks += 1;
+        self.enclave.access_epc(8);
+        self.live_bytes += block_size;
+        self.live_blocks += 1;
+        Ok(UPtr { chunk: chunk_idx as u32, offset: (block * block_size) as u32 })
+    }
+
+    /// Free a previously allocated block.
+    pub fn free(&mut self, ptr: UPtr) -> Result<(), HeapError> {
+        let chunk = self
+            .chunks
+            .get_mut(ptr.chunk as usize)
+            .ok_or(HeapError::InvalidPointer { ptr })?;
+        if chunk.block_size == 0 {
+            // Dedicated oversize chunk.
+            if !chunk.bit(0) {
+                return Err(HeapError::InvalidPointer { ptr });
+            }
+            chunk.set_bit(0, false);
+            chunk.live_blocks = 0;
+            self.live_bytes -= CHUNK_SIZE;
+            self.live_blocks -= 1;
+            return Ok(());
+        }
+        if !(ptr.offset as usize).is_multiple_of(chunk.block_size) {
+            return Err(HeapError::InvalidPointer { ptr });
+        }
+        let block = ptr.offset as usize / chunk.block_size;
+        self.enclave.access_epc(8);
+        if !chunk.bit(block) {
+            return Err(HeapError::InvalidPointer { ptr });
+        }
+        chunk.set_bit(block, false);
+        chunk.live_blocks -= 1;
+        let block_size = chunk.block_size;
+        self.live_bytes -= block_size;
+        self.live_blocks -= 1;
+        let class_idx = Self::class_for(block_size).expect("block size is a class");
+        self.classes[class_idx].free.push(ptr);
+        self.enclave.access_untrusted(FREELIST_ENTRY_BYTES);
+        Ok(())
+    }
+
+    fn check_range(&self, ptr: UPtr, len: usize) -> Result<&Chunk, HeapError> {
+        let chunk = self.chunks.get(ptr.chunk as usize).ok_or(HeapError::InvalidPointer { ptr })?;
+        let end = ptr.offset as usize + len;
+        if end > CHUNK_SIZE {
+            return Err(HeapError::InvalidPointer { ptr });
+        }
+        Ok(chunk)
+    }
+
+    /// Read `len` bytes at `ptr`, charging an untrusted access.
+    pub fn read(&self, ptr: UPtr, len: usize) -> Result<&[u8], HeapError> {
+        let chunk = self.check_range(ptr, len)?;
+        self.enclave.access_untrusted(len);
+        Ok(&chunk.data[ptr.offset as usize..ptr.offset as usize + len])
+    }
+
+    /// Read `len` bytes at `ptr + offset`, charging an untrusted access
+    /// of just `len` bytes (partial-entry reads, e.g. a trailing MAC).
+    pub fn read_at(&self, ptr: UPtr, offset: usize, len: usize) -> Result<&[u8], HeapError> {
+        let chunk = self.check_range(ptr, offset + len)?;
+        self.enclave.access_untrusted(len);
+        let start = ptr.offset as usize + offset;
+        Ok(&chunk.data[start..start + len])
+    }
+
+    /// Write bytes at `ptr`, charging an untrusted access.
+    pub fn write(&mut self, ptr: UPtr, bytes: &[u8]) -> Result<(), HeapError> {
+        self.check_range(ptr, bytes.len())?;
+        self.enclave.access_untrusted(bytes.len());
+        let chunk = &mut self.chunks[ptr.chunk as usize];
+        chunk.data[ptr.offset as usize..ptr.offset as usize + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Raw attacker-side access: read or modify untrusted bytes without any
+    /// cost accounting or validation. This is how the attack-injection
+    /// tests corrupt, replay and redirect data "from outside the enclave".
+    pub fn raw_mut(&mut self, ptr: UPtr, len: usize) -> Result<&mut [u8], HeapError> {
+        self.check_range(ptr, len)?;
+        let chunk = &mut self.chunks[ptr.chunk as usize];
+        Ok(&mut chunk.data[ptr.offset as usize..ptr.offset as usize + len])
+    }
+
+    /// Allocation strategy in use.
+    pub fn strategy(&self) -> AllocStrategy {
+        self.strategy
+    }
+
+    /// The enclave this heap charges.
+    pub fn enclave(&self) -> &Rc<Enclave> {
+        &self.enclave
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            live_bytes: self.live_bytes,
+            live_blocks: self.live_blocks,
+            chunk_bytes: self.chunks.len() * CHUNK_SIZE,
+            epc_bitmap_bytes: self.chunks.iter().map(|c| c.bitmap.len() * 8).sum(),
+            freelist_bytes: self
+                .classes
+                .iter()
+                .map(|c| c.free.len() * FREELIST_ENTRY_BYTES)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_sim::CostModel;
+
+    fn heap(strategy: AllocStrategy) -> UserHeap {
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
+        UserHeap::new(enclave, strategy)
+    }
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(100).unwrap();
+        h.write(p, b"hello untrusted world").unwrap();
+        assert_eq!(h.read(p, 21).unwrap(), b"hello untrusted world");
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let ptrs: Vec<UPtr> = (0..100).map(|_| h.alloc(64).unwrap()).collect();
+        for (i, p) in ptrs.iter().enumerate() {
+            h.write(*p, &[i as u8; 64]).unwrap();
+        }
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(h.read(*p, 64).unwrap(), &[i as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        h.free(p).unwrap();
+        let q = h.alloc(64).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        h.free(p).unwrap();
+        assert!(matches!(h.free(p), Err(HeapError::InvalidPointer { .. })));
+    }
+
+    #[test]
+    fn tampered_free_list_detected() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        // Attacker injects a live block into the untrusted free list.
+        h.classes[UserHeap::class_for(64).unwrap()].free.push(p);
+        assert!(matches!(h.alloc(64), Err(HeapError::MetadataAttack { .. })));
+    }
+
+    #[test]
+    fn ocall_strategy_charges_crossing() {
+        let mut h = heap(AllocStrategy::Ocall);
+        let before = h.enclave().snapshot().ocalls;
+        h.alloc(64).unwrap();
+        assert_eq!(h.enclave().snapshot().ocalls, before + 1);
+
+        let mut h2 = heap(AllocStrategy::UserSpace);
+        h2.alloc(64).unwrap();
+        assert_eq!(h2.enclave().snapshot().ocalls, 0);
+    }
+
+    #[test]
+    fn oversize_allocation_gets_dedicated_chunk() {
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
+        let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
+        let p = h.alloc(CHUNK_SIZE + 1).unwrap();
+        h.write(p, &[0xab; 100]).unwrap();
+        assert_eq!(h.stats().live_bytes, CHUNK_SIZE);
+        h.free(p).unwrap();
+        assert_eq!(h.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn bitmap_lives_in_epc() {
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
+        let mut h = UserHeap::new(Rc::clone(&enclave), AllocStrategy::UserSpace);
+        assert_eq!(enclave.epc_used(), 0);
+        h.alloc(64).unwrap();
+        // One 4 MB chunk of 64 B blocks = 65536 blocks = 8 KB of bitmap.
+        assert_eq!(enclave.epc_used(), 8192);
+    }
+
+    #[test]
+    fn out_of_range_read_rejected() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        assert!(h.read(p, CHUNK_SIZE + 1).is_err());
+        assert!(h.read(UPtr { chunk: 99, offset: 0 }, 8).is_err());
+    }
+
+    #[test]
+    fn uptr_byte_roundtrip() {
+        let p = UPtr { chunk: 3, offset: 12345 };
+        assert_eq!(UPtr::from_bytes(&p.to_bytes()), p);
+        assert!(UPtr::from_bytes(&UPtr::NULL.to_bytes()).is_null());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use aria_sim::CostModel;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random alloc/free interleavings: no double allocation of a live
+        /// block, frees always succeed for live blocks, and accounting
+        /// balances at the end.
+        #[test]
+        fn alloc_free_model(ops in proptest::collection::vec((any::<bool>(), 1usize..2000), 1..300)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
+            let mut live: Vec<UPtr> = Vec::new();
+            let mut seen_live: std::collections::HashSet<UPtr> = std::collections::HashSet::new();
+            for (is_alloc, size) in ops {
+                if is_alloc || live.is_empty() {
+                    let p = h.alloc(size).unwrap();
+                    prop_assert!(seen_live.insert(p), "live block handed out twice: {:?}", p);
+                    live.push(p);
+                } else {
+                    let p = live.swap_remove(size % live.len());
+                    seen_live.remove(&p);
+                    h.free(p).unwrap();
+                }
+            }
+            for p in live.drain(..) {
+                h.free(p).unwrap();
+            }
+            prop_assert_eq!(h.stats().live_bytes, 0);
+            prop_assert_eq!(h.stats().live_blocks, 0);
+        }
+
+        /// Writes through distinct live pointers never clobber each other.
+        #[test]
+        fn no_aliasing(count in 1usize..60, sizes in proptest::collection::vec(1usize..512, 60)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
+            let ptrs: Vec<(UPtr, usize)> = (0..count)
+                .map(|i| { let s = sizes[i]; (h.alloc(s).unwrap(), s) })
+                .collect();
+            for (i, (p, s)) in ptrs.iter().enumerate() {
+                h.write(*p, &vec![i as u8; *s]).unwrap();
+            }
+            for (i, (p, s)) in ptrs.iter().enumerate() {
+                let expected = vec![i as u8; *s];
+                prop_assert_eq!(h.read(*p, *s).unwrap(), expected.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Flat N-ary Merkle tree over the encryption-counter area (paper §IV-D,
+//! Figure 5).
+//!
+//! Aria protects each KV pair with a per-pair encryption counter; the
+//! counters themselves are protected against replay by a Merkle tree whose
+//! *leaf nodes are blocks of counters* and whose inner nodes are blocks of
+//! MACs, all stored in contiguous untrusted memory, one flat array per
+//! level. Only the 16-byte root MAC lives in the enclave.
+//!
+//! * Each node is `arity x 16` bytes: a leaf node packs `arity` 16-byte
+//!   counters; an inner node packs the `arity` MACs of its children. The
+//!   MAC input length therefore equals the node size — a larger arity
+//!   flattens the tree (fewer verification levels) at the price of longer
+//!   MAC inputs and larger swap units (the Figure 15 trade-off).
+//! * The address of a node's parent and its slot within the parent are
+//!   pure arithmetic on the node index, matching the paper's
+//!   contiguous-layout optimization (no per-node pointers; hardware
+//!   prefetch friendly).
+//!
+//! This crate owns the *untrusted* state of the tree and the pure
+//! structure/MAC arithmetic. Cycle-cost charging and the caching of nodes
+//! inside the EPC are the Secure Cache's job (`aria-cache`); the
+//! [`MerkleTree::verify_path_plain`] reference walk here is used by tests
+//! and by initialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+use aria_crypto::{CipherSuite, Mac};
+
+/// Bytes per counter and per MAC.
+pub const SLOT: usize = 16;
+
+/// Identifies one Merkle-tree node: `level` 0 is the counter (leaf) level,
+/// `level = height - 1` is the single top node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Tree level, counting from the leaves.
+    pub level: u32,
+    /// Node index within the level.
+    pub index: u64,
+}
+
+/// Result of verifying a node against its parent chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verification {
+    /// MAC chain checked out.
+    Ok,
+    /// A node's MAC did not match the one stored in its parent.
+    Mismatch {
+        /// The node whose MAC failed.
+        node: NodeId,
+    },
+}
+
+/// A flat N-ary Merkle tree in (simulated) untrusted memory.
+pub struct MerkleTree {
+    arity: usize,
+    node_size: usize,
+    num_counters: u64,
+    /// `levels[l]` is the packed node array of level `l`.
+    levels: Vec<Vec<u8>>,
+    /// Node count per level.
+    level_nodes: Vec<u64>,
+    /// The root MAC (conceptually inside the enclave).
+    root: Mac,
+    suite: Rc<dyn CipherSuite>,
+}
+
+impl MerkleTree {
+    /// Build and securely initialize a tree covering `num_counters`
+    /// counters with the given branching factor.
+    ///
+    /// Initialization follows the paper: every counter gets a distinct
+    /// initial value, then MACs are computed bottom-up and the final root
+    /// is retained in the enclave. (The paper seeds counters randomly
+    /// inside the enclave; we derive them from `seed` so experiments are
+    /// reproducible.)
+    pub fn new(num_counters: u64, arity: usize, suite: Rc<dyn CipherSuite>, seed: u64) -> Self {
+        assert!(arity >= 2, "Merkle tree arity must be at least 2");
+        assert!(num_counters > 0, "Merkle tree must cover at least one counter");
+        let node_size = arity * SLOT;
+
+        // Level sizes: leaves cover the counters, then shrink by `arity`
+        // until a single node remains.
+        let mut level_nodes = vec![num_counters.div_ceil(arity as u64)];
+        while *level_nodes.last().unwrap() > 1 {
+            let next = level_nodes.last().unwrap().div_ceil(arity as u64);
+            level_nodes.push(next);
+        }
+
+        let mut levels: Vec<Vec<u8>> = level_nodes
+            .iter()
+            .map(|&n| vec![0u8; n as usize * node_size])
+            .collect();
+
+        // Counter initialization: unique per-slot values derived from the
+        // seed (splitmix-style), so no (key, counter) pair ever repeats
+        // across counters.
+        let leaf_bytes = &mut levels[0];
+        for (i, chunk) in leaf_bytes.chunks_exact_mut(SLOT).enumerate() {
+            let mut x = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            chunk[..8].copy_from_slice(&x.to_le_bytes());
+            chunk[8..].copy_from_slice(&(i as u64).to_le_bytes());
+        }
+
+        let mut tree = MerkleTree {
+            arity,
+            node_size,
+            num_counters,
+            levels,
+            level_nodes,
+            root: [0u8; 16],
+            suite,
+        };
+        tree.rebuild();
+        tree
+    }
+
+    /// Recompute every inner node and the root from the current leaf
+    /// contents (used at initialization and by tests after direct edits).
+    pub fn rebuild(&mut self) {
+        for level in 0..self.levels.len() - 1 {
+            for index in 0..self.level_nodes[level] {
+                let mac = self.mac_of(NodeId { level: level as u32, index });
+                self.store_child_mac_internal(level + 1, index, &mac);
+            }
+        }
+        let top = NodeId { level: (self.levels.len() - 1) as u32, index: 0 };
+        self.root = self.mac_of(top);
+    }
+
+    fn store_child_mac_internal(&mut self, parent_level: usize, child_index: u64, mac: &Mac) {
+        let parent_index = child_index / self.arity as u64;
+        let slot = (child_index % self.arity as u64) as usize;
+        let off = parent_index as usize * self.node_size + slot * SLOT;
+        self.levels[parent_level][off..off + SLOT].copy_from_slice(mac);
+    }
+
+    // --- geometry ---------------------------------------------------------
+
+    /// Branching factor.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Bytes per node (= MAC input length).
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Number of levels including the leaf level.
+    pub fn height(&self) -> u32 {
+        self.levels.len() as u32
+    }
+
+    /// Counters covered by the tree.
+    pub fn num_counters(&self) -> u64 {
+        self.num_counters
+    }
+
+    /// Nodes in `level`.
+    pub fn nodes_in_level(&self, level: u32) -> u64 {
+        self.level_nodes[level as usize]
+    }
+
+    /// Bytes occupied by each level (leaf level first).
+    pub fn level_bytes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.len()).collect()
+    }
+
+    /// Total untrusted bytes of the tree (counters + inner nodes).
+    pub fn total_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// The leaf node and slot holding counter `idx`.
+    pub fn locate_counter(&self, idx: u64) -> (NodeId, usize) {
+        debug_assert!(idx < self.num_counters);
+        (NodeId { level: 0, index: idx / self.arity as u64 }, (idx % self.arity as u64) as usize)
+    }
+
+    /// Parent of `node`; `None` for the top node.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if node.level as usize == self.levels.len() - 1 {
+            None
+        } else {
+            Some(NodeId { level: node.level + 1, index: node.index / self.arity as u64 })
+        }
+    }
+
+    /// Slot of `node` within its parent.
+    pub fn slot_in_parent(&self, node: NodeId) -> usize {
+        (node.index % self.arity as u64) as usize
+    }
+
+    /// Whether `node` is the single top node.
+    pub fn is_top(&self, node: NodeId) -> bool {
+        node.level as usize == self.levels.len() - 1
+    }
+
+    // --- node access --------------------------------------------------------
+
+    /// Raw bytes of a node in untrusted memory.
+    pub fn node(&self, id: NodeId) -> &[u8] {
+        let off = id.index as usize * self.node_size;
+        &self.levels[id.level as usize][off..off + self.node_size]
+    }
+
+    /// Overwrite a node in untrusted memory (Secure Cache write-back, or
+    /// attacker).
+    pub fn write_node(&mut self, id: NodeId, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.node_size);
+        let off = id.index as usize * self.node_size;
+        self.levels[id.level as usize][off..off + self.node_size].copy_from_slice(bytes);
+    }
+
+    /// Mutable attacker-side view of a node (no verification, no costs).
+    pub fn node_mut_raw(&mut self, id: NodeId) -> &mut [u8] {
+        let off = id.index as usize * self.node_size;
+        &mut self.levels[id.level as usize][off..off + self.node_size]
+    }
+
+    /// Compute the MAC of a node's current untrusted bytes.
+    pub fn mac_of(&self, id: NodeId) -> Mac {
+        self.suite.mac(self.node(id))
+    }
+
+    /// Compute the MAC of caller-provided node bytes (e.g., a cached copy
+    /// being evicted).
+    pub fn mac_of_bytes(&self, bytes: &[u8]) -> Mac {
+        debug_assert_eq!(bytes.len(), self.node_size);
+        self.suite.mac(bytes)
+    }
+
+    /// The MAC of child `slot` as stored in the untrusted bytes of the
+    /// parent node `parent`.
+    pub fn stored_child_mac(&self, parent: NodeId, slot: usize) -> Mac {
+        let node = self.node(parent);
+        let mut mac = [0u8; SLOT];
+        mac.copy_from_slice(&node[slot * SLOT..(slot + 1) * SLOT]);
+        mac
+    }
+
+    /// Read counter `idx` from untrusted memory (caller must have verified
+    /// the leaf's integrity first).
+    pub fn counter_bytes(&self, idx: u64) -> [u8; SLOT] {
+        let (leaf, slot) = self.locate_counter(idx);
+        let node = self.node(leaf);
+        let mut ctr = [0u8; SLOT];
+        ctr.copy_from_slice(&node[slot * SLOT..(slot + 1) * SLOT]);
+        ctr
+    }
+
+    // --- root ----------------------------------------------------------------
+
+    /// The enclave-resident root MAC.
+    pub fn root(&self) -> Mac {
+        self.root
+    }
+
+    /// Replace the root (Secure Cache updates it when the top node's
+    /// content changes).
+    pub fn set_root(&mut self, mac: Mac) {
+        self.root = mac;
+    }
+
+    /// The cipher suite the tree MACs with.
+    pub fn suite(&self) -> &Rc<dyn CipherSuite> {
+        &self.suite
+    }
+
+    // --- reference verification (no cache) ------------------------------------
+
+    /// Walk from `node` to the root verifying each node against its parent
+    /// (and the top node against the enclave root). Used by tests and by
+    /// cold paths; the Secure Cache implements the cached short-circuit
+    /// version.
+    pub fn verify_path_plain(&self, mut node: NodeId) -> Verification {
+        loop {
+            let mac = self.mac_of(node);
+            match self.parent(node) {
+                None => {
+                    if mac != self.root {
+                        return Verification::Mismatch { node };
+                    }
+                    return Verification::Ok;
+                }
+                Some(parent) => {
+                    if mac != self.stored_child_mac(parent, self.slot_in_parent(node)) {
+                        return Verification::Mismatch { node };
+                    }
+                    node = parent;
+                }
+            }
+        }
+    }
+
+    /// Update counter `idx` in untrusted memory and propagate MACs to the
+    /// root (the no-cache reference path; Secure Cache short-circuits at
+    /// cached ancestors instead).
+    pub fn update_counter_plain(&mut self, idx: u64, value: &[u8; SLOT]) {
+        let (leaf, slot) = self.locate_counter(idx);
+        let off = leaf.index as usize * self.node_size + slot * SLOT;
+        self.levels[0][off..off + SLOT].copy_from_slice(value);
+        let mut node = leaf;
+        loop {
+            let mac = self.mac_of(node);
+            match self.parent(node) {
+                None => {
+                    self.root = mac;
+                    return;
+                }
+                Some(parent) => {
+                    self.store_child_mac_internal(parent.level as usize, node.index, &mac);
+                    node = parent;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MerkleTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MerkleTree")
+            .field("arity", &self.arity)
+            .field("num_counters", &self.num_counters)
+            .field("height", &self.height())
+            .field("total_bytes", &self.total_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_crypto::RealSuite;
+
+    fn tree(counters: u64, arity: usize) -> MerkleTree {
+        MerkleTree::new(counters, arity, Rc::new(RealSuite::from_master(&[7u8; 16])), 42)
+    }
+
+    #[test]
+    fn geometry_small() {
+        let t = tree(1000, 8);
+        // 1000 counters -> 125 leaf nodes -> 16 -> 2 -> 1.
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.nodes_in_level(0), 125);
+        assert_eq!(t.nodes_in_level(1), 16);
+        assert_eq!(t.nodes_in_level(2), 2);
+        assert_eq!(t.nodes_in_level(3), 1);
+        assert_eq!(t.node_size(), 128);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = tree(4, 8);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.verify_path_plain(NodeId { level: 0, index: 0 }), Verification::Ok);
+    }
+
+    #[test]
+    fn fresh_tree_verifies_everywhere() {
+        let t = tree(500, 4);
+        for idx in [0u64, 1, 255, 499] {
+            let (leaf, _) = t.locate_counter(idx);
+            assert_eq!(t.verify_path_plain(leaf), Verification::Ok);
+        }
+    }
+
+    #[test]
+    fn counters_are_unique_at_init() {
+        let t = tree(2000, 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000 {
+            assert!(seen.insert(t.counter_bytes(i)), "duplicate initial counter {i}");
+        }
+    }
+
+    #[test]
+    fn tampering_any_leaf_is_detected() {
+        let mut t = tree(300, 4);
+        let (leaf, _) = t.locate_counter(123);
+        t.node_mut_raw(leaf)[5] ^= 0x01;
+        assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+    }
+
+    #[test]
+    fn tampering_inner_node_is_detected() {
+        let mut t = tree(5000, 8);
+        let inner = NodeId { level: 1, index: 3 };
+        t.node_mut_raw(inner)[0] ^= 0xff;
+        // Any leaf under that inner node fails.
+        let leaf = NodeId { level: 0, index: 3 * 8 };
+        assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+    }
+
+    #[test]
+    fn tampering_top_node_is_detected_by_root() {
+        let mut t = tree(300, 4);
+        let top = NodeId { level: t.height() - 1, index: 0 };
+        t.node_mut_raw(top)[1] ^= 0x80;
+        assert!(matches!(
+            t.verify_path_plain(NodeId { level: 0, index: 0 }),
+            Verification::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn update_counter_keeps_tree_consistent() {
+        let mut t = tree(1000, 8);
+        t.update_counter_plain(777, &[0xaa; 16]);
+        assert_eq!(t.counter_bytes(777), [0xaa; 16]);
+        for idx in [0u64, 776, 777, 778, 999] {
+            let (leaf, _) = t.locate_counter(idx);
+            assert_eq!(t.verify_path_plain(leaf), Verification::Ok, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn replaying_old_counter_is_detected() {
+        let mut t = tree(64, 4);
+        let (leaf, _) = t.locate_counter(10);
+        let old_leaf_bytes = t.node(leaf).to_vec();
+        // Legitimate update bumps the counter and the MAC chain.
+        t.update_counter_plain(10, &[0x11; 16]);
+        assert_eq!(t.verify_path_plain(leaf), Verification::Ok);
+        // Attacker replays the *old* leaf bytes.
+        t.write_node(leaf, &old_leaf_bytes);
+        assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+    }
+
+    #[test]
+    fn replaying_whole_subtree_is_detected() {
+        let mut t = tree(4096, 8);
+        let (leaf, _) = t.locate_counter(100);
+        // Snapshot leaf + all ancestors except the top.
+        let mut path = vec![leaf];
+        while let Some(p) = t.parent(*path.last().unwrap()) {
+            path.push(p);
+        }
+        let snapshots: Vec<(NodeId, Vec<u8>)> =
+            path.iter().map(|&n| (n, t.node(n).to_vec())).collect();
+        t.update_counter_plain(100, &[0x22; 16]);
+        // Replay every node on the path, including the top node; only the
+        // enclave root stays fresh — and catches it.
+        for (n, bytes) in &snapshots {
+            t.write_node(*n, bytes);
+        }
+        assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+    }
+
+    #[test]
+    fn arity_flattens_height() {
+        let t2 = tree(1_000_000, 2);
+        let t16 = tree(1_000_000, 16);
+        assert!(t16.height() < t2.height());
+        assert_eq!(t16.node_size(), 256);
+    }
+
+    #[test]
+    fn level_bytes_sum_to_total() {
+        let t = tree(10_000, 8);
+        assert_eq!(t.level_bytes().iter().sum::<usize>(), t.total_bytes());
+        // Leaf level dominates.
+        assert!(t.level_bytes()[0] > t.total_bytes() / 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use aria_crypto::RealSuite;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any sequence of legitimate counter updates, every path
+        /// verifies; after any single-bit corruption of any node, the
+        /// affected path fails.
+        #[test]
+        fn update_then_corrupt(
+            counters in 16u64..400,
+            arity in 2usize..9,
+            updates in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..30),
+            corrupt_level_pick in any::<u32>(),
+            corrupt_byte in any::<usize>(),
+        ) {
+            let suite = Rc::new(RealSuite::from_master(&[3u8; 16]));
+            let mut t = MerkleTree::new(counters, arity, suite, 7);
+            for (idx, v) in &updates {
+                t.update_counter_plain(idx % counters, &[*v; 16]);
+            }
+            for idx in 0..counters.min(16) {
+                let (leaf, _) = t.locate_counter(idx);
+                prop_assert_eq!(t.verify_path_plain(leaf), Verification::Ok);
+            }
+            // Corrupt one byte of one node.
+            let level = corrupt_level_pick % t.height();
+            let index = (corrupt_byte as u64) % t.nodes_in_level(level);
+            let id = NodeId { level, index };
+            let byte = corrupt_byte % t.node_size();
+            t.node_mut_raw(id)[byte] ^= 0x01;
+            // Verify a leaf under the corrupted node fails.
+            let mut leaf_index = index;
+            for _ in 0..level {
+                leaf_index *= arity as u64;
+            }
+            let leaf = NodeId { level: 0, index: leaf_index };
+            let detected = matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. });
+            prop_assert!(detected);
+        }
+    }
+}

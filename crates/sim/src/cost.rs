@@ -1,0 +1,191 @@
+//! Cycle-cost model for the simulated SGX platform.
+//!
+//! Every architectural cost the paper's evaluation depends on is a field
+//! here, so experiments can sweep or zero individual terms. Defaults are
+//! calibrated to the numbers the paper itself cites for an i7-7700
+//! (3.6 GHz): ~40 K cycles per secure-paging event (§I, citing SCONE),
+//! 8–14 K cycles per ECALL/OCALL (§II-A, citing HotCalls), EPC access at
+//! roughly twice the latency of untrusted DRAM (§IV-E, citing HotCalls),
+//! and ~1.5 cycles/byte AES with a fixed setup per invocation.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per CPU cache line; memory costs are charged per line touched.
+pub const CACHE_LINE: usize = 64;
+
+/// Bytes per EPC page; hardware secure paging operates at this granularity.
+pub const PAGE_SIZE: usize = 4096;
+
+/// All tunable cycle costs of the simulated platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Core clock in GHz, used only to convert cycles to ops/s.
+    pub clock_ghz: f64,
+    /// One hardware secure-paging event (EPC page fault): OS context
+    /// switch, copy, re-encryption and SGX integrity-tree update.
+    pub epc_page_fault: u64,
+    /// Extra charge for touching a resident page of a paged region
+    /// (models the EPC walk the paper quotes at ~200 cycles).
+    pub epc_page_hit: u64,
+    /// Crossing into the enclave.
+    pub ecall: u64,
+    /// Crossing out of the enclave (e.g., untrusted `malloc`).
+    pub ocall: u64,
+    /// Fixed cost of one access to untrusted memory (row activation,
+    /// pointer chase).
+    pub untrusted_access_base: u64,
+    /// Per-cache-line streaming cost in untrusted memory.
+    pub untrusted_access_per_line: u64,
+    /// Fixed cost of one access to EPC memory (MEE decrypt + verify).
+    pub epc_access_base: u64,
+    /// Per-cache-line cost in EPC memory (~2x untrusted).
+    pub epc_access_per_line: u64,
+    /// Fixed cost of one AES-CTR invocation (key schedule is cached; this
+    /// is call overhead).
+    pub aes_setup: u64,
+    /// Cost per 16-byte AES block encrypted/decrypted.
+    pub aes_per_block: u64,
+    /// Fixed cost of one CMAC invocation.
+    pub cmac_setup: u64,
+    /// Cost per 16-byte CMAC block absorbed.
+    pub cmac_per_block: u64,
+    /// Fixed per-request overhead (dispatch, argument marshalling).
+    pub request_fixed: u64,
+    /// Hit-path metadata update for an LRU-managed Secure Cache (list
+    /// unlink/relink in EPC memory); FIFO avoids this (§IV-E).
+    pub lru_hit_update: u64,
+    /// Hash-map style lookup in Secure Cache metadata (per probe).
+    pub cache_lookup: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_ghz: 3.6,
+            epc_page_fault: 40_000,
+            epc_page_hit: 200,
+            ecall: 10_000,
+            ocall: 10_000,
+            untrusted_access_base: 100,
+            untrusted_access_per_line: 30,
+            epc_access_base: 150,
+            epc_access_per_line: 60,
+            aes_setup: 100,
+            aes_per_block: 24,
+            cmac_setup: 200,
+            cmac_per_block: 24,
+            request_fixed: 600,
+            lru_hit_update: 150,
+            cache_lookup: 80,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with every SGX-specific cost zeroed: plain DRAM accesses
+    /// only, no crypto, no crossings. Used for the "Aria w/o SGX"
+    /// comparison in Figure 12.
+    pub fn no_sgx() -> Self {
+        CostModel {
+            epc_page_fault: 0,
+            epc_page_hit: 0,
+            ecall: 0,
+            ocall: 0,
+            epc_access_base: 100, // EPC behaves like ordinary DRAM
+            epc_access_per_line: 30,
+            aes_setup: 0,
+            aes_per_block: 0,
+            cmac_setup: 0,
+            cmac_per_block: 0,
+            lru_hit_update: 0,
+            ..CostModel::default()
+        }
+    }
+
+    #[inline]
+    fn lines(bytes: usize) -> u64 {
+        (bytes.max(1).div_ceil(CACHE_LINE)) as u64
+    }
+
+    /// Cycles to read or write `bytes` of untrusted memory.
+    #[inline]
+    pub fn untrusted_access(&self, bytes: usize) -> u64 {
+        self.untrusted_access_base + self.untrusted_access_per_line * Self::lines(bytes)
+    }
+
+    /// Cycles to read or write `bytes` of EPC memory (MEE-protected).
+    #[inline]
+    pub fn epc_access(&self, bytes: usize) -> u64 {
+        self.epc_access_base + self.epc_access_per_line * Self::lines(bytes)
+    }
+
+    /// Cycles to CTR-encrypt or decrypt `bytes`.
+    #[inline]
+    pub fn ctr_crypt(&self, bytes: usize) -> u64 {
+        self.aes_setup + self.aes_per_block * (bytes.div_ceil(16) as u64)
+    }
+
+    /// Cycles to CMAC `bytes`.
+    #[inline]
+    pub fn cmac(&self, bytes: usize) -> u64 {
+        self.cmac_setup + self.cmac_per_block * (bytes.div_ceil(16).max(1) as u64)
+    }
+
+    /// Convert an accumulated cycle count into operations per second.
+    pub fn throughput(&self, ops: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return f64::INFINITY;
+        }
+        ops as f64 * self.clock_ghz * 1e9 / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_citations() {
+        let c = CostModel::default();
+        assert_eq!(c.epc_page_fault, 40_000);
+        assert!(c.ecall >= 8_000 && c.ecall <= 14_000);
+        // EPC roughly 2x untrusted per line.
+        assert!(c.epc_access_per_line >= 2 * c.untrusted_access_per_line - 5);
+    }
+
+    #[test]
+    fn access_costs_scale_with_lines() {
+        let c = CostModel::default();
+        assert_eq!(c.untrusted_access(1), c.untrusted_access(64));
+        assert!(c.untrusted_access(65) > c.untrusted_access(64));
+        assert_eq!(
+            c.untrusted_access(128) - c.untrusted_access(64),
+            c.untrusted_access_per_line
+        );
+    }
+
+    #[test]
+    fn crypt_costs_scale_with_blocks() {
+        let c = CostModel::default();
+        assert_eq!(c.ctr_crypt(16) - c.ctr_crypt(1), 0);
+        assert_eq!(c.ctr_crypt(32) - c.ctr_crypt(16), c.aes_per_block);
+        assert_eq!(c.cmac(48), c.cmac_setup + 3 * c.cmac_per_block);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        let c = CostModel::default();
+        // 3600 cycles/op at 3.6 GHz = 1 M ops/s.
+        let t = c.throughput(1_000, 3_600_000);
+        assert!((t - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_sgx_zeroes_protection_costs() {
+        let c = CostModel::no_sgx();
+        assert_eq!(c.ecall, 0);
+        assert_eq!(c.cmac(1024), 0);
+        assert_eq!(c.ctr_crypt(1024), 0);
+        assert_eq!(c.epc_access(64), c.untrusted_access(64));
+    }
+}

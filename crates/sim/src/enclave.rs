@@ -1,0 +1,375 @@
+//! The simulated enclave: EPC budget accounting, cycle clock, event
+//! statistics and hardware-paged regions.
+//!
+//! A single [`Enclave`] instance represents one SGX enclave (one tenant).
+//! It is shared by every component of one store instance via
+//! `Rc<Enclave>`; all state is in `Cell`/`RefCell` so the methods take
+//! `&self`. Multi-tenant experiments build one enclave per tenant, each
+//! with a slice of the physical EPC.
+
+use std::cell::{Cell, RefCell};
+
+use crate::cost::CostModel;
+use crate::paging::PagingSim;
+
+/// Usable EPC on the paper's evaluation machine (91 MB).
+pub const DEFAULT_EPC_BYTES: usize = 91 * 1024 * 1024;
+
+/// Error returned when an explicit EPC reservation exceeds the budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpcExhausted {
+    /// Bytes requested by the failing reservation.
+    pub requested: usize,
+    /// Bytes still available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for EpcExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EPC exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for EpcExhausted {}
+
+/// Handle to a hardware-paged region declared inside the enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedRegionId(usize);
+
+/// Monotonic counters describing everything that happened inside the
+/// enclave since construction (or the last [`Enclave::reset_metrics`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EnclaveSnapshot {
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// ECALLs performed.
+    pub ecalls: u64,
+    /// OCALLs performed.
+    pub ocalls: u64,
+    /// Hardware secure-paging faults across all paged regions.
+    pub page_faults: u64,
+    /// Bytes run through CTR encryption/decryption.
+    pub bytes_crypted: u64,
+    /// CMAC invocations.
+    pub macs_computed: u64,
+    /// Bytes absorbed by CMAC.
+    pub bytes_maced: u64,
+    /// Current explicit EPC reservation.
+    pub epc_used: u64,
+    /// Peak explicit EPC reservation.
+    pub epc_peak: u64,
+}
+
+/// The simulated SGX enclave.
+pub struct Enclave {
+    cost: CostModel,
+    epc_capacity: usize,
+    epc_used: Cell<usize>,
+    epc_peak: Cell<usize>,
+    cycles: Cell<u64>,
+    ecalls: Cell<u64>,
+    ocalls: Cell<u64>,
+    bytes_crypted: Cell<u64>,
+    macs_computed: Cell<u64>,
+    bytes_maced: Cell<u64>,
+    paged: RefCell<Vec<PagingSim>>,
+}
+
+impl std::fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enclave")
+            .field("epc_capacity", &self.epc_capacity)
+            .field("epc_used", &self.epc_used.get())
+            .field("cycles", &self.cycles.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Enclave {
+    /// Create an enclave with the given cost model and EPC budget.
+    pub fn new(cost: CostModel, epc_capacity: usize) -> Self {
+        Enclave {
+            cost,
+            epc_capacity,
+            epc_used: Cell::new(0),
+            epc_peak: Cell::new(0),
+            cycles: Cell::new(0),
+            ecalls: Cell::new(0),
+            ocalls: Cell::new(0),
+            bytes_crypted: Cell::new(0),
+            macs_computed: Cell::new(0),
+            bytes_maced: Cell::new(0),
+            paged: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Enclave with default cost model and the paper's 91 MB EPC.
+    pub fn with_default_epc() -> Self {
+        Enclave::new(CostModel::default(), DEFAULT_EPC_BYTES)
+    }
+
+    /// The enclave's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Total EPC budget in bytes.
+    pub fn epc_capacity(&self) -> usize {
+        self.epc_capacity
+    }
+
+    /// Bytes of EPC currently reserved via [`Enclave::epc_alloc`].
+    pub fn epc_used(&self) -> usize {
+        self.epc_used.get()
+    }
+
+    /// Bytes of EPC still unreserved.
+    pub fn epc_available(&self) -> usize {
+        self.epc_capacity - self.epc_used.get()
+    }
+
+    /// Reserve `bytes` of EPC for permanently resident trusted data
+    /// (Secure Cache contents, pinned Merkle levels, bitmaps, roots).
+    pub fn epc_alloc(&self, bytes: usize) -> Result<(), EpcExhausted> {
+        let used = self.epc_used.get();
+        if used + bytes > self.epc_capacity {
+            return Err(EpcExhausted { requested: bytes, available: self.epc_capacity - used });
+        }
+        self.epc_used.set(used + bytes);
+        self.epc_peak.set(self.epc_peak.get().max(used + bytes));
+        Ok(())
+    }
+
+    /// Release a previous reservation.
+    pub fn epc_free(&self, bytes: usize) {
+        let used = self.epc_used.get();
+        debug_assert!(bytes <= used, "epc_free({bytes}) exceeds reservation {used}");
+        self.epc_used.set(used.saturating_sub(bytes));
+    }
+
+    // --- cycle charging -------------------------------------------------
+
+    /// Advance the simulated clock by raw cycles.
+    #[inline]
+    pub fn charge(&self, cycles: u64) {
+        self.cycles.set(self.cycles.get() + cycles);
+    }
+
+    /// Elapsed simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.get()
+    }
+
+    /// Charge an access to untrusted memory.
+    #[inline]
+    pub fn access_untrusted(&self, bytes: usize) {
+        self.charge(self.cost.untrusted_access(bytes));
+    }
+
+    /// Charge an access to EPC memory.
+    #[inline]
+    pub fn access_epc(&self, bytes: usize) {
+        self.charge(self.cost.epc_access(bytes));
+    }
+
+    /// Charge (and count) a CTR encryption/decryption of `bytes`.
+    #[inline]
+    pub fn charge_crypt(&self, bytes: usize) {
+        self.charge(self.cost.ctr_crypt(bytes));
+        self.bytes_crypted.set(self.bytes_crypted.get() + bytes as u64);
+    }
+
+    /// Charge (and count) a CMAC over `bytes`.
+    #[inline]
+    pub fn charge_mac(&self, bytes: usize) {
+        self.charge(self.cost.cmac(bytes));
+        self.macs_computed.set(self.macs_computed.get() + 1);
+        self.bytes_maced.set(self.bytes_maced.get() + bytes as u64);
+    }
+
+    /// Charge an enclave entry.
+    pub fn ecall(&self) {
+        self.charge(self.cost.ecall);
+        self.ecalls.set(self.ecalls.get() + 1);
+    }
+
+    /// Charge an enclave exit.
+    pub fn ocall(&self) {
+        self.charge(self.cost.ocall);
+        self.ocalls.set(self.ocalls.get() + 1);
+    }
+
+    // --- hardware-paged regions ------------------------------------------
+
+    /// Declare a region of enclave memory subject to hardware secure
+    /// paging (used by the Baseline and Aria-w/o-Cache schemes). The
+    /// region competes for the EPC *not* reserved via `epc_alloc`.
+    pub fn declare_paged_region(&self, total_bytes: usize) -> PagedRegionId {
+        let capacity = self.epc_available().max(crate::cost::PAGE_SIZE);
+        let mut paged = self.paged.borrow_mut();
+        paged.push(PagingSim::new(total_bytes, capacity));
+        PagedRegionId(paged.len() - 1)
+    }
+
+    /// Touch `len` bytes at `offset` within a paged region, charging page
+    /// faults and EPC access costs.
+    pub fn touch_paged(&self, region: PagedRegionId, offset: usize, len: usize) {
+        let available = self.epc_available().max(crate::cost::PAGE_SIZE);
+        let mut paged = self.paged.borrow_mut();
+        let sim = &mut paged[region.0];
+        // Explicit EPC reservations (epc_alloc) squeeze the page frames
+        // left for hardware paging; track that dynamically.
+        sim.set_capacity_bytes(available);
+        if sim.fits() {
+            // Region fits in EPC: plain MEE-protected access.
+            drop(paged);
+            self.access_epc(len);
+            return;
+        }
+        let faults = sim.touch_range(offset, len);
+        drop(paged);
+        self.charge(faults * self.cost.epc_page_fault);
+        if faults == 0 {
+            self.charge(self.cost.epc_page_hit);
+        }
+        self.access_epc(len);
+    }
+
+    /// Grow a paged region (store expansion).
+    pub fn grow_paged(&self, region: PagedRegionId, new_total_bytes: usize) {
+        self.paged.borrow_mut()[region.0].grow(new_total_bytes);
+    }
+
+    /// Faults observed in one region.
+    pub fn region_faults(&self, region: PagedRegionId) -> u64 {
+        self.paged.borrow()[region.0].faults()
+    }
+
+    /// Total faults across all paged regions.
+    pub fn total_page_faults(&self) -> u64 {
+        self.paged.borrow().iter().map(|p| p.faults()).sum()
+    }
+
+    /// EPC bytes held by resident pages of paged regions (in addition to
+    /// explicit [`Enclave::epc_used`] reservations).
+    pub fn resident_paged_bytes(&self) -> usize {
+        self.paged.borrow().iter().map(|p| p.resident_bytes()).sum()
+    }
+
+    // --- metrics ----------------------------------------------------------
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> EnclaveSnapshot {
+        EnclaveSnapshot {
+            cycles: self.cycles.get(),
+            ecalls: self.ecalls.get(),
+            ocalls: self.ocalls.get(),
+            page_faults: self.total_page_faults(),
+            bytes_crypted: self.bytes_crypted.get(),
+            macs_computed: self.macs_computed.get(),
+            bytes_maced: self.bytes_maced.get(),
+            epc_used: self.epc_used.get() as u64,
+            epc_peak: self.epc_peak.get() as u64,
+        }
+    }
+
+    /// Reset the clock and event counters (EPC reservations and paging
+    /// residency are preserved — they are state, not metrics).
+    pub fn reset_metrics(&self) {
+        self.cycles.set(0);
+        self.ecalls.set(0);
+        self.ocalls.set(0);
+        self.bytes_crypted.set(0);
+        self.macs_computed.set(0);
+        self.bytes_maced.set(0);
+    }
+
+    /// Ops/s for `ops` operations measured between two cycle readings.
+    pub fn throughput(&self, ops: u64, start_cycles: u64) -> f64 {
+        self.cost.throughput(ops, self.cycles.get() - start_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::PAGE_SIZE;
+
+    #[test]
+    fn epc_budget_enforced() {
+        let e = Enclave::new(CostModel::default(), 1024);
+        assert!(e.epc_alloc(1000).is_ok());
+        let err = e.epc_alloc(100).unwrap_err();
+        assert_eq!(err.available, 24);
+        e.epc_free(1000);
+        assert!(e.epc_alloc(1024).is_ok());
+        assert_eq!(e.snapshot().epc_peak, 1024);
+    }
+
+    #[test]
+    fn charging_accumulates() {
+        let e = Enclave::with_default_epc();
+        let c0 = e.cycles();
+        e.ecall();
+        e.ocall();
+        e.access_untrusted(64);
+        e.charge_mac(48);
+        let snap = e.snapshot();
+        assert_eq!(snap.ecalls, 1);
+        assert_eq!(snap.ocalls, 1);
+        assert_eq!(snap.macs_computed, 1);
+        assert_eq!(snap.bytes_maced, 48);
+        assert!(e.cycles() > c0 + 20_000);
+    }
+
+    #[test]
+    fn paged_region_fitting_in_epc_never_faults() {
+        let e = Enclave::new(CostModel::default(), 64 * PAGE_SIZE);
+        let r = e.declare_paged_region(8 * PAGE_SIZE);
+        for i in 0..1000 {
+            e.touch_paged(r, (i * 64) % (8 * PAGE_SIZE), 16);
+        }
+        assert_eq!(e.region_faults(r), 0);
+    }
+
+    #[test]
+    fn paged_region_larger_than_epc_faults() {
+        let e = Enclave::new(CostModel::default(), 4 * PAGE_SIZE);
+        let r = e.declare_paged_region(64 * PAGE_SIZE);
+        let before = e.cycles();
+        for i in 0..64 {
+            e.touch_paged(r, i * PAGE_SIZE, 16);
+        }
+        assert!(e.region_faults(r) >= 60);
+        assert!(e.cycles() - before >= 60 * 40_000);
+    }
+
+    #[test]
+    fn epc_alloc_shrinks_paging_capacity_for_new_regions() {
+        let e = Enclave::new(CostModel::default(), 16 * PAGE_SIZE);
+        e.epc_alloc(12 * PAGE_SIZE).unwrap();
+        let r = e.declare_paged_region(16 * PAGE_SIZE);
+        // Only ~4 pages available: a 16-page cyclic scan must thrash.
+        for _ in 0..4 {
+            for i in 0..16 {
+                e.touch_paged(r, i * PAGE_SIZE, 8);
+            }
+        }
+        assert!(e.region_faults(r) > 30);
+    }
+
+    #[test]
+    fn reset_metrics_keeps_reservations() {
+        let e = Enclave::with_default_epc();
+        e.epc_alloc(100).unwrap();
+        e.ecall();
+        e.reset_metrics();
+        assert_eq!(e.cycles(), 0);
+        assert_eq!(e.snapshot().ecalls, 0);
+        assert_eq!(e.epc_used(), 100);
+    }
+}

@@ -1,0 +1,414 @@
+//! Aria-H: the hash-table-indexed Aria store (paper §V-C).
+//!
+//! A chained hash table lives in untrusted memory: a bucket array of
+//! untrusted pointers, each heading a singly linked chain of sealed
+//! entries. Chain traversal compares the 4-byte plaintext-key *hint*
+//! first, so non-matching entries are skipped without decryption.
+//!
+//! Index-connection protection: every entry's MAC covers the identity of
+//! the *pointer cell* that points at it (a bucket slot or a predecessor's
+//! `next` field). Swapping any two pointers therefore breaks the MACs of
+//! both pointed-to entries. Unauthorized deletion (an attacker clearing a
+//! pointer) is caught by the per-bucket entry counters kept inside the
+//! enclave: on any miss, the number of entries walked must equal the
+//! trusted count.
+
+use aria_mem::UPtr;
+use aria_sim::Enclave;
+use std::rc::Rc;
+
+use crate::config::StoreConfig;
+use crate::core::{hash_key, StoreCore};
+use crate::counter::CounterStore;
+use crate::entry::{self, EntryHeader};
+use crate::error::{StoreError, Violation};
+use crate::KvStore;
+
+/// Tag bit marking a bucket-slot AdField (vs an entry `next`-cell one).
+const AD_BUCKET_TAG: u64 = 1 << 63;
+
+/// A pointer cell: where an entry's incoming pointer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    /// Bucket array slot.
+    Bucket(usize),
+    /// The `next` field of the entry stored at this block.
+    Next(UPtr),
+}
+
+impl Cell {
+    fn ad_field(self) -> u64 {
+        match self {
+            Cell::Bucket(i) => AD_BUCKET_TAG | i as u64,
+            Cell::Next(ptr) => {
+                let v = u64::from_le_bytes(ptr.to_bytes());
+                debug_assert_eq!(v & AD_BUCKET_TAG, 0, "chunk id overflow into tag bit");
+                v
+            }
+        }
+    }
+}
+
+/// The hash-indexed Aria store.
+pub struct AriaHash {
+    core: StoreCore,
+    /// Bucket heads (untrusted memory).
+    buckets: Vec<UPtr>,
+    /// Per-bucket entry counts (EPC; deletion-attack detection). One
+    /// byte per bucket keeps the EPC footprint small; a count saturates
+    /// at 255 (practically unreachable at sane load factors), after
+    /// which the deletion check for that bucket is skipped.
+    bucket_counts: Vec<u8>,
+}
+
+impl AriaHash {
+    /// Build a store charging costs and EPC to `enclave`.
+    pub fn new(cfg: StoreConfig, enclave: Rc<Enclave>) -> Result<Self, StoreError> {
+        Self::with_suite(cfg, enclave, None)
+    }
+
+    /// Like [`AriaHash::new`] with an explicit cipher suite.
+    pub fn with_suite(
+        cfg: StoreConfig,
+        enclave: Rc<Enclave>,
+        suite: Option<Rc<dyn aria_crypto::CipherSuite>>,
+    ) -> Result<Self, StoreError> {
+        let buckets = cfg.buckets;
+        // Per-bucket trusted counts live in the EPC (1 byte per bucket).
+        enclave.epc_alloc(buckets).map_err(|_| StoreError::EpcExhausted)?;
+        let core = StoreCore::new(cfg, enclave, suite)?;
+        Ok(AriaHash {
+            core,
+            buckets: vec![UPtr::NULL; buckets],
+            bucket_counts: vec![0; buckets],
+        })
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> usize {
+        (hash_key(key) % self.buckets.len() as u64) as usize
+    }
+
+    fn read_cell(&self, cell: Cell) -> Result<UPtr, StoreError> {
+        self.core.enclave.access_untrusted(8);
+        match cell {
+            Cell::Bucket(i) => Ok(self.buckets[i]),
+            Cell::Next(ptr) => {
+                let bytes = self.core.heap.read(ptr, 8)?;
+                Ok(UPtr::from_bytes(&bytes.try_into().expect("8 bytes")))
+            }
+        }
+    }
+
+    fn write_cell(&mut self, cell: Cell, target: UPtr) -> Result<(), StoreError> {
+        self.core.enclave.access_untrusted(8);
+        match cell {
+            Cell::Bucket(i) => {
+                self.buckets[i] = target;
+                Ok(())
+            }
+            Cell::Next(ptr) => Ok(self.core.heap.write(ptr, &target.to_bytes())?),
+        }
+    }
+
+    /// Walk a bucket chain calling `visit(cell, ptr, header)` for each
+    /// entry; stops early when `visit` returns `Some`.
+    fn walk<T>(
+        &mut self,
+        bucket: usize,
+        mut visit: impl FnMut(&mut Self, Cell, UPtr, &EntryHeader) -> Result<Option<T>, StoreError>,
+    ) -> Result<(Option<T>, Cell, u32), StoreError> {
+        let mut cell = Cell::Bucket(bucket);
+        let mut walked = 0u32;
+        loop {
+            let ptr = self.read_cell(cell)?;
+            if ptr.is_null() {
+                return Ok((None, cell, walked));
+            }
+            let header = self.read_header(ptr)?;
+            walked += 1;
+            if let Some(found) = visit(self, cell, ptr, &header)? {
+                return Ok((Some(found), cell, walked));
+            }
+            cell = Cell::Next(ptr);
+        }
+    }
+
+    fn read_header(&self, ptr: UPtr) -> Result<EntryHeader, StoreError> {
+        self.core.read_header(ptr)
+    }
+
+    /// Verify the trusted per-bucket count against a completed walk.
+    fn check_count(&self, bucket: usize, walked: u32) -> Result<(), StoreError> {
+        self.core.enclave.access_epc(1);
+        let stored = self.bucket_counts[bucket];
+        if stored == u8::MAX {
+            return Ok(()); // saturated: cannot distinguish
+        }
+        if u32::from(stored) != walked {
+            return Err(StoreError::Integrity(Violation::UnauthorizedDeletion));
+        }
+        Ok(())
+    }
+
+    /// Full-chain verification, used when a lookup misses: every entry in
+    /// the bucket is MAC-checked against its incoming pointer cell, so a
+    /// spliced or swapped chain cannot silently hide a key behind
+    /// non-matching hints. (Hits never pay this; the paper's key hint
+    /// keeps the hit path at one verification.)
+    fn verify_chain_on_miss(&mut self, bucket: usize) -> Result<u32, StoreError> {
+        let (_, _, walked) = self.walk(bucket, |this, cell, ptr, header| {
+            let sealed = this.core.read_sealed(ptr, header)?;
+            let counter = this.core.counters.get(header.redptr)?;
+            this.core.enclave.charge_mac(16 + header.klen + header.vlen + 24);
+            if !entry::verify_entry(this.core.suite.as_ref(), &sealed, &counter, cell.ad_field()) {
+                return Err(StoreError::Integrity(Violation::EntryMacMismatch));
+            }
+            Ok(None::<()>)
+        })?;
+        Ok(walked)
+    }
+
+    /// The store's core (diagnostics: cache stats, heap stats, ...).
+    pub fn core(&self) -> &StoreCore {
+        &self.core
+    }
+
+    /// Mutable core access (attack helpers, cache flush in tests).
+    pub fn core_mut(&mut self) -> &mut StoreCore {
+        &mut self.core
+    }
+
+    /// Number of hash buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    // --- attack-injection API (untrusted-side adversary) ------------------
+
+    /// Locate the block of `key` as an attacker would (hint matching, no
+    /// verification, no cost accounting).
+    pub fn attack_locate(&self, key: &[u8]) -> Option<UPtr> {
+        let bucket = self.bucket_of(key);
+        let hint = entry::key_hint(key);
+        let mut ptr = self.buckets[bucket];
+        while !ptr.is_null() {
+            let bytes = self.core.heap.read(ptr, entry::HEADER_LEN).ok()?;
+            let header = entry::parse_header(bytes)?;
+            if header.hint == hint {
+                return Some(ptr);
+            }
+            ptr = header.next;
+        }
+        None
+    }
+
+    /// Flip a bit inside the ciphertext of `key`'s entry.
+    pub fn attack_tamper_value(&mut self, key: &[u8]) -> bool {
+        let Some(ptr) = self.attack_locate(key) else { return false };
+        let Ok(bytes) = self.core.heap.raw_mut(ptr, entry::HEADER_LEN + 1) else { return false };
+        bytes[entry::HEADER_LEN] ^= 0x01;
+        true
+    }
+
+    /// Snapshot the sealed bytes of `key`'s entry (for a later replay).
+    pub fn attack_snapshot(&self, key: &[u8]) -> Option<(UPtr, Vec<u8>)> {
+        let ptr = self.attack_locate(key)?;
+        let bytes = self.core.heap.read(ptr, entry::HEADER_LEN).ok()?;
+        let header = entry::parse_header(bytes)?;
+        let full = self.core.heap.read(ptr, header.total_len()).ok()?;
+        Some((ptr, full.to_vec()))
+    }
+
+    /// Replay previously captured sealed bytes over the same block.
+    pub fn attack_replay(&mut self, snapshot: &(UPtr, Vec<u8>)) -> bool {
+        let (ptr, bytes) = snapshot;
+        match self.core.heap.raw_mut(*ptr, bytes.len()) {
+            Ok(dst) => {
+                dst.copy_from_slice(bytes);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Swap the head pointers of the buckets holding `key_a` and `key_b`
+    /// (Figure 7's connection attack).
+    pub fn attack_swap_bucket_pointers(&mut self, key_a: &[u8], key_b: &[u8]) {
+        let (a, b) = (self.bucket_of(key_a), self.bucket_of(key_b));
+        self.buckets.swap(a, b);
+    }
+
+    /// Unlink `key`'s entry from its chain without touching the trusted
+    /// metadata (unauthorized deletion).
+    pub fn attack_unauthorized_delete(&mut self, key: &[u8]) -> bool {
+        let bucket = self.bucket_of(key);
+        let hint = entry::key_hint(key);
+        let mut cell = Cell::Bucket(bucket);
+        loop {
+            let ptr = match cell {
+                Cell::Bucket(i) => self.buckets[i],
+                Cell::Next(p) => {
+                    let Ok(b) = self.core.heap.read(p, 8) else { return false };
+                    UPtr::from_bytes(&b.try_into().expect("8 bytes"))
+                }
+            };
+            if ptr.is_null() {
+                return false;
+            }
+            let Ok(bytes) = self.core.heap.read(ptr, entry::HEADER_LEN) else { return false };
+            let Some(header) = entry::parse_header(bytes) else { return false };
+            if header.hint == hint {
+                let next = header.next;
+                match cell {
+                    Cell::Bucket(i) => self.buckets[i] = next,
+                    Cell::Next(p) => {
+                        let Ok(dst) = self.core.heap.raw_mut(p, 8) else { return false };
+                        dst.copy_from_slice(&next.to_bytes());
+                    }
+                }
+                return true;
+            }
+            cell = Cell::Next(ptr);
+        }
+    }
+}
+
+impl KvStore for AriaHash {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        let bucket = self.bucket_of(key);
+        let hint = entry::key_hint(key);
+        let key_owned = key.to_vec();
+
+        // Walk the chain looking for an existing key (hint first, then
+        // verified decrypt to confirm).
+        let (found, tail_cell, _walked) = self.walk(bucket, |this, cell, ptr, header| {
+            if header.hint != hint {
+                return Ok(None);
+            }
+            let sealed = this.core.read_sealed(ptr, header)?;
+            let (k, _v) = this.core.open_checked(&sealed, header, cell.ad_field())?;
+            if k == key_owned {
+                Ok(Some((cell, ptr, *header)))
+            } else {
+                Ok(None)
+            }
+        })?;
+
+        if let Some((cell, ptr, header)) = found {
+            // Update in place: bump the counter, re-encrypt, re-MAC.
+            let counter = self.core.counters.bump(header.redptr)?;
+            let new_len = entry::sealed_len(key.len(), value.len());
+            let old_len = header.total_len();
+            if aria_mem::UserHeap::same_block_class(new_len, old_len) {
+                self.core.seal_in_place(ptr, header.next, header.redptr, key, value, &counter, cell.ad_field())?;
+            } else {
+                // Relocate the entry; the successor's incoming cell moves
+                // with the block, so its AdField must be refreshed.
+                let new_ptr =
+                    self.core.seal_new(header.next, header.redptr, key, value, &counter, cell.ad_field())?;
+                self.write_cell(cell, new_ptr)?;
+                if !header.next.is_null() {
+                    let succ = self.read_header(header.next)?;
+                    self.core.reseal_ad_field(header.next, &succ, Cell::Next(new_ptr).ad_field())?;
+                }
+                self.core.heap.free(ptr)?;
+            }
+            return Ok(());
+        }
+
+        // Insert at the tail: the incoming cell is the walk's final cell.
+        let redptr = self.core.counters.fetch()?;
+        let counter = self.core.counters.bump(redptr)?;
+        let new_ptr = self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, tail_cell.ad_field())?;
+        self.write_cell(tail_cell, new_ptr)?;
+        self.core.enclave.access_epc(1);
+        self.bucket_counts[bucket] = self.bucket_counts[bucket].saturating_add(1);
+        self.core.len += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        let bucket = self.bucket_of(key);
+        let hint = entry::key_hint(key);
+        let key_owned = key.to_vec();
+        let (found, _cell, walked) = self.walk(bucket, |this, cell, ptr, header| {
+            if header.hint != hint {
+                return Ok(None);
+            }
+            let sealed = this.core.read_sealed(ptr, header)?;
+            let (k, v) = this.core.open_checked(&sealed, header, cell.ad_field())?;
+            if k == key_owned {
+                Ok(Some(v))
+            } else {
+                Ok(None)
+            }
+        })?;
+        match found {
+            Some(v) => Ok(Some(v)),
+            None => {
+                let _ = walked;
+                let verified = self.verify_chain_on_miss(bucket)?;
+                self.check_count(bucket, verified)?;
+                Ok(None)
+            }
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        let bucket = self.bucket_of(key);
+        let hint = entry::key_hint(key);
+        let key_owned = key.to_vec();
+        let (found, _cell, walked) = self.walk(bucket, |this, cell, ptr, header| {
+            if header.hint != hint {
+                return Ok(None);
+            }
+            let sealed = this.core.read_sealed(ptr, header)?;
+            let (k, _v) = this.core.open_checked(&sealed, header, cell.ad_field())?;
+            if k == key_owned {
+                Ok(Some((cell, ptr, *header)))
+            } else {
+                Ok(None)
+            }
+        })?;
+        let Some((cell, ptr, header)) = found else {
+            let _ = walked;
+            let verified = self.verify_chain_on_miss(bucket)?;
+            self.check_count(bucket, verified)?;
+            return Ok(false);
+        };
+        // Unlink, refresh the successor's AdField (its incoming cell moved
+        // from our next-field to our predecessor cell).
+        self.write_cell(cell, header.next)?;
+        if !header.next.is_null() {
+            let succ = self.read_header(header.next)?;
+            self.core.reseal_ad_field(header.next, &succ, cell.ad_field())?;
+        }
+        self.core.retire_counter(header.redptr)?;
+        self.core.heap.free(ptr)?;
+        self.core.enclave.access_epc(1);
+        if self.bucket_counts[bucket] != u8::MAX {
+            self.bucket_counts[bucket] -= 1;
+        }
+        self.core.len -= 1;
+        Ok(true)
+    }
+
+    fn len(&self) -> u64 {
+        self.core.len
+    }
+
+    fn enclave(&self) -> &Rc<Enclave> {
+        &self.core.enclave
+    }
+
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        self.core.counters.as_cached().map(|c| c.cache_stats().hit_ratio())
+    }
+
+    fn cache_swapping(&self) -> Option<bool> {
+        self.core.counters.as_cached().map(|c| c.swapping())
+    }
+}

@@ -1,0 +1,173 @@
+//! Baseline scheme (paper §III / Figure 2): the entire KV store — index
+//! and data — lives *inside* the enclave with no manual refactoring.
+//!
+//! SGX protects everything transparently, so there is no explicit crypto
+//! and no MAC work; the cost is architectural: every access is
+//! MEE-protected EPC traffic, and once the store outgrows the EPC the
+//! hardware secure-paging mechanism thrashes (the sharp knee the paper
+//! shows at ~24 MB keyspace).
+//!
+//! Contents are held in ordinary trusted collections; memory *touches*
+//! are modelled against a paged region sized to the store's footprint,
+//! with per-key offsets assigned at insertion (an entry's pages stay
+//! stable, as with a real in-enclave allocator).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use aria_sim::{Enclave, PagedRegionId};
+
+use crate::error::StoreError;
+use crate::KvStore;
+
+/// Rough per-entry bookkeeping overhead inside the enclave (hash-map
+/// bucket, allocator header).
+const ENTRY_OVERHEAD: usize = 48;
+
+struct Slot {
+    value: Vec<u8>,
+    /// Byte offset of this entry inside the paged region.
+    offset: usize,
+    /// Footprint reserved at `offset`.
+    reserved: usize,
+}
+
+/// The all-in-enclave baseline store.
+pub struct BaselineStore {
+    enclave: Rc<Enclave>,
+    map: HashMap<Vec<u8>, Slot>,
+    region: PagedRegionId,
+    /// Next free offset in the paged region.
+    watermark: usize,
+    region_bytes: usize,
+}
+
+impl BaselineStore {
+    /// Create the store; `expected_bytes` sizes the initial paged region
+    /// (it grows on demand).
+    pub fn new(enclave: Rc<Enclave>, expected_bytes: usize) -> Self {
+        let region_bytes = expected_bytes.max(1 << 20);
+        let region = enclave.declare_paged_region(region_bytes);
+        BaselineStore { enclave, map: HashMap::new(), region, watermark: 0, region_bytes }
+    }
+
+    fn reserve(&mut self, bytes: usize) -> usize {
+        let offset = self.watermark;
+        self.watermark += bytes;
+        if self.watermark > self.region_bytes {
+            self.region_bytes = (self.watermark * 2).max(self.region_bytes);
+            self.enclave.grow_paged(self.region, self.region_bytes);
+        }
+        offset
+    }
+
+    /// Touch the index path for a key: a couple of dependent EPC accesses
+    /// scattered over the region (hash-table probe behaviour).
+    fn touch_index(&self, key: &[u8]) {
+        let h = crate::core::hash_key(key) as usize;
+        let span = self.region_bytes.max(1);
+        self.enclave.touch_paged(self.region, h % span, 64);
+    }
+
+    fn touch_entry(&self, slot: &Slot) {
+        self.enclave.touch_paged(self.region, slot.offset, slot.reserved.max(1));
+    }
+
+    /// Bytes currently reserved in the enclave region.
+    pub fn footprint(&self) -> usize {
+        self.watermark
+    }
+}
+
+impl KvStore for BaselineStore {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.enclave.charge(self.enclave.cost().request_fixed);
+        self.touch_index(key);
+        let needed = key.len() + value.len() + ENTRY_OVERHEAD;
+        if let Some(slot) = self.map.get(key) {
+            if slot.reserved >= key.len() + value.len() + ENTRY_OVERHEAD {
+                let (offset, reserved) = (slot.offset, slot.reserved);
+                let slot = Slot { value: value.to_vec(), offset, reserved };
+                self.touch_entry(&slot);
+                self.map.insert(key.to_vec(), slot);
+                return Ok(());
+            }
+        }
+        let offset = self.reserve(needed);
+        let slot = Slot { value: value.to_vec(), offset, reserved: needed };
+        self.touch_entry(&slot);
+        self.map.insert(key.to_vec(), slot);
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.enclave.charge(self.enclave.cost().request_fixed);
+        self.touch_index(key);
+        match self.map.get(key) {
+            Some(slot) => {
+                self.touch_entry(slot);
+                Ok(Some(slot.value.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        self.enclave.charge(self.enclave.cost().request_fixed);
+        self.touch_index(key);
+        Ok(self.map.remove(key).is_some())
+    }
+
+    fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    fn enclave(&self) -> &Rc<Enclave> {
+        &self.enclave
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_sim::CostModel;
+
+    #[test]
+    fn basic_crud() {
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+        let mut s = BaselineStore::new(enclave, 1 << 20);
+        s.put(b"a", b"1").unwrap();
+        s.put(b"b", b"2").unwrap();
+        assert_eq!(s.get(b"a").unwrap().as_deref(), Some(b"1".as_slice()));
+        s.put(b"a", b"111").unwrap();
+        assert_eq!(s.get(b"a").unwrap().as_deref(), Some(b"111".as_slice()));
+        assert!(s.delete(b"a").unwrap());
+        assert_eq!(s.get(b"a").unwrap(), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn small_store_never_faults() {
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+        let mut s = BaselineStore::new(Rc::clone(&enclave), 1 << 20);
+        for i in 0..1000u64 {
+            s.put(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+        }
+        for i in 0..1000u64 {
+            s.get(&i.to_be_bytes()).unwrap();
+        }
+        assert_eq!(enclave.total_page_faults(), 0);
+    }
+
+    #[test]
+    fn oversized_store_thrashes() {
+        // 2 MB EPC, ~8 MB of data.
+        let enclave = Rc::new(Enclave::new(CostModel::default(), 2 << 20));
+        let mut s = BaselineStore::new(Rc::clone(&enclave), 8 << 20);
+        for i in 0..16_000u64 {
+            s.put(&i.to_be_bytes(), &[0u8; 448]).unwrap();
+        }
+        let faults_after_load = enclave.total_page_faults();
+        assert!(faults_after_load > 1000, "got {faults_after_load}");
+    }
+}

@@ -1,0 +1,785 @@
+//! Aria-T: the B-tree-indexed Aria store (paper §V-C).
+//!
+//! A classic B-tree (entries in every node, minimum degree `t`, max
+//! `2t-1` entries per node) whose nodes live in untrusted memory. Node
+//! blocks hold only pointers — every *entry* is a sealed KV block exactly
+//! as in Aria-H — so choosing a branch requires fetching the entry's
+//! counter through the Secure Cache, verifying its MAC and decrypting the
+//! key. That per-comparison decryption is why the paper measures B-tree
+//! throughput roughly an order of magnitude below the hash index.
+//!
+//! Index-connection protection: each entry's MAC AdField binds it to the
+//! *parent pointer* of its containing node (`AD_ROOT_TAG` for entries in
+//! the root, whose incoming pointer lives in the EPC). Swapping two child
+//! pointers that live in different parent nodes therefore breaks the MACs
+//! of every entry in both moved nodes. A swap of two siblings *within*
+//! one parent is not caught by MACs alone (the paper's per-node binding
+//! has the same node-granularity limit); it corrupts ordering and
+//! surfaces as a failed lookup, which the in-enclave depth metadata then
+//! flags: on any miss the descent depth must equal the trusted tree
+//! height recorded in the enclave (§V-C's unauthorized-deletion check).
+
+use aria_mem::UPtr;
+use aria_sim::Enclave;
+use std::rc::Rc;
+
+use crate::config::StoreConfig;
+use crate::core::StoreCore;
+use crate::counter::CounterStore;
+use crate::entry::{self, EntryHeader};
+use crate::error::{StoreError, Violation};
+use crate::KvStore;
+
+/// A decrypted `(key, value)` pair returned by range scans.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// AdField for entries living in the root node (the root pointer is kept
+/// in the EPC, so this anchor is trusted).
+const AD_ROOT_TAG: u64 = (1 << 63) | (1 << 62);
+
+fn ad_of_parent(parent: Option<UPtr>) -> u64 {
+    match parent {
+        None => AD_ROOT_TAG,
+        Some(p) => {
+            let v = u64::from_le_bytes(p.to_bytes());
+            debug_assert_eq!(v & AD_ROOT_TAG, 0);
+            v
+        }
+    }
+}
+
+/// In-enclave working copy of one untrusted node block.
+#[derive(Debug, Clone)]
+struct Node {
+    leaf: bool,
+    /// Sealed-entry pointers, sorted by plaintext key.
+    entries: Vec<UPtr>,
+    /// Child pointers (entries.len() + 1 of them when inner).
+    children: Vec<UPtr>,
+}
+
+impl Node {
+    fn new_leaf() -> Self {
+        Node { leaf: true, entries: Vec::new(), children: Vec::new() }
+    }
+
+    fn serialized_len(order: usize) -> usize {
+        8 + order * 8 + (order + 1) * 8
+    }
+
+    fn to_bytes(&self, order: usize) -> Vec<u8> {
+        debug_assert!(self.entries.len() <= order);
+        let mut out = vec![0u8; Self::serialized_len(order)];
+        out[0] = self.leaf as u8;
+        out[1..3].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut off = 8;
+        for e in &self.entries {
+            out[off..off + 8].copy_from_slice(&e.to_bytes());
+            off += 8;
+        }
+        let mut off = 8 + order * 8;
+        for c in &self.children {
+            out[off..off + 8].copy_from_slice(&c.to_bytes());
+            off += 8;
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8], order: usize) -> Option<Node> {
+        if bytes.len() < Self::serialized_len(order) {
+            return None;
+        }
+        let leaf = bytes[0] != 0;
+        let count = u16::from_le_bytes(bytes[1..3].try_into().unwrap()) as usize;
+        if count > order {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 8 + i * 8;
+            entries.push(UPtr::from_bytes(&bytes[off..off + 8].try_into().unwrap()));
+        }
+        let mut children = Vec::new();
+        if !leaf {
+            for i in 0..=count {
+                let off = 8 + order * 8 + i * 8;
+                children.push(UPtr::from_bytes(&bytes[off..off + 8].try_into().unwrap()));
+            }
+        }
+        Some(Node { leaf, entries, children })
+    }
+}
+
+/// The B-tree-indexed Aria store.
+pub struct AriaTree {
+    core: StoreCore,
+    /// Root node pointer — the index entrance, kept in the EPC.
+    root: UPtr,
+    /// Trusted tree height (root-to-leaf node count); deletion-attack
+    /// detection metadata (§V-C).
+    height: u32,
+    /// Maximum entries per node (`2t - 1`; odd).
+    order: usize,
+}
+
+impl AriaTree {
+    /// Build a store charging costs and EPC to `enclave`.
+    pub fn new(cfg: StoreConfig, enclave: Rc<Enclave>) -> Result<Self, StoreError> {
+        Self::with_suite(cfg, enclave, None)
+    }
+
+    /// Like [`AriaTree::new`] with an explicit cipher suite.
+    pub fn with_suite(
+        cfg: StoreConfig,
+        enclave: Rc<Enclave>,
+        suite: Option<Rc<dyn aria_crypto::CipherSuite>>,
+    ) -> Result<Self, StoreError> {
+        let mut order = cfg.btree_order.max(3);
+        if order.is_multiple_of(2) {
+            order -= 1; // classic B-tree wants 2t-1
+        }
+        // Root pointer + height live in the EPC.
+        enclave.epc_alloc(16).map_err(|_| StoreError::EpcExhausted)?;
+        let core = StoreCore::new(cfg, enclave, suite)?;
+        Ok(AriaTree { core, root: UPtr::NULL, height: 0, order })
+    }
+
+    fn min_entries(&self) -> usize {
+        self.order / 2 // t - 1 for order = 2t - 1
+    }
+
+    // --- node IO -----------------------------------------------------------
+
+    fn node_len(&self) -> usize {
+        Node::serialized_len(self.order)
+    }
+
+    fn read_node(&self, ptr: UPtr) -> Result<Node, StoreError> {
+        let bytes = self.core.heap.read(ptr, self.node_len())?;
+        Node::from_bytes(bytes, self.order).ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
+    }
+
+    fn write_node(&mut self, ptr: UPtr, node: &Node) -> Result<(), StoreError> {
+        let bytes = node.to_bytes(self.order);
+        self.core.heap.write(ptr, &bytes)?;
+        Ok(())
+    }
+
+    fn alloc_node(&mut self, node: &Node) -> Result<UPtr, StoreError> {
+        let bytes = node.to_bytes(self.order);
+        let ptr = self.core.heap.alloc(bytes.len())?;
+        self.core.heap.write(ptr, &bytes)?;
+        Ok(ptr)
+    }
+
+    // --- entry helpers -------------------------------------------------------
+
+    /// Verify + decrypt the entry at `ptr` (contained in a node whose
+    /// parent pointer is `ad`), returning `(key, value, header)`.
+    fn open_entry(&mut self, ptr: UPtr, ad: u64) -> Result<(Vec<u8>, Vec<u8>, EntryHeader), StoreError> {
+        let header = self.core.read_header(ptr)?;
+        let sealed = self.core.read_sealed(ptr, &header)?;
+        let (k, v) = self.core.open_checked(&sealed, &header, ad)?;
+        Ok((k, v, header))
+    }
+
+    /// Re-bind an entry to a new containing-node parent (AdField change).
+    fn rebind_entry(&mut self, ptr: UPtr, new_ad: u64) -> Result<(), StoreError> {
+        let header = self.core.read_header(ptr)?;
+        self.core.reseal_ad_field(ptr, &header, new_ad)
+    }
+
+    /// Re-bind every entry of `node` to `new_ad` (parent changed).
+    fn rebind_node_entries(&mut self, node: &Node, new_ad: u64) -> Result<(), StoreError> {
+        for &e in &node.entries {
+            self.rebind_entry(e, new_ad)?;
+        }
+        Ok(())
+    }
+
+    /// Find the position of `key` in `node`: `Ok(i)` exact match at i,
+    /// `Err(i)` descend into child i. Decrypts every scanned entry.
+    fn position(&mut self, node: &Node, node_ad: u64, key: &[u8]) -> Result<Result<usize, usize>, StoreError> {
+        for (i, &eptr) in node.entries.iter().enumerate() {
+            let (k, _v, _h) = self.open_entry(eptr, node_ad)?;
+            match key.cmp(&k[..]) {
+                std::cmp::Ordering::Equal => return Ok(Ok(i)),
+                std::cmp::Ordering::Less => return Ok(Err(i)),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        Ok(Err(node.entries.len()))
+    }
+
+    // --- insertion -----------------------------------------------------------
+
+    /// Split the full child `ci` of the node at `parent_ptr`. The new
+    /// right sibling shares the parent, so moved entries keep their
+    /// binding; only the promoted median moves into the parent.
+    fn split_child(
+        &mut self,
+        parent_ptr: UPtr,
+        parent: &mut Node,
+        parent_ad: u64,
+        ci: usize,
+    ) -> Result<(), StoreError> {
+        let child_ptr = parent.children[ci];
+        let mut child = self.read_node(child_ptr)?;
+        let mid = self.order / 2;
+        let right = Node {
+            leaf: child.leaf,
+            entries: child.entries.split_off(mid + 1),
+            children: if child.leaf { Vec::new() } else { child.children.split_off(mid + 1) },
+        };
+        let median = child.entries.pop().expect("full node has a median");
+        let right_ptr = self.alloc_node(&right)?;
+        self.write_node(child_ptr, &child)?;
+        // Children moved to the new right sibling have a new parent: their
+        // entries' AdField binding must follow.
+        if !right.leaf {
+            for &gc in &right.children {
+                let g = self.read_node(gc)?;
+                self.rebind_node_entries(&g, ad_of_parent(Some(right_ptr)))?;
+            }
+        }
+        parent.entries.insert(ci, median);
+        parent.children.insert(ci + 1, right_ptr);
+        self.write_node(parent_ptr, parent)?;
+        // The median entry now lives in the parent: rebind it.
+        self.rebind_entry(median, parent_ad)?;
+        Ok(())
+    }
+
+    /// Recursive insert into a node guaranteed non-full.
+    fn insert_nonfull(
+        &mut self,
+        node_ptr: UPtr,
+        parent: Option<UPtr>,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, StoreError> {
+        let mut node = self.read_node(node_ptr)?;
+        let node_ad = ad_of_parent(parent);
+        match self.position(&node, node_ad, key)? {
+            Ok(i) => {
+                // Key exists: bump counter, re-seal (possibly relocating).
+                let old_ptr = node.entries[i];
+                let header = self.core.read_header(old_ptr)?;
+                let counter = self.core.counters.bump(header.redptr)?;
+                let new_len = entry::sealed_len(key.len(), value.len());
+                if aria_mem::UserHeap::same_block_class(new_len, header.total_len()) {
+                    self.core.seal_in_place(old_ptr, UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                } else {
+                    let new_ptr =
+                        self.core.seal_new(UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                    node.entries[i] = new_ptr;
+                    self.write_node(node_ptr, &node)?;
+                    self.core.heap.free(old_ptr)?;
+                }
+                Ok(false)
+            }
+            Err(i) if node.leaf => {
+                let redptr = self.core.counters.fetch()?;
+                let counter = self.core.counters.bump(redptr)?;
+                let eptr = self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, node_ad)?;
+                node.entries.insert(i, eptr);
+                self.write_node(node_ptr, &node)?;
+                Ok(true)
+            }
+            Err(mut i) => {
+                let child_ptr = node.children[i];
+                let child = self.read_node(child_ptr)?;
+                if child.entries.len() == self.order {
+                    self.split_child(node_ptr, &mut node, node_ad, i)?;
+                    // Re-compare against the promoted median.
+                    let (mk, _v, _h) = self.open_entry(node.entries[i], node_ad)?;
+                    match key.cmp(&mk[..]) {
+                        std::cmp::Ordering::Equal => {
+                            return self.insert_nonfull(node_ptr, parent, key, value);
+                        }
+                        std::cmp::Ordering::Greater => i += 1,
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                self.insert_nonfull(node.children[i], Some(node_ptr), key, value)
+            }
+        }
+    }
+
+    // --- deletion --------------------------------------------------------------
+
+    /// Ensure `parent.children[ci]` has more than the minimum number of
+    /// entries, borrowing from a sibling or merging. Returns the possibly
+    /// changed child index to descend into.
+    fn fill_child(
+        &mut self,
+        parent_ptr: UPtr,
+        parent: &mut Node,
+        parent_ad: u64,
+        ci: usize,
+    ) -> Result<usize, StoreError> {
+        let child_ad = ad_of_parent(Some(parent_ptr));
+        let child_ptr = parent.children[ci];
+        let mut child = self.read_node(child_ptr)?;
+        if child.entries.len() > self.min_entries() {
+            return Ok(ci);
+        }
+        // Try borrowing from the left sibling.
+        if ci > 0 {
+            let left_ptr = parent.children[ci - 1];
+            let mut left = self.read_node(left_ptr)?;
+            if left.entries.len() > self.min_entries() {
+                // Rotate right: parent separator down, left's max up.
+                let sep = parent.entries[ci - 1];
+                let from_left = left.entries.pop().expect("non-empty");
+                child.entries.insert(0, sep);
+                if !child.leaf {
+                    let moved_child = left.children.pop().expect("inner has children");
+                    child.children.insert(0, moved_child);
+                    // moved_child's entries rebind from left to child.
+                    let moved = self.read_node(moved_child)?;
+                    self.rebind_node_entries(&moved, ad_of_parent(Some(child_ptr)))?;
+                }
+                parent.entries[ci - 1] = from_left;
+                self.write_node(left_ptr, &left)?;
+                self.write_node(child_ptr, &child)?;
+                self.write_node(parent_ptr, parent)?;
+                self.rebind_entry(sep, child_ad)?;
+                self.rebind_entry(from_left, parent_ad)?;
+                return Ok(ci);
+            }
+        }
+        // Try the right sibling.
+        if ci + 1 < parent.children.len() {
+            let right_ptr = parent.children[ci + 1];
+            let mut right = self.read_node(right_ptr)?;
+            if right.entries.len() > self.min_entries() {
+                let sep = parent.entries[ci];
+                let from_right = right.entries.remove(0);
+                child.entries.push(sep);
+                if !child.leaf {
+                    let moved_child = right.children.remove(0);
+                    child.children.push(moved_child);
+                    let moved = self.read_node(moved_child)?;
+                    self.rebind_node_entries(&moved, ad_of_parent(Some(child_ptr)))?;
+                }
+                parent.entries[ci] = from_right;
+                self.write_node(right_ptr, &right)?;
+                self.write_node(child_ptr, &child)?;
+                self.write_node(parent_ptr, parent)?;
+                self.rebind_entry(sep, child_ad)?;
+                self.rebind_entry(from_right, parent_ad)?;
+                return Ok(ci);
+            }
+        }
+        // Merge with a sibling. Merge child with its right sibling when
+        // possible, else with the left one.
+        let li = if ci + 1 < parent.children.len() { ci } else { ci - 1 };
+        self.merge_children(parent_ptr, parent, li)?;
+        Ok(li)
+    }
+
+    /// Merge `parent.children[li]` and `parent.children[li + 1]` around
+    /// the separator `parent.entries[li]` (which moves down into the
+    /// merged node). The merged node keeps the left pointer.
+    fn merge_children(
+        &mut self,
+        parent_ptr: UPtr,
+        parent: &mut Node,
+        li: usize,
+    ) -> Result<(), StoreError> {
+        let left_ptr = parent.children[li];
+        let right_ptr = parent.children[li + 1];
+        let mut left = self.read_node(left_ptr)?;
+        let right = self.read_node(right_ptr)?;
+        let sep = parent.entries.remove(li);
+        parent.children.remove(li + 1);
+        left.entries.push(sep);
+        self.rebind_entry(sep, ad_of_parent(Some(parent_ptr)))?;
+        // Right's entries move into `left`, whose parent is the same
+        // `parent_ptr`, so their binding value is unchanged. Only right's
+        // *children* get a new parent node (left), so their entries
+        // rebind.
+        left.entries.extend_from_slice(&right.entries);
+        if !left.leaf {
+            for &gc in &right.children {
+                let g = self.read_node(gc)?;
+                self.rebind_node_entries(&g, ad_of_parent(Some(left_ptr)))?;
+            }
+            left.children.extend_from_slice(&right.children);
+        }
+        self.write_node(left_ptr, &left)?;
+        self.write_node(parent_ptr, parent)?;
+        self.core.heap.free(right_ptr)?;
+        Ok(())
+    }
+
+    /// Extract the maximum entry pointer from the subtree at `node_ptr`,
+    /// maintaining B-tree invariants on the way down.
+    fn extract_max(&mut self, node_ptr: UPtr, parent: Option<UPtr>) -> Result<UPtr, StoreError> {
+        let mut node = self.read_node(node_ptr)?;
+        if node.leaf {
+            let e = node.entries.pop().expect("invariant: non-empty");
+            self.write_node(node_ptr, &node)?;
+            return Ok(e);
+        }
+        let last = node.children.len() - 1;
+        let node_ad = ad_of_parent(parent);
+        let ci = self.fill_child(node_ptr, &mut node, node_ad, last)?;
+        self.extract_max(node.children[ci], Some(node_ptr))
+    }
+
+    /// Extract the minimum entry pointer from the subtree.
+    fn extract_min(&mut self, node_ptr: UPtr, parent: Option<UPtr>) -> Result<UPtr, StoreError> {
+        let mut node = self.read_node(node_ptr)?;
+        if node.leaf {
+            let e = node.entries.remove(0);
+            self.write_node(node_ptr, &node)?;
+            return Ok(e);
+        }
+        let node_ad = ad_of_parent(parent);
+        let ci = self.fill_child(node_ptr, &mut node, node_ad, 0)?;
+        self.extract_min(node.children[ci], Some(node_ptr))
+    }
+
+    /// Recursive delete; node is guaranteed to have > min entries (or be
+    /// the root).
+    fn delete_from(&mut self, node_ptr: UPtr, parent: Option<UPtr>, key: &[u8]) -> Result<bool, StoreError> {
+        let mut node = self.read_node(node_ptr)?;
+        let node_ad = ad_of_parent(parent);
+        match self.position(&node, node_ad, key)? {
+            Ok(i) => {
+                let victim = node.entries[i];
+                let header = self.core.read_header(victim)?;
+                if node.leaf {
+                    node.entries.remove(i);
+                    self.write_node(node_ptr, &node)?;
+                } else {
+                    // Replace with predecessor or successor, preferring
+                    // the side that can afford to lose an entry.
+                    let left_ptr = node.children[i];
+                    let left = self.read_node(left_ptr)?;
+                    let replacement = if left.entries.len() > self.min_entries() {
+                        self.extract_max(left_ptr, Some(node_ptr))?
+                    } else {
+                        let right_ptr = node.children[i + 1];
+                        let right = self.read_node(right_ptr)?;
+                        if right.entries.len() > self.min_entries() {
+                            self.extract_min(right_ptr, Some(node_ptr))?
+                        } else {
+                            // Both neighbours at minimum: merge THEM around
+                            // the victim (CLRS case 3c) — a generic
+                            // fill_child could borrow from a farther
+                            // sibling and leave the victim stranded in
+                            // this node — then recurse into the merge.
+                            self.merge_children(node_ptr, &mut node, i)?;
+                            return self.delete_from(node.children[i], Some(node_ptr), key);
+                        }
+                    };
+                    // Re-read: extraction may have restructured the node.
+                    node = self.read_node(node_ptr)?;
+                    let pos = self
+                        .find_entry_position(&node, victim)
+                        .ok_or(StoreError::Integrity(Violation::EntryMacMismatch))?;
+                    node.entries[pos] = replacement;
+                    self.write_node(node_ptr, &node)?;
+                    self.rebind_entry(replacement, node_ad)?;
+                }
+                self.finish_delete(&header)?;
+                Ok(true)
+            }
+            Err(_) if node.leaf => Ok(false),
+            Err(i) => {
+                let ci = self.fill_child(node_ptr, &mut node, node_ad, i)?;
+                // fill_child may have merged the separator down; re-search
+                // from this node to stay correct.
+                let node = self.read_node(node_ptr)?;
+                let _ = ci;
+                match self.position(&node, node_ad, key)? {
+                    Ok(_) => self.delete_from(node_ptr, parent, key),
+                    Err(j) => self.delete_from(node.children[j], Some(node_ptr), key),
+                }
+            }
+        }
+    }
+
+    fn find_entry_position(&self, node: &Node, target: UPtr) -> Option<usize> {
+        node.entries.iter().position(|&e| e == target)
+    }
+
+    fn finish_delete(&mut self, header: &EntryHeader) -> Result<(), StoreError> {
+        self.core.retire_counter(header.redptr)?;
+        self.core.len -= 1;
+        Ok(())
+    }
+
+    /// Collapse an empty root after deletion.
+    fn shrink_root(&mut self) -> Result<(), StoreError> {
+        if self.root.is_null() {
+            return Ok(());
+        }
+        let root = self.read_node(self.root)?;
+        if root.entries.is_empty() {
+            if root.leaf {
+                self.core.heap.free(self.root)?;
+                self.root = UPtr::NULL;
+                self.height = 0;
+            } else {
+                let new_root = root.children[0];
+                self.core.heap.free(self.root)?;
+                self.root = new_root;
+                self.height -= 1;
+                // Entries of the new root are now bound to the EPC anchor.
+                let node = self.read_node(new_root)?;
+                self.rebind_node_entries(&node, AD_ROOT_TAG)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The store's core (diagnostics).
+    pub fn core(&self) -> &StoreCore {
+        &self.core
+    }
+
+    /// Mutable core access.
+    pub fn core_mut(&mut self) -> &mut StoreCore {
+        &mut self.core
+    }
+
+    /// Trusted tree height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Range scan: all `(key, value)` pairs with `lo <= key < hi`, in
+    /// key order — the query class the paper motivates tree indexes with.
+    /// Every entry touched is verified and decrypted (cost-charged like
+    /// any other access), including the boundary entries used to prune
+    /// subtrees.
+    pub fn range(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<KvPair>, StoreError> {
+        let mut out = Vec::new();
+        if self.root.is_null() || lo >= hi {
+            return Ok(out);
+        }
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        self.range_walk(self.root, None, lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    fn range_walk(
+        &mut self,
+        node_ptr: UPtr,
+        parent: Option<UPtr>,
+        lo: &[u8],
+        hi: &[u8],
+        out: &mut Vec<KvPair>,
+    ) -> Result<(), StoreError> {
+        let node = self.read_node(node_ptr)?;
+        let node_ad = ad_of_parent(parent);
+        for i in 0..node.entries.len() {
+            let (k, v, _h) = self.open_entry(node.entries[i], node_ad)?;
+            // Descend left of entry i when the range can contain keys
+            // smaller than k.
+            if !node.leaf && lo < k.as_slice() {
+                self.range_walk(node.children[i], Some(node_ptr), lo, hi, out)?;
+            }
+            if k.as_slice() >= hi {
+                return Ok(());
+            }
+            if k.as_slice() >= lo {
+                out.push((k, v));
+            }
+        }
+        if !node.leaf {
+            // The rightmost subtree holds keys greater than every entry.
+            let last = *node.children.last().expect("inner node has children");
+            self.range_walk(last, Some(node_ptr), lo, hi, out)?;
+        }
+        Ok(())
+    }
+
+    /// In-order key ids (verified decrypting walk) — range-scan support
+    /// and test oracle.
+    pub fn keys_in_order(&mut self) -> Result<Vec<Vec<u8>>, StoreError> {
+        let mut out = Vec::new();
+        if self.root.is_null() {
+            return Ok(out);
+        }
+        self.collect_in_order(self.root, None, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_in_order(
+        &mut self,
+        node_ptr: UPtr,
+        parent: Option<UPtr>,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), StoreError> {
+        let node = self.read_node(node_ptr)?;
+        let node_ad = ad_of_parent(parent);
+        for i in 0..node.entries.len() {
+            if !node.leaf {
+                self.collect_in_order(node.children[i], Some(node_ptr), out)?;
+            }
+            let (k, _v, _h) = self.open_entry(node.entries[i], node_ad)?;
+            out.push(k);
+        }
+        if !node.leaf {
+            self.collect_in_order(*node.children.last().expect("inner"), Some(node_ptr), out)?;
+        }
+        Ok(())
+    }
+
+    // --- attack API -------------------------------------------------------------
+
+    /// Swap the first child pointers of two distinct inner nodes, without
+    /// any bookkeeping (connection attack across parents).
+    pub fn attack_swap_child_pointers(&mut self) -> bool {
+        // Find two distinct inner nodes via BFS over raw node bytes.
+        let mut inner_nodes = Vec::new();
+        let mut queue = vec![self.root];
+        while let Some(ptr) = queue.pop() {
+            if ptr.is_null() {
+                continue;
+            }
+            let Ok(bytes) = self.core.heap.read(ptr, self.node_len()) else { continue };
+            let Some(node) = Node::from_bytes(bytes, self.order) else { continue };
+            if !node.leaf {
+                inner_nodes.push((ptr, node.clone()));
+                queue.extend(node.children.iter().copied());
+            }
+        }
+        if inner_nodes.len() < 2 {
+            return false;
+        }
+        let (p1, mut n1) = inner_nodes[0].clone();
+        let (p2, mut n2) = inner_nodes[1].clone();
+        std::mem::swap(&mut n1.children[0], &mut n2.children[0]);
+        let b1 = n1.to_bytes(self.order);
+        let b2 = n2.to_bytes(self.order);
+        let ok1 = self.core.heap.raw_mut(p1, b1.len()).map(|d| d.copy_from_slice(&b1)).is_ok();
+        let ok2 = self.core.heap.raw_mut(p2, b2.len()).map(|d| d.copy_from_slice(&b2)).is_ok();
+        ok1 && ok2
+    }
+
+    /// Clear the root's first entry + child without updating trusted
+    /// metadata (unauthorized deletion).
+    pub fn attack_truncate_root(&mut self) -> bool {
+        if self.root.is_null() {
+            return false;
+        }
+        let Ok(bytes) = self.core.heap.read(self.root, self.node_len()) else { return false };
+        let Some(mut node) = Node::from_bytes(bytes, self.order) else { return false };
+        if node.entries.is_empty() {
+            return false;
+        }
+        node.entries.clear();
+        if !node.leaf {
+            let keep = node.children[0];
+            node.children = vec![keep];
+        }
+        let b = node.to_bytes(self.order);
+        self.core.heap.raw_mut(self.root, b.len()).map(|d| d.copy_from_slice(&b)).is_ok()
+    }
+}
+
+impl KvStore for AriaTree {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        if self.root.is_null() {
+            let redptr = self.core.counters.fetch()?;
+            let counter = self.core.counters.bump(redptr)?;
+            let eptr = self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, AD_ROOT_TAG)?;
+            let mut node = Node::new_leaf();
+            node.entries.push(eptr);
+            self.root = self.alloc_node(&node)?;
+            self.height = 1;
+            self.core.len = 1;
+            return Ok(());
+        }
+        let root = self.read_node(self.root)?;
+        if root.entries.len() == self.order {
+            // Split the root: the old root's entries get a real parent.
+            let old_root_ptr = self.root;
+            let mut new_root = Node { leaf: false, entries: Vec::new(), children: vec![old_root_ptr] };
+            let new_root_ptr = self.alloc_node(&new_root)?;
+            // Old root entries rebind from the EPC anchor to the new root.
+            self.rebind_node_entries(&root, ad_of_parent(Some(new_root_ptr)))?;
+            self.split_child(new_root_ptr, &mut new_root, AD_ROOT_TAG, 0)?;
+            self.root = new_root_ptr;
+            self.height += 1;
+        }
+        let inserted = self.insert_nonfull(self.root, None, key, value)?;
+        if inserted {
+            self.core.len += 1;
+        }
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        if self.root.is_null() {
+            return Ok(None);
+        }
+        let mut ptr = self.root;
+        let mut parent = None;
+        let mut depth = 0u32;
+        loop {
+            depth += 1;
+            let node = self.read_node(ptr)?;
+            // A persisted B-tree node always holds at least one entry
+            // (empty roots are collapsed on delete); an empty node means
+            // an attacker truncated it in untrusted memory.
+            if node.entries.is_empty() {
+                return Err(StoreError::Integrity(Violation::UnauthorizedDeletion));
+            }
+            let node_ad = ad_of_parent(parent);
+            match self.position(&node, node_ad, key)? {
+                Ok(i) => {
+                    let (_k, v, _h) = self.open_entry(node.entries[i], node_ad)?;
+                    return Ok(Some(v));
+                }
+                Err(i) => {
+                    if node.leaf {
+                        // Miss: the walked depth must match the trusted
+                        // height or a node was unlinked by an attacker.
+                        self.core.enclave.access_epc(4);
+                        if depth != self.height {
+                            return Err(StoreError::Integrity(Violation::UnauthorizedDeletion));
+                        }
+                        return Ok(None);
+                    }
+                    parent = Some(ptr);
+                    ptr = node.children[i];
+                }
+            }
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        if self.root.is_null() {
+            return Ok(false);
+        }
+        let deleted = self.delete_from(self.root, None, key)?;
+        self.shrink_root()?;
+        Ok(deleted)
+    }
+
+    fn len(&self) -> u64 {
+        self.core.len
+    }
+
+    fn enclave(&self) -> &Rc<Enclave> {
+        &self.core.enclave
+    }
+
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        self.core.counters.as_cached().map(|c| c.cache_stats().hit_ratio())
+    }
+
+    fn cache_swapping(&self) -> Option<bool> {
+        self.core.counters.as_cached().map(|c| c.swapping())
+    }
+}

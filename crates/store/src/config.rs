@@ -1,0 +1,70 @@
+//! Store-level configuration.
+
+use aria_cache::CacheConfig;
+use aria_mem::AllocStrategy;
+
+/// Which design scheme a store instance implements (paper §III / Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Full Aria: Secure Cache over a counter Merkle tree.
+    Aria,
+    /// "Aria w/o Cache": all counters in an EPC array protected by
+    /// hardware secure paging; no Merkle tree.
+    AriaWithoutCache,
+}
+
+/// Configuration for an Aria store instance.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Design scheme.
+    pub scheme: Scheme,
+    /// Counters preallocated per Merkle tree (should cover the expected
+    /// keyspace; the counter area expands with a fresh tree when
+    /// exhausted).
+    pub counter_capacity: u64,
+    /// Merkle tree branching factor (Figure 15 sweeps 2..16).
+    pub arity: usize,
+    /// Secure Cache configuration (ignored by `AriaWithoutCache`).
+    pub cache: CacheConfig,
+    /// EPC bytes granted to the Secure Cache of each *expansion* tree.
+    pub expansion_cache_bytes: usize,
+    /// Number of hash buckets (hash index only).
+    pub buckets: usize,
+    /// Maximum entries per B-tree node (B-tree index only; order).
+    pub btree_order: usize,
+    /// Untrusted allocation strategy (`Ocall` reproduces `AriaBase`).
+    pub alloc: AllocStrategy,
+    /// Master secret for the cipher suite.
+    pub master_key: [u8; 16],
+    /// Seed for counter initialization.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            scheme: Scheme::Aria,
+            counter_capacity: 1 << 20,
+            arity: 8,
+            cache: CacheConfig::default(),
+            expansion_cache_bytes: 4 << 20,
+            buckets: 1 << 18,
+            btree_order: 16,
+            alloc: AllocStrategy::UserSpace,
+            master_key: [0x42; 16],
+            seed: 0xa21a,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A configuration sized for `keys` expected keys: counter capacity
+    /// with headroom and roughly 2 keys per hash bucket.
+    pub fn for_keys(keys: u64) -> Self {
+        StoreConfig {
+            counter_capacity: keys + keys / 8 + 1024,
+            buckets: (keys / 2).next_power_of_two().max(1024) as usize,
+            ..StoreConfig::default()
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared plumbing for the Aria store variants: enclave handle, cipher
+//! suite, untrusted heap, counter backend, and charged entry seal/open
+//! helpers used by both index schemes.
+
+use std::rc::Rc;
+
+use aria_cache::CacheConfig;
+use aria_crypto::{CipherSuite, RealSuite};
+use aria_mem::{UPtr, UserHeap};
+use aria_sim::Enclave;
+
+use crate::config::{Scheme, StoreConfig};
+use crate::counter::{CounterArea, CounterBackend, CounterStore, EpcCounters};
+use crate::entry::{self, EntryHeader};
+use crate::error::{StoreError, Violation};
+
+/// Components shared by [`crate::AriaHash`] and [`crate::AriaTree`].
+pub struct StoreCore {
+    /// The (simulated) enclave all costs are charged to.
+    pub enclave: Rc<Enclave>,
+    /// Cipher suite for sealing entries.
+    pub suite: Rc<dyn CipherSuite>,
+    /// Untrusted heap holding sealed entries (and tree nodes).
+    pub heap: UserHeap,
+    /// Counter backend (Secure Cache or EPC array).
+    pub counters: CounterBackend,
+    /// Live keys.
+    pub len: u64,
+    /// The configuration the store was built with.
+    pub config: StoreConfig,
+}
+
+impl StoreCore {
+    /// Assemble the core from a config, charging EPC reservations to
+    /// `enclave`. Pass a custom suite to use [`aria_crypto::FastSuite`]
+    /// in large harness sweeps.
+    pub fn new(
+        cfg: StoreConfig,
+        enclave: Rc<Enclave>,
+        suite: Option<Rc<dyn CipherSuite>>,
+    ) -> Result<Self, StoreError> {
+        let suite: Rc<dyn CipherSuite> =
+            suite.unwrap_or_else(|| Rc::new(RealSuite::from_master(&cfg.master_key)));
+        let heap = UserHeap::new(Rc::clone(&enclave), cfg.alloc);
+        let counters = match cfg.scheme {
+            Scheme::Aria => CounterBackend::Cached(CounterArea::new(
+                cfg.counter_capacity,
+                cfg.arity,
+                CacheConfig { ..cfg.cache.clone() },
+                Rc::clone(&suite),
+                Rc::clone(&enclave),
+                cfg.expansion_cache_bytes,
+                cfg.seed,
+            )?),
+            Scheme::AriaWithoutCache => {
+                CounterBackend::Epc(EpcCounters::new(cfg.counter_capacity, Rc::clone(&enclave), cfg.seed))
+            }
+        };
+        Ok(StoreCore { enclave, suite, heap, counters, len: 0, config: cfg })
+    }
+
+    fn check_lengths(key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        if key.len() > entry::MAX_KEY_LEN {
+            return Err(StoreError::KeyTooLong { len: key.len() });
+        }
+        if value.len() > entry::MAX_VALUE_LEN {
+            return Err(StoreError::ValueTooLong { len: value.len() });
+        }
+        Ok(())
+    }
+
+    fn mac_input_len(klen: usize, vlen: usize) -> usize {
+        // redptr(8) + hint(4) + lens(4) + ciphertext + counter(16) + ad(8)
+        16 + klen + vlen + 24
+    }
+
+    /// Seal a fresh entry into a new untrusted block; returns the block.
+    #[allow(clippy::too_many_arguments)] // mirrors the sealed-entry fields
+    pub fn seal_new(
+        &mut self,
+        next: UPtr,
+        redptr: u64,
+        key: &[u8],
+        value: &[u8],
+        counter: &[u8; 16],
+        ad_field: u64,
+    ) -> Result<UPtr, StoreError> {
+        Self::check_lengths(key, value)?;
+        self.enclave.charge_crypt(key.len() + value.len());
+        self.enclave.charge_mac(Self::mac_input_len(key.len(), value.len()));
+        let sealed = entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
+        let ptr = self.heap.alloc(sealed.len())?;
+        self.heap.write(ptr, &sealed)?;
+        Ok(ptr)
+    }
+
+    /// Re-seal an existing block in place (same sealed length).
+    #[allow(clippy::too_many_arguments)] // mirrors the sealed-entry fields
+    pub fn seal_in_place(
+        &mut self,
+        ptr: UPtr,
+        next: UPtr,
+        redptr: u64,
+        key: &[u8],
+        value: &[u8],
+        counter: &[u8; 16],
+        ad_field: u64,
+    ) -> Result<(), StoreError> {
+        Self::check_lengths(key, value)?;
+        self.enclave.charge_crypt(key.len() + value.len());
+        self.enclave.charge_mac(Self::mac_input_len(key.len(), value.len()));
+        let sealed = entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
+        self.heap.write(ptr, &sealed)?;
+        Ok(())
+    }
+
+    /// Read an entry's header (one small untrusted access).
+    pub fn read_header(&self, ptr: UPtr) -> Result<EntryHeader, StoreError> {
+        let bytes = self.heap.read(ptr, entry::HEADER_LEN)?;
+        entry::parse_header(bytes).ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
+    }
+
+    /// Read the full sealed bytes for a header.
+    pub fn read_sealed(&self, ptr: UPtr, header: &EntryHeader) -> Result<Vec<u8>, StoreError> {
+        Ok(self.heap.read(ptr, header.total_len())?.to_vec())
+    }
+
+    /// Verify + decrypt a sealed entry; charges MAC and decrypt costs.
+    /// Fetches the trusted counter through the counter backend.
+    pub fn open_checked(
+        &mut self,
+        sealed: &[u8],
+        header: &EntryHeader,
+        ad_field: u64,
+    ) -> Result<(Vec<u8>, Vec<u8>), StoreError> {
+        let counter = self.counters.get(header.redptr)?;
+        // The sealed bytes are copied into the enclave before they can be
+        // MAC-checked and decrypted (same copy-in ShieldStore pays for
+        // its bucket candidate).
+        self.enclave.access_epc(sealed.len());
+        self.enclave.charge_mac(Self::mac_input_len(header.klen, header.vlen));
+        self.enclave.charge_crypt(header.klen + header.vlen);
+        entry::open_entry(self.suite.as_ref(), sealed, &counter, ad_field)
+            .ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
+    }
+
+    /// Recompute an entry's MAC for a new incoming-pointer cell (AdField),
+    /// writing the refreshed sealed bytes back.
+    pub fn reseal_ad_field(
+        &mut self,
+        ptr: UPtr,
+        header: &EntryHeader,
+        new_ad: u64,
+    ) -> Result<(), StoreError> {
+        let counter = self.counters.get(header.redptr)?;
+        let mut sealed = self.read_sealed(ptr, header)?;
+        self.enclave.charge_mac(Self::mac_input_len(header.klen, header.vlen));
+        entry::reseal_ad_field(self.suite.as_ref(), &mut sealed, &counter, new_ad);
+        self.heap.write(ptr, &sealed)?;
+        Ok(())
+    }
+
+    /// Retire a counter: bump it first so any stale sealed bytes keyed to
+    /// the old value can never verify again, then release the id.
+    pub fn retire_counter(&mut self, redptr: u64) -> Result<(), StoreError> {
+        self.counters.bump(redptr)?;
+        self.counters.free(redptr)
+    }
+}
+
+/// 64-bit FNV-1a over arbitrary bytes (bucket hashing).
+pub fn hash_key(key: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,96 @@
+//! Store error types.
+
+use aria_mem::HeapError;
+
+/// Why an integrity check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A Merkle-tree node failed verification (counter tamper/replay).
+    MerkleMismatch {
+        /// Level of the failing node.
+        level: u32,
+        /// Index of the failing node.
+        index: u64,
+    },
+    /// A KV entry's MAC did not match (value tamper, replay, or a
+    /// redirected index connection via the additional field).
+    EntryMacMismatch,
+    /// A freed/used counter state contradiction in the redirection layer
+    /// (counter-reuse attack, §V-C).
+    CounterReuse {
+        /// The counter involved.
+        counter: u64,
+    },
+    /// In-enclave entry/deletion metadata contradicts the untrusted
+    /// structure (unauthorized deletion, §V-C).
+    UnauthorizedDeletion,
+    /// Untrusted allocator metadata inconsistent with the EPC bitmap.
+    AllocatorMetadata,
+    /// An untrusted pointer (index connection, entry link) referenced
+    /// memory outside any live allocation — pointer corruption.
+    CorruptPointer,
+}
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An attack (or corruption) was detected; the operation is refused.
+    Integrity(Violation),
+    /// The enclave could not reserve required EPC.
+    EpcExhausted,
+    /// The counter area is full and cannot expand.
+    CountersExhausted,
+    /// Untrusted heap failure.
+    Heap(HeapError),
+    /// Key longer than the fixed on-wire limit.
+    KeyTooLong {
+        /// Offending length.
+        len: usize,
+    },
+    /// Value longer than the fixed on-wire limit.
+    ValueTooLong {
+        /// Offending length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Integrity(v) => write!(f, "integrity violation detected: {v:?}"),
+            StoreError::EpcExhausted => write!(f, "EPC exhausted"),
+            StoreError::CountersExhausted => write!(f, "counter area exhausted"),
+            StoreError::Heap(e) => write!(f, "untrusted heap error: {e}"),
+            StoreError::KeyTooLong { len } => write!(f, "key too long: {len} bytes"),
+            StoreError::ValueTooLong { len } => write!(f, "value too long: {len} bytes"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<HeapError> for StoreError {
+    fn from(e: HeapError) -> Self {
+        match e {
+            HeapError::MetadataAttack { .. } => StoreError::Integrity(Violation::AllocatorMetadata),
+            // Pointers live in untrusted memory; a pointer that escapes
+            // every live allocation is corruption, and the enclave must
+            // treat following it as a detected attack, not an I/O error.
+            HeapError::InvalidPointer { .. } => StoreError::Integrity(Violation::CorruptPointer),
+            other => StoreError::Heap(other),
+        }
+    }
+}
+
+impl From<aria_cache::IntegrityViolation> for StoreError {
+    fn from(e: aria_cache::IntegrityViolation) -> Self {
+        StoreError::Integrity(Violation::MerkleMismatch { level: e.node.level, index: e.node.index })
+    }
+}
+
+impl StoreError {
+    /// Whether this error denotes a detected attack.
+    pub fn is_integrity_violation(&self) -> bool {
+        matches!(self, StoreError::Integrity(_))
+    }
+}

@@ -1,0 +1,866 @@
+//! Aria: a secure in-memory key-value store for untrusted hosts
+//! (reproduction of Yang et al., ICDE 2021).
+//!
+//! Encrypted KV pairs and the index live in untrusted memory; per-pair
+//! encryption counters are protected by a Merkle tree whose nodes are
+//! cached at fine granularity inside the (simulated) enclave by the
+//! Secure Cache. The crate provides:
+//!
+//! * [`AriaHash`] — the hash-table-indexed store (Aria-H),
+//! * [`AriaTree`] — the B-tree-indexed store (Aria-T),
+//! * [`AriaBPlusTree`] — the B+-tree extension the paper defers to
+//!   future work (Aria-T+): chained leaves + separately encrypted
+//!   routing keys,
+//! * [`BaselineStore`] — the everything-in-enclave baseline,
+//! * the `Aria w/o Cache` scheme via
+//!   [`config::Scheme::AriaWithoutCache`] on either index,
+//! * attack-injection APIs mirroring §V-C's threat analysis,
+//! * memory accounting for the paper's §VI-D4 analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aria_hash;
+pub mod baseline;
+pub mod bplus;
+pub mod btree;
+pub mod config;
+pub mod core;
+pub mod counter;
+pub mod entry;
+pub mod error;
+
+use std::rc::Rc;
+
+use aria_sim::Enclave;
+
+pub use aria_hash::AriaHash;
+pub use baseline::BaselineStore;
+pub use bplus::AriaBPlusTree;
+pub use btree::AriaTree;
+pub use config::{Scheme, StoreConfig};
+pub use counter::{CounterBackend, CounterStore};
+pub use error::{StoreError, Violation};
+
+/// Common store interface used by examples, tests and the bench harness.
+pub trait KvStore {
+    /// Insert or update a key.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+    /// Fetch a key's value (verified and decrypted). `Ok(None)` means the
+    /// key is genuinely absent; detected attacks surface as
+    /// [`StoreError::Integrity`].
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Remove a key; returns whether it existed.
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError>;
+    /// Live key count.
+    fn len(&self) -> u64;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The enclave this store charges costs to.
+    fn enclave(&self) -> &Rc<Enclave>;
+    /// Secure Cache lifetime hit ratio, for schemes that have one.
+    fn cache_hit_ratio(&self) -> Option<f64> {
+        None
+    }
+    /// Whether the Secure Cache is still swapping, for schemes that have
+    /// one.
+    fn cache_swapping(&self) -> Option<bool> {
+        None
+    }
+}
+
+/// Memory-consumption breakdown (paper §VI-D4).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Untrusted bytes of counters + Merkle inner nodes.
+    pub merkle_untrusted: usize,
+    /// Untrusted bytes reserved for sealed entries and index nodes.
+    pub heap_chunks: usize,
+    /// Live sealed bytes within those chunks.
+    pub heap_live: usize,
+    /// EPC bytes of allocator bitmaps.
+    pub epc_alloc_bitmaps: usize,
+    /// EPC bytes of the Secure Cache reservation.
+    pub epc_cache: usize,
+    /// Total EPC in use.
+    pub epc_total: usize,
+    /// Untrusted free-list bytes.
+    pub freelist: usize,
+}
+
+impl AriaHash {
+    /// Compute the memory breakdown for §VI-D4.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let heap = self.core().heap.stats();
+        let merkle = self.core().counters.as_cached().map(|c| c.merkle_bytes()).unwrap_or(0);
+        let cache = self
+            .core()
+            .counters
+            .as_cached()
+            .map(|c| (0..c.trees()).map(|i| c.cache(i).capacity_bytes()).sum())
+            .unwrap_or(0);
+        MemoryBreakdown {
+            merkle_untrusted: merkle,
+            heap_chunks: heap.chunk_bytes,
+            heap_live: heap.live_bytes,
+            epc_alloc_bitmaps: heap.epc_bitmap_bytes,
+            epc_cache: cache,
+            epc_total: self.enclave().epc_used(),
+            freelist: heap.freelist_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_cache::CacheConfig;
+    use aria_sim::CostModel;
+
+    fn enclave() -> Rc<Enclave> {
+        Rc::new(Enclave::new(CostModel::default(), 512 << 20))
+    }
+
+    fn hash_store(keys: u64) -> AriaHash {
+        let mut cfg = StoreConfig::for_keys(keys);
+        cfg.cache = CacheConfig::with_capacity(8 << 20);
+        AriaHash::new(cfg, enclave()).unwrap()
+    }
+
+    fn tree_store(keys: u64) -> AriaTree {
+        let mut cfg = StoreConfig::for_keys(keys);
+        cfg.cache = CacheConfig::with_capacity(8 << 20);
+        cfg.btree_order = 7;
+        AriaTree::new(cfg, enclave()).unwrap()
+    }
+
+    fn k(i: u64) -> Vec<u8> {
+        aria(i).to_vec()
+    }
+
+    fn aria(i: u64) -> [u8; 16] {
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&i.to_be_bytes());
+        key[8..].copy_from_slice(&i.wrapping_mul(0x9e37).to_le_bytes());
+        key
+    }
+
+    // --- hash store ------------------------------------------------------
+
+    #[test]
+    fn hash_put_get_roundtrip() {
+        let mut s = hash_store(1000);
+        for i in 0..200u64 {
+            s.put(&k(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        for i in 0..200u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), format!("value-{i}").as_bytes());
+        }
+        assert_eq!(s.get(&k(9999)).unwrap(), None);
+    }
+
+    #[test]
+    fn hash_update_same_and_different_size() {
+        let mut s = hash_store(100);
+        s.put(&k(1), b"aaaa").unwrap();
+        s.put(&k(1), b"bbbb").unwrap(); // same size: in place
+        assert_eq!(s.get(&k(1)).unwrap().unwrap(), b"bbbb");
+        s.put(&k(1), b"a-much-longer-value-that-relocates").unwrap();
+        assert_eq!(s.get(&k(1)).unwrap().unwrap().as_slice(), b"a-much-longer-value-that-relocates");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn hash_update_relocation_preserves_chain() {
+        // Force collisions: tiny bucket count.
+        let mut cfg = StoreConfig::for_keys(100);
+        cfg.buckets = 2;
+        cfg.cache = CacheConfig::with_capacity(4 << 20);
+        let mut s = AriaHash::new(cfg, enclave()).unwrap();
+        for i in 0..20u64 {
+            s.put(&k(i), b"0123456789").unwrap();
+        }
+        // Relocate an entry in the middle of a chain.
+        s.put(&k(5), b"a-significantly-longer-replacement-value").unwrap();
+        for i in 0..20u64 {
+            assert!(s.get(&k(i)).unwrap().is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn hash_delete() {
+        let mut s = hash_store(100);
+        for i in 0..50u64 {
+            s.put(&k(i), b"v").unwrap();
+        }
+        assert!(s.delete(&k(25)).unwrap());
+        assert!(!s.delete(&k(25)).unwrap());
+        assert_eq!(s.get(&k(25)).unwrap(), None);
+        assert_eq!(s.len(), 49);
+        // Neighbours unaffected.
+        for i in 0..50u64 {
+            if i != 25 {
+                assert!(s.get(&k(i)).unwrap().is_some(), "key {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_delete_middle_of_chain_reseals_successor() {
+        let mut cfg = StoreConfig::for_keys(100);
+        cfg.buckets = 1; // everything in one chain
+        cfg.cache = CacheConfig::with_capacity(4 << 20);
+        let mut s = AriaHash::new(cfg, enclave()).unwrap();
+        for i in 0..10u64 {
+            s.put(&k(i), b"value").unwrap();
+        }
+        assert!(s.delete(&k(4)).unwrap());
+        for i in 0..10u64 {
+            if i != 4 {
+                assert_eq!(s.get(&k(i)).unwrap().unwrap(), b"value", "key {i}");
+            }
+        }
+        assert!(s.delete(&k(0)).unwrap()); // head deletion
+        assert!(s.delete(&k(9)).unwrap()); // tail deletion
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn hash_empty_value_and_binary_keys() {
+        let mut s = hash_store(100);
+        s.put(b"\x00\x01\xff", b"").unwrap();
+        assert_eq!(s.get(b"\x00\x01\xff").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn hash_key_too_long_rejected() {
+        let mut s = hash_store(10);
+        let long = vec![0u8; 4096];
+        assert!(matches!(s.put(&long, b"v"), Err(StoreError::KeyTooLong { .. })));
+    }
+
+    // --- attacks on the hash store ----------------------------------------
+
+    #[test]
+    fn attack_value_tamper_detected() {
+        let mut s = hash_store(100);
+        s.put(&k(7), b"sensitive-value").unwrap();
+        assert!(s.attack_tamper_value(&k(7)));
+        let err = s.get(&k(7)).unwrap_err();
+        assert!(err.is_integrity_violation());
+    }
+
+    #[test]
+    fn attack_replay_detected() {
+        let mut s = hash_store(100);
+        s.put(&k(7), b"version-1-value").unwrap();
+        let snapshot = s.attack_snapshot(&k(7)).unwrap();
+        s.put(&k(7), b"version-2-value").unwrap();
+        assert!(s.attack_replay(&snapshot));
+        let err = s.get(&k(7)).unwrap_err();
+        assert!(err.is_integrity_violation(), "replay returned stale data undetected");
+    }
+
+    #[test]
+    fn attack_pointer_swap_detected() {
+        let mut s = hash_store(10_000);
+        // Find two keys in different buckets.
+        s.put(&k(1), b"value-one").unwrap();
+        s.put(&k(2), b"value-two").unwrap();
+        s.attack_swap_bucket_pointers(&k(1), &k(2));
+        // Reading either key now reaches an entry via the wrong pointer
+        // cell: its AdField-bound MAC fails.
+        let r1 = s.get(&k(1));
+        let r2 = s.get(&k(2));
+        let detected = matches!(&r1, Err(e) if e.is_integrity_violation())
+            || matches!(&r2, Err(e) if e.is_integrity_violation());
+        assert!(detected, "pointer swap undetected: {r1:?} {r2:?}");
+    }
+
+    #[test]
+    fn attack_unauthorized_delete_detected() {
+        let mut s = hash_store(100);
+        s.put(&k(3), b"to-be-hidden").unwrap();
+        assert!(s.attack_unauthorized_delete(&k(3)));
+        let err = s.get(&k(3)).unwrap_err();
+        assert_eq!(err, StoreError::Integrity(Violation::UnauthorizedDeletion));
+    }
+
+    #[test]
+    fn attack_counter_replay_detected() {
+        // Replay entry bytes AND the untrusted counter leaf: the Merkle
+        // chain catches the stale leaf.
+        let mut s = hash_store(100);
+        s.put(&k(9), b"original-longer").unwrap();
+        let snapshot = s.attack_snapshot(&k(9)).unwrap();
+        // Snapshot the counter leaf bytes too.
+        let header = entry::parse_header(&snapshot.1).unwrap();
+        let redptr = header.redptr;
+        let (leaf, _) = {
+            let area = s.core().counters.as_cached().unwrap();
+            area.cache(0).tree().locate_counter(redptr)
+        };
+        let old_leaf = {
+            let area = s.core().counters.as_cached().unwrap();
+            area.cache(0).tree().node(leaf).to_vec()
+        };
+        s.put(&k(9), b"updated-longer!").unwrap();
+        // Flush so the fresh counter reaches untrusted memory and the
+        // cache no longer shields the leaf.
+        s.core_mut().counters.as_cached_mut().unwrap().flush();
+        assert!(s.attack_replay(&snapshot));
+        let area = s.core_mut().counters.as_cached_mut().unwrap();
+        area.cache_mut(0).tree_mut_raw().write_node(leaf, &old_leaf);
+        let err = s.get(&k(9)).unwrap_err();
+        assert!(err.is_integrity_violation(), "counter replay undetected");
+    }
+
+    // --- Aria w/o Cache scheme ---------------------------------------------
+
+    #[test]
+    fn without_cache_scheme_works() {
+        let mut cfg = StoreConfig::for_keys(1000);
+        cfg.scheme = Scheme::AriaWithoutCache;
+        let mut s = AriaHash::new(cfg, enclave()).unwrap();
+        for i in 0..100u64 {
+            s.put(&k(i), b"wo-cache").unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), b"wo-cache");
+        }
+        // Tamper detection still works (MACs in untrusted memory, counters
+        // in the EPC).
+        assert!(s.attack_tamper_value(&k(5)));
+        assert!(s.get(&k(5)).unwrap_err().is_integrity_violation());
+    }
+
+    // --- B-tree store ---------------------------------------------------------
+
+    #[test]
+    fn tree_put_get_roundtrip() {
+        let mut s = tree_store(2000);
+        for i in 0..500u64 {
+            s.put(&k(i), format!("tval-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), format!("tval-{i}").as_bytes(), "key {i}");
+        }
+        assert_eq!(s.get(&k(9999)).unwrap(), None);
+        assert!(s.height() >= 2, "tree should have split");
+    }
+
+    #[test]
+    fn tree_keys_stay_ordered() {
+        let mut s = tree_store(1000);
+        // Insert in a scrambled order.
+        for i in 0..300u64 {
+            let id = (i * 7919) % 300;
+            s.put(&k(id), b"v").unwrap();
+        }
+        let keys = s.keys_in_order().unwrap();
+        assert_eq!(keys.len(), 300);
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "order violated");
+        }
+    }
+
+    #[test]
+    fn tree_range_scan() {
+        let mut s = tree_store(2000);
+        for i in 0..400u64 {
+            s.put(&k(i), format!("rv-{i}").as_bytes()).unwrap();
+        }
+        // Inclusive-lo, exclusive-hi.
+        let got = s.range(&k(100), &k(110)).unwrap();
+        assert_eq!(got.len(), 10);
+        for (offset, (key, value)) in got.iter().enumerate() {
+            assert_eq!(key, &k(100 + offset as u64));
+            assert_eq!(value, format!("rv-{}", 100 + offset).as_bytes());
+        }
+        // Full range and empty ranges.
+        assert_eq!(s.range(&k(0), &k(400)).unwrap().len(), 400);
+        assert_eq!(s.range(&k(50), &k(50)).unwrap().len(), 0);
+        assert_eq!(s.range(&k(500), &k(600)).unwrap().len(), 0);
+        // Boundaries that don't fall on existing keys.
+        let mut hi = k(20);
+        hi[15] ^= 0xff; // just past k(20) in byte order
+        let got = s.range(&k(18), &hi).unwrap();
+        assert!(got.len() >= 2 && got.len() <= 3);
+    }
+
+    #[test]
+    fn tree_range_matches_in_order_oracle() {
+        let mut s = tree_store(1000);
+        for i in 0..200u64 {
+            s.put(&k((i * 37) % 200), b"v").unwrap();
+        }
+        let all = s.keys_in_order().unwrap();
+        let ranged: Vec<Vec<u8>> =
+            s.range(&k(0), &k(200)).unwrap().into_iter().map(|(key, _)| key).collect();
+        assert_eq!(all, ranged);
+    }
+
+    #[test]
+    fn tree_update_existing() {
+        let mut s = tree_store(500);
+        for i in 0..100u64 {
+            s.put(&k(i), b"first").unwrap();
+        }
+        for i in 0..100u64 {
+            s.put(&k(i), b"second-longer-value").unwrap();
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), b"second-longer-value");
+        }
+    }
+
+    #[test]
+    fn tree_delete_various_positions() {
+        let mut s = tree_store(1000);
+        for i in 0..200u64 {
+            s.put(&k(i), b"value").unwrap();
+        }
+        // Delete every third key (hits leaves, inner nodes, borrows and
+        // merges).
+        for i in (0..200u64).step_by(3) {
+            assert!(s.delete(&k(i)).unwrap(), "delete {i}");
+        }
+        for i in 0..200u64 {
+            let expect = i % 3 != 0;
+            assert_eq!(s.get(&k(i)).unwrap().is_some(), expect, "key {i}");
+        }
+        let keys = s.keys_in_order().unwrap();
+        assert_eq!(keys.len() as u64, s.len());
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn tree_delete_everything() {
+        let mut s = tree_store(500);
+        for i in 0..120u64 {
+            s.put(&k(i), b"value").unwrap();
+        }
+        for i in 0..120u64 {
+            assert!(s.delete(&k(i)).unwrap(), "delete {i}");
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.height(), 0);
+        assert_eq!(s.get(&k(0)).unwrap(), None);
+        // Reinsert after emptying.
+        s.put(&k(1), b"again").unwrap();
+        assert_eq!(s.get(&k(1)).unwrap().unwrap(), b"again");
+    }
+
+    #[test]
+    fn tree_attack_child_pointer_swap_detected() {
+        let mut s = tree_store(4000);
+        for i in 0..1500u64 {
+            s.put(&k(i), b"v").unwrap();
+        }
+        assert!(s.height() >= 3, "need two levels of inner nodes");
+        assert!(s.attack_swap_child_pointers());
+        // Scan a spread of keys: at least one path crosses the swapped
+        // pointers and must fail verification.
+        let mut detected = false;
+        for i in 0..1500u64 {
+            match s.get(&k(i)) {
+                Err(e) if e.is_integrity_violation() => {
+                    detected = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(detected, "child pointer swap went undetected");
+    }
+
+    #[test]
+    fn tree_attack_truncate_root_detected() {
+        let mut s = tree_store(1000);
+        for i in 0..100u64 {
+            s.put(&k(i), b"v").unwrap();
+        }
+        assert!(s.attack_truncate_root());
+        let mut detected = false;
+        for i in 0..100u64 {
+            match s.get(&k(i)) {
+                Err(e) if e.is_integrity_violation() => {
+                    detected = true;
+                    break;
+                }
+                Ok(None) => {
+                    // A silent miss with wrong depth must have been
+                    // flagged instead.
+                }
+                _ => {}
+            }
+        }
+        assert!(detected, "root truncation went undetected");
+    }
+
+    // --- B+-tree extension (Aria-T+) ------------------------------------------
+
+    fn bplus_store(keys: u64) -> AriaBPlusTree {
+        let mut cfg = StoreConfig::for_keys(keys);
+        cfg.cache = CacheConfig::with_capacity(8 << 20);
+        cfg.btree_order = 7;
+        AriaBPlusTree::new(cfg, enclave()).unwrap()
+    }
+
+    #[test]
+    fn bplus_put_get_roundtrip() {
+        let mut s = bplus_store(2000);
+        for i in 0..500u64 {
+            s.put(&k(i), format!("bp-{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), format!("bp-{i}").as_bytes(), "key {i}");
+        }
+        assert_eq!(s.get(&k(9999)).unwrap(), None);
+        assert!(s.height() >= 2);
+    }
+
+    #[test]
+    fn bplus_scrambled_inserts_stay_ordered() {
+        let mut s = bplus_store(1000);
+        for i in 0..300u64 {
+            s.put(&k((i * 7919) % 300), b"v").unwrap();
+        }
+        let keys = s.keys_in_order().unwrap();
+        assert_eq!(keys.len(), 300);
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "B+ order violated");
+        }
+    }
+
+    #[test]
+    fn bplus_update_existing() {
+        let mut s = bplus_store(500);
+        for i in 0..100u64 {
+            s.put(&k(i), b"first").unwrap();
+        }
+        for i in 0..100u64 {
+            s.put(&k(i), b"second-longer-value").unwrap();
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(s.get(&k(i)).unwrap().unwrap(), b"second-longer-value");
+        }
+    }
+
+    #[test]
+    fn bplus_delete_various_positions() {
+        let mut s = bplus_store(1000);
+        for i in 0..200u64 {
+            s.put(&k(i), b"value").unwrap();
+        }
+        for i in (0..200u64).step_by(3) {
+            assert!(s.delete(&k(i)).unwrap(), "delete {i}");
+        }
+        for i in 0..200u64 {
+            let expect = i % 3 != 0;
+            assert_eq!(s.get(&k(i)).unwrap().is_some(), expect, "key {i}");
+        }
+        let keys = s.keys_in_order().unwrap();
+        assert_eq!(keys.len() as u64, s.len());
+    }
+
+    #[test]
+    fn bplus_delete_everything_and_reuse() {
+        let mut s = bplus_store(500);
+        for i in 0..120u64 {
+            s.put(&k(i), b"value").unwrap();
+        }
+        for i in 0..120u64 {
+            assert!(s.delete(&k(i)).unwrap(), "delete {i}");
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.height(), 0);
+        s.put(&k(1), b"again").unwrap();
+        assert_eq!(s.get(&k(1)).unwrap().unwrap(), b"again");
+    }
+
+    #[test]
+    fn bplus_range_scan_streams_leaves() {
+        let mut s = bplus_store(2000);
+        for i in 0..400u64 {
+            s.put(&k(i), format!("rv-{i}").as_bytes()).unwrap();
+        }
+        let got = s.range(&k(100), &k(150)).unwrap();
+        assert_eq!(got.len(), 50);
+        for (offset, (key, value)) in got.iter().enumerate() {
+            assert_eq!(key, &k(100 + offset as u64));
+            assert_eq!(value, format!("rv-{}", 100 + offset).as_bytes());
+        }
+        assert_eq!(s.range(&k(0), &k(400)).unwrap().len(), 400);
+        assert_eq!(s.range(&k(50), &k(50)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bplus_range_survives_churn() {
+        let mut s = bplus_store(1000);
+        for i in 0..300u64 {
+            s.put(&k(i), b"v1").unwrap();
+        }
+        for i in (0..300u64).step_by(2) {
+            s.delete(&k(i)).unwrap();
+        }
+        for i in (0..300u64).step_by(5) {
+            s.put(&k(i), b"v2").unwrap();
+        }
+        let got = s.range(&k(0), &k(300)).unwrap();
+        let expect: Vec<u64> = (0..300).filter(|i| i % 2 == 1 || i % 5 == 0).collect();
+        assert_eq!(got.len(), expect.len());
+        for ((key, _), id) in got.iter().zip(expect.iter()) {
+            assert_eq!(key, &k(*id));
+        }
+    }
+
+    #[test]
+    fn bplus_attack_child_pointer_swap_detected() {
+        let mut s = bplus_store(4000);
+        for i in 0..1500u64 {
+            s.put(&k(i), b"v").unwrap();
+        }
+        assert!(s.height() >= 3);
+        assert!(s.attack_swap_child_pointers());
+        let mut detected = false;
+        for i in 0..1500u64 {
+            if matches!(s.get(&k(i)), Err(e) if e.is_integrity_violation()) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "B+ child pointer swap undetected");
+    }
+
+    #[test]
+    fn bplus_point_lookup_cheaper_than_btree() {
+        // The extension's headline: routing decrypts short separator keys
+        // instead of full entries, so lookups cost fewer cycles at the
+        // same order — especially with larger values.
+        let cost_of = |bplus: bool| {
+            let enclave = enclave();
+            let mut cfg = StoreConfig::for_keys(4000);
+            cfg.cache = CacheConfig::with_capacity(8 << 20);
+            cfg.btree_order = 7;
+            let mut s: Box<dyn KvStore> = if bplus {
+                Box::new(AriaBPlusTree::new(cfg, Rc::clone(&enclave)).unwrap())
+            } else {
+                Box::new(AriaTree::new(cfg, Rc::clone(&enclave)).unwrap())
+            };
+            for i in 0..2000u64 {
+                s.put(&k(i), &[7u8; 256]).unwrap();
+            }
+            let c0 = enclave.cycles();
+            for i in 0..500u64 {
+                s.get(&k(i * 3 % 2000)).unwrap();
+            }
+            (enclave.cycles() - c0) / 500
+        };
+        let btree = cost_of(false);
+        let bplus = cost_of(true);
+        assert!(
+            bplus < btree,
+            "B+ lookups ({bplus} cyc) should beat B-tree lookups ({btree} cyc)"
+        );
+    }
+
+    // --- cross-cutting --------------------------------------------------------
+
+    #[test]
+    fn memory_breakdown_reports_components() {
+        let mut s = hash_store(10_000);
+        for i in 0..1000u64 {
+            s.put(&k(i), &[7u8; 64]).unwrap();
+        }
+        let m = s.memory_breakdown();
+        assert!(m.merkle_untrusted > 10_000 * 16, "counters + inner nodes");
+        assert!(m.heap_live > 0);
+        assert!(m.epc_cache > 0);
+        assert!(m.epc_total >= m.epc_cache);
+    }
+
+    #[test]
+    fn cycles_accumulate_per_operation() {
+        let mut s = hash_store(1000);
+        s.put(&k(0), b"value").unwrap();
+        let c0 = s.enclave().cycles();
+        s.get(&k(0)).unwrap();
+        let get_cost = s.enclave().cycles() - c0;
+        assert!(get_cost > 1000, "a Get should cost >1k cycles, got {get_cost}");
+        assert!(get_cost < 1_000_000, "a hot Get should not cost {get_cost}");
+    }
+
+    #[test]
+    fn counter_expansion_under_load() {
+        let mut cfg = StoreConfig::for_keys(64);
+        cfg.counter_capacity = 64;
+        cfg.cache = CacheConfig::with_capacity(1 << 20);
+        cfg.expansion_cache_bytes = 1 << 20;
+        let mut s = AriaHash::new(cfg, enclave()).unwrap();
+        for i in 0..200u64 {
+            s.put(&k(i), b"grow").unwrap();
+        }
+        for i in 0..200u64 {
+            assert!(s.get(&k(i)).unwrap().is_some());
+        }
+        assert!(s.core().counters.as_cached().unwrap().trees() > 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use aria_cache::CacheConfig;
+    use aria_sim::CostModel;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u8, Vec<u8>),
+        Get(u8),
+        Delete(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..64))
+                .prop_map(|(k, v)| Op::Put(k, v)),
+            3 => any::<u8>().prop_map(Op::Get),
+            2 => any::<u8>().prop_map(Op::Delete),
+        ]
+    }
+
+    fn key_of(id: u8) -> Vec<u8> {
+        format!("prop-key-{id:03}").into_bytes()
+    }
+
+    fn run_model<S: KvStore>(store: &mut S, ops: Vec<Op>) -> Result<(), TestCaseError> {
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(id, v) => {
+                    store.put(&key_of(id), &v).unwrap();
+                    model.insert(id, v);
+                }
+                Op::Get(id) => {
+                    let got = store.get(&key_of(id)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&id), "get {}", id);
+                }
+                Op::Delete(id) => {
+                    let existed = store.delete(&key_of(id)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&id).is_some(), "delete {}", id);
+                }
+            }
+            prop_assert_eq!(store.len(), model.len() as u64);
+        }
+        for (id, v) in &model {
+            let got = store.get(&key_of(*id)).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn hash_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.cache = CacheConfig::with_capacity(2 << 20);
+            cfg.buckets = 16; // force chains
+            let mut s = AriaHash::new(cfg, enclave).unwrap();
+            run_model(&mut s, ops)?;
+        }
+
+        #[test]
+        fn tree_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.cache = CacheConfig::with_capacity(2 << 20);
+            cfg.btree_order = 5; // force splits and merges
+            let mut s = AriaTree::new(cfg, enclave).unwrap();
+            run_model(&mut s, ops)?;
+        }
+
+        #[test]
+        fn tree_stays_ordered_under_churn(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.cache = CacheConfig::with_capacity(2 << 20);
+            cfg.btree_order = 5;
+            let mut s = AriaTree::new(cfg, enclave).unwrap();
+            for op in ops {
+                match op {
+                    Op::Put(id, v) => { s.put(&key_of(id), &v).unwrap(); }
+                    Op::Get(id) => { s.get(&key_of(id)).unwrap(); }
+                    Op::Delete(id) => { s.delete(&key_of(id)).unwrap(); }
+                }
+            }
+            let keys = s.keys_in_order().unwrap();
+            prop_assert_eq!(keys.len() as u64, s.len());
+            for w in keys.windows(2) {
+                prop_assert!(w[0] < w[1], "B-tree order violated");
+            }
+        }
+
+        #[test]
+        fn bplus_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.cache = CacheConfig::with_capacity(2 << 20);
+            cfg.btree_order = 5; // force splits and merges
+            let mut s = AriaBPlusTree::new(cfg, enclave).unwrap();
+            run_model(&mut s, ops)?;
+        }
+
+        #[test]
+        fn bplus_stays_ordered_under_churn(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.cache = CacheConfig::with_capacity(2 << 20);
+            cfg.btree_order = 5;
+            let mut s = AriaBPlusTree::new(cfg, enclave).unwrap();
+            for op in ops {
+                match op {
+                    Op::Put(id, v) => { s.put(&key_of(id), &v).unwrap(); }
+                    Op::Get(id) => { s.get(&key_of(id)).unwrap(); }
+                    Op::Delete(id) => { s.delete(&key_of(id)).unwrap(); }
+                }
+            }
+            let keys = s.keys_in_order().unwrap();
+            prop_assert_eq!(keys.len() as u64, s.len());
+            for w in keys.windows(2) {
+                prop_assert!(w[0] < w[1], "B+-tree order violated");
+            }
+        }
+
+        #[test]
+        fn without_cache_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let mut cfg = StoreConfig::for_keys(512);
+            cfg.scheme = Scheme::AriaWithoutCache;
+            cfg.buckets = 16;
+            let mut s = AriaHash::new(cfg, enclave).unwrap();
+            run_model(&mut s, ops)?;
+        }
+
+        #[test]
+        fn baseline_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let mut s = BaselineStore::new(enclave, 1 << 20);
+            run_model(&mut s, ops)?;
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Facebook ETC pool emulation (paper §VI-B, after Atikoglu et al.,
+//! SIGMETRICS'12).
+//!
+//! Fixed 16-byte keys, variable values in three classes:
+//!
+//! * **tiny** (1–13 B) — 40 % of the keyspace,
+//! * **small** (14–300 B) — 55 % of the keyspace,
+//! * **large** (> 300 B, capped at 1024 B here) — the remaining 5 %.
+//!
+//! Key popularity is zipfian (skewness 0.99) over the tiny+small keys —
+//! plain (unscrambled) zipfian, so the hottest keys are the tiny-value
+//! ids, consistent with the SIGMETRICS'12 observation that tiny values
+//! dominate ETC traffic. Large keys are "chosen uniformly at random"
+//! (paper wording). The paper does not state how request traffic splits
+//! between the two groups; we route requests to the large group in
+//! proportion to its keyspace share (5 %), which keeps large keys cold.
+//! Recorded as a reproduction assumption in DESIGN.md/EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ycsb::Request;
+use crate::zipf::{fnv1a64, ZipfianGenerator};
+
+/// Fraction of keys with tiny values.
+pub const TINY_KEY_FRACTION: f64 = 0.40;
+/// Fraction of keys with small values.
+pub const SMALL_KEY_FRACTION: f64 = 0.55;
+/// Fraction of requests routed to the (uniform) large-key group.
+pub const LARGE_REQUEST_FRACTION: f64 = 0.05;
+/// Upper bound we place on "large" (> 300 B) values.
+pub const LARGE_VALUE_CAP: usize = 1024;
+
+/// ETC workload configuration.
+#[derive(Debug, Clone)]
+pub struct EtcConfig {
+    /// Number of distinct keys.
+    pub keyspace: u64,
+    /// Fraction of Get requests.
+    pub read_ratio: f64,
+    /// Zipf skewness over the tiny+small keys.
+    pub theta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EtcConfig {
+    fn default() -> Self {
+        EtcConfig { keyspace: 10_000_000, read_ratio: 0.95, theta: 0.99, seed: 0xe7c }
+    }
+}
+
+/// Streaming ETC request generator.
+pub struct EtcWorkload {
+    cfg: EtcConfig,
+    /// Zipf over the tiny+small partition.
+    zipf: ZipfianGenerator,
+    hot_keys: u64,
+    rng: StdRng,
+}
+
+impl EtcWorkload {
+    /// Build the generator.
+    pub fn new(cfg: EtcConfig) -> Self {
+        let hot_keys = ((cfg.keyspace as f64) * (TINY_KEY_FRACTION + SMALL_KEY_FRACTION)) as u64;
+        let hot_keys = hot_keys.max(1).min(cfg.keyspace);
+        let zipf = ZipfianGenerator::new(hot_keys, cfg.theta);
+        EtcWorkload { zipf, hot_keys, rng: StdRng::seed_from_u64(cfg.seed), cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EtcConfig {
+        &self.cfg
+    }
+
+    /// Value length for a key id — deterministic, so load and request
+    /// phases agree. Ids `0..40%` are tiny, `40%..95%` small, rest large.
+    pub fn value_len_for(cfg_keyspace: u64, id: u64) -> usize {
+        let tiny_end = ((cfg_keyspace as f64) * TINY_KEY_FRACTION) as u64;
+        let small_end = ((cfg_keyspace as f64) * (TINY_KEY_FRACTION + SMALL_KEY_FRACTION)) as u64;
+        let h = fnv1a64(id ^ 0xe7c0_ffee);
+        if id < tiny_end {
+            1 + (h % 13) as usize // 1..=13
+        } else if id < small_end {
+            14 + (h % 287) as usize // 14..=300
+        } else {
+            301 + (h % (LARGE_VALUE_CAP as u64 - 300)) as usize // 301..=1024
+        }
+    }
+
+    /// Draw the next key id.
+    pub fn next_id(&mut self) -> u64 {
+        if self.hot_keys < self.cfg.keyspace
+            && self.rng.gen::<f64>() < LARGE_REQUEST_FRACTION
+        {
+            // Uniform over the large keys.
+            self.rng.gen_range(self.hot_keys..self.cfg.keyspace)
+        } else {
+            self.zipf.next(&mut self.rng)
+        }
+    }
+
+    /// Draw a fresh value length for a put to `id`: the key keeps its
+    /// size *class* but the size within the class is redrawn, as in the
+    /// production trace — so most updates change the value length and
+    /// force a reallocation (this is what makes per-allocation OCALLs
+    /// visible in the paper's Figure 12 `AriaBase` ablation).
+    pub fn draw_put_len(&mut self, id: u64) -> usize {
+        let tiny_end = ((self.cfg.keyspace as f64) * TINY_KEY_FRACTION) as u64;
+        let small_end =
+            ((self.cfg.keyspace as f64) * (TINY_KEY_FRACTION + SMALL_KEY_FRACTION)) as u64;
+        if id < tiny_end {
+            self.rng.gen_range(1..=13)
+        } else if id < small_end {
+            self.rng.gen_range(14..=300)
+        } else {
+            self.rng.gen_range(301..=LARGE_VALUE_CAP)
+        }
+    }
+
+    /// Draw the next request.
+    pub fn next_request(&mut self) -> Request {
+        let id = self.next_id();
+        if self.rng.gen::<f64>() < self.cfg.read_ratio {
+            Request::Get { id }
+        } else {
+            let value_len = self.draw_put_len(id);
+            Request::Put { id, value_len }
+        }
+    }
+
+    /// Key ids plus value lengths for the load phase.
+    pub fn load_items(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        let ks = self.cfg.keyspace;
+        (0..ks).map(move |id| (id, Self::value_len_for(ks, id)))
+    }
+}
+
+impl Iterator for EtcWorkload {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_classes_match_key_partition() {
+        let ks = 10_000;
+        let mut tiny = 0;
+        let mut small = 0;
+        let mut large = 0;
+        for id in 0..ks {
+            match EtcWorkload::value_len_for(ks, id) {
+                1..=13 => tiny += 1,
+                14..=300 => small += 1,
+                301..=LARGE_VALUE_CAP => large += 1,
+                other => panic!("value length {other} out of any class"),
+            }
+        }
+        assert_eq!(tiny, 4000);
+        assert_eq!(small, 5500);
+        assert_eq!(large, 500);
+    }
+
+    #[test]
+    fn requests_mostly_hit_hot_partition() {
+        let mut w = EtcWorkload::new(EtcConfig { keyspace: 10_000, ..EtcConfig::default() });
+        let hot_end = 9500;
+        let mut hot = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if w.next_id() < hot_end {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / n as f64;
+        assert!((share - 0.95).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn read_ratio_respected() {
+        for rr in [0.0, 0.5, 0.95, 1.0] {
+            let mut w = EtcWorkload::new(EtcConfig {
+                keyspace: 1000,
+                read_ratio: rr,
+                ..EtcConfig::default()
+            });
+            let n = 10_000;
+            let gets = (&mut w).take(n).filter(|r| r.is_get()).count() as f64 / n as f64;
+            assert!((gets - rr).abs() < 0.02, "rr {rr} got {gets}");
+        }
+    }
+
+    #[test]
+    fn put_lengths_stay_in_key_class() {
+        let mut w = EtcWorkload::new(EtcConfig { keyspace: 10_000, read_ratio: 0.0, ..EtcConfig::default() });
+        for _ in 0..5_000 {
+            if let Request::Put { id, value_len } = w.next_request() {
+                let class_len = EtcWorkload::value_len_for(10_000, id);
+                let same_class = match class_len {
+                    1..=13 => (1..=13).contains(&value_len),
+                    14..=300 => (14..=300).contains(&value_len),
+                    _ => (301..=LARGE_VALUE_CAP).contains(&value_len),
+                };
+                assert!(same_class, "id {id}: class len {class_len}, put len {value_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_items_cover_keyspace() {
+        let w = EtcWorkload::new(EtcConfig { keyspace: 100, ..EtcConfig::default() });
+        let items: Vec<(u64, usize)> = w.load_items().collect();
+        assert_eq!(items.len(), 100);
+        assert!(items.iter().all(|(id, len)| *id < 100 && *len >= 1 && *len <= LARGE_VALUE_CAP));
+    }
+
+    #[test]
+    fn hot_keys_are_skewed() {
+        let mut w = EtcWorkload::new(EtcConfig { keyspace: 100_000, ..EtcConfig::default() });
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(w.next_id()).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.into_values().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top100: u64 = freq.iter().take(100).sum();
+        assert!(top100 as f64 / 50_000.0 > 0.3, "top-100 share too low");
+    }
+}

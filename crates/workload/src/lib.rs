@@ -1,0 +1,55 @@
+//! Workload generators for the Aria evaluation.
+//!
+//! * [`ycsb`] — the YCSB microbenchmark grid (§VI-A): uniform / zipfian
+//!   key popularity, configurable read ratio and value size.
+//! * [`etc`] — the Facebook ETC pool emulation (§VI-B): tiny/small/large
+//!   value classes with zipfian traffic over the tiny+small keys.
+//! * [`zipf`] — the underlying YCSB-style (scrambled) zipfian samplers.
+//! * [`keys`] — deterministic 16-byte key and value codecs shared by
+//!   loaders, drivers and verifiers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod etc;
+pub mod keys;
+pub mod ycsb;
+pub mod zipf;
+
+pub use etc::{EtcConfig, EtcWorkload};
+pub use keys::{decode_key, encode_key, value_bytes, KEY_LEN};
+pub use ycsb::{KeyDistribution, Request, YcsbConfig, YcsbWorkload};
+pub use zipf::{fnv1a64, ScrambledZipfian, ZipfianGenerator};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn zipf_ranks_always_in_domain(n in 1u64..10_000, theta in 0.2f64..1.4, seed in any::<u64>()) {
+            // theta == 1.0 is excluded by construction assertions.
+            let theta = if (theta - 1.0).abs() < 1e-3 { 0.99 } else { theta };
+            let g = ZipfianGenerator::new(n, theta);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                prop_assert!(g.next(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn key_codec_roundtrips(id in any::<u64>()) {
+            prop_assert_eq!(decode_key(&encode_key(id)), Some(id));
+        }
+
+        #[test]
+        fn etc_value_lengths_in_class(ks in 100u64..100_000, id in any::<u64>()) {
+            let id = id % ks;
+            let len = EtcWorkload::value_len_for(ks, id);
+            prop_assert!((1..=etc::LARGE_VALUE_CAP).contains(&len));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! YCSB-style microbenchmark workloads (paper §VI-A).
+//!
+//! The paper's grid: keyspace of 10 M 16-byte keys; value sizes 16 B
+//! (small), 128 B (medium), 512 B (large); read ratios 50 %, 95 %, 100 %;
+//! key popularity either uniform or zipfian with skewness 0.99 (YCSB's
+//! default skew). Plain and scrambled zipfian variants are provided; see
+//! [`KeyDistribution`] for the locality trade-off between them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::{ScrambledZipfian, ZipfianGenerator};
+
+/// Key-popularity distribution.
+#[derive(Debug, Clone)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Plain zipfian: rank r = key id r, so hot keys are contiguous in
+    /// the id space (and therefore cluster in counter Merkle leaves and
+    /// EPC pages, since ids are assigned in load order). This matches
+    /// the locality the paper's measurements imply for both Secure Cache
+    /// and hardware-paging hotness.
+    Zipfian {
+        /// Skew parameter (YCSB default 0.99).
+        theta: f64,
+    },
+    /// YCSB's ScrambledZipfianGenerator: zipfian popularity with hot keys
+    /// scattered uniformly over the id space — the adversarial layout for
+    /// any page- or node-granularity hotness tracking.
+    ScrambledZipfian {
+        /// Skew parameter.
+        theta: f64,
+    },
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Read the value of a key id.
+    Get {
+        /// Key id in `0..keyspace`.
+        id: u64,
+    },
+    /// Write (upsert) a key id with a value of the given length.
+    Put {
+        /// Key id in `0..keyspace`.
+        id: u64,
+        /// Value length in bytes.
+        value_len: usize,
+    },
+}
+
+impl Request {
+    /// The key id this request touches.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Get { id } | Request::Put { id, .. } => *id,
+        }
+    }
+
+    /// Whether this is a read.
+    pub fn is_get(&self) -> bool {
+        matches!(self, Request::Get { .. })
+    }
+}
+
+/// YCSB workload configuration.
+#[derive(Debug, Clone)]
+pub struct YcsbConfig {
+    /// Number of distinct keys.
+    pub keyspace: u64,
+    /// Fraction of Get requests (0.0 ..= 1.0).
+    pub read_ratio: f64,
+    /// Fixed value length in bytes.
+    pub value_len: usize,
+    /// Key popularity.
+    pub distribution: KeyDistribution,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            keyspace: 10_000_000,
+            read_ratio: 0.95,
+            value_len: 16,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            seed: 0x5eed,
+        }
+    }
+}
+
+enum Sampler {
+    Uniform,
+    Plain(ZipfianGenerator),
+    Scrambled(ScrambledZipfian),
+}
+
+/// Streaming YCSB request generator.
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    sampler: Sampler,
+    rng: StdRng,
+}
+
+impl YcsbWorkload {
+    /// Build the generator (precomputes the zipfian constants).
+    pub fn new(cfg: YcsbConfig) -> Self {
+        let sampler = match cfg.distribution {
+            KeyDistribution::Uniform => Sampler::Uniform,
+            KeyDistribution::Zipfian { theta } => {
+                Sampler::Plain(ZipfianGenerator::new(cfg.keyspace, theta))
+            }
+            KeyDistribution::ScrambledZipfian { theta } => {
+                Sampler::Scrambled(ScrambledZipfian::new(cfg.keyspace, theta))
+            }
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        YcsbWorkload { cfg, sampler, rng }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    /// Draw the next key id.
+    pub fn next_id(&mut self) -> u64 {
+        match &self.sampler {
+            Sampler::Uniform => self.rng.gen_range(0..self.cfg.keyspace),
+            Sampler::Plain(z) => z.next(&mut self.rng),
+            Sampler::Scrambled(z) => z.next(&mut self.rng),
+        }
+    }
+
+    /// Draw the next request.
+    pub fn next_request(&mut self) -> Request {
+        let id = self.next_id();
+        if self.rng.gen::<f64>() < self.cfg.read_ratio {
+            Request::Get { id }
+        } else {
+            Request::Put { id, value_len: self.cfg.value_len }
+        }
+    }
+
+    /// Key ids for the initial load phase (every key once).
+    pub fn load_ids(&self) -> impl Iterator<Item = u64> {
+        0..self.cfg.keyspace
+    }
+}
+
+impl Iterator for YcsbWorkload {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        Some(self.next_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_ratio_respected() {
+        let mut w = YcsbWorkload::new(YcsbConfig {
+            keyspace: 1000,
+            read_ratio: 0.95,
+            ..YcsbConfig::default()
+        });
+        let n = 20_000;
+        let gets = (&mut w).take(n).filter(|r| r.is_get()).count();
+        let ratio = gets as f64 / n as f64;
+        assert!((ratio - 0.95).abs() < 0.01, "got {ratio}");
+    }
+
+    #[test]
+    fn ids_in_range_both_distributions() {
+        for dist in [KeyDistribution::Uniform, KeyDistribution::Zipfian { theta: 0.99 }] {
+            let mut w = YcsbWorkload::new(YcsbConfig {
+                keyspace: 500,
+                distribution: dist,
+                ..YcsbConfig::default()
+            });
+            for _ in 0..5_000 {
+                assert!(w.next_id() < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_uniform_is_not() {
+        let hot_share = |dist| {
+            let mut w = YcsbWorkload::new(YcsbConfig {
+                keyspace: 10_000,
+                distribution: dist,
+                seed: 7,
+                ..YcsbConfig::default()
+            });
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..50_000 {
+                *counts.entry(w.next_id()).or_insert(0u64) += 1;
+            }
+            let mut freq: Vec<u64> = counts.into_values().collect();
+            freq.sort_unstable_by(|a, b| b.cmp(a));
+            freq.iter().take(100).sum::<u64>() as f64 / 50_000.0
+        };
+        let zipf = hot_share(KeyDistribution::Zipfian { theta: 0.99 });
+        let unif = hot_share(KeyDistribution::Uniform);
+        assert!(zipf > 0.4, "zipf top-100 share {zipf}");
+        assert!(unif < 0.1, "uniform top-100 share {unif}");
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let cfg = YcsbConfig { keyspace: 100, seed: 42, ..YcsbConfig::default() };
+        let a: Vec<Request> = YcsbWorkload::new(cfg.clone()).take(100).collect();
+        let b: Vec<Request> = YcsbWorkload::new(cfg).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

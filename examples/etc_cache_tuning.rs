@@ -1,0 +1,71 @@
+//! Tune the Secure Cache for a production-like workload: run the
+//! Facebook ETC mix against Aria-H at several cache sizes and
+//! replacement policies, showing the price-performance trade-off that
+//! the paper's Figure 12/14 analyses (a smaller cache frees EPC for
+//! other tenants at a modest throughput cost; FIFO beats LRU because
+//! hits pay no metadata tax).
+//!
+//! ```sh
+//! cargo run --release --example etc_cache_tuning
+//! ```
+
+use aria::prelude::*;
+use std::rc::Rc;
+
+const KEYS: u64 = 200_000;
+const OPS: u64 = 100_000;
+
+fn run_point(cache_bytes: usize, policy: EvictionPolicy) -> (f64, f64) {
+    let enclave = Rc::new(Enclave::with_default_epc());
+    let mut cfg = StoreConfig::for_keys(KEYS);
+    cfg.cache = CacheConfig {
+        capacity_bytes: cache_bytes,
+        policy,
+        ..CacheConfig::default()
+    };
+    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+
+    let mut wl = EtcWorkload::new(EtcConfig { keyspace: KEYS, read_ratio: 0.95, ..EtcConfig::default() });
+    for (id, len) in wl.load_items().collect::<Vec<_>>() {
+        store.put(&encode_key(id), &value_bytes(id, len)).unwrap();
+    }
+    for _ in 0..OPS {
+        step(&mut store, wl.next_request());
+    }
+    enclave.reset_metrics();
+    let t0 = enclave.cycles();
+    for _ in 0..OPS {
+        step(&mut store, wl.next_request());
+    }
+    (enclave.throughput(OPS, t0), store.cache_hit_ratio().unwrap_or(0.0))
+}
+
+fn step(store: &mut AriaHash, req: Request) {
+    match req {
+        Request::Get { id } => {
+            store.get(&encode_key(id)).unwrap();
+        }
+        Request::Put { id, value_len } => {
+            store.put(&encode_key(id), &value_bytes(id ^ 7, value_len)).unwrap();
+        }
+    }
+}
+
+fn main() {
+    println!("Facebook ETC mix, {KEYS} keys, 95% reads\n");
+    println!("{:<12} {:<8} {:>12} {:>10}", "cache", "policy", "ops/s", "hit ratio");
+    for mb in [8usize, 4, 2, 1] {
+        for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+            let (tput, hit) = run_point(mb << 20, policy);
+            println!(
+                "{:<12} {:<8} {:>12.0} {:>9.1}%",
+                format!("{mb} MB"),
+                format!("{policy:?}"),
+                tput,
+                hit * 100.0
+            );
+        }
+    }
+    println!("\ntakeaway: throughput degrades gracefully as the cache shrinks,");
+    println!("and FIFO consistently edges out LRU on the hit path (paper §IV-E).");
+}

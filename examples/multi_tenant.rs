@@ -1,0 +1,73 @@
+//! Multi-tenant deployment: several independent Aria enclaves share the
+//! physical EPC (paper §VI-D5). Each tenant gets an even EPC slice; the
+//! Secure Cache shrinks accordingly and no tenant ever triggers secure
+//! paging.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use aria::prelude::*;
+use std::rc::Rc;
+
+const KEYS_PER_TENANT: u64 = 100_000;
+const OPS: u64 = 50_000;
+
+fn tenant_throughput(epc_slice: usize, seed: u64) -> f64 {
+    let enclave = Rc::new(Enclave::new(CostModel::default(), epc_slice));
+    let mut cfg = StoreConfig::for_keys(KEYS_PER_TENANT);
+    // Size the cache inside the tenant's EPC slice, leaving room for the
+    // index metadata and allocator bitmaps.
+    cfg.cache = CacheConfig::with_capacity(epc_slice / 2);
+    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+
+    for id in 0..KEYS_PER_TENANT {
+        store.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+    let mut wl = YcsbWorkload::new(YcsbConfig {
+        keyspace: KEYS_PER_TENANT,
+        read_ratio: 0.95,
+        value_len: 16,
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        seed,
+    });
+    for _ in 0..OPS {
+        match wl.next_request() {
+            Request::Get { id } => {
+                store.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                store.put(&encode_key(id), &value_bytes(id ^ 3, value_len)).unwrap();
+            }
+        }
+    }
+    enclave.reset_metrics();
+    let t0 = enclave.cycles();
+    for _ in 0..OPS {
+        match wl.next_request() {
+            Request::Get { id } => {
+                store.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                store.put(&encode_key(id), &value_bytes(id ^ 3, value_len)).unwrap();
+            }
+        }
+    }
+    enclave.throughput(OPS, t0)
+}
+
+fn main() {
+    println!("EPC {} MB shared by N tenants, {KEYS_PER_TENANT} keys each\n", DEFAULT_EPC_BYTES >> 20);
+    println!("{:<10} {:>16} {:>18}", "tenants", "per-tenant ops/s", "aggregate ops/s");
+    for tenants in [1usize, 2, 4, 8] {
+        let slice = DEFAULT_EPC_BYTES / tenants;
+        let mut sum = 0.0;
+        for t in 0..tenants {
+            sum += tenant_throughput(slice, 0xbeef ^ (t as u64) << 24);
+        }
+        let avg = sum / tenants as f64;
+        println!("{:<10} {:>16.0} {:>18.0}", tenants, avg, sum);
+    }
+    println!("\nper-tenant throughput degrades gently as the EPC slice shrinks —");
+    println!("the Secure Cache absorbs the pressure (paper Figure 16a).");
+}

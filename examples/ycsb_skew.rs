@@ -1,0 +1,105 @@
+//! Drive Aria-H and ShieldStore with a skewed YCSB workload and compare
+//! simulated throughput — a miniature of the paper's Figure 9 headline.
+//!
+//! ```sh
+//! cargo run --release --example ycsb_skew
+//! ```
+
+use aria::prelude::*;
+use std::rc::Rc;
+
+const KEYS: u64 = 200_000;
+const OPS: u64 = 100_000;
+const EPC: usize = DEFAULT_EPC_BYTES / 10; // keep the working set > EPC
+
+fn drive(store: &mut dyn KvStore, label: &str) {
+    // Load every key, then measure a zipfian read-mostly phase.
+    for id in 0..KEYS {
+        store.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+    let mut workload = YcsbWorkload::new(YcsbConfig {
+        keyspace: KEYS,
+        read_ratio: 0.95,
+        value_len: 16,
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        seed: 7,
+    });
+    // Warm up the caches, then measure.
+    for _ in 0..OPS {
+        step(store, workload.next_request());
+    }
+    store.enclave().reset_metrics();
+    let t0 = store.enclave().cycles();
+    for _ in 0..OPS {
+        step(store, workload.next_request());
+    }
+    let throughput = store.enclave().throughput(OPS, t0);
+    println!(
+        "{:<12} {:>10.0} ops/s   (cache hit ratio {})",
+        label,
+        throughput,
+        store
+            .cache_hit_ratio()
+            .map(|h| format!("{:.1}%", h * 100.0))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+}
+
+fn step(store: &mut dyn KvStore, req: Request) {
+    match req {
+        Request::Get { id } => {
+            store.get(&encode_key(id)).unwrap();
+        }
+        Request::Put { id, value_len } => {
+            store.put(&encode_key(id), &value_bytes(id ^ 99, value_len)).unwrap();
+        }
+    }
+}
+
+fn main() {
+    println!("{KEYS} keys, {OPS} measured ops, zipf 0.99, 95% reads, EPC {} MB\n", EPC >> 20);
+
+    let enclave = Rc::new(Enclave::new(CostModel::default(), EPC));
+    let mut cfg = StoreConfig::for_keys(KEYS);
+    // Size the Secure Cache within this enclave's EPC slice.
+    cfg.cache = CacheConfig::with_capacity(EPC / 2);
+    let mut aria = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    drive(&mut aria, "Aria-H");
+
+    let enclave = Rc::new(Enclave::new(CostModel::default(), EPC));
+    let mut shield = ShieldStore::new((KEYS / 2) as usize, enclave).unwrap();
+    // ShieldStore has its own error type; drive it directly.
+    for id in 0..KEYS {
+        shield.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+    let mut workload = YcsbWorkload::new(YcsbConfig {
+        keyspace: KEYS,
+        read_ratio: 0.95,
+        value_len: 16,
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        seed: 7,
+    });
+    for _ in 0..OPS {
+        match workload.next_request() {
+            Request::Get { id } => {
+                shield.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                shield.put(&encode_key(id), &value_bytes(id ^ 99, value_len)).unwrap();
+            }
+        }
+    }
+    shield.enclave().reset_metrics();
+    let t0 = shield.enclave().cycles();
+    for _ in 0..OPS {
+        match workload.next_request() {
+            Request::Get { id } => {
+                shield.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                shield.put(&encode_key(id), &value_bytes(id ^ 99, value_len)).unwrap();
+            }
+        }
+    }
+    println!("{:<12} {:>10.0} ops/s", "ShieldStore", shield.enclave().throughput(OPS, t0));
+}

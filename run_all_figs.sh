@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerate every table and figure (scaled defaults). See EXPERIMENTS.md.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+rm -f results/*.jsonl
+for fig in table1 fig2 fig9 fig11 fig12 fig14 fig15 fig16b memory ablation_scramble ext_bplus fig16a fig10 fig13; do
+  echo "=== running $fig ==="
+  start=$SECONDS
+  ./target/release/$fig "$@" > results/$fig.txt 2> results/$fig.log || echo "$fig FAILED"
+  echo "$fig took $((SECONDS-start))s"
+done
+echo ALL_FIGS_DONE

@@ -1,0 +1,152 @@
+//! Corruption fuzzing: the strongest statement of the paper's security
+//! claim, checked as a property — **no corruption of untrusted memory
+//! can make the store return wrong data**.
+//!
+//! For each case we load a store, flip random bits in random live blocks
+//! of the untrusted heap (entries, index nodes, pointers — whatever lives
+//! there), and then read every key back. Each read must either:
+//!
+//! * return the exact value the model expects (the corruption missed
+//!   everything relevant, or hit only slack bytes of a block), or
+//! * fail with an integrity violation.
+//!
+//! Returning a wrong value, a wrong `None`, or panicking is a security
+//! bug. (`Ok(None)` for a key that exists means the corruption silently
+//! unlinked it — exactly what the paper's deletion metadata must catch.)
+
+use aria::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const KEYS: u64 = 300;
+
+fn loaded_hash(seed: u64) -> (AriaHash, HashMap<u64, Vec<u8>>) {
+    let enclave = Rc::new(Enclave::with_default_epc());
+    let mut cfg = StoreConfig::for_keys(KEYS);
+    cfg.cache = CacheConfig::with_capacity(1 << 20);
+    cfg.buckets = 64; // force real chains
+    cfg.seed = seed;
+    let mut store = AriaHash::new(cfg, enclave).unwrap();
+    let mut model = HashMap::new();
+    for id in 0..KEYS {
+        let v = value_bytes(id ^ seed, 24);
+        store.put(&encode_key(id), &v).unwrap();
+        model.insert(id, v);
+    }
+    // Flush the secure cache so corrupted counters can't be shielded by
+    // EPC copies (worst case for the defender).
+    store.core_mut().counters.as_cached_mut().unwrap().flush();
+    (store, model)
+}
+
+/// Flip `flips` random bits in live untrusted blocks located via the
+/// attacker-side API.
+fn corrupt_hash_store(store: &mut AriaHash, rng_state: &mut u64, flips: usize) {
+    let mut next = || {
+        *rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *rng_state >> 11
+    };
+    for _ in 0..flips {
+        let id = next() % KEYS;
+        if let Some(ptr) = store.attack_locate(&encode_key(id)) {
+            let off = (next() % 80) as usize;
+            let bit = (next() % 8) as u8;
+            if let Ok(bytes) = store.core_mut().heap.raw_mut(ptr, off + 1) {
+                bytes[off] ^= 1 << bit;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hash_store_never_serves_corrupted_data(seed in any::<u64>(), flips in 1usize..40) {
+        let (mut store, model) = loaded_hash(seed);
+        let mut rng = seed ^ 0xfeed_f00d;
+        corrupt_hash_store(&mut store, &mut rng, flips);
+        for (id, expect) in &model {
+            match store.get(&encode_key(*id)) {
+                Ok(Some(v)) => prop_assert_eq!(&v, expect, "wrong value served for key {}", id),
+                Ok(None) => prop_assert!(false, "key {} silently vanished", id),
+                Err(e) => prop_assert!(e.is_integrity_violation(), "unexpected error {e:?}"),
+            }
+        }
+    }
+
+    /// Corrupting the Merkle tree itself (any node, any byte) must never
+    /// yield wrong data either.
+    #[test]
+    fn merkle_corruption_never_serves_wrong_data(
+        seed in any::<u64>(),
+        level_pick in any::<u32>(),
+        node_pick in any::<u64>(),
+        byte_pick in any::<usize>(),
+    ) {
+        let (mut store, model) = loaded_hash(seed);
+        {
+            let area = store.core_mut().counters.as_cached_mut().unwrap();
+            let tree = area.cache_mut(0).tree_mut_raw();
+            let level = level_pick % tree.height();
+            let index = node_pick % tree.nodes_in_level(level);
+            let node = aria::merkle::NodeId { level, index };
+            let size = tree.node_size();
+            tree.node_mut_raw(node)[byte_pick % size] ^= 0x01;
+        }
+        for (id, expect) in &model {
+            match store.get(&encode_key(*id)) {
+                Ok(Some(v)) => prop_assert_eq!(&v, expect, "wrong value for key {}", id),
+                Ok(None) => prop_assert!(false, "key {} silently vanished", id),
+                Err(e) => prop_assert!(e.is_integrity_violation(), "unexpected error {e:?}"),
+            }
+        }
+    }
+}
+
+/// The same no-wrong-data property for the B-tree and B+-tree indexes,
+/// with corruption hitting the tree structure (child-pointer swaps).
+#[test]
+fn tree_indexes_never_serve_corrupted_data() {
+    fn check_reads(
+        mut get: impl FnMut(&[u8]) -> Result<Option<Vec<u8>>, StoreError>,
+        model: &HashMap<u64, Vec<u8>>,
+        label: &str,
+    ) {
+        for (id, expect) in model {
+            match get(&encode_key(*id)) {
+                Ok(Some(v)) => assert_eq!(&v, expect, "wrong value for key {id} ({label})"),
+                Ok(None) => panic!("key {id} silently vanished ({label})"),
+                Err(e) => assert!(e.is_integrity_violation(), "unexpected error {e:?} ({label})"),
+            }
+        }
+    }
+
+    for seed in [1u64, 7, 42] {
+        let mut model = HashMap::new();
+        for id in 0..KEYS {
+            model.insert(id, value_bytes(id ^ seed, 24));
+        }
+
+        let enclave = Rc::new(Enclave::with_default_epc());
+        let mut cfg = StoreConfig::for_keys(KEYS);
+        cfg.cache = CacheConfig::with_capacity(1 << 20);
+        cfg.btree_order = 7;
+        cfg.seed = seed;
+        let mut btree = AriaTree::new(cfg.clone(), enclave).unwrap();
+        for (id, v) in &model {
+            btree.put(&encode_key(*id), v).unwrap();
+        }
+        assert!(btree.attack_swap_child_pointers(), "B-tree attack setup failed");
+        check_reads(|k| btree.get(k), &model, "btree");
+
+        let enclave = Rc::new(Enclave::with_default_epc());
+        let mut bplus = AriaBPlusTree::new(cfg, enclave).unwrap();
+        for (id, v) in &model {
+            bplus.put(&encode_key(*id), v).unwrap();
+        }
+        assert!(bplus.attack_swap_child_pointers(), "B+-tree attack setup failed");
+        check_reads(|k| bplus.get(k), &model, "bplus");
+    }
+}

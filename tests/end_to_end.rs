@@ -1,0 +1,200 @@
+//! Cross-crate integration: stores driven by real workload generators on
+//! simulated enclaves, checking both functional correctness and the
+//! performance-model properties the paper's evaluation relies on.
+
+use aria::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const KEYS: u64 = 50_000;
+
+fn load(store: &mut dyn KvStore, keys: u64, value_len: usize) {
+    for id in 0..keys {
+        store.put(&encode_key(id), &value_bytes(id, value_len)).unwrap();
+    }
+}
+
+fn drive(store: &mut dyn KvStore, dist: KeyDistribution, ops: u64) -> f64 {
+    let mut wl = YcsbWorkload::new(YcsbConfig {
+        keyspace: KEYS,
+        read_ratio: 0.95,
+        value_len: 16,
+        distribution: dist,
+        seed: 42,
+    });
+    for _ in 0..ops {
+        step(store, wl.next_request());
+    }
+    store.enclave().reset_metrics();
+    let t0 = store.enclave().cycles();
+    for _ in 0..ops {
+        step(store, wl.next_request());
+    }
+    store.enclave().throughput(ops, t0)
+}
+
+fn step(store: &mut dyn KvStore, req: Request) {
+    match req {
+        Request::Get { id } => {
+            assert!(store.get(&encode_key(id)).unwrap().is_some(), "loaded key missing");
+        }
+        Request::Put { id, value_len } => {
+            store.put(&encode_key(id), &value_bytes(id ^ 0xff, value_len)).unwrap();
+        }
+    }
+}
+
+fn small_enclave() -> Rc<Enclave> {
+    // EPC deliberately smaller than the metadata working set.
+    Rc::new(Enclave::new(CostModel::default(), 3 << 20))
+}
+
+fn aria_store(enclave: &Rc<Enclave>) -> AriaHash {
+    let mut cfg = StoreConfig::for_keys(KEYS);
+    cfg.cache = CacheConfig::with_capacity(1 << 20);
+    AriaHash::new(cfg, Rc::clone(enclave)).unwrap()
+}
+
+#[test]
+fn aria_prefers_skewed_workloads() {
+    let enclave = small_enclave();
+    let mut store = aria_store(&enclave);
+    load(&mut store, KEYS, 16);
+    let skew = drive(&mut store, KeyDistribution::Zipfian { theta: 0.99 }, 60_000);
+
+    let enclave = small_enclave();
+    let mut store = aria_store(&enclave);
+    load(&mut store, KEYS, 16);
+    let uniform = drive(&mut store, KeyDistribution::Uniform, 60_000);
+
+    assert!(
+        skew > uniform * 1.05,
+        "secure cache should prefer skew: skew={skew:.0} uniform={uniform:.0}"
+    );
+}
+
+#[test]
+fn aria_beats_shieldstore_under_skew() {
+    let enclave = small_enclave();
+    let mut store = aria_store(&enclave);
+    load(&mut store, KEYS, 16);
+    let aria = drive(&mut store, KeyDistribution::Zipfian { theta: 0.99 }, 60_000);
+
+    // ShieldStore with chains of ~2.5 like the paper's 10M/4M setup.
+    let enclave = small_enclave();
+    let mut shield = ShieldStore::new((KEYS as f64 / 2.5) as usize, Rc::clone(&enclave)).unwrap();
+    for id in 0..KEYS {
+        shield.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+    let mut wl = YcsbWorkload::new(YcsbConfig {
+        keyspace: KEYS,
+        read_ratio: 0.95,
+        value_len: 16,
+        distribution: KeyDistribution::Zipfian { theta: 0.99 },
+        seed: 42,
+    });
+    let ops = 60_000u64;
+    for _ in 0..ops {
+        match wl.next_request() {
+            Request::Get { id } => {
+                shield.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                shield.put(&encode_key(id), &value_bytes(id ^ 0xff, value_len)).unwrap();
+            }
+        }
+    }
+    enclave.reset_metrics();
+    let t0 = enclave.cycles();
+    for _ in 0..ops {
+        match wl.next_request() {
+            Request::Get { id } => {
+                shield.get(&encode_key(id)).unwrap();
+            }
+            Request::Put { id, value_len } => {
+                shield.put(&encode_key(id), &value_bytes(id ^ 0xff, value_len)).unwrap();
+            }
+        }
+    }
+    let shield_tput = enclave.throughput(ops, t0);
+    assert!(
+        aria > shield_tput,
+        "Aria ({aria:.0}) should beat ShieldStore ({shield_tput:.0}) under skew"
+    );
+}
+
+#[test]
+fn full_aria_never_hardware_pages() {
+    let enclave = small_enclave();
+    let mut store = aria_store(&enclave);
+    load(&mut store, KEYS, 16);
+    drive(&mut store, KeyDistribution::Zipfian { theta: 0.99 }, 30_000);
+    assert_eq!(enclave.total_page_faults(), 0, "Secure Cache must avoid secure paging");
+}
+
+#[test]
+fn without_cache_scheme_pages_when_counters_exceed_epc() {
+    // ~900 KB of in-enclave counters against a 640 KB EPC.
+    let enclave = Rc::new(Enclave::new(CostModel::default(), 640 << 10));
+    let mut cfg = StoreConfig::for_keys(KEYS);
+    cfg.scheme = Scheme::AriaWithoutCache;
+    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    load(&mut store, KEYS, 16);
+    drive(&mut store, KeyDistribution::Uniform, 20_000);
+    assert!(enclave.total_page_faults() > 0, "counters exceed the EPC; paging expected");
+}
+
+#[test]
+fn etc_workload_end_to_end_on_both_indexes() {
+    let keys = 5_000u64;
+    for tree_index in [false, true] {
+        let enclave = Rc::new(Enclave::with_default_epc());
+        let mut cfg = StoreConfig::for_keys(keys);
+        cfg.cache = CacheConfig::with_capacity(4 << 20);
+        cfg.btree_order = 9;
+        let mut store: Box<dyn KvStore> = if tree_index {
+            Box::new(AriaTree::new(cfg, enclave).unwrap())
+        } else {
+            Box::new(AriaHash::new(cfg, enclave).unwrap())
+        };
+        let wl = EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (id, len) in wl.load_items().collect::<Vec<_>>() {
+            let v = value_bytes(id, len);
+            store.put(&encode_key(id), &v).unwrap();
+            model.insert(id, v);
+        }
+        let mut wl = EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
+        for _ in 0..20_000 {
+            match wl.next_request() {
+                Request::Get { id } => {
+                    assert_eq!(store.get(&encode_key(id)).unwrap().as_ref(), model.get(&id));
+                }
+                Request::Put { id, value_len } => {
+                    let v = value_bytes(id ^ 0xabc, value_len);
+                    store.put(&encode_key(id), &v).unwrap();
+                    model.insert(id, v);
+                }
+            }
+        }
+        assert_eq!(store.len(), keys, "tree_index={tree_index}");
+    }
+}
+
+#[test]
+fn no_sgx_model_is_faster_than_sgx() {
+    let run_with = |cost: CostModel| {
+        let enclave = Rc::new(Enclave::new(cost, 8 << 20));
+        let mut cfg = StoreConfig::for_keys(KEYS);
+        cfg.cache = CacheConfig::with_capacity(2 << 20);
+        let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+        load(&mut store, KEYS, 16);
+        drive(&mut store, KeyDistribution::Zipfian { theta: 0.99 }, 40_000)
+    };
+    let sgx = run_with(CostModel::default());
+    let plain = run_with(CostModel::no_sgx());
+    assert!(
+        plain > sgx * 1.1,
+        "removing SGX costs must speed things up: sgx={sgx:.0} plain={plain:.0}"
+    );
+}
