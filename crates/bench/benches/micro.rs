@@ -1,14 +1,15 @@
-//! Criterion micro-benchmarks for the building blocks: crypto
-//! primitives, Merkle verification, Secure Cache hit/miss paths, the
-//! user-space allocator, store operations and workload sampling.
+//! Micro-benchmarks for the building blocks: crypto primitives, Merkle
+//! verification, Secure Cache hit/miss paths, the user-space allocator,
+//! store operations and workload sampling.
 //!
 //! These measure *wall time* of the implementation (the figure binaries
 //! report simulated cycles); they exist to keep the harness fast and to
-//! catch performance regressions in the hot paths.
+//! catch performance regressions in the hot paths. The harness is
+//! self-contained (median-of-samples timing loop) so the workspace
+//! builds offline, without criterion.
 
-use std::rc::Rc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
 
 use aria_cache::{CacheConfig, SecureCache};
 use aria_crypto::{Aes128, CipherSuite, CmacKey, RealSuite};
@@ -19,80 +20,112 @@ use aria_sim::{CostModel, Enclave};
 use aria_store::{AriaHash, AriaTree, KvStore, StoreConfig};
 use aria_workload::{encode_key, value_bytes, ScrambledZipfian};
 
-fn enclave() -> Rc<Enclave> {
-    Rc::new(Enclave::new(CostModel::default(), 512 << 20))
+const SAMPLES: usize = 7;
+const MIN_SAMPLE_NANOS: u128 = 20_000_000; // 20 ms per sample
+
+/// Time `f` (which must consume its result, e.g. via `std::hint::black_box`)
+/// and print ns/iter as the median over `SAMPLES` batches.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and size the batch so one sample runs ≥ MIN_SAMPLE_NANOS.
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = t0.elapsed().as_nanos();
+        if elapsed >= MIN_SAMPLE_NANOS || batch >= 1 << 30 {
+            break;
+        }
+        batch = if elapsed == 0 { batch * 128 } else { (batch * 2).max(1) };
+    }
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<28} {median:>12.1} ns/iter   ({batch} iters/sample)");
 }
 
-fn bench_crypto(c: &mut Criterion) {
+fn enclave() -> Arc<Enclave> {
+    Arc::new(Enclave::new(CostModel::default(), 512 << 20))
+}
+
+fn bench_crypto() {
     let aes = Aes128::new(&[7u8; 16]);
-    c.bench_function("aes128_block", |b| {
-        let mut block = [0x42u8; 16];
-        b.iter(|| {
-            aes.encrypt_block(&mut block);
-            block[0]
-        })
+    let mut block = [0x42u8; 16];
+    bench("aes128_block", || {
+        aes.encrypt_block(&mut block);
+        std::hint::black_box(block[0]);
     });
 
     let cmac = CmacKey::new(&[9u8; 16]);
     let msg = vec![0xabu8; 128];
-    c.bench_function("cmac_128B", |b| b.iter(|| cmac.mac(&msg)));
+    bench("cmac_128B", || {
+        std::hint::black_box(cmac.mac(&msg));
+    });
 
     let suite = RealSuite::from_master(&[3u8; 16]);
     let mut data = vec![0u8; 512];
-    c.bench_function("ctr_crypt_512B", |b| b.iter(|| suite.crypt(&[1u8; 16], &mut data)));
+    bench("ctr_crypt_512B", || {
+        suite.crypt(&[1u8; 16], &mut data);
+        std::hint::black_box(data[0]);
+    });
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+fn bench_merkle() {
+    let suite = Arc::new(RealSuite::from_master(&[5u8; 16]));
     let tree = MerkleTree::new(100_000, 8, suite, 1);
-    c.bench_function("merkle_verify_path", |b| {
-        b.iter(|| tree.verify_path_plain(tree.locate_counter(42_424).0))
+    bench("merkle_verify_path", || {
+        std::hint::black_box(tree.verify_path_plain(tree.locate_counter(42_424).0));
     });
-    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+
+    let suite = Arc::new(RealSuite::from_master(&[5u8; 16]));
     let mut tree = MerkleTree::new(100_000, 8, suite, 1);
     let mut i = 0u64;
-    c.bench_function("merkle_update_counter", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            tree.update_counter_plain(i, &[i as u8; 16]);
-        })
+    bench("merkle_update_counter", || {
+        i = (i + 7919) % 100_000;
+        tree.update_counter_plain(i, &[i as u8; 16]);
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+fn bench_cache() {
+    let suite = Arc::new(RealSuite::from_master(&[5u8; 16]));
     let tree = MerkleTree::new(100_000, 8, suite, 1);
-    let mut cache =
-        SecureCache::new(tree, enclave(), CacheConfig::with_capacity(8 << 20)).unwrap();
+    let mut cache = SecureCache::new(tree, enclave(), CacheConfig::with_capacity(8 << 20)).unwrap();
     cache.get_counter(1).unwrap();
-    c.bench_function("secure_cache_hit", |b| b.iter(|| cache.get_counter(1).unwrap()));
+    bench("secure_cache_hit", || {
+        std::hint::black_box(cache.get_counter(1).unwrap());
+    });
 
-    let suite = Rc::new(RealSuite::from_master(&[5u8; 16]));
+    let suite = Arc::new(RealSuite::from_master(&[5u8; 16]));
     let tree = MerkleTree::new(100_000, 8, suite, 1);
     let cfg = CacheConfig { capacity_bytes: 64 * 1024, ..CacheConfig::default() };
     let mut cache = SecureCache::new(tree, enclave(), cfg).unwrap();
     let mut i = 0u64;
-    c.bench_function("secure_cache_miss_verify", |b| {
-        b.iter(|| {
-            // Stride large enough to defeat the tiny cache: every access
-            // verifies.
-            i = (i + 8_111) % 100_000;
-            cache.get_counter(i).unwrap()
-        })
+    bench("secure_cache_miss_verify", || {
+        // Stride large enough to defeat the tiny cache: every access
+        // verifies.
+        i = (i + 8_111) % 100_000;
+        std::hint::black_box(cache.get_counter(i).unwrap());
     });
 }
 
-fn bench_alloc(c: &mut Criterion) {
+fn bench_alloc() {
     let mut heap = UserHeap::new(enclave(), AllocStrategy::UserSpace);
-    c.bench_function("user_heap_alloc_free_128B", |b| {
-        b.iter(|| {
-            let p = heap.alloc(128).unwrap();
-            heap.free(p).unwrap();
-        })
+    bench("user_heap_alloc_free_128B", || {
+        let p = heap.alloc(128).unwrap();
+        heap.free(p).unwrap();
     });
 }
 
-fn bench_stores(c: &mut Criterion) {
+fn bench_stores() {
     let mut cfg = StoreConfig::for_keys(100_000);
     cfg.cache = CacheConfig::with_capacity(16 << 20);
     let mut store = AriaHash::new(cfg, enclave()).unwrap();
@@ -100,18 +133,14 @@ fn bench_stores(c: &mut Criterion) {
         store.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
     }
     let mut i = 0u64;
-    c.bench_function("aria_hash_get_hot", |b| {
-        b.iter(|| {
-            i = (i + 1) % 64;
-            store.get(&encode_key(i)).unwrap()
-        })
+    bench("aria_hash_get_hot", || {
+        i = (i + 1) % 64;
+        std::hint::black_box(store.get(&encode_key(i)).unwrap());
     });
     let mut i = 0u64;
-    c.bench_function("aria_hash_put_16B", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            store.put(&encode_key(i), &value_bytes(i ^ 1, 16)).unwrap()
-        })
+    bench("aria_hash_put_16B", || {
+        i = (i + 7919) % 100_000;
+        store.put(&encode_key(i), &value_bytes(i ^ 1, 16)).unwrap();
     });
 
     let mut cfg = StoreConfig::for_keys(100_000);
@@ -122,11 +151,9 @@ fn bench_stores(c: &mut Criterion) {
         tree.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
     }
     let mut i = 0u64;
-    c.bench_function("aria_tree_get", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 20_000;
-            tree.get(&encode_key(i)).unwrap()
-        })
+    bench("aria_tree_get", || {
+        i = (i + 7919) % 20_000;
+        std::hint::black_box(tree.get(&encode_key(i)).unwrap());
     });
 
     let mut shield = ShieldStore::new(50_000, enclave()).unwrap();
@@ -134,36 +161,32 @@ fn bench_stores(c: &mut Criterion) {
         shield.put(&encode_key(i), &value_bytes(i, 16)).unwrap();
     }
     let mut i = 0u64;
-    c.bench_function("shieldstore_get", |b| {
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            shield.get(&encode_key(i)).unwrap()
-        })
+    bench("shieldstore_get", || {
+        i = (i + 7919) % 100_000;
+        std::hint::black_box(shield.get(&encode_key(i)).unwrap());
     });
 }
 
-fn bench_workload(c: &mut Criterion) {
+fn bench_workload() {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let zipf = ScrambledZipfian::new(10_000_000, 0.99);
-    c.bench_function("zipf_sample_10M", |b| {
-        b.iter_batched(
-            || StdRng::seed_from_u64(7),
-            |mut rng| {
-                let mut acc = 0u64;
-                for _ in 0..100 {
-                    acc ^= zipf.next(&mut rng);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+    let mut rng = StdRng::seed_from_u64(7);
+    bench("zipf_sample_10M", || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            acc ^= zipf.next(&mut rng);
+        }
+        std::hint::black_box(acc);
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crypto, bench_merkle, bench_cache, bench_alloc, bench_stores, bench_workload
+fn main() {
+    println!("{:<28} {:>12}", "benchmark", "median");
+    bench_crypto();
+    bench_merkle();
+    bench_cache();
+    bench_alloc();
+    bench_stores();
+    bench_workload();
 }
-criterion_main!(benches);

@@ -37,7 +37,7 @@ fn main() {
                 "  [{dname}] {}: {} (hit {:?}, {} faults)",
                 r.kind,
                 fmt_tput(r.throughput),
-                r.cache_hit_ratio.map(|h| (h * 100.0).round()),
+                r.cache_hit_ratio().map(|h| (h * 100.0).round()),
                 r.page_faults
             );
             cells.push(format!("{} ({} PF)", fmt_tput(r.throughput), r.page_faults));

@@ -15,7 +15,11 @@ fn main() {
     cfg.workload = Workload::Ycsb {
         read_ratio: rr,
         value_len: args.get("vlen", 16usize),
-        dist: if uniform { KeyDistribution::Uniform } else { KeyDistribution::Zipfian { theta: 0.99 } },
+        dist: if uniform {
+            KeyDistribution::Uniform
+        } else {
+            KeyDistribution::Zipfian { theta: 0.99 }
+        },
     };
     for kind in [StoreKind::Shield, StoreKind::AriaHash, StoreKind::AriaHashWoCache] {
         let r = run(kind, &cfg);
@@ -26,8 +30,8 @@ fn main() {
             r.cycles / r.ops,
             r.page_faults,
             r.snapshot.macs_computed as f64 / r.ops as f64,
-            r.cache_hit_ratio.map(|h| (h * 100.0).round()),
-            r.cache_swapping,
+            r.cache_hit_ratio().map(|h| (h * 100.0).round()),
+            r.cache_swapping(),
             r.epc_used >> 20,
         );
     }

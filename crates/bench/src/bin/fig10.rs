@@ -12,10 +12,8 @@ fn main() {
     let args = Args::parse();
     let scale = args.scale();
     let kinds = [StoreKind::Baseline, StoreKind::AriaTreeWoCache, StoreKind::AriaTree];
-    let dists: [(&str, KeyDistribution); 2] = [
-        ("skew", KeyDistribution::Zipfian { theta: 0.99 }),
-        ("uniform", KeyDistribution::Uniform),
-    ];
+    let dists: [(&str, KeyDistribution); 2] =
+        [("skew", KeyDistribution::Zipfian { theta: 0.99 }), ("uniform", KeyDistribution::Uniform)];
     let read_ratios = [0.5f64, 0.95, 1.0];
     let value_lens = [16usize, 128, 512];
 
@@ -29,8 +27,7 @@ fn main() {
                 cfg.warmup = Some(cfg.ops);
                 cfg.fast_crypto = args.fast();
                 cfg.seed = args.seed();
-                cfg.workload =
-                    Workload::Ycsb { read_ratio: rr, value_len: vl, dist: dist.clone() };
+                cfg.workload = Workload::Ycsb { read_ratio: rr, value_len: vl, dist: dist.clone() };
                 let x = format!("{dname}/R{:.0}%/{vl}B", rr * 100.0);
                 let mut cells = vec![x.clone()];
                 for kind in kinds {

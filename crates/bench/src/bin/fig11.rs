@@ -16,7 +16,8 @@ fn main() {
     let mut rows = Vec::new();
 
     // Hash-index panel.
-    let hash_kinds = [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let hash_kinds =
+        [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
     let mut table = Vec::new();
     for &rr in &read_ratios {
         let mut cfg = RunConfig::paper_default(scale);

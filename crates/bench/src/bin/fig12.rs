@@ -30,12 +30,54 @@ fn main() {
     let scale = args.scale();
     let read_ratios = [0.0f64, 0.5, 0.95, 1.0];
     let variants = [
-        Variant { name: "AriaBase", alloc: AllocStrategy::Ocall, policy: EvictionPolicy::Lru, pinned: 0, semantic: false, no_sgx: false },
-        Variant { name: "+HeapAlloc", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Lru, pinned: 0, semantic: false, no_sgx: false },
-        Variant { name: "+PIN", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Lru, pinned: 3, semantic: false, no_sgx: false },
-        Variant { name: "+FIFO", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 0, semantic: false, no_sgx: false },
-        Variant { name: "Aria", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 3, semantic: true, no_sgx: false },
-        Variant { name: "Aria w/o SGX", alloc: AllocStrategy::UserSpace, policy: EvictionPolicy::Fifo, pinned: 3, semantic: true, no_sgx: true },
+        Variant {
+            name: "AriaBase",
+            alloc: AllocStrategy::Ocall,
+            policy: EvictionPolicy::Lru,
+            pinned: 0,
+            semantic: false,
+            no_sgx: false,
+        },
+        Variant {
+            name: "+HeapAlloc",
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Lru,
+            pinned: 0,
+            semantic: false,
+            no_sgx: false,
+        },
+        Variant {
+            name: "+PIN",
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Lru,
+            pinned: 3,
+            semantic: false,
+            no_sgx: false,
+        },
+        Variant {
+            name: "+FIFO",
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Fifo,
+            pinned: 0,
+            semantic: false,
+            no_sgx: false,
+        },
+        Variant {
+            name: "Aria",
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Fifo,
+            pinned: 3,
+            semantic: true,
+            no_sgx: false,
+        },
+        Variant {
+            name: "Aria w/o SGX",
+            alloc: AllocStrategy::UserSpace,
+            policy: EvictionPolicy::Fifo,
+            pinned: 3,
+            semantic: true,
+            no_sgx: true,
+        },
     ];
 
     let mut rows = Vec::new();
@@ -76,7 +118,17 @@ fn main() {
 
     print_table(
         &format!("Figure 12: optimization ablation + SGX overhead (ETC, scale 1/{scale})"),
-        &["read ratio", "ShieldStore", "Aria w/o Cache", "AriaBase", "+HeapAlloc", "+PIN", "+FIFO", "Aria", "Aria w/o SGX"],
+        &[
+            "read ratio",
+            "ShieldStore",
+            "Aria w/o Cache",
+            "AriaBase",
+            "+HeapAlloc",
+            "+PIN",
+            "+FIFO",
+            "Aria",
+            "Aria w/o SGX",
+        ],
         &table,
     );
     write_jsonl(&args.out_dir(), "fig12", &rows);

@@ -49,7 +49,12 @@ fn main() {
                 eprintln!("  [{panel} {mb}MB] {}: {}", r.kind, fmt_tput(r.throughput));
                 tputs.push(r.throughput);
                 cells.push(fmt_tput(r.throughput));
-                rows.push(Row::new("fig13", &format!("{panel}/{}", r.kind), &format!("{mb}MB"), &r));
+                rows.push(Row::new(
+                    "fig13",
+                    &format!("{panel}/{}", r.kind),
+                    &format!("{mb}MB"),
+                    &r,
+                ));
             }
             cells.push(format!("{:+.0}%", improvement(tputs[2], tputs[0])));
             table.push(cells);

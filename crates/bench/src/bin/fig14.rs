@@ -59,7 +59,7 @@ fn main() {
                 "  [{pct}% {}M] {} (hit {:?})",
                 ks / 1_000_000,
                 fmt_tput(r.throughput),
-                r.cache_hit_ratio.map(|h| (h * 100.0).round())
+                r.cache_hit_ratio().map(|h| (h * 100.0).round())
             );
             cells.push(fmt_tput(r.throughput));
             rows.push(Row::new(
@@ -72,11 +72,7 @@ fn main() {
         table.push(cells);
     }
 
-    table.push(vec![
-        "Shield ref".to_string(),
-        fmt_tput(shield_ref[0]),
-        fmt_tput(shield_ref[1]),
-    ]);
+    table.push(vec!["Shield ref".to_string(), fmt_tput(shield_ref[0]), fmt_tput(shield_ref[1])]);
     print_table(
         &format!("Figure 14: Secure Cache size sweep, skew RD_95 16B (scale 1/{scale})"),
         &["cache size", "Aria 10M keys", "Aria 30M keys"],

@@ -14,10 +14,8 @@ fn main() {
     let args = Args::parse();
     let scale = args.scale();
     let arities = [2usize, 4, 8, 10, 12, 14, 16];
-    let dists: [(&str, KeyDistribution); 2] = [
-        ("skew", KeyDistribution::Zipfian { theta: 0.99 }),
-        ("uniform", KeyDistribution::Uniform),
-    ];
+    let dists: [(&str, KeyDistribution); 2] =
+        [("skew", KeyDistribution::Zipfian { theta: 0.99 }), ("uniform", KeyDistribution::Uniform)];
 
     let mut rows = Vec::new();
     let mut table = Vec::new();
@@ -29,13 +27,12 @@ fn main() {
             cfg.fast_crypto = args.fast();
             cfg.seed = args.seed();
             cfg.arity = arity;
-            cfg.workload =
-                Workload::Ycsb { read_ratio: 0.95, value_len: 16, dist: dist.clone() };
+            cfg.workload = Workload::Ycsb { read_ratio: 0.95, value_len: 16, dist: dist.clone() };
             let r = run(StoreKind::AriaHash, &cfg);
             eprintln!(
                 "  [{dname} arity {arity}] {} (hit {:?})",
                 fmt_tput(r.throughput),
-                r.cache_hit_ratio.map(|h| (h * 100.0).round())
+                r.cache_hit_ratio().map(|h| (h * 100.0).round())
             );
             cells.push(fmt_tput(r.throughput));
             rows.push(Row::new("fig15", &format!("Aria-{dname}"), &arity.to_string(), &r));

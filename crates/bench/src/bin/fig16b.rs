@@ -31,7 +31,7 @@ fn main() {
         eprintln!(
             "  [theta {theta}] Aria {} (hit {:?}) vs Shield {} ({:+.0}%)",
             fmt_tput(ra.throughput),
-            ra.cache_hit_ratio.map(|h| (h * 100.0).round()),
+            ra.cache_hit_ratio().map(|h| (h * 100.0).round()),
             fmt_tput(rs.throughput),
             improvement(ra.throughput, rs.throughput)
         );

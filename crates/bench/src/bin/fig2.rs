@@ -14,7 +14,8 @@ fn main() {
     let scale = args.scale();
     // Keyspace sizes in MB at full scale (keyspace size = #keys x 16 B).
     let points_mb = [4u64, 8, 16, 24, 32, 64, 119, 128];
-    let kinds = [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
+    let kinds =
+        [StoreKind::Baseline, StoreKind::Shield, StoreKind::AriaHashWoCache, StoreKind::AriaHash];
 
     let mut rows = Vec::new();
     let mut table = Vec::new();
@@ -33,7 +34,12 @@ fn main() {
         let mut cells = vec![format!("{mb} MB")];
         for kind in kinds {
             let r = run(kind, &cfg);
-            eprintln!("  [{mb} MB] {}: {} ops/s, {} faults", r.kind, fmt_tput(r.throughput), r.page_faults);
+            eprintln!(
+                "  [{mb} MB] {}: {} ops/s, {} faults",
+                r.kind,
+                fmt_tput(r.throughput),
+                r.page_faults
+            );
             cells.push(format!("{} ({} PF)", fmt_tput(r.throughput), r.page_faults));
             rows.push(Row::new("fig2", r.kind, &format!("{mb}MB"), &r));
         }

@@ -8,7 +8,7 @@ use aria_bench::*;
 use aria_sim::{CostModel, Enclave};
 use aria_store::{AriaHash, KvStore, StoreConfig};
 use aria_workload::{encode_key, value_bytes};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn mb(x: usize) -> String {
     format!("{:.2} MB", x as f64 / (1 << 20) as f64)
@@ -22,7 +22,7 @@ fn main() {
     let base = RunConfig::paper_default(scale);
     let mut cfg = StoreConfig::for_keys(keys);
     cfg.cache = aria_cache::CacheConfig::with_capacity(base.auto_cache_bytes());
-    let enclave = Rc::new(Enclave::new(CostModel::default(), base.epc_bytes));
+    let enclave = Arc::new(Enclave::new(CostModel::default(), base.epc_bytes));
     let mut store = AriaHash::new(cfg, enclave).expect("store");
     for id in 0..keys {
         store.put(&encode_key(id), &value_bytes(id, 16)).expect("load");
@@ -35,8 +35,16 @@ fn main() {
         &format!("§VI-D4 memory consumption, {keys} keys (scale 1/{scale})"),
         &["component", "bytes", "per key"],
         &[
-            vec!["counters + MT (untrusted)".into(), mb(m.merkle_untrusted), format!("{:.1} B", m.merkle_untrusted as f64 / keys as f64)],
-            vec!["sealed entries (live)".into(), mb(m.heap_live), format!("{:.1} B", m.heap_live as f64 / keys as f64)],
+            vec![
+                "counters + MT (untrusted)".into(),
+                mb(m.merkle_untrusted),
+                format!("{:.1} B", m.merkle_untrusted as f64 / keys as f64),
+            ],
+            vec![
+                "sealed entries (live)".into(),
+                mb(m.heap_live),
+                format!("{:.1} B", m.heap_live as f64 / keys as f64),
+            ],
             vec!["heap chunks (reserved)".into(), mb(m.heap_chunks), String::new()],
             vec!["untrusted free lists".into(), mb(m.freelist), String::new()],
             vec!["EPC: Secure Cache".into(), mb(m.epc_cache), String::new()],
@@ -45,11 +53,8 @@ fn main() {
         ],
     );
 
-    let level_rows: Vec<Vec<String>> = levels
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| vec![format!("L{i}"), mb(b)])
-        .collect();
+    let level_rows: Vec<Vec<String>> =
+        levels.iter().enumerate().map(|(i, &b)| vec![format!("L{i}"), mb(b)]).collect();
     print_table("Merkle-tree level sizes (L0 = counters)", &["level", "bytes"], &level_rows);
 
     println!("\npaper reference at 10M keys (full scale): ~152 MB counters;");

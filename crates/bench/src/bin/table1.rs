@@ -17,9 +17,27 @@ fn main() {
         "Table I: design-scheme comparison (paper)",
         &["scheme", "protection granularity", "hotness-aware", "index schemes", "EPC occupation"],
         &[
-            vec!["ShieldStore".into(), "hash bucket".into(), "unaware".into(), "hash".into(), "low (fixed roots)".into()],
-            vec!["Aria w/o Cache".into(), "page (4 KB)".into(), "aware".into(), "hash/tree".into(), "medium (all counters)".into()],
-            vec!["Aria".into(), "KV pair".into(), "aware".into(), "hash/tree".into(), "low (bounded cache)".into()],
+            vec![
+                "ShieldStore".into(),
+                "hash bucket".into(),
+                "unaware".into(),
+                "hash".into(),
+                "low (fixed roots)".into(),
+            ],
+            vec![
+                "Aria w/o Cache".into(),
+                "page (4 KB)".into(),
+                "aware".into(),
+                "hash/tree".into(),
+                "medium (all counters)".into(),
+            ],
+            vec![
+                "Aria".into(),
+                "KV pair".into(),
+                "aware".into(),
+                "hash/tree".into(),
+                "low (bounded cache)".into(),
+            ],
         ],
     );
 

@@ -2,14 +2,16 @@
 //! loads a keyspace, replays a workload, and reports simulated
 //! throughput plus diagnostic counters.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_cache::{CacheConfig, EvictionPolicy, SwapMode};
 use aria_crypto::{CipherSuite, FastSuite};
 use aria_mem::AllocStrategy;
 use aria_shieldstore::ShieldStore;
 use aria_sim::{CostModel, Enclave, EnclaveSnapshot, DEFAULT_EPC_BYTES};
-use aria_store::{AriaBPlusTree, AriaHash, AriaTree, BaselineStore, KvStore, Scheme, StoreConfig, StoreError};
+use aria_store::{
+    AriaBPlusTree, AriaHash, AriaTree, BaselineStore, KvStore, Scheme, StoreConfig, StoreError,
+};
 use aria_workload::{
     encode_key, value_bytes, EtcConfig, EtcWorkload, KeyDistribution, Request, YcsbConfig,
     YcsbWorkload,
@@ -161,8 +163,7 @@ impl RunConfig {
 
     fn shield_bucket_count(&self) -> usize {
         // 4 M roots at full scale, scaled down with everything else.
-        self.shield_buckets
-            .unwrap_or(((4_000_000f64 / self.scale) as usize).max(64))
+        self.shield_buckets.unwrap_or(((4_000_000f64 / self.scale) as usize).max(64))
     }
 
     fn value_len_for(&self, id: u64) -> usize {
@@ -229,9 +230,9 @@ impl RunConfig {
         }
     }
 
-    fn suite(&self) -> Option<Rc<dyn CipherSuite>> {
+    fn suite(&self) -> Option<Arc<dyn CipherSuite>> {
         if self.fast_crypto {
-            Some(Rc::new(FastSuite::from_master(&[0x42; 16])))
+            Some(Arc::new(FastSuite::from_master(&[0x42; 16])))
         } else {
             None
         }
@@ -251,14 +252,24 @@ pub struct RunResult {
     pub ops: u64,
     /// Enclave counters over the measured phase.
     pub snapshot: EnclaveSnapshot,
-    /// Secure Cache hit ratio (cached schemes only), over the whole run.
-    pub cache_hit_ratio: Option<f64>,
-    /// Whether the Secure Cache was still swapping at the end.
-    pub cache_swapping: Option<bool>,
+    /// Secure Cache statistics (cached schemes only), over the whole run.
+    pub cache: Option<aria_store::CacheStats>,
     /// Page faults during the measured phase.
     pub page_faults: u64,
     /// EPC bytes in use at the end of the run.
     pub epc_used: usize,
+}
+
+impl RunResult {
+    /// Secure Cache lifetime hit ratio, if the scheme runs one.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        self.cache.map(|c| c.hit_ratio())
+    }
+
+    /// Whether the Secure Cache was still swapping at the end.
+    pub fn cache_swapping(&self) -> Option<bool> {
+        self.cache.map(|c| c.swapping)
+    }
 }
 
 /// ShieldStore adapter so every scheme drives through [`KvStore`].
@@ -266,7 +277,9 @@ pub struct ShieldAdapter(pub ShieldStore);
 
 impl KvStore for ShieldAdapter {
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        self.0.put(key, value).map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
+        self.0
+            .put(key, value)
+            .map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
     }
 
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
@@ -274,19 +287,21 @@ impl KvStore for ShieldAdapter {
     }
 
     fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
-        self.0.delete(key).map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
+        self.0
+            .delete(key)
+            .map_err(|_| StoreError::Integrity(aria_store::Violation::EntryMacMismatch))
     }
 
     fn len(&self) -> u64 {
         self.0.len()
     }
 
-    fn enclave(&self) -> &Rc<Enclave> {
+    fn enclave(&self) -> &Arc<Enclave> {
         self.0.enclave()
     }
 }
 
-fn build(kind: StoreKind, cfg: &RunConfig, enclave: Rc<Enclave>) -> Box<dyn KvStore> {
+fn build(kind: StoreKind, cfg: &RunConfig, enclave: Arc<Enclave>) -> Box<dyn KvStore> {
     match kind {
         StoreKind::AriaHash => Box::new(
             AriaHash::with_suite(cfg.store_config(Scheme::Aria), enclave, cfg.suite())
@@ -325,8 +340,8 @@ fn build(kind: StoreKind, cfg: &RunConfig, enclave: Rc<Enclave>) -> Box<dyn KvSt
 
 /// Load the keyspace, replay the workload, report simulated throughput.
 pub fn run(kind: StoreKind, cfg: &RunConfig) -> RunResult {
-    let enclave = Rc::new(Enclave::new(cfg.cost_model(), cfg.epc_bytes));
-    let mut store = build(kind, cfg, Rc::clone(&enclave));
+    let enclave = Arc::new(Enclave::new(cfg.cost_model(), cfg.epc_bytes));
+    let mut store = build(kind, cfg, Arc::clone(&enclave));
 
     // Load phase (not measured).
     for id in 0..cfg.keys {
@@ -383,8 +398,7 @@ pub fn run(kind: StoreKind, cfg: &RunConfig) -> RunResult {
         cycles,
         ops: cfg.ops,
         snapshot: snapshot.clone(),
-        cache_hit_ratio: store.cache_hit_ratio(),
-        cache_swapping: store.cache_swapping(),
+        cache: store.cache_stats(),
         page_faults: snapshot.page_faults,
         epc_used: enclave.epc_used() + enclave.resident_paged_bytes(),
     }

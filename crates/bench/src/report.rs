@@ -5,12 +5,10 @@ use std::fs;
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
-
 use crate::harness::RunResult;
 
 /// One emitted result row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Row {
     /// Experiment id (e.g. "fig9").
     pub experiment: String,
@@ -47,6 +45,51 @@ impl Row {
             epc_used: r.epc_used,
         }
     }
+
+    /// The row as one JSON object (hand-written: the workspace builds
+    /// offline, without serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":{},\"series\":{},\"x\":{},\"throughput\":{},\"cycles\":{},\
+             \"ops\":{},\"page_faults\":{},\"macs\":{},\"epc_used\":{}}}",
+            json_str(&self.experiment),
+            json_str(&self.series),
+            json_str(&self.x),
+            json_f64(self.throughput),
+            self.cycles,
+            self.ops,
+            self.page_faults,
+            self.macs,
+            self.epc_used,
+        )
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Infinity; null keeps rows parseable.
+        "null".to_string()
+    }
 }
 
 /// Append rows to `<out>/<experiment>.jsonl`.
@@ -65,8 +108,7 @@ pub fn write_jsonl(out_dir: &str, experiment: &str, rows: &[Row]) {
         }
     };
     for row in rows {
-        let line = serde_json::to_string(row).expect("serializable row");
-        let _ = writeln!(file, "{line}");
+        let _ = writeln!(file, "{}", row.to_json());
     }
     println!("\nresults appended to {}", path.display());
 }

@@ -1,5 +1,7 @@
 //! Configuration for the Secure Cache.
 
+use std::fmt;
+
 /// Replacement policy for swappable cache entries (§IV-E).
 ///
 /// The paper finds FIFO superior for a large in-EPC cache: LRU's hit-path
@@ -77,7 +79,133 @@ impl Default for CacheConfig {
     }
 }
 
+/// Why a [`CacheConfigBuilder`] refused to produce a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheConfigError {
+    /// `capacity_bytes` was zero; the cache needs room for at least the
+    /// pinned levels and one swappable entry.
+    ZeroCapacity,
+    /// `stop_swap_threshold` was outside `[0, 1]` (or not finite); it is
+    /// compared against a hit *ratio*.
+    ThresholdOutOfRange {
+        /// The rejected value.
+        threshold: f64,
+    },
+    /// `stop_swap_window` was zero; the hit ratio is evaluated once per
+    /// window of accesses, so an empty window never triggers.
+    ZeroWindow,
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::ZeroCapacity => {
+                write!(f, "cache capacity_bytes must be non-zero")
+            }
+            CacheConfigError::ThresholdOutOfRange { threshold } => {
+                write!(f, "stop_swap_threshold {threshold} is not a ratio in [0, 1]")
+            }
+            CacheConfigError::ZeroWindow => {
+                write!(f, "stop_swap_window must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+/// Fallible builder for [`CacheConfig`].
+///
+/// Starts from [`CacheConfig::default`]; each setter overrides one field
+/// and [`build`](CacheConfigBuilder::build) validates the combination.
+/// Invariants that need tree or enclave context (pinned levels vs. tree
+/// height, capacity vs. EPC budget) are checked by the store-level
+/// builder, which knows the geometry.
+#[derive(Debug, Clone)]
+pub struct CacheConfigBuilder {
+    cfg: CacheConfig,
+}
+
+impl CacheConfigBuilder {
+    /// Set the total EPC byte budget of the cache.
+    pub fn capacity_bytes(mut self, capacity_bytes: usize) -> Self {
+        self.cfg.capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// Set the replacement policy.
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Set how many top Merkle levels to pin in the EPC.
+    pub fn pinned_levels(mut self, pinned_levels: u32) -> Self {
+        self.cfg.pinned_levels = pinned_levels;
+        self
+    }
+
+    /// Set the swap behaviour.
+    pub fn swap_mode(mut self, swap_mode: SwapMode) -> Self {
+        self.cfg.swap_mode = swap_mode;
+        self
+    }
+
+    /// Set the auto-stop hit-ratio threshold.
+    pub fn stop_swap_threshold(mut self, threshold: f64) -> Self {
+        self.cfg.stop_swap_threshold = threshold;
+        self
+    }
+
+    /// Set the accesses per hit-ratio evaluation window.
+    pub fn stop_swap_window(mut self, window: u64) -> Self {
+        self.cfg.stop_swap_window = window;
+        self
+    }
+
+    /// Toggle the swap-without-encryption optimization.
+    pub fn swap_without_encryption(mut self, enabled: bool) -> Self {
+        self.cfg.swap_without_encryption = enabled;
+        self
+    }
+
+    /// Toggle the skip-clean-writeback optimization.
+    pub fn skip_clean_writeback(mut self, enabled: bool) -> Self {
+        self.cfg.skip_clean_writeback = enabled;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<CacheConfig, CacheConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl CacheConfig {
+    /// A fallible builder starting from the default configuration.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder { cfg: CacheConfig::default() }
+    }
+
+    /// Check the invariants the builder enforces. Exposed so store-level
+    /// validation can re-check a hand-constructed `CacheConfig` too.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.capacity_bytes == 0 {
+            return Err(CacheConfigError::ZeroCapacity);
+        }
+        if !self.stop_swap_threshold.is_finite() || !(0.0..=1.0).contains(&self.stop_swap_threshold)
+        {
+            return Err(CacheConfigError::ThresholdOutOfRange {
+                threshold: self.stop_swap_threshold,
+            });
+        }
+        if self.stop_swap_window == 0 {
+            return Err(CacheConfigError::ZeroWindow);
+        }
+        Ok(())
+    }
+
     /// The paper's full-optimization configuration with a given capacity.
     pub fn with_capacity(capacity_bytes: usize) -> Self {
         CacheConfig { capacity_bytes, ..CacheConfig::default() }
@@ -96,5 +224,63 @@ impl CacheConfig {
             swap_without_encryption: false,
             skip_clean_writeback: false,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_defaults() {
+        let cfg = CacheConfig::builder().build().unwrap();
+        assert_eq!(cfg.capacity_bytes, CacheConfig::default().capacity_bytes);
+    }
+
+    #[test]
+    fn builder_applies_overrides() {
+        let cfg = CacheConfig::builder()
+            .capacity_bytes(1 << 20)
+            .policy(EvictionPolicy::Lru)
+            .pinned_levels(1)
+            .swap_mode(SwapMode::Never)
+            .stop_swap_threshold(0.5)
+            .stop_swap_window(100)
+            .swap_without_encryption(false)
+            .skip_clean_writeback(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.capacity_bytes, 1 << 20);
+        assert_eq!(cfg.policy, EvictionPolicy::Lru);
+        assert_eq!(cfg.pinned_levels, 1);
+        assert_eq!(cfg.swap_mode, SwapMode::Never);
+        assert!(!cfg.swap_without_encryption);
+    }
+
+    #[test]
+    fn builder_rejects_zero_capacity() {
+        let err = CacheConfig::builder().capacity_bytes(0).build().unwrap_err();
+        assert_eq!(err, CacheConfigError::ZeroCapacity);
+    }
+
+    #[test]
+    fn builder_rejects_bad_threshold() {
+        for t in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = CacheConfig::builder().stop_swap_threshold(t).build().unwrap_err();
+            assert!(matches!(err, CacheConfigError::ThresholdOutOfRange { .. }), "{t}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_window() {
+        let err = CacheConfig::builder().stop_swap_window(0).build().unwrap_err();
+        assert_eq!(err, CacheConfigError::ZeroWindow);
+    }
+
+    #[test]
+    fn presets_still_validate() {
+        CacheConfig::default().validate().unwrap();
+        CacheConfig::with_capacity(8 << 20).validate().unwrap();
+        CacheConfig::base(8 << 20).validate().unwrap();
     }
 }

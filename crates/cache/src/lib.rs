@@ -13,7 +13,9 @@
 pub mod config;
 pub mod secure_cache;
 
-pub use config::{CacheConfig, EvictionPolicy, SwapMode, ENTRY_META_BYTES};
+pub use config::{
+    CacheConfig, CacheConfigBuilder, CacheConfigError, EvictionPolicy, SwapMode, ENTRY_META_BYTES,
+};
 pub use secure_cache::{CacheError, CacheStats, IntegrityViolation, SecureCache};
 
 #[cfg(test)]
@@ -22,14 +24,14 @@ mod tests {
     use aria_crypto::RealSuite;
     use aria_merkle::{MerkleTree, NodeId};
     use aria_sim::{CostModel, Enclave};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
-    fn suite() -> Rc<RealSuite> {
-        Rc::new(RealSuite::from_master(&[9u8; 16]))
+    fn suite() -> Arc<RealSuite> {
+        Arc::new(RealSuite::from_master(&[9u8; 16]))
     }
 
     fn setup(counters: u64, arity: usize, cfg: CacheConfig) -> SecureCache {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
         let tree = MerkleTree::new(counters, arity, suite(), 11);
         SecureCache::new(tree, enclave, cfg).expect("cache construction")
     }
@@ -289,7 +291,11 @@ mod tests {
     fn pinned_level_hit_avoids_verification() {
         // With everything but L0 pinned (Never mode + ample capacity), a
         // counter fetch walks exactly one level.
-        let cfg = CacheConfig { swap_mode: SwapMode::Never, capacity_bytes: 64 << 20, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            swap_mode: SwapMode::Never,
+            capacity_bytes: 64 << 20,
+            ..CacheConfig::default()
+        };
         let mut cache = setup(10_000, 8, cfg);
         assert_eq!(cache.pinned_floor(), 1);
         cache.get_counter(9999).unwrap();
@@ -298,7 +304,7 @@ mod tests {
 
     #[test]
     fn capacity_too_small_rejected() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
         let tree = MerkleTree::new(100, 4, suite(), 1);
         let cfg = CacheConfig { capacity_bytes: 16, ..CacheConfig::default() };
         assert!(matches!(
@@ -309,7 +315,7 @@ mod tests {
 
     #[test]
     fn epc_budget_respected() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 1 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 1 << 20));
         let tree = MerkleTree::new(100, 4, suite(), 1);
         let cfg = CacheConfig { capacity_bytes: 2 << 20, ..CacheConfig::default() };
         assert!(matches!(
@@ -320,11 +326,11 @@ mod tests {
 
     #[test]
     fn drop_releases_epc() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
         {
             let tree = MerkleTree::new(100, 4, suite(), 1);
             let cfg = CacheConfig { capacity_bytes: 1 << 20, ..CacheConfig::default() };
-            let _cache = SecureCache::new(tree, Rc::clone(&enclave), cfg).unwrap();
+            let _cache = SecureCache::new(tree, Arc::clone(&enclave), cfg).unwrap();
             assert_eq!(enclave.epc_used(), 1 << 20);
         }
         assert_eq!(enclave.epc_used(), 0);
@@ -332,7 +338,8 @@ mod tests {
 
     #[test]
     fn tampering_inner_node_detected_on_cold_path() {
-        let mut cache = setup(100_000, 8, CacheConfig { pinned_levels: 1, ..CacheConfig::default() });
+        let mut cache =
+            setup(100_000, 8, CacheConfig { pinned_levels: 1, ..CacheConfig::default() });
         cache.flush();
         // Corrupt an uncached inner node.
         let inner = NodeId { level: 1, index: 7 };
@@ -351,7 +358,7 @@ mod proptests {
     use aria_sim::{CostModel, Enclave};
     use proptest::prelude::*;
     use std::collections::HashMap;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[derive(Debug, Clone)]
     enum Op {
@@ -391,8 +398,8 @@ mod proptests {
                 swap_mode: SwapMode::Always,
                 ..CacheConfig::default()
             };
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
-            let tree = MerkleTree::new(600, arity, Rc::new(RealSuite::from_master(&[5u8; 16])), 3);
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
+            let tree = MerkleTree::new(600, arity, Arc::new(RealSuite::from_master(&[5u8; 16])), 3);
             let mut model: HashMap<u64, [u8; 16]> =
                 (0..600).map(|i| (i, tree.counter_bytes(i))).collect();
             let mut cache = SecureCache::new(tree, enclave, cfg).unwrap();

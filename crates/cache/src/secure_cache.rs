@@ -27,7 +27,7 @@
 //! disabled, modelling what hardware EWB paging would force.
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_merkle::{MerkleTree, NodeId, SLOT};
 use aria_sim::Enclave;
@@ -43,7 +43,11 @@ pub struct IntegrityViolation {
 
 impl std::fmt::Display for IntegrityViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Merkle integrity violation at level {} index {}", self.node.level, self.node.index)
+        write!(
+            f,
+            "Merkle integrity violation at level {} index {}",
+            self.node.level, self.node.index
+        )
     }
 }
 
@@ -126,7 +130,7 @@ struct Entry {
 /// The Secure Cache over one Merkle tree.
 pub struct SecureCache {
     tree: MerkleTree,
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     cfg: CacheConfig,
     entries: HashMap<NodeId, Entry>,
     queue: VecDeque<(NodeId, u64)>,
@@ -147,7 +151,11 @@ pub struct SecureCache {
 impl SecureCache {
     /// Build a Secure Cache over `tree`, reserving `cfg.capacity_bytes` of
     /// EPC from `enclave` and pinning the configured top levels.
-    pub fn new(tree: MerkleTree, enclave: Rc<Enclave>, cfg: CacheConfig) -> Result<Self, CacheError> {
+    pub fn new(
+        tree: MerkleTree,
+        enclave: Arc<Enclave>,
+        cfg: CacheConfig,
+    ) -> Result<Self, CacheError> {
         let entry_bytes = tree.node_size() + ENTRY_META_BYTES;
         let min_capacity = entry_bytes * 2;
         if cfg.capacity_bytes < min_capacity {
@@ -259,7 +267,11 @@ impl SecureCache {
     /// Compare a node's MAC against its authoritative parent slot (cached
     /// copy if cached, untrusted bytes otherwise; enclave root for the top
     /// node).
-    fn verify_against_parent(&self, id: NodeId, mac: &[u8; 16]) -> Result<bool, IntegrityViolation> {
+    fn verify_against_parent(
+        &self,
+        id: NodeId,
+        mac: &[u8; 16],
+    ) -> Result<bool, IntegrityViolation> {
         // Returns Ok(true) if the anchor was *trusted* (cached parent or
         // root), Ok(false) if it matched an untrusted parent (caller must
         // keep walking).
@@ -497,7 +509,11 @@ impl SecureCache {
 
     /// Overwrite counter `idx` with `value`, maintaining the EPC anchor
     /// invariant.
-    pub fn update_counter(&mut self, idx: u64, value: &[u8; SLOT]) -> Result<(), IntegrityViolation> {
+    pub fn update_counter(
+        &mut self,
+        idx: u64,
+        value: &[u8; SLOT],
+    ) -> Result<(), IntegrityViolation> {
         let (leaf, slot) = self.tree.locate_counter(idx);
         self.enclave.charge(self.enclave.cost().cache_lookup);
         if self.entries.contains_key(&leaf) {
@@ -573,12 +589,8 @@ impl SecureCache {
         self.queue.clear();
         // Also publish pinned dirty nodes so the untrusted tree + root is
         // globally consistent (used by tests and by tenant shutdown).
-        let mut pinned_dirty: Vec<NodeId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.pinned && e.dirty)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut pinned_dirty: Vec<NodeId> =
+            self.entries.iter().filter(|(_, e)| e.pinned && e.dirty).map(|(id, _)| *id).collect();
         // Lowest levels first so parents absorb child MACs before being
         // written back themselves.
         pinned_dirty.sort();
@@ -600,12 +612,8 @@ impl SecureCache {
             }
         }
         // Clear any re-dirtied flags bottom-up one more time.
-        let redirty: Vec<NodeId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.pinned && e.dirty)
-            .map(|(id, _)| *id)
-            .collect();
+        let redirty: Vec<NodeId> =
+            self.entries.iter().filter(|(_, e)| e.pinned && e.dirty).map(|(id, _)| *id).collect();
         if !redirty.is_empty() {
             self.flush();
         }
@@ -649,7 +657,7 @@ impl SecureCache {
     }
 
     /// The enclave costs are charged to.
-    pub fn enclave(&self) -> &Rc<Enclave> {
+    pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 

@@ -143,10 +143,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     fn rfc_key() -> CmacKey {
@@ -174,16 +171,15 @@ mod tests {
 
     #[test]
     fn rfc4493_example_3_40_bytes() {
-        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
+        let msg =
+            hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411");
         assert_eq!(rfc_key().mac(&msg).to_vec(), hex("dfa66747de9ae63030ca32611497c827"));
     }
 
     #[test]
     fn rfc4493_example_4_64_bytes() {
-        let msg = hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
-             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
-        );
+        let msg = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710");
         assert_eq!(rfc_key().mac(&msg).to_vec(), hex("51f0bebf7e3b9d92fc49741779363cfe"));
     }
 

@@ -46,10 +46,7 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     /// NIST SP 800-38A F.5.1 (AES-128 CTR) — first two blocks.
@@ -60,10 +57,7 @@ mod tests {
         let mut data = hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let cipher = Aes128::new(&key);
         ctr_crypt(&cipher, &iv, &mut data);
-        assert_eq!(
-            data,
-            hex("874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff")
-        );
+        assert_eq!(data, hex("874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff"));
     }
 
     #[test]

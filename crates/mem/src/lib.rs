@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_sim::Enclave;
 
@@ -180,7 +180,7 @@ pub struct HeapStats {
 
 /// The user-space untrusted heap.
 pub struct UserHeap {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     strategy: AllocStrategy,
     chunks: Vec<Chunk>,
     classes: Vec<SizeClass>,
@@ -190,7 +190,7 @@ pub struct UserHeap {
 
 impl UserHeap {
     /// Create a heap charging costs to `enclave`.
-    pub fn new(enclave: Rc<Enclave>, strategy: AllocStrategy) -> Self {
+    pub fn new(enclave: Arc<Enclave>, strategy: AllocStrategy) -> Self {
         UserHeap {
             enclave,
             strategy,
@@ -214,9 +214,7 @@ impl UserHeap {
     fn new_chunk(&mut self, block_size: usize) -> Result<usize, HeapError> {
         let chunk = Chunk::new(block_size);
         // Bitmap lives in the EPC.
-        self.enclave
-            .epc_alloc(chunk.bitmap.len() * 8)
-            .map_err(|_| HeapError::EpcExhausted)?;
+        self.enclave.epc_alloc(chunk.bitmap.len() * 8).map_err(|_| HeapError::EpcExhausted)?;
         self.chunks.push(chunk);
         Ok(self.chunks.len() - 1)
     }
@@ -278,10 +276,8 @@ impl UserHeap {
 
     /// Free a previously allocated block.
     pub fn free(&mut self, ptr: UPtr) -> Result<(), HeapError> {
-        let chunk = self
-            .chunks
-            .get_mut(ptr.chunk as usize)
-            .ok_or(HeapError::InvalidPointer { ptr })?;
+        let chunk =
+            self.chunks.get_mut(ptr.chunk as usize).ok_or(HeapError::InvalidPointer { ptr })?;
         if chunk.block_size == 0 {
             // Dedicated oversize chunk.
             if !chunk.bit(0) {
@@ -361,7 +357,7 @@ impl UserHeap {
     }
 
     /// The enclave this heap charges.
-    pub fn enclave(&self) -> &Rc<Enclave> {
+    pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 
@@ -372,11 +368,7 @@ impl UserHeap {
             live_blocks: self.live_blocks,
             chunk_bytes: self.chunks.len() * CHUNK_SIZE,
             epc_bitmap_bytes: self.chunks.iter().map(|c| c.bitmap.len() * 8).sum(),
-            freelist_bytes: self
-                .classes
-                .iter()
-                .map(|c| c.free.len() * FREELIST_ENTRY_BYTES)
-                .sum(),
+            freelist_bytes: self.classes.iter().map(|c| c.free.len() * FREELIST_ENTRY_BYTES).sum(),
         }
     }
 }
@@ -387,7 +379,7 @@ mod tests {
     use aria_sim::CostModel;
 
     fn heap(strategy: AllocStrategy) -> UserHeap {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 8 << 20));
         UserHeap::new(enclave, strategy)
     }
 
@@ -451,7 +443,7 @@ mod tests {
 
     #[test]
     fn oversize_allocation_gets_dedicated_chunk() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 8 << 20));
         let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
         let p = h.alloc(CHUNK_SIZE + 1).unwrap();
         h.write(p, &[0xab; 100]).unwrap();
@@ -462,8 +454,8 @@ mod tests {
 
     #[test]
     fn bitmap_lives_in_epc() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 8 << 20));
-        let mut h = UserHeap::new(Rc::clone(&enclave), AllocStrategy::UserSpace);
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 8 << 20));
+        let mut h = UserHeap::new(Arc::clone(&enclave), AllocStrategy::UserSpace);
         assert_eq!(enclave.epc_used(), 0);
         h.alloc(64).unwrap();
         // One 4 MB chunk of 64 B blocks = 65536 blocks = 8 KB of bitmap.
@@ -498,7 +490,7 @@ mod proptests {
         /// balances at the end.
         #[test]
         fn alloc_free_model(ops in proptest::collection::vec((any::<bool>(), 1usize..2000), 1..300)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
             let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
             let mut live: Vec<UPtr> = Vec::new();
             let mut seen_live: std::collections::HashSet<UPtr> = std::collections::HashSet::new();
@@ -523,7 +515,7 @@ mod proptests {
         /// Writes through distinct live pointers never clobber each other.
         #[test]
         fn no_aliasing(count in 1usize..60, sizes in proptest::collection::vec(1usize..512, 60)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
             let mut h = UserHeap::new(enclave, AllocStrategy::UserSpace);
             let ptrs: Vec<(UPtr, usize)> = (0..count)
                 .map(|i| { let s = sizes[i]; (h.alloc(s).unwrap(), s) })

@@ -26,7 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_crypto::{CipherSuite, Mac};
 
@@ -66,7 +66,7 @@ pub struct MerkleTree {
     level_nodes: Vec<u64>,
     /// The root MAC (conceptually inside the enclave).
     root: Mac,
-    suite: Rc<dyn CipherSuite>,
+    suite: Arc<dyn CipherSuite>,
 }
 
 impl MerkleTree {
@@ -78,7 +78,7 @@ impl MerkleTree {
     /// is retained in the enclave. (The paper seeds counters randomly
     /// inside the enclave; we derive them from `seed` so experiments are
     /// reproducible.)
-    pub fn new(num_counters: u64, arity: usize, suite: Rc<dyn CipherSuite>, seed: u64) -> Self {
+    pub fn new(num_counters: u64, arity: usize, suite: Arc<dyn CipherSuite>, seed: u64) -> Self {
         assert!(arity >= 2, "Merkle tree arity must be at least 2");
         assert!(num_counters > 0, "Merkle tree must cover at least one counter");
         let node_size = arity * SLOT;
@@ -91,10 +91,8 @@ impl MerkleTree {
             level_nodes.push(next);
         }
 
-        let mut levels: Vec<Vec<u8>> = level_nodes
-            .iter()
-            .map(|&n| vec![0u8; n as usize * node_size])
-            .collect();
+        let mut levels: Vec<Vec<u8>> =
+            level_nodes.iter().map(|&n| vec![0u8; n as usize * node_size]).collect();
 
         // Counter initialization: unique per-slot values derived from the
         // seed (splitmix-style), so no (key, counter) pair ever repeats
@@ -269,7 +267,7 @@ impl MerkleTree {
     }
 
     /// The cipher suite the tree MACs with.
-    pub fn suite(&self) -> &Rc<dyn CipherSuite> {
+    pub fn suite(&self) -> &Arc<dyn CipherSuite> {
         &self.suite
     }
 
@@ -340,7 +338,7 @@ mod tests {
     use aria_crypto::RealSuite;
 
     fn tree(counters: u64, arity: usize) -> MerkleTree {
-        MerkleTree::new(counters, arity, Rc::new(RealSuite::from_master(&[7u8; 16])), 42)
+        MerkleTree::new(counters, arity, Arc::new(RealSuite::from_master(&[7u8; 16])), 42)
     }
 
     #[test]
@@ -488,7 +486,7 @@ mod proptests {
             corrupt_level_pick in any::<u32>(),
             corrupt_byte in any::<usize>(),
         ) {
-            let suite = Rc::new(RealSuite::from_master(&[3u8; 16]));
+            let suite = Arc::new(RealSuite::from_master(&[3u8; 16]));
             let mut t = MerkleTree::new(counters, arity, suite, 7);
             for (idx, v) in &updates {
                 t.update_counter_plain(idx % counters, &[*v; 16]);

@@ -30,7 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_crypto::{CipherSuite, RealSuite};
 use aria_mem::{AllocStrategy, UPtr, UserHeap};
@@ -121,8 +121,8 @@ fn hash_key(key: &[u8]) -> u64 {
 
 /// The ShieldStore baseline store.
 pub struct ShieldStore {
-    enclave: Rc<Enclave>,
-    suite: Rc<dyn CipherSuite>,
+    enclave: Arc<Enclave>,
+    suite: Arc<dyn CipherSuite>,
     heap: UserHeap,
     /// Bucket heads, untrusted.
     buckets: Vec<UPtr>,
@@ -134,20 +134,20 @@ pub struct ShieldStore {
 impl ShieldStore {
     /// Create a store with `nbuckets` buckets (the paper's setup uses
     /// 4 M roots = 64 MB EPC; size to taste for scaled runs).
-    pub fn new(nbuckets: usize, enclave: Rc<Enclave>) -> Result<Self, ShieldError> {
+    pub fn new(nbuckets: usize, enclave: Arc<Enclave>) -> Result<Self, ShieldError> {
         Self::with_suite(nbuckets, enclave, None)
     }
 
     /// As [`ShieldStore::new`] with an explicit cipher suite.
     pub fn with_suite(
         nbuckets: usize,
-        enclave: Rc<Enclave>,
-        suite: Option<Rc<dyn CipherSuite>>,
+        enclave: Arc<Enclave>,
+        suite: Option<Arc<dyn CipherSuite>>,
     ) -> Result<Self, ShieldError> {
         enclave.epc_alloc(nbuckets * MAC_LEN).map_err(|_| ShieldError::EpcExhausted)?;
-        let suite: Rc<dyn CipherSuite> =
-            suite.unwrap_or_else(|| Rc::new(RealSuite::from_master(&[0x55; 16])));
-        let heap = UserHeap::new(Rc::clone(&enclave), AllocStrategy::UserSpace);
+        let suite: Arc<dyn CipherSuite> =
+            suite.unwrap_or_else(|| Arc::new(RealSuite::from_master(&[0x55; 16])));
+        let heap = UserHeap::new(Arc::clone(&enclave), AllocStrategy::UserSpace);
         // An empty bucket's root is the MAC of the empty string.
         let empty_root = suite.mac(&[]);
         Ok(ShieldStore {
@@ -208,9 +208,9 @@ impl ShieldStore {
                 }
                 let counter: [u8; 16] =
                     bytes[HEADER_LEN..HEADER_LEN + COUNTER_LEN].try_into().unwrap();
-                let mut payload =
-                    bytes[HEADER_LEN + COUNTER_LEN..HEADER_LEN + COUNTER_LEN + header.klen + header.vlen]
-                        .to_vec();
+                let mut payload = bytes[HEADER_LEN + COUNTER_LEN
+                    ..HEADER_LEN + COUNTER_LEN + header.klen + header.vlen]
+                    .to_vec();
                 self.enclave.charge_crypt(payload.len());
                 self.suite.crypt(&counter, &mut payload);
                 if &payload[..header.klen] == key {
@@ -261,7 +261,8 @@ impl ShieldStore {
     }
 
     fn seal(&self, next: UPtr, key: &[u8], value: &[u8], counter: &[u8; 16]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + COUNTER_LEN + key.len() + value.len() + MAC_LEN);
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + COUNTER_LEN + key.len() + value.len() + MAC_LEN);
         out.extend_from_slice(&next.to_bytes());
         out.extend_from_slice(&key_hint(key).to_le_bytes());
         out.extend_from_slice(&(key.len() as u16).to_le_bytes());
@@ -376,7 +377,7 @@ impl ShieldStore {
     }
 
     /// The enclave costs are charged to.
-    pub fn enclave(&self) -> &Rc<Enclave> {
+    pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 
@@ -441,7 +442,7 @@ mod tests {
     use aria_sim::CostModel;
 
     fn store(buckets: usize) -> ShieldStore {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
         ShieldStore::new(buckets, enclave).unwrap()
     }
 
@@ -465,7 +466,10 @@ mod tests {
         s.put(b"k", b"bbbb").unwrap();
         assert_eq!(s.get(b"k").unwrap().unwrap(), b"bbbb");
         s.put(b"k", b"a-much-longer-value-needing-relocation").unwrap();
-        assert_eq!(s.get(b"k").unwrap().unwrap().as_slice(), b"a-much-longer-value-needing-relocation");
+        assert_eq!(
+            s.get(b"k").unwrap().unwrap().as_slice(),
+            b"a-much-longer-value-needing-relocation"
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -522,9 +526,9 @@ mod tests {
 
     #[test]
     fn roots_live_in_epc() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
         let before = enclave.epc_used();
-        let _s = ShieldStore::new(4096, Rc::clone(&enclave)).unwrap();
+        let _s = ShieldStore::new(4096, Arc::clone(&enclave)).unwrap();
         assert_eq!(enclave.epc_used() - before, 4096 * 16);
     }
 
@@ -555,7 +559,7 @@ mod proptests {
                 (0u8..3, any::<u8>(), proptest::collection::vec(any::<u8>(), 0..48)), 1..120),
             buckets in 1usize..32,
         ) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
             let mut s = ShieldStore::new(buckets, enclave).unwrap();
             let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
             for (op, id, val) in ops {

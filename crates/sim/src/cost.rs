@@ -8,8 +8,6 @@
 //! roughly twice the latency of untrusted DRAM (§IV-E, citing HotCalls),
 //! and ~1.5 cycles/byte AES with a fixed setup per invocation.
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per CPU cache line; memory costs are charged per line touched.
 pub const CACHE_LINE: usize = 64;
 
@@ -17,7 +15,7 @@ pub const CACHE_LINE: usize = 64;
 pub const PAGE_SIZE: usize = 4096;
 
 /// All tunable cycle costs of the simulated platform.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Core clock in GHz, used only to convert cycles to ops/s.
     pub clock_ghz: f64,
@@ -158,10 +156,7 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.untrusted_access(1), c.untrusted_access(64));
         assert!(c.untrusted_access(65) > c.untrusted_access(64));
-        assert_eq!(
-            c.untrusted_access(128) - c.untrusted_access(64),
-            c.untrusted_access_per_line
-        );
+        assert_eq!(c.untrusted_access(128) - c.untrusted_access(64), c.untrusted_access_per_line);
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The simulated enclave: EPC budget accounting, cycle clock, event
 //! statistics and hardware-paged regions.
 //!
-//! A single [`Enclave`] instance represents one SGX enclave (one tenant).
-//! It is shared by every component of one store instance via
-//! `Rc<Enclave>`; all state is in `Cell`/`RefCell` so the methods take
-//! `&self`. Multi-tenant experiments build one enclave per tenant, each
-//! with a slice of the physical EPC.
+//! A single [`Enclave`] instance represents one SGX enclave (one tenant,
+//! or one shard of a sharded store). It is shared by every component of
+//! one store instance via `Arc<Enclave>`; all state is atomic (counters)
+//! or mutex-protected (paged regions), so the methods take `&self` and
+//! the type is `Send + Sync` — worker threads can own their shard's
+//! enclave while aggregators read counters concurrently. Multi-tenant
+//! experiments build one enclave per tenant, each with a slice of the
+//! physical EPC; sharded stores build one per shard and aggregate with
+//! [`EnclaveStats`].
 
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::cost::CostModel;
 use crate::paging::PagingSim;
@@ -26,11 +31,7 @@ pub struct EpcExhausted {
 
 impl std::fmt::Display for EpcExhausted {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "EPC exhausted: requested {} bytes, {} available",
-            self.requested, self.available
-        )
+        write!(f, "EPC exhausted: requested {} bytes, {} available", self.requested, self.available)
     }
 }
 
@@ -64,27 +65,84 @@ pub struct EnclaveSnapshot {
     pub epc_peak: u64,
 }
 
+impl EnclaveSnapshot {
+    /// Fold another snapshot into this one (all fields sum; peak sums
+    /// too, because distinct enclaves reserve from distinct budgets).
+    pub fn merge(&mut self, other: &EnclaveSnapshot) {
+        self.cycles += other.cycles;
+        self.ecalls += other.ecalls;
+        self.ocalls += other.ocalls;
+        self.page_faults += other.page_faults;
+        self.bytes_crypted += other.bytes_crypted;
+        self.macs_computed += other.macs_computed;
+        self.bytes_maced += other.bytes_maced;
+        self.epc_used += other.epc_used;
+        self.epc_peak += other.epc_peak;
+    }
+}
+
+/// Aggregated statistics over several enclaves — the per-shard enclaves
+/// of a sharded store, or the per-tenant enclaves of a multi-tenant
+/// experiment.
+///
+/// Keeps both the **sum** of every counter (total work performed) and
+/// the **maximum** per-enclave cycle count: shards run concurrently, so
+/// wall-clock time is governed by the slowest shard, and aggregate
+/// throughput is `ops / max_cycles`, not `ops / total_cycles`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EnclaveStats {
+    /// Sum of every counter across the aggregated enclaves.
+    pub totals: EnclaveSnapshot,
+    /// Largest per-enclave cycle count (the critical path).
+    pub max_cycles: u64,
+    /// Number of enclaves aggregated.
+    pub enclaves: usize,
+}
+
+impl EnclaveStats {
+    /// Aggregate a set of snapshots.
+    pub fn aggregate<I>(snapshots: I) -> EnclaveStats
+    where
+        I: IntoIterator<Item = EnclaveSnapshot>,
+    {
+        let mut stats = EnclaveStats::default();
+        for snap in snapshots {
+            stats.max_cycles = stats.max_cycles.max(snap.cycles);
+            stats.totals.merge(&snap);
+            stats.enclaves += 1;
+        }
+        stats
+    }
+
+    /// Aggregate throughput (ops/s) of `ops` operations executed by the
+    /// aggregated enclaves *in parallel*: the elapsed wall-clock is the
+    /// slowest enclave's cycle count.
+    pub fn parallel_throughput(&self, ops: u64, cost: &CostModel) -> f64 {
+        cost.throughput(ops, self.max_cycles)
+    }
+}
+
 /// The simulated SGX enclave.
 pub struct Enclave {
     cost: CostModel,
     epc_capacity: usize,
-    epc_used: Cell<usize>,
-    epc_peak: Cell<usize>,
-    cycles: Cell<u64>,
-    ecalls: Cell<u64>,
-    ocalls: Cell<u64>,
-    bytes_crypted: Cell<u64>,
-    macs_computed: Cell<u64>,
-    bytes_maced: Cell<u64>,
-    paged: RefCell<Vec<PagingSim>>,
+    epc_used: AtomicUsize,
+    epc_peak: AtomicUsize,
+    cycles: AtomicU64,
+    ecalls: AtomicU64,
+    ocalls: AtomicU64,
+    bytes_crypted: AtomicU64,
+    macs_computed: AtomicU64,
+    bytes_maced: AtomicU64,
+    paged: Mutex<Vec<PagingSim>>,
 }
 
 impl std::fmt::Debug for Enclave {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Enclave")
             .field("epc_capacity", &self.epc_capacity)
-            .field("epc_used", &self.epc_used.get())
-            .field("cycles", &self.cycles.get())
+            .field("epc_used", &self.epc_used.load(Ordering::Relaxed))
+            .field("cycles", &self.cycles.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -95,15 +153,15 @@ impl Enclave {
         Enclave {
             cost,
             epc_capacity,
-            epc_used: Cell::new(0),
-            epc_peak: Cell::new(0),
-            cycles: Cell::new(0),
-            ecalls: Cell::new(0),
-            ocalls: Cell::new(0),
-            bytes_crypted: Cell::new(0),
-            macs_computed: Cell::new(0),
-            bytes_maced: Cell::new(0),
-            paged: RefCell::new(Vec::new()),
+            epc_used: AtomicUsize::new(0),
+            epc_peak: AtomicUsize::new(0),
+            cycles: AtomicU64::new(0),
+            ecalls: AtomicU64::new(0),
+            ocalls: AtomicU64::new(0),
+            bytes_crypted: AtomicU64::new(0),
+            macs_computed: AtomicU64::new(0),
+            bytes_maced: AtomicU64::new(0),
+            paged: Mutex::new(Vec::new()),
         }
     }
 
@@ -124,31 +182,41 @@ impl Enclave {
 
     /// Bytes of EPC currently reserved via [`Enclave::epc_alloc`].
     pub fn epc_used(&self) -> usize {
-        self.epc_used.get()
+        self.epc_used.load(Ordering::Relaxed)
     }
 
     /// Bytes of EPC still unreserved.
     pub fn epc_available(&self) -> usize {
-        self.epc_capacity - self.epc_used.get()
+        self.epc_capacity - self.epc_used()
     }
 
     /// Reserve `bytes` of EPC for permanently resident trusted data
     /// (Secure Cache contents, pinned Merkle levels, bitmaps, roots).
     pub fn epc_alloc(&self, bytes: usize) -> Result<(), EpcExhausted> {
-        let used = self.epc_used.get();
-        if used + bytes > self.epc_capacity {
-            return Err(EpcExhausted { requested: bytes, available: self.epc_capacity - used });
+        let mut used = self.epc_used.load(Ordering::Relaxed);
+        loop {
+            if used + bytes > self.epc_capacity {
+                return Err(EpcExhausted { requested: bytes, available: self.epc_capacity - used });
+            }
+            match self.epc_used.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.epc_peak.fetch_max(used + bytes, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(current) => used = current,
+            }
         }
-        self.epc_used.set(used + bytes);
-        self.epc_peak.set(self.epc_peak.get().max(used + bytes));
-        Ok(())
     }
 
     /// Release a previous reservation.
     pub fn epc_free(&self, bytes: usize) {
-        let used = self.epc_used.get();
-        debug_assert!(bytes <= used, "epc_free({bytes}) exceeds reservation {used}");
-        self.epc_used.set(used.saturating_sub(bytes));
+        let prev = self.epc_used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(bytes <= prev, "epc_free({bytes}) exceeds reservation {prev}");
     }
 
     // --- cycle charging -------------------------------------------------
@@ -156,12 +224,12 @@ impl Enclave {
     /// Advance the simulated clock by raw cycles.
     #[inline]
     pub fn charge(&self, cycles: u64) {
-        self.cycles.set(self.cycles.get() + cycles);
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Elapsed simulated cycles.
     pub fn cycles(&self) -> u64 {
-        self.cycles.get()
+        self.cycles.load(Ordering::Relaxed)
     }
 
     /// Charge an access to untrusted memory.
@@ -180,27 +248,27 @@ impl Enclave {
     #[inline]
     pub fn charge_crypt(&self, bytes: usize) {
         self.charge(self.cost.ctr_crypt(bytes));
-        self.bytes_crypted.set(self.bytes_crypted.get() + bytes as u64);
+        self.bytes_crypted.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Charge (and count) a CMAC over `bytes`.
     #[inline]
     pub fn charge_mac(&self, bytes: usize) {
         self.charge(self.cost.cmac(bytes));
-        self.macs_computed.set(self.macs_computed.get() + 1);
-        self.bytes_maced.set(self.bytes_maced.get() + bytes as u64);
+        self.macs_computed.fetch_add(1, Ordering::Relaxed);
+        self.bytes_maced.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Charge an enclave entry.
     pub fn ecall(&self) {
         self.charge(self.cost.ecall);
-        self.ecalls.set(self.ecalls.get() + 1);
+        self.ecalls.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Charge an enclave exit.
     pub fn ocall(&self) {
         self.charge(self.cost.ocall);
-        self.ocalls.set(self.ocalls.get() + 1);
+        self.ocalls.fetch_add(1, Ordering::Relaxed);
     }
 
     // --- hardware-paged regions ------------------------------------------
@@ -210,7 +278,7 @@ impl Enclave {
     /// region competes for the EPC *not* reserved via `epc_alloc`.
     pub fn declare_paged_region(&self, total_bytes: usize) -> PagedRegionId {
         let capacity = self.epc_available().max(crate::cost::PAGE_SIZE);
-        let mut paged = self.paged.borrow_mut();
+        let mut paged = self.paged.lock().expect("paged regions lock");
         paged.push(PagingSim::new(total_bytes, capacity));
         PagedRegionId(paged.len() - 1)
     }
@@ -219,45 +287,50 @@ impl Enclave {
     /// faults and EPC access costs.
     pub fn touch_paged(&self, region: PagedRegionId, offset: usize, len: usize) {
         let available = self.epc_available().max(crate::cost::PAGE_SIZE);
-        let mut paged = self.paged.borrow_mut();
-        let sim = &mut paged[region.0];
-        // Explicit EPC reservations (epc_alloc) squeeze the page frames
-        // left for hardware paging; track that dynamically.
-        sim.set_capacity_bytes(available);
-        if sim.fits() {
-            // Region fits in EPC: plain MEE-protected access.
-            drop(paged);
-            self.access_epc(len);
-            return;
+        let faults = {
+            let mut paged = self.paged.lock().expect("paged regions lock");
+            let sim = &mut paged[region.0];
+            // Explicit EPC reservations (epc_alloc) squeeze the page
+            // frames left for hardware paging; track that dynamically.
+            sim.set_capacity_bytes(available);
+            if sim.fits() {
+                // Region fits in EPC: plain MEE-protected access.
+                None
+            } else {
+                Some(sim.touch_range(offset, len))
+            }
+        };
+        match faults {
+            None => self.access_epc(len),
+            Some(faults) => {
+                self.charge(faults * self.cost.epc_page_fault);
+                if faults == 0 {
+                    self.charge(self.cost.epc_page_hit);
+                }
+                self.access_epc(len);
+            }
         }
-        let faults = sim.touch_range(offset, len);
-        drop(paged);
-        self.charge(faults * self.cost.epc_page_fault);
-        if faults == 0 {
-            self.charge(self.cost.epc_page_hit);
-        }
-        self.access_epc(len);
     }
 
     /// Grow a paged region (store expansion).
     pub fn grow_paged(&self, region: PagedRegionId, new_total_bytes: usize) {
-        self.paged.borrow_mut()[region.0].grow(new_total_bytes);
+        self.paged.lock().expect("paged regions lock")[region.0].grow(new_total_bytes);
     }
 
     /// Faults observed in one region.
     pub fn region_faults(&self, region: PagedRegionId) -> u64 {
-        self.paged.borrow()[region.0].faults()
+        self.paged.lock().expect("paged regions lock")[region.0].faults()
     }
 
     /// Total faults across all paged regions.
     pub fn total_page_faults(&self) -> u64 {
-        self.paged.borrow().iter().map(|p| p.faults()).sum()
+        self.paged.lock().expect("paged regions lock").iter().map(|p| p.faults()).sum()
     }
 
     /// EPC bytes held by resident pages of paged regions (in addition to
     /// explicit [`Enclave::epc_used`] reservations).
     pub fn resident_paged_bytes(&self) -> usize {
-        self.paged.borrow().iter().map(|p| p.resident_bytes()).sum()
+        self.paged.lock().expect("paged regions lock").iter().map(|p| p.resident_bytes()).sum()
     }
 
     // --- metrics ----------------------------------------------------------
@@ -265,32 +338,32 @@ impl Enclave {
     /// Snapshot all counters.
     pub fn snapshot(&self) -> EnclaveSnapshot {
         EnclaveSnapshot {
-            cycles: self.cycles.get(),
-            ecalls: self.ecalls.get(),
-            ocalls: self.ocalls.get(),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            ecalls: self.ecalls.load(Ordering::Relaxed),
+            ocalls: self.ocalls.load(Ordering::Relaxed),
             page_faults: self.total_page_faults(),
-            bytes_crypted: self.bytes_crypted.get(),
-            macs_computed: self.macs_computed.get(),
-            bytes_maced: self.bytes_maced.get(),
-            epc_used: self.epc_used.get() as u64,
-            epc_peak: self.epc_peak.get() as u64,
+            bytes_crypted: self.bytes_crypted.load(Ordering::Relaxed),
+            macs_computed: self.macs_computed.load(Ordering::Relaxed),
+            bytes_maced: self.bytes_maced.load(Ordering::Relaxed),
+            epc_used: self.epc_used.load(Ordering::Relaxed) as u64,
+            epc_peak: self.epc_peak.load(Ordering::Relaxed) as u64,
         }
     }
 
     /// Reset the clock and event counters (EPC reservations and paging
     /// residency are preserved — they are state, not metrics).
     pub fn reset_metrics(&self) {
-        self.cycles.set(0);
-        self.ecalls.set(0);
-        self.ocalls.set(0);
-        self.bytes_crypted.set(0);
-        self.macs_computed.set(0);
-        self.bytes_maced.set(0);
+        self.cycles.store(0, Ordering::Relaxed);
+        self.ecalls.store(0, Ordering::Relaxed);
+        self.ocalls.store(0, Ordering::Relaxed);
+        self.bytes_crypted.store(0, Ordering::Relaxed);
+        self.macs_computed.store(0, Ordering::Relaxed);
+        self.bytes_maced.store(0, Ordering::Relaxed);
     }
 
     /// Ops/s for `ops` operations measured between two cycle readings.
     pub fn throughput(&self, ops: u64, start_cycles: u64) -> f64 {
-        self.cost.throughput(ops, self.cycles.get() - start_cycles)
+        self.cost.throughput(ops, self.cycles() - start_cycles)
     }
 }
 
@@ -371,5 +444,84 @@ mod tests {
         assert_eq!(e.cycles(), 0);
         assert_eq!(e.snapshot().ecalls, 0);
         assert_eq!(e.epc_used(), 100);
+    }
+
+    #[test]
+    fn enclave_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Enclave>();
+    }
+
+    #[test]
+    fn concurrent_charging_loses_nothing() {
+        use std::sync::Arc;
+        let e = Arc::new(Enclave::new(CostModel::default(), 1 << 20));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        e.charge(3);
+                        e.ecall();
+                        e.charge_mac(16);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = e.snapshot();
+        assert_eq!(snap.ecalls, 80_000);
+        assert_eq!(snap.macs_computed, 80_000);
+        assert_eq!(snap.bytes_maced, 80_000 * 16);
+        let expected = 80_000 * 3 + snap.ecalls * e.cost().ecall + {
+            // charge_mac charges cmac(16) per call.
+            80_000 * e.cost().cmac(16)
+        };
+        assert_eq!(snap.cycles, expected);
+    }
+
+    #[test]
+    fn concurrent_epc_alloc_never_oversubscribes() {
+        use std::sync::Arc;
+        let e = Arc::new(Enclave::new(CostModel::default(), 1000));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let mut granted = 0usize;
+                    for _ in 0..1000 {
+                        if e.epc_alloc(7).is_ok() {
+                            granted += 7;
+                        }
+                    }
+                    granted
+                })
+            })
+            .collect();
+        let granted: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(granted <= 1000, "granted {granted} of 1000");
+        assert_eq!(e.epc_used(), granted);
+        assert!(e.snapshot().epc_peak <= 1000);
+    }
+
+    #[test]
+    fn stats_aggregate_sums_and_maxes() {
+        let a = Enclave::new(CostModel::default(), 1 << 20);
+        let b = Enclave::new(CostModel::default(), 1 << 20);
+        a.charge(100);
+        a.ecall();
+        b.charge(50_000);
+        b.charge_mac(32);
+        let stats = EnclaveStats::aggregate([a.snapshot(), b.snapshot()]);
+        assert_eq!(stats.enclaves, 2);
+        assert_eq!(stats.max_cycles, b.cycles());
+        assert_eq!(stats.totals.cycles, a.cycles() + b.cycles());
+        assert_eq!(stats.totals.ecalls, 1);
+        assert_eq!(stats.totals.macs_computed, 1);
+        // Parallel throughput is governed by the slower enclave.
+        let tput = stats.parallel_throughput(1000, a.cost());
+        assert_eq!(tput, a.cost().throughput(1000, stats.max_cycles));
     }
 }

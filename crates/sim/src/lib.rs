@@ -16,7 +16,11 @@
 //! * [`PagingSim`] — CLOCK second-chance 4 KB paging, used for data the
 //!   schemes place *inside* the enclave beyond EPC capacity.
 //! * [`Enclave`] — EPC budget accounting, the cycle clock and event
-//!   counters, shared via `Rc` by all components of one store instance.
+//!   counters, shared via `Arc` by all components of one store instance
+//!   (thread-safe: counters are atomics, so shards on worker threads can
+//!   charge concurrently).
+//! * [`EnclaveStats`] — aggregation across several enclaves (the shards
+//!   of a sharded store or the tenants of a multi-tenant experiment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +30,9 @@ pub mod enclave;
 pub mod paging;
 
 pub use cost::{CostModel, CACHE_LINE, PAGE_SIZE};
-pub use enclave::{Enclave, EnclaveSnapshot, EpcExhausted, PagedRegionId, DEFAULT_EPC_BYTES};
+pub use enclave::{
+    Enclave, EnclaveSnapshot, EnclaveStats, EpcExhausted, PagedRegionId, DEFAULT_EPC_BYTES,
+};
 pub use paging::PagingSim;
 
 #[cfg(test)]

@@ -15,14 +15,15 @@
 
 use aria_mem::UPtr;
 use aria_sim::Enclave;
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::config::StoreConfig;
 use crate::core::{hash_key, StoreCore};
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::KvStore;
+use crate::{CacheStats, KvStore};
 
 /// Tag bit marking a bucket-slot AdField (vs an entry `next`-cell one).
 const AD_BUCKET_TAG: u64 = 1 << 63;
@@ -63,25 +64,21 @@ pub struct AriaHash {
 
 impl AriaHash {
     /// Build a store charging costs and EPC to `enclave`.
-    pub fn new(cfg: StoreConfig, enclave: Rc<Enclave>) -> Result<Self, StoreError> {
+    pub fn new(cfg: StoreConfig, enclave: Arc<Enclave>) -> Result<Self, StoreError> {
         Self::with_suite(cfg, enclave, None)
     }
 
     /// Like [`AriaHash::new`] with an explicit cipher suite.
     pub fn with_suite(
         cfg: StoreConfig,
-        enclave: Rc<Enclave>,
-        suite: Option<Rc<dyn aria_crypto::CipherSuite>>,
+        enclave: Arc<Enclave>,
+        suite: Option<Arc<dyn aria_crypto::CipherSuite>>,
     ) -> Result<Self, StoreError> {
         let buckets = cfg.buckets;
         // Per-bucket trusted counts live in the EPC (1 byte per bucket).
         enclave.epc_alloc(buckets).map_err(|_| StoreError::EpcExhausted)?;
         let core = StoreCore::new(cfg, enclave, suite)?;
-        Ok(AriaHash {
-            core,
-            buckets: vec![UPtr::NULL; buckets],
-            bucket_counts: vec![0; buckets],
-        })
+        Ok(AriaHash { core, buckets: vec![UPtr::NULL; buckets], bucket_counts: vec![0; buckets] })
     }
 
     fn bucket_of(&self, key: &[u8]) -> usize {
@@ -273,9 +270,10 @@ impl AriaHash {
     }
 }
 
-impl KvStore for AriaHash {
-    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+impl AriaHash {
+    /// `put` without the fixed per-request charge (shared by the single
+    /// and batched entry points, which charge it differently).
+    fn put_inner(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
         let bucket = self.bucket_of(key);
         let hint = entry::key_hint(key);
         let key_owned = key.to_vec();
@@ -301,16 +299,34 @@ impl KvStore for AriaHash {
             let new_len = entry::sealed_len(key.len(), value.len());
             let old_len = header.total_len();
             if aria_mem::UserHeap::same_block_class(new_len, old_len) {
-                self.core.seal_in_place(ptr, header.next, header.redptr, key, value, &counter, cell.ad_field())?;
+                self.core.seal_in_place(
+                    ptr,
+                    header.next,
+                    header.redptr,
+                    key,
+                    value,
+                    &counter,
+                    cell.ad_field(),
+                )?;
             } else {
                 // Relocate the entry; the successor's incoming cell moves
                 // with the block, so its AdField must be refreshed.
-                let new_ptr =
-                    self.core.seal_new(header.next, header.redptr, key, value, &counter, cell.ad_field())?;
+                let new_ptr = self.core.seal_new(
+                    header.next,
+                    header.redptr,
+                    key,
+                    value,
+                    &counter,
+                    cell.ad_field(),
+                )?;
                 self.write_cell(cell, new_ptr)?;
                 if !header.next.is_null() {
                     let succ = self.read_header(header.next)?;
-                    self.core.reseal_ad_field(header.next, &succ, Cell::Next(new_ptr).ad_field())?;
+                    self.core.reseal_ad_field(
+                        header.next,
+                        &succ,
+                        Cell::Next(new_ptr).ad_field(),
+                    )?;
                 }
                 self.core.heap.free(ptr)?;
             }
@@ -320,7 +336,8 @@ impl KvStore for AriaHash {
         // Insert at the tail: the incoming cell is the walk's final cell.
         let redptr = self.core.counters.fetch()?;
         let counter = self.core.counters.bump(redptr)?;
-        let new_ptr = self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, tail_cell.ad_field())?;
+        let new_ptr =
+            self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, tail_cell.ad_field())?;
         self.write_cell(tail_cell, new_ptr)?;
         self.core.enclave.access_epc(1);
         self.bucket_counts[bucket] = self.bucket_counts[bucket].saturating_add(1);
@@ -328,8 +345,8 @@ impl KvStore for AriaHash {
         Ok(())
     }
 
-    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
-        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+    /// `get` without the fixed per-request charge.
+    fn get_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
         let bucket = self.bucket_of(key);
         let hint = entry::key_hint(key);
         let key_owned = key.to_vec();
@@ -356,8 +373,8 @@ impl KvStore for AriaHash {
         }
     }
 
-    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
-        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+    /// `delete` without the fixed per-request charge.
+    fn delete_inner(&mut self, key: &[u8]) -> Result<bool, StoreError> {
         let bucket = self.bucket_of(key);
         let hint = entry::key_hint(key);
         let key_owned = key.to_vec();
@@ -395,20 +412,82 @@ impl KvStore for AriaHash {
         self.core.len -= 1;
         Ok(true)
     }
+}
+
+impl KvStore for AriaHash {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        self.put_inner(key, value)
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        self.get_inner(key)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        self.delete_inner(key)
+    }
 
     fn len(&self) -> u64 {
         self.core.len
     }
 
-    fn enclave(&self) -> &Rc<Enclave> {
+    fn enclave(&self) -> &Arc<Enclave> {
         &self.core.enclave
     }
 
-    fn cache_hit_ratio(&self) -> Option<f64> {
-        self.core.counters.as_cached().map(|c| c.cache_stats().hit_ratio())
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.counters.as_cached().map(|c| {
+            let s = c.cache_stats();
+            CacheStats {
+                hits: s.hits,
+                misses: s.misses,
+                swaps: s.evictions,
+                swapping: c.swapping(),
+            }
+        })
     }
 
-    fn cache_swapping(&self) -> Option<bool> {
-        self.core.counters.as_cached().map(|c| c.swapping())
+    /// Batched lookup: the fixed request cost (ECALL dispatch, argument
+    /// marshalling) is charged **once for the whole batch**, and repeated
+    /// keys — the common case under zipfian skew — are resolved by a
+    /// single chain walk and Merkle-path verification, then memoized.
+    fn multi_get(&mut self, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>, StoreError>> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        let mut memo: HashMap<Vec<u8>, Result<Option<Vec<u8>>, StoreError>> = HashMap::new();
+        keys.iter()
+            .map(|key| {
+                if let Some(cached) = memo.get(*key) {
+                    return cached.clone();
+                }
+                let result = self.get_inner(key);
+                memo.insert(key.to_vec(), result.clone());
+                result
+            })
+            .collect()
+    }
+
+    /// Batched insert: one fixed request charge per batch, and writes to
+    /// the same key are coalesced — only the **last** value per key is
+    /// sealed (one counter bump, one encryption, one Merkle update per
+    /// distinct key), which is exactly the state a sequential replay
+    /// would leave. Coalesced slots report the applied write's result.
+    fn put_batch(&mut self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<(), StoreError>> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        // Index of the last write per key.
+        let mut last_write: HashMap<&[u8], usize> = HashMap::new();
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            last_write.insert(*key, i);
+        }
+        // Apply the surviving writes in order, then fan results out.
+        let mut applied: HashMap<&[u8], Result<(), StoreError>> = HashMap::new();
+        for (i, (key, value)) in pairs.iter().enumerate() {
+            if last_write[*key] == i {
+                applied.insert(*key, self.put_inner(key, value));
+            }
+        }
+        pairs.iter().map(|(key, _)| applied[*key].clone()).collect()
     }
 }

@@ -13,7 +13,7 @@
 //! stable, as with a real in-enclave allocator).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_sim::{Enclave, PagedRegionId};
 
@@ -34,7 +34,7 @@ struct Slot {
 
 /// The all-in-enclave baseline store.
 pub struct BaselineStore {
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
     map: HashMap<Vec<u8>, Slot>,
     region: PagedRegionId,
     /// Next free offset in the paged region.
@@ -45,7 +45,7 @@ pub struct BaselineStore {
 impl BaselineStore {
     /// Create the store; `expected_bytes` sizes the initial paged region
     /// (it grows on demand).
-    pub fn new(enclave: Rc<Enclave>, expected_bytes: usize) -> Self {
+    pub fn new(enclave: Arc<Enclave>, expected_bytes: usize) -> Self {
         let region_bytes = expected_bytes.max(1 << 20);
         let region = enclave.declare_paged_region(region_bytes);
         BaselineStore { enclave, map: HashMap::new(), region, watermark: 0, region_bytes }
@@ -122,7 +122,7 @@ impl KvStore for BaselineStore {
         self.map.len() as u64
     }
 
-    fn enclave(&self) -> &Rc<Enclave> {
+    fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
     }
 }
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn basic_crud() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
         let mut s = BaselineStore::new(enclave, 1 << 20);
         s.put(b"a", b"1").unwrap();
         s.put(b"b", b"2").unwrap();
@@ -148,8 +148,8 @@ mod tests {
 
     #[test]
     fn small_store_never_faults() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
-        let mut s = BaselineStore::new(Rc::clone(&enclave), 1 << 20);
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
+        let mut s = BaselineStore::new(Arc::clone(&enclave), 1 << 20);
         for i in 0..1000u64 {
             s.put(&i.to_be_bytes(), &[0u8; 16]).unwrap();
         }
@@ -162,8 +162,8 @@ mod tests {
     #[test]
     fn oversized_store_thrashes() {
         // 2 MB EPC, ~8 MB of data.
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 2 << 20));
-        let mut s = BaselineStore::new(Rc::clone(&enclave), 8 << 20);
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 2 << 20));
+        let mut s = BaselineStore::new(Arc::clone(&enclave), 8 << 20);
         for i in 0..16_000u64 {
             s.put(&i.to_be_bytes(), &[0u8; 448]).unwrap();
         }

@@ -24,7 +24,7 @@
 
 use aria_mem::UPtr;
 use aria_sim::Enclave;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::btree::KvPair;
 use crate::config::StoreConfig;
@@ -32,7 +32,7 @@ use crate::core::StoreCore;
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::KvStore;
+use crate::{CacheStats, KvStore};
 
 /// AdField anchor for the root node's contents.
 const AD_ROOT_TAG: u64 = (1 << 63) | (1 << 61);
@@ -130,15 +130,15 @@ pub struct AriaBPlusTree {
 
 impl AriaBPlusTree {
     /// Build a store charging costs and EPC to `enclave`.
-    pub fn new(cfg: StoreConfig, enclave: Rc<Enclave>) -> Result<Self, StoreError> {
+    pub fn new(cfg: StoreConfig, enclave: Arc<Enclave>) -> Result<Self, StoreError> {
         Self::with_suite(cfg, enclave, None)
     }
 
     /// As [`AriaBPlusTree::new`] with an explicit cipher suite.
     pub fn with_suite(
         cfg: StoreConfig,
-        enclave: Rc<Enclave>,
-        suite: Option<Rc<dyn aria_crypto::CipherSuite>>,
+        enclave: Arc<Enclave>,
+        suite: Option<Arc<dyn aria_crypto::CipherSuite>>,
     ) -> Result<Self, StoreError> {
         let mut order = cfg.btree_order.max(3);
         if order.is_multiple_of(2) {
@@ -159,7 +159,8 @@ impl AriaBPlusTree {
 
     fn read_node(&self, ptr: UPtr) -> Result<Node, StoreError> {
         let bytes = self.core.heap.read(ptr, self.node_len())?;
-        Node::from_bytes(bytes, self.order).ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
+        Node::from_bytes(bytes, self.order)
+            .ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
     }
 
     fn write_node(&mut self, ptr: UPtr, node: &Node) -> Result<(), StoreError> {
@@ -177,7 +178,11 @@ impl AriaBPlusTree {
 
     // --- sealed-object helpers ---------------------------------------------
 
-    fn open_entry(&mut self, ptr: UPtr, ad: u64) -> Result<(Vec<u8>, Vec<u8>, EntryHeader), StoreError> {
+    fn open_entry(
+        &mut self,
+        ptr: UPtr,
+        ad: u64,
+    ) -> Result<(Vec<u8>, Vec<u8>, EntryHeader), StoreError> {
         let header = self.core.read_header(ptr)?;
         let sealed = self.core.read_sealed(ptr, &header)?;
         let (k, v) = self.core.open_checked(&sealed, &header, ad)?;
@@ -270,7 +275,12 @@ impl AriaBPlusTree {
     }
 
     /// Position of `key` in a leaf: `Ok(i)` exact, `Err(i)` insert point.
-    fn leaf_position(&mut self, node: &Node, node_ad: u64, key: &[u8]) -> Result<Result<usize, usize>, StoreError> {
+    fn leaf_position(
+        &mut self,
+        node: &Node,
+        node_ad: u64,
+        key: &[u8],
+    ) -> Result<Result<usize, usize>, StoreError> {
         for (i, &eptr) in node.slots.iter().enumerate() {
             let k = self.entry_key(eptr, node_ad)?;
             match key.cmp(&k[..]) {
@@ -357,10 +367,24 @@ impl AriaBPlusTree {
                     let counter = self.core.counters.bump(header.redptr)?;
                     let new_len = entry::sealed_len(key.len(), value.len());
                     if aria_mem::UserHeap::same_block_class(new_len, header.total_len()) {
-                        self.core.seal_in_place(old_ptr, UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                        self.core.seal_in_place(
+                            old_ptr,
+                            UPtr::NULL,
+                            header.redptr,
+                            key,
+                            value,
+                            &counter,
+                            node_ad,
+                        )?;
                     } else {
-                        let new_ptr =
-                            self.core.seal_new(UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                        let new_ptr = self.core.seal_new(
+                            UPtr::NULL,
+                            header.redptr,
+                            key,
+                            value,
+                            &counter,
+                            node_ad,
+                        )?;
                         node.slots[i] = new_ptr;
                         self.write_node(node_ptr, &node)?;
                         self.core.heap.free(old_ptr)?;
@@ -370,7 +394,8 @@ impl AriaBPlusTree {
                 Err(i) => {
                     let redptr = self.core.counters.fetch()?;
                     let counter = self.core.counters.bump(redptr)?;
-                    let eptr = self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, node_ad)?;
+                    let eptr =
+                        self.core.seal_new(UPtr::NULL, redptr, key, value, &counter, node_ad)?;
                     node.slots.insert(i, eptr);
                     self.write_node(node_ptr, &node)?;
                     Ok(true)
@@ -504,7 +529,12 @@ impl AriaBPlusTree {
         Ok(li)
     }
 
-    fn delete_from(&mut self, node_ptr: UPtr, parent: Option<UPtr>, key: &[u8]) -> Result<bool, StoreError> {
+    fn delete_from(
+        &mut self,
+        node_ptr: UPtr,
+        parent: Option<UPtr>,
+        key: &[u8],
+    ) -> Result<bool, StoreError> {
         let mut node = self.read_node(node_ptr)?;
         let node_ad = ad_of_parent(parent);
         if node.leaf {
@@ -659,7 +689,8 @@ impl AriaBPlusTree {
 
     /// In-order keys (test oracle).
     pub fn keys_in_order(&mut self) -> Result<Vec<Vec<u8>>, StoreError> {
-        Ok(self.range(&[], &[0xff; entry::MAX_KEY_LEN + 1][..entry::MAX_KEY_LEN])?
+        Ok(self
+            .range(&[], &[0xff; entry::MAX_KEY_LEN + 1][..entry::MAX_KEY_LEN])?
             .into_iter()
             .map(|(k, _)| k)
             .collect())
@@ -711,8 +742,12 @@ impl KvStore for AriaBPlusTree {
         let root = self.read_node(self.root)?;
         if root.slots.len() == self.order {
             let old_root_ptr = self.root;
-            let mut new_root =
-                Node { leaf: false, slots: Vec::new(), children: vec![old_root_ptr], next: UPtr::NULL };
+            let mut new_root = Node {
+                leaf: false,
+                slots: Vec::new(),
+                children: vec![old_root_ptr],
+                next: UPtr::NULL,
+            };
             let new_root_ptr = self.alloc_node(&new_root)?;
             self.rebind_node_contents(&root, ad_of_parent(Some(new_root_ptr)))?;
             self.split_child(new_root_ptr, &mut new_root, AD_ROOT_TAG, 0)?;
@@ -781,15 +816,19 @@ impl KvStore for AriaBPlusTree {
         self.core.len
     }
 
-    fn enclave(&self) -> &Rc<Enclave> {
+    fn enclave(&self) -> &Arc<Enclave> {
         &self.core.enclave
     }
 
-    fn cache_hit_ratio(&self) -> Option<f64> {
-        self.core.counters.as_cached().map(|c| c.cache_stats().hit_ratio())
-    }
-
-    fn cache_swapping(&self) -> Option<bool> {
-        self.core.counters.as_cached().map(|c| c.swapping())
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.counters.as_cached().map(|c| {
+            let s = c.cache_stats();
+            CacheStats {
+                hits: s.hits,
+                misses: s.misses,
+                swaps: s.evictions,
+                swapping: c.swapping(),
+            }
+        })
     }
 }

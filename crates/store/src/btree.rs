@@ -21,14 +21,14 @@
 
 use aria_mem::UPtr;
 use aria_sim::Enclave;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::config::StoreConfig;
 use crate::core::StoreCore;
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::KvStore;
+use crate::{CacheStats, KvStore};
 
 /// A decrypted `(key, value)` pair returned by range scans.
 pub type KvPair = (Vec<u8>, Vec<u8>);
@@ -124,15 +124,15 @@ pub struct AriaTree {
 
 impl AriaTree {
     /// Build a store charging costs and EPC to `enclave`.
-    pub fn new(cfg: StoreConfig, enclave: Rc<Enclave>) -> Result<Self, StoreError> {
+    pub fn new(cfg: StoreConfig, enclave: Arc<Enclave>) -> Result<Self, StoreError> {
         Self::with_suite(cfg, enclave, None)
     }
 
     /// Like [`AriaTree::new`] with an explicit cipher suite.
     pub fn with_suite(
         cfg: StoreConfig,
-        enclave: Rc<Enclave>,
-        suite: Option<Rc<dyn aria_crypto::CipherSuite>>,
+        enclave: Arc<Enclave>,
+        suite: Option<Arc<dyn aria_crypto::CipherSuite>>,
     ) -> Result<Self, StoreError> {
         let mut order = cfg.btree_order.max(3);
         if order.is_multiple_of(2) {
@@ -156,7 +156,8 @@ impl AriaTree {
 
     fn read_node(&self, ptr: UPtr) -> Result<Node, StoreError> {
         let bytes = self.core.heap.read(ptr, self.node_len())?;
-        Node::from_bytes(bytes, self.order).ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
+        Node::from_bytes(bytes, self.order)
+            .ok_or(StoreError::Integrity(Violation::EntryMacMismatch))
     }
 
     fn write_node(&mut self, ptr: UPtr, node: &Node) -> Result<(), StoreError> {
@@ -176,7 +177,11 @@ impl AriaTree {
 
     /// Verify + decrypt the entry at `ptr` (contained in a node whose
     /// parent pointer is `ad`), returning `(key, value, header)`.
-    fn open_entry(&mut self, ptr: UPtr, ad: u64) -> Result<(Vec<u8>, Vec<u8>, EntryHeader), StoreError> {
+    fn open_entry(
+        &mut self,
+        ptr: UPtr,
+        ad: u64,
+    ) -> Result<(Vec<u8>, Vec<u8>, EntryHeader), StoreError> {
         let header = self.core.read_header(ptr)?;
         let sealed = self.core.read_sealed(ptr, &header)?;
         let (k, v) = self.core.open_checked(&sealed, &header, ad)?;
@@ -199,7 +204,12 @@ impl AriaTree {
 
     /// Find the position of `key` in `node`: `Ok(i)` exact match at i,
     /// `Err(i)` descend into child i. Decrypts every scanned entry.
-    fn position(&mut self, node: &Node, node_ad: u64, key: &[u8]) -> Result<Result<usize, usize>, StoreError> {
+    fn position(
+        &mut self,
+        node: &Node,
+        node_ad: u64,
+        key: &[u8],
+    ) -> Result<Result<usize, usize>, StoreError> {
         for (i, &eptr) in node.entries.iter().enumerate() {
             let (k, _v, _h) = self.open_entry(eptr, node_ad)?;
             match key.cmp(&k[..]) {
@@ -268,10 +278,24 @@ impl AriaTree {
                 let counter = self.core.counters.bump(header.redptr)?;
                 let new_len = entry::sealed_len(key.len(), value.len());
                 if aria_mem::UserHeap::same_block_class(new_len, header.total_len()) {
-                    self.core.seal_in_place(old_ptr, UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                    self.core.seal_in_place(
+                        old_ptr,
+                        UPtr::NULL,
+                        header.redptr,
+                        key,
+                        value,
+                        &counter,
+                        node_ad,
+                    )?;
                 } else {
-                    let new_ptr =
-                        self.core.seal_new(UPtr::NULL, header.redptr, key, value, &counter, node_ad)?;
+                    let new_ptr = self.core.seal_new(
+                        UPtr::NULL,
+                        header.redptr,
+                        key,
+                        value,
+                        &counter,
+                        node_ad,
+                    )?;
                     node.entries[i] = new_ptr;
                     self.write_node(node_ptr, &node)?;
                     self.core.heap.free(old_ptr)?;
@@ -444,7 +468,12 @@ impl AriaTree {
 
     /// Recursive delete; node is guaranteed to have > min entries (or be
     /// the root).
-    fn delete_from(&mut self, node_ptr: UPtr, parent: Option<UPtr>, key: &[u8]) -> Result<bool, StoreError> {
+    fn delete_from(
+        &mut self,
+        node_ptr: UPtr,
+        parent: Option<UPtr>,
+        key: &[u8],
+    ) -> Result<bool, StoreError> {
         let mut node = self.read_node(node_ptr)?;
         let node_ad = ad_of_parent(parent);
         match self.position(&node, node_ad, key)? {
@@ -702,7 +731,8 @@ impl KvStore for AriaTree {
         if root.entries.len() == self.order {
             // Split the root: the old root's entries get a real parent.
             let old_root_ptr = self.root;
-            let mut new_root = Node { leaf: false, entries: Vec::new(), children: vec![old_root_ptr] };
+            let mut new_root =
+                Node { leaf: false, entries: Vec::new(), children: vec![old_root_ptr] };
             let new_root_ptr = self.alloc_node(&new_root)?;
             // Old root entries rebind from the EPC anchor to the new root.
             self.rebind_node_entries(&root, ad_of_parent(Some(new_root_ptr)))?;
@@ -771,15 +801,19 @@ impl KvStore for AriaTree {
         self.core.len
     }
 
-    fn enclave(&self) -> &Rc<Enclave> {
+    fn enclave(&self) -> &Arc<Enclave> {
         &self.core.enclave
     }
 
-    fn cache_hit_ratio(&self) -> Option<f64> {
-        self.core.counters.as_cached().map(|c| c.cache_stats().hit_ratio())
-    }
-
-    fn cache_swapping(&self) -> Option<bool> {
-        self.core.counters.as_cached().map(|c| c.swapping())
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.core.counters.as_cached().map(|c| {
+            let s = c.cache_stats();
+            CacheStats {
+                hits: s.hits,
+                misses: s.misses,
+                swaps: s.evictions,
+                swapping: c.swapping(),
+            }
+        })
     }
 }

@@ -1,7 +1,8 @@
 //! Store-level configuration.
 
-use aria_cache::CacheConfig;
+use aria_cache::{CacheConfig, CacheConfigError};
 use aria_mem::AllocStrategy;
+use std::fmt;
 
 /// Which design scheme a store instance implements (paper §III / Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,5 +67,324 @@ impl StoreConfig {
             buckets: (keys / 2).next_power_of_two().max(1024) as usize,
             ..StoreConfig::default()
         }
+    }
+
+    /// A fallible builder starting from the default configuration.
+    pub fn builder() -> StoreConfigBuilder {
+        StoreConfigBuilder { cfg: StoreConfig::default(), epc_budget: None }
+    }
+
+    /// Height of the counter Merkle tree this configuration produces
+    /// (same geometry as `MerkleTree::new`: leaves cover the counters,
+    /// then levels shrink by `arity` until a single top node remains).
+    pub fn merkle_height(&self) -> u32 {
+        merkle_height(self.counter_capacity, self.arity)
+    }
+
+    /// Check the invariants [`StoreConfigBuilder::build`] enforces
+    /// (without an EPC budget, which only the builder carries).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.counter_capacity == 0 {
+            return Err(ConfigError::ZeroCounterCapacity);
+        }
+        if self.arity < 2 {
+            return Err(ConfigError::ArityTooSmall { arity: self.arity });
+        }
+        if self.buckets == 0 {
+            return Err(ConfigError::ZeroBuckets);
+        }
+        if self.btree_order < 3 {
+            return Err(ConfigError::BTreeOrderTooSmall { order: self.btree_order });
+        }
+        self.cache.validate()?;
+        let height = self.merkle_height();
+        if self.scheme == Scheme::Aria && self.cache.pinned_levels > height {
+            return Err(ConfigError::PinnedLevelsExceedHeight {
+                pinned_levels: self.cache.pinned_levels,
+                height,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn merkle_height(counter_capacity: u64, arity: usize) -> u32 {
+    // Degenerate inputs are reported by `validate`, not here.
+    if counter_capacity == 0 || arity < 2 {
+        return 0;
+    }
+    let mut nodes = counter_capacity.div_ceil(arity as u64);
+    let mut height = 1u32;
+    while nodes > 1 {
+        nodes = nodes.div_ceil(arity as u64);
+        height += 1;
+    }
+    height
+}
+
+/// Why a [`StoreConfigBuilder`] refused to produce a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `counter_capacity` was zero; the Merkle tree must cover at least
+    /// one counter.
+    ZeroCounterCapacity,
+    /// `arity < 2`; the Merkle tree cannot shrink toward a root.
+    ArityTooSmall {
+        /// The rejected arity.
+        arity: usize,
+    },
+    /// `buckets` was zero (hash index).
+    ZeroBuckets,
+    /// `btree_order < 3`; a B-tree node must hold at least two entries
+    /// plus room to split.
+    BTreeOrderTooSmall {
+        /// The rejected order.
+        order: usize,
+    },
+    /// More Merkle levels pinned than the tree has. A pinned level that
+    /// does not exist would silently pin nothing and skew EPC accounting.
+    PinnedLevelsExceedHeight {
+        /// Levels the cache was asked to pin.
+        pinned_levels: u32,
+        /// Levels the tree actually has.
+        height: u32,
+    },
+    /// The Secure Cache capacity exceeds the declared EPC budget — the
+    /// cache could never fit inside the enclave it is meant to protect.
+    CacheExceedsEpcBudget {
+        /// Requested Secure Cache capacity.
+        cache_bytes: usize,
+        /// Declared enclave EPC budget.
+        epc_budget: usize,
+    },
+    /// The embedded [`CacheConfig`] failed its own validation.
+    Cache(CacheConfigError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCounterCapacity => {
+                write!(f, "counter_capacity must be non-zero")
+            }
+            ConfigError::ArityTooSmall { arity } => {
+                write!(f, "Merkle arity {arity} is below the minimum of 2")
+            }
+            ConfigError::ZeroBuckets => write!(f, "buckets must be non-zero"),
+            ConfigError::BTreeOrderTooSmall { order } => {
+                write!(f, "btree_order {order} is below the minimum of 3")
+            }
+            ConfigError::PinnedLevelsExceedHeight { pinned_levels, height } => {
+                write!(f, "pinned_levels {pinned_levels} exceeds the Merkle tree height {height}")
+            }
+            ConfigError::CacheExceedsEpcBudget { cache_bytes, epc_budget } => {
+                write!(f, "cache capacity {cache_bytes} B exceeds the EPC budget {epc_budget} B")
+            }
+            ConfigError::Cache(e) => write!(f, "cache config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheConfigError> for ConfigError {
+    fn from(e: CacheConfigError) -> Self {
+        ConfigError::Cache(e)
+    }
+}
+
+/// Fallible builder for [`StoreConfig`].
+///
+/// ```
+/// use aria_store::{Scheme, StoreConfig};
+///
+/// let cfg = StoreConfig::builder()
+///     .epc_budget(91 << 20)
+///     .scheme(Scheme::Aria)
+///     .for_keys(100_000)
+///     .build()
+///     .unwrap();
+/// assert!(cfg.counter_capacity >= 100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreConfigBuilder {
+    cfg: StoreConfig,
+    epc_budget: Option<usize>,
+}
+
+impl StoreConfigBuilder {
+    /// Declare the EPC budget (bytes) of the enclave this store will run
+    /// in. `build` then rejects a Secure Cache larger than the budget.
+    pub fn epc_budget(mut self, bytes: usize) -> Self {
+        self.epc_budget = Some(bytes);
+        self
+    }
+
+    /// Set the design scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Set the counters preallocated per Merkle tree.
+    pub fn counter_capacity(mut self, counters: u64) -> Self {
+        self.cfg.counter_capacity = counters;
+        self
+    }
+
+    /// Set the Merkle tree branching factor.
+    pub fn arity(mut self, arity: usize) -> Self {
+        self.cfg.arity = arity;
+        self
+    }
+
+    /// Set the Secure Cache configuration.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Set the EPC bytes granted to each expansion tree cache.
+    pub fn expansion_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.expansion_cache_bytes = bytes;
+        self
+    }
+
+    /// Set the number of hash buckets (hash index only).
+    pub fn buckets(mut self, buckets: usize) -> Self {
+        self.cfg.buckets = buckets;
+        self
+    }
+
+    /// Set the maximum entries per B-tree node.
+    pub fn btree_order(mut self, order: usize) -> Self {
+        self.cfg.btree_order = order;
+        self
+    }
+
+    /// Set the untrusted allocation strategy.
+    pub fn alloc(mut self, alloc: AllocStrategy) -> Self {
+        self.cfg.alloc = alloc;
+        self
+    }
+
+    /// Set the master secret for the cipher suite.
+    pub fn master_key(mut self, key: [u8; 16]) -> Self {
+        self.cfg.master_key = key;
+        self
+    }
+
+    /// Set the counter-initialization seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Size counter capacity and bucket count for `keys` expected keys,
+    /// like [`StoreConfig::for_keys`], keeping other overrides.
+    pub fn for_keys(mut self, keys: u64) -> Self {
+        self.cfg.counter_capacity = keys + keys / 8 + 1024;
+        self.cfg.buckets = (keys / 2).next_power_of_two().max(1024) as usize;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<StoreConfig, ConfigError> {
+        self.cfg.validate()?;
+        if let Some(budget) = self.epc_budget {
+            if self.cfg.cache.capacity_bytes > budget {
+                return Err(ConfigError::CacheExceedsEpcBudget {
+                    cache_bytes: self.cfg.cache.capacity_bytes,
+                    epc_budget: budget,
+                });
+            }
+        }
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merkle_height_matches_tree_geometry() {
+        // crates/merkle tests assert height 4 for (1000, 8) and 1 for
+        // (4, 8); keep this helper in lockstep.
+        assert_eq!(merkle_height(1000, 8), 4);
+        assert_eq!(merkle_height(4, 8), 1);
+        assert_eq!(merkle_height(16, 2), 4);
+        assert!(merkle_height(1 << 20, 16) < merkle_height(1 << 20, 2));
+    }
+
+    #[test]
+    fn builder_accepts_defaults() {
+        let cfg = StoreConfig::builder().build().unwrap();
+        assert_eq!(cfg.arity, StoreConfig::default().arity);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_geometry() {
+        assert_eq!(
+            StoreConfig::builder().counter_capacity(0).build().unwrap_err(),
+            ConfigError::ZeroCounterCapacity
+        );
+        assert_eq!(
+            StoreConfig::builder().arity(1).build().unwrap_err(),
+            ConfigError::ArityTooSmall { arity: 1 }
+        );
+        assert_eq!(
+            StoreConfig::builder().buckets(0).build().unwrap_err(),
+            ConfigError::ZeroBuckets
+        );
+        assert_eq!(
+            StoreConfig::builder().btree_order(2).build().unwrap_err(),
+            ConfigError::BTreeOrderTooSmall { order: 2 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_overpinned_cache() {
+        let cache = CacheConfig::builder().pinned_levels(64).build().unwrap();
+        let err = StoreConfig::builder().cache(cache).build().unwrap_err();
+        assert!(matches!(err, ConfigError::PinnedLevelsExceedHeight { height, .. } if height < 64));
+    }
+
+    #[test]
+    fn overpinning_is_fine_without_a_merkle_tree() {
+        let cache = CacheConfig::builder().pinned_levels(64).build().unwrap();
+        StoreConfig::builder().scheme(Scheme::AriaWithoutCache).cache(cache).build().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_cache_above_epc_budget() {
+        let cache = CacheConfig::builder().capacity_bytes(128 << 20).build().unwrap();
+        let err = StoreConfig::builder().cache(cache).epc_budget(91 << 20).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CacheExceedsEpcBudget { cache_bytes: 128 << 20, epc_budget: 91 << 20 }
+        );
+    }
+
+    #[test]
+    fn builder_propagates_cache_errors() {
+        let mut cfg = StoreConfig::default();
+        cfg.cache.stop_swap_window = 0;
+        assert!(matches!(cfg.validate().unwrap_err(), ConfigError::Cache(_)));
+    }
+
+    #[test]
+    fn for_keys_sizes_capacity_and_buckets() {
+        let cfg = StoreConfig::builder().for_keys(100_000).build().unwrap();
+        let plain = StoreConfig::for_keys(100_000);
+        assert_eq!(cfg.counter_capacity, plain.counter_capacity);
+        assert_eq!(cfg.buckets, plain.buckets);
     }
 }

@@ -2,7 +2,7 @@
 //! suite, untrusted heap, counter backend, and charged entry seal/open
 //! helpers used by both index schemes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_cache::CacheConfig;
 use aria_crypto::{CipherSuite, RealSuite};
@@ -17,9 +17,9 @@ use crate::error::{StoreError, Violation};
 /// Components shared by [`crate::AriaHash`] and [`crate::AriaTree`].
 pub struct StoreCore {
     /// The (simulated) enclave all costs are charged to.
-    pub enclave: Rc<Enclave>,
+    pub enclave: Arc<Enclave>,
     /// Cipher suite for sealing entries.
-    pub suite: Rc<dyn CipherSuite>,
+    pub suite: Arc<dyn CipherSuite>,
     /// Untrusted heap holding sealed entries (and tree nodes).
     pub heap: UserHeap,
     /// Counter backend (Secure Cache or EPC array).
@@ -36,25 +36,27 @@ impl StoreCore {
     /// in large harness sweeps.
     pub fn new(
         cfg: StoreConfig,
-        enclave: Rc<Enclave>,
-        suite: Option<Rc<dyn CipherSuite>>,
+        enclave: Arc<Enclave>,
+        suite: Option<Arc<dyn CipherSuite>>,
     ) -> Result<Self, StoreError> {
-        let suite: Rc<dyn CipherSuite> =
-            suite.unwrap_or_else(|| Rc::new(RealSuite::from_master(&cfg.master_key)));
-        let heap = UserHeap::new(Rc::clone(&enclave), cfg.alloc);
+        let suite: Arc<dyn CipherSuite> =
+            suite.unwrap_or_else(|| Arc::new(RealSuite::from_master(&cfg.master_key)));
+        let heap = UserHeap::new(Arc::clone(&enclave), cfg.alloc);
         let counters = match cfg.scheme {
             Scheme::Aria => CounterBackend::Cached(CounterArea::new(
                 cfg.counter_capacity,
                 cfg.arity,
                 CacheConfig { ..cfg.cache.clone() },
-                Rc::clone(&suite),
-                Rc::clone(&enclave),
+                Arc::clone(&suite),
+                Arc::clone(&enclave),
                 cfg.expansion_cache_bytes,
                 cfg.seed,
             )?),
-            Scheme::AriaWithoutCache => {
-                CounterBackend::Epc(EpcCounters::new(cfg.counter_capacity, Rc::clone(&enclave), cfg.seed))
-            }
+            Scheme::AriaWithoutCache => CounterBackend::Epc(EpcCounters::new(
+                cfg.counter_capacity,
+                Arc::clone(&enclave),
+                cfg.seed,
+            )),
         };
         Ok(StoreCore { enclave, suite, heap, counters, len: 0, config: cfg })
     }
@@ -88,7 +90,8 @@ impl StoreCore {
         Self::check_lengths(key, value)?;
         self.enclave.charge_crypt(key.len() + value.len());
         self.enclave.charge_mac(Self::mac_input_len(key.len(), value.len()));
-        let sealed = entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
+        let sealed =
+            entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
         let ptr = self.heap.alloc(sealed.len())?;
         self.heap.write(ptr, &sealed)?;
         Ok(ptr)
@@ -109,7 +112,8 @@ impl StoreCore {
         Self::check_lengths(key, value)?;
         self.enclave.charge_crypt(key.len() + value.len());
         self.enclave.charge_mac(Self::mac_input_len(key.len(), value.len()));
-        let sealed = entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
+        let sealed =
+            entry::seal_entry(self.suite.as_ref(), next, redptr, key, value, counter, ad_field);
         self.heap.write(ptr, &sealed)?;
         Ok(())
     }

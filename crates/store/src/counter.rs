@@ -17,7 +17,7 @@
 //!   enclave in a flat array subject to hardware secure paging.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_cache::{CacheConfig, SecureCache};
 use aria_crypto::CipherSuite;
@@ -130,8 +130,8 @@ pub struct CounterArea {
     caches: Vec<SecureCache>,
     per_tree: u64,
     ids: IdAllocator,
-    enclave: Rc<Enclave>,
-    suite: Rc<dyn CipherSuite>,
+    enclave: Arc<Enclave>,
+    suite: Arc<dyn CipherSuite>,
     arity: usize,
     expansion_cache_bytes: usize,
     seed: u64,
@@ -143,16 +143,17 @@ impl CounterArea {
         capacity: u64,
         arity: usize,
         cache_cfg: CacheConfig,
-        suite: Rc<dyn CipherSuite>,
-        enclave: Rc<Enclave>,
+        suite: Arc<dyn CipherSuite>,
+        enclave: Arc<Enclave>,
         expansion_cache_bytes: usize,
         seed: u64,
     ) -> Result<Self, StoreError> {
-        let tree = MerkleTree::new(capacity, arity, Rc::clone(&suite), seed);
-        let cache = SecureCache::new(tree, Rc::clone(&enclave), cache_cfg).map_err(|e| match e {
-            aria_cache::CacheError::EpcExhausted { .. } => StoreError::EpcExhausted,
-            aria_cache::CacheError::CapacityTooSmall { .. } => StoreError::EpcExhausted,
-        })?;
+        let tree = MerkleTree::new(capacity, arity, Arc::clone(&suite), seed);
+        let cache =
+            SecureCache::new(tree, Arc::clone(&enclave), cache_cfg).map_err(|e| match e {
+                aria_cache::CacheError::EpcExhausted { .. } => StoreError::EpcExhausted,
+                aria_cache::CacheError::CapacityTooSmall { .. } => StoreError::EpcExhausted,
+            })?;
         enclave
             .epc_alloc(IdAllocator::bitmap_bytes(capacity))
             .map_err(|_| StoreError::EpcExhausted)?;
@@ -192,14 +193,12 @@ impl CounterArea {
         let tree = MerkleTree::new(
             self.per_tree,
             self.arity,
-            Rc::clone(&self.suite),
+            Arc::clone(&self.suite),
             self.seed ^ (tree_idx.wrapping_mul(0x9e37_79b9)),
         );
-        let cfg = CacheConfig {
-            capacity_bytes: self.expansion_cache_bytes,
-            ..CacheConfig::default()
-        };
-        let cache = SecureCache::new(tree, Rc::clone(&self.enclave), cfg)
+        let cfg =
+            CacheConfig { capacity_bytes: self.expansion_cache_bytes, ..CacheConfig::default() };
+        let cache = SecureCache::new(tree, Arc::clone(&self.enclave), cfg)
             .map_err(|_| StoreError::EpcExhausted)?;
         self.enclave
             .epc_alloc(IdAllocator::bitmap_bytes(self.per_tree))
@@ -271,9 +270,7 @@ impl CounterStore for CounterArea {
             Err(Some(v)) => Err(StoreError::Integrity(v)),
             Err(None) => {
                 self.expand()?;
-                self.ids
-                    .take(&self.enclave)
-                    .map_err(|_| StoreError::CountersExhausted)
+                self.ids.take(&self.enclave).map_err(|_| StoreError::CountersExhausted)
             }
         }
     }
@@ -305,12 +302,12 @@ pub struct EpcCounters {
     values: Vec<[u8; COUNTER_LEN]>,
     region: PagedRegionId,
     ids: IdAllocator,
-    enclave: Rc<Enclave>,
+    enclave: Arc<Enclave>,
 }
 
 impl EpcCounters {
     /// Allocate the in-enclave counter array.
-    pub fn new(capacity: u64, enclave: Rc<Enclave>, seed: u64) -> Self {
+    pub fn new(capacity: u64, enclave: Arc<Enclave>, seed: u64) -> Self {
         let region = enclave.declare_paged_region(capacity as usize * COUNTER_LEN);
         let mut values = Vec::with_capacity(capacity as usize);
         for i in 0..capacity {
@@ -451,8 +448,8 @@ mod tests {
     use aria_sim::CostModel;
 
     fn area(capacity: u64) -> CounterArea {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 256 << 20));
-        let suite: Rc<dyn CipherSuite> = Rc::new(RealSuite::from_master(&[2u8; 16]));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 256 << 20));
+        let suite: Arc<dyn CipherSuite> = Arc::new(RealSuite::from_master(&[2u8; 16]));
         CounterArea::new(
             capacity,
             8,
@@ -488,10 +485,7 @@ mod tests {
         let mut a = area(100);
         let id = a.fetch().unwrap();
         a.free(id).unwrap();
-        assert!(matches!(
-            a.free(id),
-            Err(StoreError::Integrity(Violation::CounterReuse { .. }))
-        ));
+        assert!(matches!(a.free(id), Err(StoreError::Integrity(Violation::CounterReuse { .. }))));
     }
 
     #[test]
@@ -524,7 +518,7 @@ mod tests {
 
     #[test]
     fn epc_backend_basics() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 16 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 16 << 20));
         let mut c = EpcCounters::new(1000, enclave, 5);
         let id = c.fetch().unwrap();
         let v0 = c.get(id).unwrap();
@@ -537,8 +531,8 @@ mod tests {
     #[test]
     fn epc_backend_pages_when_larger_than_epc() {
         // 1 MB EPC, 4 MB of counters: accesses must fault.
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 1 << 20));
-        let mut c = EpcCounters::new(262_144, Rc::clone(&enclave), 5);
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 1 << 20));
+        let mut c = EpcCounters::new(262_144, Arc::clone(&enclave), 5);
         for i in 0..262_144u64 {
             if i % 64 == 0 {
                 c.get(i % 262_144).unwrap_or_default();
@@ -549,7 +543,7 @@ mod tests {
 
     #[test]
     fn epc_backend_grows_on_exhaustion() {
-        let enclave = Rc::new(Enclave::new(CostModel::default(), 16 << 20));
+        let enclave = Arc::new(Enclave::new(CostModel::default(), 16 << 20));
         let mut c = EpcCounters::new(4, enclave, 5);
         let ids: Vec<u64> = (0..10).map(|_| c.fetch().unwrap()).collect();
         assert_eq!(ids.len(), 10);

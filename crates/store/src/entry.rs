@@ -75,11 +75,7 @@ pub fn key_hint(key: &[u8]) -> u32 {
     (hash ^ (hash >> 32)) as u32
 }
 
-fn mac_input<'a>(
-    body: &'a [u8],
-    counter: &'a [u8; 16],
-    ad_field: &'a [u8; 8],
-) -> [&'a [u8]; 3] {
+fn mac_input<'a>(body: &'a [u8], counter: &'a [u8; 16], ad_field: &'a [u8; 8]) -> [&'a [u8]; 3] {
     // `body` is the MAC'd prefix of the sealed bytes: redptr..ciphertext.
     [body, counter, ad_field]
 }
@@ -323,7 +319,8 @@ mod tests {
     #[test]
     fn payload_is_actually_encrypted() {
         let s = suite();
-        let sealed = seal_entry(&s, UPtr::NULL, 0, b"plaintextkey!!!!", b"secretvalue", &[3u8; 16], 0);
+        let sealed =
+            seal_entry(&s, UPtr::NULL, 0, b"plaintextkey!!!!", b"secretvalue", &[3u8; 16], 0);
         let hay = &sealed[HEADER_LEN..];
         assert!(!hay.windows(11).any(|w| w == b"secretvalue"), "value leaked in plaintext");
         assert!(!hay.windows(12).any(|w| w == b"plaintextkey"), "key leaked in plaintext");

@@ -84,7 +84,10 @@ impl From<HeapError> for StoreError {
 
 impl From<aria_cache::IntegrityViolation> for StoreError {
     fn from(e: aria_cache::IntegrityViolation) -> Self {
-        StoreError::Integrity(Violation::MerkleMismatch { level: e.node.level, index: e.node.index })
+        StoreError::Integrity(Violation::MerkleMismatch {
+            level: e.node.level,
+            index: e.node.index,
+        })
     }
 }
 

@@ -29,8 +29,9 @@ pub mod core;
 pub mod counter;
 pub mod entry;
 pub mod error;
+pub mod sharded;
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use aria_sim::Enclave;
 
@@ -38,9 +39,41 @@ pub use aria_hash::AriaHash;
 pub use baseline::BaselineStore;
 pub use bplus::AriaBPlusTree;
 pub use btree::AriaTree;
-pub use config::{Scheme, StoreConfig};
+pub use config::{ConfigError, Scheme, StoreConfig, StoreConfigBuilder};
 pub use counter::{CounterBackend, CounterStore};
 pub use error::{StoreError, Violation};
+pub use sharded::{BatchOp, BatchReply, ShardedStore};
+
+/// Secure Cache statistics, as reported through [`KvStore::cache_stats`]
+/// by schemes that run one (aggregated across the counter area's trees).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Counter lookups served from the EPC-resident cache.
+    pub hits: u64,
+    /// Counter lookups that had to verify untrusted nodes.
+    pub misses: u64,
+    /// Nodes swapped out of the cache (evictions).
+    pub swaps: u64,
+    /// Whether the cache is still swapping (stop-swap not yet engaged).
+    pub swapping: bool,
+}
+
+impl CacheStats {
+    /// Lifetime hit ratio (`0.0` when the cache was never consulted).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total counter lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
 
 /// Common store interface used by examples, tests and the bench harness.
 pub trait KvStore {
@@ -59,15 +92,22 @@ pub trait KvStore {
         self.len() == 0
     }
     /// The enclave this store charges costs to.
-    fn enclave(&self) -> &Rc<Enclave>;
-    /// Secure Cache lifetime hit ratio, for schemes that have one.
-    fn cache_hit_ratio(&self) -> Option<f64> {
+    fn enclave(&self) -> &Arc<Enclave>;
+    /// Secure Cache statistics, for schemes that run one. The default
+    /// (`None`) is for schemes with no software-managed cache.
+    fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
-    /// Whether the Secure Cache is still swapping, for schemes that have
-    /// one.
-    fn cache_swapping(&self) -> Option<bool> {
-        None
+    /// Fetch several keys in one request. The default issues one `get`
+    /// per key; indexes that can amortize per-request work across a
+    /// batch (one ECALL, shared Merkle paths) override it.
+    fn multi_get(&mut self, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>, StoreError>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+    /// Insert or update several pairs in one request. The default issues
+    /// one `put` per pair; see [`KvStore::multi_get`].
+    fn put_batch(&mut self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<(), StoreError>> {
+        pairs.iter().map(|(key, value)| self.put(key, value)).collect()
     }
 }
 
@@ -119,8 +159,8 @@ mod tests {
     use aria_cache::CacheConfig;
     use aria_sim::CostModel;
 
-    fn enclave() -> Rc<Enclave> {
-        Rc::new(Enclave::new(CostModel::default(), 512 << 20))
+    fn enclave() -> Arc<Enclave> {
+        Arc::new(Enclave::new(CostModel::default(), 512 << 20))
     }
 
     fn hash_store(keys: u64) -> AriaHash {
@@ -169,7 +209,10 @@ mod tests {
         s.put(&k(1), b"bbbb").unwrap(); // same size: in place
         assert_eq!(s.get(&k(1)).unwrap().unwrap(), b"bbbb");
         s.put(&k(1), b"a-much-longer-value-that-relocates").unwrap();
-        assert_eq!(s.get(&k(1)).unwrap().unwrap().as_slice(), b"a-much-longer-value-that-relocates");
+        assert_eq!(
+            s.get(&k(1)).unwrap().unwrap().as_slice(),
+            b"a-much-longer-value-that-relocates"
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -653,9 +696,9 @@ mod tests {
             cfg.cache = CacheConfig::with_capacity(8 << 20);
             cfg.btree_order = 7;
             let mut s: Box<dyn KvStore> = if bplus {
-                Box::new(AriaBPlusTree::new(cfg, Rc::clone(&enclave)).unwrap())
+                Box::new(AriaBPlusTree::new(cfg, Arc::clone(&enclave)).unwrap())
             } else {
-                Box::new(AriaTree::new(cfg, Rc::clone(&enclave)).unwrap())
+                Box::new(AriaTree::new(cfg, Arc::clone(&enclave)).unwrap())
             };
             for i in 0..2000u64 {
                 s.put(&k(i), &[7u8; 256]).unwrap();
@@ -668,10 +711,7 @@ mod tests {
         };
         let btree = cost_of(false);
         let bplus = cost_of(true);
-        assert!(
-            bplus < btree,
-            "B+ lookups ({bplus} cyc) should beat B-tree lookups ({btree} cyc)"
-        );
+        assert!(bplus < btree, "B+ lookups ({bplus} cyc) should beat B-tree lookups ({btree} cyc)");
     }
 
     // --- cross-cutting --------------------------------------------------------
@@ -776,7 +816,7 @@ mod proptests {
 
         #[test]
         fn hash_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.cache = CacheConfig::with_capacity(2 << 20);
             cfg.buckets = 16; // force chains
@@ -786,7 +826,7 @@ mod proptests {
 
         #[test]
         fn tree_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.cache = CacheConfig::with_capacity(2 << 20);
             cfg.btree_order = 5; // force splits and merges
@@ -796,7 +836,7 @@ mod proptests {
 
         #[test]
         fn tree_stays_ordered_under_churn(ops in proptest::collection::vec(op_strategy(), 1..100)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.cache = CacheConfig::with_capacity(2 << 20);
             cfg.btree_order = 5;
@@ -817,7 +857,7 @@ mod proptests {
 
         #[test]
         fn bplus_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.cache = CacheConfig::with_capacity(2 << 20);
             cfg.btree_order = 5; // force splits and merges
@@ -827,7 +867,7 @@ mod proptests {
 
         #[test]
         fn bplus_stays_ordered_under_churn(ops in proptest::collection::vec(op_strategy(), 1..100)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.cache = CacheConfig::with_capacity(2 << 20);
             cfg.btree_order = 5;
@@ -848,7 +888,7 @@ mod proptests {
 
         #[test]
         fn without_cache_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 512 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 512 << 20));
             let mut cfg = StoreConfig::for_keys(512);
             cfg.scheme = Scheme::AriaWithoutCache;
             cfg.buckets = 16;
@@ -858,7 +898,7 @@ mod proptests {
 
         #[test]
         fn baseline_store_linearizes(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-            let enclave = Rc::new(Enclave::new(CostModel::default(), 64 << 20));
+            let enclave = Arc::new(Enclave::new(CostModel::default(), 64 << 20));
             let mut s = BaselineStore::new(enclave, 1 << 20);
             run_model(&mut s, ops)?;
         }

@@ -90,9 +90,7 @@ impl EtcWorkload {
 
     /// Draw the next key id.
     pub fn next_id(&mut self) -> u64 {
-        if self.hot_keys < self.cfg.keyspace
-            && self.rng.gen::<f64>() < LARGE_REQUEST_FRACTION
-        {
+        if self.hot_keys < self.cfg.keyspace && self.rng.gen::<f64>() < LARGE_REQUEST_FRACTION {
             // Uniform over the large keys.
             self.rng.gen_range(self.hot_keys..self.cfg.keyspace)
         } else {
@@ -198,7 +196,11 @@ mod tests {
 
     #[test]
     fn put_lengths_stay_in_key_class() {
-        let mut w = EtcWorkload::new(EtcConfig { keyspace: 10_000, read_ratio: 0.0, ..EtcConfig::default() });
+        let mut w = EtcWorkload::new(EtcConfig {
+            keyspace: 10_000,
+            read_ratio: 0.0,
+            ..EtcConfig::default()
+        });
         for _ in 0..5_000 {
             if let Request::Put { id, value_len } = w.next_request() {
                 let class_len = EtcWorkload::value_len_for(10_000, id);

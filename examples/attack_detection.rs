@@ -7,7 +7,7 @@
 //! ```
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn check(label: &str, detected: bool) {
     println!("{:<44} {}", label, if detected { "DETECTED" } else { "!! MISSED !!" });
@@ -15,7 +15,7 @@ fn check(label: &str, detected: bool) {
 }
 
 fn main() {
-    let enclave = Rc::new(Enclave::with_default_epc());
+    let enclave = Arc::new(Enclave::with_default_epc());
     let mut store = AriaHash::new(StoreConfig::for_keys(10_000), enclave).unwrap();
     for i in 0..1000u64 {
         store.put(&encode_key(i), format!("secret-value-{i}").as_bytes()).unwrap();
@@ -50,7 +50,7 @@ fn main() {
     );
 
     // Fresh store for the remaining attacks (the one above is poisoned).
-    let enclave = Rc::new(Enclave::with_default_epc());
+    let enclave = Arc::new(Enclave::with_default_epc());
     let mut store = AriaHash::new(StoreConfig::for_keys(10_000), enclave).unwrap();
     for i in 0..1000u64 {
         store.put(&encode_key(i), b"protected").unwrap();
@@ -67,12 +67,10 @@ fn main() {
     );
 
     // 5. B-tree connection attack: swap child pointers across parents.
-    let enclave = Rc::new(Enclave::with_default_epc());
-    let mut tree = AriaTree::new(
-        StoreConfig { btree_order: 7, ..StoreConfig::for_keys(10_000) },
-        enclave,
-    )
-    .unwrap();
+    let enclave = Arc::new(Enclave::with_default_epc());
+    let mut tree =
+        AriaTree::new(StoreConfig { btree_order: 7, ..StoreConfig::for_keys(10_000) }, enclave)
+            .unwrap();
     for i in 0..3000u64 {
         tree.put(&encode_key(i), b"v").unwrap();
     }

@@ -10,22 +10,19 @@
 //! ```
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS: u64 = 200_000;
 const OPS: u64 = 100_000;
 
 fn run_point(cache_bytes: usize, policy: EvictionPolicy) -> (f64, f64) {
-    let enclave = Rc::new(Enclave::with_default_epc());
+    let enclave = Arc::new(Enclave::with_default_epc());
     let mut cfg = StoreConfig::for_keys(KEYS);
-    cfg.cache = CacheConfig {
-        capacity_bytes: cache_bytes,
-        policy,
-        ..CacheConfig::default()
-    };
-    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    cfg.cache = CacheConfig { capacity_bytes: cache_bytes, policy, ..CacheConfig::default() };
+    let mut store = AriaHash::new(cfg, Arc::clone(&enclave)).unwrap();
 
-    let mut wl = EtcWorkload::new(EtcConfig { keyspace: KEYS, read_ratio: 0.95, ..EtcConfig::default() });
+    let mut wl =
+        EtcWorkload::new(EtcConfig { keyspace: KEYS, read_ratio: 0.95, ..EtcConfig::default() });
     for (id, len) in wl.load_items().collect::<Vec<_>>() {
         store.put(&encode_key(id), &value_bytes(id, len)).unwrap();
     }
@@ -37,7 +34,7 @@ fn run_point(cache_bytes: usize, policy: EvictionPolicy) -> (f64, f64) {
     for _ in 0..OPS {
         step(&mut store, wl.next_request());
     }
-    (enclave.throughput(OPS, t0), store.cache_hit_ratio().unwrap_or(0.0))
+    (enclave.throughput(OPS, t0), store.cache_stats().map(|c| c.hit_ratio()).unwrap_or(0.0))
 }
 
 fn step(store: &mut AriaHash, req: Request) {

@@ -8,18 +8,18 @@
 //! ```
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS_PER_TENANT: u64 = 100_000;
 const OPS: u64 = 50_000;
 
 fn tenant_throughput(epc_slice: usize, seed: u64) -> f64 {
-    let enclave = Rc::new(Enclave::new(CostModel::default(), epc_slice));
+    let enclave = Arc::new(Enclave::new(CostModel::default(), epc_slice));
     let mut cfg = StoreConfig::for_keys(KEYS_PER_TENANT);
     // Size the cache inside the tenant's EPC slice, leaving room for the
     // index metadata and allocator bitmaps.
     cfg.cache = CacheConfig::with_capacity(epc_slice / 2);
-    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    let mut store = AriaHash::new(cfg, Arc::clone(&enclave)).unwrap();
 
     for id in 0..KEYS_PER_TENANT {
         store.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
@@ -57,7 +57,10 @@ fn tenant_throughput(epc_slice: usize, seed: u64) -> f64 {
 }
 
 fn main() {
-    println!("EPC {} MB shared by N tenants, {KEYS_PER_TENANT} keys each\n", DEFAULT_EPC_BYTES >> 20);
+    println!(
+        "EPC {} MB shared by N tenants, {KEYS_PER_TENANT} keys each\n",
+        DEFAULT_EPC_BYTES >> 20
+    );
     println!("{:<10} {:>16} {:>18}", "tenants", "per-tenant ops/s", "aggregate ops/s");
     for tenants in [1usize, 2, 4, 8] {
         let slice = DEFAULT_EPC_BYTES / tenants;

@@ -6,16 +6,16 @@
 //! ```
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // A simulated SGX enclave with the paper's 91 MB of usable EPC.
-    let enclave = Rc::new(Enclave::with_default_epc());
+    let enclave = Arc::new(Enclave::with_default_epc());
 
     // An Aria store with the hash index (Aria-H), sized for 100k keys.
     // Counters are protected by a Merkle tree whose nodes the Secure
     // Cache keeps in the EPC at fine granularity.
-    let mut store = AriaHash::new(StoreConfig::for_keys(100_000), Rc::clone(&enclave))
+    let mut store = AriaHash::new(StoreConfig::for_keys(100_000), Arc::clone(&enclave))
         .expect("store construction");
 
     // Ordinary KV usage. Everything that leaves the enclave is
@@ -42,11 +42,11 @@ fn main() {
     println!("EPC in use:              {} KB", enclave.epc_used() / 1024);
     println!(
         "secure cache hit ratio:  {:.1}%",
-        store.cache_hit_ratio().unwrap_or(0.0) * 100.0
+        store.cache_stats().map(|c| c.hit_ratio()).unwrap_or(0.0) * 100.0
     );
 
     // The B-tree index (Aria-T) offers the same API plus ordered scans.
-    let enclave2 = Rc::new(Enclave::with_default_epc());
+    let enclave2 = Arc::new(Enclave::with_default_epc());
     let mut tree = AriaTree::new(StoreConfig::for_keys(10_000), enclave2).unwrap();
     for user in [3u64, 1, 2] {
         tree.put(format!("user:{user:04}").as_bytes(), b"profile").unwrap();

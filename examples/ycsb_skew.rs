@@ -6,7 +6,7 @@
 //! ```
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS: u64 = 200_000;
 const OPS: u64 = 100_000;
@@ -39,8 +39,8 @@ fn drive(store: &mut dyn KvStore, label: &str) {
         label,
         throughput,
         store
-            .cache_hit_ratio()
-            .map(|h| format!("{:.1}%", h * 100.0))
+            .cache_stats()
+            .map(|c| format!("{:.1}%", c.hit_ratio() * 100.0))
             .unwrap_or_else(|| "n/a".into()),
     );
 }
@@ -59,14 +59,14 @@ fn step(store: &mut dyn KvStore, req: Request) {
 fn main() {
     println!("{KEYS} keys, {OPS} measured ops, zipf 0.99, 95% reads, EPC {} MB\n", EPC >> 20);
 
-    let enclave = Rc::new(Enclave::new(CostModel::default(), EPC));
+    let enclave = Arc::new(Enclave::new(CostModel::default(), EPC));
     let mut cfg = StoreConfig::for_keys(KEYS);
     // Size the Secure Cache within this enclave's EPC slice.
     cfg.cache = CacheConfig::with_capacity(EPC / 2);
-    let mut aria = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    let mut aria = AriaHash::new(cfg, Arc::clone(&enclave)).unwrap();
     drive(&mut aria, "Aria-H");
 
-    let enclave = Rc::new(Enclave::new(CostModel::default(), EPC));
+    let enclave = Arc::new(Enclave::new(CostModel::default(), EPC));
     let mut shield = ShieldStore::new((KEYS / 2) as usize, enclave).unwrap();
     // ShieldStore has its own error type; drive it directly.
     for id in 0..KEYS {

@@ -4,7 +4,7 @@ set -u
 cd "$(dirname "$0")"
 mkdir -p results
 rm -f results/*.jsonl
-for fig in table1 fig2 fig9 fig11 fig12 fig14 fig15 fig16b memory ablation_scramble ext_bplus fig16a fig10 fig13; do
+for fig in table1 fig2 fig9 fig11 fig12 fig14 fig15 fig16b memory ablation_scramble ext_bplus fig16a fig10 fig13 scaling; do
   echo "=== running $fig ==="
   start=$SECONDS
   ./target/release/$fig "$@" > results/$fig.txt 2> results/$fig.log || echo "$fig FAILED"

@@ -22,10 +22,10 @@
 //!
 //! ```
 //! use aria::prelude::*;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! // A simulated enclave with the paper's 91 MB of usable EPC.
-//! let enclave = Rc::new(Enclave::with_default_epc());
+//! let enclave = Arc::new(Enclave::with_default_epc());
 //! let mut store = AriaHash::new(StoreConfig::for_keys(10_000), enclave).unwrap();
 //!
 //! store.put(b"user:42", b"alice").unwrap();
@@ -60,8 +60,8 @@ pub mod prelude {
     pub use aria_shieldstore::ShieldStore;
     pub use aria_sim::{CostModel, Enclave, DEFAULT_EPC_BYTES};
     pub use aria_store::{
-        AriaBPlusTree, AriaHash, AriaTree, BaselineStore, KvStore, Scheme, StoreConfig,
-        StoreError, Violation,
+        AriaBPlusTree, AriaHash, AriaTree, BaselineStore, BatchOp, BatchReply, CacheStats,
+        ConfigError, KvStore, Scheme, ShardedStore, StoreConfig, StoreError, Violation,
     };
     pub use aria_workload::{
         encode_key, value_bytes, EtcConfig, EtcWorkload, KeyDistribution, Request, YcsbConfig,

@@ -17,12 +17,12 @@
 use aria::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS: u64 = 300;
 
 fn loaded_hash(seed: u64) -> (AriaHash, HashMap<u64, Vec<u8>>) {
-    let enclave = Rc::new(Enclave::with_default_epc());
+    let enclave = Arc::new(Enclave::with_default_epc());
     let mut cfg = StoreConfig::for_keys(KEYS);
     cfg.cache = CacheConfig::with_capacity(1 << 20);
     cfg.buckets = 64; // force real chains
@@ -129,7 +129,7 @@ fn tree_indexes_never_serve_corrupted_data() {
             model.insert(id, value_bytes(id ^ seed, 24));
         }
 
-        let enclave = Rc::new(Enclave::with_default_epc());
+        let enclave = Arc::new(Enclave::with_default_epc());
         let mut cfg = StoreConfig::for_keys(KEYS);
         cfg.cache = CacheConfig::with_capacity(1 << 20);
         cfg.btree_order = 7;
@@ -141,7 +141,7 @@ fn tree_indexes_never_serve_corrupted_data() {
         assert!(btree.attack_swap_child_pointers(), "B-tree attack setup failed");
         check_reads(|k| btree.get(k), &model, "btree");
 
-        let enclave = Rc::new(Enclave::with_default_epc());
+        let enclave = Arc::new(Enclave::with_default_epc());
         let mut bplus = AriaBPlusTree::new(cfg, enclave).unwrap();
         for (id, v) in &model {
             bplus.put(&encode_key(*id), v).unwrap();

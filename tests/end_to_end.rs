@@ -4,7 +4,7 @@
 
 use aria::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const KEYS: u64 = 50_000;
 
@@ -44,15 +44,15 @@ fn step(store: &mut dyn KvStore, req: Request) {
     }
 }
 
-fn small_enclave() -> Rc<Enclave> {
+fn small_enclave() -> Arc<Enclave> {
     // EPC deliberately smaller than the metadata working set.
-    Rc::new(Enclave::new(CostModel::default(), 3 << 20))
+    Arc::new(Enclave::new(CostModel::default(), 3 << 20))
 }
 
-fn aria_store(enclave: &Rc<Enclave>) -> AriaHash {
+fn aria_store(enclave: &Arc<Enclave>) -> AriaHash {
     let mut cfg = StoreConfig::for_keys(KEYS);
     cfg.cache = CacheConfig::with_capacity(1 << 20);
-    AriaHash::new(cfg, Rc::clone(enclave)).unwrap()
+    AriaHash::new(cfg, Arc::clone(enclave)).unwrap()
 }
 
 #[test]
@@ -82,7 +82,7 @@ fn aria_beats_shieldstore_under_skew() {
 
     // ShieldStore with chains of ~2.5 like the paper's 10M/4M setup.
     let enclave = small_enclave();
-    let mut shield = ShieldStore::new((KEYS as f64 / 2.5) as usize, Rc::clone(&enclave)).unwrap();
+    let mut shield = ShieldStore::new((KEYS as f64 / 2.5) as usize, Arc::clone(&enclave)).unwrap();
     for id in 0..KEYS {
         shield.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
     }
@@ -135,10 +135,10 @@ fn full_aria_never_hardware_pages() {
 #[test]
 fn without_cache_scheme_pages_when_counters_exceed_epc() {
     // ~900 KB of in-enclave counters against a 640 KB EPC.
-    let enclave = Rc::new(Enclave::new(CostModel::default(), 640 << 10));
+    let enclave = Arc::new(Enclave::new(CostModel::default(), 640 << 10));
     let mut cfg = StoreConfig::for_keys(KEYS);
     cfg.scheme = Scheme::AriaWithoutCache;
-    let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+    let mut store = AriaHash::new(cfg, Arc::clone(&enclave)).unwrap();
     load(&mut store, KEYS, 16);
     drive(&mut store, KeyDistribution::Uniform, 20_000);
     assert!(enclave.total_page_faults() > 0, "counters exceed the EPC; paging expected");
@@ -148,7 +148,7 @@ fn without_cache_scheme_pages_when_counters_exceed_epc() {
 fn etc_workload_end_to_end_on_both_indexes() {
     let keys = 5_000u64;
     for tree_index in [false, true] {
-        let enclave = Rc::new(Enclave::with_default_epc());
+        let enclave = Arc::new(Enclave::with_default_epc());
         let mut cfg = StoreConfig::for_keys(keys);
         cfg.cache = CacheConfig::with_capacity(4 << 20);
         cfg.btree_order = 9;
@@ -157,14 +157,16 @@ fn etc_workload_end_to_end_on_both_indexes() {
         } else {
             Box::new(AriaHash::new(cfg, enclave).unwrap())
         };
-        let wl = EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
+        let wl =
+            EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
         for (id, len) in wl.load_items().collect::<Vec<_>>() {
             let v = value_bytes(id, len);
             store.put(&encode_key(id), &v).unwrap();
             model.insert(id, v);
         }
-        let mut wl = EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
+        let mut wl =
+            EtcWorkload::new(EtcConfig { keyspace: keys, read_ratio: 0.9, ..EtcConfig::default() });
         for _ in 0..20_000 {
             match wl.next_request() {
                 Request::Get { id } => {
@@ -184,10 +186,10 @@ fn etc_workload_end_to_end_on_both_indexes() {
 #[test]
 fn no_sgx_model_is_faster_than_sgx() {
     let run_with = |cost: CostModel| {
-        let enclave = Rc::new(Enclave::new(cost, 8 << 20));
+        let enclave = Arc::new(Enclave::new(cost, 8 << 20));
         let mut cfg = StoreConfig::for_keys(KEYS);
         cfg.cache = CacheConfig::with_capacity(2 << 20);
-        let mut store = AriaHash::new(cfg, Rc::clone(&enclave)).unwrap();
+        let mut store = AriaHash::new(cfg, Arc::clone(&enclave)).unwrap();
         load(&mut store, KEYS, 16);
         drive(&mut store, KeyDistribution::Zipfian { theta: 0.99 }, 40_000)
     };

@@ -4,10 +4,10 @@
 //! lands in untrusted memory.
 
 use aria::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn enclave() -> Rc<Enclave> {
-    Rc::new(Enclave::with_default_epc())
+fn enclave() -> Arc<Enclave> {
+    Arc::new(Enclave::with_default_epc())
 }
 
 fn loaded_hash(keys: u64) -> AriaHash {
@@ -41,7 +41,7 @@ fn replay_detected_even_after_cache_flush() {
     let key = encode_key(7);
     let snap = s.attack_snapshot(&key).unwrap();
     s.put(&key, b"secret-REPLACED").unwrap(); // same length: in-place
-    // Flush the Secure Cache so nothing shields the untrusted state.
+                                              // Flush the Secure Cache so nothing shields the untrusted state.
     s.core_mut().counters.as_cached_mut().unwrap().flush();
     assert!(s.attack_replay(&snap));
     assert!(s.get(&key).unwrap_err().is_integrity_violation());
@@ -136,8 +136,8 @@ fn tree_index_attack_matrix() {
         t.put(&encode_key(i), b"tree-secret").unwrap();
     }
     assert!(t.attack_swap_child_pointers());
-    let detected = (0..2000u64)
-        .any(|i| matches!(t.get(&encode_key(i)), Err(e) if e.is_integrity_violation()));
+    let detected =
+        (0..2000u64).any(|i| matches!(t.get(&encode_key(i)), Err(e) if e.is_integrity_violation()));
     assert!(detected, "tree pointer swap undetected");
 
     let mut cfg = StoreConfig::for_keys(5000);
@@ -148,8 +148,8 @@ fn tree_index_attack_matrix() {
         t.put(&encode_key(i), b"tree-secret").unwrap();
     }
     assert!(t.attack_truncate_root());
-    let detected = (0..500u64)
-        .any(|i| matches!(t.get(&encode_key(i)), Err(e) if e.is_integrity_violation()));
+    let detected =
+        (0..500u64).any(|i| matches!(t.get(&encode_key(i)), Err(e) if e.is_integrity_violation()));
     assert!(detected, "root truncation undetected");
 }
 

@@ -1,0 +1,285 @@
+//! End-to-end tests of the sharded concurrent front-end: many client
+//! threads over `ShardedStore<AriaHash>`, partition stability, shard
+//! isolation under attack injection, and the batched-API cost model.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use aria::prelude::*;
+use aria::workload::ZipfianGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sharded_hash(shards: usize, keys_per_shard: u64) -> ShardedStore<AriaHash> {
+    ShardedStore::with_shards(shards, move |_| {
+        AriaHash::new(StoreConfig::for_keys(keys_per_shard), Arc::new(Enclave::with_default_epc()))
+    })
+    .unwrap()
+}
+
+/// ≥4 shards, ≥4 client threads, mixed put/get/delete under zipfian key
+/// popularity, every get checked against a per-thread model, zero
+/// integrity violations.
+#[test]
+fn concurrent_clients_mixed_ops_zipfian() {
+    const SHARDS: usize = 4;
+    const CLIENTS: usize = 6;
+    const OPS_PER_CLIENT: usize = 4_000;
+    const IDS_PER_CLIENT: u64 = 2_000;
+
+    let store = Arc::new(sharded_hash(SHARDS, 32_768));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                // Each client owns a disjoint id range so its local model
+                // is exact even though all clients run concurrently.
+                let base = client as u64 * IDS_PER_CLIENT;
+                let zipf = ZipfianGenerator::new(IDS_PER_CLIENT, 0.99);
+                let mut rng = StdRng::seed_from_u64(0xC11E47 + client as u64);
+                let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+                let mut violations = 0u64;
+                for op in 0..OPS_PER_CLIENT {
+                    let id = base + zipf.next(&mut rng);
+                    let key = encode_key(id);
+                    match rng.gen_range(0..10u32) {
+                        // 60% reads, 30% writes, 10% deletes.
+                        0..=5 => match store.get(&key) {
+                            Ok(found) => {
+                                assert_eq!(
+                                    found.as_deref(),
+                                    model.get(&id).map(|v| v.as_slice()),
+                                    "client {client} op {op}: wrong value for id {id}"
+                                );
+                            }
+                            Err(e) if e.is_integrity_violation() => violations += 1,
+                            Err(e) => panic!("client {client}: unexpected error {e}"),
+                        },
+                        6..=8 => {
+                            let value = value_bytes(id ^ op as u64, 24);
+                            store.put(&key, &value).unwrap();
+                            model.insert(id, value);
+                        }
+                        _ => {
+                            let existed = store.delete(&key).unwrap();
+                            assert_eq!(
+                                existed,
+                                model.remove(&id).is_some(),
+                                "client {client} op {op}: delete disagreed for id {id}"
+                            );
+                        }
+                    }
+                }
+                (model.len() as u64, violations)
+            })
+        })
+        .collect();
+
+    let mut live = 0u64;
+    for handle in handles {
+        let (client_live, violations) = handle.join().unwrap();
+        assert_eq!(violations, 0, "no integrity violations in an attack-free run");
+        live += client_live;
+    }
+    assert_eq!(store.len(), live, "cross-shard len() equals the sum of client models");
+}
+
+/// Batches from several threads at once, reassembled in input order.
+#[test]
+fn concurrent_run_batch_smoke() {
+    const CLIENTS: usize = 4;
+    let store = Arc::new(sharded_hash(4, 16_384));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let base = client as u64 * 10_000;
+                let puts: Vec<BatchOp> = (0..500)
+                    .map(|i| BatchOp::Put(encode_key(base + i).to_vec(), value_bytes(base + i, 16)))
+                    .collect();
+                for reply in store.run_batch(puts) {
+                    assert!(matches!(reply, BatchReply::Put(Ok(()))));
+                }
+                let gets: Vec<BatchOp> =
+                    (0..500).map(|i| BatchOp::Get(encode_key(base + i).to_vec())).collect();
+                for (i, reply) in store.run_batch(gets).into_iter().enumerate() {
+                    match reply {
+                        BatchReply::Get(Ok(Some(v))) => {
+                            assert_eq!(v, value_bytes(base + i as u64, 16));
+                        }
+                        other => panic!("client {client} get {i}: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(store.len(), CLIENTS as u64 * 500);
+}
+
+/// The key -> shard mapping is a pure function of key bytes and shard
+/// count: stable over time and identical across store instances.
+#[test]
+fn partitioning_is_stable() {
+    let a = sharded_hash(4, 4_096);
+    let b = sharded_hash(4, 4_096);
+    for id in 0..512u64 {
+        let key = encode_key(id);
+        let shard = a.shard_of(&key);
+        assert!(shard < 4);
+        assert_eq!(shard, a.shard_of(&key), "mapping must not drift within an instance");
+        assert_eq!(shard, b.shard_of(&key), "mapping must agree across instances");
+    }
+}
+
+#[test]
+fn cross_shard_len_and_is_empty() {
+    let store = sharded_hash(4, 4_096);
+    assert!(store.is_empty());
+    assert_eq!(store.len(), 0);
+    for id in 0..100u64 {
+        store.put(&encode_key(id), b"v").unwrap();
+    }
+    assert_eq!(store.len(), 100);
+    assert!(!store.is_empty());
+    // Every shard got some of the uniform keys.
+    for shard in 0..store.shards() {
+        let shard_len = store.with_shard(shard, |s| s.len());
+        assert!(shard_len > 0, "shard {shard} holds no keys");
+    }
+    for id in 0..100u64 {
+        assert!(store.delete(&encode_key(id)).unwrap());
+    }
+    assert_eq!(store.len(), 0);
+    assert!(store.is_empty());
+}
+
+/// Tampering with one shard's untrusted memory is detected by that
+/// shard and leaves every sibling shard fully functional: per-shard
+/// Merkle roots share no verification state.
+#[test]
+fn attack_on_one_shard_does_not_poison_siblings() {
+    let store = sharded_hash(4, 4_096);
+    for id in 0..400u64 {
+        store.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+
+    let victim_id = 7u64;
+    let victim_key = encode_key(victim_id);
+    let victim_shard = store.shard_of(&victim_key);
+
+    let tampered =
+        store.with_shard(victim_shard, move |s| s.attack_tamper_value(&encode_key(victim_id)));
+    assert!(tampered, "attacker should find the victim entry");
+
+    // The victim shard detects the attack on access.
+    let err = store.get(&victim_key).unwrap_err();
+    assert!(err.is_integrity_violation());
+
+    // Every key on every *other* shard is untouched and verifiable.
+    let (mut checked, mut sibling_reads) = (0u64, 0u64);
+    for id in 0..400u64 {
+        let key = encode_key(id);
+        if store.shard_of(&key) == victim_shard {
+            continue;
+        }
+        assert_eq!(
+            store.get(&key).unwrap().unwrap(),
+            value_bytes(id, 16),
+            "sibling shard read of id {id} after attack on shard {victim_shard}"
+        );
+        sibling_reads += 1;
+        checked += 1;
+    }
+    assert!(checked > 0 && sibling_reads > 0);
+
+    // Sibling shards also still accept writes.
+    for id in 1000..1050u64 {
+        let key = encode_key(id);
+        if store.shard_of(&key) != victim_shard {
+            store.put(&key, b"post-attack").unwrap();
+            assert_eq!(store.get(&key).unwrap().unwrap(), b"post-attack");
+        }
+    }
+}
+
+/// The batched KvStore API charges the per-request fixed cost once per
+/// batch: a multi_get over N keys must cost strictly less than N
+/// individual gets, and return identical results.
+#[test]
+fn multi_get_amortizes_request_costs() {
+    let enclave = Arc::new(Enclave::with_default_epc());
+    let mut store = AriaHash::new(StoreConfig::for_keys(8_192), Arc::clone(&enclave)).unwrap();
+    for id in 0..256u64 {
+        store.put(&encode_key(id), &value_bytes(id, 16)).unwrap();
+    }
+    // Zipf-flavored batch: heavy duplication of a few hot keys.
+    let ids: Vec<u64> = (0..128u64).map(|i| if i % 4 == 0 { i } else { i % 8 }).collect();
+    let keys: Vec<Vec<u8>> = ids.iter().map(|&id| encode_key(id).to_vec()).collect();
+    let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+    let before = enclave.cycles();
+    let sequential: Vec<_> = key_refs.iter().map(|k| store.get(k).unwrap()).collect();
+    let sequential_cycles = enclave.cycles() - before;
+
+    let before = enclave.cycles();
+    let batched: Vec<_> = store.multi_get(&key_refs).into_iter().map(|r| r.unwrap()).collect();
+    let batched_cycles = enclave.cycles() - before;
+
+    assert_eq!(batched, sequential, "multi_get must agree with sequential gets");
+    assert!(
+        batched_cycles < sequential_cycles,
+        "batched {batched_cycles} cycles should beat sequential {sequential_cycles}"
+    );
+}
+
+/// put_batch coalesces duplicate keys last-write-wins and ends in the
+/// same state as a sequential replay, for fewer simulated cycles.
+#[test]
+fn put_batch_amortizes_and_matches_sequential_state() {
+    let make = || {
+        let enclave = Arc::new(Enclave::with_default_epc());
+        let store = AriaHash::new(StoreConfig::for_keys(8_192), Arc::clone(&enclave)).unwrap();
+        (store, enclave)
+    };
+
+    let pairs_owned: Vec<(Vec<u8>, Vec<u8>)> = (0..128u64)
+        .map(|i| {
+            let id = i % 32; // heavy duplication
+            (encode_key(id).to_vec(), value_bytes(i, 16))
+        })
+        .collect();
+    let pairs: Vec<(&[u8], &[u8])> =
+        pairs_owned.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+
+    let (mut sequential, seq_enclave) = make();
+    let before = seq_enclave.cycles();
+    for (k, v) in &pairs {
+        sequential.put(k, v).unwrap();
+    }
+    let sequential_cycles = seq_enclave.cycles() - before;
+
+    let (mut batched, batch_enclave) = make();
+    let before = batch_enclave.cycles();
+    for result in batched.put_batch(&pairs) {
+        result.unwrap();
+    }
+    let batched_cycles = batch_enclave.cycles() - before;
+
+    assert_eq!(batched.len(), sequential.len());
+    for id in 0..32u64 {
+        let key = encode_key(id);
+        assert_eq!(
+            batched.get(&key).unwrap(),
+            sequential.get(&key).unwrap(),
+            "final state must match for id {id}"
+        );
+    }
+    assert!(
+        batched_cycles < sequential_cycles,
+        "batched {batched_cycles} cycles should beat sequential {sequential_cycles}"
+    );
+}
