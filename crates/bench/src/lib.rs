@@ -21,4 +21,6 @@ pub mod report;
 
 pub use args::Args;
 pub use harness::{improvement, run, RunConfig, RunResult, StoreKind, Workload};
-pub use report::{fmt_tput, print_table, write_jsonl, Row};
+pub use report::{
+    fmt_tput, git_rev, json_f64, json_str, print_table, write_jsonl, Row, SCHEMA_VERSION,
+};

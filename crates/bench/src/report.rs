@@ -4,8 +4,40 @@
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use std::sync::OnceLock;
 
 use crate::harness::RunResult;
+
+/// Version of the emitted JSON row layout. Bump when a field changes
+/// meaning or is removed (adding fields is backward compatible):
+///
+/// * 1 — the unversioned PR-1 layout (implicit).
+/// * 2 — added `schema_version` and `git_rev` to every row.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The git revision results are stamped with, so `results/*.json*` and
+/// committed `BENCH_*` snapshots stay comparable across PRs. Resolution
+/// order: `ARIA_GIT_REV` env override, `git rev-parse --short HEAD`,
+/// else `"unknown"` (results must still be writable from a tarball).
+pub fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        if let Ok(rev) = std::env::var("ARIA_GIT_REV") {
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
 
 /// One emitted result row.
 #[derive(Debug)]
@@ -50,8 +82,10 @@ impl Row {
     /// offline, without serde).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"experiment\":{},\"series\":{},\"x\":{},\"throughput\":{},\"cycles\":{},\
+            "{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":{},\"experiment\":{},\
+             \"series\":{},\"x\":{},\"throughput\":{},\"cycles\":{},\
              \"ops\":{},\"page_faults\":{},\"macs\":{},\"epc_used\":{}}}",
+            json_str(git_rev()),
             json_str(&self.experiment),
             json_str(&self.series),
             json_str(&self.x),
@@ -65,7 +99,9 @@ impl Row {
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Quote + escape a string for hand-written JSON (the workspace builds
+/// offline, without serde).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -83,7 +119,8 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+/// Render a float for JSON (`null` for NaN/Infinity, which JSON lacks).
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -147,5 +184,30 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
     for row in rows {
         println!("{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_carry_schema_version_and_git_rev() {
+        let row = Row {
+            experiment: "exp".to_string(),
+            series: "s".to_string(),
+            x: "x".to_string(),
+            throughput: 1.5,
+            cycles: 2,
+            ops: 3,
+            page_faults: 4,
+            macs: 5,
+            epc_used: 6,
+        };
+        let json = row.to_json();
+        assert!(json.starts_with(&format!("{{\"schema_version\":{SCHEMA_VERSION},")), "{json}");
+        assert!(json.contains("\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"experiment\":\"exp\""), "{json}");
+        assert!(!git_rev().is_empty());
     }
 }

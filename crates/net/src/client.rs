@@ -1,0 +1,348 @@
+//! `AriaClient`: a pipelined, reconnecting TCP client for the Aria
+//! protocol.
+//!
+//! The client is synchronous and single-threaded (one per worker
+//! thread). Throughput comes from *pipelining*: [`AriaClient::pipeline`]
+//! writes a whole slice of requests before reading any response, keeping
+//! the server's pipeline window full. The convenience ops
+//! ([`AriaClient::get`], [`AriaClient::put`], …) are depth-1 pipelines.
+//!
+//! Transport failures are never silently retried for *operations* —
+//! a put whose connection died mid-flight may or may not have been
+//! applied, and only the caller knows whether re-issuing is safe. What
+//! the client does transparently is re-*connect*: every op first ensures
+//! a connection, dialing with exponential backoff
+//! ([`ClientConfig::reconnect_attempts`] ×
+//! [`ClientConfig::reconnect_backoff`]) if the previous one is gone.
+//! Every response read is bounded by [`ClientConfig::op_timeout`], so a
+//! dead or wedged server yields a typed [`NetError`] instead of a hang.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{self, Decoded, ErrorCode, Request, Response, StatsReply, WireError};
+
+/// Tuning knobs for [`AriaClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on waiting for any single response frame.
+    pub op_timeout: Duration,
+    /// Bound on one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Connect attempts before an op reports the connection error.
+    pub reconnect_attempts: u32,
+    /// Sleep before the 2nd attempt; doubles each further attempt.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            op_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(1),
+            reconnect_attempts: 5,
+            reconnect_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Errors surfaced by [`AriaClient`] operations.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read or write).
+    Io(io::Error),
+    /// No response within [`ClientConfig::op_timeout`].
+    Timeout,
+    /// The peer sent bytes that do not decode as protocol frames.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// Stable protocol error code.
+        code: ErrorCode,
+        /// Log detail from the server.
+        message: String,
+    },
+    /// The server answered with a frame that does not match the request
+    /// (protocol bug or desynchronized stream).
+    UnexpectedResponse,
+}
+
+impl NetError {
+    /// The protocol error code, when the server produced one.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            NetError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// Whether the failure is transport-level (the op may never have
+    /// reached the server, and a reconnect might succeed).
+    pub fn is_transport(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::Timeout)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::Timeout => write!(f, "timed out waiting for a response"),
+            NetError::Wire(e) => write!(f, "protocol error: {e}"),
+            NetError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            NetError::UnexpectedResponse => write!(f, "response does not match the request"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+            NetError::Timeout
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// Per-key outcome of a [`AriaClient::multi_get`]: the value (if the
+/// key exists) or the store's typed error code for that key.
+pub type KeyResult = Result<Option<Vec<u8>>, ErrorCode>;
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    roff: usize,
+}
+
+/// A pipelined client connection to an [`crate::AriaServer`].
+pub struct AriaClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    next_id: u64,
+}
+
+impl AriaClient {
+    /// Resolve `addr` and connect (with backoff).
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        config: ClientConfig,
+    ) -> Result<AriaClient, NetError> {
+        let addr = addr.to_socket_addrs().map_err(NetError::Io)?.next().ok_or_else(|| {
+            NetError::Io(io::Error::new(io::ErrorKind::InvalidInput, "no address"))
+        })?;
+        let mut client = AriaClient { addr, config, conn: None, next_id: 1 };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Whether a live connection is currently held (it may still be
+    /// found dead by the next op).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// The server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), NetError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut backoff = self.config.reconnect_backoff;
+        let attempts = self.config.reconnect_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(Some(self.config.op_timeout)).map_err(NetError::Io)?;
+                    stream.set_write_timeout(Some(self.config.op_timeout)).map_err(NetError::Io)?;
+                    self.conn = Some(Conn { stream, rbuf: Vec::new(), roff: 0 });
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.expect("at least one connect attempt")))
+    }
+
+    /// Send every request back-to-back, then read every response, in
+    /// order. One transport failure fails the whole pipeline and drops
+    /// the connection (the next op redials).
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, NetError> {
+        self.ensure_connected()?;
+        let first_id = self.next_id;
+        self.next_id += reqs.len() as u64;
+        let result = self.pipeline_inner(first_id, reqs);
+        if result.is_err() {
+            // The stream may hold half a conversation; never reuse it.
+            self.conn = None;
+        }
+        result
+    }
+
+    fn pipeline_inner(
+        &mut self,
+        first_id: u64,
+        reqs: &[Request],
+    ) -> Result<Vec<Response>, NetError> {
+        let conn = self.conn.as_mut().expect("ensure_connected succeeded");
+        let mut out = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            proto::encode_request(&mut out, first_id + i as u64, req);
+        }
+        conn.stream.write_all(&out)?;
+        let mut responses = Vec::with_capacity(reqs.len());
+        for i in 0..reqs.len() {
+            let (id, resp) = read_response(conn)?;
+            if id == proto::CONTROL_ID {
+                // Connection-level server error (e.g. over the limit).
+                if let Response::Error { code, message } = resp {
+                    return Err(NetError::Server { code, message });
+                }
+                return Err(NetError::UnexpectedResponse);
+            }
+            if id != first_id + i as u64 {
+                return Err(NetError::UnexpectedResponse);
+            }
+            responses.push(resp);
+        }
+        Ok(responses)
+    }
+
+    fn one(&mut self, req: Request) -> Result<Response, NetError> {
+        Ok(self.pipeline(std::slice::from_ref(&req))?.pop().expect("one response per request"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.one(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => fail(other),
+        }
+    }
+
+    /// Fetch one key.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, NetError> {
+        match self.one(Request::Get { key: key.to_vec() })? {
+            Response::Value(v) => Ok(v),
+            other => fail(other),
+        }
+    }
+
+    /// Insert or update one key.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), NetError> {
+        match self.one(Request::Put { key: key.to_vec(), value: value.to_vec() })? {
+            Response::PutOk => Ok(()),
+            other => fail(other),
+        }
+    }
+
+    /// Remove one key; returns whether it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, NetError> {
+        match self.one(Request::Delete { key: key.to_vec() })? {
+            Response::Deleted(existed) => Ok(existed),
+            other => fail(other),
+        }
+    }
+
+    /// Fetch several keys in one request; per-key results in order.
+    pub fn multi_get(&mut self, keys: &[&[u8]]) -> Result<Vec<KeyResult>, NetError> {
+        let keys = keys.iter().map(|k| k.to_vec()).collect();
+        match self.one(Request::MultiGet { keys })? {
+            Response::Values(items) => Ok(items),
+            other => fail(other),
+        }
+    }
+
+    /// Insert or update several pairs in one request; per-pair results
+    /// in order.
+    pub fn put_batch(
+        &mut self,
+        pairs: &[(&[u8], &[u8])],
+    ) -> Result<Vec<Result<(), ErrorCode>>, NetError> {
+        let pairs = pairs.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        match self.one(Request::PutBatch { pairs })? {
+            Response::BatchStatus(items) => Ok(items),
+            other => fail(other),
+        }
+    }
+
+    /// Server/store statistics.
+    pub fn stats(&mut self) -> Result<StatsReply, NetError> {
+        match self.one(Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => fail(other),
+        }
+    }
+}
+
+impl std::fmt::Debug for AriaClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AriaClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}
+
+fn fail<T>(resp: Response) -> Result<T, NetError> {
+    match resp {
+        Response::Error { code, message } => Err(NetError::Server { code, message }),
+        _ => Err(NetError::UnexpectedResponse),
+    }
+}
+
+fn read_response(conn: &mut Conn) -> Result<(u64, Response), NetError> {
+    loop {
+        match proto::decode_response(&conn.rbuf[conn.roff..])? {
+            Decoded::Frame(consumed, id, resp) => {
+                conn.roff += consumed;
+                if conn.roff == conn.rbuf.len() {
+                    conn.rbuf.clear();
+                    conn.roff = 0;
+                }
+                return Ok((id, resp));
+            }
+            Decoded::Incomplete => {
+                let mut chunk = [0u8; 16 * 1024];
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        return Err(NetError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )))
+                    }
+                    Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+    }
+}

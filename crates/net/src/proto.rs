@@ -1,0 +1,707 @@
+//! The Aria wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [u32 frame_len][u8 opcode][u64 request_id][body...]
+//! ```
+//!
+//! `frame_len` counts everything after itself (opcode + id + body), all
+//! integers are little-endian, and bodies nest `[u32 len][bytes]` items.
+//! Request ids are chosen by the client and echoed verbatim by the
+//! server, which is what makes pipelining safe: a client may have any
+//! number of requests in flight and match responses by id (the server
+//! additionally answers in request order per connection).
+//!
+//! Store failures travel as stable [`ErrorCode`]s, not strings, so
+//! clients can react to e.g. an integrity violation without parsing
+//! log text. Code values are part of the protocol and must never be
+//! renumbered.
+
+use aria_store::{StoreError, Violation};
+
+/// Frames larger than this are rejected as malformed — a defense against
+/// garbage (or hostile) length prefixes allocating unbounded memory.
+pub const MAX_FRAME_LEN: usize = 4 << 20;
+
+/// Fixed bytes before the body: opcode (1) + request id (8).
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// The request id the server uses for unsolicited, connection-level
+/// errors (e.g. rejecting a connection over the limit).
+pub const CONTROL_ID: u64 = 0;
+
+// Request opcodes.
+const OP_PING: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const OP_PUT: u8 = 0x03;
+const OP_DELETE: u8 = 0x04;
+const OP_MULTI_GET: u8 = 0x05;
+const OP_PUT_BATCH: u8 = 0x06;
+const OP_STATS: u8 = 0x07;
+
+// Response opcodes (high bit set).
+const OP_PONG: u8 = 0x81;
+const OP_VALUE: u8 = 0x82;
+const OP_PUT_OK: u8 = 0x83;
+const OP_DELETED: u8 = 0x84;
+const OP_VALUES: u8 = 0x85;
+const OP_BATCH_STATUS: u8 = 0x86;
+const OP_STATS_REPLY: u8 = 0x87;
+const OP_ERROR: u8 = 0xFF;
+
+/// Stable numeric error codes carried on the wire.
+///
+/// Groups: `1..=15` integrity violations (detected attacks), `16..=31`
+/// resource/validation failures, `32..=47` protocol/transport faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Merkle node verification failed (counter tamper/replay).
+    MerkleMismatch = 1,
+    /// Entry MAC mismatch (value tamper or replay).
+    EntryMacMismatch = 2,
+    /// Counter-reuse attack detected.
+    CounterReuse = 3,
+    /// Unauthorized deletion detected.
+    UnauthorizedDeletion = 4,
+    /// Untrusted allocator metadata inconsistent.
+    AllocatorMetadata = 5,
+    /// Corrupt untrusted pointer.
+    CorruptPointer = 6,
+    /// Enclave EPC exhausted.
+    EpcExhausted = 16,
+    /// Counter area exhausted.
+    CountersExhausted = 17,
+    /// Untrusted heap failure.
+    Heap = 18,
+    /// Key exceeds the on-wire limit.
+    KeyTooLong = 19,
+    /// Value exceeds the on-wire limit.
+    ValueTooLong = 20,
+    /// A shard worker is gone; the op could not be served.
+    ShardUnavailable = 21,
+    /// The request frame could not be decoded.
+    BadRequest = 32,
+    /// Unknown request opcode.
+    UnknownOpcode = 33,
+    /// Frame exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge = 34,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown = 35,
+    /// The connection limit is reached; try again later.
+    TooManyConnections = 36,
+}
+
+impl ErrorCode {
+    /// Decode a wire value.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => MerkleMismatch,
+            2 => EntryMacMismatch,
+            3 => CounterReuse,
+            4 => UnauthorizedDeletion,
+            5 => AllocatorMetadata,
+            6 => CorruptPointer,
+            16 => EpcExhausted,
+            17 => CountersExhausted,
+            18 => Heap,
+            19 => KeyTooLong,
+            20 => ValueTooLong,
+            21 => ShardUnavailable,
+            32 => BadRequest,
+            33 => UnknownOpcode,
+            34 => FrameTooLarge,
+            35 => ShuttingDown,
+            36 => TooManyConnections,
+            _ => return None,
+        })
+    }
+
+    /// The stable protocol code of a [`StoreError`].
+    pub fn from_store_error(e: &StoreError) -> ErrorCode {
+        match e {
+            StoreError::Integrity(v) => match v {
+                Violation::MerkleMismatch { .. } => ErrorCode::MerkleMismatch,
+                Violation::EntryMacMismatch => ErrorCode::EntryMacMismatch,
+                Violation::CounterReuse { .. } => ErrorCode::CounterReuse,
+                Violation::UnauthorizedDeletion => ErrorCode::UnauthorizedDeletion,
+                Violation::AllocatorMetadata => ErrorCode::AllocatorMetadata,
+                Violation::CorruptPointer => ErrorCode::CorruptPointer,
+            },
+            StoreError::EpcExhausted => ErrorCode::EpcExhausted,
+            StoreError::CountersExhausted => ErrorCode::CountersExhausted,
+            StoreError::Heap(_) => ErrorCode::Heap,
+            StoreError::KeyTooLong { .. } => ErrorCode::KeyTooLong,
+            StoreError::ValueTooLong { .. } => ErrorCode::ValueTooLong,
+            StoreError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
+        }
+    }
+
+    /// Whether this code reports a detected attack on store integrity.
+    pub fn is_integrity_violation(&self) -> bool {
+        (*self as u16) < 16
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?} ({})", *self as u16)
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Fetch one key.
+    Get {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Insert or update one key.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove one key.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// Fetch several keys in one request.
+    MultiGet {
+        /// The keys, answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// Insert or update several pairs in one request.
+    PutBatch {
+        /// The pairs, applied in order.
+        pairs: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Server/store statistics.
+    Stats,
+}
+
+/// Server statistics returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Number of store shards.
+    pub shards: u32,
+    /// Live keys across all shards.
+    pub len: u64,
+    /// Operations served since the server started (batch items count
+    /// individually).
+    pub ops_served: u64,
+    /// Connections currently open.
+    pub active_connections: u32,
+    /// Connections accepted since start.
+    pub connections_accepted: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Get`].
+    Value(Option<Vec<u8>>),
+    /// Answer to a successful [`Request::Put`].
+    PutOk,
+    /// Answer to [`Request::Delete`]; `true` if the key existed.
+    Deleted(bool),
+    /// Answer to [`Request::MultiGet`], one entry per key in order.
+    Values(Vec<Result<Option<Vec<u8>>, ErrorCode>>),
+    /// Answer to [`Request::PutBatch`], one entry per pair in order.
+    BatchStatus(Vec<Result<(), ErrorCode>>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// The request (or, with id [`CONTROL_ID`], the connection) failed.
+    Error {
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable detail for logs; never required for handling.
+        message: String,
+    },
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame declared a length over [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Declared length.
+        len: usize,
+    },
+    /// The frame body did not parse as its opcode's layout.
+    Malformed,
+    /// The opcode is not part of the protocol (version mismatch?).
+    UnknownOpcode(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit")
+            }
+            WireError::Malformed => write!(f, "malformed frame body"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Append one framed message; `body` writes everything after the id.
+fn frame(out: &mut Vec<u8>, opcode: u8, id: u64, body: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    out.push(opcode);
+    put_u64(out, id);
+    body(out);
+    let frame_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+}
+
+/// Append `req` as one frame to `out`.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
+    match req {
+        Request::Ping => frame(out, OP_PING, id, |_| {}),
+        Request::Get { key } => frame(out, OP_GET, id, |b| put_bytes(b, key)),
+        Request::Put { key, value } => frame(out, OP_PUT, id, |b| {
+            put_bytes(b, key);
+            put_bytes(b, value);
+        }),
+        Request::Delete { key } => frame(out, OP_DELETE, id, |b| put_bytes(b, key)),
+        Request::MultiGet { keys } => frame(out, OP_MULTI_GET, id, |b| {
+            put_u32(b, keys.len() as u32);
+            for key in keys {
+                put_bytes(b, key);
+            }
+        }),
+        Request::PutBatch { pairs } => frame(out, OP_PUT_BATCH, id, |b| {
+            put_u32(b, pairs.len() as u32);
+            for (key, value) in pairs {
+                put_bytes(b, key);
+                put_bytes(b, value);
+            }
+        }),
+        Request::Stats => frame(out, OP_STATS, id, |_| {}),
+    }
+}
+
+/// Append `resp` as one frame to `out`.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
+    match resp {
+        Response::Pong => frame(out, OP_PONG, id, |_| {}),
+        Response::Value(v) => frame(out, OP_VALUE, id, |b| match v {
+            Some(v) => {
+                b.push(1);
+                put_bytes(b, v);
+            }
+            None => b.push(0),
+        }),
+        Response::PutOk => frame(out, OP_PUT_OK, id, |_| {}),
+        Response::Deleted(existed) => frame(out, OP_DELETED, id, |b| b.push(*existed as u8)),
+        Response::Values(items) => frame(out, OP_VALUES, id, |b| {
+            put_u32(b, items.len() as u32);
+            for item in items {
+                match item {
+                    Ok(None) => b.push(0),
+                    Ok(Some(v)) => {
+                        b.push(1);
+                        put_bytes(b, v);
+                    }
+                    Err(code) => {
+                        b.push(2);
+                        put_u16(b, *code as u16);
+                    }
+                }
+            }
+        }),
+        Response::BatchStatus(items) => frame(out, OP_BATCH_STATUS, id, |b| {
+            put_u32(b, items.len() as u32);
+            for item in items {
+                put_u16(b, item.as_ref().err().map(|c| *c as u16).unwrap_or(0));
+            }
+        }),
+        Response::Stats(s) => frame(out, OP_STATS_REPLY, id, |b| {
+            put_u32(b, s.shards);
+            put_u64(b, s.len);
+            put_u64(b, s.ops_served);
+            put_u32(b, s.active_connections);
+            put_u64(b, s.connections_accepted);
+        }),
+        Response::Error { code, message } => frame(out, OP_ERROR, id, |b| {
+            put_u16(b, *code as u16);
+            put_bytes(b, message.as_bytes());
+        }),
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finished(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed)
+        }
+    }
+}
+
+/// Result of trying to peel one frame off a byte buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Decoded<T> {
+    /// A complete frame: (bytes consumed, request id, message).
+    Frame(usize, u64, T),
+    /// Not enough bytes buffered for a complete frame yet.
+    Incomplete,
+}
+
+/// (bytes consumed, opcode, request id, body).
+type RawFrame<'a> = (usize, u8, u64, &'a [u8]);
+
+fn split_frame(buf: &[u8]) -> Result<Option<RawFrame<'_>>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let frame_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if frame_len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len: frame_len });
+    }
+    if frame_len < FRAME_HEADER_LEN {
+        return Err(WireError::Malformed);
+    }
+    if buf.len() < 4 + frame_len {
+        return Ok(None);
+    }
+    let opcode = buf[4];
+    let id = u64::from_le_bytes(buf[5..13].try_into().unwrap());
+    Ok(Some((4 + frame_len, opcode, id, &buf[13..4 + frame_len])))
+}
+
+/// Decode one request frame from the front of `buf`.
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
+    let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
+        return Ok(Decoded::Incomplete);
+    };
+    let mut c = Cursor { buf: body, pos: 0 };
+    let req = match opcode {
+        OP_PING => Request::Ping,
+        OP_GET => Request::Get { key: c.bytes()? },
+        OP_PUT => Request::Put { key: c.bytes()?, value: c.bytes()? },
+        OP_DELETE => Request::Delete { key: c.bytes()? },
+        OP_MULTI_GET => {
+            let n = c.u32()? as usize;
+            // A count can't promise more items than bytes remain.
+            if n > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(c.bytes()?);
+            }
+            Request::MultiGet { keys }
+        }
+        OP_PUT_BATCH => {
+            let n = c.u32()? as usize;
+            if n > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((c.bytes()?, c.bytes()?));
+            }
+            Request::PutBatch { pairs }
+        }
+        OP_STATS => Request::Stats,
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.finished()?;
+    Ok(Decoded::Frame(consumed, id, req))
+}
+
+/// Decode one response frame from the front of `buf`.
+pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
+    let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
+        return Ok(Decoded::Incomplete);
+    };
+    let mut c = Cursor { buf: body, pos: 0 };
+    let resp = match opcode {
+        OP_PONG => Response::Pong,
+        OP_VALUE => match c.u8()? {
+            0 => Response::Value(None),
+            1 => Response::Value(Some(c.bytes()?)),
+            _ => return Err(WireError::Malformed),
+        },
+        OP_PUT_OK => Response::PutOk,
+        OP_DELETED => Response::Deleted(c.u8()? != 0),
+        OP_VALUES => {
+            let n = c.u32()? as usize;
+            if n > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(match c.u8()? {
+                    0 => Ok(None),
+                    1 => Ok(Some(c.bytes()?)),
+                    2 => Err(ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?),
+                    _ => return Err(WireError::Malformed),
+                });
+            }
+            Response::Values(items)
+        }
+        OP_BATCH_STATUS => {
+            let n = c.u32()? as usize;
+            if n > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(match c.u16()? {
+                    0 => Ok(()),
+                    code => Err(ErrorCode::from_u16(code).ok_or(WireError::Malformed)?),
+                });
+            }
+            Response::BatchStatus(items)
+        }
+        OP_STATS_REPLY => Response::Stats(StatsReply {
+            shards: c.u32()?,
+            len: c.u64()?,
+            ops_served: c.u64()?,
+            active_connections: c.u32()?,
+            connections_accepted: c.u64()?,
+        }),
+        OP_ERROR => Response::Error {
+            code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
+            message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
+        },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.finished()?;
+    Ok(Decoded::Frame(consumed, id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 7, &req);
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame(consumed, id, got) => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(id, 7);
+                assert_eq!(got, req);
+            }
+            Decoded::Incomplete => panic!("complete frame decoded as incomplete"),
+        }
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 99, &resp);
+        match decode_response(&buf).unwrap() {
+            Decoded::Frame(consumed, id, got) => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(id, 99);
+                assert_eq!(got, resp);
+            }
+            Decoded::Incomplete => panic!("complete frame decoded as incomplete"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Get { key: b"k".to_vec() });
+        round_trip_request(Request::Put { key: b"k".to_vec(), value: b"v".to_vec() });
+        round_trip_request(Request::Delete { key: vec![] });
+        round_trip_request(Request::MultiGet { keys: vec![b"a".to_vec(), vec![], b"c".to_vec()] });
+        round_trip_request(Request::PutBatch {
+            pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![0u8; 300])],
+        });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Value(None));
+        round_trip_response(Response::Value(Some(b"v".to_vec())));
+        round_trip_response(Response::PutOk);
+        round_trip_response(Response::Deleted(true));
+        round_trip_response(Response::Values(vec![
+            Ok(None),
+            Ok(Some(b"x".to_vec())),
+            Err(ErrorCode::EntryMacMismatch),
+        ]));
+        round_trip_response(Response::BatchStatus(vec![Ok(()), Err(ErrorCode::ShardUnavailable)]));
+        round_trip_response(Response::Stats(StatsReply {
+            shards: 4,
+            len: 123,
+            ops_served: 456,
+            active_connections: 2,
+            connections_accepted: 9,
+        }));
+        round_trip_response(Response::Error {
+            code: ErrorCode::TooManyConnections,
+            message: "busy".to_string(),
+        });
+    }
+
+    #[test]
+    fn partial_frames_are_incomplete_not_errors() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::Put { key: b"key".to_vec(), value: b"val".to_vec() });
+        for cut in 0..buf.len() {
+            assert_eq!(decode_request(&buf[..cut]).unwrap(), Decoded::Incomplete, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for id in 1..=5u64 {
+            encode_request(&mut buf, id, &Request::Get { key: vec![id as u8] });
+        }
+        let mut offset = 0;
+        for want in 1..=5u64 {
+            match decode_request(&buf[offset..]).unwrap() {
+                Decoded::Frame(consumed, id, Request::Get { key }) => {
+                    assert_eq!(id, want);
+                    assert_eq!(key, vec![want as u8]);
+                    offset += consumed;
+                }
+                other => panic!("unexpected decode {other:?}"),
+            }
+        }
+        assert_eq!(offset, buf.len());
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_are_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, (MAX_FRAME_LEN + 1) as u32);
+        assert!(matches!(decode_request(&buf), Err(WireError::FrameTooLarge { .. })));
+
+        let mut buf = Vec::new();
+        frame(&mut buf, 0x6F, 3, |_| {});
+        assert_eq!(decode_request(&buf), Err(WireError::UnknownOpcode(0x6F)));
+
+        // A truncated body inside a complete frame is malformed.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_GET, 3, |b| put_u32(b, 100));
+        assert_eq!(decode_request(&buf), Err(WireError::Malformed));
+
+        // Trailing junk after a valid body is malformed too.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_PING, 3, |b| b.push(0));
+        assert_eq!(decode_request(&buf), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_reversible() {
+        for code in [
+            ErrorCode::MerkleMismatch,
+            ErrorCode::EntryMacMismatch,
+            ErrorCode::CounterReuse,
+            ErrorCode::UnauthorizedDeletion,
+            ErrorCode::AllocatorMetadata,
+            ErrorCode::CorruptPointer,
+            ErrorCode::EpcExhausted,
+            ErrorCode::CountersExhausted,
+            ErrorCode::Heap,
+            ErrorCode::KeyTooLong,
+            ErrorCode::ValueTooLong,
+            ErrorCode::ShardUnavailable,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::ShuttingDown,
+            ErrorCode::TooManyConnections,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(9999), None);
+    }
+
+    #[test]
+    fn store_errors_map_to_codes() {
+        assert_eq!(
+            ErrorCode::from_store_error(&StoreError::Integrity(Violation::EntryMacMismatch)),
+            ErrorCode::EntryMacMismatch
+        );
+        assert!(ErrorCode::from_store_error(&StoreError::Integrity(Violation::CounterReuse {
+            counter: 9
+        }))
+        .is_integrity_violation());
+        let shard = StoreError::ShardUnavailable { shard: 3 };
+        assert_eq!(ErrorCode::from_store_error(&shard), ErrorCode::ShardUnavailable);
+        assert!(!ErrorCode::from_store_error(&shard).is_integrity_violation());
+    }
+}

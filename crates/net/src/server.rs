@@ -1,0 +1,491 @@
+//! `AriaServer`: a thread-per-connection TCP front door over a
+//! [`ShardedStore`].
+//!
+//! Each accepted connection gets a dedicated thread that repeatedly
+//! decodes a *pipeline window* — every complete request frame already
+//! buffered, up to [`ServerConfig::pipeline_window`] — and dispatches
+//! the whole window as **one** [`ShardedStore::run_batch`] call. The
+//! sharded layer then partitions the window across shards and coalesces
+//! same-kind runs into `multi_get`/`put_batch`, so a deeply pipelined
+//! client amortizes per-request fixed costs exactly like an in-process
+//! batch caller.
+//!
+//! # Ordering
+//!
+//! Responses are written in request order per connection. Requests on
+//! the *same key* (same shard) are applied in order even within a
+//! window; requests on different shards may interleave — identical to
+//! the in-process [`ShardedStore::run_batch`] contract.
+//!
+//! # Backpressure
+//!
+//! The per-connection write buffer is bounded by
+//! [`ServerConfig::write_buffer_limit`]: once a window's responses are
+//! encoded (or the limit is hit mid-window) the buffer is flushed with
+//! [`ServerConfig::write_timeout`] before any further request is read.
+//! A client that stops draining responses therefore stops being read —
+//! and, once its flush times out, is disconnected — instead of growing
+//! an unbounded queue inside the server.
+//!
+//! # Shutdown
+//!
+//! [`AriaServer::shutdown`] stops the acceptor, lets every connection
+//! finish the window it is processing (all its responses are flushed —
+//! no acknowledged write is lost), closes the sockets and joins all
+//! threads. Requests that were buffered but not yet decoded are
+//! abandoned; their clients observe a clean connection close, never a
+//! hang.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
+use aria_store::KvStore;
+
+use crate::proto::{self, Decoded, ErrorCode, Request, Response, StatsReply, WireError};
+
+/// How often blocked reads and the acceptor wake to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Read chunk size for connection sockets.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Tuning knobs for [`AriaServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections beyond this are rejected with
+    /// [`ErrorCode::TooManyConnections`] and closed.
+    pub max_connections: usize,
+    /// Max requests decoded and dispatched as one store batch.
+    pub pipeline_window: usize,
+    /// Bound on buffered response bytes before a flush is forced.
+    pub write_buffer_limit: usize,
+    /// A response flush slower than this disconnects the client.
+    pub write_timeout: Duration,
+    /// Close a connection with no complete request for this long
+    /// (`None`: idle connections are kept forever).
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            pipeline_window: 256,
+            write_buffer_limit: 256 * 1024,
+            write_timeout: Duration::from_secs(5),
+            read_timeout: None,
+        }
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    ops_served: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running TCP server; dropping (or [`AriaServer::shutdown`]) drains
+/// and joins every thread it spawned.
+pub struct AriaServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl AriaServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `store` with the given configuration.
+    pub fn bind<S, A>(
+        addr: A,
+        store: Arc<ShardedStore<S>>,
+        config: ServerConfig,
+    ) -> io::Result<AriaServer>
+    where
+        S: KvStore + Send + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            ops_served: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("aria-accept".to_string())
+                .spawn(move || accept_loop(listener, store, shared, config))
+                .expect("spawn acceptor thread")
+        };
+        Ok(AriaServer { addr, shared, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Operations served since start (batch items count individually).
+    pub fn ops_served(&self) -> u64 {
+        self.shared.ops_served.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, finish and flush every
+    /// connection's in-flight window, join all threads. Idempotent with
+    /// `Drop`; returns once everything is joined.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AriaServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for AriaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AriaServer")
+            .field("addr", &self.addr)
+            .field("active", &self.active_connections())
+            .finish()
+    }
+}
+
+fn accept_loop<S: KvStore + Send + 'static>(
+    listener: TcpListener,
+    store: Arc<ShardedStore<S>>,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+) {
+    let mut conn_seq = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                reap_finished(&shared);
+                if shared.active.load(Ordering::SeqCst) >= config.max_connections {
+                    reject_connection(stream, &config);
+                    continue;
+                }
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.accepted.fetch_add(1, Ordering::SeqCst);
+                conn_seq += 1;
+                let store = Arc::clone(&store);
+                let conn_shared = Arc::clone(&shared);
+                let cfg = config.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("aria-conn-{conn_seq}"))
+                    .spawn(move || {
+                        serve_connection(stream, store, &conn_shared, &cfg);
+                        conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn connection thread");
+                shared.conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Join connection threads that already returned so the registry does
+/// not grow with every connection ever accepted.
+fn reap_finished(shared: &Shared) {
+    let mut conns = shared.conns.lock().unwrap();
+    let mut keep = Vec::with_capacity(conns.len());
+    for handle in conns.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            keep.push(handle);
+        }
+    }
+    *conns = keep;
+}
+
+/// Over the connection limit: tell the client why, then hang up.
+fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut buf = Vec::new();
+    proto::encode_response(
+        &mut buf,
+        proto::CONTROL_ID,
+        &Response::Error {
+            code: ErrorCode::TooManyConnections,
+            message: "connection limit reached".to_string(),
+        },
+    );
+    let _ = stream.write_all(&buf);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// What one request expects back from the flattened store batch.
+enum Slot {
+    Pong,
+    Stats,
+    Get,
+    Put,
+    Delete,
+    MultiGet(usize),
+    PutBatch(usize),
+}
+
+fn serve_connection<S: KvStore + Send + 'static>(
+    mut stream: TcpStream,
+    store: Arc<ShardedStore<S>>,
+    shared: &Shared,
+    cfg: &ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut roff = 0usize;
+    let mut wbuf: Vec<u8> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut last_request = Instant::now();
+
+    'conn: loop {
+        // Decode one pipeline window from what is already buffered.
+        let mut window: Vec<(u64, Request)> = Vec::new();
+        let mut wire_failure: Option<WireError> = None;
+        while window.len() < cfg.pipeline_window {
+            match proto::decode_request(&rbuf[roff..]) {
+                Ok(Decoded::Frame(consumed, id, req)) => {
+                    roff += consumed;
+                    window.push((id, req));
+                }
+                Ok(Decoded::Incomplete) => break,
+                Err(e) => {
+                    wire_failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if roff == rbuf.len() {
+            rbuf.clear();
+            roff = 0;
+        } else if roff > READ_CHUNK {
+            rbuf.drain(..roff);
+            roff = 0;
+        }
+
+        if !window.is_empty() {
+            last_request = Instant::now();
+            if dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, window).is_err() {
+                break 'conn;
+            }
+        }
+
+        if let Some(e) = wire_failure {
+            // The valid prefix was served; report the poisoned stream as
+            // a connection-level error and hang up (resynchronization is
+            // impossible once framing is lost).
+            let code = match e {
+                WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+                WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+                WireError::Malformed => ErrorCode::BadRequest,
+            };
+            proto::encode_response(
+                &mut wbuf,
+                proto::CONTROL_ID,
+                &Response::Error { code, message: e.to_string() },
+            );
+            let _ = flush(&mut stream, &mut wbuf);
+            break 'conn;
+        }
+
+        if !window_possible(&rbuf[roff..]) {
+            // Fully drained and answered; now is the clean point to stop.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'conn;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break 'conn, // peer closed
+                Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if let Some(limit) = cfg.read_timeout {
+                        if last_request.elapsed() > limit {
+                            break 'conn;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break 'conn,
+            }
+        }
+    }
+    let _ = flush(&mut stream, &mut wbuf);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Whether the buffered bytes could still contain a complete frame.
+fn window_possible(buf: &[u8]) -> bool {
+    matches!(proto::decode_request(buf), Ok(Decoded::Frame(..)) | Err(_))
+}
+
+/// Flatten a window into one store batch, run it, and stream the
+/// responses out (flushing whenever the write buffer tops its bound).
+fn dispatch_window<S: KvStore + Send + 'static>(
+    store: &ShardedStore<S>,
+    shared: &Shared,
+    cfg: &ServerConfig,
+    stream: &mut TcpStream,
+    wbuf: &mut Vec<u8>,
+    window: Vec<(u64, Request)>,
+) -> io::Result<()> {
+    let mut ops: Vec<BatchOp> = Vec::new();
+    let mut plan: Vec<(u64, Slot)> = Vec::with_capacity(window.len());
+    let mut control = 0u64; // pings + stats, served without store ops
+    for (id, req) in window {
+        match req {
+            Request::Ping => {
+                control += 1;
+                plan.push((id, Slot::Pong));
+            }
+            Request::Stats => {
+                control += 1;
+                plan.push((id, Slot::Stats));
+            }
+            Request::Get { key } => {
+                ops.push(BatchOp::Get(key));
+                plan.push((id, Slot::Get));
+            }
+            Request::Put { key, value } => {
+                ops.push(BatchOp::Put(key, value));
+                plan.push((id, Slot::Put));
+            }
+            Request::Delete { key } => {
+                ops.push(BatchOp::Delete(key));
+                plan.push((id, Slot::Delete));
+            }
+            Request::MultiGet { keys } => {
+                let n = keys.len();
+                ops.extend(keys.into_iter().map(BatchOp::Get));
+                plan.push((id, Slot::MultiGet(n)));
+            }
+            Request::PutBatch { pairs } => {
+                let n = pairs.len();
+                ops.extend(pairs.into_iter().map(|(k, v)| BatchOp::Put(k, v)));
+                plan.push((id, Slot::PutBatch(n)));
+            }
+        }
+    }
+    shared.ops_served.fetch_add(ops.len() as u64 + control, Ordering::Relaxed);
+
+    let mut replies = store.run_batch(ops).into_iter();
+    for (id, slot) in plan {
+        let resp = match slot {
+            Slot::Pong => Response::Pong,
+            Slot::Stats => Response::Stats(StatsReply {
+                shards: store.shards() as u32,
+                len: store.len(),
+                ops_served: shared.ops_served.load(Ordering::Relaxed),
+                active_connections: shared.active.load(Ordering::SeqCst) as u32,
+                connections_accepted: shared.accepted.load(Ordering::SeqCst),
+            }),
+            Slot::Get => match next_get(&mut replies) {
+                Ok(v) => Response::Value(v),
+                Err(e) => error_response(&e),
+            },
+            Slot::Put => match next_put(&mut replies) {
+                Ok(()) => Response::PutOk,
+                Err(e) => error_response(&e),
+            },
+            Slot::Delete => match next_delete(&mut replies) {
+                Ok(existed) => Response::Deleted(existed),
+                Err(e) => error_response(&e),
+            },
+            Slot::MultiGet(n) => Response::Values(
+                (0..n)
+                    .map(|_| next_get(&mut replies).map_err(|e| ErrorCode::from_store_error(&e)))
+                    .collect(),
+            ),
+            Slot::PutBatch(n) => Response::BatchStatus(
+                (0..n)
+                    .map(|_| next_put(&mut replies).map_err(|e| ErrorCode::from_store_error(&e)))
+                    .collect(),
+            ),
+        };
+        proto::encode_response(wbuf, id, &resp);
+        if wbuf.len() >= cfg.write_buffer_limit {
+            flush(stream, wbuf)?;
+        }
+    }
+    // Every response of the window is acknowledged before more requests
+    // are read: the flush is both the backpressure point and what makes
+    // graceful shutdown lose nothing that was acked.
+    flush(stream, wbuf)
+}
+
+fn error_response(e: &aria_store::StoreError) -> Response {
+    Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
+}
+
+fn next_get(
+    replies: &mut impl Iterator<Item = BatchReply>,
+) -> Result<Option<Vec<u8>>, aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Get(r)) => r,
+        _ => unreachable!("store answered a get slot with a non-get reply"),
+    }
+}
+
+fn next_put(replies: &mut impl Iterator<Item = BatchReply>) -> Result<(), aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Put(r)) => r,
+        _ => unreachable!("store answered a put slot with a non-put reply"),
+    }
+}
+
+fn next_delete(
+    replies: &mut impl Iterator<Item = BatchReply>,
+) -> Result<bool, aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Delete(r)) => r,
+        _ => unreachable!("store answered a delete slot with a non-delete reply"),
+    }
+}
+
+fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>) -> io::Result<()> {
+    if wbuf.is_empty() {
+        return Ok(());
+    }
+    // write_all + a write timeout on the socket: a consumer slower than
+    // the timeout is treated as gone.
+    stream.write_all(wbuf)?;
+    wbuf.clear();
+    Ok(())
+}

@@ -31,6 +31,23 @@ pub enum Violation {
     CorruptPointer,
 }
 
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MerkleMismatch { level, index } => {
+                write!(f, "Merkle node (level {level}, index {index}) failed verification")
+            }
+            Violation::EntryMacMismatch => write!(f, "entry MAC mismatch"),
+            Violation::CounterReuse { counter } => {
+                write!(f, "counter {counter} reuse detected")
+            }
+            Violation::UnauthorizedDeletion => write!(f, "unauthorized deletion detected"),
+            Violation::AllocatorMetadata => write!(f, "allocator metadata inconsistent"),
+            Violation::CorruptPointer => write!(f, "corrupt untrusted pointer"),
+        }
+    }
+}
+
 /// Errors returned by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -52,17 +69,27 @@ pub enum StoreError {
         /// Offending length.
         len: usize,
     },
+    /// A [`crate::sharded::ShardedStore`] worker is gone (its thread
+    /// panicked or was torn down); operations routed to it cannot be
+    /// served. Other shards remain fully available.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StoreError::Integrity(v) => write!(f, "integrity violation detected: {v:?}"),
+            StoreError::Integrity(v) => write!(f, "integrity violation detected: {v}"),
             StoreError::EpcExhausted => write!(f, "EPC exhausted"),
             StoreError::CountersExhausted => write!(f, "counter area exhausted"),
             StoreError::Heap(e) => write!(f, "untrusted heap error: {e}"),
             StoreError::KeyTooLong { len } => write!(f, "key too long: {len} bytes"),
             StoreError::ValueTooLong { len } => write!(f, "value too long: {len} bytes"),
+            StoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} unavailable (worker gone)")
+            }
         }
     }
 }

@@ -99,6 +99,34 @@ enum Request<S> {
     Exec(Box<dyn FnOnce(&mut S) + Send>),
 }
 
+/// The kind of a [`BatchOp`], kept so a reply of the right shape can be
+/// synthesized when a shard worker dies mid-request.
+#[derive(Clone, Copy)]
+enum OpKind {
+    Get,
+    Put,
+    Delete,
+}
+
+impl OpKind {
+    fn of(op: &BatchOp) -> OpKind {
+        match op {
+            BatchOp::Get(_) => OpKind::Get,
+            BatchOp::Put(..) => OpKind::Put,
+            BatchOp::Delete(_) => OpKind::Delete,
+        }
+    }
+
+    fn unavailable(self, shard: usize) -> BatchReply {
+        let err = StoreError::ShardUnavailable { shard };
+        match self {
+            OpKind::Get => BatchReply::Get(Err(err)),
+            OpKind::Put => BatchReply::Put(Err(err)),
+            OpKind::Delete => BatchReply::Delete(Err(err)),
+        }
+    }
+}
+
 /// A `Send + Sync` front-end multiplexing client threads onto `N`
 /// single-threaded store shards (see the module docs).
 ///
@@ -232,35 +260,55 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// same shard keep their relative order; ops on *different* shards
     /// run concurrently, so a batch should not rely on cross-key
     /// ordering (same as issuing them from independent clients).
+    /// A worker whose thread has died (e.g. a panic in the underlying
+    /// store) never hangs the caller: its ops come back as
+    /// [`StoreError::ShardUnavailable`] while other shards answer
+    /// normally.
     pub fn run_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
         let shards = self.senders.len();
         let total = ops.len();
         let mut per_shard_ops: Vec<Vec<BatchOp>> = (0..shards).map(|_| Vec::new()).collect();
         let mut per_shard_idx: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut per_shard_kinds: Vec<Vec<OpKind>> = (0..shards).map(|_| Vec::new()).collect();
         for (i, op) in ops.into_iter().enumerate() {
             let shard = self.shard_of(op.key());
             per_shard_idx[shard].push(i);
+            per_shard_kinds[shard].push(OpKind::of(&op));
             per_shard_ops[shard].push(op);
         }
         // Send every shard its slice first so they all work in parallel,
         // then collect.
+        let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
+        let fill_unavailable = |out: &mut Vec<Option<BatchReply>>, shard: usize| {
+            for (&i, &kind) in per_shard_idx[shard].iter().zip(&per_shard_kinds[shard]) {
+                out[i] = Some(kind.unavailable(shard));
+            }
+        };
         let mut pending = Vec::new();
         for (shard, ops) in per_shard_ops.into_iter().enumerate() {
             if ops.is_empty() {
                 continue;
             }
             let (tx, rx) = mpsc::channel();
-            self.senders[shard]
-                .send(Request::Ops { ops, reply: tx })
-                .expect("shard worker disconnected");
+            if self.senders[shard].send(Request::Ops { ops, reply: tx }).is_err() {
+                // Worker gone: the channel hands the request back and we
+                // answer for the dead shard instead of panicking.
+                fill_unavailable(&mut out, shard);
+                continue;
+            }
             pending.push((shard, rx));
         }
-        let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
         for (shard, rx) in pending {
-            let replies = rx.recv().expect("shard worker dropped a reply");
-            debug_assert_eq!(replies.len(), per_shard_idx[shard].len());
-            for (&i, reply) in per_shard_idx[shard].iter().zip(replies) {
-                out[i] = Some(reply);
+            match rx.recv() {
+                Ok(replies) => {
+                    debug_assert_eq!(replies.len(), per_shard_idx[shard].len());
+                    for (&i, reply) in per_shard_idx[shard].iter().zip(replies) {
+                        out[i] = Some(reply);
+                    }
+                }
+                // Worker died after accepting the request (reply sender
+                // dropped during unwind) — same typed error, no hang.
+                Err(_) => fill_unavailable(&mut out, shard),
             }
         }
         out.into_iter().map(|r| r.expect("every op answered")).collect()
@@ -310,6 +358,11 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// Run `f` on one shard's store, blocking for the result. This is
     /// the escape hatch for store-specific APIs (attack injection,
     /// memory accounting) that the generic front-end does not mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's worker thread has died; unlike the op
+    /// paths there is no result shape to carry a typed error in.
     pub fn with_shard<R, F>(&self, shard: usize, f: F) -> R
     where
         R: Send + 'static,
@@ -349,13 +402,31 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
 
     fn request_one(&self, op: BatchOp) -> BatchReply {
         let shard = self.shard_of(op.key());
+        let kind = OpKind::of(&op);
         let (tx, rx) = mpsc::channel();
-        self.senders[shard]
-            .send(Request::Ops { ops: vec![op], reply: tx })
-            .expect("shard worker disconnected");
-        let mut replies = rx.recv().expect("shard worker dropped a reply");
-        debug_assert_eq!(replies.len(), 1);
-        replies.pop().expect("one reply per op")
+        if self.senders[shard].send(Request::Ops { ops: vec![op], reply: tx }).is_err() {
+            return kind.unavailable(shard);
+        }
+        match rx.recv() {
+            Ok(mut replies) => {
+                debug_assert_eq!(replies.len(), 1);
+                replies.pop().expect("one reply per op")
+            }
+            Err(_) => kind.unavailable(shard),
+        }
+    }
+
+    /// Send `f` to a shard worker without waiting for it to run
+    /// (fire-and-forget [`ShardedStore::with_shard`]). Returns `false` if
+    /// the worker is gone. Besides async maintenance work, this is the
+    /// fault-injection hook: a closure that panics kills the worker
+    /// thread, after which ops routed to the shard report
+    /// [`StoreError::ShardUnavailable`].
+    pub fn exec_detached<F>(&self, shard: usize, f: F) -> bool
+    where
+        F: FnOnce(&mut S) + Send + 'static,
+    {
+        self.senders[shard].send(Request::Exec(Box::new(f))).is_ok()
     }
 }
 
@@ -569,6 +640,70 @@ mod tests {
         assert_eq!(len, 1);
         let other = store.with_shard(1 - shard, |s| s.len());
         assert_eq!(other, 0);
+    }
+
+    #[test]
+    fn dead_worker_yields_typed_error_not_hang() {
+        let store = small_sharded(4);
+        store.put(b"seed", b"v").unwrap();
+        let dead = store.shard_of(b"seed");
+        // Kill one worker; its queue closes once the panic unwinds.
+        assert!(store.exec_detached(dead, |_| panic!("injected worker crash")));
+        // Wait for the channel to actually disconnect (bounded).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match store.get(b"seed") {
+                Err(StoreError::ShardUnavailable { shard }) => {
+                    assert_eq!(shard, dead);
+                    break;
+                }
+                _ if std::time::Instant::now() < deadline => std::thread::yield_now(),
+                other => panic!("worker never died: {other:?}"),
+            }
+        }
+        assert_eq!(store.put(b"seed", b"w"), Err(StoreError::ShardUnavailable { shard: dead }));
+        assert_eq!(store.delete(b"seed"), Err(StoreError::ShardUnavailable { shard: dead }));
+        // A batch spanning live and dead shards: dead shard's ops carry
+        // the typed error, live shards still answer.
+        let ops: Vec<BatchOp> =
+            (0..64u32).map(|i| BatchOp::Put(format!("k{i}").into_bytes(), vec![1])).collect();
+        let keys: Vec<Vec<u8>> = (0..64u32).map(|i| format!("k{i}").into_bytes()).collect();
+        let replies = store.run_batch(ops);
+        let mut dead_ops = 0;
+        let mut live_ops = 0;
+        for (key, reply) in keys.iter().zip(replies) {
+            if store.shard_of(key) == dead {
+                assert_eq!(
+                    reply,
+                    BatchReply::Put(Err(StoreError::ShardUnavailable { shard: dead }))
+                );
+                dead_ops += 1;
+            } else {
+                assert_eq!(reply, BatchReply::Put(Ok(())));
+                live_ops += 1;
+            }
+        }
+        assert!(dead_ops > 0 && live_ops > 0, "want both shard fates exercised");
+    }
+
+    #[test]
+    fn drop_joins_workers_with_queued_ops() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let store = small_sharded(2);
+        let applied = Arc::new(AtomicU64::new(0));
+        // Stall the worker, then queue work behind the stall; dropping
+        // the store must still drain and join, losing nothing.
+        assert!(
+            store.exec_detached(0, |_| std::thread::sleep(std::time::Duration::from_millis(100)))
+        );
+        for _ in 0..32 {
+            let applied = Arc::clone(&applied);
+            assert!(store.exec_detached(0, move |_| {
+                applied.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(store);
+        assert_eq!(applied.load(Ordering::SeqCst), 32);
     }
 
     #[test]

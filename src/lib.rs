@@ -16,7 +16,9 @@
 //!   (Aria-T) indexes, the `Aria w/o Cache` and `Baseline` comparison
 //!   schemes, and attack-injection APIs;
 //! * [`shieldstore`] — the ShieldStore (EuroSys'19) baseline;
-//! * [`workload`] — YCSB and Facebook-ETC workload generators.
+//! * [`workload`] — YCSB and Facebook-ETC workload generators;
+//! * [`net`] — the pipelined TCP service layer (`AriaServer` /
+//!   `AriaClient` and the binary wire protocol).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use aria_cache as cache;
 pub use aria_crypto as crypto;
 pub use aria_mem as mem;
 pub use aria_merkle as merkle;
+pub use aria_net as net;
 pub use aria_shieldstore as shieldstore;
 pub use aria_sim as sim;
 pub use aria_store as store;
@@ -57,6 +60,7 @@ pub mod prelude {
     pub use aria_cache::{CacheConfig, EvictionPolicy, SwapMode};
     pub use aria_crypto::{CipherSuite, RealSuite};
     pub use aria_mem::AllocStrategy;
+    pub use aria_net::{AriaClient, AriaServer, ClientConfig, ErrorCode, NetError, ServerConfig};
     pub use aria_shieldstore::ShieldStore;
     pub use aria_sim::{CostModel, Enclave, DEFAULT_EPC_BYTES};
     pub use aria_store::{
