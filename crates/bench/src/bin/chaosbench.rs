@@ -1,0 +1,748 @@
+//! chaosbench — end-to-end robustness harness for the untrusted boundary.
+//!
+//! Runs a zipfian read/write load over the real TCP service layer while
+//! a deterministic, seed-scheduled adversary (`aria-chaos`) corrupts
+//! untrusted state underneath it: bit flips and torn writes on the
+//! sealed-entry write path, stale Merkle-node replays, node flips,
+//! index-connection pointer swaps and free-list metadata tampering.
+//!
+//! The harness asserts the stack's graceful-degradation contract:
+//!
+//! * **no panic, no hang** — a watchdog kills the run (exit 2) if it
+//!   outlives its deadline;
+//! * **no acknowledged-then-wrong read** — every client tracks the last
+//!   acked value per key; a `GET` must return it (or a typed integrity
+//!   error, or a typed quarantine refusal) — never a wrong or silently
+//!   missing value;
+//! * **containment** — a violation quarantines only its shard; siblings
+//!   keep serving (probed live via the `HEALTH` opcode while a shard is
+//!   down) and at least one full quarantine → recovery → re-admission
+//!   cycle is observed;
+//! * **accountability** — every injected fault is either detected
+//!   (typed violation, shard quarantine, final-audit destruction) or
+//!   provably masked (the post-run audit re-verifies every surviving
+//!   entry and the model sweep finds no wrong answers).
+//!
+//! ```sh
+//! cargo run --release -p aria-bench --bin chaosbench -- \
+//!     [--shards 4] [--clients 4] [--keys 8192] [--ops 120000] \
+//!     [--budget 12000] [--heap-rate 600] [--driver-rate 4000] \
+//!     [--watchdog-secs 300] [--smoke] [--out results]
+//! ```
+//!
+//! Results go to `<out>/chaos.json`; the committed `BENCH_chaos.json`
+//! is a snapshot of a full default run.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aria_bench::{git_rev, json_str, print_table, Args, SCHEMA_VERSION};
+use aria_chaos::{ChaosEngine, FaultPlan, FaultSite, HeapInjector, SITE_COUNT};
+use aria_merkle::NodeId;
+use aria_net::{AriaClient, ClientConfig, ErrorCode, NetError};
+use aria_net::{AriaServer, ServerConfig};
+use aria_sim::Enclave;
+use aria_store::sharded::{BatchOp, ShardedStore};
+use aria_store::{AriaHash, KvStore, RecoveryReport, ShardHealth, StoreConfig};
+use aria_workload::{encode_key, ScrambledZipfian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VALUE_LEN: usize = 16;
+const READ_RATIO_PCT: u64 = 50;
+
+/// Pool of stale-node snapshots awaiting replay: (shard, tree, node, bytes).
+type SnapshotPool = Mutex<Vec<(usize, usize, NodeId, Vec<u8>)>>;
+
+/// Encode the value we expect to read back: key id ‖ version.
+fn value_for(key_id: u64, version: u64) -> Vec<u8> {
+    let mut v = vec![0u8; VALUE_LEN];
+    v[..8].copy_from_slice(&key_id.to_le_bytes());
+    v[8..].copy_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn decode_value(bytes: &[u8]) -> Option<(u64, u64)> {
+    if bytes.len() != VALUE_LEN {
+        return None;
+    }
+    let key_id = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+    let version = u64::from_le_bytes(bytes[8..].try_into().ok()?);
+    Some((key_id, version))
+}
+
+/// Per-key client-side model: the set of versions a read may legally
+/// return. Usually one (the last acked write); a put that failed or
+/// timed out may or may not have applied, so its version joins the set
+/// until a successful read re-synchronizes.
+struct KeyModel {
+    acceptable: Vec<u64>,
+    next_version: u64,
+}
+
+#[derive(Default)]
+struct ClientReport {
+    ops: u64,
+    wrong_reads: u64,
+    integrity_errs: u64,
+    destroyed_errs: u64,
+    quarantined_errs: u64,
+    unavailable_errs: u64,
+    transport_errs: u64,
+    other_errs: u64,
+    latencies_us: Vec<f64>,
+}
+
+fn classify(report: &mut ClientReport, err: &NetError) {
+    match err.code() {
+        Some(c) if (c as u16) >= 1 && (c as u16) <= 6 => report.integrity_errs += 1,
+        Some(ErrorCode::DataDestroyed) => report.destroyed_errs += 1,
+        Some(ErrorCode::ShardQuarantined) => report.quarantined_errs += 1,
+        Some(ErrorCode::ShardUnavailable) => report.unavailable_errs += 1,
+        Some(_) => report.other_errs += 1,
+        None => report.transport_errs += 1,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One client: zipfian 50/50 read/write loop over its own key range,
+/// checking every read against the acked-value model.
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: std::net::SocketAddr,
+    base: u64,
+    range: u64,
+    ops: u64,
+    seed: u64,
+    done: Arc<AtomicBool>,
+) -> ClientReport {
+    let mut client =
+        AriaClient::connect(addr, ClientConfig::default()).expect("connect chaos client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ScrambledZipfian::new(range, 0.99);
+    let mut model: HashMap<u64, KeyModel> = HashMap::new();
+    let mut report = ClientReport::default();
+    report.latencies_us.reserve(ops as usize);
+
+    for _ in 0..ops {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let key_id = base + zipf.next(&mut rng);
+        let key = encode_key(key_id);
+        let entry =
+            model.entry(key_id).or_insert(KeyModel { acceptable: vec![0], next_version: 1 });
+        let is_get = rng.gen_range(0..100u64) < READ_RATIO_PCT;
+        let start = Instant::now();
+        if is_get {
+            match client.get(&key) {
+                Ok(Some(bytes)) => match decode_value(&bytes) {
+                    Some((k, v)) if k == key_id && entry.acceptable.contains(&v) => {
+                        entry.acceptable = vec![v];
+                    }
+                    _ => report.wrong_reads += 1,
+                },
+                // Every key is preloaded and never deleted: "absent" is
+                // a silent loss, which the chain verification + trusted
+                // per-bucket counts are supposed to make impossible.
+                Ok(None) => report.wrong_reads += 1,
+                Err(e) => classify(&mut report, &e),
+            }
+        } else {
+            let v = entry.next_version;
+            entry.next_version += 1;
+            match client.put(&key, &value_for(key_id, v)) {
+                Ok(()) => entry.acceptable = vec![v],
+                Err(e) => {
+                    // The put may or may not have applied before the
+                    // error: both versions are now plausible.
+                    entry.acceptable.push(v);
+                    classify(&mut report, &e);
+                }
+            }
+        }
+        report.latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        report.ops += 1;
+    }
+    report
+}
+
+/// Driver-side adversary: consults the engine's schedule and delivers
+/// stale-node replays, node flips, pointer swaps and free-list
+/// tampering to *healthy* shards via detached shard closures.
+#[allow(clippy::too_many_arguments)]
+fn run_driver(
+    store: Arc<ShardedStore<AriaHash>>,
+    engine: Arc<ChaosEngine>,
+    shard_keys: Arc<Vec<Vec<Vec<u8>>>>,
+    snapshots: Arc<SnapshotPool>,
+    delivered: Arc<[AtomicU64; SITE_COUNT]>,
+    done: Arc<AtomicBool>,
+) {
+    let shards = store.shards();
+    let mut tick = 0usize;
+    while !done.load(Ordering::Relaxed) && !engine.budget_spent() {
+        let shard = tick % shards;
+        tick += 1;
+        if store.health_of(shard) != ShardHealth::Healthy {
+            thread::sleep(Duration::from_micros(50));
+            continue;
+        }
+        for site in [
+            FaultSite::StaleNodeReplay,
+            FaultSite::NodeFlip,
+            FaultSite::IndexPointerSwap,
+            FaultSite::FreeListTamper,
+        ] {
+            let Some(entropy) = engine.try_inject(site) else { continue };
+            let delivered = Arc::clone(&delivered);
+            let keys = Arc::clone(&shard_keys);
+            let snapshots = Arc::clone(&snapshots);
+            store.exec_detached(shard, move |st: &mut AriaHash| {
+                let hit = deliver(st, site, shard, entropy, &keys[shard], &snapshots);
+                if hit {
+                    delivered[site as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Execute one driver-side fault against a shard's store. Returns
+/// whether anything was actually mutated.
+fn deliver(
+    st: &mut AriaHash,
+    site: FaultSite,
+    shard: usize,
+    entropy: u64,
+    keys: &[Vec<u8>],
+    snapshots: &SnapshotPool,
+) -> bool {
+    match site {
+        FaultSite::StaleNodeReplay => {
+            let Some(area) = st.core_mut().counters.as_cached_mut() else { return false };
+            let mut pool = snapshots.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(pos) = pool.iter().position(|(s, ..)| *s == shard) {
+                // Replay: write the stale bytes back over the live node.
+                let (_, tree, id, bytes) = pool.swap_remove(pos);
+                drop(pool);
+                if tree >= area.trees() {
+                    return false;
+                }
+                area.cache_mut(tree).tree_mut_raw().write_node(id, &bytes);
+                true
+            } else {
+                // First strike on this shard: capture a snapshot for a
+                // later rollback. Harmless by itself (provably masked).
+                let tree = (entropy % area.trees() as u64) as usize;
+                let mt = area.cache(tree).tree();
+                let (id, _) = mt.locate_counter(entropy.rotate_right(17) % mt.num_counters());
+                let bytes = mt.node(id).to_vec();
+                pool.push((shard, tree, id, bytes));
+                false
+            }
+        }
+        FaultSite::NodeFlip => {
+            let Some(area) = st.core_mut().counters.as_cached_mut() else { return false };
+            let tree = (entropy % area.trees() as u64) as usize;
+            let mt = area.cache_mut(tree).tree_mut_raw();
+            let (id, _) = mt.locate_counter(entropy.rotate_right(13) % mt.num_counters());
+            let node = mt.node_mut_raw(id);
+            let bit = (entropy.rotate_right(29) % (node.len() as u64 * 8)) as usize;
+            node[bit / 8] ^= 1 << (bit % 8);
+            true
+        }
+        FaultSite::IndexPointerSwap => {
+            if keys.len() < 2 {
+                return false;
+            }
+            let a = &keys[(entropy % keys.len() as u64) as usize];
+            let b = &keys[(entropy.rotate_right(23) % keys.len() as u64) as usize];
+            if a == b {
+                return false;
+            }
+            st.attack_swap_bucket_pointers(a, b);
+            true
+        }
+        FaultSite::FreeListTamper => {
+            if keys.is_empty() {
+                return false;
+            }
+            let key = &keys[(entropy % keys.len() as u64) as usize];
+            match st.attack_locate(key) {
+                Some(ptr) => st.core_mut().heap.attack_requeue_block(ptr),
+                None => false,
+            }
+        }
+        // Write-path sites are the HeapInjector's job, not ours.
+        FaultSite::EntryFlip | FaultSite::TornWrite => false,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let shards = args.get("shards", 4usize);
+    let clients = args.get("clients", 4usize);
+    let keys = args.get("keys", 8_192u64);
+    let ops = args.get("ops", if smoke { 16_000u64 } else { 120_000 });
+    let budget = args.get("budget", if smoke { 1_000u64 } else { 12_000 });
+    let heap_rate = args.get("heap-rate", 600u32);
+    let driver_rate = args.get("driver-rate", 4_000u32);
+    let watchdog_secs = args.get("watchdog-secs", if smoke { 180u64 } else { 600 });
+    let seed = args.seed();
+    let out_dir = args.out_dir();
+    let injected_floor = args.get("min-injected", if smoke { 200u64 } else { 10_000 });
+
+    println!(
+        "chaosbench: shards={shards} clients={clients} keys={keys} ops={ops} \
+         budget={budget} heap-rate={heap_rate} driver-rate={driver_rate} seed={seed}"
+    );
+
+    // --- watchdog: no hang, ever -----------------------------------------
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(watchdog_secs);
+            while !done.load(Ordering::Relaxed) {
+                if Instant::now() > deadline {
+                    eprintln!("chaosbench: WATCHDOG — run exceeded {watchdog_secs}s, aborting");
+                    std::process::exit(2);
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+        });
+    }
+
+    // --- store + chaos engine ---------------------------------------------
+    let per_shard_keys = (keys / shards as u64) * 2 + 1_024;
+    let store = Arc::new(
+        ShardedStore::with_shards(shards, move |_| {
+            let suite = Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                as Arc<dyn aria_crypto::CipherSuite>;
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                Some(suite),
+            )
+        })
+        .expect("construct sharded store"),
+    );
+
+    let plan = FaultPlan::new(seed)
+        .with_rate(FaultSite::EntryFlip, heap_rate)
+        .with_rate(FaultSite::TornWrite, heap_rate)
+        .with_rate(FaultSite::StaleNodeReplay, driver_rate)
+        .with_rate(FaultSite::NodeFlip, driver_rate)
+        .with_rate(FaultSite::IndexPointerSwap, driver_rate)
+        .with_rate(FaultSite::FreeListTamper, driver_rate)
+        .with_budget(budget);
+    let engine = ChaosEngine::new(plan);
+    engine.arm(false); // quiet during preload
+    for s in 0..shards {
+        let eng = Arc::clone(&engine);
+        store.with_shard(s, move |st: &mut AriaHash| {
+            HeapInjector::install(&mut st.core_mut().heap, eng);
+        });
+    }
+
+    // --- preload: client keys + per-shard probe keys ----------------------
+    let probe_per_shard = 8u64;
+    let total_keys = keys + shards as u64 * probe_per_shard * 4;
+    let mut batch = Vec::with_capacity(512);
+    let mut probe_keys: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); shards];
+    for id in 0..total_keys {
+        let key = encode_key(id);
+        if id >= keys {
+            let shard = store.shard_of(&key);
+            if (probe_keys[shard].len() as u64) < probe_per_shard {
+                probe_keys[shard].push((id, key.to_vec()));
+            }
+        }
+        batch.push(BatchOp::Put(key.to_vec(), value_for(id, 0)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+
+    // Partition the client keyspace by owning shard for targeted faults.
+    let mut shard_keys: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards];
+    for id in 0..keys {
+        let key = encode_key(id);
+        shard_keys[store.shard_of(&key)].push(key.to_vec());
+    }
+    let shard_keys = Arc::new(shard_keys);
+
+    // --- server ------------------------------------------------------------
+    let server = AriaServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        ServerConfig { max_connections: clients + 8, ..ServerConfig::default() },
+    )
+    .expect("bind chaos server");
+    let addr = server.local_addr();
+
+    // --- health poller: HEALTH opcode, cycle + containment evidence -------
+    let poll_done = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let poll_done = Arc::clone(&poll_done);
+        let store = Arc::clone(&store);
+        let probe_keys = probe_keys.clone();
+        thread::spawn(move || {
+            let mut client =
+                AriaClient::connect(addr, ClientConfig::default()).expect("connect health poller");
+            let mut saw_quarantine = 0u64;
+            let mut sibling_serves = 0u64;
+            let mut max_recoveries = vec![0u64; store.shards()];
+            let mut probe_rng: u64 = 0x1234_5678;
+            while !poll_done.load(Ordering::Relaxed) {
+                if let Ok(reply) = client.health() {
+                    let degraded: Vec<usize> = reply
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, i)| {
+                            matches!(i.health(), ShardHealth::Quarantined | ShardHealth::Recovering)
+                        })
+                        .map(|(s, _)| s)
+                        .collect();
+                    for (s, info) in reply.shards.iter().enumerate() {
+                        max_recoveries[s] = max_recoveries[s].max(info.recoveries);
+                    }
+                    if !degraded.is_empty() {
+                        saw_quarantine += 1;
+                        // Containment probe: a *different*, healthy shard
+                        // must keep answering while this one is down.
+                        let healthy: Vec<usize> = reply
+                            .shards
+                            .iter()
+                            .enumerate()
+                            .filter(|(s, i)| {
+                                i.health() == ShardHealth::Healthy && !degraded.contains(s)
+                            })
+                            .map(|(s, _)| s)
+                            .collect();
+                        if let Some(&s) = healthy.first() {
+                            probe_rng = probe_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let picks = &probe_keys[s];
+                            if !picks.is_empty() {
+                                let (id, key) = &picks[(probe_rng % picks.len() as u64) as usize];
+                                if let Ok(Some(bytes)) = client.get(key) {
+                                    if decode_value(&bytes) == Some((*id, 0)) {
+                                        sibling_serves += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            (saw_quarantine, sibling_serves, max_recoveries)
+        })
+    };
+
+    // --- run: clients + driver-side adversary ------------------------------
+    engine.arm(true);
+    let delivered: Arc<[AtomicU64; SITE_COUNT]> = Arc::new(Default::default());
+    let snapshots = Arc::new(Mutex::new(Vec::new()));
+    let driver = {
+        let store = Arc::clone(&store);
+        let engine = Arc::clone(&engine);
+        let shard_keys = Arc::clone(&shard_keys);
+        let snapshots = Arc::clone(&snapshots);
+        let delivered = Arc::clone(&delivered);
+        let done = Arc::clone(&done);
+        thread::spawn(move || run_driver(store, engine, shard_keys, snapshots, delivered, done))
+    };
+
+    let start = Instant::now();
+    let ops_per_client = ops / clients as u64;
+    let keys_per_client = keys / clients as u64;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            let base = c as u64 * keys_per_client;
+            let cseed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1);
+            thread::spawn(move || {
+                run_client(addr, base, keys_per_client, ops_per_client, cseed, done)
+            })
+        })
+        .collect();
+    let mut report = ClientReport::default();
+    for w in workers {
+        let r = w.join().expect("client thread panicked");
+        report.ops += r.ops;
+        report.wrong_reads += r.wrong_reads;
+        report.integrity_errs += r.integrity_errs;
+        report.destroyed_errs += r.destroyed_errs;
+        report.quarantined_errs += r.quarantined_errs;
+        report.unavailable_errs += r.unavailable_errs;
+        report.transport_errs += r.transport_errs;
+        report.other_errs += r.other_errs;
+        report.latencies_us.extend(r.latencies_us);
+    }
+    let elapsed = start.elapsed();
+    done.store(true, Ordering::Relaxed);
+    driver.join().expect("driver thread panicked");
+
+    // --- settle + disarm + final audit -------------------------------------
+    engine.arm(false);
+    let settle_deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let busy = store
+            .healths()
+            .iter()
+            .any(|h| matches!(h.health, ShardHealth::Quarantined | ShardHealth::Recovering));
+        if !busy || Instant::now() > settle_deadline {
+            assert!(!busy, "quarantined shards failed to settle within 60s");
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    poll_done.store(true, Ordering::Relaxed);
+    let (saw_quarantine, sibling_serves, poll_recoveries) =
+        poller.join().expect("health poller panicked");
+
+    let healths = store.healths();
+    let mut audits: Vec<Option<RecoveryReport>> = Vec::with_capacity(shards);
+    for (s, info) in healths.iter().enumerate() {
+        if info.health == ShardHealth::Dead {
+            audits.push(None);
+            continue;
+        }
+        audits.push(Some(
+            store.with_shard(s, |st: &mut AriaHash| st.recover().expect("final audit")),
+        ));
+    }
+
+    // --- model sweep: every acked value must still read correctly (or
+    // fail with a typed, accounted error) -----------------------------------
+    let mut sweep_client =
+        AriaClient::connect(addr, ClientConfig::default()).expect("connect sweep client");
+    let mut sweep_ok = 0u64;
+    let mut sweep_typed = 0u64;
+    let mut sweep_wrong = 0u64;
+    for id in 0..keys {
+        match sweep_client.get(&encode_key(id)) {
+            Ok(Some(bytes)) => match decode_value(&bytes) {
+                Some((k, _)) if k == id => sweep_ok += 1,
+                _ => sweep_wrong += 1,
+            },
+            Ok(None) => sweep_wrong += 1,
+            Err(e) if e.code().is_some() => sweep_typed += 1,
+            Err(_) => sweep_typed += 1,
+        }
+    }
+    server.shutdown();
+
+    // --- verdict ------------------------------------------------------------
+    let stats = engine.stats();
+    let injected = stats.injected_total;
+    let total_recoveries: u64 = healths.iter().map(|h| h.recoveries).sum();
+    let total_violations: u64 = healths.iter().map(|h| h.violations).sum();
+    let audit_destroyed: u64 = audits.iter().flatten().map(|r| r.entries_destroyed).sum();
+    let audit_condemned: u64 = audits.iter().flatten().map(|r| r.merkle_nodes_condemned).sum();
+    let detected_events = report.integrity_errs
+        + report.destroyed_errs
+        + total_violations
+        + audit_destroyed
+        + audit_condemned;
+
+    report.latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&report.latencies_us, 0.50);
+    let p99 = percentile(&report.latencies_us, 0.99);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, msg: &str| {
+        if !ok {
+            failures.push(msg.to_string());
+        }
+    };
+    check(report.wrong_reads == 0, "acknowledged-then-wrong reads observed");
+    check(sweep_wrong == 0, "final model sweep returned wrong/missing values");
+    check(injected >= injected_floor, "injected fault count below floor");
+    check(total_recoveries >= 1, "no quarantine → recovery → re-admission cycle completed");
+    check(saw_quarantine >= 1, "HEALTH opcode never observed a quarantined shard");
+    check(sibling_serves >= 1, "no healthy sibling served while a shard was quarantined");
+    check(detected_events >= 1, "no injected fault was ever detected");
+    check(p99 < 500_000.0, "p99 latency above 500ms (hang-adjacent)");
+
+    // --- report -------------------------------------------------------------
+    let site_rows: Vec<Vec<String>> = FaultSite::ALL
+        .iter()
+        .map(|&s| {
+            vec![
+                s.name().to_string(),
+                stats.site(s).draws.to_string(),
+                stats.site(s).injected.to_string(),
+                delivered[s as usize].load(Ordering::Relaxed).to_string(),
+            ]
+        })
+        .collect();
+    print_table("chaos sites", &["site", "draws", "injected", "delivered"], &site_rows);
+    let health_rows: Vec<Vec<String>> = healths
+        .iter()
+        .enumerate()
+        .map(|(s, h)| {
+            vec![
+                s.to_string(),
+                h.health.to_string(),
+                h.violations.to_string(),
+                h.recoveries.to_string(),
+                poll_recoveries[s].to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "shard health",
+        &["shard", "state", "violations", "recoveries", "seen-via-HEALTH"],
+        &health_rows,
+    );
+    println!(
+        "ops={} elapsed={:.2}s p50={:.0}us p99={:.0}us wrong_reads={} injected={} \
+         detected_events={} recoveries={} sweep ok/typed/wrong={}/{}/{}",
+        report.ops,
+        elapsed.as_secs_f64(),
+        p50,
+        p99,
+        report.wrong_reads,
+        injected,
+        detected_events,
+        total_recoveries,
+        sweep_ok,
+        sweep_typed,
+        sweep_wrong,
+    );
+
+    write_json(
+        &out_dir,
+        seed,
+        &args,
+        &report,
+        &stats,
+        &delivered,
+        &healths,
+        &audits,
+        (saw_quarantine, sibling_serves),
+        (sweep_ok, sweep_typed, sweep_wrong),
+        (p50, p99),
+        elapsed,
+        &failures,
+    );
+
+    if failures.is_empty() {
+        println!("chaosbench: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("chaosbench: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    out_dir: &str,
+    seed: u64,
+    args: &Args,
+    report: &ClientReport,
+    stats: &aria_chaos::ChaosStats,
+    delivered: &[AtomicU64; SITE_COUNT],
+    healths: &[aria_store::ShardHealthSnapshot],
+    audits: &[Option<RecoveryReport>],
+    (saw_quarantine, sibling_serves): (u64, u64),
+    (sweep_ok, sweep_typed, sweep_wrong): (u64, u64, u64),
+    (p50, p99): (f64, f64),
+    elapsed: Duration,
+    failures: &[String],
+) {
+    let _ = args;
+    let sites = FaultSite::ALL
+        .iter()
+        .map(|&s| {
+            format!(
+                "{{\"site\":{},\"draws\":{},\"injected\":{},\"delivered\":{}}}",
+                json_str(s.name()),
+                stats.site(s).draws,
+                stats.site(s).injected,
+                delivered[s as usize].load(Ordering::Relaxed)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let shard_json = healths
+        .iter()
+        .enumerate()
+        .map(|(s, h)| {
+            let audit = match &audits[s] {
+                Some(r) => format!(
+                    "{{\"entries_verified\":{},\"entries_destroyed\":{},\
+                     \"buckets_poisoned\":{},\"merkle_nodes_condemned\":{},\
+                     \"counters_reinitialized\":{}}}",
+                    r.entries_verified,
+                    r.entries_destroyed,
+                    r.buckets_poisoned,
+                    r.merkle_nodes_condemned,
+                    r.counters_reinitialized
+                ),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"shard\":{s},\"state\":{},\"violations\":{},\"recoveries\":{},\
+                 \"final_audit\":{audit}}}",
+                json_str(&h.health.to_string()),
+                h.violations,
+                h.recoveries
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let failures_json = failures.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(",");
+    let doc = format!(
+        "{{\n\"schema_version\":{SCHEMA_VERSION},\n\"experiment\":\"chaos\",\n\
+         \"git_rev\":{},\n\"seed\":{seed},\n\"elapsed_s\":{:.3},\n\"ops\":{},\n\
+         \"wrong_reads\":{},\n\"integrity_errors\":{},\n\"destroyed_errors\":{},\n\
+         \"quarantined_errors\":{},\n\"unavailable_errors\":{},\n\
+         \"transport_errors\":{},\n\"other_errors\":{},\n\
+         \"injected_total\":{},\n\"sites\":[{sites}],\n\"shards\":[{shard_json}],\n\
+         \"health_polls_with_quarantine\":{saw_quarantine},\n\
+         \"sibling_serves_during_quarantine\":{sibling_serves},\n\
+         \"sweep\":{{\"ok\":{sweep_ok},\"typed_errors\":{sweep_typed},\"wrong\":{sweep_wrong}}},\n\
+         \"latency_us\":{{\"p50\":{:.1},\"p99\":{:.1}}},\n\
+         \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
+        json_str(git_rev()),
+        elapsed.as_secs_f64(),
+        report.ops,
+        report.wrong_reads,
+        report.integrity_errs,
+        report.destroyed_errs,
+        report.quarantined_errs,
+        report.unavailable_errs,
+        report.transport_errs,
+        report.other_errs,
+        stats.injected_total,
+        p50,
+        p99,
+        json_str(if failures.is_empty() { "pass" } else { "fail" }),
+    );
+    std::fs::create_dir_all(out_dir).expect("create out dir");
+    let path = format!("{out_dir}/chaos.json");
+    let mut f = std::fs::File::create(&path).expect("create chaos.json");
+    f.write_all(doc.as_bytes()).expect("write chaos.json");
+    println!("wrote {path}");
+}

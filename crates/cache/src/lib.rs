@@ -337,6 +337,47 @@ mod tests {
     }
 
     #[test]
+    fn recovery_drain_dumps_cached_truth_and_empties_cache() {
+        let mut cache = setup(4096, 8, CacheConfig { pinned_levels: 2, ..CacheConfig::default() });
+        cache.update_counter(100, &[0xcd; 16]).unwrap(); // dirty cached leaf
+        let (leaf, _) = cache.tree().locate_counter(100);
+        // Attacker scribbles over the untrusted copy of the cached leaf
+        // *and* an unrelated uncached leaf.
+        cache.tree_mut_raw().node_mut_raw(leaf)[0] ^= 0xff;
+        let (other, _) = cache.tree().locate_counter(4000);
+        cache.tree_mut_raw().node_mut_raw(other)[0] ^= 0xff;
+
+        let trusted: std::collections::HashSet<NodeId> =
+            cache.recovery_drain().into_iter().collect();
+        assert_eq!(cache.cached_entries(), 0);
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(trusted.contains(&leaf), "dirty cached leaf must be in the trusted set");
+        // The drain restored the cached leaf's bytes in untrusted memory.
+        assert_eq!(cache.tree().counter_bytes(100), [0xcd; 16]);
+
+        // Audit from the root + trusted set: the drained leaf survives,
+        // the scribbled uncached leaf is condemned.
+        let condemned = cache.tree().audit_leaves(&trusted);
+        assert!(!condemned.contains(&leaf));
+        assert!(condemned.contains(&other));
+    }
+
+    #[test]
+    fn recovery_repin_restores_pinning_after_rebuild() {
+        let mut cache =
+            setup(10_000, 8, CacheConfig { pinned_levels: 3, ..CacheConfig::default() });
+        let floor_before = cache.pinned_floor();
+        cache.recovery_drain();
+        assert_eq!(cache.pinned_floor(), cache.tree().height());
+        cache.tree_mut_raw().rebuild();
+        cache.recovery_repin();
+        assert_eq!(cache.pinned_floor(), floor_before);
+        // Cache serves correct counters again.
+        let expected = cache.tree().counter_bytes(1234);
+        assert_eq!(cache.get_counter(1234).unwrap(), expected);
+    }
+
+    #[test]
     fn tampering_inner_node_detected_on_cold_path() {
         let mut cache =
             setup(100_000, 8, CacheConfig { pinned_levels: 1, ..CacheConfig::default() });

@@ -619,6 +619,57 @@ impl SecureCache {
         }
     }
 
+    // --- recovery -----------------------------------------------------------
+
+    /// Dump every cached node's EPC bytes into untrusted memory **without**
+    /// verification or MAC propagation, empty the cache, and return the
+    /// ids of the dumped nodes.
+    ///
+    /// This is the first step of shard recovery after an integrity
+    /// violation: the untrusted tree may be arbitrarily corrupt and
+    /// possibly MAC-inconsistent with the enclave root, so normal
+    /// flush/propagation (which verifies uncached ancestors) could fail.
+    /// The returned set is exactly the nodes whose untrusted bytes now
+    /// come from EPC-protected copies — ground truth the subsequent
+    /// [`aria_merkle::MerkleTree::audit_leaves`] pass may trust besides
+    /// the root itself. After the audit repairs and rebuilds the tree,
+    /// call [`SecureCache::recovery_repin`] to restore level pinning.
+    pub fn recovery_drain(&mut self) -> Vec<NodeId> {
+        let node_size = self.tree.node_size();
+        let entries = std::mem::take(&mut self.entries);
+        let mut trusted: Vec<NodeId> = Vec::with_capacity(entries.len());
+        for (id, entry) in entries {
+            self.enclave.access_untrusted(node_size);
+            self.tree.write_node(id, &entry.data);
+            trusted.push(id);
+        }
+        self.queue.clear();
+        self.used_bytes = 0;
+        self.pinned_floor = self.tree.height();
+        self.window_hits = 0;
+        self.window_accesses = 0;
+        self.low_windows = 0;
+        trusted
+    }
+
+    /// Re-pin the configured top levels from the untrusted tree after a
+    /// recovery rebuild. Only call this once the tree is globally
+    /// self-consistent (the recovery pass just recomputed every inner
+    /// node and the enclave root from the repaired leaves), because
+    /// pinning copies untrusted bytes into the EPC trusting them.
+    pub fn recovery_repin(&mut self) {
+        let want = self.cfg.pinned_levels.min(self.tree.height().saturating_sub(1));
+        for k in 0..want {
+            let level = self.tree.height() - 1 - k;
+            if !self.try_pin_level(level) {
+                break;
+            }
+        }
+        if !self.swapping {
+            self.extend_pinning();
+        }
+    }
+
     // --- introspection ------------------------------------------------------
 
     /// Lifetime statistics.

@@ -23,9 +23,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use aria_sim::Enclave;
+
+/// Fault-injection hook on the heap's write path.
+///
+/// The host controls the physical memory the heap models, so a fault in
+/// flight — a flipped DRAM bit, a torn multi-slot store — lands exactly
+/// here: between the enclave producing sealed bytes and those bytes
+/// reaching untrusted memory. An installed hook may mutate the bytes
+/// about to be written (bit flips) and may return `Some(n)` to truncate
+/// the write to its first `n` bytes (a torn write). The heap itself
+/// never inspects the payload; detection is the job of the layers above
+/// (entry MACs, Merkle paths).
+pub trait WriteFault: Send {
+    /// Observe/corrupt a pending write of `bytes` at `ptr`. Return
+    /// `Some(n)` to tear the write after `n` bytes (`n` is clamped to
+    /// the payload length), `None` to write all of it.
+    fn on_write(&mut self, ptr: UPtr, bytes: &mut [u8]) -> Option<usize>;
+}
 
 /// Size of an untrusted memory chunk (4 MB, as in the paper).
 pub const CHUNK_SIZE: usize = 4 << 20;
@@ -186,6 +203,10 @@ pub struct UserHeap {
     classes: Vec<SizeClass>,
     live_bytes: usize,
     live_blocks: usize,
+    /// Installed fault injector (chaos testing); `None` in production.
+    fault_hook: Option<Arc<Mutex<dyn WriteFault>>>,
+    /// When true the hook is bypassed (recovery's quiesced window).
+    faults_suspended: bool,
 }
 
 impl UserHeap {
@@ -198,7 +219,27 @@ impl UserHeap {
             classes: (0..SIZE_CLASSES.len()).map(|_| SizeClass::default()).collect(),
             live_bytes: 0,
             live_blocks: 0,
+            fault_hook: None,
+            faults_suspended: false,
         }
+    }
+
+    /// Install (or remove) a [`WriteFault`] hook on the write path.
+    pub fn set_fault_hook(&mut self, hook: Option<Arc<Mutex<dyn WriteFault>>>) {
+        self.fault_hook = hook;
+    }
+
+    /// Suspend or resume the installed fault hook. Recovery runs inside
+    /// a suspended window: it models re-verification during a quiesced
+    /// maintenance pass, and re-admission is only claimed for the state
+    /// that was actually verified.
+    pub fn suspend_faults(&mut self, suspended: bool) {
+        self.faults_suspended = suspended;
+    }
+
+    /// Whether a fault hook is installed and currently armed.
+    pub fn faults_active(&self) -> bool {
+        self.fault_hook.is_some() && !self.faults_suspended
     }
 
     fn class_for(size: usize) -> Option<usize> {
@@ -337,6 +378,20 @@ impl UserHeap {
     pub fn write(&mut self, ptr: UPtr, bytes: &[u8]) -> Result<(), HeapError> {
         self.check_range(ptr, bytes.len())?;
         self.enclave.access_untrusted(bytes.len());
+        if let Some(hook) = self.fault_hook.clone() {
+            if !self.faults_suspended {
+                // The enclave wrote `bytes`; what lands in untrusted
+                // memory is whatever the host-controlled fault leaves.
+                let mut scratch = bytes.to_vec();
+                let torn =
+                    hook.lock().unwrap_or_else(|e| e.into_inner()).on_write(ptr, &mut scratch);
+                let keep = torn.map_or(scratch.len(), |n| n.min(scratch.len()));
+                let chunk = &mut self.chunks[ptr.chunk as usize];
+                chunk.data[ptr.offset as usize..ptr.offset as usize + keep]
+                    .copy_from_slice(&scratch[..keep]);
+                return Ok(());
+            }
+        }
         let chunk = &mut self.chunks[ptr.chunk as usize];
         chunk.data[ptr.offset as usize..ptr.offset as usize + bytes.len()].copy_from_slice(bytes);
         Ok(())
@@ -349,6 +404,48 @@ impl UserHeap {
         self.check_range(ptr, len)?;
         let chunk = &mut self.chunks[ptr.chunk as usize];
         Ok(&mut chunk.data[ptr.offset as usize..ptr.offset as usize + len])
+    }
+
+    /// Discard the untrusted free lists and rebuild them from the in-EPC
+    /// occupation bitmaps, which are ground truth. Used by shard
+    /// recovery: the free lists live in untrusted memory, so after a
+    /// detected attack their contents cannot be trusted — any entry the
+    /// adversary planted (a live block, a bogus pointer) is dropped and
+    /// every genuinely free carved block is re-listed.
+    pub fn rebuild_freelists(&mut self) {
+        for class in &mut self.classes {
+            class.free.clear();
+        }
+        for (chunk_idx, chunk) in self.chunks.iter().enumerate() {
+            if chunk.block_size == 0 {
+                continue; // oversize chunks have no free list
+            }
+            let Some(class_idx) = Self::class_for(chunk.block_size) else { continue };
+            for block in 0..chunk.next_fresh {
+                self.enclave.access_epc(8);
+                if !chunk.bit(block) {
+                    self.classes[class_idx].free.push(UPtr {
+                        chunk: chunk_idx as u32,
+                        offset: (block * chunk.block_size) as u32,
+                    });
+                    self.enclave.access_untrusted(FREELIST_ENTRY_BYTES);
+                }
+            }
+        }
+    }
+
+    /// Attacker-side: push `ptr` back onto its size class's untrusted
+    /// free list even though the block is live. The next allocation from
+    /// that class pops it, cross-checks the in-EPC bitmap and reports
+    /// [`HeapError::MetadataAttack`].
+    pub fn attack_requeue_block(&mut self, ptr: UPtr) -> bool {
+        let Some(chunk) = self.chunks.get(ptr.chunk as usize) else { return false };
+        if chunk.block_size == 0 {
+            return false;
+        }
+        let Some(class_idx) = Self::class_for(chunk.block_size) else { return false };
+        self.classes[class_idx].free.push(ptr);
+        true
     }
 
     /// Allocation strategy in use.
@@ -468,6 +565,72 @@ mod tests {
         let p = h.alloc(64).unwrap();
         assert!(h.read(p, CHUNK_SIZE + 1).is_err());
         assert!(h.read(UPtr { chunk: 99, offset: 0 }, 8).is_err());
+    }
+
+    struct FlipFirst {
+        torn: bool,
+        fired: usize,
+    }
+
+    impl WriteFault for FlipFirst {
+        fn on_write(&mut self, _ptr: UPtr, bytes: &mut [u8]) -> Option<usize> {
+            self.fired += 1;
+            bytes[0] ^= 0x01;
+            if self.torn {
+                Some(bytes.len() / 2)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn fault_hook_flips_and_tears_writes() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        let hook = Arc::new(Mutex::new(FlipFirst { torn: false, fired: 0 }));
+        h.set_fault_hook(Some(hook.clone()));
+        h.write(p, &[0xaa; 8]).unwrap();
+        let got = h.read(p, 8).unwrap();
+        assert_eq!(got[0], 0xab, "first byte flipped");
+        assert_eq!(&got[1..], &[0xaa; 7]);
+
+        hook.lock().unwrap().torn = true;
+        h.write(p, &[0x55; 8]).unwrap();
+        let got = h.read(p, 8).unwrap();
+        assert_eq!(&got[..4], &[0x54, 0x55, 0x55, 0x55], "torn prefix written");
+        assert_eq!(&got[4..], &[0xaa; 4], "torn tail keeps the old bytes");
+
+        // Suspension makes writes clean again without removing the hook.
+        h.suspend_faults(true);
+        assert!(!h.faults_active());
+        h.write(p, &[0x11; 8]).unwrap();
+        assert_eq!(h.read(p, 8).unwrap(), &[0x11; 8]);
+        assert_eq!(hook.lock().unwrap().fired, 2);
+    }
+
+    #[test]
+    fn rebuild_freelists_restores_bitmap_truth() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let keep = h.alloc(64).unwrap();
+        let gone = h.alloc(64).unwrap();
+        h.free(gone).unwrap();
+        // Attacker scribbles the untrusted free list: plants a live block.
+        assert!(h.attack_requeue_block(keep));
+        h.rebuild_freelists();
+        // The planted live block is gone, the genuinely free one is back.
+        let p = h.alloc(64).unwrap();
+        assert_eq!(p, gone);
+        let q = h.alloc(64).unwrap();
+        assert_ne!(q, keep, "live block must not be handed out again");
+    }
+
+    #[test]
+    fn requeued_live_block_detected_on_alloc() {
+        let mut h = heap(AllocStrategy::UserSpace);
+        let p = h.alloc(64).unwrap();
+        assert!(h.attack_requeue_block(p));
+        assert!(matches!(h.alloc(64), Err(HeapError::MetadataAttack { .. })));
     }
 
     #[test]

@@ -297,6 +297,64 @@ impl MerkleTree {
         }
     }
 
+    /// Root-anchored audit of the whole tree: returns every **leaf**
+    /// node whose contents cannot be trusted.
+    ///
+    /// Trust propagates top-down from the only ground truth available —
+    /// the enclave-resident root MAC plus the caller-supplied `trusted`
+    /// set (nodes whose current untrusted bytes were just written from
+    /// EPC-resident copies, e.g. a drained Secure Cache). A node is
+    /// trusted iff it is in `trusted`, or its parent is trusted and the
+    /// parent's stored child MAC matches the node's bytes. Everything
+    /// else is condemned: an adversary without the MAC key cannot forge
+    /// a matching chain, so a trusted leaf is guaranteed genuine, while
+    /// a condemned leaf may merely sit under a corrupted inner node —
+    /// the audit over-condemns, never under-condemns.
+    pub fn audit_leaves(&self, trusted: &std::collections::HashSet<NodeId>) -> Vec<NodeId> {
+        let height = self.levels.len();
+        let top = NodeId { level: (height - 1) as u32, index: 0 };
+        let mut level_trust = vec![trusted.contains(&top) || self.mac_of(top) == self.root];
+        for level in (0..height - 1).rev() {
+            let mut next = Vec::with_capacity(self.level_nodes[level] as usize);
+            for index in 0..self.level_nodes[level] {
+                let id = NodeId { level: level as u32, index };
+                let ok = trusted.contains(&id) || {
+                    let parent_idx = (index / self.arity as u64) as usize;
+                    level_trust[parent_idx]
+                        && self.stored_child_mac(
+                            self.parent(id).expect("non-top node has a parent"),
+                            self.slot_in_parent(id),
+                        ) == self.mac_of(id)
+                };
+                next.push(ok);
+            }
+            level_trust = next;
+        }
+        level_trust
+            .iter()
+            .enumerate()
+            .filter(|(_, ok)| !**ok)
+            .map(|(index, _)| NodeId { level: 0, index: index as u64 })
+            .collect()
+    }
+
+    /// The range of counter ids covered by leaf node `leaf` (used by
+    /// recovery to reinitialize the counters of a condemned leaf).
+    pub fn counters_in_leaf(&self, leaf: NodeId) -> std::ops::Range<u64> {
+        debug_assert_eq!(leaf.level, 0);
+        let start = leaf.index * self.arity as u64;
+        start..(start + self.arity as u64).min(self.num_counters)
+    }
+
+    /// Overwrite counter `idx` in the leaf bytes **without** MAC
+    /// propagation (recovery reinitializes condemned slots, then calls
+    /// [`MerkleTree::rebuild`] once).
+    pub fn write_counter_raw(&mut self, idx: u64, value: &[u8; SLOT]) {
+        let (leaf, slot) = self.locate_counter(idx);
+        let off = leaf.index as usize * self.node_size + slot * SLOT;
+        self.levels[0][off..off + SLOT].copy_from_slice(value);
+    }
+
     /// Update counter `idx` in untrusted memory and propagate MACs to the
     /// root (the no-cache reference path; Secure Cache short-circuits at
     /// cached ancestors instead).
@@ -449,6 +507,67 @@ mod tests {
             t.write_node(*n, bytes);
         }
         assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+    }
+
+    #[test]
+    fn audit_condemns_exactly_the_corrupted_leaf() {
+        let mut t = tree(1000, 8);
+        let (leaf, _) = t.locate_counter(321);
+        t.node_mut_raw(leaf)[3] ^= 0x01;
+        let condemned = t.audit_leaves(&std::collections::HashSet::new());
+        assert_eq!(condemned, vec![leaf]);
+    }
+
+    #[test]
+    fn audit_condemns_subtree_under_corrupted_inner_node() {
+        let mut t = tree(1000, 8);
+        let inner = NodeId { level: 1, index: 2 };
+        t.node_mut_raw(inner)[0] ^= 0xff;
+        let condemned = t.audit_leaves(&std::collections::HashSet::new());
+        // All 8 leaves under inner node (1, 2) are unverifiable.
+        let expect: Vec<NodeId> = (16..24).map(|index| NodeId { level: 0, index }).collect();
+        assert_eq!(condemned, expect);
+    }
+
+    #[test]
+    fn audit_trusts_caller_supplied_nodes() {
+        let mut t = tree(1000, 8);
+        let inner = NodeId { level: 1, index: 2 };
+        t.node_mut_raw(inner)[0] ^= 0xff;
+        // If the enclave says the inner node's current bytes are its own
+        // (e.g. the cache just drained it), its consistent children
+        // survive — but the node's own stored child MACs now gate them.
+        let mut trusted = std::collections::HashSet::new();
+        trusted.insert(inner);
+        let condemned = t.audit_leaves(&trusted);
+        // Corrupting byte 0 destroyed the stored MAC of child slot 0 only.
+        assert_eq!(condemned, vec![NodeId { level: 0, index: 16 }]);
+    }
+
+    #[test]
+    fn audit_clean_tree_condemns_nothing() {
+        let t = tree(4096, 8);
+        assert!(t.audit_leaves(&std::collections::HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn counters_in_leaf_covers_tail() {
+        let t = tree(1001, 8);
+        assert_eq!(t.counters_in_leaf(NodeId { level: 0, index: 0 }), 0..8);
+        // 1001 counters -> last leaf (index 125) holds only counter 1000.
+        assert_eq!(t.counters_in_leaf(NodeId { level: 0, index: 125 }), 1000..1001);
+    }
+
+    #[test]
+    fn write_counter_raw_then_rebuild_verifies() {
+        let mut t = tree(100, 4);
+        t.write_counter_raw(42, &[0x5a; 16]);
+        // Raw write breaks the chain until rebuild.
+        let (leaf, _) = t.locate_counter(42);
+        assert!(matches!(t.verify_path_plain(leaf), Verification::Mismatch { .. }));
+        t.rebuild();
+        assert_eq!(t.counter_bytes(42), [0x5a; 16]);
+        assert_eq!(t.verify_path_plain(leaf), Verification::Ok);
     }
 
     #[test]

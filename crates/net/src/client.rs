@@ -14,6 +14,10 @@
 //! a connection, dialing with exponential backoff
 //! ([`ClientConfig::reconnect_attempts`] ×
 //! [`ClientConfig::reconnect_backoff`]) if the previous one is gone.
+//! Each backoff sleep is *jittered* — drawn uniformly from
+//! `[backoff/2, backoff]` with a per-client splitmix64 stream — so a
+//! fleet of clients dropped by the same server incident redials spread
+//! out instead of in synchronized waves.
 //! Every response read is bounded by [`ClientConfig::op_timeout`], so a
 //! dead or wedged server yields a typed [`NetError`] instead of a hang.
 
@@ -21,7 +25,11 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::proto::{self, Decoded, ErrorCode, Request, Response, StatsReply, WireError};
+use aria_store::sharded::splitmix64;
+
+use crate::proto::{
+    self, Decoded, ErrorCode, HealthReply, Request, Response, StatsReply, WireError,
+};
 
 /// Tuning knobs for [`AriaClient`].
 #[derive(Debug, Clone)]
@@ -138,6 +146,8 @@ pub struct AriaClient {
     config: ClientConfig,
     conn: Option<Conn>,
     next_id: u64,
+    /// splitmix64 state for backoff jitter (advanced per draw).
+    rng: u64,
 }
 
 impl AriaClient {
@@ -149,7 +159,14 @@ impl AriaClient {
         let addr = addr.to_socket_addrs().map_err(NetError::Io)?.next().ok_or_else(|| {
             NetError::Io(io::Error::new(io::ErrorKind::InvalidInput, "no address"))
         })?;
-        let mut client = AriaClient { addr, config, conn: None, next_id: 1 };
+        // Jitter seed: wall clock mixed with the target address, so
+        // simultaneously-started clients still draw distinct streams.
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let rng = splitmix64(now ^ (u64::from(addr.port()) << 32));
+        let mut client = AriaClient { addr, config, conn: None, next_id: 1, rng };
         client.ensure_connected()?;
         Ok(client)
     }
@@ -174,7 +191,7 @@ impl AriaClient {
         let mut last = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff);
+                std::thread::sleep(self.jittered(backoff));
                 backoff = backoff.saturating_mul(2);
             }
             match TcpStream::connect_timeout(&self.addr, self.config.connect_timeout) {
@@ -189,6 +206,16 @@ impl AriaClient {
             }
         }
         Err(NetError::Io(last.expect("at least one connect attempt")))
+    }
+
+    /// Uniform draw from `[backoff/2, backoff]`, advancing the client's
+    /// splitmix64 stream. Keeps the exponential doubling envelope while
+    /// desynchronizing concurrent reconnectors.
+    fn jittered(&mut self, backoff: Duration) -> Duration {
+        self.rng = splitmix64(self.rng);
+        let ns = backoff.as_nanos() as u64;
+        let half = ns / 2;
+        Duration::from_nanos(half + self.rng % (ns - half + 1))
     }
 
     /// Send every request back-to-back, then read every response, in
@@ -214,7 +241,9 @@ impl AriaClient {
         let conn = self.conn.as_mut().expect("ensure_connected succeeded");
         let mut out = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
-            proto::encode_request(&mut out, first_id + i as u64, req);
+            // An over-limit request fails the pipeline before any byte
+            // hits the wire; the connection is still clean.
+            proto::encode_request(&mut out, first_id + i as u64, req)?;
         }
         conn.stream.write_all(&out)?;
         let mut responses = Vec::with_capacity(reqs.len());
@@ -297,6 +326,15 @@ impl AriaClient {
     pub fn stats(&mut self) -> Result<StatsReply, NetError> {
         match self.one(Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => fail(other),
+        }
+    }
+
+    /// Per-shard health (quarantine state machine) of the server's
+    /// store.
+    pub fn health(&mut self) -> Result<HealthReply, NetError> {
+        match self.one(Request::Health)? {
+            Response::Health(h) => Ok(h),
             other => fail(other),
         }
     }

@@ -53,5 +53,7 @@ pub mod proto;
 pub mod server;
 
 pub use client::{AriaClient, ClientConfig, KeyResult, NetError};
-pub use proto::{ErrorCode, Request, Response, StatsReply, WireError};
+pub use proto::{
+    ErrorCode, HealthReply, Request, Response, ShardHealthInfo, StatsReply, WireError,
+};
 pub use server::{AriaServer, ServerConfig};

@@ -18,7 +18,7 @@
 //! log text. Code values are part of the protocol and must never be
 //! renumbered.
 
-use aria_store::{StoreError, Violation};
+use aria_store::{ShardHealth, StoreError, Violation};
 
 /// Frames larger than this are rejected as malformed — a defense against
 /// garbage (or hostile) length prefixes allocating unbounded memory.
@@ -39,6 +39,7 @@ const OP_DELETE: u8 = 0x04;
 const OP_MULTI_GET: u8 = 0x05;
 const OP_PUT_BATCH: u8 = 0x06;
 const OP_STATS: u8 = 0x07;
+const OP_HEALTH: u8 = 0x08;
 
 // Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -48,6 +49,7 @@ const OP_DELETED: u8 = 0x84;
 const OP_VALUES: u8 = 0x85;
 const OP_BATCH_STATUS: u8 = 0x86;
 const OP_STATS_REPLY: u8 = 0x87;
+const OP_HEALTH_REPLY: u8 = 0x88;
 const OP_ERROR: u8 = 0xFF;
 
 /// Stable numeric error codes carried on the wire.
@@ -69,6 +71,9 @@ pub enum ErrorCode {
     AllocatorMetadata = 5,
     /// Corrupt untrusted pointer.
     CorruptPointer = 6,
+    /// The key's data was destroyed by a contained attack; reads fail
+    /// closed instead of answering "not found".
+    DataDestroyed = 7,
     /// Enclave EPC exhausted.
     EpcExhausted = 16,
     /// Counter area exhausted.
@@ -81,6 +86,9 @@ pub enum ErrorCode {
     ValueTooLong = 20,
     /// A shard worker is gone; the op could not be served.
     ShardUnavailable = 21,
+    /// The shard is quarantined after a detected violation; retry once
+    /// recovery re-admits it.
+    ShardQuarantined = 22,
     /// The request frame could not be decoded.
     BadRequest = 32,
     /// Unknown request opcode.
@@ -104,12 +112,14 @@ impl ErrorCode {
             4 => UnauthorizedDeletion,
             5 => AllocatorMetadata,
             6 => CorruptPointer,
+            7 => DataDestroyed,
             16 => EpcExhausted,
             17 => CountersExhausted,
             18 => Heap,
             19 => KeyTooLong,
             20 => ValueTooLong,
             21 => ShardUnavailable,
+            22 => ShardQuarantined,
             32 => BadRequest,
             33 => UnknownOpcode,
             34 => FrameTooLarge,
@@ -129,6 +139,7 @@ impl ErrorCode {
                 Violation::UnauthorizedDeletion => ErrorCode::UnauthorizedDeletion,
                 Violation::AllocatorMetadata => ErrorCode::AllocatorMetadata,
                 Violation::CorruptPointer => ErrorCode::CorruptPointer,
+                Violation::DataDestroyed => ErrorCode::DataDestroyed,
             },
             StoreError::EpcExhausted => ErrorCode::EpcExhausted,
             StoreError::CountersExhausted => ErrorCode::CountersExhausted,
@@ -136,6 +147,7 @@ impl ErrorCode {
             StoreError::KeyTooLong { .. } => ErrorCode::KeyTooLong,
             StoreError::ValueTooLong { .. } => ErrorCode::ValueTooLong,
             StoreError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
+            StoreError::ShardQuarantined { .. } => ErrorCode::ShardQuarantined,
         }
     }
 
@@ -185,10 +197,47 @@ pub enum Request {
     },
     /// Server/store statistics.
     Stats,
+    /// Per-shard health (quarantine state machine).
+    Health,
+}
+
+/// One shard's health on the wire (see [`aria_store::ShardHealth`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardHealthInfo {
+    /// Encoded [`ShardHealth`] (unknown values decode as `Dead`).
+    pub state: u8,
+    /// Quarantine-triggering violations observed on the shard.
+    pub violations: u64,
+    /// Completed quarantine → recovery → re-admission cycles.
+    pub recoveries: u64,
+}
+
+impl ShardHealthInfo {
+    /// The decoded lifecycle state.
+    pub fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.state)
+    }
+}
+
+impl From<aria_store::ShardHealthSnapshot> for ShardHealthInfo {
+    fn from(s: aria_store::ShardHealthSnapshot) -> Self {
+        ShardHealthInfo {
+            state: s.health.as_u8(),
+            violations: s.violations,
+            recoveries: s.recoveries,
+        }
+    }
+}
+
+/// Answer to [`Request::Health`]: one entry per shard, in shard order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReply {
+    /// Per-shard health, index = shard.
+    pub shards: Vec<ShardHealthInfo>,
 }
 
 /// Server statistics returned by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
     /// Number of store shards.
     pub shards: u32,
@@ -201,6 +250,8 @@ pub struct StatsReply {
     pub active_connections: u32,
     /// Connections accepted since start.
     pub connections_accepted: u64,
+    /// Per-shard health, index = shard.
+    pub health: Vec<ShardHealthInfo>,
 }
 
 /// A server response.
@@ -220,6 +271,8 @@ pub enum Response {
     BatchStatus(Vec<Result<(), ErrorCode>>),
     /// Answer to [`Request::Stats`].
     Stats(StatsReply),
+    /// Answer to [`Request::Health`].
+    Health(HealthReply),
     /// The request (or, with id [`CONTROL_ID`], the connection) failed.
     Error {
         /// Stable error code.
@@ -229,10 +282,12 @@ pub enum Response {
     },
 }
 
-/// Why a frame could not be decoded.
+/// Why a frame could not be decoded (or encoded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
-    /// The frame declared a length over [`MAX_FRAME_LEN`].
+    /// The frame declared a length over [`MAX_FRAME_LEN`] — on decode,
+    /// a hostile/garbage prefix; on encode, a message too large to ever
+    /// be accepted by a peer.
     FrameTooLarge {
         /// Declared length.
         len: usize,
@@ -276,19 +331,44 @@ fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+fn put_health(out: &mut Vec<u8>, shards: &[ShardHealthInfo]) {
+    put_u32(out, shards.len() as u32);
+    for s in shards {
+        out.push(s.state);
+        put_u64(out, s.violations);
+        put_u64(out, s.recoveries);
+    }
+}
+
 /// Append one framed message; `body` writes everything after the id.
-fn frame(out: &mut Vec<u8>, opcode: u8, id: u64, body: impl FnOnce(&mut Vec<u8>)) {
+///
+/// The [`MAX_FRAME_LEN`] cap is enforced on *encode* too: a message
+/// that would exceed it is rolled back (no partial bytes reach `out`,
+/// which may already hold earlier pipelined frames) and reported, since
+/// any conforming peer would reject it anyway.
+fn frame(
+    out: &mut Vec<u8>,
+    opcode: u8,
+    id: u64,
+    body: impl FnOnce(&mut Vec<u8>),
+) -> Result<(), WireError> {
     let len_at = out.len();
     put_u32(out, 0); // patched below
     out.push(opcode);
     put_u64(out, id);
     body(out);
-    let frame_len = (out.len() - len_at - 4) as u32;
-    out[len_at..len_at + 4].copy_from_slice(&frame_len.to_le_bytes());
+    let frame_len = out.len() - len_at - 4;
+    if frame_len > MAX_FRAME_LEN {
+        out.truncate(len_at);
+        return Err(WireError::FrameTooLarge { len: frame_len });
+    }
+    out[len_at..len_at + 4].copy_from_slice(&(frame_len as u32).to_le_bytes());
+    Ok(())
 }
 
-/// Append `req` as one frame to `out`.
-pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
+/// Append `req` as one frame to `out`. On [`WireError::FrameTooLarge`],
+/// `out` is left exactly as it was.
+pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), WireError> {
     match req {
         Request::Ping => frame(out, OP_PING, id, |_| {}),
         Request::Get { key } => frame(out, OP_GET, id, |b| put_bytes(b, key)),
@@ -311,11 +391,13 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) {
             }
         }),
         Request::Stats => frame(out, OP_STATS, id, |_| {}),
+        Request::Health => frame(out, OP_HEALTH, id, |_| {}),
     }
 }
 
-/// Append `resp` as one frame to `out`.
-pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
+/// Append `resp` as one frame to `out`. On [`WireError::FrameTooLarge`],
+/// `out` is left exactly as it was.
+pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<(), WireError> {
     match resp {
         Response::Pong => frame(out, OP_PONG, id, |_| {}),
         Response::Value(v) => frame(out, OP_VALUE, id, |b| match v {
@@ -355,7 +437,9 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) {
             put_u64(b, s.ops_served);
             put_u32(b, s.active_connections);
             put_u64(b, s.connections_accepted);
+            put_health(b, &s.health);
         }),
+        Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
         Response::Error { code, message } => frame(out, OP_ERROR, id, |b| {
             put_u16(b, *code as u16);
             put_bytes(b, message.as_bytes());
@@ -407,6 +491,22 @@ impl<'a> Cursor<'a> {
         } else {
             Err(WireError::Malformed)
         }
+    }
+
+    fn health_list(&mut self) -> Result<Vec<ShardHealthInfo>, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            return Err(WireError::Malformed);
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(ShardHealthInfo {
+                state: self.u8()?,
+                violations: self.u64()?,
+                recoveries: self.u64()?,
+            });
+        }
+        Ok(shards)
     }
 }
 
@@ -476,6 +576,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
             Request::PutBatch { pairs }
         }
         OP_STATS => Request::Stats,
+        OP_HEALTH => Request::Health,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finished()?;
@@ -533,7 +634,9 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
             ops_served: c.u64()?,
             active_connections: c.u32()?,
             connections_accepted: c.u64()?,
+            health: c.health_list()?,
         }),
+        OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
             message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
@@ -550,7 +653,7 @@ mod tests {
 
     fn round_trip_request(req: Request) {
         let mut buf = Vec::new();
-        encode_request(&mut buf, 7, &req);
+        encode_request(&mut buf, 7, &req).unwrap();
         match decode_request(&buf).unwrap() {
             Decoded::Frame(consumed, id, got) => {
                 assert_eq!(consumed, buf.len());
@@ -563,7 +666,7 @@ mod tests {
 
     fn round_trip_response(resp: Response) {
         let mut buf = Vec::new();
-        encode_response(&mut buf, 99, &resp);
+        encode_response(&mut buf, 99, &resp).unwrap();
         match decode_response(&buf).unwrap() {
             Decoded::Frame(consumed, id, got) => {
                 assert_eq!(consumed, buf.len());
@@ -585,6 +688,7 @@ mod tests {
             pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![0u8; 300])],
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Health);
     }
 
     #[test]
@@ -606,6 +710,13 @@ mod tests {
             ops_served: 456,
             active_connections: 2,
             connections_accepted: 9,
+            health: vec![
+                ShardHealthInfo { state: 0, violations: 0, recoveries: 0 },
+                ShardHealthInfo { state: 1, violations: 3, recoveries: 1 },
+            ],
+        }));
+        round_trip_response(Response::Health(HealthReply {
+            shards: vec![ShardHealthInfo { state: 2, violations: 7, recoveries: 2 }],
         }));
         round_trip_response(Response::Error {
             code: ErrorCode::TooManyConnections,
@@ -614,9 +725,42 @@ mod tests {
     }
 
     #[test]
+    fn shard_health_info_decodes_states() {
+        use aria_store::ShardHealth;
+        let info = ShardHealthInfo { state: 1, violations: 0, recoveries: 0 };
+        assert_eq!(info.health(), ShardHealth::Quarantined);
+        // Unknown states fail closed to Dead.
+        let junk = ShardHealthInfo { state: 200, violations: 0, recoveries: 0 };
+        assert_eq!(junk.health(), ShardHealth::Dead);
+    }
+
+    #[test]
+    fn oversized_encode_is_refused_and_rolled_back() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::Ping).unwrap();
+        let before = buf.clone();
+        // One frame over 4 MiB of aggregate key bytes.
+        let keys = vec![vec![0u8; 1 << 20]; 5];
+        assert!(matches!(
+            encode_request(&mut buf, 2, &Request::MultiGet { keys }),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        // Earlier pipelined bytes are intact, nothing partial appended.
+        assert_eq!(buf, before);
+
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_response(&mut buf, 3, &Response::Value(Some(vec![0u8; MAX_FRAME_LEN]))),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn partial_frames_are_incomplete_not_errors() {
         let mut buf = Vec::new();
-        encode_request(&mut buf, 1, &Request::Put { key: b"key".to_vec(), value: b"val".to_vec() });
+        encode_request(&mut buf, 1, &Request::Put { key: b"key".to_vec(), value: b"val".to_vec() })
+            .unwrap();
         for cut in 0..buf.len() {
             assert_eq!(decode_request(&buf[..cut]).unwrap(), Decoded::Incomplete, "cut at {cut}");
         }
@@ -626,7 +770,7 @@ mod tests {
     fn pipelined_frames_decode_in_sequence() {
         let mut buf = Vec::new();
         for id in 1..=5u64 {
-            encode_request(&mut buf, id, &Request::Get { key: vec![id as u8] });
+            encode_request(&mut buf, id, &Request::Get { key: vec![id as u8] }).unwrap();
         }
         let mut offset = 0;
         for want in 1..=5u64 {
@@ -649,17 +793,17 @@ mod tests {
         assert!(matches!(decode_request(&buf), Err(WireError::FrameTooLarge { .. })));
 
         let mut buf = Vec::new();
-        frame(&mut buf, 0x6F, 3, |_| {});
+        frame(&mut buf, 0x6F, 3, |_| {}).unwrap();
         assert_eq!(decode_request(&buf), Err(WireError::UnknownOpcode(0x6F)));
 
         // A truncated body inside a complete frame is malformed.
         let mut buf = Vec::new();
-        frame(&mut buf, OP_GET, 3, |b| put_u32(b, 100));
+        frame(&mut buf, OP_GET, 3, |b| put_u32(b, 100)).unwrap();
         assert_eq!(decode_request(&buf), Err(WireError::Malformed));
 
         // Trailing junk after a valid body is malformed too.
         let mut buf = Vec::new();
-        frame(&mut buf, OP_PING, 3, |b| b.push(0));
+        frame(&mut buf, OP_PING, 3, |b| b.push(0)).unwrap();
         assert_eq!(decode_request(&buf), Err(WireError::Malformed));
     }
 
@@ -678,6 +822,8 @@ mod tests {
             ErrorCode::KeyTooLong,
             ErrorCode::ValueTooLong,
             ErrorCode::ShardUnavailable,
+            ErrorCode::ShardQuarantined,
+            ErrorCode::DataDestroyed,
             ErrorCode::BadRequest,
             ErrorCode::UnknownOpcode,
             ErrorCode::FrameTooLarge,
@@ -703,5 +849,13 @@ mod tests {
         let shard = StoreError::ShardUnavailable { shard: 3 };
         assert_eq!(ErrorCode::from_store_error(&shard), ErrorCode::ShardUnavailable);
         assert!(!ErrorCode::from_store_error(&shard).is_integrity_violation());
+        assert_eq!(
+            ErrorCode::from_store_error(&StoreError::ShardQuarantined { shard: 1 }),
+            ErrorCode::ShardQuarantined
+        );
+        assert_eq!(
+            ErrorCode::from_store_error(&StoreError::Integrity(Violation::DataDestroyed)),
+            ErrorCode::DataDestroyed
+        );
     }
 }

@@ -46,7 +46,9 @@ use std::time::{Duration, Instant};
 use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
 use aria_store::KvStore;
 
-use crate::proto::{self, Decoded, ErrorCode, Request, Response, StatsReply, WireError};
+use crate::proto::{
+    self, Decoded, ErrorCode, HealthReply, Request, Response, StatsReply, WireError,
+};
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
@@ -89,6 +91,15 @@ struct Shared {
     accepted: AtomicU64,
     ops_served: AtomicU64,
     conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Lock the connection registry even if a previous holder panicked. A
+/// `Vec<JoinHandle>` has no invariant a partial mutation can break, so
+/// a poisoned lock is safe to keep using — treating it as fatal would
+/// let one crashed connection thread take down the acceptor (and every
+/// future connection) with it.
+fn lock_conns(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    shared.conns.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A running TCP server; dropping (or [`AriaServer::shutdown`]) drains
@@ -158,7 +169,7 @@ impl AriaServer {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        let conns = std::mem::take(&mut *lock_conns(&self.shared));
         for h in conns {
             let _ = h.join();
         }
@@ -208,7 +219,7 @@ fn accept_loop<S: KvStore + Send + 'static>(
                         conn_shared.active.fetch_sub(1, Ordering::SeqCst);
                     })
                     .expect("spawn connection thread");
-                shared.conns.lock().unwrap().push(handle);
+                lock_conns(&shared).push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
             Err(_) => thread::sleep(POLL_INTERVAL),
@@ -219,7 +230,7 @@ fn accept_loop<S: KvStore + Send + 'static>(
 /// Join connection threads that already returned so the registry does
 /// not grow with every connection ever accepted.
 fn reap_finished(shared: &Shared) {
-    let mut conns = shared.conns.lock().unwrap();
+    let mut conns = lock_conns(shared);
     let mut keep = Vec::with_capacity(conns.len());
     for handle in conns.drain(..) {
         if handle.is_finished() {
@@ -235,7 +246,7 @@ fn reap_finished(shared: &Shared) {
 fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
     let _ = stream.set_write_timeout(Some(config.write_timeout));
     let mut buf = Vec::new();
-    proto::encode_response(
+    encode_or_substitute(
         &mut buf,
         proto::CONTROL_ID,
         &Response::Error {
@@ -251,6 +262,7 @@ fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
 enum Slot {
     Pong,
     Stats,
+    Health,
     Get,
     Put,
     Delete,
@@ -315,7 +327,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                 WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
                 WireError::Malformed => ErrorCode::BadRequest,
             };
-            proto::encode_response(
+            encode_or_substitute(
                 &mut wbuf,
                 proto::CONTROL_ID,
                 &Response::Error { code, message: e.to_string() },
@@ -379,6 +391,10 @@ fn dispatch_window<S: KvStore + Send + 'static>(
                 control += 1;
                 plan.push((id, Slot::Stats));
             }
+            Request::Health => {
+                control += 1;
+                plan.push((id, Slot::Health));
+            }
             Request::Get { key } => {
                 ops.push(BatchOp::Get(key));
                 plan.push((id, Slot::Get));
@@ -415,6 +431,10 @@ fn dispatch_window<S: KvStore + Send + 'static>(
                 ops_served: shared.ops_served.load(Ordering::Relaxed),
                 active_connections: shared.active.load(Ordering::SeqCst) as u32,
                 connections_accepted: shared.accepted.load(Ordering::SeqCst),
+                health: store.healths().into_iter().map(Into::into).collect(),
+            }),
+            Slot::Health => Response::Health(HealthReply {
+                shards: store.healths().into_iter().map(Into::into).collect(),
             }),
             Slot::Get => match next_get(&mut replies) {
                 Ok(v) => Response::Value(v),
@@ -439,7 +459,7 @@ fn dispatch_window<S: KvStore + Send + 'static>(
                     .collect(),
             ),
         };
-        proto::encode_response(wbuf, id, &resp);
+        encode_or_substitute(wbuf, id, &resp);
         if wbuf.len() >= cfg.write_buffer_limit {
             flush(stream, wbuf)?;
         }
@@ -452,6 +472,16 @@ fn dispatch_window<S: KvStore + Send + 'static>(
 
 fn error_response(e: &aria_store::StoreError) -> Response {
     Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
+}
+
+/// Encode `resp`; if it exceeds the wire frame cap, send a typed error
+/// frame under the same request id instead — the client always gets an
+/// answer for every id, never a silently dropped response.
+fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response) {
+    if let Err(e) = proto::encode_response(wbuf, id, resp) {
+        let fallback = Response::Error { code: ErrorCode::FrameTooLarge, message: e.to_string() };
+        proto::encode_response(wbuf, id, &fallback).expect("error frames are tiny");
+    }
 }
 
 fn next_get(
@@ -488,4 +518,66 @@ fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>) -> io::Result<()> {
     stream.write_all(wbuf)?;
     wbuf.clear();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aria_sim::Enclave;
+    use aria_store::{AriaHash, StoreConfig};
+
+    fn ping_over(addr: SocketAddr) -> bool {
+        let Ok(mut stream) = TcpStream::connect(addr) else { return false };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, 1, &Request::Ping).unwrap();
+        if stream.write_all(&buf).is_err() {
+            return false;
+        }
+        let mut rbuf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match proto::decode_response(&rbuf) {
+                Ok(Decoded::Frame(_, id, Response::Pong)) => return id == 1,
+                Ok(Decoded::Frame(..)) | Err(_) => return false,
+                Ok(Decoded::Incomplete) => match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return false,
+                    Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                },
+            }
+        }
+    }
+
+    /// A connection thread that panics while holding the registry lock
+    /// must not take the acceptor (or graceful shutdown) down with it.
+    #[test]
+    fn poisoned_conn_registry_keeps_accepting_and_shuts_down() {
+        let store = Arc::new(
+            ShardedStore::with_shards(2, |_| {
+                AriaHash::new(StoreConfig::for_keys(1_024), Arc::new(Enclave::with_default_epc()))
+            })
+            .unwrap(),
+        );
+        let server = AriaServer::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        assert!(ping_over(addr), "server must serve before the poisoning");
+
+        // Poison shared.conns exactly the way a panicking thread that
+        // holds the lock would.
+        let shared = Arc::clone(&server.shared);
+        let _ = thread::spawn(move || {
+            let _guard = shared.conns.lock().unwrap();
+            panic!("injected panic while holding the connection registry");
+        })
+        .join();
+        assert!(server.shared.conns.is_poisoned());
+
+        // New connections are still accepted and served (the acceptor
+        // pushes into the poisoned registry without panicking) …
+        assert!(ping_over(addr), "listener must keep accepting after the poisoning");
+        assert!(ping_over(addr));
+
+        // … and shutdown still drains and joins everything.
+        server.shutdown();
+    }
 }

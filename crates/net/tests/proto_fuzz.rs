@@ -1,0 +1,138 @@
+//! Wire-decoder fuzzing: the decoder sits on the untrusted network
+//! edge, so arbitrary, truncated and oversized byte soup must produce
+//! typed decode results — `Frame`, `Incomplete` or a `WireError` —
+//! and never panic, over-read, or accept a frame beyond the 4 MiB cap.
+
+use aria_net::proto::{
+    self, decode_request, decode_response, Decoded, Request, Response, WireError, MAX_FRAME_LEN,
+};
+use proptest::prelude::*;
+
+/// Exercise one decoder over a buffer and sanity-check what comes back.
+fn check_decode<T>(
+    buf: &[u8],
+    decode: impl Fn(&[u8]) -> Result<Decoded<T>, WireError>,
+) -> Result<(), TestCaseError> {
+    match decode(buf) {
+        Ok(Decoded::Frame(consumed, _id, _msg)) => {
+            prop_assert!(consumed <= buf.len(), "consumed {} > {} buffered", consumed, buf.len());
+            prop_assert!(consumed >= 13, "a frame is at least header-sized");
+        }
+        Ok(Decoded::Incomplete) => {
+            // Incomplete must only be claimed when the declared frame
+            // really extends past the buffer.
+            if buf.len() >= 4 {
+                let declared = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+                prop_assert!(4 + declared > buf.len(), "complete frame reported Incomplete");
+            }
+        }
+        Err(WireError::FrameTooLarge { len }) => {
+            prop_assert!(len > MAX_FRAME_LEN, "FrameTooLarge for a {len}-byte frame");
+        }
+        Err(WireError::Malformed) | Err(WireError::UnknownOpcode(_)) => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure garbage: both decoders must return a typed result.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..256)) {
+        check_decode(&bytes, decode_request)?;
+        check_decode(&bytes, decode_response)?;
+    }
+
+    /// A valid frame truncated at every possible point must come back
+    /// `Incomplete` (or a typed error once the header itself is cut),
+    /// and the full buffer must round-trip.
+    #[test]
+    fn truncated_valid_frames_are_incomplete(id in any::<u64>(), klen in 0usize..64) {
+        let req = Request::Get { key: vec![0xA5; klen] };
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, id, &req).expect("small frame encodes");
+        for cut in 0..buf.len() {
+            match decode_request(&buf[..cut]) {
+                Ok(Decoded::Incomplete) => {}
+                other => prop_assert!(false, "cut at {cut}: unexpected {other:?}"),
+            }
+        }
+        match decode_request(&buf) {
+            Ok(Decoded::Frame(consumed, got_id, got)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, req);
+            }
+            other => prop_assert!(false, "full frame failed to decode: {other:?}"),
+        }
+    }
+
+    /// A length prefix over the cap is rejected before any allocation,
+    /// no matter what follows it.
+    #[test]
+    fn oversized_length_prefix_is_rejected(over in 1u64..1_000_000, tail in collection::vec(any::<u8>(), 0..32)) {
+        let declared = (MAX_FRAME_LEN as u64 + over) as u32;
+        let mut buf = declared.to_le_bytes().to_vec();
+        buf.extend_from_slice(&tail);
+        prop_assert_eq!(
+            decode_request(&buf),
+            Err(WireError::FrameTooLarge { len: declared as usize })
+        );
+        prop_assert_eq!(
+            decode_response(&buf),
+            Err(WireError::FrameTooLarge { len: declared as usize })
+        );
+    }
+
+    /// Corrupting one byte of a valid frame must still yield a typed
+    /// result — decoded frame, Incomplete, or typed error.
+    #[test]
+    fn bit_flipped_frames_stay_typed(
+        id in any::<u64>(),
+        pos_pick in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let req = Request::Put { key: b"key".to_vec(), value: vec![7u8; 20] };
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, id, &req).expect("small frame encodes");
+        let pos = pos_pick % buf.len();
+        buf[pos] ^= 1 << bit;
+        check_decode(&buf, decode_request)?;
+    }
+
+    /// Hostile batch counts (`MultiGet`/`PutBatch` claiming more items
+    /// than bytes exist) must be rejected, not trusted as a capacity.
+    #[test]
+    fn hostile_batch_counts_are_malformed(count in 1_000_000u32..u32::MAX) {
+        // Hand-build: opcode 0x04 (MULTI_GET), id 0, body = count only.
+        let mut buf = Vec::new();
+        let body_len = 9u32 + 4; // opcode + id + u32 count
+        buf.extend_from_slice(&body_len.to_le_bytes());
+        buf.push(0x04);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&count.to_le_bytes());
+        prop_assert_eq!(decode_request(&buf), Err(WireError::Malformed));
+    }
+}
+
+/// The 4 MiB cap holds on the encode path too: a response that cannot
+/// fit is refused and the output buffer is left exactly as it was.
+#[test]
+fn encode_cap_refuses_and_rolls_back() {
+    let mut buf = Vec::new();
+    proto::encode_response(&mut buf, 1, &Response::Pong).expect("pong fits");
+    let before = buf.clone();
+    let huge = Response::Value(Some(vec![0u8; MAX_FRAME_LEN]));
+    let err = proto::encode_response(&mut buf, 2, &huge).expect_err("over-cap must refuse");
+    assert!(matches!(err, WireError::FrameTooLarge { .. }));
+    assert_eq!(buf, before, "failed encode must not leave partial bytes");
+
+    let mut out = Vec::new();
+    let huge_req = Request::Put { key: vec![1u8; 16], value: vec![2u8; MAX_FRAME_LEN] };
+    assert!(matches!(
+        proto::encode_request(&mut out, 3, &huge_req),
+        Err(WireError::FrameTooLarge { .. })
+    ));
+    assert!(out.is_empty());
+}

@@ -23,7 +23,7 @@ use crate::core::{hash_key, StoreCore};
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::{CacheStats, KvStore};
+use crate::{CacheStats, KvStore, RecoveryReport};
 
 /// Tag bit marking a bucket-slot AdField (vs an entry `next`-cell one).
 const AD_BUCKET_TAG: u64 = 1 << 63;
@@ -60,6 +60,13 @@ pub struct AriaHash {
     /// at 255 (practically unreachable at sane load factors), after
     /// which the deletion check for that bucket is skipped.
     bucket_counts: Vec<u8>,
+    /// Bitset of poisoned buckets (EPC). A recovery pass poisons a
+    /// bucket when it destroyed or lost entries there: misses in a
+    /// poisoned bucket fail closed with [`Violation::DataDestroyed`]
+    /// because "absent" and "deleted by the attacker" are no longer
+    /// distinguishable. Poisoning is permanent; hits and fresh puts
+    /// work normally.
+    poisoned: Vec<u64>,
 }
 
 impl AriaHash {
@@ -75,10 +82,17 @@ impl AriaHash {
         suite: Option<Arc<dyn aria_crypto::CipherSuite>>,
     ) -> Result<Self, StoreError> {
         let buckets = cfg.buckets;
-        // Per-bucket trusted counts live in the EPC (1 byte per bucket).
-        enclave.epc_alloc(buckets).map_err(|_| StoreError::EpcExhausted)?;
+        // Per-bucket trusted counts + the poisoned-bucket bitset live in
+        // the EPC (1 byte + 1 bit per bucket).
+        let poison_words = buckets.div_ceil(64);
+        enclave.epc_alloc(buckets + poison_words * 8).map_err(|_| StoreError::EpcExhausted)?;
         let core = StoreCore::new(cfg, enclave, suite)?;
-        Ok(AriaHash { core, buckets: vec![UPtr::NULL; buckets], bucket_counts: vec![0; buckets] })
+        Ok(AriaHash {
+            core,
+            buckets: vec![UPtr::NULL; buckets],
+            bucket_counts: vec![0; buckets],
+            poisoned: vec![0; poison_words],
+        })
     }
 
     fn bucket_of(&self, key: &[u8]) -> usize {
@@ -163,6 +177,135 @@ impl AriaHash {
             Ok(None::<()>)
         })?;
         Ok(walked)
+    }
+
+    fn bucket_poisoned(&self, bucket: usize) -> bool {
+        self.core.enclave.access_epc(8);
+        (self.poisoned[bucket / 64] >> (bucket % 64)) & 1 == 1
+    }
+
+    fn poison_bucket(&mut self, bucket: usize) {
+        self.core.enclave.access_epc(8);
+        self.poisoned[bucket / 64] |= 1 << (bucket % 64);
+    }
+
+    /// Number of buckets a recovery pass has poisoned (fail-closed).
+    pub fn poisoned_buckets(&self) -> u64 {
+        self.poisoned.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    // --- recovery -----------------------------------------------------------
+
+    /// Verify the entry at `ptr` (incoming cell `cell`) end to end.
+    /// `Err(Some(next))` condemns the entry but preserves the chain tail;
+    /// `Err(None)` means not even the header parsed, so the tail is
+    /// unreachable.
+    fn verify_entry_at(&mut self, cell: Cell, ptr: UPtr) -> Result<EntryHeader, Option<UPtr>> {
+        let Ok(header) = self.read_header(ptr) else { return Err(None) };
+        let Ok(sealed) = self.core.read_sealed(ptr, &header) else { return Err(Some(header.next)) };
+        let Ok(counter) = self.core.counters.get(header.redptr) else {
+            return Err(Some(header.next));
+        };
+        self.core.enclave.charge_mac(16 + header.klen + header.vlen + 24);
+        if entry::verify_entry(self.core.suite.as_ref(), &sealed, &counter, cell.ad_field()) {
+            Ok(header)
+        } else {
+            Err(Some(header.next))
+        }
+    }
+
+    /// Before excising a condemned entry, refresh its successor's AdField
+    /// to the cell it is about to be re-linked from — but only if the
+    /// successor verifies against its *current* incoming cell first.
+    /// Resealing an unverified entry would launder corrupt bytes under a
+    /// fresh MAC; a successor that fails here is simply left for the
+    /// sweep to condemn on its own.
+    fn reseal_successor_if_intact(&mut self, excised: UPtr, succ: UPtr, new_cell: Cell) {
+        if succ.is_null() {
+            return;
+        }
+        let Ok(header) = self.read_header(succ) else { return };
+        let Ok(sealed) = self.core.read_sealed(succ, &header) else { return };
+        let Ok(counter) = self.core.counters.get(header.redptr) else { return };
+        let old_ad = Cell::Next(excised).ad_field();
+        if entry::verify_entry(self.core.suite.as_ref(), &sealed, &counter, old_ad) {
+            let _ = self.core.reseal_ad_field(succ, &header, new_cell.ad_field());
+        }
+    }
+
+    /// Recovery sweep of one bucket chain: every entry is MAC-verified
+    /// against its incoming cell; condemned entries are excised and their
+    /// blocks freed. Returns `(entries kept, entries destroyed)`.
+    ///
+    /// Counter ids of excised entries are deliberately **not** released:
+    /// a corrupt entry's RedPtr field is attacker-controlled, and freeing
+    /// whatever id it names could release a live counter out from under
+    /// an intact entry elsewhere. Leaking the id is the safe direction.
+    fn sweep_bucket(&mut self, bucket: usize) -> (u64, u64) {
+        let mut kept = 0u64;
+        let mut destroyed = 0u64;
+        let mut cell = Cell::Bucket(bucket);
+        loop {
+            let ptr = match self.read_cell(cell) {
+                Ok(p) => p,
+                Err(_) => {
+                    // The cell itself is unreadable: cut the chain here.
+                    let _ = self.write_cell(cell, UPtr::NULL);
+                    destroyed += 1;
+                    break;
+                }
+            };
+            if ptr.is_null() {
+                break;
+            }
+            match self.verify_entry_at(cell, ptr) {
+                Ok(_header) => {
+                    kept += 1;
+                    cell = Cell::Next(ptr);
+                }
+                Err(Some(next)) => {
+                    destroyed += 1;
+                    self.reseal_successor_if_intact(ptr, next, cell);
+                    let _ = self.write_cell(cell, next);
+                    let _ = self.core.heap.free(ptr);
+                    // Do not advance: `cell` now reaches `next`.
+                }
+                Err(None) => {
+                    // Unparsable header: the tail pointer is garbage too.
+                    destroyed += 1;
+                    let _ = self.write_cell(cell, UPtr::NULL);
+                    let _ = self.core.heap.free(ptr);
+                    break;
+                }
+            }
+        }
+        (kept, destroyed)
+    }
+
+    fn recover_inner(&mut self) -> RecoveryReport {
+        // Counter layer first: Merkle audit + fresh counters + free ring.
+        let mut report = self.core.counters.recover();
+        // Heap free lists from the EPC block bitmaps.
+        self.core.heap.rebuild_freelists();
+        // Index sweep: with the counter layer repaired, an entry MAC that
+        // verifies proves the entry is the genuine latest version.
+        let mut total_kept = 0u64;
+        for bucket in 0..self.buckets.len() {
+            self.core.enclave.access_epc(1);
+            let stored = self.bucket_counts[bucket];
+            let (kept, destroyed) = self.sweep_bucket(bucket);
+            let silently_missing = stored != u8::MAX && u64::from(stored) != kept;
+            if (destroyed > 0 || silently_missing) && !self.bucket_poisoned(bucket) {
+                self.poison_bucket(bucket);
+                report.buckets_poisoned += 1;
+            }
+            self.bucket_counts[bucket] = kept.min(u64::from(u8::MAX)) as u8;
+            report.entries_destroyed += destroyed;
+            report.entries_verified += kept;
+            total_kept += kept;
+        }
+        self.core.len = total_kept;
+        report
     }
 
     /// The store's core (diagnostics: cache stats, heap stats, ...).
@@ -368,6 +511,11 @@ impl AriaHash {
                 let _ = walked;
                 let verified = self.verify_chain_on_miss(bucket)?;
                 self.check_count(bucket, verified)?;
+                if self.bucket_poisoned(bucket) {
+                    // A recovery pass destroyed data in this bucket: the
+                    // key may have existed. Refuse to answer "absent".
+                    return Err(StoreError::Integrity(Violation::DataDestroyed));
+                }
                 Ok(None)
             }
         }
@@ -394,6 +542,9 @@ impl AriaHash {
             let _ = walked;
             let verified = self.verify_chain_on_miss(bucket)?;
             self.check_count(bucket, verified)?;
+            if self.bucket_poisoned(bucket) {
+                return Err(StoreError::Integrity(Violation::DataDestroyed));
+            }
             return Ok(false);
         };
         // Unlink, refresh the successor's AdField (its incoming cell moved
@@ -489,5 +640,19 @@ impl KvStore for AriaHash {
             }
         }
         pairs.iter().map(|(key, _)| applied[*key].clone()).collect()
+    }
+
+    /// Full repair against enclave ground truth: counter-layer audit
+    /// (Merkle trees, free ring), heap free-list rebuild, then a
+    /// MAC-verifying sweep of every chain that excises whatever no
+    /// longer verifies and poisons the affected buckets (fail-closed).
+    /// Fault injection on the heap is suspended for the duration — the
+    /// pass models a quiesced shard re-verifying from a safe state.
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let was_active = self.core.heap.faults_active();
+        self.core.heap.suspend_faults(true);
+        let report = self.recover_inner();
+        self.core.heap.suspend_faults(!was_active);
+        Ok(report)
     }
 }

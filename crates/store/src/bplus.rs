@@ -32,7 +32,7 @@ use crate::core::StoreCore;
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::{CacheStats, KvStore};
+use crate::{CacheStats, KvStore, RecoveryReport};
 
 /// AdField anchor for the root node's contents.
 const AD_ROOT_TAG: u64 = (1 << 63) | (1 << 61);
@@ -830,5 +830,21 @@ impl KvStore for AriaBPlusTree {
                 swapping: c.swapping(),
             }
         })
+    }
+
+    /// Verify-and-re-admit recovery (B+-tree variant): rebuild the
+    /// counter layer and allocator free lists, then stream the full leaf
+    /// chain decrypting every entry. Surviving corruption surfaces as
+    /// `Err` — the shard stays out of service rather than serving bytes
+    /// it cannot vouch for.
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let was_active = self.core.heap.faults_active();
+        self.core.heap.suspend_faults(true);
+        let mut report = self.core.counters.recover();
+        self.core.heap.rebuild_freelists();
+        let verified = self.keys_in_order().map(|keys| keys.len() as u64);
+        self.core.heap.suspend_faults(!was_active);
+        report.entries_verified = verified?;
+        Ok(report)
     }
 }

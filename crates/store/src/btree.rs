@@ -28,7 +28,7 @@ use crate::core::StoreCore;
 use crate::counter::CounterStore;
 use crate::entry::{self, EntryHeader};
 use crate::error::{StoreError, Violation};
-use crate::{CacheStats, KvStore};
+use crate::{CacheStats, KvStore, RecoveryReport};
 
 /// A decrypted `(key, value)` pair returned by range scans.
 pub type KvPair = (Vec<u8>, Vec<u8>);
@@ -815,5 +815,23 @@ impl KvStore for AriaTree {
                 swapping: c.swapping(),
             }
         })
+    }
+
+    /// Verify-and-re-admit recovery (tree variant).
+    ///
+    /// The B-tree has no per-bucket granularity to quarantine damage
+    /// into, so recovery is *verify-only*: rebuild the counter layer and
+    /// allocator free lists, then walk the whole index decrypting every
+    /// entry. Any surviving corruption surfaces as `Err`, which the
+    /// caller must treat as "this shard cannot be re-admitted".
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let was_active = self.core.heap.faults_active();
+        self.core.heap.suspend_faults(true);
+        let mut report = self.core.counters.recover();
+        self.core.heap.rebuild_freelists();
+        let verified = self.keys_in_order().map(|keys| keys.len() as u64);
+        self.core.heap.suspend_faults(!was_active);
+        report.entries_verified = verified?;
+        Ok(report)
     }
 }

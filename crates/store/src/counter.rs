@@ -16,15 +16,16 @@
 //! * [`EpcCounters`] — "Aria w/o Cache": all counters live inside the
 //!   enclave in a flat array subject to hardware secure paging.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use aria_cache::{CacheConfig, SecureCache};
 use aria_crypto::CipherSuite;
-use aria_merkle::MerkleTree;
+use aria_merkle::{MerkleTree, NodeId};
 use aria_sim::{Enclave, PagedRegionId};
 
 use crate::error::{StoreError, Violation};
+use crate::RecoveryReport;
 
 /// Bytes per counter.
 pub const COUNTER_LEN: usize = 16;
@@ -122,6 +123,21 @@ impl IdAllocator {
         enclave.access_untrusted(8);
         Ok(())
     }
+
+    /// Rebuild the untrusted free ring from the EPC bitmap. The ring may
+    /// have been tampered with (entries dropped, duplicated, or forged);
+    /// the bitmap is the ground truth, so after this every id below the
+    /// fresh watermark whose bit is clear is free exactly once.
+    fn rebuild_ring(&mut self, enclave: &Enclave) {
+        self.free_ring.clear();
+        for id in 0..self.next_fresh {
+            enclave.access_epc(8);
+            if !self.bit(id) {
+                self.free_ring.push_back(id);
+                enclave.access_untrusted(8);
+            }
+        }
+    }
 }
 
 /// Full-Aria counter backend: Merkle-tree-protected counters behind the
@@ -135,6 +151,9 @@ pub struct CounterArea {
     arity: usize,
     expansion_cache_bytes: usize,
     seed: u64,
+    /// Bumped on every recovery pass so reinitialized counters can never
+    /// collide with any value ever handed out before the attack.
+    recovery_epoch: u64,
 }
 
 impl CounterArea {
@@ -166,6 +185,7 @@ impl CounterArea {
             arity,
             expansion_cache_bytes,
             seed,
+            recovery_epoch: 0,
         })
     }
 
@@ -252,6 +272,46 @@ impl CounterArea {
         self.caches.len()
     }
 
+    /// Audit and repair every counter tree against enclave ground truth.
+    ///
+    /// Per tree: drain the Secure Cache's EPC-resident nodes into
+    /// untrusted memory (they are ground truth), run the root-anchored
+    /// [`MerkleTree::audit_leaves`] pass, reinitialize every counter in
+    /// a condemned leaf with a globally fresh value (so no sealed entry
+    /// referencing an old counter can ever verify again), rebuild the
+    /// tree bottom-up, and re-pin the cache. Finally the untrusted free
+    /// ring is rebuilt from the EPC bitmap. Counter ids are never lost:
+    /// condemned ids stay allocated until their owning entries are
+    /// excised by the index-level sweep.
+    pub fn recover(&mut self) -> RecoveryReport {
+        self.recovery_epoch += 1;
+        let mut report = RecoveryReport::default();
+        for (tree_idx, cache) in self.caches.iter_mut().enumerate() {
+            let base = tree_idx as u64 * self.per_tree;
+            let trusted: HashSet<NodeId> = cache.recovery_drain().into_iter().collect();
+            let condemned = cache.tree().audit_leaves(&trusted);
+            report.merkle_nodes_condemned += condemned.len() as u64;
+            for leaf in &condemned {
+                for slot in cache.tree().counters_in_leaf(*leaf) {
+                    let value = fresh_counter(self.seed, self.recovery_epoch, base + slot);
+                    self.enclave.access_untrusted(COUNTER_LEN);
+                    cache.tree_mut_raw().write_counter_raw(slot, &value);
+                    report.counters_reinitialized += 1;
+                }
+            }
+            // Recompute every inner node + the enclave root from the
+            // repaired leaves (the audit guarantees surviving leaves are
+            // genuine, so the rebuilt root anchors only genuine data).
+            let total = cache.tree().total_bytes();
+            self.enclave.access_untrusted(total);
+            self.enclave.charge_mac(total);
+            cache.tree_mut_raw().rebuild();
+            cache.recovery_repin();
+        }
+        self.ids.rebuild_ring(&self.enclave);
+        report
+    }
+
     /// Attacker access to a tree's untrusted state.
     pub fn cache_mut(&mut self, tree: usize) -> &mut SecureCache {
         &mut self.caches[tree]
@@ -296,6 +356,20 @@ impl CounterStore for CounterArea {
     }
 }
 
+/// A counter value for `id` that is distinct from every value produced at
+/// initialization or by any earlier recovery epoch (epoch 0 is reserved
+/// for initialization; recovery epochs start at 1 and are folded into
+/// both halves of the value).
+fn fresh_counter(seed: u64, epoch: u64, id: u64) -> [u8; COUNTER_LEN] {
+    let mut x = seed ^ epoch.rotate_left(17) ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let mut v = [0u8; COUNTER_LEN];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v[8..].copy_from_slice(&(id ^ epoch.rotate_left(48)).to_le_bytes());
+    v
+}
+
 /// "Aria w/o Cache" backend: a flat counter array inside the enclave,
 /// subject to hardware secure paging once it outgrows the EPC.
 pub struct EpcCounters {
@@ -324,6 +398,14 @@ impl EpcCounters {
     #[inline]
     fn touch(&self, id: u64) {
         self.enclave.touch_paged(self.region, id as usize * COUNTER_LEN, COUNTER_LEN);
+    }
+
+    /// Recovery for the in-enclave backend: the counters themselves are
+    /// EPC-resident (nothing to audit), but the free ring is untrusted
+    /// and is rebuilt from the bitmap.
+    pub fn recover(&mut self) -> RecoveryReport {
+        self.ids.rebuild_ring(&self.enclave);
+        RecoveryReport::default()
     }
 }
 
@@ -424,6 +506,15 @@ impl CounterStore for CounterBackend {
 }
 
 impl CounterBackend {
+    /// Audit and repair whichever backend is in use (see
+    /// [`CounterArea::recover`] / [`EpcCounters::recover`]).
+    pub fn recover(&mut self) -> RecoveryReport {
+        match self {
+            CounterBackend::Cached(c) => c.recover(),
+            CounterBackend::Epc(c) => c.recover(),
+        }
+    }
+
     /// The `CounterArea` if this is the cached backend.
     pub fn as_cached(&self) -> Option<&CounterArea> {
         match self {
@@ -514,6 +605,68 @@ mod tests {
         assert_ne!(v0, v1);
         assert_ne!(v1, v2);
         assert_eq!(a.get(id).unwrap(), v2);
+    }
+
+    #[test]
+    fn recover_reinitializes_only_condemned_counters() {
+        let mut a = area(256);
+        let ids: Vec<u64> = (0..32).map(|_| a.fetch().unwrap()).collect();
+        let survivor = a.get(ids[0]).unwrap();
+        // Make the untrusted tree globally consistent, then corrupt the
+        // leaf holding a *different* counter.
+        a.cache_mut(0).flush();
+        let (victim_leaf, _) = a.cache(0).tree().locate_counter(ids[20]);
+        a.cache_mut(0).tree_mut_raw().node_mut_raw(victim_leaf)[0] ^= 0xff;
+        assert!(a.get(ids[20]).is_err(), "corruption must be detected before recovery");
+
+        let old_victim_region: Vec<[u8; 16]> = a
+            .cache(0)
+            .tree()
+            .counters_in_leaf(victim_leaf)
+            .map(|slot| a.cache(0).tree().counter_bytes(slot))
+            .collect();
+        let report = a.recover();
+        assert_eq!(report.merkle_nodes_condemned, 1);
+        assert_eq!(report.counters_reinitialized, 8);
+        // The survivor's counter is untouched; the victims are fresh.
+        assert_eq!(a.get(ids[0]).unwrap(), survivor);
+        for (i, slot) in a.cache(0).tree().counters_in_leaf(victim_leaf).enumerate() {
+            let new = a.cache(0).tree().counter_bytes(slot);
+            assert_ne!(new, old_victim_region[i], "slot {slot} kept a condemned value");
+        }
+        // And everything verifies again.
+        assert!(a.get(ids[20]).is_ok());
+    }
+
+    #[test]
+    fn recover_rebuilds_tampered_free_ring() {
+        let mut a = area(128);
+        let ids: Vec<u64> = (0..10).map(|_| a.fetch().unwrap()).collect();
+        for &id in &ids[..5] {
+            a.free(id).unwrap();
+        }
+        // Attacker empties the (untrusted) free ring; without recovery the
+        // freed ids would leak and fresh ids be burned instead.
+        a.ids.free_ring.clear();
+        a.recover();
+        let mut recycled: Vec<u64> = (0..5).map(|_| a.fetch().unwrap()).collect();
+        recycled.sort_unstable();
+        assert_eq!(recycled, ids[..5].to_vec());
+    }
+
+    #[test]
+    fn recover_keeps_cached_dirty_counters() {
+        let mut a = area(256);
+        let id = a.fetch().unwrap();
+        let bumped = a.bump(id).unwrap(); // dirty in the EPC cache only
+                                          // Attacker scribbles the untrusted copy of that leaf.
+        let (leaf, _) = a.cache(0).tree().locate_counter(id);
+        a.cache_mut(0).tree_mut_raw().node_mut_raw(leaf)[1] ^= 0x55;
+        let report = a.recover();
+        // The EPC-cached copy was ground truth: nothing condemned, the
+        // bumped value survives.
+        assert_eq!(report.merkle_nodes_condemned, 0);
+        assert_eq!(a.get(id).unwrap(), bumped);
     }
 
     #[test]

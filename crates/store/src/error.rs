@@ -29,6 +29,11 @@ pub enum Violation {
     /// An untrusted pointer (index connection, entry link) referenced
     /// memory outside any live allocation — pointer corruption.
     CorruptPointer,
+    /// The key's data was destroyed by a past attack: a recovery pass
+    /// condemned the untrusted region it lived in, so the store can no
+    /// longer distinguish "never written" from "deleted by the attacker".
+    /// Reads fail closed instead of answering "not found".
+    DataDestroyed,
 }
 
 impl std::fmt::Display for Violation {
@@ -44,6 +49,9 @@ impl std::fmt::Display for Violation {
             Violation::UnauthorizedDeletion => write!(f, "unauthorized deletion detected"),
             Violation::AllocatorMetadata => write!(f, "allocator metadata inconsistent"),
             Violation::CorruptPointer => write!(f, "corrupt untrusted pointer"),
+            Violation::DataDestroyed => {
+                write!(f, "data destroyed by a detected attack (fail-closed read)")
+            }
         }
     }
 }
@@ -76,6 +84,14 @@ pub enum StoreError {
         /// The unreachable shard.
         shard: usize,
     },
+    /// A [`crate::sharded::ShardedStore`] shard detected an integrity
+    /// violation and is quarantined (or recovering); operations routed
+    /// to it are refused until recovery re-admits it. Other shards keep
+    /// serving.
+    ShardQuarantined {
+        /// The quarantined shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -89,6 +105,9 @@ impl std::fmt::Display for StoreError {
             StoreError::ValueTooLong { len } => write!(f, "value too long: {len} bytes"),
             StoreError::ShardUnavailable { shard } => {
                 write!(f, "shard {shard} unavailable (worker gone)")
+            }
+            StoreError::ShardQuarantined { shard } => {
+                write!(f, "shard {shard} quarantined after an integrity violation")
             }
         }
     }
@@ -122,5 +141,18 @@ impl StoreError {
     /// Whether this error denotes a detected attack.
     pub fn is_integrity_violation(&self) -> bool {
         matches!(self, StoreError::Integrity(_))
+    }
+
+    /// Whether this error should quarantine the shard that produced it.
+    ///
+    /// All fresh integrity violations do — except
+    /// [`Violation::DataDestroyed`], which reports the *lasting scar* of
+    /// an attack a previous recovery already contained (re-quarantining
+    /// for it would loop forever, since the data is gone for good).
+    pub fn is_quarantine_trigger(&self) -> bool {
+        match self {
+            StoreError::Integrity(v) => !matches!(v, Violation::DataDestroyed),
+            _ => false,
+        }
     }
 }

@@ -42,7 +42,44 @@ pub use btree::AriaTree;
 pub use config::{ConfigError, Scheme, StoreConfig, StoreConfigBuilder};
 pub use counter::{CounterBackend, CounterStore};
 pub use error::{StoreError, Violation};
-pub use sharded::{BatchOp, BatchReply, ShardedStore};
+pub use sharded::{BatchOp, BatchReply, ShardHealth, ShardHealthSnapshot, ShardedStore};
+
+/// What a [`KvStore::recover`] pass found and repaired. All counts are
+/// zero for stores whose untrusted state checked out (or that have none).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Merkle leaf nodes condemned by the root-anchored audit.
+    pub merkle_nodes_condemned: u64,
+    /// Encryption counters reinitialized with fresh values.
+    pub counters_reinitialized: u64,
+    /// Sealed entries destroyed (unlinked and reclaimed) because their
+    /// MAC no longer verified after the counter repair.
+    pub entries_destroyed: u64,
+    /// Sealed entries that re-verified intact during the sweep.
+    pub entries_verified: u64,
+    /// Index buckets poisoned: misses there now fail closed with
+    /// [`Violation::DataDestroyed`] instead of answering "absent".
+    pub buckets_poisoned: u64,
+}
+
+impl RecoveryReport {
+    /// Whether the pass found any damage at all.
+    pub fn found_damage(&self) -> bool {
+        self.merkle_nodes_condemned != 0
+            || self.counters_reinitialized != 0
+            || self.entries_destroyed != 0
+            || self.buckets_poisoned != 0
+    }
+
+    /// Merge another report into this one (multi-tree stores).
+    pub fn absorb(&mut self, other: RecoveryReport) {
+        self.merkle_nodes_condemned += other.merkle_nodes_condemned;
+        self.counters_reinitialized += other.counters_reinitialized;
+        self.entries_destroyed += other.entries_destroyed;
+        self.entries_verified += other.entries_verified;
+        self.buckets_poisoned += other.buckets_poisoned;
+    }
+}
 
 /// Secure Cache statistics, as reported through [`KvStore::cache_stats`]
 /// by schemes that run one (aggregated across the counter area's trees).
@@ -108,6 +145,18 @@ pub trait KvStore {
     /// one `put` per pair; see [`KvStore::multi_get`].
     fn put_batch(&mut self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<(), StoreError>> {
         pairs.iter().map(|(key, value)| self.put(key, value)).collect()
+    }
+    /// Audit and repair the store's untrusted state after a detected
+    /// integrity violation, re-anchoring everything to enclave-resident
+    /// ground truth (Merkle roots, EPC bitmaps, cached nodes).
+    ///
+    /// `Ok(report)` means the store is again safe to serve: every
+    /// surviving datum re-verified, every condemned datum was destroyed
+    /// and its index location poisoned (fail-closed). `Err` means the
+    /// damage could not be contained and the store must stay offline.
+    /// The default is for stores with no untrusted state to repair.
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        Ok(RecoveryReport::default())
     }
 }
 

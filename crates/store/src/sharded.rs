@@ -35,7 +35,31 @@
 //! `Get`s become one [`KvStore::multi_get`] and runs of `Put`s one
 //! [`KvStore::put_batch`], each charging the simulated per-request cost
 //! once.
+//!
+//! # Health and quarantine
+//!
+//! Every shard carries a health state machine:
+//!
+//! ```text
+//! Healthy ──violation──▶ Quarantined ──▶ Recovering ──▶ Healthy
+//!                                            │
+//!                                            └──(attempts exhausted)──▶ Dead
+//! ```
+//!
+//! When any reply carries a quarantine-triggering integrity violation
+//! (see [`StoreError::is_quarantine_trigger`]) the shard flips to
+//! `Quarantined`: new operations routed to it are refused with
+//! [`StoreError::ShardQuarantined`] *without touching the worker*, while
+//! sibling shards keep serving. A recovery job is queued on the shard's
+//! own worker thread; it runs [`KvStore::recover`] (drain the Secure
+//! Cache, audit the counter Merkle tree against the enclave root,
+//! condemn and reinitialize damaged counters, sweep the index
+//! re-verifying every entry MAC) up to [`RECOVERY_ATTEMPTS`] times.
+//! Success re-admits the shard; exhausting the attempts marks it `Dead`
+//! (refused with [`StoreError::ShardUnavailable`], like a crashed
+//! worker). [`ShardedStore::healths`] exposes the per-shard state.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -49,6 +73,98 @@ pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// How many queued requests a worker drains per wakeup.
 const WORKER_DRAIN_LIMIT: usize = 32;
+
+/// How many times a quarantined shard retries [`KvStore::recover`]
+/// before it is declared [`ShardHealth::Dead`].
+pub const RECOVERY_ATTEMPTS: u32 = 3;
+
+/// Lifecycle state of one shard (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy = 0,
+    /// An integrity violation was detected; recovery is queued. Ops are
+    /// refused with [`StoreError::ShardQuarantined`].
+    Quarantined = 1,
+    /// Recovery is running on the shard's worker thread. Ops are still
+    /// refused with [`StoreError::ShardQuarantined`].
+    Recovering = 2,
+    /// Recovery failed (or the worker thread died); the shard is out of
+    /// service for good. Ops are refused with
+    /// [`StoreError::ShardUnavailable`].
+    Dead = 3,
+}
+
+impl ShardHealth {
+    /// Wire/atomic representation.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`ShardHealth::as_u8`]; unknown values decode as
+    /// `Dead` (fail closed).
+    pub fn from_u8(v: u8) -> ShardHealth {
+        match v {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Quarantined,
+            2 => ShardHealth::Recovering,
+            _ => ShardHealth::Dead,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShardHealth::Healthy => "healthy",
+            ShardHealth::Quarantined => "quarantined",
+            ShardHealth::Recovering => "recovering",
+            ShardHealth::Dead => "dead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A point-in-time copy of one shard's health counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealthSnapshot {
+    /// Current lifecycle state.
+    pub health: ShardHealth,
+    /// Quarantine-triggering violations observed on this shard.
+    pub violations: u64,
+    /// Completed quarantine → recovery → re-admission cycles.
+    pub recoveries: u64,
+}
+
+/// Shared (front-end ↔ recovery job) health record of one shard.
+struct ShardState {
+    health: AtomicU8,
+    violations: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
+            violations: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    fn health(&self) -> ShardHealth {
+        ShardHealth::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    fn snapshot(&self) -> ShardHealthSnapshot {
+        ShardHealthSnapshot {
+            health: self.health(),
+            violations: self.violations.load(Ordering::SeqCst),
+            recoveries: self.recoveries.load(Ordering::SeqCst),
+        }
+    }
+}
 
 /// One operation of a [`ShardedStore::run_batch`] request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,14 +199,19 @@ pub enum BatchReply {
 }
 
 impl BatchReply {
+    /// The error carried by this reply, if any.
+    pub fn error(&self) -> Option<&StoreError> {
+        match self {
+            BatchReply::Get(Err(e)) | BatchReply::Put(Err(e)) | BatchReply::Delete(Err(e)) => {
+                Some(e)
+            }
+            _ => None,
+        }
+    }
+
     /// Whether this reply reports a detected attack.
     pub fn is_integrity_violation(&self) -> bool {
-        match self {
-            BatchReply::Get(Err(e)) => e.is_integrity_violation(),
-            BatchReply::Put(Err(e)) => e.is_integrity_violation(),
-            BatchReply::Delete(Err(e)) => e.is_integrity_violation(),
-            _ => false,
-        }
+        self.error().is_some_and(StoreError::is_integrity_violation)
     }
 }
 
@@ -117,13 +238,16 @@ impl OpKind {
         }
     }
 
-    fn unavailable(self, shard: usize) -> BatchReply {
-        let err = StoreError::ShardUnavailable { shard };
+    fn with_err(self, err: StoreError) -> BatchReply {
         match self {
             OpKind::Get => BatchReply::Get(Err(err)),
             OpKind::Put => BatchReply::Put(Err(err)),
             OpKind::Delete => BatchReply::Delete(Err(err)),
         }
+    }
+
+    fn unavailable(self, shard: usize) -> BatchReply {
+        self.with_err(StoreError::ShardUnavailable { shard })
     }
 }
 
@@ -151,6 +275,7 @@ impl OpKind {
 pub struct ShardedStore<S: KvStore + Send + 'static> {
     senders: Vec<SyncSender<Request<S>>>,
     workers: Vec<JoinHandle<()>>,
+    states: Vec<Arc<ShardState>>,
 }
 
 impl<S: KvStore + Send + 'static> ShardedStore<S> {
@@ -218,7 +343,8 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                 Err(_) => panic!("shard worker panicked during construction"),
             }
         }
-        Ok(ShardedStore { senders, workers })
+        let states = (0..shards).map(|_| Arc::new(ShardState::new())).collect();
+        Ok(ShardedStore { senders, workers, states })
     }
 
     /// Number of shards.
@@ -263,7 +389,8 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// A worker whose thread has died (e.g. a panic in the underlying
     /// store) never hangs the caller: its ops come back as
     /// [`StoreError::ShardUnavailable`] while other shards answer
-    /// normally.
+    /// normally; quarantined shards answer
+    /// [`StoreError::ShardQuarantined`] without being touched.
     pub fn run_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
         let shards = self.senders.len();
         let total = ops.len();
@@ -279,9 +406,9 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         // Send every shard its slice first so they all work in parallel,
         // then collect.
         let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
-        let fill_unavailable = |out: &mut Vec<Option<BatchReply>>, shard: usize| {
+        let refuse = |out: &mut Vec<Option<BatchReply>>, shard: usize, err: &StoreError| {
             for (&i, &kind) in per_shard_idx[shard].iter().zip(&per_shard_kinds[shard]) {
-                out[i] = Some(kind.unavailable(shard));
+                out[i] = Some(kind.with_err(err.clone()));
             }
         };
         let mut pending = Vec::new();
@@ -289,11 +416,18 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             if ops.is_empty() {
                 continue;
             }
+            if let Some(err) = self.admission_error(shard) {
+                // Quarantined/recovering/dead shards are refused up
+                // front, without queueing behind the worker.
+                refuse(&mut out, shard, &err);
+                continue;
+            }
             let (tx, rx) = mpsc::channel();
             if self.senders[shard].send(Request::Ops { ops, reply: tx }).is_err() {
                 // Worker gone: the channel hands the request back and we
                 // answer for the dead shard instead of panicking.
-                fill_unavailable(&mut out, shard);
+                self.mark_dead(shard);
+                refuse(&mut out, shard, &StoreError::ShardUnavailable { shard });
                 continue;
             }
             pending.push((shard, rx));
@@ -302,32 +436,38 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             match rx.recv() {
                 Ok(replies) => {
                     debug_assert_eq!(replies.len(), per_shard_idx[shard].len());
+                    self.observe_replies(shard, &replies);
                     for (&i, reply) in per_shard_idx[shard].iter().zip(replies) {
                         out[i] = Some(reply);
                     }
                 }
                 // Worker died after accepting the request (reply sender
                 // dropped during unwind) — same typed error, no hang.
-                Err(_) => fill_unavailable(&mut out, shard),
+                Err(_) => {
+                    self.mark_dead(shard);
+                    refuse(&mut out, shard, &StoreError::ShardUnavailable { shard });
+                }
             }
         }
         out.into_iter().map(|r| r.expect("every op answered")).collect()
     }
 
-    /// Total live keys across all shards.
+    /// Total live keys across all shards. Dead shards contribute
+    /// nothing (their worker cannot be asked).
     #[allow(clippy::len_without_is_empty)] // is_empty is defined right below
     pub fn len(&self) -> u64 {
-        self.map_shards(|s| s.len()).into_iter().sum()
+        self.try_map_shards(|s| s.len()).into_iter().flatten().sum()
     }
 
-    /// Whether every shard is empty.
+    /// Whether every reachable shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.map_shards(|s| s.is_empty()).into_iter().all(|e| e)
+        self.try_map_shards(|s| s.is_empty()).into_iter().flatten().all(|e| e)
     }
 
-    /// Per-shard Secure Cache statistics (index = shard).
+    /// Per-shard Secure Cache statistics (index = shard). `None` for
+    /// stores without a Secure Cache *and* for unreachable shards.
     pub fn cache_stats(&self) -> Vec<Option<CacheStats>> {
-        self.map_shards(|s| s.cache_stats())
+        self.try_map_shards(|s| s.cache_stats()).into_iter().map(|s| s.flatten()).collect()
     }
 
     /// Cache statistics summed across shards (`None` if no shard runs a
@@ -344,9 +484,10 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         agg
     }
 
-    /// Per-shard enclave snapshots (index = shard).
+    /// Enclave snapshots of every reachable shard (dead workers are
+    /// skipped — monitoring must not panic mid-incident).
     pub fn snapshots(&self) -> Vec<EnclaveSnapshot> {
-        self.map_shards(|s| s.enclave().snapshot())
+        self.try_map_shards(|s| s.enclave().snapshot()).into_iter().flatten().collect()
     }
 
     /// Aggregate enclave statistics across shards. `max_cycles` is the
@@ -400,20 +541,156 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         receivers.into_iter().map(|rx| rx.recv().expect("shard worker dropped a reply")).collect()
     }
 
+    /// [`ShardedStore::map_shards`] that tolerates dead workers: a shard
+    /// whose worker is gone yields `None` (and is marked dead) instead
+    /// of panicking. Note this *does* wait for quarantined shards — an
+    /// in-flight recovery job runs ahead of the closure in queue order.
+    fn try_map_shards<R, F>(&self, f: F) -> Vec<Option<R>>
+    where
+        R: Send + 'static,
+        F: Fn(&mut S) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let receivers: Vec<_> = (0..self.senders.len())
+            .map(|shard| {
+                let f = Arc::clone(&f);
+                let (tx, rx) = mpsc::channel();
+                let sent = self.senders[shard]
+                    .send(Request::Exec(Box::new(move |store: &mut S| {
+                        let _ = tx.send(f(store));
+                    })))
+                    .is_ok();
+                if !sent {
+                    self.mark_dead(shard);
+                }
+                (shard, sent, rx)
+            })
+            .collect();
+        receivers
+            .into_iter()
+            .map(|(shard, sent, rx)| {
+                if !sent {
+                    return None;
+                }
+                match rx.recv() {
+                    Ok(r) => Some(r),
+                    Err(_) => {
+                        self.mark_dead(shard);
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+
     fn request_one(&self, op: BatchOp) -> BatchReply {
         let shard = self.shard_of(op.key());
         let kind = OpKind::of(&op);
+        if let Some(err) = self.admission_error(shard) {
+            return kind.with_err(err);
+        }
         let (tx, rx) = mpsc::channel();
         if self.senders[shard].send(Request::Ops { ops: vec![op], reply: tx }).is_err() {
+            self.mark_dead(shard);
             return kind.unavailable(shard);
         }
         match rx.recv() {
             Ok(mut replies) => {
                 debug_assert_eq!(replies.len(), 1);
+                self.observe_replies(shard, &replies);
                 replies.pop().expect("one reply per op")
             }
-            Err(_) => kind.unavailable(shard),
+            Err(_) => {
+                self.mark_dead(shard);
+                kind.unavailable(shard)
+            }
         }
+    }
+
+    // --- health machinery -------------------------------------------------------
+
+    /// Per-shard health snapshots (index = shard). Reads atomics only —
+    /// never blocks on a worker, so it stays accurate mid-quarantine.
+    pub fn healths(&self) -> Vec<ShardHealthSnapshot> {
+        self.states.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// Current health of one shard.
+    pub fn health_of(&self, shard: usize) -> ShardHealth {
+        self.states[shard].health()
+    }
+
+    /// The error a request routed to `shard` must be refused with right
+    /// now, if any.
+    fn admission_error(&self, shard: usize) -> Option<StoreError> {
+        match self.states[shard].health() {
+            ShardHealth::Healthy => None,
+            ShardHealth::Quarantined | ShardHealth::Recovering => {
+                Some(StoreError::ShardQuarantined { shard })
+            }
+            ShardHealth::Dead => Some(StoreError::ShardUnavailable { shard }),
+        }
+    }
+
+    fn mark_dead(&self, shard: usize) {
+        self.states[shard].health.store(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
+    }
+
+    /// Scan a shard's replies for quarantine-triggering violations and
+    /// start a recovery cycle if one is found.
+    fn observe_replies(&self, shard: usize, replies: &[BatchReply]) {
+        let triggers = replies
+            .iter()
+            .filter(|r| r.error().is_some_and(StoreError::is_quarantine_trigger))
+            .count() as u64;
+        if triggers > 0 {
+            self.quarantine(shard, triggers);
+        }
+    }
+
+    /// Flip `shard` to `Quarantined` and queue a recovery job on its
+    /// worker. Exactly one caller wins the CAS, so concurrent detections
+    /// of the same incident queue exactly one recovery.
+    fn quarantine(&self, shard: usize, violations: u64) {
+        let state = &self.states[shard];
+        state.violations.fetch_add(violations, Ordering::SeqCst);
+        if state
+            .health
+            .compare_exchange(
+                ShardHealth::Healthy.as_u8(),
+                ShardHealth::Quarantined.as_u8(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            // Already quarantined, recovering, or dead.
+            return;
+        }
+        let state = Arc::clone(state);
+        let recovery = Request::Exec(Box::new(move |store: &mut S| {
+            state.health.store(ShardHealth::Recovering.as_u8(), Ordering::SeqCst);
+            for _ in 0..RECOVERY_ATTEMPTS {
+                if store.recover().is_ok() {
+                    state.recoveries.fetch_add(1, Ordering::SeqCst);
+                    state.health.store(ShardHealth::Healthy.as_u8(), Ordering::SeqCst);
+                    return;
+                }
+            }
+            // The untrusted state cannot be re-verified: the shard never
+            // re-admits — answering from it could ack corrupt data.
+            state.health.store(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
+        }));
+        if self.senders[shard].send(recovery).is_err() {
+            self.mark_dead(shard);
+        }
+    }
+
+    /// Test hook: force a shard's health (gating paths are hard to catch
+    /// in the narrow real windows).
+    #[cfg(test)]
+    fn force_health(&self, shard: usize, health: ShardHealth) {
+        self.states[shard].health.store(health.as_u8(), Ordering::SeqCst);
     }
 
     /// Send `f` to a shard worker without waiting for it to run
@@ -522,8 +799,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Finalizing mixer (splitmix64): decorrelates shard routing from the
 /// in-shard bucket hash, which is the raw FNV digest modulo a power of
-/// two.
-fn splitmix64(mut x: u64) -> u64 {
+/// two. Public because it is also a convenient, dependency-free PRNG
+/// step (chain it over its own output) for jitter and test seeding.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -684,6 +962,97 @@ mod tests {
             }
         }
         assert!(dead_ops > 0 && live_ops > 0, "want both shard fates exercised");
+    }
+
+    #[test]
+    fn quarantine_gating_refuses_ops_without_touching_worker() {
+        let store = small_sharded(2);
+        store.put(b"k", b"v").unwrap();
+        let shard = store.shard_of(b"k");
+        store.force_health(shard, ShardHealth::Quarantined);
+        assert_eq!(store.get(b"k"), Err(StoreError::ShardQuarantined { shard }));
+        store.force_health(shard, ShardHealth::Recovering);
+        assert_eq!(store.put(b"k", b"w"), Err(StoreError::ShardQuarantined { shard }));
+        store.force_health(shard, ShardHealth::Dead);
+        assert_eq!(store.delete(b"k"), Err(StoreError::ShardUnavailable { shard }));
+        // Re-admission restores service — the worker itself never died.
+        store.force_health(shard, ShardHealth::Healthy);
+        assert_eq!(store.get(b"k").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn violation_quarantines_shard_then_recovery_readmits_it() {
+        let store = small_sharded(2);
+        for i in 0..128u32 {
+            store.put(format!("key{i}").as_bytes(), b"payload").unwrap();
+        }
+        let victim_key = b"key7".to_vec();
+        let victim = store.shard_of(&victim_key);
+        let sibling_key = (0..128u32)
+            .map(|i| format!("key{i}").into_bytes())
+            .find(|k| store.shard_of(k) != victim)
+            .expect("some key lives on the other shard");
+
+        // Tamper with the sealed value bytes in untrusted memory.
+        let k = victim_key.clone();
+        assert!(store.with_shard(victim, move |s| s.attack_tamper_value(&k)));
+
+        // The read detects the attack (never acks wrong bytes) and
+        // triggers quarantine + auto-recovery.
+        let err = store.get(&victim_key).unwrap_err();
+        assert!(err.is_quarantine_trigger(), "got {err:?}");
+
+        // Recovery runs on the victim's worker; wait for re-admission.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let snap = store.healths()[victim];
+            if snap.health == ShardHealth::Healthy && snap.recoveries >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "shard never re-admitted: {snap:?}");
+            // The sibling shard keeps serving throughout.
+            assert_eq!(store.get(&sibling_key).unwrap().unwrap(), b"payload");
+            std::thread::yield_now();
+        }
+        let snap = store.healths()[victim];
+        assert!(snap.violations >= 1);
+        assert_eq!(snap.recoveries, 1);
+
+        // The tampered entry was destroyed: its bucket now fails closed,
+        // and that scar must NOT re-quarantine the shard.
+        assert_eq!(
+            store.get(&victim_key),
+            Err(StoreError::Integrity(crate::Violation::DataDestroyed))
+        );
+        assert_eq!(store.healths()[victim].health, ShardHealth::Healthy);
+
+        // Untouched keys on the recovered shard still verify and serve.
+        let survivor = (0..128u32)
+            .map(|i| format!("key{i}").into_bytes())
+            .find(|k| store.shard_of(k) == victim && *k != victim_key)
+            .expect("victim shard holds more keys");
+        assert_eq!(store.get(&survivor).unwrap().unwrap(), b"payload");
+        // And the shard accepts new writes again.
+        store.put(b"fresh-after-recovery", b"x").unwrap();
+    }
+
+    #[test]
+    fn dead_worker_is_reflected_in_health() {
+        let store = small_sharded(2);
+        store.put(b"seed", b"v").unwrap();
+        let dead = store.shard_of(b"seed");
+        assert!(store.exec_detached(dead, |_| panic!("injected worker crash")));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.get(b"seed") != Err(StoreError::ShardUnavailable { shard: dead }) {
+            assert!(std::time::Instant::now() < deadline, "worker never died");
+            std::thread::yield_now();
+        }
+        assert_eq!(store.healths()[dead].health, ShardHealth::Dead);
+        assert_eq!(store.healths()[1 - dead].health, ShardHealth::Healthy);
+        // Monitoring paths skip the dead worker instead of panicking.
+        let _ = store.len();
+        assert_eq!(store.cache_stats()[dead], None);
+        assert_eq!(store.snapshots().len(), 1);
     }
 
     #[test]

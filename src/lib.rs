@@ -18,7 +18,10 @@
 //! * [`shieldstore`] — the ShieldStore (EuroSys'19) baseline;
 //! * [`workload`] — YCSB and Facebook-ETC workload generators;
 //! * [`net`] — the pipelined TCP service layer (`AriaServer` /
-//!   `AriaClient` and the binary wire protocol).
+//!   `AriaClient` and the binary wire protocol);
+//! * [`chaos`] — deterministic, seed-scheduled fault injection for the
+//!   untrusted boundary (bit flips, torn writes, stale-node replays),
+//!   the adversary of the `chaosbench` robustness harness.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use aria_cache as cache;
+pub use aria_chaos as chaos;
 pub use aria_crypto as crypto;
 pub use aria_mem as mem;
 pub use aria_merkle as merkle;
