@@ -1,0 +1,209 @@
+//! ariatop — live per-shard dashboard for a running Aria server.
+//!
+//! Polls the `METRICS` opcode over aria-net, diffs consecutive
+//! snapshots, and renders a refreshing per-shard view: throughput,
+//! p50/p95/p99 store latency, counter-cache hit ratio, live keys,
+//! quarantine state, violations, plus the network plane and the
+//! slow-op tail.
+//!
+//! ```sh
+//! cargo run --release -p aria-bench --bin ariatop -- \
+//!     --addr 127.0.0.1:4433 [--interval-ms 1000] [--iterations 0] \
+//!     [--no-clear]
+//! ```
+//!
+//! `--iterations 0` (the default) refreshes until interrupted;
+//! `--no-clear` appends frames instead of redrawing in place (useful
+//! for piping to a file or running under CI).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aria_bench::{fmt_tput, print_table, Args};
+use aria_net::{AriaClient, ClientConfig};
+use aria_telemetry::{health_name, HistSnapshot, TelemetrySnapshot, FAULT_SITE_NAMES};
+
+fn main() {
+    let args = Args::parse();
+    let addr = args.get_str("addr", "");
+    if addr.is_empty() {
+        eprintln!(
+            "usage: ariatop --addr <host:port> [--interval-ms 1000] \
+             [--iterations 0] [--no-clear]"
+        );
+        std::process::exit(2);
+    }
+    let interval = Duration::from_millis(args.get("interval-ms", 1_000u64).max(50));
+    let iterations = args.get("iterations", 0u64);
+    let clear = !args.flag("no-clear");
+
+    let mut client: Option<AriaClient> = None;
+    let mut prev: Option<(Instant, TelemetrySnapshot)> = None;
+    let mut frame = 0u64;
+    loop {
+        let snap = match fetch(&mut client, &addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ariatop: {addr}: {e:?} (retrying)");
+                client = None;
+                prev = None;
+                // A failed poll still consumes an iteration so a bounded
+                // run terminates even if the server goes away.
+                frame += 1;
+                if iterations != 0 && frame >= iterations {
+                    std::process::exit(1);
+                }
+                thread::sleep(interval);
+                continue;
+            }
+        };
+        let now = Instant::now();
+        let (secs, delta) = match &prev {
+            Some((t0, earlier)) => ((now - *t0).as_secs_f64().max(1e-9), snap.delta(earlier)),
+            // First frame: everything since server start, over one
+            // nominal interval (rates are meaningless until frame 2).
+            None => (interval.as_secs_f64(), snap.clone()),
+        };
+        render(&addr, &snap, &delta, secs, clear);
+        prev = Some((now, snap));
+        frame += 1;
+        if iterations != 0 && frame >= iterations {
+            break;
+        }
+        thread::sleep(interval);
+    }
+}
+
+fn fetch(
+    client: &mut Option<AriaClient>,
+    addr: &str,
+) -> Result<TelemetrySnapshot, aria_net::NetError> {
+    if client.is_none() {
+        let parsed: std::net::SocketAddr = addr.parse().map_err(|_| {
+            aria_net::NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "bad --addr",
+            ))
+        })?;
+        *client = Some(AriaClient::connect(parsed, ClientConfig::default())?);
+    }
+    let result = client.as_mut().expect("client just set").metrics();
+    if result.is_err() {
+        *client = None;
+    }
+    result
+}
+
+/// Merged get/put/delete latency of one shard's delta window.
+fn merged_latency(s: &aria_telemetry::ShardSnapshot) -> HistSnapshot {
+    let mut h = s.store.get_latency.clone();
+    h.merge(&s.store.put_latency);
+    h.merge(&s.store.delete_latency);
+    h
+}
+
+fn us(nanos: u64) -> String {
+    format!("{:.0}", nanos as f64 / 1e3)
+}
+
+fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs: f64, clear: bool) {
+    if clear {
+        print!("\x1b[2J\x1b[H");
+    }
+    println!(
+        "ariatop — {addr} — snapshot v{} — {} shard(s) — window {:.1}s",
+        snap.version,
+        snap.shards.len(),
+        secs
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(snap.shards.len() + 1);
+    for (i, d) in delta.shards.iter().enumerate() {
+        let lat = merged_latency(d);
+        let cum = &snap.shards[i];
+        rows.push(vec![
+            i.to_string(),
+            health_name(d.store.health_state as u8).to_string(),
+            fmt_tput(lat.count() as f64 / secs),
+            us(lat.percentile(0.50)),
+            us(lat.percentile(0.95)),
+            us(lat.percentile(0.99)),
+            format!("{:.1}", d.cache.hit_ratio() * 100.0),
+            d.store.keys_live.to_string(),
+            fmt_tput(d.cache.evictions as f64 / secs),
+            cum.store.violations.iter().sum::<u64>().to_string(),
+        ]);
+    }
+    let agg = delta.aggregate();
+    let lat = merged_latency(&agg);
+    rows.push(vec![
+        "all".to_string(),
+        "-".to_string(),
+        fmt_tput(lat.count() as f64 / secs),
+        us(lat.percentile(0.50)),
+        us(lat.percentile(0.95)),
+        us(lat.percentile(0.99)),
+        format!("{:.1}", agg.cache.hit_ratio() * 100.0),
+        agg.store.keys_live.to_string(),
+        fmt_tput(agg.cache.evictions as f64 / secs),
+        snap.aggregate().store.violations.iter().sum::<u64>().to_string(),
+    ]);
+    print_table(
+        "shards",
+        &["shard", "state", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys", "evict/s", "viol"],
+        &rows,
+    );
+
+    let n = &delta.net;
+    println!(
+        "\nnet: in {:.2} MiB/s  out {:.2} MiB/s  inflight {}  rejected {}  timed-out {}",
+        n.frame_bytes_in as f64 / secs / (1 << 20) as f64,
+        n.frame_bytes_out as f64 / secs / (1 << 20) as f64,
+        n.inflight,
+        snap.net.rejected_connections,
+        snap.net.timed_out_connections,
+    );
+    let injected: u64 = snap.chaos.injected.iter().sum();
+    if injected > 0 {
+        let sites: Vec<String> = snap
+            .chaos
+            .injected
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, &v)| format!("{}={v}", FAULT_SITE_NAMES.get(i).copied().unwrap_or("unknown")))
+            .collect();
+        println!("chaos: {injected} injected ({})", sites.join(" "));
+    }
+
+    if !snap.slow_ops.is_empty() {
+        let tail: Vec<Vec<String>> = snap
+            .slow_ops
+            .iter()
+            .rev()
+            .take(8)
+            .map(|op| {
+                vec![
+                    op.seq.to_string(),
+                    op.shard.to_string(),
+                    op.kind.name().to_string(),
+                    format!("{:016x}", op.key_hash),
+                    op.batch.to_string(),
+                    us(op.total_nanos),
+                    op.index_probes.to_string(),
+                    op.counter_fetches.to_string(),
+                    op.verify_depth.to_string(),
+                    op.crypt_bytes.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("slow ops (newest first, {} dropped)", snap.slow_dropped),
+            &[
+                "seq", "shard", "kind", "keyhash", "batch", "tot us", "probes", "fetch", "depth",
+                "crypt B",
+            ],
+            &tail,
+        );
+    }
+}

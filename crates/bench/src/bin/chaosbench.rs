@@ -27,8 +27,14 @@
 //! cargo run --release -p aria-bench --bin chaosbench -- \
 //!     [--shards 4] [--clients 4] [--keys 8192] [--ops 120000] \
 //!     [--budget 12000] [--heap-rate 600] [--driver-rate 4000] \
-//!     [--watchdog-secs 300] [--smoke] [--out results]
+//!     [--watchdog-secs 300] [--smoke] [--out results] \
+//!     [--listen 127.0.0.1:0]
 //! ```
+//!
+//! `--listen` pins the server address (default: an ephemeral loopback
+//! port) so a live `ariatop --addr <listen>` can watch shard health,
+//! hit ratios and the quarantine → recovery cycle during the run; the
+//! bound address is printed either way.
 //!
 //! Results go to `<out>/chaos.json`; the committed `BENCH_chaos.json`
 //! is a snapshot of a full default run.
@@ -305,6 +311,7 @@ fn main() {
     let seed = args.seed();
     let out_dir = args.out_dir();
     let injected_floor = args.get("min-injected", if smoke { 200u64 } else { 10_000 });
+    let listen = args.get_str("listen", "127.0.0.1:0");
 
     println!(
         "chaosbench: shards={shards} clients={clients} keys={keys} ops={ops} \
@@ -389,12 +396,16 @@ fn main() {
 
     // --- server ------------------------------------------------------------
     let server = AriaServer::bind(
-        "127.0.0.1:0",
+        listen.as_str(),
         Arc::clone(&store),
         ServerConfig { max_connections: clients + 8, ..ServerConfig::default() },
     )
     .expect("bind chaos server");
     let addr = server.local_addr();
+    println!("chaosbench: serving on {addr}");
+    // Injections recorded per fault site in the same snapshot the
+    // METRICS opcode serves.
+    engine.set_telemetry(Arc::clone(&server.telemetry().chaos));
 
     // --- health poller: HEALTH opcode, cycle + containment evidence -------
     let poll_done = Arc::new(AtomicBool::new(false));
@@ -548,6 +559,7 @@ fn main() {
             Err(_) => sweep_typed += 1,
         }
     }
+    let telemetry = server.telemetry().snapshot();
     server.shutdown();
 
     // --- verdict ------------------------------------------------------------
@@ -643,6 +655,7 @@ fn main() {
         (p50, p99),
         elapsed,
         &failures,
+        &telemetry,
     );
 
     if failures.is_empty() {
@@ -670,6 +683,7 @@ fn write_json(
     (p50, p99): (f64, f64),
     elapsed: Duration,
     failures: &[String],
+    telemetry: &aria_telemetry::TelemetrySnapshot,
 ) {
     let _ = args;
     let sites = FaultSite::ALL
@@ -724,6 +738,7 @@ fn write_json(
          \"sibling_serves_during_quarantine\":{sibling_serves},\n\
          \"sweep\":{{\"ok\":{sweep_ok},\"typed_errors\":{sweep_typed},\"wrong\":{sweep_wrong}}},\n\
          \"latency_us\":{{\"p50\":{:.1},\"p99\":{:.1}}},\n\
+         \"telemetry\":{},\n\
          \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
         json_str(git_rev()),
         elapsed.as_secs_f64(),
@@ -738,6 +753,7 @@ fn write_json(
         stats.injected_total,
         p50,
         p99,
+        telemetry.to_json(),
         json_str(if failures.is_empty() { "pass" } else { "fail" }),
     );
     std::fs::create_dir_all(out_dir).expect("create out dir");

@@ -14,12 +14,16 @@
 //! ```sh
 //! cargo run --release -p aria-bench --bin netbench -- \
 //!     [--conns 1,2,4,8] [--depths 1,8,32] [--ops 30000] [--keys 20000] \
-//!     [--shards 4] [--smoke] [--real] [--out results]
+//!     [--shards 4] [--smoke] [--real] [--out results] \
+//!     [--metrics-out results/metrics.prom]
 //! ```
 //!
 //! Results go to `<out>/net.json` (one self-describing JSON document
 //! with `schema_version` and `git_rev`); the committed `BENCH_net.json`
-//! is a snapshot of a full default sweep.
+//! is a snapshot of a full default sweep. Every point embeds the
+//! server's end-of-run telemetry snapshot; `--metrics-out` additionally
+//! writes the last point's Prometheus-style exposition (debug builds
+//! validate the counter invariants while rendering it).
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -46,6 +50,7 @@ struct Point {
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
+    telemetry: aria_telemetry::TelemetrySnapshot,
 }
 
 fn main() {
@@ -111,6 +116,19 @@ fn main() {
     );
 
     write_net_json(&args.out_dir(), shards, keys, ops, &points);
+
+    let metrics_out = args.get_str("metrics-out", "");
+    if !metrics_out.is_empty() {
+        let last = points.last().expect("sweep produced at least one point");
+        let exposition = last.telemetry.render_prometheus();
+        if let Some(parent) = std::path::Path::new(&metrics_out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&metrics_out, exposition) {
+            Ok(()) => println!("metrics exposition written to {metrics_out}"),
+            Err(e) => eprintln!("warning: cannot write {metrics_out}: {e}"),
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -216,6 +234,7 @@ fn run_point(
         latencies.extend(lats);
     }
     let elapsed = start.elapsed();
+    let telemetry = server.telemetry().snapshot();
     server.shutdown();
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -229,6 +248,7 @@ fn run_point(
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
         p99_us: percentile(&latencies, 0.99),
+        telemetry,
     }
 }
 
@@ -260,7 +280,8 @@ fn write_net_json(out_dir: &str, shards: usize, keys: u64, ops: u64, points: &[P
         doc.push_str(&format!(
             "    {{\"distribution\": {}, \"connections\": {}, \"depth\": {}, \
              \"ops\": {}, \"elapsed_ms\": {}, \"throughput\": {}, \
-             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"telemetry\": {}}}{}\n",
             json_str(p.dist_label),
             p.connections,
             p.depth,
@@ -270,6 +291,7 @@ fn write_net_json(out_dir: &str, shards: usize, keys: u64, ops: u64, points: &[P
             json_f64(p.p50_us),
             json_f64(p.p95_us),
             json_f64(p.p99_us),
+            p.telemetry.to_json(),
             if i + 1 == points.len() { "" } else { "," },
         ));
     }

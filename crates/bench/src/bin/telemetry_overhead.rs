@@ -1,0 +1,134 @@
+//! telemetry_overhead — guardrail for the observability plane's cost.
+//!
+//! Drives a zipf-0.99 read-heavy load straight into a `ShardedStore`
+//! (no sockets: the store hot path is what telemetry instruments) and
+//! reports wall-clock throughput together with whether the telemetry
+//! plane was compiled in. Run it twice and diff:
+//!
+//! ```sh
+//! cargo run --release -p aria-bench --bin telemetry_overhead
+//! cargo run --release -p aria-bench --bin telemetry_overhead \
+//!     --features telemetry-off
+//! ```
+//!
+//! Both runs append one JSON row (tagged `telemetry_enabled`) to
+//! `<out>/telemetry_overhead.jsonl`; EXPERIMENTS.md records the
+//! measured overhead, which must stay under 3%.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use aria_bench::{fmt_tput, git_rev, json_f64, json_str, Args, SCHEMA_VERSION};
+use aria_sim::Enclave;
+use aria_store::sharded::{BatchOp, ShardedStore};
+use aria_store::{AriaHash, StoreConfig};
+use aria_workload::{encode_key, value_bytes, KeyDistribution, Request, YcsbConfig, YcsbWorkload};
+
+const VALUE_LEN: usize = 16;
+const READ_RATIO: f64 = 0.95;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let keys = args.get("keys", if smoke { 5_000u64 } else { 20_000 });
+    let ops = args.get("ops", if smoke { 20_000u64 } else { 400_000 });
+    let shards = args.get("shards", 4usize);
+    let threads = args.get("threads", 4usize);
+    let depth = args.get("depth", 16usize);
+    let seed = args.seed();
+
+    let per_shard_keys = (keys / shards as u64) * 2 + 1_024;
+    let store = Arc::new(
+        ShardedStore::with_shards(shards, move |_| {
+            let suite = Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                as Arc<dyn aria_crypto::CipherSuite>;
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                Some(suite),
+            )
+        })
+        .expect("construct sharded store"),
+    );
+
+    let mut batch = Vec::with_capacity(512);
+    for id in 0..keys {
+        batch.push(BatchOp::Put(encode_key(id).to_vec(), value_bytes(id, VALUE_LEN)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+
+    let ops_per_thread = ops / threads as u64;
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut wl = YcsbWorkload::new(YcsbConfig {
+                    keyspace: keys,
+                    read_ratio: READ_RATIO,
+                    value_len: VALUE_LEN,
+                    distribution: KeyDistribution::Zipfian { theta: 0.99 },
+                    seed: seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1),
+                });
+                let mut issued = 0u64;
+                let mut window = Vec::with_capacity(depth);
+                while issued < ops_per_thread {
+                    window.clear();
+                    while window.len() < depth && issued < ops_per_thread {
+                        window.push(match wl.next_request() {
+                            Request::Get { id } => BatchOp::Get(encode_key(id).to_vec()),
+                            Request::Put { id, value_len } => {
+                                BatchOp::Put(encode_key(id).to_vec(), value_bytes(id, value_len))
+                            }
+                        });
+                        issued += 1;
+                    }
+                    for reply in store.run_batch(std::mem::take(&mut window)) {
+                        if let Some(e) = reply.error() {
+                            panic!("overhead bench op failed: {e}");
+                        }
+                    }
+                    window = Vec::with_capacity(depth);
+                }
+                issued
+            })
+        })
+        .collect();
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("bench worker")).sum();
+    let elapsed = start.elapsed();
+    let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    let enabled = aria_telemetry::enabled();
+    println!(
+        "telemetry_overhead: telemetry={} zipf-0.99 ops={total} elapsed={:.2}s tput={}",
+        if enabled { "on" } else { "off" },
+        elapsed.as_secs_f64(),
+        fmt_tput(throughput),
+    );
+
+    let row = format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":{},\"experiment\":\"telemetry_overhead\",\
+         \"telemetry_enabled\":{enabled},\"shards\":{shards},\"threads\":{threads},\
+         \"keys\":{keys},\"depth\":{depth},\"ops\":{total},\
+         \"elapsed_s\":{},\"throughput\":{}}}",
+        json_str(git_rev()),
+        json_f64(elapsed.as_secs_f64()),
+        json_f64(throughput),
+    );
+    let out_dir = args.out_dir();
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let path = format!("{out_dir}/telemetry_overhead.jsonl");
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{row}");
+                println!("row appended to {path}");
+            }
+            Err(e) => eprintln!("warning: cannot open {path}: {e}"),
+        }
+    }
+}

@@ -13,7 +13,10 @@ use crate::harness::RunResult;
 ///
 /// * 1 — the unversioned PR-1 layout (implicit).
 /// * 2 — added `schema_version` and `git_rev` to every row.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * 3 — netbench points and the chaosbench document embed a
+///   `telemetry` snapshot (counters + trimmed histogram bucket arrays,
+///   see `aria_telemetry::TelemetrySnapshot::to_json`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The git revision results are stamped with, so `results/*.json*` and
 /// committed `BENCH_*` snapshots stay comparable across PRs. Resolution

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use aria_merkle::{MerkleTree, NodeId, SLOT};
 use aria_sim::Enclave;
+use aria_telemetry::{CacheTelemetry, MerkleTelemetry};
 
 use crate::config::{CacheConfig, EvictionPolicy, SwapMode, ENTRY_META_BYTES};
 
@@ -146,6 +147,9 @@ pub struct SecureCache {
     /// Consecutive windows below the stop-swap threshold.
     low_windows: u32,
     stats: CacheStats,
+    /// Optional telemetry sinks (untrusted state; observability only).
+    tele: Option<Arc<CacheTelemetry>>,
+    tele_merkle: Option<Arc<MerkleTelemetry>>,
 }
 
 impl SecureCache {
@@ -183,6 +187,8 @@ impl SecureCache {
             window_accesses: 0,
             low_windows: 0,
             stats: CacheStats::default(),
+            tele: None,
+            tele_merkle: None,
             cfg,
         };
 
@@ -202,6 +208,20 @@ impl SecureCache {
             cache.extend_pinning();
         }
         Ok(cache)
+    }
+
+    /// Attach telemetry sinks: `cache` records this cache's activity and
+    /// `merkle` is threaded through to the underlying tree (hash ops) and
+    /// the verification walk (verified nodes). Records a swap-on
+    /// transition if swapping is currently enabled, so the transition
+    /// counters reflect the state the observer started from.
+    pub fn set_telemetry(&mut self, cache: Arc<CacheTelemetry>, merkle: Arc<MerkleTelemetry>) {
+        if self.swapping {
+            cache.swap_starts.inc();
+        }
+        self.tree.set_telemetry(Arc::clone(&merkle));
+        self.tele = Some(cache);
+        self.tele_merkle = Some(merkle);
     }
 
     fn level_pin_cost(&self, level: u32) -> usize {
@@ -308,8 +328,10 @@ impl SecureCache {
     fn verify_and_fetch(&mut self, id: NodeId) -> Result<Box<[u8]>, IntegrityViolation> {
         let mut result: Option<Box<[u8]>> = None;
         let mut cur = id;
+        let mut depth = 0u64;
         loop {
             self.stats.verify_levels += 1;
+            depth += 1;
             let node_size = self.tree.node_size();
             // Read from untrusted memory, copy into the enclave, MAC it.
             self.enclave.access_untrusted(node_size);
@@ -319,7 +341,14 @@ impl SecureCache {
             if result.is_none() {
                 result = Some(self.tree.node(cur).into());
             }
-            if self.verify_against_parent(cur, &mac)? {
+            let anchored = self.verify_against_parent(cur, &mac)?;
+            if let Some(t) = &self.tele_merkle {
+                t.verified_nodes.inc();
+            }
+            if anchored {
+                if let Some(t) = &self.tele {
+                    t.verify_depth.observe(depth);
+                }
                 return Ok(result.unwrap());
             }
             cur = self.tree.parent(cur).expect("untrusted anchor implies a parent");
@@ -377,6 +406,9 @@ impl SecureCache {
             let entry = self.entries.remove(&id).expect("checked above");
             self.used_bytes -= self.entry_bytes;
             self.stats.evictions += 1;
+            if let Some(t) = &self.tele {
+                t.evictions.inc();
+            }
             let node_size = self.tree.node_size();
             if entry.dirty {
                 // Write back (plaintext unless the semantic optimization
@@ -388,12 +420,19 @@ impl SecureCache {
                 self.enclave.access_untrusted(node_size);
                 self.tree.write_node(id, &entry.data);
                 self.stats.writebacks += 1;
+                if let Some(t) = &self.tele {
+                    t.writebacks.inc();
+                    t.swap_bytes_out.add(node_size as u64);
+                }
                 self.enclave.charge_mac(node_size);
                 let mac = self.tree.mac_of_bytes(&entry.data);
                 self.propagate_mac_up(id, mac);
             } else if self.cfg.skip_clean_writeback {
                 // Clean: untrusted copy already matches; discard.
                 self.stats.clean_discards += 1;
+                if let Some(t) = &self.tele {
+                    t.clean_discards.inc();
+                }
             } else {
                 // Model EWB-style forced write-back of clean pages.
                 if !self.cfg.swap_without_encryption {
@@ -402,6 +441,10 @@ impl SecureCache {
                 self.enclave.access_untrusted(node_size);
                 self.tree.write_node(id, &entry.data);
                 self.stats.writebacks += 1;
+                if let Some(t) = &self.tele {
+                    t.writebacks.inc();
+                    t.swap_bytes_out.add(node_size as u64);
+                }
             }
             return true;
         }
@@ -421,6 +464,10 @@ impl SecureCache {
         self.queue.push_back((id, stamp));
         self.used_bytes += self.entry_bytes;
         self.stats.inserts += 1;
+        if let Some(t) = &self.tele {
+            t.inserts.inc();
+            t.swap_bytes_in.add(self.tree.node_size() as u64);
+        }
     }
 
     fn record_access(&mut self, hit: bool) {
@@ -430,6 +477,13 @@ impl SecureCache {
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
+        }
+        if let Some(t) = &self.tele {
+            if hit {
+                t.hits.inc();
+            } else {
+                t.misses.inc();
+            }
         }
         if matches!(self.cfg.swap_mode, SwapMode::Auto)
             && self.swapping
@@ -456,6 +510,9 @@ impl SecureCache {
     /// far as capacity allows (§IV-E "Stopping Swap").
     fn stop_swapping(&mut self) {
         self.swapping = false;
+        if let Some(t) = &self.tele {
+            t.swap_stops.inc();
+        }
         // Evict everything swappable (dirty state is propagated).
         while self.evict_one() {}
         self.queue.clear();

@@ -208,6 +208,7 @@ pub struct ChaosEngine {
     armed: AtomicBool,
     injected_total: AtomicU64,
     sites: Mutex<[SiteState; SITE_COUNT]>,
+    tele: std::sync::OnceLock<Arc<aria_telemetry::ChaosTelemetry>>,
 }
 
 impl ChaosEngine {
@@ -218,7 +219,14 @@ impl ChaosEngine {
             armed: AtomicBool::new(true),
             injected_total: AtomicU64::new(0),
             sites: Mutex::new(Default::default()),
+            tele: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attach a telemetry recorder; injections are counted per site.
+    /// Only the first attachment wins (the engine is shared as `Arc`).
+    pub fn set_telemetry(&self, tele: Arc<aria_telemetry::ChaosTelemetry>) {
+        let _ = self.tele.set(tele);
     }
 
     /// The plan this engine replays.
@@ -268,6 +276,9 @@ impl ChaosEngine {
             return None;
         }
         st.injected += 1;
+        if let Some(t) = self.tele.get() {
+            t.record_injection(site as usize);
+        }
         Some(splitmix64(word))
     }
 

@@ -26,6 +26,7 @@
 use std::sync::{Arc, Mutex};
 
 use aria_sim::Enclave;
+use aria_telemetry::MemTelemetry;
 
 /// Fault-injection hook on the heap's write path.
 ///
@@ -207,6 +208,8 @@ pub struct UserHeap {
     fault_hook: Option<Arc<Mutex<dyn WriteFault>>>,
     /// When true the hook is bypassed (recovery's quiesced window).
     faults_suspended: bool,
+    /// Optional telemetry sink (untrusted state; observability only).
+    tele: Option<Arc<MemTelemetry>>,
 }
 
 impl UserHeap {
@@ -221,6 +224,28 @@ impl UserHeap {
             live_blocks: 0,
             fault_hook: None,
             faults_suspended: false,
+            tele: None,
+        }
+    }
+
+    /// Attach a telemetry sink recording allocations and frees.
+    pub fn set_telemetry(&mut self, tele: Arc<MemTelemetry>) {
+        self.tele = Some(tele);
+    }
+
+    #[inline]
+    fn note_alloc(&self, bytes: usize) {
+        if let Some(t) = &self.tele {
+            t.allocs.inc();
+            t.alloc_bytes.add(bytes as u64);
+        }
+    }
+
+    #[inline]
+    fn note_free(&self, bytes: usize) {
+        if let Some(t) = &self.tele {
+            t.frees.inc();
+            t.freed_bytes.add(bytes as u64);
         }
     }
 
@@ -273,6 +298,7 @@ impl UserHeap {
             self.chunks[chunk_idx].live_blocks = 1;
             self.live_bytes += CHUNK_SIZE;
             self.live_blocks += 1;
+            self.note_alloc(CHUNK_SIZE);
             return Ok(UPtr { chunk: chunk_idx as u32, offset: 0 });
         };
         let block_size = SIZE_CLASSES[class_idx];
@@ -292,6 +318,7 @@ impl UserHeap {
             chunk.live_blocks += 1;
             self.live_bytes += block_size;
             self.live_blocks += 1;
+            self.note_alloc(block_size);
             return Ok(ptr);
         }
 
@@ -312,6 +339,7 @@ impl UserHeap {
         self.enclave.access_epc(8);
         self.live_bytes += block_size;
         self.live_blocks += 1;
+        self.note_alloc(block_size);
         Ok(UPtr { chunk: chunk_idx as u32, offset: (block * block_size) as u32 })
     }
 
@@ -328,6 +356,7 @@ impl UserHeap {
             chunk.live_blocks = 0;
             self.live_bytes -= CHUNK_SIZE;
             self.live_blocks -= 1;
+            self.note_free(CHUNK_SIZE);
             return Ok(());
         }
         if !(ptr.offset as usize).is_multiple_of(chunk.block_size) {
@@ -346,6 +375,7 @@ impl UserHeap {
         let class_idx = Self::class_for(block_size).expect("block size is a class");
         self.classes[class_idx].free.push(ptr);
         self.enclave.access_untrusted(FREELIST_ENTRY_BYTES);
+        self.note_free(block_size);
         Ok(())
     }
 

@@ -67,6 +67,8 @@ pub struct MerkleTree {
     /// The root MAC (conceptually inside the enclave).
     root: Mac,
     suite: Arc<dyn CipherSuite>,
+    /// Optional telemetry sink (untrusted state; observability only).
+    tele: Option<Arc<aria_telemetry::MerkleTelemetry>>,
 }
 
 impl MerkleTree {
@@ -113,9 +115,15 @@ impl MerkleTree {
             level_nodes,
             root: [0u8; 16],
             suite,
+            tele: None,
         };
         tree.rebuild();
         tree
+    }
+
+    /// Attach a telemetry sink recording hash ops and verified nodes.
+    pub fn set_telemetry(&mut self, tele: Arc<aria_telemetry::MerkleTelemetry>) {
+        self.tele = Some(tele);
     }
 
     /// Recompute every inner node and the root from the current leaf
@@ -224,6 +232,9 @@ impl MerkleTree {
 
     /// Compute the MAC of a node's current untrusted bytes.
     pub fn mac_of(&self, id: NodeId) -> Mac {
+        if let Some(t) = &self.tele {
+            t.hash_ops.inc();
+        }
         self.suite.mac(self.node(id))
     }
 
@@ -231,6 +242,9 @@ impl MerkleTree {
     /// being evicted).
     pub fn mac_of_bytes(&self, bytes: &[u8]) -> Mac {
         debug_assert_eq!(bytes.len(), self.node_size);
+        if let Some(t) = &self.tele {
+            t.hash_ops.inc();
+        }
         self.suite.mac(bytes)
     }
 
@@ -285,11 +299,17 @@ impl MerkleTree {
                     if mac != self.root {
                         return Verification::Mismatch { node };
                     }
+                    if let Some(t) = &self.tele {
+                        t.verified_nodes.inc();
+                    }
                     return Verification::Ok;
                 }
                 Some(parent) => {
                     if mac != self.stored_child_mac(parent, self.slot_in_parent(node)) {
                         return Verification::Mismatch { node };
+                    }
+                    if let Some(t) = &self.tele {
+                        t.verified_nodes.inc();
                     }
                     node = parent;
                 }

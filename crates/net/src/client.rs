@@ -338,6 +338,18 @@ impl AriaClient {
             other => fail(other),
         }
     }
+
+    /// Full telemetry snapshot (metrics + slow-op traces) of the server.
+    ///
+    /// A decode failure means the peer speaks an incompatible telemetry
+    /// codec version and is reported as [`NetError::UnexpectedResponse`].
+    pub fn metrics(&mut self) -> Result<aria_telemetry::TelemetrySnapshot, NetError> {
+        match self.one(Request::Metrics)? {
+            Response::Metrics(bytes) => aria_telemetry::TelemetrySnapshot::decode(&bytes)
+                .map_err(|_| NetError::UnexpectedResponse),
+            other => fail(other),
+        }
+    }
 }
 
 impl std::fmt::Debug for AriaClient {

@@ -40,6 +40,7 @@ const OP_MULTI_GET: u8 = 0x05;
 const OP_PUT_BATCH: u8 = 0x06;
 const OP_STATS: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
+const OP_METRICS: u8 = 0x09;
 
 // Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -50,7 +51,27 @@ const OP_VALUES: u8 = 0x85;
 const OP_BATCH_STATUS: u8 = 0x86;
 const OP_STATS_REPLY: u8 = 0x87;
 const OP_HEALTH_REPLY: u8 = 0x88;
+const OP_METRICS_REPLY: u8 = 0x89;
 const OP_ERROR: u8 = 0xFF;
+
+/// Number of request opcodes (`0x01..=0x09`), for per-opcode telemetry
+/// tables. Matches `aria_telemetry::NET_OPS`.
+pub const REQUEST_OPCODES: usize = 9;
+
+/// Telemetry table index of a request, `0..REQUEST_OPCODES`.
+pub fn request_op_index(req: &Request) -> usize {
+    match req {
+        Request::Ping => 0,
+        Request::Get { .. } => 1,
+        Request::Put { .. } => 2,
+        Request::Delete { .. } => 3,
+        Request::MultiGet { .. } => 4,
+        Request::PutBatch { .. } => 5,
+        Request::Stats => 6,
+        Request::Health => 7,
+        Request::Metrics => 8,
+    }
+}
 
 /// Stable numeric error codes carried on the wire.
 ///
@@ -199,6 +220,8 @@ pub enum Request {
     Stats,
     /// Per-shard health (quarantine state machine).
     Health,
+    /// Full telemetry snapshot (metrics + slow-op traces).
+    Metrics,
 }
 
 /// One shard's health on the wire (see [`aria_store::ShardHealth`]).
@@ -250,6 +273,10 @@ pub struct StatsReply {
     pub active_connections: u32,
     /// Connections accepted since start.
     pub connections_accepted: u64,
+    /// Whether any shard is currently not `Healthy` — the `len` figure
+    /// then includes last-known (possibly stale) counts for the
+    /// unhealthy shards instead of silently excluding them.
+    pub degraded: bool,
     /// Per-shard health, index = shard.
     pub health: Vec<ShardHealthInfo>,
 }
@@ -273,6 +300,11 @@ pub enum Response {
     Stats(StatsReply),
     /// Answer to [`Request::Health`].
     Health(HealthReply),
+    /// Answer to [`Request::Metrics`]: an `aria-telemetry` snapshot in
+    /// its own versioned encoding (see
+    /// [`aria_telemetry::TelemetrySnapshot::decode`]), kept opaque here
+    /// so the snapshot layout can evolve without renumbering opcodes.
+    Metrics(Vec<u8>),
     /// The request (or, with id [`CONTROL_ID`], the connection) failed.
     Error {
         /// Stable error code.
@@ -392,6 +424,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), W
         }),
         Request::Stats => frame(out, OP_STATS, id, |_| {}),
         Request::Health => frame(out, OP_HEALTH, id, |_| {}),
+        Request::Metrics => frame(out, OP_METRICS, id, |_| {}),
     }
 }
 
@@ -437,9 +470,11 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             put_u64(b, s.ops_served);
             put_u32(b, s.active_connections);
             put_u64(b, s.connections_accepted);
+            b.push(s.degraded as u8);
             put_health(b, &s.health);
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
+        Response::Metrics(snapshot) => frame(out, OP_METRICS_REPLY, id, |b| put_bytes(b, snapshot)),
         Response::Error { code, message } => frame(out, OP_ERROR, id, |b| {
             put_u16(b, *code as u16);
             put_bytes(b, message.as_bytes());
@@ -577,6 +612,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
         }
         OP_STATS => Request::Stats,
         OP_HEALTH => Request::Health,
+        OP_METRICS => Request::Metrics,
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finished()?;
@@ -634,9 +670,11 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
             ops_served: c.u64()?,
             active_connections: c.u32()?,
             connections_accepted: c.u64()?,
+            degraded: c.u8()? != 0,
             health: c.health_list()?,
         }),
         OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
+        OP_METRICS_REPLY => Response::Metrics(c.bytes()?),
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
             message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
@@ -689,6 +727,7 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Health);
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -710,6 +749,7 @@ mod tests {
             ops_served: 456,
             active_connections: 2,
             connections_accepted: 9,
+            degraded: true,
             health: vec![
                 ShardHealthInfo { state: 0, violations: 0, recoveries: 0 },
                 ShardHealthInfo { state: 1, violations: 3, recoveries: 1 },
@@ -718,6 +758,7 @@ mod tests {
         round_trip_response(Response::Health(HealthReply {
             shards: vec![ShardHealthInfo { state: 2, violations: 7, recoveries: 2 }],
         }));
+        round_trip_response(Response::Metrics(vec![1, 2, 3, 4, 5]));
         round_trip_response(Response::Error {
             code: ErrorCode::TooManyConnections,
             message: "busy".to_string(),

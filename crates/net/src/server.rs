@@ -44,7 +44,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
-use aria_store::KvStore;
+use aria_store::{KvStore, ShardHealth};
+use aria_telemetry::TelemetryHub;
 
 use crate::proto::{
     self, Decoded, ErrorCode, HealthReply, Request, Response, StatsReply, WireError,
@@ -91,6 +92,7 @@ struct Shared {
     accepted: AtomicU64,
     ops_served: AtomicU64,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    tele: Arc<TelemetryHub>,
 }
 
 /// Lock the connection registry even if a previous holder panicked. A
@@ -125,12 +127,19 @@ impl AriaServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // The hub shares the store's live recorders and slow-op tracer,
+        // so a METRICS snapshot covers every layer below the socket.
+        let tele = Arc::new(TelemetryHub::with_parts(
+            store.telemetry().to_vec(),
+            Arc::clone(store.slow_ops()),
+        ));
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             ops_served: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
+            tele,
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -155,6 +164,13 @@ impl AriaServer {
     /// Operations served since start (batch items count individually).
     pub fn ops_served(&self) -> u64 {
         self.shared.ops_served.load(Ordering::SeqCst)
+    }
+
+    /// The telemetry hub this server snapshots for METRICS requests.
+    /// Shares the store's per-shard recorders; the caller can snapshot
+    /// or scrape ([`aria_telemetry::render_prometheus`]) at any time.
+    pub fn telemetry(&self) -> &Arc<TelemetryHub> {
+        &self.shared.tele
     }
 
     /// Graceful shutdown: stop accepting, finish and flush every
@@ -203,6 +219,7 @@ fn accept_loop<S: KvStore + Send + 'static>(
             Ok((stream, _peer)) => {
                 reap_finished(&shared);
                 if shared.active.load(Ordering::SeqCst) >= config.max_connections {
+                    shared.tele.net.rejected_connections.inc();
                     reject_connection(stream, &config);
                     continue;
                 }
@@ -263,6 +280,7 @@ enum Slot {
     Pong,
     Stats,
     Health,
+    Metrics,
     Get,
     Put,
     Delete,
@@ -313,7 +331,14 @@ fn serve_connection<S: KvStore + Send + 'static>(
 
         if !window.is_empty() {
             last_request = Instant::now();
-            if dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, window).is_err() {
+            let inflight = window.len() as u64;
+            shared.tele.net.inflight.add(inflight);
+            let dispatched = dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, window);
+            shared.tele.net.inflight.sub(inflight);
+            if let Err(e) = dispatched {
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+                    shared.tele.net.timed_out_connections.inc();
+                }
                 break 'conn;
             }
         }
@@ -332,7 +357,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                 proto::CONTROL_ID,
                 &Response::Error { code, message: e.to_string() },
             );
-            let _ = flush(&mut stream, &mut wbuf);
+            let _ = flush(&mut stream, &mut wbuf, &shared.tele);
             break 'conn;
         }
 
@@ -343,7 +368,10 @@ fn serve_connection<S: KvStore + Send + 'static>(
             }
             match stream.read(&mut chunk) {
                 Ok(0) => break 'conn, // peer closed
-                Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    shared.tele.net.frame_bytes_in.add(n as u64);
+                    rbuf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
@@ -359,7 +387,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
             }
         }
     }
-    let _ = flush(&mut stream, &mut wbuf);
+    let _ = flush(&mut stream, &mut wbuf, &shared.tele);
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -378,10 +406,13 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     wbuf: &mut Vec<u8>,
     window: Vec<(u64, Request)>,
 ) -> io::Result<()> {
+    let start = Instant::now();
     let mut ops: Vec<BatchOp> = Vec::new();
     let mut plan: Vec<(u64, Slot)> = Vec::with_capacity(window.len());
+    let mut op_idxs: Vec<usize> = Vec::with_capacity(window.len());
     let mut control = 0u64; // pings + stats, served without store ops
     for (id, req) in window {
+        op_idxs.push(proto::request_op_index(&req));
         match req {
             Request::Ping => {
                 control += 1;
@@ -394,6 +425,10 @@ fn dispatch_window<S: KvStore + Send + 'static>(
             Request::Health => {
                 control += 1;
                 plan.push((id, Slot::Health));
+            }
+            Request::Metrics => {
+                control += 1;
+                plan.push((id, Slot::Metrics));
             }
             Request::Get { key } => {
                 ops.push(BatchOp::Get(key));
@@ -425,17 +460,27 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     for (id, slot) in plan {
         let resp = match slot {
             Slot::Pong => Response::Pong,
-            Slot::Stats => Response::Stats(StatsReply {
-                shards: store.shards() as u32,
-                len: store.len(),
-                ops_served: shared.ops_served.load(Ordering::Relaxed),
-                active_connections: shared.active.load(Ordering::SeqCst) as u32,
-                connections_accepted: shared.accepted.load(Ordering::SeqCst),
-                health: store.healths().into_iter().map(Into::into).collect(),
-            }),
+            Slot::Stats => {
+                // Size and health come from worker-published atomics, so
+                // quarantined/recovering/dead shards are *included* (at
+                // their last-known size) instead of silently dropped —
+                // `degraded` flags that some of it may be stale.
+                let healths = store.healths();
+                let degraded = healths.iter().any(|h| h.health != ShardHealth::Healthy);
+                Response::Stats(StatsReply {
+                    shards: store.shards() as u32,
+                    len: store.len_estimate(),
+                    ops_served: shared.ops_served.load(Ordering::Relaxed),
+                    active_connections: shared.active.load(Ordering::SeqCst) as u32,
+                    connections_accepted: shared.accepted.load(Ordering::SeqCst),
+                    degraded,
+                    health: healths.into_iter().map(Into::into).collect(),
+                })
+            }
             Slot::Health => Response::Health(HealthReply {
                 shards: store.healths().into_iter().map(Into::into).collect(),
             }),
+            Slot::Metrics => Response::Metrics(shared.tele.snapshot().encode()),
             Slot::Get => match next_get(&mut replies) {
                 Ok(v) => Response::Value(v),
                 Err(e) => error_response(&e),
@@ -461,13 +506,20 @@ fn dispatch_window<S: KvStore + Send + 'static>(
         };
         encode_or_substitute(wbuf, id, &resp);
         if wbuf.len() >= cfg.write_buffer_limit {
-            flush(stream, wbuf)?;
+            flush(stream, wbuf, &shared.tele)?;
         }
+    }
+    // Amortized per-request service time, attributed per opcode. The
+    // whole window was one store batch, so the per-request figure is the
+    // honest number a pipelined client experiences.
+    let per_req = start.elapsed().as_nanos() as u64 / op_idxs.len().max(1) as u64;
+    for idx in op_idxs {
+        shared.tele.net.op_latency[idx].observe(per_req);
     }
     // Every response of the window is acknowledged before more requests
     // are read: the flush is both the backpressure point and what makes
     // graceful shutdown lose nothing that was acked.
-    flush(stream, wbuf)
+    flush(stream, wbuf, &shared.tele)
 }
 
 fn error_response(e: &aria_store::StoreError) -> Response {
@@ -509,13 +561,14 @@ fn next_delete(
     }
 }
 
-fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>) -> io::Result<()> {
+fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, tele: &TelemetryHub) -> io::Result<()> {
     if wbuf.is_empty() {
         return Ok(());
     }
     // write_all + a write timeout on the socket: a consumer slower than
     // the timeout is treated as gone.
     stream.write_all(wbuf)?;
+    tele.net.frame_bytes_out.add(wbuf.len() as u64);
     wbuf.clear();
     Ok(())
 }

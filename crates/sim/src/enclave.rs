@@ -232,6 +232,13 @@ impl Enclave {
         self.cycles.load(Ordering::Relaxed)
     }
 
+    /// Bytes encrypted/decrypted so far — one relaxed load, safe to
+    /// read on hot paths (unlike [`Enclave::snapshot`], which takes the
+    /// paged-region lock).
+    pub fn bytes_crypted(&self) -> u64 {
+        self.bytes_crypted.load(Ordering::Relaxed)
+    }
+
     /// Charge an access to untrusted memory.
     #[inline]
     pub fn access_untrusted(&self, bytes: usize) {

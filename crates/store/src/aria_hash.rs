@@ -67,6 +67,8 @@ pub struct AriaHash {
     /// distinguishable. Poisoning is permanent; hits and fresh puts
     /// work normally.
     poisoned: Vec<u64>,
+    /// Telemetry recorders, if attached (see [`KvStore::attach_telemetry`]).
+    tele: Option<Arc<aria_telemetry::ShardTelemetry>>,
 }
 
 impl AriaHash {
@@ -92,6 +94,7 @@ impl AriaHash {
             buckets: vec![UPtr::NULL; buckets],
             bucket_counts: vec![0; buckets],
             poisoned: vec![0; poison_words],
+            tele: None,
         })
     }
 
@@ -100,6 +103,9 @@ impl AriaHash {
     }
 
     fn read_cell(&self, cell: Cell) -> Result<UPtr, StoreError> {
+        if let Some(t) = &self.tele {
+            t.store.index_probes.inc();
+        }
         self.core.enclave.access_untrusted(8);
         match cell {
             Cell::Bucket(i) => Ok(self.buckets[i]),
@@ -599,6 +605,25 @@ impl KvStore for AriaHash {
                 swapping: c.swapping(),
             }
         })
+    }
+
+    fn attach_telemetry(&mut self, tele: Arc<aria_telemetry::ShardTelemetry>) {
+        self.core.heap.set_telemetry(Arc::clone(&tele.mem));
+        if let Some(area) = self.core.counters.as_cached_mut() {
+            area.set_telemetry(Arc::clone(&tele.cache), Arc::clone(&tele.merkle));
+        }
+        self.tele = Some(tele);
+    }
+
+    fn refresh_gauges(&self) {
+        if let Some(t) = &self.tele {
+            let heap = self.core.heap.stats();
+            t.mem.live_bytes.set(heap.live_bytes as u64);
+            t.mem.free_buffer_bytes.set(heap.freelist_bytes as u64);
+            t.store.keys_live.set(self.core.len);
+            t.store.counter_live.set(self.core.counters.live());
+            t.store.counter_capacity.set(self.core.counters.capacity());
+        }
     }
 
     /// Batched lookup: the fixed request cost (ECALL dispatch, argument

@@ -23,6 +23,7 @@ use aria_cache::{CacheConfig, SecureCache};
 use aria_crypto::CipherSuite;
 use aria_merkle::{MerkleTree, NodeId};
 use aria_sim::{Enclave, PagedRegionId};
+use aria_telemetry::{CacheTelemetry, MerkleTelemetry};
 
 use crate::error::{StoreError, Violation};
 use crate::RecoveryReport;
@@ -43,6 +44,8 @@ pub trait CounterStore {
     fn bump(&mut self, id: u64) -> Result<[u8; COUNTER_LEN], StoreError>;
     /// Counters currently allocated.
     fn live(&self) -> u64;
+    /// Total counter slots provisioned (grows with area expansion).
+    fn capacity(&self) -> u64;
 }
 
 /// Shared bitmap + free-ring logic.
@@ -154,6 +157,8 @@ pub struct CounterArea {
     /// Bumped on every recovery pass so reinitialized counters can never
     /// collide with any value ever handed out before the attack.
     recovery_epoch: u64,
+    /// Telemetry handles re-attached to every cache built by expansion.
+    tele: Option<(Arc<CacheTelemetry>, Arc<MerkleTelemetry>)>,
 }
 
 impl CounterArea {
@@ -186,7 +191,17 @@ impl CounterArea {
             expansion_cache_bytes,
             seed,
             recovery_epoch: 0,
+            tele: None,
         })
+    }
+
+    /// Attach telemetry recorders to every Secure Cache (existing and,
+    /// via [`CounterArea::expand`], future ones).
+    pub fn set_telemetry(&mut self, cache: Arc<CacheTelemetry>, merkle: Arc<MerkleTelemetry>) {
+        for c in &mut self.caches {
+            c.set_telemetry(Arc::clone(&cache), Arc::clone(&merkle));
+        }
+        self.tele = Some((cache, merkle));
     }
 
     fn locate(&self, id: u64) -> (usize, u64) {
@@ -218,8 +233,11 @@ impl CounterArea {
         );
         let cfg =
             CacheConfig { capacity_bytes: self.expansion_cache_bytes, ..CacheConfig::default() };
-        let cache = SecureCache::new(tree, Arc::clone(&self.enclave), cfg)
+        let mut cache = SecureCache::new(tree, Arc::clone(&self.enclave), cfg)
             .map_err(|_| StoreError::EpcExhausted)?;
+        if let Some((ct, mt)) = &self.tele {
+            cache.set_telemetry(Arc::clone(ct), Arc::clone(mt));
+        }
         self.enclave
             .epc_alloc(IdAllocator::bitmap_bytes(self.per_tree))
             .map_err(|_| StoreError::EpcExhausted)?;
@@ -354,6 +372,10 @@ impl CounterStore for CounterArea {
     fn live(&self) -> u64 {
         self.ids.live
     }
+
+    fn capacity(&self) -> u64 {
+        self.ids.capacity
+    }
 }
 
 /// A counter value for `id` that is distinct from every value produced at
@@ -457,6 +479,10 @@ impl CounterStore for EpcCounters {
     fn live(&self) -> u64 {
         self.ids.live
     }
+
+    fn capacity(&self) -> u64 {
+        self.ids.capacity
+    }
 }
 
 /// Enum dispatch over the two backends (avoids generics in the store and
@@ -501,6 +527,13 @@ impl CounterStore for CounterBackend {
         match self {
             CounterBackend::Cached(c) => c.live(),
             CounterBackend::Epc(c) => c.live(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        match self {
+            CounterBackend::Cached(c) => c.capacity(),
+            CounterBackend::Epc(c) => c.capacity(),
         }
     }
 }

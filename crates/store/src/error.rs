@@ -36,6 +36,23 @@ pub enum Violation {
     DataDestroyed,
 }
 
+impl Violation {
+    /// 1-based class code of this violation, matching the telemetry
+    /// class table (`aria_telemetry::VIOLATION_NAMES`) and the wire
+    /// error codes.
+    pub fn class(&self) -> u16 {
+        match self {
+            Violation::MerkleMismatch { .. } => 1,
+            Violation::EntryMacMismatch => 2,
+            Violation::CounterReuse { .. } => 3,
+            Violation::UnauthorizedDeletion => 4,
+            Violation::AllocatorMetadata => 5,
+            Violation::CorruptPointer => 6,
+            Violation::DataDestroyed => 7,
+        }
+    }
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

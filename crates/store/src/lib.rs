@@ -158,6 +158,16 @@ pub trait KvStore {
     fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
         Ok(RecoveryReport::default())
     }
+    /// Hook this store's layers (heap, Secure Cache, Merkle trees) into a
+    /// set of telemetry recorders. The default ignores the handles —
+    /// stores without instrumentation simply stay dark.
+    fn attach_telemetry(&mut self, tele: Arc<aria_telemetry::ShardTelemetry>) {
+        let _ = tele;
+    }
+    /// Refresh point-in-time telemetry gauges (live keys, counter-area
+    /// occupancy, heap bytes). Called by batch workers between batches;
+    /// must stay cheap. The default is a no-op.
+    fn refresh_gauges(&self) {}
 }
 
 /// Memory-consumption breakdown (paper §VI-D4).

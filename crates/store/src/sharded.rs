@@ -63,8 +63,10 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use aria_sim::{EnclaveSnapshot, EnclaveStats};
+use aria_telemetry::{OpKind as TeleOpKind, ShardTelemetry, SlowOp, SlowOpTracer};
 
 use crate::{CacheStats, KvStore, StoreError};
 
@@ -142,6 +144,10 @@ struct ShardState {
     health: AtomicU8,
     violations: AtomicU64,
     recoveries: AtomicU64,
+    /// Last key count the shard's worker reported. Monitoring paths read
+    /// this instead of asking the worker, so a quarantined (or busy)
+    /// shard still contributes its last-known size.
+    last_len: AtomicU64,
 }
 
 impl ShardState {
@@ -150,6 +156,7 @@ impl ShardState {
             health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
             violations: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            last_len: AtomicU64::new(0),
         }
     }
 
@@ -276,6 +283,16 @@ pub struct ShardedStore<S: KvStore + Send + 'static> {
     senders: Vec<SyncSender<Request<S>>>,
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<ShardState>>,
+    tele: Vec<Arc<ShardTelemetry>>,
+    slow_ops: Arc<SlowOpTracer>,
+}
+
+/// Everything a shard worker needs to report telemetry.
+struct WorkerCtx {
+    shard: u32,
+    tele: Arc<ShardTelemetry>,
+    slow_ops: Arc<SlowOpTracer>,
+    state: Arc<ShardState>,
 }
 
 impl<S: KvStore + Send + 'static> ShardedStore<S> {
@@ -302,6 +319,11 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         assert!(shards > 0, "a sharded store needs at least one shard");
         assert!(queue_depth > 0, "request queues must hold at least one request");
         let factory = Arc::new(factory);
+        let slow_ops = Arc::new(SlowOpTracer::default());
+        let states: Vec<Arc<ShardState>> =
+            (0..shards).map(|_| Arc::new(ShardState::new())).collect();
+        let tele: Vec<Arc<ShardTelemetry>> =
+            (0..shards).map(|_| Arc::new(ShardTelemetry::default())).collect();
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let mut readies = Vec::with_capacity(shards);
@@ -309,6 +331,12 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             let (tx, rx) = mpsc::sync_channel(queue_depth);
             let (ready_tx, ready_rx) = mpsc::channel();
             let factory = Arc::clone(&factory);
+            let ctx = WorkerCtx {
+                shard: shard as u32,
+                tele: Arc::clone(&tele[shard]),
+                slow_ops: Arc::clone(&slow_ops),
+                state: Arc::clone(&states[shard]),
+            };
             let handle = thread::Builder::new()
                 .name(format!("aria-shard-{shard}"))
                 .spawn(move || {
@@ -322,7 +350,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                             return;
                         }
                     };
-                    worker_loop(store, rx);
+                    worker_loop(store, rx, ctx);
                 })
                 .expect("spawn shard worker thread");
             senders.push(tx);
@@ -343,8 +371,19 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                 Err(_) => panic!("shard worker panicked during construction"),
             }
         }
-        let states = (0..shards).map(|_| Arc::new(ShardState::new())).collect();
-        Ok(ShardedStore { senders, workers, states })
+        Ok(ShardedStore { senders, workers, states, tele, slow_ops })
+    }
+
+    /// Per-shard telemetry bundles (index = shard). The handles are the
+    /// live recorders — a monitoring thread can snapshot them at any
+    /// time without touching the workers.
+    pub fn telemetry(&self) -> &[Arc<ShardTelemetry>] {
+        &self.tele
+    }
+
+    /// The slow-op tracer all shard workers record into.
+    pub fn slow_ops(&self) -> &Arc<SlowOpTracer> {
+        &self.slow_ops
     }
 
     /// Number of shards.
@@ -457,6 +496,14 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     #[allow(clippy::len_without_is_empty)] // is_empty is defined right below
     pub fn len(&self) -> u64 {
         self.try_map_shards(|s| s.len()).into_iter().flatten().sum()
+    }
+
+    /// Sum of every shard's last worker-reported key count. Unlike
+    /// [`ShardedStore::len`] this never blocks behind a worker queue and
+    /// still counts quarantined, recovering and dead shards (at their
+    /// last-known size), so monitoring stays truthful mid-incident.
+    pub fn len_estimate(&self) -> u64 {
+        self.states.iter().map(|s| s.last_len.load(Ordering::SeqCst)).sum()
     }
 
     /// Whether every reachable shard is empty.
@@ -633,16 +680,26 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     }
 
     fn mark_dead(&self, shard: usize) {
-        self.states[shard].health.store(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
+        let prev = self.states[shard].health.swap(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
+        if prev != ShardHealth::Dead.as_u8() {
+            self.tele[shard].store.record_health_transition(prev, ShardHealth::Dead.as_u8());
+        }
     }
 
     /// Scan a shard's replies for quarantine-triggering violations and
     /// start a recovery cycle if one is found.
     fn observe_replies(&self, shard: usize, replies: &[BatchReply]) {
-        let triggers = replies
-            .iter()
-            .filter(|r| r.error().is_some_and(StoreError::is_quarantine_trigger))
-            .count() as u64;
+        let mut triggers = 0u64;
+        for reply in replies {
+            if let Some(err) = reply.error() {
+                if let StoreError::Integrity(v) = err {
+                    self.tele[shard].store.record_violation(v.class());
+                }
+                if err.is_quarantine_trigger() {
+                    triggers += 1;
+                }
+            }
+        }
         if triggers > 0 {
             self.quarantine(shard, triggers);
         }
@@ -667,19 +724,36 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             // Already quarantined, recovering, or dead.
             return;
         }
+        let tele = Arc::clone(&self.tele[shard]);
+        tele.store.record_health_transition(
+            ShardHealth::Healthy.as_u8(),
+            ShardHealth::Quarantined.as_u8(),
+        );
         let state = Arc::clone(state);
         let recovery = Request::Exec(Box::new(move |store: &mut S| {
             state.health.store(ShardHealth::Recovering.as_u8(), Ordering::SeqCst);
+            tele.store.record_health_transition(
+                ShardHealth::Quarantined.as_u8(),
+                ShardHealth::Recovering.as_u8(),
+            );
             for _ in 0..RECOVERY_ATTEMPTS {
                 if store.recover().is_ok() {
                     state.recoveries.fetch_add(1, Ordering::SeqCst);
                     state.health.store(ShardHealth::Healthy.as_u8(), Ordering::SeqCst);
+                    tele.store.record_health_transition(
+                        ShardHealth::Recovering.as_u8(),
+                        ShardHealth::Healthy.as_u8(),
+                    );
                     return;
                 }
             }
             // The untrusted state cannot be re-verified: the shard never
             // re-admits — answering from it could ack corrupt data.
             state.health.store(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
+            tele.store.record_health_transition(
+                ShardHealth::Recovering.as_u8(),
+                ShardHealth::Dead.as_u8(),
+            );
         }));
         if self.senders[shard].send(recovery).is_err() {
             self.mark_dead(shard);
@@ -724,7 +798,10 @@ impl<S: KvStore + Send + 'static> std::fmt::Debug for ShardedStore<S> {
     }
 }
 
-fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>) {
+fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCtx) {
+    store.attach_telemetry(Arc::clone(&ctx.tele));
+    store.refresh_gauges();
+    ctx.state.last_len.store(store.len(), Ordering::SeqCst);
     while let Ok(first) = rx.recv() {
         // Drain whatever else queued up while we were busy; under load
         // this turns independent client requests into one wakeup.
@@ -738,23 +815,104 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>) {
         for req in batch {
             match req {
                 Request::Ops { ops, reply } => {
+                    ctx.tele.store.batch_size.observe(ops.len() as u64);
+                    let replies = apply_ops(&mut store, ops, &ctx);
+                    // Publish the new size before the reply so a client
+                    // that saw its ack also sees the updated estimate.
+                    ctx.state.last_len.store(store.len(), Ordering::SeqCst);
                     // The client may have given up (dropped the
                     // receiver); the work is still applied.
-                    let _ = reply.send(apply_ops(&mut store, ops));
+                    let _ = reply.send(replies);
                 }
-                Request::Exec(f) => f(&mut store),
+                Request::Exec(f) => {
+                    // Exec closures can do anything (recovery, attack
+                    // injection), so re-publish the size afterwards.
+                    f(&mut store);
+                    ctx.state.last_len.store(store.len(), Ordering::SeqCst);
+                }
             }
         }
+        store.refresh_gauges();
+    }
+}
+
+/// Pre-segment readings of the per-shard activity counters. The slow-op
+/// tracer attributes a run's time to stages by differencing these
+/// around the run — no per-stage clocks on the hot path.
+struct SegmentProbe {
+    start: Instant,
+    index_probes: u64,
+    counter_fetches: u64,
+    verify_sum: u64,
+    admit_evict: u64,
+    crypt_bytes: u64,
+}
+
+impl SegmentProbe {
+    fn begin<S: KvStore>(store: &S, ctx: &WorkerCtx) -> Option<SegmentProbe> {
+        if !aria_telemetry::enabled() {
+            return None;
+        }
+        let t = &ctx.tele;
+        Some(SegmentProbe {
+            start: Instant::now(),
+            index_probes: t.store.index_probes.get(),
+            counter_fetches: t.cache.hits.get() + t.cache.misses.get(),
+            verify_sum: t.cache.verify_depth.sum(),
+            admit_evict: t.cache.inserts.get() + t.cache.evictions.get(),
+            crypt_bytes: store.enclave().bytes_crypted(),
+        })
+    }
+
+    /// Close the segment: record per-op latency for the run and, if the
+    /// amortized per-op time crossed the tracer threshold, a structured
+    /// slow-op span built from the counter deltas.
+    fn finish<S: KvStore>(
+        self,
+        store: &S,
+        ctx: &WorkerCtx,
+        kind: TeleOpKind,
+        first_key: &[u8],
+        n: u64,
+    ) {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        let per_op = elapsed / n.max(1);
+        let t = &ctx.tele;
+        match kind {
+            TeleOpKind::Get => t.store.get_latency.observe_n(per_op, n),
+            TeleOpKind::Put => t.store.put_latency.observe_n(per_op, n),
+            TeleOpKind::Delete => t.store.delete_latency.observe_n(per_op, n),
+            TeleOpKind::Other => {}
+        }
+        if per_op < ctx.slow_ops.threshold_nanos() {
+            return;
+        }
+        ctx.slow_ops.record(SlowOp {
+            seq: 0, // assigned by the tracer
+            shard: ctx.shard,
+            kind,
+            key_hash: splitmix64(fnv1a(first_key)),
+            batch: n.min(u32::MAX as u64) as u32,
+            total_nanos: elapsed,
+            index_probes: t.store.index_probes.get().saturating_sub(self.index_probes),
+            counter_fetches: (t.cache.hits.get() + t.cache.misses.get())
+                .saturating_sub(self.counter_fetches),
+            verify_depth: t.cache.verify_depth.sum().saturating_sub(self.verify_sum),
+            cache_admit_evict: (t.cache.inserts.get() + t.cache.evictions.get())
+                .saturating_sub(self.admit_evict),
+            crypt_bytes: store.enclave().bytes_crypted().saturating_sub(self.crypt_bytes),
+        });
     }
 }
 
 /// Apply a batch, feeding maximal same-kind runs to the batched trait
 /// methods so stores that amortize per-request costs get to.
-fn apply_ops<S: KvStore>(store: &mut S, ops: Vec<BatchOp>) -> Vec<BatchReply> {
+fn apply_ops<S: KvStore>(store: &mut S, ops: Vec<BatchOp>, ctx: &WorkerCtx) -> Vec<BatchReply> {
     let mut out = Vec::with_capacity(ops.len());
     let mut i = 0;
     while i < ops.len() {
-        match &ops[i] {
+        let probe = SegmentProbe::begin(store, ctx);
+        let (kind, j) = match &ops[i] {
             BatchOp::Get(_) => {
                 let mut j = i;
                 while j < ops.len() && matches!(ops[j], BatchOp::Get(_)) {
@@ -762,7 +920,7 @@ fn apply_ops<S: KvStore>(store: &mut S, ops: Vec<BatchOp>) -> Vec<BatchReply> {
                 }
                 let keys: Vec<&[u8]> = ops[i..j].iter().map(BatchOp::key).collect();
                 out.extend(store.multi_get(&keys).into_iter().map(BatchReply::Get));
-                i = j;
+                (TeleOpKind::Get, j)
             }
             BatchOp::Put(..) => {
                 let mut j = i;
@@ -777,13 +935,23 @@ fn apply_ops<S: KvStore>(store: &mut S, ops: Vec<BatchOp>) -> Vec<BatchReply> {
                     })
                     .collect();
                 out.extend(store.put_batch(&pairs).into_iter().map(BatchReply::Put));
-                i = j;
+                (TeleOpKind::Put, j)
             }
-            BatchOp::Delete(key) => {
-                out.push(BatchReply::Delete(store.delete(key)));
-                i += 1;
+            BatchOp::Delete(_) => {
+                let mut j = i;
+                while j < ops.len() && matches!(ops[j], BatchOp::Delete(_)) {
+                    j += 1;
+                }
+                for op in &ops[i..j] {
+                    out.push(BatchReply::Delete(store.delete(op.key())));
+                }
+                (TeleOpKind::Delete, j)
             }
+        };
+        if let Some(probe) = probe {
+            probe.finish(store, ctx, kind, ops[i].key(), (j - i) as u64);
         }
+        i = j;
     }
     out
 }

@@ -1,0 +1,415 @@
+//! Versioned binary encoding of [`TelemetrySnapshot`] for the wire
+//! (`METRICS` opcode).
+//!
+//! Layout: little-endian, magic `ATEL`, `u32` version, then the
+//! sections in a fixed order. Histograms are encoded with trailing
+//! zero buckets trimmed (`u32` count then that many `u64`s, then the
+//! `u64` sum). The layout carries no self-describing field tags —
+//! [`SNAPSHOT_VERSION`](crate::SNAPSHOT_VERSION) must be bumped on any
+//! change, and decoders reject unknown versions.
+
+use crate::hub::{
+    CacheSnapshot, ChaosSnapshot, HealthTransition, MemSnapshot, MerkleSnapshot, NetSnapshot,
+    ShardSnapshot, StoreSnapshot, TelemetrySnapshot, FAULT_SITES, NET_OPS, SNAPSHOT_VERSION,
+    VIOLATION_CLASSES,
+};
+use crate::metrics::{HistSnapshot, BUCKETS};
+use crate::trace::{OpKind, SlowOp};
+
+/// Magic prefix of an encoded snapshot.
+pub const MAGIC: [u8; 4] = *b"ATEL";
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the layout did.
+    Truncated,
+    /// Magic prefix missing.
+    BadMagic,
+    /// Unknown snapshot version.
+    BadVersion(u32),
+    /// Bytes left over after the layout ended, or a length field
+    /// exceeded sane bounds.
+    Malformed,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "telemetry snapshot truncated"),
+            CodecError::BadMagic => write!(f, "telemetry snapshot magic mismatch"),
+            CodecError::BadVersion(v) => write!(f, "unknown telemetry snapshot version {v}"),
+            CodecError::Malformed => write!(f, "malformed telemetry snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_hist(b: &mut Vec<u8>, h: &HistSnapshot) {
+    let n = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    put_u32(b, n as u32);
+    for &c in &h.buckets[..n] {
+        put_u64(b, c);
+    }
+    put_u64(b, h.sum);
+}
+
+fn put_counters(b: &mut Vec<u8>, cs: &[u64]) {
+    put_u32(b, cs.len() as u32);
+    for &c in cs {
+        put_u64(b, c);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.at + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn hist(&mut self) -> Result<HistSnapshot, CodecError> {
+        let n = self.u32()? as usize;
+        if n > BUCKETS {
+            return Err(CodecError::Malformed);
+        }
+        let mut buckets = vec![0u64; BUCKETS];
+        for slot in buckets.iter_mut().take(n) {
+            *slot = self.u64()?;
+        }
+        let sum = self.u64()?;
+        Ok(HistSnapshot { buckets, sum })
+    }
+
+    fn counters(&mut self, expect: usize) -> Result<Vec<u64>, CodecError> {
+        let n = self.u32()? as usize;
+        if n != expect {
+            return Err(CodecError::Malformed);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn finished(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+/// Sanity ceiling on decoded collection lengths (shards, events).
+const MAX_LIST: usize = 1 << 20;
+
+impl TelemetrySnapshot {
+    /// Encode to the versioned wire form. Debug builds validate the
+    /// counter invariants first.
+    pub fn encode(&self) -> Vec<u8> {
+        self.debug_validate();
+        let mut b = Vec::with_capacity(4096);
+        b.extend_from_slice(&MAGIC);
+        put_u32(&mut b, self.version);
+        put_u64(&mut b, self.unix_millis);
+        put_u32(&mut b, self.shards.len() as u32);
+        for s in &self.shards {
+            encode_shard(&mut b, s);
+        }
+        encode_net(&mut b, &self.net);
+        put_counters(&mut b, &self.chaos.injected);
+        put_u32(&mut b, self.slow_ops.len() as u32);
+        for op in &self.slow_ops {
+            encode_slow_op(&mut b, op);
+        }
+        put_u64(&mut b, self.slow_dropped);
+        b
+    }
+
+    /// Decode the versioned wire form.
+    pub fn decode(buf: &[u8]) -> Result<TelemetrySnapshot, CodecError> {
+        let mut c = Cursor { buf, at: 0 };
+        if c.take(4)? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = c.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let unix_millis = c.u64()?;
+        let nshards = c.u32()? as usize;
+        if nshards > MAX_LIST {
+            return Err(CodecError::Malformed);
+        }
+        let shards = (0..nshards).map(|_| decode_shard(&mut c)).collect::<Result<Vec<_>, _>>()?;
+        let net = decode_net(&mut c)?;
+        let chaos = ChaosSnapshot { injected: c.counters(FAULT_SITES)? };
+        let nslow = c.u32()? as usize;
+        if nslow > MAX_LIST {
+            return Err(CodecError::Malformed);
+        }
+        let slow_ops = (0..nslow).map(|_| decode_slow_op(&mut c)).collect::<Result<Vec<_>, _>>()?;
+        let slow_dropped = c.u64()?;
+        if !c.finished() {
+            return Err(CodecError::Malformed);
+        }
+        Ok(TelemetrySnapshot { version, unix_millis, shards, net, chaos, slow_ops, slow_dropped })
+    }
+}
+
+fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
+    let c = &s.cache;
+    for v in [
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.evictions,
+        c.writebacks,
+        c.clean_discards,
+        c.swap_bytes_in,
+        c.swap_bytes_out,
+        c.swap_stops,
+        c.swap_starts,
+    ] {
+        put_u64(b, v);
+    }
+    put_hist(b, &c.verify_depth);
+    put_u64(b, s.merkle.hash_ops);
+    put_u64(b, s.merkle.verified_nodes);
+    let m = &s.mem;
+    for v in [m.allocs, m.frees, m.alloc_bytes, m.freed_bytes, m.live_bytes, m.free_buffer_bytes] {
+        put_u64(b, v);
+    }
+    let st = &s.store;
+    put_hist(b, &st.get_latency);
+    put_hist(b, &st.put_latency);
+    put_hist(b, &st.delete_latency);
+    put_hist(b, &st.batch_size);
+    for v in [st.index_probes, st.keys_live, st.counter_live, st.counter_capacity, st.health_state]
+    {
+        put_u64(b, v);
+    }
+    put_counters(b, &st.violations);
+    put_u32(b, st.health_events.len() as u32);
+    for e in &st.health_events {
+        put_u64(b, e.seq);
+        put_u64(b, e.unix_millis);
+        b.push(e.from);
+        b.push(e.to);
+    }
+}
+
+fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
+    let cache = CacheSnapshot {
+        hits: c.u64()?,
+        misses: c.u64()?,
+        inserts: c.u64()?,
+        evictions: c.u64()?,
+        writebacks: c.u64()?,
+        clean_discards: c.u64()?,
+        swap_bytes_in: c.u64()?,
+        swap_bytes_out: c.u64()?,
+        swap_stops: c.u64()?,
+        swap_starts: c.u64()?,
+        verify_depth: c.hist()?,
+    };
+    let merkle = MerkleSnapshot { hash_ops: c.u64()?, verified_nodes: c.u64()? };
+    let mem = MemSnapshot {
+        allocs: c.u64()?,
+        frees: c.u64()?,
+        alloc_bytes: c.u64()?,
+        freed_bytes: c.u64()?,
+        live_bytes: c.u64()?,
+        free_buffer_bytes: c.u64()?,
+    };
+    let get_latency = c.hist()?;
+    let put_latency = c.hist()?;
+    let delete_latency = c.hist()?;
+    let batch_size = c.hist()?;
+    let index_probes = c.u64()?;
+    let keys_live = c.u64()?;
+    let counter_live = c.u64()?;
+    let counter_capacity = c.u64()?;
+    let health_state = c.u64()?;
+    let violations = c.counters(VIOLATION_CLASSES)?;
+    let nev = c.u32()? as usize;
+    if nev > MAX_LIST {
+        return Err(CodecError::Malformed);
+    }
+    let mut health_events = Vec::with_capacity(nev);
+    for _ in 0..nev {
+        health_events.push(HealthTransition {
+            seq: c.u64()?,
+            unix_millis: c.u64()?,
+            from: c.u8()?,
+            to: c.u8()?,
+        });
+    }
+    Ok(ShardSnapshot {
+        cache,
+        merkle,
+        mem,
+        store: StoreSnapshot {
+            get_latency,
+            put_latency,
+            delete_latency,
+            batch_size,
+            index_probes,
+            keys_live,
+            counter_live,
+            counter_capacity,
+            health_state,
+            violations,
+            health_events,
+        },
+    })
+}
+
+fn encode_net(b: &mut Vec<u8>, n: &NetSnapshot) {
+    put_u32(b, n.op_latency.len() as u32);
+    for h in &n.op_latency {
+        put_hist(b, h);
+    }
+    for v in [
+        n.inflight,
+        n.frame_bytes_in,
+        n.frame_bytes_out,
+        n.rejected_connections,
+        n.timed_out_connections,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn decode_net(c: &mut Cursor<'_>) -> Result<NetSnapshot, CodecError> {
+    let nops = c.u32()? as usize;
+    if nops != NET_OPS {
+        return Err(CodecError::Malformed);
+    }
+    let op_latency = (0..nops).map(|_| c.hist()).collect::<Result<Vec<_>, _>>()?;
+    Ok(NetSnapshot {
+        op_latency,
+        inflight: c.u64()?,
+        frame_bytes_in: c.u64()?,
+        frame_bytes_out: c.u64()?,
+        rejected_connections: c.u64()?,
+        timed_out_connections: c.u64()?,
+    })
+}
+
+fn encode_slow_op(b: &mut Vec<u8>, op: &SlowOp) {
+    put_u64(b, op.seq);
+    put_u32(b, op.shard);
+    b.push(op.kind as u8);
+    put_u64(b, op.key_hash);
+    put_u32(b, op.batch);
+    for v in [
+        op.total_nanos,
+        op.index_probes,
+        op.counter_fetches,
+        op.verify_depth,
+        op.cache_admit_evict,
+        op.crypt_bytes,
+    ] {
+        put_u64(b, v);
+    }
+}
+
+fn decode_slow_op(c: &mut Cursor<'_>) -> Result<SlowOp, CodecError> {
+    Ok(SlowOp {
+        seq: c.u64()?,
+        shard: c.u32()?,
+        kind: OpKind::from_u8(c.u8()?),
+        key_hash: c.u64()?,
+        batch: c.u32()?,
+        total_nanos: c.u64()?,
+        index_probes: c.u64()?,
+        counter_fetches: c.u64()?,
+        verify_depth: c.u64()?,
+        cache_admit_evict: c.u64()?,
+        crypt_bytes: c.u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::TelemetryHub;
+
+    fn busy_snapshot() -> TelemetrySnapshot {
+        let hub = TelemetryHub::with_shards(2);
+        hub.shards[0].cache.hits.add(100);
+        hub.shards[0].cache.misses.add(7);
+        hub.shards[0].cache.verify_depth.observe(3);
+        hub.shards[0].cache.verify_depth.observe(5);
+        hub.shards[1].store.get_latency.observe(1234);
+        hub.shards[1].store.record_health_transition(0, 1);
+        hub.shards[1].store.record_violation(2);
+        hub.net.op_latency[1].observe(999);
+        hub.net.frame_bytes_in.add(4096);
+        hub.chaos.record_injection(3);
+        hub.slow_ops.record(crate::trace::SlowOp {
+            seq: 0,
+            shard: 1,
+            kind: OpKind::Put,
+            key_hash: 42,
+            batch: 4,
+            total_nanos: 500_000,
+            index_probes: 9,
+            counter_fetches: 4,
+            verify_depth: 6,
+            cache_admit_evict: 2,
+            crypt_bytes: 256,
+        });
+        hub.snapshot()
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = busy_snapshot();
+        let bytes = s.encode();
+        let back = TelemetrySnapshot::decode(&bytes).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(TelemetrySnapshot::decode(b"nope").unwrap_err(), CodecError::BadMagic);
+        let s = busy_snapshot();
+        let mut bytes = s.encode();
+        bytes[4] = 99; // version
+        assert!(matches!(
+            TelemetrySnapshot::decode(&bytes).unwrap_err(),
+            CodecError::BadVersion(_)
+        ));
+        let mut truncated = s.encode();
+        truncated.truncate(truncated.len() - 3);
+        assert_eq!(TelemetrySnapshot::decode(&truncated).unwrap_err(), CodecError::Truncated);
+        let mut trailing = s.encode();
+        trailing.push(0);
+        assert_eq!(TelemetrySnapshot::decode(&trailing).unwrap_err(), CodecError::Malformed);
+    }
+}

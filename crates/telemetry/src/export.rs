@@ -1,0 +1,273 @@
+//! Text exports of a [`TelemetrySnapshot`]: Prometheus-style
+//! exposition and hand-written JSON (the workspace deliberately avoids
+//! serde).
+
+use std::fmt::Write as _;
+
+use crate::hub::{
+    ShardSnapshot, TelemetrySnapshot, FAULT_SITE_NAMES, NET_OP_NAMES, VIOLATION_NAMES,
+};
+use crate::metrics::{bucket_bound, HistSnapshot};
+
+fn prom_hist(out: &mut String, name: &str, labels: &str, h: &HistSnapshot) {
+    let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    let mut cum = 0u64;
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (i, &c) in h.buckets[..last].iter().enumerate() {
+        cum += c;
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cum}", bucket_bound(i));
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}", h.count());
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum);
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+    }
+}
+
+fn prom_line(out: &mut String, name: &str, labels: &str, v: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {v}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {v}");
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Prometheus-style text exposition of the whole snapshot. Debug
+    /// builds validate the counter invariants first.
+    pub fn render_prometheus(&self) -> String {
+        self.debug_validate();
+        let mut o = String::with_capacity(8192);
+        let _ = writeln!(o, "# aria telemetry snapshot v{} t={}ms", self.version, self.unix_millis);
+        for (i, s) in self.shards.iter().enumerate() {
+            let sh = format!("shard=\"{i}\"");
+            let c = &s.cache;
+            prom_line(&mut o, "aria_cache_hits_total", &sh, c.hits);
+            prom_line(&mut o, "aria_cache_misses_total", &sh, c.misses);
+            prom_line(&mut o, "aria_cache_inserts_total", &sh, c.inserts);
+            prom_line(&mut o, "aria_cache_evictions_total", &sh, c.evictions);
+            prom_line(&mut o, "aria_cache_writebacks_total", &sh, c.writebacks);
+            prom_line(&mut o, "aria_cache_clean_discards_total", &sh, c.clean_discards);
+            prom_line(&mut o, "aria_cache_swap_bytes_in_total", &sh, c.swap_bytes_in);
+            prom_line(&mut o, "aria_cache_swap_bytes_out_total", &sh, c.swap_bytes_out);
+            prom_line(&mut o, "aria_cache_swap_stops_total", &sh, c.swap_stops);
+            prom_line(&mut o, "aria_cache_swap_starts_total", &sh, c.swap_starts);
+            prom_hist(&mut o, "aria_cache_verify_depth_levels", &sh, &c.verify_depth);
+            prom_line(&mut o, "aria_merkle_hash_ops_total", &sh, s.merkle.hash_ops);
+            prom_line(&mut o, "aria_merkle_verified_nodes_total", &sh, s.merkle.verified_nodes);
+            let m = &s.mem;
+            prom_line(&mut o, "aria_mem_allocs_total", &sh, m.allocs);
+            prom_line(&mut o, "aria_mem_frees_total", &sh, m.frees);
+            prom_line(&mut o, "aria_mem_alloc_bytes_total", &sh, m.alloc_bytes);
+            prom_line(&mut o, "aria_mem_freed_bytes_total", &sh, m.freed_bytes);
+            prom_line(&mut o, "aria_mem_live_bytes", &sh, m.live_bytes);
+            prom_line(&mut o, "aria_mem_free_buffer_bytes", &sh, m.free_buffer_bytes);
+            let st = &s.store;
+            prom_hist(&mut o, "aria_store_get_latency_nanos", &sh, &st.get_latency);
+            prom_hist(&mut o, "aria_store_put_latency_nanos", &sh, &st.put_latency);
+            prom_hist(&mut o, "aria_store_delete_latency_nanos", &sh, &st.delete_latency);
+            prom_hist(&mut o, "aria_store_batch_size_ops", &sh, &st.batch_size);
+            prom_line(&mut o, "aria_store_index_probes_total", &sh, st.index_probes);
+            prom_line(&mut o, "aria_store_keys_live", &sh, st.keys_live);
+            prom_line(&mut o, "aria_store_counter_live", &sh, st.counter_live);
+            prom_line(&mut o, "aria_store_counter_capacity", &sh, st.counter_capacity);
+            prom_line(&mut o, "aria_store_health_state", &sh, st.health_state);
+            for (ci, &v) in st.violations.iter().enumerate() {
+                let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
+                prom_line(
+                    &mut o,
+                    "aria_store_violations_total",
+                    &format!("{sh},class=\"{name}\""),
+                    v,
+                );
+            }
+        }
+        for (i, h) in self.net.op_latency.iter().enumerate() {
+            let name = NET_OP_NAMES.get(i).copied().unwrap_or("unknown");
+            prom_hist(&mut o, "aria_net_op_latency_nanos", &format!("op=\"{name}\""), h);
+        }
+        prom_line(&mut o, "aria_net_inflight", "", self.net.inflight);
+        prom_line(&mut o, "aria_net_frame_bytes_in_total", "", self.net.frame_bytes_in);
+        prom_line(&mut o, "aria_net_frame_bytes_out_total", "", self.net.frame_bytes_out);
+        prom_line(&mut o, "aria_net_rejected_connections_total", "", self.net.rejected_connections);
+        prom_line(
+            &mut o,
+            "aria_net_timed_out_connections_total",
+            "",
+            self.net.timed_out_connections,
+        );
+        for (i, &v) in self.chaos.injected.iter().enumerate() {
+            let name = FAULT_SITE_NAMES.get(i).copied().unwrap_or("unknown");
+            prom_line(&mut o, "aria_chaos_injected_total", &format!("site=\"{name}\""), v);
+        }
+        prom_line(&mut o, "aria_slow_ops", "", self.slow_ops.len() as u64);
+        prom_line(&mut o, "aria_slow_ops_dropped_total", "", self.slow_dropped);
+        o
+    }
+
+    /// Hand-written JSON of the whole snapshot (histograms as trimmed
+    /// bucket arrays), for embedding in bench result rows.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(8192);
+        o.push_str(&format!(
+            "{{\"version\":{},\"unix_millis\":{},\"shards\":[",
+            self.version, self.unix_millis
+        ));
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            shard_json(&mut o, s);
+        }
+        o.push_str("],\"net\":{\"op_latency\":{");
+        let mut first = true;
+        for (i, h) in self.net.op_latency.iter().enumerate() {
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            let name = NET_OP_NAMES.get(i).copied().unwrap_or("unknown");
+            o.push_str(&format!("\"{name}\":"));
+            hist_json(&mut o, h);
+        }
+        o.push_str(&format!(
+            "}},\"inflight\":{},\"frame_bytes_in\":{},\"frame_bytes_out\":{},\
+             \"rejected_connections\":{},\"timed_out_connections\":{}}}",
+            self.net.inflight,
+            self.net.frame_bytes_in,
+            self.net.frame_bytes_out,
+            self.net.rejected_connections,
+            self.net.timed_out_connections
+        ));
+        o.push_str(",\"chaos\":{");
+        for (i, &v) in self.chaos.injected.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let name = FAULT_SITE_NAMES.get(i).copied().unwrap_or("unknown");
+            o.push_str(&format!("\"{name}\":{v}"));
+        }
+        o.push_str(&format!(
+            "}},\"slow_ops\":{},\"slow_ops_dropped\":{}}}",
+            self.slow_ops.len(),
+            self.slow_dropped
+        ));
+        o
+    }
+}
+
+fn hist_json(o: &mut String, h: &HistSnapshot) {
+    let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+    o.push_str("{\"buckets\":[");
+    for (i, &c) in h.buckets[..last].iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&c.to_string());
+    }
+    o.push_str(&format!(
+        "],\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        h.count(),
+        h.sum,
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99)
+    ));
+}
+
+fn shard_json(o: &mut String, s: &ShardSnapshot) {
+    let c = &s.cache;
+    o.push_str(&format!(
+        "{{\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\
+         \"writebacks\":{},\"clean_discards\":{},\"swap_bytes_in\":{},\"swap_bytes_out\":{},\
+         \"swap_stops\":{},\"swap_starts\":{},\"verify_depth\":",
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.evictions,
+        c.writebacks,
+        c.clean_discards,
+        c.swap_bytes_in,
+        c.swap_bytes_out,
+        c.swap_stops,
+        c.swap_starts
+    ));
+    hist_json(o, &c.verify_depth);
+    o.push_str(&format!(
+        "}},\"merkle\":{{\"hash_ops\":{},\"verified_nodes\":{}}}",
+        s.merkle.hash_ops, s.merkle.verified_nodes
+    ));
+    let m = &s.mem;
+    o.push_str(&format!(
+        ",\"mem\":{{\"allocs\":{},\"frees\":{},\"alloc_bytes\":{},\"freed_bytes\":{},\
+         \"live_bytes\":{},\"free_buffer_bytes\":{}}}",
+        m.allocs, m.frees, m.alloc_bytes, m.freed_bytes, m.live_bytes, m.free_buffer_bytes
+    ));
+    let st = &s.store;
+    o.push_str(",\"store\":{\"get_latency\":");
+    hist_json(o, &st.get_latency);
+    o.push_str(",\"put_latency\":");
+    hist_json(o, &st.put_latency);
+    o.push_str(",\"batch_size\":");
+    hist_json(o, &st.batch_size);
+    o.push_str(&format!(
+        ",\"index_probes\":{},\"keys_live\":{},\"counter_live\":{},\"counter_capacity\":{},\
+         \"health_state\":{},\"violations\":{{",
+        st.index_probes, st.keys_live, st.counter_live, st.counter_capacity, st.health_state
+    ));
+    let mut first = true;
+    for (ci, &v) in st.violations.iter().enumerate() {
+        if v == 0 {
+            continue;
+        }
+        if !first {
+            o.push(',');
+        }
+        first = false;
+        let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
+        o.push_str(&format!("\"{name}\":{v}"));
+    }
+    o.push_str(&format!("}},\"health_events\":{}}}}}", st.health_events.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hub::TelemetryHub;
+
+    #[test]
+    fn exposition_mentions_core_series() {
+        let hub = TelemetryHub::with_shards(1);
+        hub.shards[0].cache.hits.inc();
+        hub.shards[0].cache.misses.inc();
+        hub.shards[0].cache.verify_depth.observe(4);
+        hub.net.op_latency[1].observe(2048);
+        let text = hub.snapshot().render_prometheus();
+        for needle in [
+            "aria_cache_hits_total{shard=\"0\"}",
+            "aria_cache_verify_depth_levels_bucket",
+            "aria_net_op_latency_nanos_sum{op=\"get\"}",
+            "aria_chaos_injected_total{site=\"entry_flip\"}",
+            "aria_net_inflight",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        let hub = TelemetryHub::with_shards(2);
+        hub.shards[1].store.get_latency.observe(777);
+        hub.shards[1].store.record_violation(1);
+        let j = hub.snapshot().to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "unbalanced braces: {j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"shards\":["));
+    }
+}

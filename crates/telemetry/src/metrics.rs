@@ -1,0 +1,372 @@
+//! Lock-free metric primitives: counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! Every recorder is a relaxed atomic operation — the hot path of a
+//! [`Counter::inc`] is exactly one `fetch_add(1, Relaxed)`. With the
+//! `telemetry-off` feature the structs are zero-sized and every method
+//! compiles to nothing, which is what the overhead guardrail bench
+//! compares against.
+
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds the value `0`, bucket
+/// `i` (1..=64) holds values whose bit length is `i`, i.e. the range
+/// `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: its bit length (0 for 0).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for bucket 0).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Representative (midpoint) value for bucket `i`, used when reading
+/// percentiles back out of a snapshot.
+pub fn bucket_mid(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        64 => (1u64 << 63) + ((u64::MAX - (1u64 << 63)) >> 1),
+        _ => {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            lo + (hi - lo) / 2
+        }
+    }
+}
+
+/// Monotonically increasing event counter.
+#[derive(Default)]
+pub struct Counter {
+    #[cfg(not(feature = "telemetry-off"))]
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(not(feature = "telemetry-off"))]
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one. One relaxed atomic add.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. One relaxed atomic add.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.v.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self.v.load(Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+}
+
+/// Last-value gauge (occupancies, depths). `add`/`sub` saturate at the
+/// u64 boundaries so an unbalanced update can never wrap to a bogus
+/// astronomically large reading.
+#[derive(Default)]
+pub struct Gauge {
+    #[cfg(not(feature = "telemetry-off"))]
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            #[cfg(not(feature = "telemetry-off"))]
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite the reading.
+    #[inline]
+    pub fn set(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        self.v.store(n, Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Raise the reading by `n` (saturating).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        let _ = self
+            .v
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(n)));
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Lower the reading by `n` (saturating at zero).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        let _ = self
+            .v
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self.v.load(Ordering::Relaxed);
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+}
+
+/// Log2-bucketed histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in bytes or ops). An `observe` is two relaxed atomic adds:
+/// the bucket count and the running sum.
+pub struct Histogram {
+    #[cfg(not(feature = "telemetry-off"))]
+    buckets: [AtomicU64; BUCKETS],
+    #[cfg(not(feature = "telemetry-off"))]
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            #[cfg(not(feature = "telemetry-off"))]
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            #[cfg(not(feature = "telemetry-off"))]
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Record the same sample `n` times (amortized ops in a coalesced
+    /// run) in two atomic adds, same as a single [`Histogram::observe`].
+    #[inline]
+    pub fn observe_n(&self, v: u64, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            if n == 0 {
+                return;
+            }
+            self.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+            self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = (v, n);
+    }
+
+    /// Running sum of all observed samples (cheap; one relaxed load).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.sum.load(Ordering::Relaxed)
+        }
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+
+    /// Point-in-time copy of the buckets and sum. Readers racing
+    /// writers may observe a sum slightly out of step with the bucket
+    /// counts; a quiesced snapshot is exact.
+    pub fn snapshot(&self) -> HistSnapshot {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let buckets: Vec<u64> =
+                self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            HistSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+        }
+        #[cfg(feature = "telemetry-off")]
+        HistSnapshot::empty()
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: mergeable, subtractable, and
+/// wire-encodable. `buckets` always has [`BUCKETS`] entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed samples.
+    pub sum: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// All-zero snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot { buckets: vec![0; BUCKETS], sum: 0 }
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) using bucket midpoints;
+    /// resolution is one power of two. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(BUCKETS - 1)
+    }
+
+    /// Fold `other` into `self` (bucketwise add). Merging per-thread
+    /// snapshots equals one snapshot of all their observations.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Samples observed since `earlier` (bucketwise saturating sub).
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let buckets =
+            self.buckets.iter().zip(&earlier.buckets).map(|(a, b)| a.saturating_sub(*b)).collect();
+        HistSnapshot { buckets, sum: self.sum.saturating_sub(earlier.sum) }
+    }
+
+    /// Bucket-implied bounds on `sum`: every sample in bucket `i` lies
+    /// in `[2^(i-1), 2^i)`, so a quiesced snapshot's `sum` must fall in
+    /// the returned inclusive range. Used by debug validation.
+    pub fn sum_bounds(&self) -> (u64, u64) {
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if i == 0 || c == 0 {
+                continue;
+            }
+            let blo = 1u64 << (i - 1);
+            lo = lo.saturating_add(c.saturating_mul(blo));
+            hi = hi.saturating_add(c.saturating_mul(bucket_bound(i)));
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let m = bucket_mid(i);
+            assert_eq!(bucket_of(m), i, "midpoint of bucket {i} maps back");
+            assert!(m <= bucket_bound(i));
+        }
+    }
+
+    #[test]
+    fn observe_and_percentile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.count(), 5);
+            assert_eq!(s.sum, 1106);
+            assert!(s.percentile(1.0) >= 512);
+            assert!(s.percentile(0.0) >= 1);
+            let (lo, hi) = s.sum_bounds();
+            assert!(lo <= s.sum && s.sum <= hi);
+        } else {
+            assert_eq!(s.count(), 0);
+        }
+    }
+
+    #[test]
+    fn merge_equals_sum() {
+        let mut a = HistSnapshot::empty();
+        let mut b = HistSnapshot::empty();
+        a.buckets[3] = 4;
+        a.sum = 20;
+        b.buckets[3] = 1;
+        b.buckets[10] = 2;
+        b.sum = 1030;
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 7);
+        assert_eq!(m.sum, 1050);
+        let d = m.delta(&a);
+        assert_eq!(d, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the metrics core: histograms observed from many
+//! threads must merge losslessly, and snapshot/delta must be exact
+//! inverses (`earlier.merge(later.delta(earlier)) == later`).
+//!
+//! Every assertion is gated on [`aria_telemetry::enabled`] so the suite
+//! also passes under `--features telemetry-off`, where recorders are
+//! no-ops and every snapshot is empty.
+
+use std::sync::Arc;
+use std::thread;
+
+use aria_telemetry::{bucket_of, HistSnapshot, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+// Values stay ≤ 2^40 so no 256-element multiset can wrap the u64 sum:
+// the histogram records durations/sizes, not arbitrary integers, and
+// its sum wraps (relaxed fetch_add) rather than saturating.
+
+/// The snapshot a sequence of observations must produce.
+fn expected(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// N threads hammering one shared histogram lose nothing: the final
+    /// snapshot has exactly the per-bucket counts and sum of the whole
+    /// multiset, regardless of interleaving.
+    #[test]
+    fn concurrent_observes_merge_losslessly(
+        values in collection::vec(0u64..1 << 40, 1..256),
+        threads in 2usize..6,
+    ) {
+        let hist = Arc::new(Histogram::new());
+        let chunks: Vec<Vec<u64>> = (0..threads)
+            .map(|t| values.iter().copied().skip(t).step_by(threads).collect())
+            .collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let hist = Arc::clone(&hist);
+                thread::spawn(move || {
+                    for v in chunk {
+                        hist.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("observer thread");
+        }
+
+        if aria_telemetry::enabled() {
+            let snap = hist.snapshot();
+            let want = expected(&values);
+            prop_assert_eq!(&snap.buckets[..], &want.buckets[..]);
+            prop_assert_eq!(snap.sum, want.sum);
+            prop_assert_eq!(snap.count(), values.len() as u64);
+            // Sanity: the bucket function we asserted against is the
+            // one the histogram uses.
+            for &v in &values {
+                prop_assert!(bucket_of(v) < BUCKETS);
+            }
+        } else {
+            prop_assert_eq!(hist.snapshot().count(), 0);
+        }
+    }
+
+    /// Snapshots are monotone (later ⊇ earlier bucket-wise) and
+    /// `delta` is exact: it equals the histogram of the second batch
+    /// alone, and merging it back onto the earlier snapshot
+    /// reconstructs the later one.
+    #[test]
+    fn snapshot_delta_is_monotone_and_exact(
+        first in collection::vec(0u64..1 << 40, 0..128),
+        second in collection::vec(0u64..1 << 40, 0..128),
+    ) {
+        let hist = Histogram::new();
+        for &v in &first {
+            hist.observe(v);
+        }
+        let s1 = hist.snapshot();
+        for &v in &second {
+            hist.observe(v);
+        }
+        let s2 = hist.snapshot();
+
+        for (a, b) in s1.buckets.iter().zip(&s2.buckets) {
+            prop_assert!(b >= a, "bucket count regressed: {b} < {a}");
+        }
+        prop_assert!(s2.sum >= s1.sum);
+        prop_assert!(s2.count() >= s1.count());
+
+        let d = s2.delta(&s1);
+        if aria_telemetry::enabled() {
+            let want = expected(&second);
+            prop_assert_eq!(&d.buckets[..], &want.buckets[..]);
+            prop_assert_eq!(d.sum, want.sum);
+        }
+        let mut rebuilt = s1.clone();
+        rebuilt.merge(&d);
+        prop_assert_eq!(&rebuilt.buckets[..], &s2.buckets[..]);
+        prop_assert_eq!(rebuilt.sum, s2.sum);
+    }
+}

@@ -21,7 +21,11 @@
 //!   `AriaClient` and the binary wire protocol);
 //! * [`chaos`] — deterministic, seed-scheduled fault injection for the
 //!   untrusted boundary (bit flips, torn writes, stale-node replays),
-//!   the adversary of the `chaosbench` robustness harness.
+//!   the adversary of the `chaosbench` robustness harness;
+//! * [`telemetry`] — the lock-free observability plane: per-shard
+//!   counters/gauges/histograms, a bounded slow-op tracer, and the
+//!   snapshot served by the `METRICS` wire opcode (watch it live with
+//!   the `ariatop` binary).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +61,7 @@ pub use aria_net as net;
 pub use aria_shieldstore as shieldstore;
 pub use aria_sim as sim;
 pub use aria_store as store;
+pub use aria_telemetry as telemetry;
 pub use aria_workload as workload;
 
 /// Commonly used types in one import.
