@@ -106,6 +106,16 @@ fn us(nanos: u64) -> String {
     format!("{:.0}", nanos as f64 / 1e3)
 }
 
+/// Wire encoding of a replica role (0 primary, everything else backup;
+/// see `aria_store::ReplicaRole`).
+fn role_name(role: u64) -> String {
+    if role == 0 {
+        "pri".to_string()
+    } else {
+        "bak".to_string()
+    }
+}
+
 fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs: f64, clear: bool) {
     if clear {
         print!("\x1b[2J\x1b[H");
@@ -124,6 +134,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         rows.push(vec![
             i.to_string(),
             health_name(d.store.health_state as u8).to_string(),
+            role_name(cum.store.replica_role),
+            cum.store.replica_lag.to_string(),
             fmt_tput(lat.count() as f64 / secs),
             us(lat.percentile(0.50)),
             us(lat.percentile(0.95)),
@@ -132,12 +144,16 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
             d.store.keys_live.to_string(),
             fmt_tput(d.cache.evictions as f64 / secs),
             cum.store.violations.iter().sum::<u64>().to_string(),
+            cum.store.failovers.to_string(),
         ]);
     }
     let agg = delta.aggregate();
+    let cum_agg = snap.aggregate();
     let lat = merged_latency(&agg);
     rows.push(vec![
         "all".to_string(),
+        "-".to_string(),
+        "-".to_string(),
         "-".to_string(),
         fmt_tput(lat.count() as f64 / secs),
         us(lat.percentile(0.50)),
@@ -146,11 +162,15 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         format!("{:.1}", agg.cache.hit_ratio() * 100.0),
         agg.store.keys_live.to_string(),
         fmt_tput(agg.cache.evictions as f64 / secs),
-        snap.aggregate().store.violations.iter().sum::<u64>().to_string(),
+        cum_agg.store.violations.iter().sum::<u64>().to_string(),
+        cum_agg.store.failovers.to_string(),
     ]);
     print_table(
         "shards",
-        &["shard", "state", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys", "evict/s", "viol"],
+        &[
+            "shard", "state", "role", "lag", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys",
+            "evict/s", "viol", "fover",
+        ],
         &rows,
     );
 

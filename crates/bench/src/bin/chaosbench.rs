@@ -38,6 +38,30 @@
 //!
 //! Results go to `<out>/chaos.json`; the committed `BENCH_chaos.json`
 //! is a snapshot of a full default run.
+//!
+//! ## Failover mode (`--failover`)
+//!
+//! With `--failover`, the harness instead exercises the *replication*
+//! contract: every shard group runs a primary plus a synchronous
+//! backup, a seed-scheduled killer panics acting primaries mid-load
+//! (≥ `--kills`, only when the whole group is healthy so each kill
+//! exercises a complete cycle), and the run asserts
+//!
+//! * **zero acknowledged-write loss** — every write acked to a client
+//!   is readable after promotion and after re-admission (in-run model
+//!   checks plus a final sweep);
+//! * **sibling service** — other groups keep answering (probed via
+//!   `HEALTH` + live `GET`s) during every failover window;
+//! * **verified re-admission** — each kill completes a
+//!   kill → promote → re-sync → re-admit cycle whose content roots
+//!   matched (the `resyncs` counter only advances on a root match);
+//! * **divergence refusal** — a scripted post-run divergence injection
+//!   (`FaultSite::ReplicaDivergence` via the store's re-sync fault
+//!   hook) is detected as `ReplicaDiverged` and the replica is never
+//!   re-admitted.
+//!
+//! Results go to `<out>/failover.json`; the committed
+//! `BENCH_failover.json` is a snapshot of a full default run.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -292,13 +316,21 @@ fn deliver(
                 None => false,
             }
         }
-        // Write-path sites are the HeapInjector's job, not ours.
-        FaultSite::EntryFlip | FaultSite::TornWrite => false,
+        // Write-path sites are the HeapInjector's job, not ours; the
+        // replication sites belong to the failover mode's killer and
+        // re-sync hook.
+        FaultSite::EntryFlip
+        | FaultSite::TornWrite
+        | FaultSite::PrimaryKill
+        | FaultSite::ReplicaDivergence => false,
     }
 }
 
 fn main() {
     let args = Args::parse();
+    if args.flag("failover") {
+        return run_failover(&args);
+    }
     let smoke = args.flag("smoke");
     let shards = args.get("shards", 4usize);
     let clients = args.get("clients", 4usize);
@@ -761,4 +793,569 @@ fn write_json(
     let mut f = std::fs::File::create(&path).expect("create chaos.json");
     f.write_all(doc.as_bytes()).expect("write chaos.json");
     println!("wrote {path}");
+}
+
+// ---------------------------------------------------------------------------
+// Failover mode
+// ---------------------------------------------------------------------------
+
+/// One failover-mode client: zipfian 50/50 read/write loop with the
+/// retry budget enabled (so failover windows are ridden out instead of
+/// surfaced), returning both its report and its final acked-value
+/// model for the post-run sweep.
+fn run_failover_client(
+    addr: std::net::SocketAddr,
+    base: u64,
+    range: u64,
+    ops: u64,
+    seed: u64,
+    done: Arc<AtomicBool>,
+) -> (ClientReport, HashMap<u64, Vec<u64>>) {
+    let config = ClientConfig {
+        retry_budget: 64,
+        op_deadline: Duration::from_secs(20),
+        retry_backoff: Duration::from_millis(2),
+        ..ClientConfig::default()
+    };
+    let mut client = AriaClient::connect(addr, config).expect("connect failover client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ScrambledZipfian::new(range, 0.99);
+    let mut model: HashMap<u64, KeyModel> = HashMap::new();
+    let mut report = ClientReport::default();
+    report.latencies_us.reserve(ops as usize);
+
+    for _ in 0..ops {
+        if done.load(Ordering::Relaxed) {
+            break;
+        }
+        let key_id = base + zipf.next(&mut rng);
+        let key = encode_key(key_id);
+        let entry =
+            model.entry(key_id).or_insert(KeyModel { acceptable: vec![0], next_version: 1 });
+        let is_get = rng.gen_range(0..100u64) < READ_RATIO_PCT;
+        let start = Instant::now();
+        if is_get {
+            match client.get(&key) {
+                Ok(Some(bytes)) => match decode_value(&bytes) {
+                    Some((k, v)) if k == key_id && entry.acceptable.contains(&v) => {
+                        entry.acceptable = vec![v];
+                    }
+                    _ => report.wrong_reads += 1,
+                },
+                Ok(None) => report.wrong_reads += 1,
+                Err(e) => classify(&mut report, &e),
+            }
+        } else {
+            let v = entry.next_version;
+            entry.next_version += 1;
+            match client.put(&key, &value_for(key_id, v)) {
+                Ok(()) => entry.acceptable = vec![v],
+                Err(e) => {
+                    // The put may or may not have applied before the
+                    // error: both versions stay plausible.
+                    entry.acceptable.push(v);
+                    classify(&mut report, &e);
+                }
+            }
+        }
+        report.latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        report.ops += 1;
+    }
+    let acked = model.into_iter().map(|(k, m)| (k, m.acceptable)).collect();
+    (report, acked)
+}
+
+fn all_replicas_healthy(stats: &[aria_store::sharded::GroupStats]) -> bool {
+    stats.iter().all(|g| g.replicas.iter().all(|r| r.health == ShardHealth::Healthy))
+}
+
+fn run_failover(args: &Args) {
+    let smoke = args.flag("smoke");
+    let groups = args.get("shards", 4usize);
+    let replicas = 2usize;
+    let clients = args.get("clients", 4usize);
+    let keys = args.get("keys", 8_192u64);
+    let ops = args.get("ops", if smoke { 24_000u64 } else { 160_000 });
+    let kill_floor = args.get("kills", if smoke { 4u64 } else { 20 });
+    let watchdog_secs = args.get("watchdog-secs", if smoke { 240u64 } else { 600 });
+    let seed = args.seed();
+    let out_dir = args.out_dir();
+    let listen = args.get_str("listen", "127.0.0.1:0");
+
+    println!(
+        "chaosbench[failover]: groups={groups} replicas={replicas} clients={clients} \
+         keys={keys} ops={ops} kills>={kill_floor} seed={seed}"
+    );
+
+    // Injected primary kills panic a worker thread on purpose; keep the
+    // expected backtraces out of the output while letting any *other*
+    // panic (a real bug) print as usual.
+    const KILL_MSG: &str = "chaosbench: injected primary kill";
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains(KILL_MSG))
+            .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.contains(KILL_MSG)))
+            .unwrap_or(false);
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    // --- watchdog: no hang, ever -------------------------------------------
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(watchdog_secs);
+            while !done.load(Ordering::Relaxed) {
+                if Instant::now() > deadline {
+                    eprintln!(
+                        "chaosbench[failover]: WATCHDOG — run exceeded {watchdog_secs}s, aborting"
+                    );
+                    std::process::exit(2);
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+        });
+    }
+
+    // --- replicated store + kill schedule ----------------------------------
+    let per_shard_keys = (keys / groups as u64) * 2 + 1_024;
+    let store = Arc::new(
+        ShardedStore::with_replicas(groups, replicas, 64, move |_| {
+            let suite = Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                as Arc<dyn aria_crypto::CipherSuite>;
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                Some(suite),
+            )
+        })
+        .expect("construct replicated store"),
+    );
+
+    // The kill schedule and the divergence injection both come from the
+    // deterministic chaos engine: PrimaryKill fires on every consult
+    // (the killer's own health gating paces it), ReplicaDivergence only
+    // when the post-run phase arms the re-sync fault hook.
+    let plan = FaultPlan::new(seed)
+        .with_rate(FaultSite::PrimaryKill, 10_000)
+        .with_rate(FaultSite::ReplicaDivergence, 10_000)
+        .with_budget(kill_floor * 8 + 64);
+    let engine = ChaosEngine::new(plan);
+    engine.arm(true);
+    let hook_armed = Arc::new(AtomicBool::new(false));
+    {
+        let armed = Arc::clone(&hook_armed);
+        let engine = Arc::clone(&engine);
+        store.set_resync_fault_hook(move |_group| {
+            armed.load(Ordering::SeqCst)
+                && engine.try_inject(FaultSite::ReplicaDivergence).is_some()
+        });
+    }
+
+    // --- preload: client keys + per-group probe keys ------------------------
+    let probe_per_group = 8usize;
+    let total_keys = keys + (groups * probe_per_group) as u64 * 4;
+    let mut probe_keys: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); groups];
+    let mut batch = Vec::with_capacity(512);
+    for id in 0..total_keys {
+        let key = encode_key(id);
+        if id >= keys {
+            let group = store.shard_of(&key);
+            if probe_keys[group].len() < probe_per_group {
+                probe_keys[group].push((id, key.to_vec()));
+            }
+        }
+        batch.push(BatchOp::Put(key.to_vec(), value_for(id, 0)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+
+    // --- server --------------------------------------------------------------
+    let server = AriaServer::bind(
+        listen.as_str(),
+        Arc::clone(&store),
+        ServerConfig { max_connections: clients + 8, ..ServerConfig::default() },
+    )
+    .expect("bind failover server");
+    let addr = server.local_addr();
+    println!("chaosbench[failover]: serving on {addr}");
+    engine.set_telemetry(Arc::clone(&server.telemetry().chaos));
+
+    // --- health poller + traffic pulse ---------------------------------------
+    // The pulse GET is load-bearing beyond evidence gathering: a killed
+    // worker is only *noticed* when a later op's channel fails, so the
+    // poller keeps ops flowing even after the clients finish their
+    // budgets, guaranteeing failover and re-sync keep making progress.
+    let poll_done = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let poll_done = Arc::clone(&poll_done);
+        let probe_keys = probe_keys.clone();
+        thread::spawn(move || {
+            let mut client =
+                AriaClient::connect(addr, ClientConfig::default()).expect("connect health poller");
+            let mut sibling_serves = 0u64;
+            let mut degraded_polls = 0u64;
+            let mut promotions_seen = 0u64;
+            let mut max_lag_seen = 0u64;
+            let mut last_primary: Vec<Option<usize>> = vec![None; groups];
+            let mut pulse_rng: u64 = 0x5151_7171;
+            while !poll_done.load(Ordering::Relaxed) {
+                if let Ok(reply) = client.health() {
+                    // Entries are group-major: group * replicas + replica.
+                    let degraded: Vec<usize> = (0..groups)
+                        .filter(|g| {
+                            reply.shards[g * replicas..(g + 1) * replicas]
+                                .iter()
+                                .any(|i| i.health() != ShardHealth::Healthy)
+                        })
+                        .collect();
+                    for (g, last) in last_primary.iter_mut().enumerate() {
+                        let entries = &reply.shards[g * replicas..(g + 1) * replicas];
+                        max_lag_seen =
+                            max_lag_seen.max(entries.iter().map(|i| i.lag).max().unwrap_or(0));
+                        let primary = entries
+                            .iter()
+                            .position(|i| i.replica_role() == aria_store::ReplicaRole::Primary);
+                        if let (Some(p), Some(prev)) = (primary, *last) {
+                            if p != prev {
+                                promotions_seen += 1;
+                            }
+                        }
+                        if primary.is_some() {
+                            *last = primary;
+                        }
+                    }
+                    if !degraded.is_empty() {
+                        degraded_polls += 1;
+                        // Containment probe: a fully healthy *other* group
+                        // must keep answering during this failover.
+                        if let Some(&g) = (0..groups).find(|g| !degraded.contains(g)).as_ref() {
+                            pulse_rng = pulse_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let picks = &probe_keys[g];
+                            if !picks.is_empty() {
+                                let (id, key) = &picks[(pulse_rng % picks.len() as u64) as usize];
+                                if let Ok(Some(bytes)) = client.get(key) {
+                                    if decode_value(&bytes) == Some((*id, 0)) {
+                                        sibling_serves += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Traffic pulse: one GET on the full keyspace.
+                pulse_rng = pulse_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let _ = client.get(&encode_key(pulse_rng % total_keys));
+                thread::sleep(Duration::from_millis(2));
+            }
+            (sibling_serves, degraded_polls, promotions_seen, max_lag_seen)
+        })
+    };
+
+    // --- killer: seed-scheduled primary kills, gated on group health --------
+    let kills = Arc::new(AtomicU64::new(0));
+    let killer_done = Arc::new(AtomicBool::new(false));
+    let killer = {
+        let store = Arc::clone(&store);
+        let engine = Arc::clone(&engine);
+        let kills = Arc::clone(&kills);
+        let killer_done = Arc::clone(&killer_done);
+        thread::spawn(move || {
+            while !killer_done.load(Ordering::Relaxed) && kills.load(Ordering::Relaxed) < kill_floor
+            {
+                if let Some(entropy) = engine.try_inject(FaultSite::PrimaryKill) {
+                    let g = (entropy % groups as u64) as usize;
+                    let stats = store.group_stats();
+                    // Only strike a fully healthy group: each kill then
+                    // exercises one complete kill → promote → re-sync →
+                    // re-admit cycle, and an acked write can never be
+                    // stranded on a lone survivor.
+                    if stats[g].replicas.iter().all(|r| r.health == ShardHealth::Healthy) {
+                        let p = stats[g].primary;
+                        if store.exec_detached_replica(g, p, |_st: &mut AriaHash| {
+                            panic!("chaosbench: injected primary kill")
+                        }) {
+                            kills.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+        })
+    };
+
+    // --- run: zipfian clients across the kill schedule ----------------------
+    let start = Instant::now();
+    let ops_per_client = ops / clients as u64;
+    let keys_per_client = keys / clients as u64;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            let base = c as u64 * keys_per_client;
+            let cseed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1);
+            thread::spawn(move || {
+                run_failover_client(addr, base, keys_per_client, ops_per_client, cseed, done)
+            })
+        })
+        .collect();
+
+    let mut report = ClientReport::default();
+    let mut acked: HashMap<u64, Vec<u64>> = HashMap::new();
+    for w in workers {
+        let (r, model) = w.join().expect("failover client panicked");
+        report.ops += r.ops;
+        report.wrong_reads += r.wrong_reads;
+        report.integrity_errs += r.integrity_errs;
+        report.destroyed_errs += r.destroyed_errs;
+        report.quarantined_errs += r.quarantined_errs;
+        report.unavailable_errs += r.unavailable_errs;
+        report.transport_errs += r.transport_errs;
+        report.other_errs += r.other_errs;
+        report.latencies_us.extend(r.latencies_us);
+        acked.extend(model); // client key ranges are disjoint
+    }
+    let elapsed = start.elapsed();
+
+    // Clients are done; the poller's pulse keeps recovery moving until
+    // the kill floor is reached and every group settles.
+    let kill_deadline = Instant::now() + Duration::from_secs(watchdog_secs / 2);
+    while kills.load(Ordering::SeqCst) < kill_floor && Instant::now() < kill_deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    killer_done.store(true, Ordering::SeqCst);
+    killer.join().expect("killer thread panicked");
+    let kills = kills.load(Ordering::SeqCst);
+
+    let settle_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = store.group_stats();
+        let resyncs: u64 = stats.iter().map(|g| g.resyncs).sum();
+        if (all_replicas_healthy(&stats) && resyncs >= kills) || Instant::now() > settle_deadline {
+            assert!(
+                all_replicas_healthy(&stats),
+                "groups failed to settle after the kill schedule: {stats:?}"
+            );
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    done.store(true, Ordering::SeqCst);
+
+    // --- sweep: every acknowledged write must be readable --------------------
+    let mut sweep_client =
+        AriaClient::connect(addr, ClientConfig { retry_budget: 16, ..ClientConfig::default() })
+            .expect("connect sweep client");
+    let mut sweep_ok = 0u64;
+    let mut sweep_wrong = 0u64;
+    let preloaded = vec![0u64];
+    for id in 0..keys {
+        let acceptable = acked.get(&id).unwrap_or(&preloaded);
+        match sweep_client.get(&encode_key(id)) {
+            Ok(Some(bytes)) => match decode_value(&bytes) {
+                Some((k, v)) if k == id && acceptable.contains(&v) => sweep_ok += 1,
+                _ => sweep_wrong += 1,
+            },
+            _ => sweep_wrong += 1,
+        }
+    }
+
+    // --- divergence phase: a corrupted rejoiner must never re-admit ----------
+    let stats_before = store.group_stats();
+    let div_group = 0usize;
+    let div_primary = stats_before[div_group].primary;
+    hook_armed.store(true, Ordering::SeqCst);
+    store.exec_detached_replica(div_group, div_primary, |_st: &mut AriaHash| {
+        panic!("chaosbench: injected primary kill")
+    });
+    let div_deadline = Instant::now() + Duration::from_secs(60);
+    let mut diverged_detected = false;
+    while Instant::now() < div_deadline {
+        // Drive traffic so the kill is noticed and the re-sync runs.
+        let _ = sweep_client.get(&encode_key(0));
+        let g = &store.group_stats()[div_group];
+        if matches!(g.last_resync_error, Some(aria_store::StoreError::ReplicaDiverged { .. })) {
+            diverged_detected = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    hook_armed.store(false, Ordering::SeqCst);
+    // The diverged replica must stay out of service, and the survivor
+    // must keep the group serving.
+    thread::sleep(Duration::from_millis(100));
+    let div_stats = &store.group_stats()[div_group];
+    let diverged_readmitted = div_stats.resyncs > stats_before[div_group].resyncs;
+    let dead_replicas = div_stats.replicas.iter().filter(|r| r.health == ShardHealth::Dead).count();
+    let survivor_serves = probe_keys[div_group]
+        .first()
+        .map(|(id, key)| {
+            matches!(sweep_client.get(key), Ok(Some(bytes))
+                if decode_value(&bytes) == Some((*id, 0)))
+        })
+        .unwrap_or(false);
+
+    poll_done.store(true, Ordering::SeqCst);
+    let (sibling_serves, degraded_polls, promotions_seen, max_lag_seen) =
+        poller.join().expect("health poller panicked");
+    let telemetry = server.telemetry().snapshot();
+    let group_stats = store.group_stats();
+    server.shutdown();
+
+    // --- verdict --------------------------------------------------------------
+    let failovers: u64 = group_stats.iter().map(|g| g.failovers).sum();
+    let resyncs: u64 = group_stats.iter().map(|g| g.resyncs).sum();
+    report.latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&report.latencies_us, 0.50);
+    let p99 = percentile(&report.latencies_us, 0.99);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, msg: &str| {
+        if !ok {
+            failures.push(msg.to_string());
+        }
+    };
+    check(kills >= kill_floor, "primary-kill count below floor");
+    check(report.wrong_reads == 0, "acknowledged-then-wrong reads observed");
+    check(sweep_wrong == 0, "final sweep lost or corrupted an acknowledged write");
+    check(failovers >= kills, "fewer promotions than kills");
+    check(resyncs >= kills, "fewer verified re-sync cycles than kills");
+    check(sibling_serves >= 1, "no sibling group served during a failover window");
+    check(promotions_seen >= 1, "HEALTH opcode never observed a promotion");
+    check(diverged_detected, "injected divergence was not detected as ReplicaDiverged");
+    check(!diverged_readmitted, "a diverged replica was re-admitted");
+    check(dead_replicas == 1, "diverged replica is not parked as Dead");
+    check(survivor_serves, "survivor stopped serving after the divergence refusal");
+    check(p99 < 500_000.0, "p99 latency above 500ms (hang-adjacent)");
+
+    // --- report ---------------------------------------------------------------
+    let group_rows: Vec<Vec<String>> = group_stats
+        .iter()
+        .map(|g| {
+            vec![
+                g.group.to_string(),
+                g.primary.to_string(),
+                g.failovers.to_string(),
+                g.resyncs.to_string(),
+                g.replicas
+                    .iter()
+                    .map(|r| format!("{}:{}", r.role, r.health))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            ]
+        })
+        .collect();
+    print_table(
+        "shard groups",
+        &["group", "primary", "failovers", "resyncs", "replicas"],
+        &group_rows,
+    );
+    println!(
+        "ops={} elapsed={:.2}s p50={:.0}us p99={:.0}us kills={} failovers={} resyncs={} \
+         wrong_reads={} sweep ok/wrong={}/{} sibling_serves={} degraded_polls={} \
+         promotions_seen={} max_lag_seen={} diverged detected/readmitted={}/{}",
+        report.ops,
+        elapsed.as_secs_f64(),
+        p50,
+        p99,
+        kills,
+        failovers,
+        resyncs,
+        report.wrong_reads,
+        sweep_ok,
+        sweep_wrong,
+        sibling_serves,
+        degraded_polls,
+        promotions_seen,
+        max_lag_seen,
+        diverged_detected,
+        diverged_readmitted,
+    );
+
+    let group_json = group_stats
+        .iter()
+        .map(|g| {
+            let replicas = g
+                .replicas
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"replica\":{},\"role\":{},\"state\":{},\"lag\":{},\
+                         \"violations\":{},\"recoveries\":{}}}",
+                        r.replica,
+                        json_str(&r.role.to_string()),
+                        json_str(&r.health.to_string()),
+                        r.lag,
+                        r.violations,
+                        r.recoveries
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"group\":{},\"primary\":{},\"failovers\":{},\"resyncs\":{},\
+                 \"last_resync_error\":{},\"replicas\":[{replicas}]}}",
+                g.group,
+                g.primary,
+                g.failovers,
+                g.resyncs,
+                match &g.last_resync_error {
+                    Some(e) => json_str(&e.to_string()),
+                    None => "null".to_string(),
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let failures_json = failures.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(",");
+    let doc = format!(
+        "{{\n\"schema_version\":{SCHEMA_VERSION},\n\"experiment\":\"failover\",\n\
+         \"git_rev\":{},\n\"seed\":{seed},\n\"elapsed_s\":{:.3},\n\
+         \"groups\":{groups},\n\"replicas\":{replicas},\n\"ops\":{},\n\
+         \"kills\":{kills},\n\"failovers\":{failovers},\n\"resyncs\":{resyncs},\n\
+         \"wrong_reads\":{},\n\"quarantined_errors\":{},\n\"unavailable_errors\":{},\n\
+         \"transport_errors\":{},\n\"other_errors\":{},\n\
+         \"sweep\":{{\"ok\":{sweep_ok},\"wrong\":{sweep_wrong}}},\n\
+         \"sibling_serves_during_failover\":{sibling_serves},\n\
+         \"degraded_health_polls\":{degraded_polls},\n\
+         \"promotions_seen_via_health\":{promotions_seen},\n\
+         \"max_replica_lag_seen\":{max_lag_seen},\n\
+         \"divergence\":{{\"detected\":{diverged_detected},\
+         \"readmitted\":{diverged_readmitted},\"survivor_serves\":{survivor_serves}}},\n\
+         \"latency_us\":{{\"p50\":{:.1},\"p99\":{:.1}}},\n\
+         \"group_stats\":[{group_json}],\n\
+         \"telemetry\":{},\n\
+         \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
+        json_str(git_rev()),
+        elapsed.as_secs_f64(),
+        report.ops,
+        report.wrong_reads,
+        report.quarantined_errs,
+        report.unavailable_errs,
+        report.transport_errs,
+        report.other_errs,
+        p50,
+        p99,
+        telemetry.to_json(),
+        json_str(if failures.is_empty() { "pass" } else { "fail" }),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = format!("{out_dir}/failover.json");
+    std::fs::write(&path, doc).expect("write failover.json");
+    println!("wrote {path}");
+
+    if failures.is_empty() {
+        println!("chaosbench[failover]: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("chaosbench[failover]: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -73,10 +73,20 @@ pub enum FaultSite {
     /// (double-allocation setup). Detected as
     /// `Violation::AllocatorMetadata` by the free-list audit.
     FreeListTamper = 5,
+    /// Kill a shard group's acting primary worker (thread panic). Not a
+    /// data fault: the replicated front-end must fail over to a backup
+    /// with zero acknowledged-write loss and later re-sync the killed
+    /// replica.
+    PrimaryKill = 6,
+    /// Corrupt a rejoining replica *during* anti-entropy re-sync, after
+    /// the delta apply and before root comparison. Detected as
+    /// `StoreError::ReplicaDiverged` — the replica must never be
+    /// re-admitted.
+    ReplicaDivergence = 7,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 8;
 
 impl FaultSite {
     /// Every site, in `repr` order.
@@ -87,6 +97,8 @@ impl FaultSite {
         FaultSite::NodeFlip,
         FaultSite::IndexPointerSwap,
         FaultSite::FreeListTamper,
+        FaultSite::PrimaryKill,
+        FaultSite::ReplicaDivergence,
     ];
 
     /// Stable machine-readable name (used in plans, reports, CI logs).
@@ -98,6 +110,8 @@ impl FaultSite {
             FaultSite::NodeFlip => "node_flip",
             FaultSite::IndexPointerSwap => "index_pointer_swap",
             FaultSite::FreeListTamper => "freelist_tamper",
+            FaultSite::PrimaryKill => "primary_kill",
+            FaultSite::ReplicaDivergence => "replica_divergence",
         }
     }
 

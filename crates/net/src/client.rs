@@ -20,10 +20,21 @@
 //! out instead of in synchronized waves.
 //! Every response read is bounded by [`ClientConfig::op_timeout`], so a
 //! dead or wedged server yields a typed [`NetError`] instead of a hang.
+//!
+//! One class of *server* error may be retried transparently: shard
+//! routing errors ([`ErrorCode::ShardQuarantined`] /
+//! [`ErrorCode::ShardUnavailable`]) mean the op was refused before
+//! touching any data, so re-issuing is always safe. During a failover
+//! the refusal window is the promotion latency, so single-op calls
+//! retry these up to [`ClientConfig::retry_budget`] times within a
+//! total [`ClientConfig::op_deadline`], with jittered doubling backoff,
+//! and surface the *last typed error* when the budget or deadline runs
+//! out. Transport errors and every other server error are never
+//! retried.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aria_store::sharded::splitmix64;
 
@@ -42,6 +53,16 @@ pub struct ClientConfig {
     pub reconnect_attempts: u32,
     /// Sleep before the 2nd attempt; doubles each further attempt.
     pub reconnect_backoff: Duration,
+    /// Extra attempts (beyond the first) for *safe-to-retry* server
+    /// refusals: [`ErrorCode::ShardQuarantined`] and
+    /// [`ErrorCode::ShardUnavailable`]. 0 disables op retries.
+    pub retry_budget: u32,
+    /// Total wall-clock bound across one op's first attempt and all its
+    /// retries; the last typed error is surfaced when it expires.
+    pub op_deadline: Duration,
+    /// Sleep before the first op retry; doubles (with jitter) each
+    /// further retry.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ClientConfig {
@@ -51,6 +72,9 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(1),
             reconnect_attempts: 5,
             reconnect_backoff: Duration::from_millis(20),
+            retry_budget: 0,
+            op_deadline: Duration::from_secs(30),
+            retry_backoff: Duration::from_millis(5),
         }
     }
 }
@@ -89,6 +113,21 @@ impl NetError {
     /// reached the server, and a reconnect might succeed).
     pub fn is_transport(&self) -> bool {
         matches!(self, NetError::Io(_) | NetError::Timeout)
+    }
+
+    /// Whether the op was *refused before touching data* and is
+    /// therefore always safe to re-issue: the server answered with a
+    /// shard routing error (quarantined or unavailable), which happens
+    /// during failover and recovery windows. Transport errors are NOT
+    /// safe — the op may have been applied.
+    pub fn is_safe_to_retry(&self) -> bool {
+        matches!(
+            self,
+            NetError::Server {
+                code: ErrorCode::ShardQuarantined | ErrorCode::ShardUnavailable,
+                ..
+            }
+        )
     }
 }
 
@@ -264,8 +303,41 @@ impl AriaClient {
         Ok(responses)
     }
 
+    /// One request/response exchange, retrying safe-to-retry shard
+    /// refusals (see [`NetError::is_safe_to_retry`]) within the
+    /// configured budget and deadline. Anything else — transport
+    /// failures included — fails on the first occurrence.
     fn one(&mut self, req: Request) -> Result<Response, NetError> {
-        Ok(self.pipeline(std::slice::from_ref(&req))?.pop().expect("one response per request"))
+        let deadline = Instant::now() + self.config.op_deadline;
+        let mut backoff = self.config.retry_backoff;
+        let mut retries_left = self.config.retry_budget;
+        loop {
+            // Typed per-op server errors arrive as `Response::Error`
+            // frames; fold them into `NetError::Server` here so the
+            // retry policy sees them (callers' `fail()` would have done
+            // the same conversion anyway).
+            let err = match self.one_attempt(&req) {
+                Ok(Response::Error { code, message }) => NetError::Server { code, message },
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if !err.is_safe_to_retry() || retries_left == 0 {
+                return Err(err);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Budget unspent but time is up: surface the last
+                // typed error, never a synthetic timeout.
+                return Err(err);
+            }
+            retries_left -= 1;
+            std::thread::sleep(self.jittered(backoff).min(deadline - now));
+            backoff = backoff.saturating_mul(2);
+        }
+    }
+
+    fn one_attempt(&mut self, req: &Request) -> Result<Response, NetError> {
+        Ok(self.pipeline(std::slice::from_ref(req))?.pop().expect("one response per request"))
     }
 
     /// Liveness probe.
@@ -394,5 +466,150 @@ fn read_response(conn: &mut Conn) -> Result<(u64, Response), NetError> {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    /// A scripted single-connection server: answers each request with
+    /// the next canned response, counting requests served. Lets retry
+    /// tests control exactly which typed errors the client observes.
+    fn scripted_server(
+        responses: Vec<Response>,
+        repeat_last: bool,
+    ) -> (SocketAddr, Arc<AtomicU64>, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let served = Arc::new(AtomicU64::new(0));
+        let served2 = Arc::clone(&served);
+        let handle = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut rbuf = Vec::new();
+            let mut next = 0usize;
+            let mut chunk = [0u8; 4096];
+            loop {
+                match proto::decode_request(&rbuf) {
+                    Ok(Decoded::Frame(consumed, id, _req)) => {
+                        rbuf.drain(..consumed);
+                        let resp = if next < responses.len() {
+                            let r = responses[next].clone();
+                            if next + 1 < responses.len() || !repeat_last {
+                                next += 1;
+                            }
+                            r
+                        } else {
+                            return; // script exhausted: hang up
+                        };
+                        let mut out = Vec::new();
+                        proto::encode_response(&mut out, id, &resp).expect("encode");
+                        // Count before writing: the client may observe
+                        // the response (and the test may assert) before
+                        // this thread runs again.
+                        served2.fetch_add(1, Ordering::SeqCst);
+                        if stream.write_all(&out).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Decoded::Incomplete) => match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                    },
+                    Err(_) => return,
+                }
+            }
+        });
+        (addr, served, handle)
+    }
+
+    fn quarantined() -> Response {
+        Response::Error { code: ErrorCode::ShardQuarantined, message: "shard 0 quarantined".into() }
+    }
+
+    fn fast_retry_config(budget: u32, deadline: Duration) -> ClientConfig {
+        ClientConfig {
+            retry_budget: budget,
+            op_deadline: deadline,
+            retry_backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn retry_budget_rides_out_a_quarantine_window() {
+        // Two refusals then success: a budget of 3 must absorb them.
+        let (addr, served, handle) =
+            scripted_server(vec![quarantined(), quarantined(), Response::PutOk], false);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(3, Duration::from_secs(10))).unwrap();
+        client.put(b"k", b"v").expect("retries must ride out the refusals");
+        assert_eq!(served.load(Ordering::SeqCst), 3, "two refused attempts plus the success");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_last_typed_error() {
+        let (addr, served, handle) = scripted_server(vec![quarantined()], true);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(2, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("every attempt is refused");
+        assert_eq!(err.code(), Some(ErrorCode::ShardQuarantined), "typed error, not a timeout");
+        assert_eq!(served.load(Ordering::SeqCst), 3, "first attempt + budget of 2");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_caps_retries_and_surfaces_last_typed_error() {
+        let (addr, served, handle) = scripted_server(vec![quarantined()], true);
+        let mut config = fast_retry_config(u32::MAX, Duration::from_millis(120));
+        config.retry_backoff = Duration::from_millis(30);
+        let mut client = AriaClient::connect(addr, config).unwrap();
+        let start = Instant::now();
+        let err = client.put(b"k", b"v").expect_err("server never relents");
+        assert_eq!(err.code(), Some(ErrorCode::ShardQuarantined));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must stop an unbounded budget (took {:?})",
+            start.elapsed()
+        );
+        assert!(served.load(Ordering::SeqCst) >= 2, "at least one retry happened");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn non_shard_errors_and_transport_failures_are_not_retried() {
+        // A non-routing server error must fail on the first attempt.
+        let (addr, served, handle) = scripted_server(
+            vec![Response::Error { code: ErrorCode::KeyTooLong, message: "nope".into() }],
+            true,
+        );
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(5, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("KeyTooLong is not retryable");
+        assert_eq!(err.code(), Some(ErrorCode::KeyTooLong));
+        assert!(!err.is_safe_to_retry());
+        assert_eq!(served.load(Ordering::SeqCst), 1, "no retry for non-routing errors");
+        drop(client);
+        handle.join().unwrap();
+
+        // A connection that dies mid-op is a transport failure: the op
+        // may have been applied, so the client must not re-issue it.
+        let (addr, served, handle) = scripted_server(vec![], false);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(5, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("server hangs up without answering");
+        assert!(err.is_transport(), "got {err:?}");
+        assert!(!err.is_safe_to_retry());
+        assert_eq!(served.load(Ordering::SeqCst), 0);
+        drop(client);
+        handle.join().unwrap();
     }
 }

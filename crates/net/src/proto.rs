@@ -110,6 +110,11 @@ pub enum ErrorCode {
     /// The shard is quarantined after a detected violation; retry once
     /// recovery re-admits it.
     ShardQuarantined = 22,
+    /// Anti-entropy re-sync found mismatching content roots; the
+    /// rejoining replica was refused re-admission.
+    ReplicaDiverged = 23,
+    /// The store cannot stream verified contents for re-sync.
+    ExportUnsupported = 24,
     /// The request frame could not be decoded.
     BadRequest = 32,
     /// Unknown request opcode.
@@ -141,6 +146,8 @@ impl ErrorCode {
             20 => ValueTooLong,
             21 => ShardUnavailable,
             22 => ShardQuarantined,
+            23 => ReplicaDiverged,
+            24 => ExportUnsupported,
             32 => BadRequest,
             33 => UnknownOpcode,
             34 => FrameTooLarge,
@@ -169,6 +176,8 @@ impl ErrorCode {
             StoreError::ValueTooLong { .. } => ErrorCode::ValueTooLong,
             StoreError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
             StoreError::ShardQuarantined { .. } => ErrorCode::ShardQuarantined,
+            StoreError::ReplicaDiverged { .. } => ErrorCode::ReplicaDiverged,
+            StoreError::ExportUnsupported => ErrorCode::ExportUnsupported,
         }
     }
 
@@ -224,12 +233,19 @@ pub enum Request {
     Metrics,
 }
 
-/// One shard's health on the wire (see [`aria_store::ShardHealth`]).
+/// One replica's health on the wire (see [`aria_store::ShardHealth`]).
+/// With replication off there is exactly one entry per shard and
+/// `role`/`lag` are 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardHealthInfo {
     /// Encoded [`ShardHealth`] (unknown values decode as `Dead`).
     pub state: u8,
-    /// Quarantine-triggering violations observed on the shard.
+    /// Encoded [`aria_store::ReplicaRole`] (0 primary, 1 backup;
+    /// unknown values decode as backup).
+    pub role: u8,
+    /// Replication lag in keys (0 when in sync or unreplicated).
+    pub lag: u64,
+    /// Quarantine-triggering violations observed on the replica.
     pub violations: u64,
     /// Completed quarantine → recovery → re-admission cycles.
     pub recoveries: u64,
@@ -240,22 +256,43 @@ impl ShardHealthInfo {
     pub fn health(&self) -> ShardHealth {
         ShardHealth::from_u8(self.state)
     }
+
+    /// The decoded replica role.
+    pub fn replica_role(&self) -> aria_store::ReplicaRole {
+        aria_store::ReplicaRole::from_u8(self.role)
+    }
 }
 
 impl From<aria_store::ShardHealthSnapshot> for ShardHealthInfo {
     fn from(s: aria_store::ShardHealthSnapshot) -> Self {
         ShardHealthInfo {
             state: s.health.as_u8(),
+            role: 0,
+            lag: 0,
             violations: s.violations,
             recoveries: s.recoveries,
         }
     }
 }
 
-/// Answer to [`Request::Health`]: one entry per shard, in shard order.
+impl From<aria_store::ReplicaHealthSnapshot> for ShardHealthInfo {
+    fn from(s: aria_store::ReplicaHealthSnapshot) -> Self {
+        ShardHealthInfo {
+            state: s.health.as_u8(),
+            role: s.role.as_u8(),
+            lag: s.lag,
+            violations: s.violations,
+            recoveries: s.recoveries,
+        }
+    }
+}
+
+/// Answer to [`Request::Health`]: one entry per replica, group-major
+/// (`group * replicas + replica`); with replication off, one entry per
+/// shard in shard order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HealthReply {
-    /// Per-shard health, index = shard.
+    /// Per-replica health.
     pub shards: Vec<ShardHealthInfo>,
 }
 
@@ -367,6 +404,8 @@ fn put_health(out: &mut Vec<u8>, shards: &[ShardHealthInfo]) {
     put_u32(out, shards.len() as u32);
     for s in shards {
         out.push(s.state);
+        out.push(s.role);
+        put_u64(out, s.lag);
         put_u64(out, s.violations);
         put_u64(out, s.recoveries);
     }
@@ -537,6 +576,8 @@ impl<'a> Cursor<'a> {
         for _ in 0..n {
             shards.push(ShardHealthInfo {
                 state: self.u8()?,
+                role: self.u8()?,
+                lag: self.u64()?,
                 violations: self.u64()?,
                 recoveries: self.u64()?,
             });
@@ -751,12 +792,18 @@ mod tests {
             connections_accepted: 9,
             degraded: true,
             health: vec![
-                ShardHealthInfo { state: 0, violations: 0, recoveries: 0 },
-                ShardHealthInfo { state: 1, violations: 3, recoveries: 1 },
+                ShardHealthInfo { state: 0, role: 0, lag: 0, violations: 0, recoveries: 0 },
+                ShardHealthInfo { state: 1, role: 1, lag: 42, violations: 3, recoveries: 1 },
             ],
         }));
         round_trip_response(Response::Health(HealthReply {
-            shards: vec![ShardHealthInfo { state: 2, violations: 7, recoveries: 2 }],
+            shards: vec![ShardHealthInfo {
+                state: 2,
+                role: 1,
+                lag: 9,
+                violations: 7,
+                recoveries: 2,
+            }],
         }));
         round_trip_response(Response::Metrics(vec![1, 2, 3, 4, 5]));
         round_trip_response(Response::Error {
@@ -767,12 +814,14 @@ mod tests {
 
     #[test]
     fn shard_health_info_decodes_states() {
-        use aria_store::ShardHealth;
-        let info = ShardHealthInfo { state: 1, violations: 0, recoveries: 0 };
+        use aria_store::{ReplicaRole, ShardHealth};
+        let info = ShardHealthInfo { state: 1, ..Default::default() };
         assert_eq!(info.health(), ShardHealth::Quarantined);
-        // Unknown states fail closed to Dead.
-        let junk = ShardHealthInfo { state: 200, violations: 0, recoveries: 0 };
+        assert_eq!(info.replica_role(), ReplicaRole::Primary);
+        // Unknown states fail closed to Dead; unknown roles to Backup.
+        let junk = ShardHealthInfo { state: 200, role: 77, ..Default::default() };
         assert_eq!(junk.health(), ShardHealth::Dead);
+        assert_eq!(junk.replica_role(), ReplicaRole::Backup);
     }
 
     #[test]
@@ -864,6 +913,8 @@ mod tests {
             ErrorCode::ValueTooLong,
             ErrorCode::ShardUnavailable,
             ErrorCode::ShardQuarantined,
+            ErrorCode::ReplicaDiverged,
+            ErrorCode::ExportUnsupported,
             ErrorCode::DataDestroyed,
             ErrorCode::BadRequest,
             ErrorCode::UnknownOpcode,
@@ -897,6 +948,14 @@ mod tests {
         assert_eq!(
             ErrorCode::from_store_error(&StoreError::Integrity(Violation::DataDestroyed)),
             ErrorCode::DataDestroyed
+        );
+        assert_eq!(
+            ErrorCode::from_store_error(&StoreError::ReplicaDiverged { shard: 2 }),
+            ErrorCode::ReplicaDiverged
+        );
+        assert_eq!(
+            ErrorCode::from_store_error(&StoreError::ExportUnsupported),
+            ErrorCode::ExportUnsupported
         );
     }
 }

@@ -477,8 +477,11 @@ fn dispatch_window<S: KvStore + Send + 'static>(
                     health: healths.into_iter().map(Into::into).collect(),
                 })
             }
+            // HEALTH reports per-replica entries (role + lag) so clients
+            // can watch failovers and re-sync progress; STATS stays
+            // group-aggregated for capacity accounting.
             Slot::Health => Response::Health(HealthReply {
-                shards: store.healths().into_iter().map(Into::into).collect(),
+                shards: store.replica_healths().into_iter().map(Into::into).collect(),
             }),
             Slot::Metrics => Response::Metrics(shared.tele.snapshot().encode()),
             Slot::Get => match next_get(&mut replies) {

@@ -61,6 +61,7 @@ fn quick_client(addr: std::net::SocketAddr) -> AriaClient {
             connect_timeout: Duration::from_secs(1),
             reconnect_attempts: 3,
             reconnect_backoff: Duration::from_millis(10),
+            ..ClientConfig::default()
         },
     )
     .expect("connect to loopback server")
@@ -310,6 +311,7 @@ fn killed_server_yields_typed_errors_not_hangs() {
             connect_timeout: Duration::from_millis(200),
             reconnect_attempts: 2,
             reconnect_backoff: Duration::from_millis(10),
+            ..ClientConfig::default()
         },
     )
     .unwrap();

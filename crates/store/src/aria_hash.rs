@@ -667,6 +667,38 @@ impl KvStore for AriaHash {
         pairs.iter().map(|(key, _)| applied[*key].clone()).collect()
     }
 
+    /// Stream verified pairs for anti-entropy re-sync. The cursor is a
+    /// bucket index; whole chains are exported at a time (a chunk may
+    /// exceed `max` by one chain's length), so the cursor stays valid
+    /// across calls as long as the store is not mutated in between.
+    /// Every pair is produced by [`StoreCore::open_checked`] — a full
+    /// MAC + counter verification inside the enclave — so a tampered
+    /// entry aborts the export with the violation instead of leaking
+    /// corrupt bytes to the rejoining replica.
+    fn export_chunk(
+        &mut self,
+        cursor: u64,
+        max: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<u64>), StoreError> {
+        self.core.enclave.charge(self.core.enclave.cost().request_fixed);
+        let nbuckets = self.buckets.len() as u64;
+        let mut bucket = cursor;
+        let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        while bucket < nbuckets && out.len() < max.max(1) {
+            let mut chain: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+            self.walk(bucket as usize, |this, cell, ptr, header| {
+                let sealed = this.core.read_sealed(ptr, header)?;
+                let (k, v) = this.core.open_checked(&sealed, header, cell.ad_field())?;
+                chain.push((k, v));
+                Ok(None::<()>)
+            })?;
+            out.append(&mut chain);
+            bucket += 1;
+        }
+        let next = (bucket < nbuckets).then_some(bucket);
+        Ok((out, next))
+    }
+
     /// Full repair against enclave ground truth: counter-layer audit
     /// (Merkle trees, free ring), heap free-list rebuild, then a
     /// MAC-verifying sweep of every chain that excises whatever no

@@ -109,6 +109,17 @@ pub enum StoreError {
         /// The quarantined shard.
         shard: usize,
     },
+    /// Anti-entropy re-sync ended with the rejoining replica's content
+    /// root differing from the survivor's: the replica is divergent
+    /// (or was tampered with mid-sync) and must not be re-admitted.
+    ReplicaDiverged {
+        /// The shard group whose re-sync failed.
+        shard: usize,
+    },
+    /// The store type cannot stream its verified contents
+    /// ([`crate::KvStore::export_chunk`]), so it cannot act as a
+    /// re-sync survivor or rejoiner.
+    ExportUnsupported,
 }
 
 impl std::fmt::Display for StoreError {
@@ -125,6 +136,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::ShardQuarantined { shard } => {
                 write!(f, "shard {shard} quarantined after an integrity violation")
+            }
+            StoreError::ReplicaDiverged { shard } => {
+                write!(f, "shard {shard} replica diverged: re-sync content roots do not match")
+            }
+            StoreError::ExportUnsupported => {
+                write!(f, "store cannot stream verified contents for re-sync")
             }
         }
     }

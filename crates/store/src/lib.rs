@@ -29,6 +29,7 @@ pub mod core;
 pub mod counter;
 pub mod entry;
 pub mod error;
+pub mod resync;
 pub mod sharded;
 
 use std::sync::Arc;
@@ -42,7 +43,11 @@ pub use btree::AriaTree;
 pub use config::{ConfigError, Scheme, StoreConfig, StoreConfigBuilder};
 pub use counter::{CounterBackend, CounterStore};
 pub use error::{StoreError, Violation};
-pub use sharded::{BatchOp, BatchReply, ShardHealth, ShardHealthSnapshot, ShardedStore};
+pub use resync::{content_root, content_root_of, ContentRoot};
+pub use sharded::{
+    BatchOp, BatchReply, GroupHealthMachine, GroupStats, ReplicaHealthSnapshot, ReplicaRole,
+    ShardHealth, ShardHealthSnapshot, ShardedStore,
+};
 
 /// What a [`KvStore::recover`] pass found and repaired. All counts are
 /// zero for stores whose untrusted state checked out (or that have none).
@@ -168,6 +173,25 @@ pub trait KvStore {
     /// occupancy, heap bytes). Called by batch workers between batches;
     /// must stay cheap. The default is a no-op.
     fn refresh_gauges(&self) {}
+    /// Stream up to `max` verified `(key, value)` pairs starting at an
+    /// opaque `cursor` (`0` = from the beginning). Returns the pairs and
+    /// `Some(next_cursor)` while more remain, `None` once the store is
+    /// exhausted. Every pair MUST come from a MAC-verified, decrypted
+    /// read inside the enclave — this is the feed for anti-entropy
+    /// re-sync, and an unverified export would let a tampered survivor
+    /// poison its rejoining peer. The cursor is only valid while the
+    /// store is not mutated between calls. The default refuses
+    /// ([`StoreError::ExportUnsupported`]) for stores that cannot
+    /// enumerate their contents.
+    #[allow(unused_variables)]
+    #[allow(clippy::type_complexity)]
+    fn export_chunk(
+        &mut self,
+        cursor: u64,
+        max: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<u64>), StoreError> {
+        Err(StoreError::ExportUnsupported)
+    }
 }
 
 /// Memory-consumption breakdown (paper §VI-D4).

@@ -1,32 +1,58 @@
-//! A sharded, thread-safe front-end over any [`KvStore`].
+//! A sharded, thread-safe front-end over any [`KvStore`], with optional
+//! per-shard replication.
 //!
 //! [`ShardedStore`] hash-partitions the keyspace across `N` independent
-//! shards. Each shard is a complete store instance — its own simulated
-//! enclave, counter Merkle tree and Secure Cache — owned by a dedicated
-//! worker thread and fed over a bounded MPSC channel. Clients hold only
-//! cloneable senders, so a `ShardedStore` is `Send + Sync` and can be
-//! shared behind an `Arc` by any number of client threads even though
-//! the underlying stores are single-threaded.
+//! shard *groups*. Each group holds `R` replicas (default 1); every
+//! replica is a complete store instance — its own simulated enclave,
+//! counter Merkle tree and Secure Cache — owned by a dedicated worker
+//! thread and fed over a bounded MPSC channel. Clients hold only the
+//! front-end, so a `ShardedStore` is `Send + Sync` and can be shared
+//! behind an `Arc` by any number of client threads even though the
+//! underlying stores are single-threaded.
 //!
 //! # Partitioning
 //!
-//! The shard of a key is chosen by bit-mixing (splitmix64) an FNV-1a
+//! The group of a key is chosen by bit-mixing (splitmix64) an FNV-1a
 //! digest of the key bytes. The extra mixing step matters: the hash
 //! index inside each shard buckets keys by `fnv % 2^k`, so routing on
 //! the raw FNV digest would correlate with bucket choice and leave each
 //! shard using only `1/N` of its buckets. After mixing, shard routing
 //! and bucket choice are independent.
 //!
+//! # Replication
+//!
+//! With `R > 1` ([`ShardedStore::with_replicas`]) each group runs one
+//! *primary* and `R-1` synchronous *backups*. Writes are sent to the
+//! primary **and** every in-service backup under a per-group send lock
+//! (so all queues observe the same write order), and acknowledged only
+//! after every addressed replica has applied them — the bounded worker
+//! queues are the in-flight window that keeps the hot path pipelined.
+//! Reads are served by the primary alone; when the primary leaves
+//! service the next operation promotes a healthy backup by CAS on the
+//! group's [`GroupHealthMachine`] (automatic failover).
+//!
+//! A replica that dies or quarantines rejoins via *anti-entropy
+//! re-sync*: a fresh worker (own enclave, own heap) streams the
+//! survivor's MAC-verified contents ([`KvStore::export_chunk`]) in a
+//! live first pass, then a short write-fenced second pass applies the
+//! delta and both sides compare [`crate::ContentRoot`]s — each computed
+//! inside its own enclave from its own verified reads. Matching roots
+//! re-admit the replica; a mismatch marks it [`ShardHealth::Dead`] with
+//! [`StoreError::ReplicaDiverged`] (a diverged replica must never serve).
+//! With `R == 1` none of this machinery is touched: no group lock, no
+//! fence check beyond one atomic load, identical hot path to the
+//! unreplicated design.
+//!
 //! # Security
 //!
-//! Sharding does not weaken the protection argument. Each shard keeps
-//! its *own* Merkle root inside its *own* enclave; an adversary who
-//! tampers with shard `i`'s untrusted memory is detected by shard `i`'s
-//! root exactly as in the single-store design, and no other shard's
-//! verification state is involved — there is no cross-shard trust edge
-//! to exploit. The router itself is untrusted machinery: it only decides
-//! *which* enclave receives a request, and a misrouted request is
-//! equivalent to a lookup of an absent key, never an integrity escape.
+//! Sharding and replication do not weaken the protection argument. Each
+//! replica keeps its *own* Merkle root inside its *own* enclave; an
+//! adversary who tampers with one replica's untrusted memory is detected
+//! by that replica's root exactly as in the single-store design, and no
+//! other replica's verification state is involved. The router and the
+//! replication plumbing are untrusted machinery: they only decide which
+//! enclave receives a request. Re-sync soundness (why a malicious host
+//! cannot poison a rejoining replica) is argued in DESIGN.md §13.
 //!
 //! # Batching
 //!
@@ -38,36 +64,40 @@
 //!
 //! # Health and quarantine
 //!
-//! Every shard carries a health state machine:
+//! Every replica carries a health state machine:
 //!
 //! ```text
 //! Healthy ──violation──▶ Quarantined ──▶ Recovering ──▶ Healthy
-//!                                            │
-//!                                            └──(attempts exhausted)──▶ Dead
+//!    │                        │               │
+//!    └────(worker died)───────┴───────────────┴──(failed)──▶ Dead
+//!                                                   Dead ──▶ Recovering
 //! ```
 //!
 //! When any reply carries a quarantine-triggering integrity violation
-//! (see [`StoreError::is_quarantine_trigger`]) the shard flips to
-//! `Quarantined`: new operations routed to it are refused with
+//! (see [`StoreError::is_quarantine_trigger`]) the replica flips to
+//! `Quarantined`: operations are refused with
 //! [`StoreError::ShardQuarantined`] *without touching the worker*, while
-//! sibling shards keep serving. A recovery job is queued on the shard's
-//! own worker thread; it runs [`KvStore::recover`] (drain the Secure
-//! Cache, audit the counter Merkle tree against the enclave root,
-//! condemn and reinitialize damaged counters, sweep the index
-//! re-verifying every entry MAC) up to [`RECOVERY_ATTEMPTS`] times.
-//! Success re-admits the shard; exhausting the attempts marks it `Dead`
-//! (refused with [`StoreError::ShardUnavailable`], like a crashed
-//! worker). [`ShardedStore::healths`] exposes the per-shard state.
+//! sibling groups (and, with replication, sibling replicas) keep
+//! serving. Recovery is single-flight — exactly one claimant wins the
+//! `Quarantined → Recovering` (or `Dead → Recovering`) CAS. Unreplicated
+//! groups recover in place with [`KvStore::recover`] (up to
+//! [`RECOVERY_ATTEMPTS`] times); replicated groups re-sync from a
+//! surviving replica as described above. [`ShardedStore::healths`]
+//! exposes per-group state, [`ShardedStore::replica_healths`] per-replica
+//! detail (role, lag), and [`ShardedStore::group_stats`] failover and
+//! re-sync counters.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use aria_sim::{EnclaveSnapshot, EnclaveStats};
 use aria_telemetry::{OpKind as TeleOpKind, ShardTelemetry, SlowOp, SlowOpTracer};
 
+use crate::resync::content_root_of;
 use crate::{CacheStats, KvStore, StoreError};
 
 /// Default bound of each shard's request queue.
@@ -76,11 +106,17 @@ pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 /// How many queued requests a worker drains per wakeup.
 const WORKER_DRAIN_LIMIT: usize = 32;
 
-/// How many times a quarantined shard retries [`KvStore::recover`]
-/// before it is declared [`ShardHealth::Dead`].
+/// How many times a quarantined unreplicated shard retries
+/// [`KvStore::recover`] before it is declared [`ShardHealth::Dead`].
 pub const RECOVERY_ATTEMPTS: u32 = 3;
 
-/// Lifecycle state of one shard (see the module docs).
+/// Upper bound on replicas per group (sanity rail, not a design limit).
+pub const MAX_REPLICAS: usize = 8;
+
+/// How many pairs a re-sync bulk-apply sends per worker round trip.
+const RESYNC_APPLY_CHUNK: usize = 256;
+
+/// Lifecycle state of one replica (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum ShardHealth {
@@ -89,12 +125,13 @@ pub enum ShardHealth {
     /// An integrity violation was detected; recovery is queued. Ops are
     /// refused with [`StoreError::ShardQuarantined`].
     Quarantined = 1,
-    /// Recovery is running on the shard's worker thread. Ops are still
+    /// Recovery (or anti-entropy re-sync) is running. Ops are still
     /// refused with [`StoreError::ShardQuarantined`].
     Recovering = 2,
-    /// Recovery failed (or the worker thread died); the shard is out of
-    /// service for good. Ops are refused with
-    /// [`StoreError::ShardUnavailable`].
+    /// Recovery failed (or the worker thread died); the replica is out
+    /// of service. Ops are refused with
+    /// [`StoreError::ShardUnavailable`]. A replicated group may still
+    /// pull a dead replica back through re-sync.
     Dead = 3,
 }
 
@@ -128,47 +165,262 @@ impl std::fmt::Display for ShardHealth {
     }
 }
 
-/// A point-in-time copy of one shard's health counters.
+/// Role of a replica within its group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplicaRole {
+    /// Serves reads and is the authoritative write acknowledger.
+    Primary = 0,
+    /// Applies every write synchronously; promoted on failover.
+    Backup = 1,
+}
+
+impl ReplicaRole {
+    /// Wire/atomic representation.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`ReplicaRole::as_u8`]; unknown values decode as
+    /// `Backup` (a bogus byte must not claim primaryship).
+    pub fn from_u8(v: u8) -> ReplicaRole {
+        if v == 0 {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Backup
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplicaRole::Primary => "primary",
+            ReplicaRole::Backup => "backup",
+        })
+    }
+}
+
+/// A point-in-time copy of one *group's* health counters (aggregated
+/// over its replicas; for one replica see [`ReplicaHealthSnapshot`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardHealthSnapshot {
-    /// Current lifecycle state.
+    /// Current lifecycle state (of the group: `Healthy` while any
+    /// replica can serve).
     pub health: ShardHealth,
-    /// Quarantine-triggering violations observed on this shard.
+    /// Quarantine-triggering violations observed across the group.
     pub violations: u64,
-    /// Completed quarantine → recovery → re-admission cycles.
+    /// Completed recovery / re-sync re-admission cycles.
     pub recoveries: u64,
 }
 
-/// Shared (front-end ↔ recovery job) health record of one shard.
+/// A point-in-time copy of one replica's state within its group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaHealthSnapshot {
+    /// The shard group this replica belongs to.
+    pub group: usize,
+    /// Replica index within the group.
+    pub replica: usize,
+    /// Current role.
+    pub role: ReplicaRole,
+    /// Current lifecycle state.
+    pub health: ShardHealth,
+    /// Quarantine-triggering violations observed on this replica.
+    pub violations: u64,
+    /// Completed recovery / re-sync re-admission cycles.
+    pub recoveries: u64,
+    /// Absolute difference between this replica's last reported key
+    /// count and the primary's — 0 when in sync, growing while the
+    /// replica is out of service.
+    pub lag: u64,
+}
+
+/// Per-group aggregate counters (see [`ShardedStore::group_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupStats {
+    /// The shard group.
+    pub group: usize,
+    /// Replica index currently acting as primary.
+    pub primary: usize,
+    /// Completed primary promotions (failovers).
+    pub failovers: u64,
+    /// Completed anti-entropy re-sync cycles (roots matched).
+    pub resyncs: u64,
+    /// The error that ended the most recent failed re-sync, if any
+    /// (e.g. [`StoreError::ReplicaDiverged`]).
+    pub last_resync_error: Option<StoreError>,
+    /// Per-replica detail.
+    pub replicas: Vec<ReplicaHealthSnapshot>,
+}
+
+/// The CAS-driven health state machine of one replicated shard group.
+///
+/// This is deliberately a standalone type: the store drives it from
+/// operation outcomes, and property tests drive it with arbitrary
+/// fault/recover/promote interleavings to check that no invalid
+/// transition is ever reachable and that the group always has exactly
+/// one primary. Valid edges are
+/// `Healthy → Quarantined` ([`GroupHealthMachine::quarantine`]),
+/// `Quarantined|Dead → Recovering` ([`GroupHealthMachine::claim_recovery`],
+/// single-flight), `Recovering → Healthy` ([`GroupHealthMachine::readmit`]),
+/// `Recovering → Dead` ([`GroupHealthMachine::fail_recovery`]) and
+/// `any → Dead` ([`GroupHealthMachine::mark_dead`]). The primary index
+/// only ever moves to a currently-`Healthy` replica, and only while the
+/// incumbent is out of service ([`GroupHealthMachine::promote`]).
+pub struct GroupHealthMachine {
+    primary: AtomicUsize,
+    healths: Vec<AtomicU8>,
+    failovers: AtomicU64,
+}
+
+impl GroupHealthMachine {
+    /// A machine for `replicas` replicas, all `Healthy`, replica 0
+    /// primary.
+    pub fn new(replicas: usize) -> GroupHealthMachine {
+        assert!(replicas >= 1, "a group needs at least one replica");
+        GroupHealthMachine {
+            primary: AtomicUsize::new(0),
+            healths: (0..replicas).map(|_| AtomicU8::new(ShardHealth::Healthy.as_u8())).collect(),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of replicas this machine tracks.
+    pub fn replicas(&self) -> usize {
+        self.healths.len()
+    }
+
+    /// Replica index currently holding the primary role.
+    pub fn primary(&self) -> usize {
+        self.primary.load(Ordering::SeqCst)
+    }
+
+    /// Completed promotions.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::SeqCst)
+    }
+
+    /// Current state of one replica.
+    pub fn health(&self, replica: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.healths[replica].load(Ordering::SeqCst))
+    }
+
+    /// Current role of one replica.
+    pub fn role_of(&self, replica: usize) -> ReplicaRole {
+        if self.primary() == replica {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Backup
+        }
+    }
+
+    fn cas(&self, replica: usize, from: ShardHealth, to: ShardHealth) -> bool {
+        self.healths[replica]
+            .compare_exchange(from.as_u8(), to.as_u8(), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// `Healthy → Quarantined`. Returns whether this caller won the
+    /// transition (concurrent detections of one incident get one winner).
+    pub fn quarantine(&self, replica: usize) -> bool {
+        self.cas(replica, ShardHealth::Healthy, ShardHealth::Quarantined)
+    }
+
+    /// Claim the single recovery slot: `Quarantined → Recovering` or
+    /// `Dead → Recovering`. Returns the state the claim was won from,
+    /// or `None` if the replica is not claimable (someone else is
+    /// already recovering it, or it is healthy).
+    pub fn claim_recovery(&self, replica: usize) -> Option<ShardHealth> {
+        if self.cas(replica, ShardHealth::Quarantined, ShardHealth::Recovering) {
+            return Some(ShardHealth::Quarantined);
+        }
+        if self.cas(replica, ShardHealth::Dead, ShardHealth::Recovering) {
+            return Some(ShardHealth::Dead);
+        }
+        None
+    }
+
+    /// `Recovering → Healthy`. Only the recovery claimant calls this;
+    /// returns false if the replica was concurrently marked dead.
+    pub fn readmit(&self, replica: usize) -> bool {
+        self.cas(replica, ShardHealth::Recovering, ShardHealth::Healthy)
+    }
+
+    /// `Recovering → Dead`.
+    pub fn fail_recovery(&self, replica: usize) -> bool {
+        self.cas(replica, ShardHealth::Recovering, ShardHealth::Dead)
+    }
+
+    /// Force a replica dead (worker gone): `Healthy → Dead` or
+    /// `Quarantined → Dead`. Returns the previous state when this call
+    /// made the change, `None` otherwise. `Recovering` is deliberately
+    /// not reachable from here — that state is owned by the single-flight
+    /// recovery claimant, whose own send/apply failures surface a real
+    /// mid-recovery death as [`GroupHealthMachine::fail_recovery`]. An
+    /// external death report landing on a `Recovering` replica would
+    /// yank it out from under its claimant and park it `Dead` with no
+    /// retry once the claimant's `readmit` CAS silently lost.
+    pub fn mark_dead(&self, replica: usize) -> Option<ShardHealth> {
+        [ShardHealth::Healthy, ShardHealth::Quarantined]
+            .into_iter()
+            .find(|&from| self.cas(replica, from, ShardHealth::Dead))
+    }
+
+    /// If the incumbent primary is out of service, CAS the primary index
+    /// to a `Healthy` replica. Returns the new primary on success,
+    /// `None` when no promotion is needed or possible. The primary index
+    /// is a single atomic, so the group has exactly one primary at every
+    /// instant by construction.
+    pub fn promote(&self) -> Option<usize> {
+        loop {
+            let cur = self.primary.load(Ordering::SeqCst);
+            if self.health(cur) == ShardHealth::Healthy {
+                return None;
+            }
+            let next = (0..self.replicas())
+                .find(|&r| r != cur && self.health(r) == ShardHealth::Healthy)?;
+            if self.primary.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst).is_ok()
+            {
+                self.failovers.fetch_add(1, Ordering::SeqCst);
+                return Some(next);
+            }
+        }
+    }
+
+    /// Test hook: set a replica's state directly (gating paths are hard
+    /// to catch in the narrow real windows).
+    #[doc(hidden)]
+    pub fn force(&self, replica: usize, health: ShardHealth) {
+        self.healths[replica].store(health.as_u8(), Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for GroupHealthMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupHealthMachine")
+            .field("primary", &self.primary())
+            .field("healths", &(0..self.replicas()).map(|r| self.health(r)).collect::<Vec<_>>())
+            .field("failovers", &self.failovers())
+            .finish()
+    }
+}
+
+/// Shared (front-end ↔ recovery job) counters of one replica slot.
 struct ShardState {
-    health: AtomicU8,
     violations: AtomicU64,
     recoveries: AtomicU64,
-    /// Last key count the shard's worker reported. Monitoring paths read
+    /// Last key count the slot's worker reported. Monitoring paths read
     /// this instead of asking the worker, so a quarantined (or busy)
-    /// shard still contributes its last-known size.
+    /// replica still contributes its last-known size.
     last_len: AtomicU64,
 }
 
 impl ShardState {
     fn new() -> ShardState {
         ShardState {
-            health: AtomicU8::new(ShardHealth::Healthy.as_u8()),
             violations: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             last_len: AtomicU64::new(0),
-        }
-    }
-
-    fn health(&self) -> ShardHealth {
-        ShardHealth::from_u8(self.health.load(Ordering::SeqCst))
-    }
-
-    fn snapshot(&self) -> ShardHealthSnapshot {
-        ShardHealthSnapshot {
-            health: self.health(),
-            violations: self.violations.load(Ordering::SeqCst),
-            recoveries: self.recoveries.load(Ordering::SeqCst),
         }
     }
 }
@@ -191,6 +443,11 @@ impl BatchOp {
             BatchOp::Get(k) | BatchOp::Delete(k) => k,
             BatchOp::Put(k, _) => k,
         }
+    }
+
+    /// Whether this operation mutates the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, BatchOp::Get(_))
     }
 }
 
@@ -252,14 +509,76 @@ impl OpKind {
             OpKind::Delete => BatchReply::Delete(Err(err)),
         }
     }
+}
 
-    fn unavailable(self, shard: usize) -> BatchReply {
-        self.with_err(StoreError::ShardUnavailable { shard })
+/// A replica slot: the (replaceable) channel to its worker plus its
+/// shared counters (telemetry lives in the parallel `Inner::tele` vec).
+struct Slot<S> {
+    sender: RwLock<Option<SyncSender<Request<S>>>>,
+    state: Arc<ShardState>,
+    /// Worker incarnation, bumped under the `sender` write lock each
+    /// time [`spawn_worker`] publishes a fresh worker. Death evidence
+    /// (a failed send or a dropped reply receiver) is stamped with the
+    /// generation it was gathered against and ignored if the worker has
+    /// been respawned since — a receiver from a pre-crash batch failing
+    /// *after* the replica was re-synced and re-admitted proves nothing
+    /// about the current worker.
+    generation: AtomicU64,
+}
+
+/// Per-group control block: health machine, write-order lock and the
+/// re-sync fence.
+struct GroupCtl {
+    machine: GroupHealthMachine,
+    /// Held around every replicated write send so the primary's and the
+    /// backups' queues observe the same write order. Never taken when
+    /// `replicas == 1`.
+    write_lock: Mutex<()>,
+    /// While set, writes to this group are refused (retryable
+    /// [`StoreError::ShardQuarantined`]); reads keep flowing to the
+    /// primary. Raised only for the short delta phase of a re-sync.
+    fence: AtomicBool,
+    resyncs: AtomicU64,
+    last_resync_error: Mutex<Option<StoreError>>,
+}
+
+type Factory<S> = dyn Fn(usize) -> Result<S, StoreError> + Send + Sync;
+
+/// Chaos hook consulted at the end of a re-sync: returning `true` for a
+/// group corrupts the rejoining replica just before root comparison,
+/// modeling a replica that silently diverged (its re-admission must be
+/// refused with [`StoreError::ReplicaDiverged`]).
+type ResyncFaultHook = dyn Fn(usize) -> bool + Send + Sync;
+
+struct Inner<S: KvStore + Send + 'static> {
+    groups: usize,
+    replicas: usize,
+    queue_depth: usize,
+    slots: Vec<Slot<S>>,
+    ctls: Vec<GroupCtl>,
+    tele: Vec<Arc<ShardTelemetry>>,
+    factory: Arc<Factory<S>>,
+    slow_ops: Arc<SlowOpTracer>,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    resyncers: Mutex<Vec<JoinHandle<()>>>,
+    resync_fault: RwLock<Option<Arc<ResyncFaultHook>>>,
+}
+
+impl<S: KvStore + Send + 'static> Inner<S> {
+    fn slot_index(&self, group: usize, replica: usize) -> usize {
+        group * self.replicas + replica
     }
 }
 
+/// Lock a registry even if a previous holder panicked: a
+/// `Vec<JoinHandle>` has no invariant a partial mutation can break.
+fn lock_handles(m: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// A `Send + Sync` front-end multiplexing client threads onto `N`
-/// single-threaded store shards (see the module docs).
+/// single-threaded store shard groups (see the module docs).
 ///
 /// ```
 /// use std::sync::Arc;
@@ -280,11 +599,7 @@ impl OpKind {
 /// # fn shard_used(s: &ShardedStore<AriaHash>) -> usize { s.shard_of(b"k") }
 /// ```
 pub struct ShardedStore<S: KvStore + Send + 'static> {
-    senders: Vec<SyncSender<Request<S>>>,
-    workers: Vec<JoinHandle<()>>,
-    states: Vec<Arc<ShardState>>,
-    tele: Vec<Arc<ShardTelemetry>>,
-    slow_ops: Arc<SlowOpTracer>,
+    inner: Arc<Inner<S>>,
 }
 
 /// Everything a shard worker needs to report telemetry.
@@ -296,18 +611,20 @@ struct WorkerCtx {
 }
 
 impl<S: KvStore + Send + 'static> ShardedStore<S> {
-    /// Build a store with `shards` worker threads and the default queue
-    /// depth. `factory(shard)` runs *inside* each worker thread to build
-    /// that shard's store (stores need not be `Send` once running, but
-    /// `S` itself must be to move the factory result into place).
+    /// Build an unreplicated store with `shards` worker threads and the
+    /// default queue depth. `factory(slot)` runs *inside* each worker
+    /// thread to build that slot's store (stores need not be `Send` once
+    /// running, but `S` itself must be to move the factory result into
+    /// place).
     pub fn with_shards<F>(shards: usize, factory: F) -> Result<Self, StoreError>
     where
         F: Fn(usize) -> Result<S, StoreError> + Send + Sync + 'static,
     {
-        Self::new(shards, DEFAULT_QUEUE_DEPTH, factory)
+        Self::with_replicas(shards, 1, DEFAULT_QUEUE_DEPTH, factory)
     }
 
-    /// Build a store with an explicit per-shard queue bound.
+    /// Build an unreplicated store with an explicit per-shard queue
+    /// bound.
     ///
     /// # Panics
     ///
@@ -316,84 +633,110 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     where
         F: Fn(usize) -> Result<S, StoreError> + Send + Sync + 'static,
     {
-        assert!(shards > 0, "a sharded store needs at least one shard");
-        assert!(queue_depth > 0, "request queues must hold at least one request");
-        let factory = Arc::new(factory);
-        let slow_ops = Arc::new(SlowOpTracer::default());
-        let states: Vec<Arc<ShardState>> =
-            (0..shards).map(|_| Arc::new(ShardState::new())).collect();
-        let tele: Vec<Arc<ShardTelemetry>> =
-            (0..shards).map(|_| Arc::new(ShardTelemetry::default())).collect();
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        let mut readies = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = mpsc::sync_channel(queue_depth);
-            let (ready_tx, ready_rx) = mpsc::channel();
-            let factory = Arc::clone(&factory);
-            let ctx = WorkerCtx {
-                shard: shard as u32,
-                tele: Arc::clone(&tele[shard]),
-                slow_ops: Arc::clone(&slow_ops),
-                state: Arc::clone(&states[shard]),
-            };
-            let handle = thread::Builder::new()
-                .name(format!("aria-shard-{shard}"))
-                .spawn(move || {
-                    let store = match factory(shard) {
-                        Ok(store) => {
-                            let _ = ready_tx.send(Ok(()));
-                            store
-                        }
-                        Err(e) => {
-                            let _ = ready_tx.send(Err(e));
-                            return;
-                        }
-                    };
-                    worker_loop(store, rx, ctx);
-                })
-                .expect("spawn shard worker thread");
-            senders.push(tx);
-            workers.push(handle);
-            readies.push(ready_rx);
-        }
-        for ready in readies {
-            match ready.recv() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    // Tear down whatever did start before reporting.
-                    drop(senders);
-                    for handle in workers {
-                        let _ = handle.join();
-                    }
-                    return Err(e);
-                }
-                Err(_) => panic!("shard worker panicked during construction"),
-            }
-        }
-        Ok(ShardedStore { senders, workers, states, tele, slow_ops })
+        Self::with_replicas(shards, 1, queue_depth, factory)
     }
 
-    /// Per-shard telemetry bundles (index = shard). The handles are the
+    /// Build a store with `groups` logical shards of `replicas` replicas
+    /// each. `factory(slot)` runs inside each worker thread; slot
+    /// `group * replicas + replica` builds that replica's store (and is
+    /// re-invoked to respawn a replica for re-sync).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups`, `replicas` or `queue_depth` is zero, or if
+    /// `replicas` exceeds [`MAX_REPLICAS`].
+    pub fn with_replicas<F>(
+        groups: usize,
+        replicas: usize,
+        queue_depth: usize,
+        factory: F,
+    ) -> Result<Self, StoreError>
+    where
+        F: Fn(usize) -> Result<S, StoreError> + Send + Sync + 'static,
+    {
+        assert!(groups > 0, "a sharded store needs at least one shard group");
+        assert!(replicas > 0, "every group needs at least one replica");
+        assert!(replicas <= MAX_REPLICAS, "at most {MAX_REPLICAS} replicas per group");
+        assert!(queue_depth > 0, "request queues must hold at least one request");
+        let slots = groups * replicas;
+        let tele: Vec<Arc<ShardTelemetry>> =
+            (0..slots).map(|_| Arc::new(ShardTelemetry::default())).collect();
+        let inner = Arc::new(Inner {
+            groups,
+            replicas,
+            queue_depth,
+            slots: (0..slots)
+                .map(|_| Slot {
+                    sender: RwLock::new(None),
+                    state: Arc::new(ShardState::new()),
+                    generation: AtomicU64::new(0),
+                })
+                .collect(),
+            ctls: (0..groups)
+                .map(|_| GroupCtl {
+                    machine: GroupHealthMachine::new(replicas),
+                    write_lock: Mutex::new(()),
+                    fence: AtomicBool::new(false),
+                    resyncs: AtomicU64::new(0),
+                    last_resync_error: Mutex::new(None),
+                })
+                .collect(),
+            tele,
+            factory: Arc::new(factory),
+            slow_ops: Arc::new(SlowOpTracer::default()),
+            shutdown: AtomicBool::new(false),
+            workers: Mutex::new(Vec::with_capacity(slots)),
+            resyncers: Mutex::new(Vec::new()),
+            resync_fault: RwLock::new(None),
+        });
+        for slot in 0..slots {
+            if let Err(e) = spawn_worker(&inner, slot) {
+                teardown(&inner);
+                return Err(e);
+            }
+        }
+        Ok(ShardedStore { inner })
+    }
+
+    /// Per-slot telemetry bundles (index = `group * replicas + replica`;
+    /// with one replica per group, index = shard). The handles are the
     /// live recorders — a monitoring thread can snapshot them at any
     /// time without touching the workers.
     pub fn telemetry(&self) -> &[Arc<ShardTelemetry>] {
-        &self.tele
+        &self.inner.tele
     }
 
     /// The slow-op tracer all shard workers record into.
     pub fn slow_ops(&self) -> &Arc<SlowOpTracer> {
-        &self.slow_ops
+        &self.inner.slow_ops
     }
 
-    /// Number of shards.
+    /// Number of shard groups (logical shards).
     pub fn shards(&self) -> usize {
-        self.senders.len()
+        self.inner.groups
     }
 
-    /// The shard serving `key` (stable for the lifetime of the store).
+    /// Replicas per group (1 = replication off).
+    pub fn replicas(&self) -> usize {
+        self.inner.replicas
+    }
+
+    /// The shard group serving `key` (stable for the lifetime of the
+    /// store).
     pub fn shard_of(&self, key: &[u8]) -> usize {
-        (splitmix64(fnv1a(key)) % self.senders.len() as u64) as usize
+        (splitmix64(fnv1a(key)) % self.inner.groups as u64) as usize
+    }
+
+    /// Install the re-sync divergence chaos hook (see
+    /// [`StoreError::ReplicaDiverged`]). The hook is consulted once per
+    /// re-sync, after the delta apply and before root comparison;
+    /// returning `true` corrupts the rejoining replica so its root
+    /// cannot match.
+    pub fn set_resync_fault_hook<F>(&self, hook: F)
+    where
+        F: Fn(usize) -> bool + Send + Sync + 'static,
+    {
+        *self.inner.resync_fault.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(hook));
     }
 
     /// Insert or update a key (blocking).
@@ -420,104 +763,270 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         }
     }
 
-    /// Run a batch of operations, partitioned across shards and executed
-    /// concurrently. Replies come back in input order. Ops routed to the
-    /// same shard keep their relative order; ops on *different* shards
-    /// run concurrently, so a batch should not rely on cross-key
-    /// ordering (same as issuing them from independent clients).
-    /// A worker whose thread has died (e.g. a panic in the underlying
-    /// store) never hangs the caller: its ops come back as
-    /// [`StoreError::ShardUnavailable`] while other shards answer
-    /// normally; quarantined shards answer
-    /// [`StoreError::ShardQuarantined`] without being touched.
+    fn request_one(&self, op: BatchOp) -> BatchReply {
+        let mut replies = self.run_batch(vec![op]);
+        debug_assert_eq!(replies.len(), 1);
+        replies.pop().expect("one reply per op")
+    }
+
+    /// Run a batch of operations, partitioned across shard groups and
+    /// executed concurrently. Replies come back in input order. Ops
+    /// routed to the same group keep their relative order; ops on
+    /// *different* groups run concurrently, so a batch should not rely
+    /// on cross-key ordering (same as issuing them from independent
+    /// clients). A worker whose thread has died never hangs the caller:
+    /// its ops come back as [`StoreError::ShardUnavailable`] (after
+    /// failover is attempted) while other groups answer normally;
+    /// quarantined groups answer [`StoreError::ShardQuarantined`]
+    /// without being touched.
+    ///
+    /// With replication, a write reply is an acknowledgement that the
+    /// write was applied by the primary **and** every in-service backup;
+    /// an errored or unavailable reply means the write may or may not
+    /// have been applied (the caller must treat it as unacknowledged).
     pub fn run_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
-        let shards = self.senders.len();
+        let groups = self.inner.groups;
         let total = ops.len();
-        let mut per_shard_ops: Vec<Vec<BatchOp>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut per_shard_idx: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut per_shard_kinds: Vec<Vec<OpKind>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut per_group_ops: Vec<Vec<BatchOp>> = (0..groups).map(|_| Vec::new()).collect();
+        let mut per_group_idx: Vec<Vec<usize>> = (0..groups).map(|_| Vec::new()).collect();
+        let mut per_group_kinds: Vec<Vec<OpKind>> = (0..groups).map(|_| Vec::new()).collect();
         for (i, op) in ops.into_iter().enumerate() {
-            let shard = self.shard_of(op.key());
-            per_shard_idx[shard].push(i);
-            per_shard_kinds[shard].push(OpKind::of(&op));
-            per_shard_ops[shard].push(op);
+            let group = self.shard_of(op.key());
+            per_group_idx[group].push(i);
+            per_group_kinds[group].push(OpKind::of(&op));
+            per_group_ops[group].push(op);
         }
-        // Send every shard its slice first so they all work in parallel,
-        // then collect.
         let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
-        let refuse = |out: &mut Vec<Option<BatchReply>>, shard: usize, err: &StoreError| {
-            for (&i, &kind) in per_shard_idx[shard].iter().zip(&per_shard_kinds[shard]) {
+        let refuse = |out: &mut Vec<Option<BatchReply>>, group: usize, err: &StoreError| {
+            for (&i, &kind) in per_group_idx[group].iter().zip(&per_group_kinds[group]) {
                 out[i] = Some(kind.with_err(err.clone()));
             }
         };
-        let mut pending = Vec::new();
-        for (shard, ops) in per_shard_ops.into_iter().enumerate() {
-            if ops.is_empty() {
-                continue;
-            }
-            if let Some(err) = self.admission_error(shard) {
-                // Quarantined/recovering/dead shards are refused up
-                // front, without queueing behind the worker.
-                refuse(&mut out, shard, &err);
-                continue;
-            }
-            let (tx, rx) = mpsc::channel();
-            if self.senders[shard].send(Request::Ops { ops, reply: tx }).is_err() {
-                // Worker gone: the channel hands the request back and we
-                // answer for the dead shard instead of panicking.
-                self.mark_dead(shard);
-                refuse(&mut out, shard, &StoreError::ShardUnavailable { shard });
-                continue;
-            }
-            pending.push((shard, rx));
+        // Send every group its slice first so they all work in parallel,
+        // then collect. `backups` carries the receivers whose replies
+        // must land before the group's writes count as acknowledged.
+        struct Pending {
+            group: usize,
+            primary: usize,
+            primary_gen: u64,
+            rx: Receiver<Vec<BatchReply>>,
+            backups: Vec<(usize, u64, Receiver<Vec<BatchReply>>)>,
         }
-        for (shard, rx) in pending {
-            match rx.recv() {
+        let mut pending: Vec<Pending> = Vec::new();
+        for (group, gops) in per_group_ops.into_iter().enumerate() {
+            if gops.is_empty() {
+                continue;
+            }
+            match self.dispatch_group(group, gops) {
+                Ok((primary, primary_gen, rx, backups)) => {
+                    pending.push(Pending { group, primary, primary_gen, rx, backups })
+                }
+                Err(e) => refuse(&mut out, group, &e),
+            }
+        }
+        for p in pending {
+            match p.rx.recv() {
                 Ok(replies) => {
-                    debug_assert_eq!(replies.len(), per_shard_idx[shard].len());
-                    self.observe_replies(shard, &replies);
-                    for (&i, reply) in per_shard_idx[shard].iter().zip(replies) {
+                    debug_assert_eq!(replies.len(), per_group_idx[p.group].len());
+                    self.observe_replies(p.group, p.primary, &replies);
+                    for (&i, reply) in per_group_idx[p.group].iter().zip(replies) {
                         out[i] = Some(reply);
                     }
                 }
-                // Worker died after accepting the request (reply sender
-                // dropped during unwind) — same typed error, no hang.
+                // The primary died after accepting the request (reply
+                // sender dropped during unwind): the ops are
+                // unacknowledged — the caller gets the typed error, and
+                // the next operation fails over.
                 Err(_) => {
-                    self.mark_dead(shard);
-                    refuse(&mut out, shard, &StoreError::ShardUnavailable { shard });
+                    self.mark_replica_dead(p.group, p.primary, p.primary_gen);
+                    refuse(&mut out, p.group, &StoreError::ShardUnavailable { shard: p.group });
+                }
+            }
+            // Acknowledgement waits for every backup: a write is acked
+            // only once applied on all in-service replicas. A backup
+            // that errors or dies here degrades the group (quarantine /
+            // dead + re-sync) but does not retract the primary's reply.
+            for (replica, generation, brx) in p.backups {
+                match brx.recv() {
+                    Ok(replies) => self.observe_replies(p.group, replica, &replies),
+                    Err(_) => self.mark_replica_dead(p.group, replica, generation),
                 }
             }
         }
         out.into_iter().map(|r| r.expect("every op answered")).collect()
     }
 
-    /// Total live keys across all shards. Dead shards contribute
-    /// nothing (their worker cannot be asked).
+    /// Route one group's op slice: pick (and if needed promote) the
+    /// acting primary, then send — dual-writing to in-service backups
+    /// under the group's write lock when replicated.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_group(
+        &self,
+        group: usize,
+        gops: Vec<BatchOp>,
+    ) -> Result<
+        (usize, u64, Receiver<Vec<BatchReply>>, Vec<(usize, u64, Receiver<Vec<BatchReply>>)>),
+        StoreError,
+    > {
+        let inner = &self.inner;
+        let ctl = &inner.ctls[group];
+        let has_writes = gops.iter().any(BatchOp::is_write);
+        // Reads (and the unreplicated hot path) skip the write lock.
+        if !has_writes || inner.replicas == 1 {
+            let mut gops = gops;
+            for _ in 0..inner.replicas {
+                let primary = self.acting_primary(group)?;
+                let (tx, rx) = mpsc::channel();
+                let slot = inner.slot_index(group, primary);
+                match self.send_to_slot(slot, Request::Ops { ops: gops, reply: tx }) {
+                    Ok(generation) => return Ok((primary, generation, rx, Vec::new())),
+                    Err((req, generation)) => {
+                        // Worker gone: record the death, then retry via
+                        // failover (promote finds the next healthy
+                        // replica, if any).
+                        self.mark_replica_dead(group, primary, generation);
+                        match req {
+                            Request::Ops { ops, .. } => gops = ops,
+                            Request::Exec(_) => unreachable!("ops request returned"),
+                        }
+                    }
+                }
+            }
+            return Err(self.group_refusal(group));
+        }
+        let writes: Vec<BatchOp> = gops.iter().filter(|op| op.is_write()).cloned().collect();
+        let guard = ctl.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+        // The fence is checked under the lock: the re-sync thread raises
+        // it and then cycles this lock, so every write sent before the
+        // barrier is in the queues the survivor will drain, and none can
+        // slip in during the delta phase.
+        if ctl.fence.load(Ordering::SeqCst) {
+            drop(guard);
+            return Err(StoreError::ShardQuarantined { shard: group });
+        }
+        let primary = self.acting_primary(group)?;
+        let (tx, rx) = mpsc::channel();
+        let pslot = inner.slot_index(group, primary);
+        let primary_gen = match self.send_to_slot(pslot, Request::Ops { ops: gops, reply: tx }) {
+            Ok(generation) => generation,
+            Err((_, generation)) => {
+                drop(guard);
+                self.mark_replica_dead(group, primary, generation);
+                // No transparent write retry after a mid-send death: the
+                // backups' queues may already order other writers' ops
+                // around this batch. Unacknowledged is the honest answer.
+                return Err(StoreError::ShardUnavailable { shard: group });
+            }
+        };
+        let mut backups = Vec::new();
+        for replica in 0..inner.replicas {
+            if replica == primary || ctl.machine.health(replica) != ShardHealth::Healthy {
+                continue;
+            }
+            let (btx, brx) = mpsc::channel();
+            let bslot = inner.slot_index(group, replica);
+            match self.send_to_slot(bslot, Request::Ops { ops: writes.clone(), reply: btx }) {
+                Ok(generation) => backups.push((replica, generation, brx)),
+                Err((_, generation)) => self.mark_replica_dead(group, replica, generation),
+            }
+        }
+        drop(guard);
+        Ok((primary, primary_gen, rx, backups))
+    }
+
+    /// Send a request to a slot's worker. Returns the slot's worker
+    /// generation the send was made against — any later death evidence
+    /// derived from this request (a dropped reply receiver) must carry
+    /// it to [`ShardedStore::mark_replica_dead`]. On failure the request
+    /// is handed back (worker gone or slot empty) along with the
+    /// generation the failure was observed at.
+    fn send_to_slot(&self, slot: usize, req: Request<S>) -> Result<u64, (Request<S>, u64)> {
+        let guard = self.inner.slots[slot].sender.read().unwrap_or_else(|p| p.into_inner());
+        // Read under the guard: a respawn bumps the generation while
+        // holding the write lock, so a sender observed here belongs to
+        // exactly this generation.
+        let generation = self.inner.slots[slot].generation.load(Ordering::SeqCst);
+        match &*guard {
+            Some(tx) => tx.send(req).map(|()| generation).map_err(|e| (e.0, generation)),
+            None => Err((req, generation)),
+        }
+    }
+
+    /// The replica that should serve this group right now, promoting a
+    /// healthy backup if the incumbent primary is out of service.
+    fn acting_primary(&self, group: usize) -> Result<usize, StoreError> {
+        let m = &self.inner.ctls[group].machine;
+        let p = m.primary();
+        if m.health(p) == ShardHealth::Healthy {
+            return Ok(p);
+        }
+        if let Some(np) = m.promote() {
+            self.record_failover(group, np);
+            return Ok(np);
+        }
+        // A concurrent promoter may have won the race.
+        let p = m.primary();
+        if m.health(p) == ShardHealth::Healthy {
+            return Ok(p);
+        }
+        Err(self.group_refusal(group))
+    }
+
+    /// The error a request routed to a fully out-of-service group must
+    /// be refused with.
+    fn group_refusal(&self, group: usize) -> StoreError {
+        match self.group_health(group) {
+            ShardHealth::Quarantined | ShardHealth::Recovering => {
+                StoreError::ShardQuarantined { shard: group }
+            }
+            _ => StoreError::ShardUnavailable { shard: group },
+        }
+    }
+
+    fn record_failover(&self, group: usize, new_primary: usize) {
+        let inner = &self.inner;
+        let slot = inner.slot_index(group, new_primary);
+        inner.tele[slot].store.failovers.inc();
+        for r in 0..inner.replicas {
+            let role = inner.ctls[group].machine.role_of(r);
+            inner.tele[inner.slot_index(group, r)].store.replica_role.set(u64::from(role.as_u8()));
+        }
+    }
+
+    /// Total live keys across all groups (counted on each group's
+    /// primary). Dead groups contribute nothing (no worker can be
+    /// asked).
     #[allow(clippy::len_without_is_empty)] // is_empty is defined right below
     pub fn len(&self) -> u64 {
         self.try_map_shards(|s| s.len()).into_iter().flatten().sum()
     }
 
-    /// Sum of every shard's last worker-reported key count. Unlike
+    /// Sum of every group's last primary-reported key count. Unlike
     /// [`ShardedStore::len`] this never blocks behind a worker queue and
-    /// still counts quarantined, recovering and dead shards (at their
+    /// still counts quarantined, recovering and dead groups (at their
     /// last-known size), so monitoring stays truthful mid-incident.
     pub fn len_estimate(&self) -> u64 {
-        self.states.iter().map(|s| s.last_len.load(Ordering::SeqCst)).sum()
+        (0..self.inner.groups)
+            .map(|g| {
+                let p = self.inner.ctls[g].machine.primary();
+                self.inner.slots[self.inner.slot_index(g, p)].state.last_len.load(Ordering::SeqCst)
+            })
+            .sum()
     }
 
-    /// Whether every reachable shard is empty.
+    /// Whether every reachable group is empty.
     pub fn is_empty(&self) -> bool {
         self.try_map_shards(|s| s.is_empty()).into_iter().flatten().all(|e| e)
     }
 
-    /// Per-shard Secure Cache statistics (index = shard). `None` for
-    /// stores without a Secure Cache *and* for unreachable shards.
+    /// Per-group Secure Cache statistics (index = group, read on the
+    /// primary). `None` for stores without a Secure Cache *and* for
+    /// unreachable groups.
     pub fn cache_stats(&self) -> Vec<Option<CacheStats>> {
         self.try_map_shards(|s| s.cache_stats()).into_iter().map(|s| s.flatten()).collect()
     }
 
-    /// Cache statistics summed across shards (`None` if no shard runs a
+    /// Cache statistics summed across groups (`None` if no shard runs a
     /// Secure Cache). `swapping` is true if *any* shard still swaps.
     pub fn aggregate_cache_stats(&self) -> Option<CacheStats> {
         let mut agg: Option<CacheStats> = None;
@@ -531,98 +1040,112 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         agg
     }
 
-    /// Enclave snapshots of every reachable shard (dead workers are
-    /// skipped — monitoring must not panic mid-incident).
+    /// Enclave snapshots of every reachable group's primary (dead
+    /// workers are skipped — monitoring must not panic mid-incident).
     pub fn snapshots(&self) -> Vec<EnclaveSnapshot> {
         self.try_map_shards(|s| s.enclave().snapshot()).into_iter().flatten().collect()
     }
 
-    /// Aggregate enclave statistics across shards. `max_cycles` is the
-    /// critical path — the wall clock of the parallel deployment.
+    /// Aggregate enclave statistics across group primaries. `max_cycles`
+    /// is the critical path — the wall clock of the parallel deployment.
     pub fn stats(&self) -> EnclaveStats {
         EnclaveStats::aggregate(self.snapshots())
     }
 
-    /// Run `f` on one shard's store, blocking for the result. This is
-    /// the escape hatch for store-specific APIs (attack injection,
-    /// memory accounting) that the generic front-end does not mirror.
+    /// Run `f` on one group's *primary* store, blocking for the result.
+    /// This is the escape hatch for store-specific APIs (attack
+    /// injection, memory accounting) that the generic front-end does not
+    /// mirror.
     ///
     /// # Panics
     ///
-    /// Panics if the shard's worker thread has died; unlike the op
+    /// Panics if the primary's worker thread has died; unlike the op
     /// paths there is no result shape to carry a typed error in.
-    pub fn with_shard<R, F>(&self, shard: usize, f: F) -> R
+    pub fn with_shard<R, F>(&self, group: usize, f: F) -> R
     where
         R: Send + 'static,
         F: FnOnce(&mut S) -> R + Send + 'static,
     {
+        let primary = self.inner.ctls[group].machine.primary();
+        let slot = self.inner.slot_index(group, primary);
         let (tx, rx) = mpsc::channel();
-        self.senders[shard]
-            .send(Request::Exec(Box::new(move |store: &mut S| {
+        self.send_to_slot(
+            slot,
+            Request::Exec(Box::new(move |store: &mut S| {
                 let _ = tx.send(f(store));
-            })))
-            .expect("shard worker disconnected");
+            })),
+        )
+        .unwrap_or_else(|_| panic!("shard worker disconnected"));
         rx.recv().expect("shard worker dropped a reply")
     }
 
-    /// Run the same closure on every shard, collecting per-shard results.
+    /// Run the same closure on every group's primary, collecting
+    /// per-group results.
     pub fn map_shards<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send + 'static,
         F: Fn(&mut S) -> R + Send + Sync + 'static,
     {
         let f = Arc::new(f);
-        // Dispatch to all shards before collecting any reply.
-        let receivers: Vec<_> = (0..self.senders.len())
-            .map(|shard| {
+        // Dispatch to all groups before collecting any reply.
+        let receivers: Vec<_> = (0..self.inner.groups)
+            .map(|group| {
                 let f = Arc::clone(&f);
                 let (tx, rx) = mpsc::channel();
-                self.senders[shard]
-                    .send(Request::Exec(Box::new(move |store: &mut S| {
+                let primary = self.inner.ctls[group].machine.primary();
+                self.send_to_slot(
+                    self.inner.slot_index(group, primary),
+                    Request::Exec(Box::new(move |store: &mut S| {
                         let _ = tx.send(f(store));
-                    })))
-                    .expect("shard worker disconnected");
+                    })),
+                )
+                .unwrap_or_else(|_| panic!("shard worker disconnected"));
                 rx
             })
             .collect();
         receivers.into_iter().map(|rx| rx.recv().expect("shard worker dropped a reply")).collect()
     }
 
-    /// [`ShardedStore::map_shards`] that tolerates dead workers: a shard
-    /// whose worker is gone yields `None` (and is marked dead) instead
-    /// of panicking. Note this *does* wait for quarantined shards — an
-    /// in-flight recovery job runs ahead of the closure in queue order.
+    /// [`ShardedStore::map_shards`] that tolerates dead workers: a group
+    /// whose primary worker is gone yields `None` (and the replica is
+    /// marked dead) instead of panicking. Note this *does* wait for
+    /// quarantined groups — an in-flight recovery job runs ahead of the
+    /// closure in queue order.
     fn try_map_shards<R, F>(&self, f: F) -> Vec<Option<R>>
     where
         R: Send + 'static,
         F: Fn(&mut S) -> R + Send + Sync + 'static,
     {
         let f = Arc::new(f);
-        let receivers: Vec<_> = (0..self.senders.len())
-            .map(|shard| {
+        let receivers: Vec<_> = (0..self.inner.groups)
+            .map(|group| {
                 let f = Arc::clone(&f);
                 let (tx, rx) = mpsc::channel();
-                let sent = self.senders[shard]
-                    .send(Request::Exec(Box::new(move |store: &mut S| {
+                let primary = self.inner.ctls[group].machine.primary();
+                let sent = self.send_to_slot(
+                    self.inner.slot_index(group, primary),
+                    Request::Exec(Box::new(move |store: &mut S| {
                         let _ = tx.send(f(store));
-                    })))
-                    .is_ok();
-                if !sent {
-                    self.mark_dead(shard);
-                }
-                (shard, sent, rx)
+                    })),
+                );
+                let generation = match sent {
+                    Ok(generation) => Some(generation),
+                    Err((_, generation)) => {
+                        self.mark_replica_dead(group, primary, generation);
+                        None
+                    }
+                };
+                (group, primary, generation, rx)
             })
             .collect();
         receivers
             .into_iter()
-            .map(|(shard, sent, rx)| {
-                if !sent {
-                    return None;
-                }
+            .map(|(group, primary, generation, rx)| {
+                let generation = generation?;
                 match rx.recv() {
                     Ok(r) => Some(r),
                     Err(_) => {
-                        self.mark_dead(shard);
+                        self.mark_replica_dead(group, primary, generation);
                         None
                     }
                 }
@@ -630,70 +1153,140 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             .collect()
     }
 
-    fn request_one(&self, op: BatchOp) -> BatchReply {
-        let shard = self.shard_of(op.key());
-        let kind = OpKind::of(&op);
-        if let Some(err) = self.admission_error(shard) {
-            return kind.with_err(err);
-        }
-        let (tx, rx) = mpsc::channel();
-        if self.senders[shard].send(Request::Ops { ops: vec![op], reply: tx }).is_err() {
-            self.mark_dead(shard);
-            return kind.unavailable(shard);
-        }
-        match rx.recv() {
-            Ok(mut replies) => {
-                debug_assert_eq!(replies.len(), 1);
-                self.observe_replies(shard, &replies);
-                replies.pop().expect("one reply per op")
-            }
-            Err(_) => {
-                self.mark_dead(shard);
-                kind.unavailable(shard)
-            }
-        }
-    }
-
     // --- health machinery -------------------------------------------------------
 
-    /// Per-shard health snapshots (index = shard). Reads atomics only —
+    /// Per-group health snapshots (index = group). Reads atomics only —
     /// never blocks on a worker, so it stays accurate mid-quarantine.
+    /// A group is `Healthy` while *any* replica can serve.
     pub fn healths(&self) -> Vec<ShardHealthSnapshot> {
-        self.states.iter().map(|s| s.snapshot()).collect()
+        (0..self.inner.groups)
+            .map(|g| {
+                let mut violations = 0;
+                let mut recoveries = 0;
+                for r in 0..self.inner.replicas {
+                    let st = &self.inner.slots[self.inner.slot_index(g, r)].state;
+                    violations += st.violations.load(Ordering::SeqCst);
+                    recoveries += st.recoveries.load(Ordering::SeqCst);
+                }
+                ShardHealthSnapshot { health: self.group_health(g), violations, recoveries }
+            })
+            .collect()
     }
 
-    /// Current health of one shard.
-    pub fn health_of(&self, shard: usize) -> ShardHealth {
-        self.states[shard].health()
-    }
-
-    /// The error a request routed to `shard` must be refused with right
-    /// now, if any.
-    fn admission_error(&self, shard: usize) -> Option<StoreError> {
-        match self.states[shard].health() {
-            ShardHealth::Healthy => None,
-            ShardHealth::Quarantined | ShardHealth::Recovering => {
-                Some(StoreError::ShardQuarantined { shard })
+    /// Per-replica health snapshots, group-major (`group * replicas +
+    /// replica`). Also refreshes the per-slot role/lag telemetry gauges.
+    pub fn replica_healths(&self) -> Vec<ReplicaHealthSnapshot> {
+        let inner = &self.inner;
+        let mut out = Vec::with_capacity(inner.groups * inner.replicas);
+        for g in 0..inner.groups {
+            let m = &inner.ctls[g].machine;
+            let p = m.primary();
+            let plen = inner.slots[inner.slot_index(g, p)].state.last_len.load(Ordering::SeqCst);
+            for r in 0..inner.replicas {
+                let slot = inner.slot_index(g, r);
+                let st = &inner.slots[slot].state;
+                let lag = st.last_len.load(Ordering::SeqCst).abs_diff(plen);
+                let role = m.role_of(r);
+                let tele = &inner.tele[slot].store;
+                tele.replica_role.set(u64::from(role.as_u8()));
+                tele.replica_lag.set(lag);
+                out.push(ReplicaHealthSnapshot {
+                    group: g,
+                    replica: r,
+                    role,
+                    health: m.health(r),
+                    violations: st.violations.load(Ordering::SeqCst),
+                    recoveries: st.recoveries.load(Ordering::SeqCst),
+                    lag,
+                });
             }
-            ShardHealth::Dead => Some(StoreError::ShardUnavailable { shard }),
+        }
+        out
+    }
+
+    /// Per-group failover / re-sync counters with replica detail.
+    pub fn group_stats(&self) -> Vec<GroupStats> {
+        let replicas = self.replica_healths();
+        (0..self.inner.groups)
+            .map(|g| {
+                let ctl = &self.inner.ctls[g];
+                GroupStats {
+                    group: g,
+                    primary: ctl.machine.primary(),
+                    failovers: ctl.machine.failovers(),
+                    resyncs: ctl.resyncs.load(Ordering::SeqCst),
+                    last_resync_error: ctl
+                        .last_resync_error
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .clone(),
+                    replicas: replicas.iter().filter(|r| r.group == g).cloned().collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Current health of one group (`Healthy` while any replica serves).
+    pub fn health_of(&self, group: usize) -> ShardHealth {
+        self.group_health(group)
+    }
+
+    fn group_health(&self, group: usize) -> ShardHealth {
+        let m = &self.inner.ctls[group].machine;
+        let states: Vec<ShardHealth> = (0..m.replicas()).map(|r| m.health(r)).collect();
+        if states.contains(&ShardHealth::Healthy) {
+            ShardHealth::Healthy
+        } else if states.contains(&ShardHealth::Recovering) {
+            ShardHealth::Recovering
+        } else if states.contains(&ShardHealth::Quarantined) {
+            ShardHealth::Quarantined
+        } else {
+            ShardHealth::Dead
         }
     }
 
-    fn mark_dead(&self, shard: usize) {
-        let prev = self.states[shard].health.swap(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
-        if prev != ShardHealth::Dead.as_u8() {
-            self.tele[shard].store.record_health_transition(prev, ShardHealth::Dead.as_u8());
+    /// Record a replica's worker as gone: mark it dead, fail over if it
+    /// was the primary, and (when replicated) start a re-sync to pull a
+    /// fresh replacement back into the group.
+    fn mark_replica_dead(&self, group: usize, replica: usize, generation: u64) {
+        let inner = &self.inner;
+        let slot = inner.slot_index(group, replica);
+        // Stale evidence: a send/recv failure observed against an older
+        // worker incarnation says nothing about the current one — the
+        // replica may have been respawned, re-synced and re-admitted
+        // since that batch was dispatched. (A respawn bumps the
+        // generation *before* the rejoiner leaves `Recovering`, and
+        // `mark_dead` refuses `Recovering`, so current-generation
+        // evidence can never race a respawn into killing the fresh
+        // worker either.)
+        if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
+            return;
+        }
+        let m = &inner.ctls[group].machine;
+        let Some(prev) = m.mark_dead(replica) else { return };
+        inner.tele[slot].store.record_health_transition(prev.as_u8(), ShardHealth::Dead.as_u8());
+        if m.primary() == replica {
+            if let Some(np) = m.promote() {
+                self.record_failover(group, np);
+            }
+        }
+        // A previously-healthy replica rejoins via re-sync; a death from
+        // Quarantined already has a recovery claimant in flight (the
+        // claim CAS retargets Dead → Recovering).
+        if inner.replicas > 1 && prev == ShardHealth::Healthy {
+            spawn_resync(inner, group, replica);
         }
     }
 
-    /// Scan a shard's replies for quarantine-triggering violations and
+    /// Scan a replica's replies for quarantine-triggering violations and
     /// start a recovery cycle if one is found.
-    fn observe_replies(&self, shard: usize, replies: &[BatchReply]) {
+    fn observe_replies(&self, group: usize, replica: usize, replies: &[BatchReply]) {
+        let slot = self.inner.slot_index(group, replica);
         let mut triggers = 0u64;
         for reply in replies {
             if let Some(err) = reply.error() {
                 if let StoreError::Integrity(v) = err {
-                    self.tele[shard].store.record_violation(v.class());
+                    self.inner.tele[slot].store.record_violation(v.class());
                 }
                 if err.is_quarantine_trigger() {
                     triggers += 1;
@@ -701,101 +1294,457 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             }
         }
         if triggers > 0 {
-            self.quarantine(shard, triggers);
+            self.quarantine_replica(group, replica, triggers);
         }
     }
 
-    /// Flip `shard` to `Quarantined` and queue a recovery job on its
-    /// worker. Exactly one caller wins the CAS, so concurrent detections
-    /// of the same incident queue exactly one recovery.
-    fn quarantine(&self, shard: usize, violations: u64) {
-        let state = &self.states[shard];
-        state.violations.fetch_add(violations, Ordering::SeqCst);
-        if state
-            .health
-            .compare_exchange(
-                ShardHealth::Healthy.as_u8(),
-                ShardHealth::Quarantined.as_u8(),
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            )
-            .is_err()
-        {
+    /// Flip a replica to `Quarantined` and start its recovery. Exactly
+    /// one caller wins the CAS, so concurrent detections of the same
+    /// incident start exactly one recovery.
+    fn quarantine_replica(&self, group: usize, replica: usize, violations: u64) {
+        let inner = &self.inner;
+        let slot = inner.slot_index(group, replica);
+        inner.slots[slot].state.violations.fetch_add(violations, Ordering::SeqCst);
+        let m = &inner.ctls[group].machine;
+        if !m.quarantine(replica) {
             // Already quarantined, recovering, or dead.
             return;
         }
-        let tele = Arc::clone(&self.tele[shard]);
-        tele.store.record_health_transition(
+        inner.tele[slot].store.record_health_transition(
             ShardHealth::Healthy.as_u8(),
             ShardHealth::Quarantined.as_u8(),
         );
-        let state = Arc::clone(state);
+        if m.primary() == replica {
+            if let Some(np) = m.promote() {
+                self.record_failover(group, np);
+            }
+        }
+        if inner.replicas > 1 {
+            spawn_resync(inner, group, replica);
+        } else {
+            self.queue_local_recovery(group);
+        }
+    }
+
+    /// Unreplicated recovery: run [`KvStore::recover`] on the shard's
+    /// own worker thread, up to [`RECOVERY_ATTEMPTS`] times.
+    fn queue_local_recovery(&self, group: usize) {
+        let inner = Arc::clone(&self.inner);
+        let slot = inner.slot_index(group, 0);
         let recovery = Request::Exec(Box::new(move |store: &mut S| {
-            state.health.store(ShardHealth::Recovering.as_u8(), Ordering::SeqCst);
-            tele.store.record_health_transition(
-                ShardHealth::Quarantined.as_u8(),
-                ShardHealth::Recovering.as_u8(),
-            );
+            let m = &inner.ctls[group].machine;
+            let tele = &inner.tele[slot].store;
+            let Some(prev) = m.claim_recovery(0) else { return };
+            tele.record_health_transition(prev.as_u8(), ShardHealth::Recovering.as_u8());
             for _ in 0..RECOVERY_ATTEMPTS {
                 if store.recover().is_ok() {
-                    state.recoveries.fetch_add(1, Ordering::SeqCst);
-                    state.health.store(ShardHealth::Healthy.as_u8(), Ordering::SeqCst);
-                    tele.store.record_health_transition(
-                        ShardHealth::Recovering.as_u8(),
-                        ShardHealth::Healthy.as_u8(),
-                    );
+                    inner.slots[slot].state.recoveries.fetch_add(1, Ordering::SeqCst);
+                    if m.readmit(0) {
+                        tele.record_health_transition(
+                            ShardHealth::Recovering.as_u8(),
+                            ShardHealth::Healthy.as_u8(),
+                        );
+                    }
                     return;
                 }
             }
             // The untrusted state cannot be re-verified: the shard never
             // re-admits — answering from it could ack corrupt data.
-            state.health.store(ShardHealth::Dead.as_u8(), Ordering::SeqCst);
-            tele.store.record_health_transition(
-                ShardHealth::Recovering.as_u8(),
-                ShardHealth::Dead.as_u8(),
-            );
+            if m.fail_recovery(0) {
+                tele.record_health_transition(
+                    ShardHealth::Recovering.as_u8(),
+                    ShardHealth::Dead.as_u8(),
+                );
+            }
         }));
-        if self.senders[shard].send(recovery).is_err() {
-            self.mark_dead(shard);
+        if let Err((_, generation)) = self.send_to_slot(slot, recovery) {
+            self.mark_replica_dead(group, 0, generation);
         }
     }
 
-    /// Test hook: force a shard's health (gating paths are hard to catch
-    /// in the narrow real windows).
+    /// Test hook: force every replica of a group to a health state.
     #[cfg(test)]
-    fn force_health(&self, shard: usize, health: ShardHealth) {
-        self.states[shard].health.store(health.as_u8(), Ordering::SeqCst);
+    fn force_health(&self, group: usize, health: ShardHealth) {
+        let m = &self.inner.ctls[group].machine;
+        for r in 0..m.replicas() {
+            m.force(r, health);
+        }
     }
 
-    /// Send `f` to a shard worker without waiting for it to run
-    /// (fire-and-forget [`ShardedStore::with_shard`]). Returns `false` if
-    /// the worker is gone. Besides async maintenance work, this is the
-    /// fault-injection hook: a closure that panics kills the worker
-    /// thread, after which ops routed to the shard report
-    /// [`StoreError::ShardUnavailable`].
-    pub fn exec_detached<F>(&self, shard: usize, f: F) -> bool
+    /// Send `f` to a group's primary worker without waiting for it to
+    /// run (fire-and-forget [`ShardedStore::with_shard`]). Returns
+    /// `false` if the worker is gone. Besides async maintenance work,
+    /// this is the fault-injection hook: a closure that panics kills the
+    /// worker thread, after which the replica is marked dead (and, when
+    /// replicated, a backup is promoted).
+    pub fn exec_detached<F>(&self, group: usize, f: F) -> bool
     where
         F: FnOnce(&mut S) + Send + 'static,
     {
-        self.senders[shard].send(Request::Exec(Box::new(f))).is_ok()
+        let primary = self.inner.ctls[group].machine.primary();
+        self.exec_detached_replica(group, primary, f)
+    }
+
+    /// [`ShardedStore::exec_detached`] addressed to a specific replica.
+    pub fn exec_detached_replica<F>(&self, group: usize, replica: usize, f: F) -> bool
+    where
+        F: FnOnce(&mut S) + Send + 'static,
+    {
+        let slot = self.inner.slot_index(group, replica);
+        self.send_to_slot(slot, Request::Exec(Box::new(f))).is_ok()
     }
 }
 
 impl<S: KvStore + Send + 'static> Drop for ShardedStore<S> {
     fn drop(&mut self) {
-        // Closing the channels lets each worker's recv() fail; join so
-        // shard state (and any panic) is settled before we return.
-        self.senders.clear();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        teardown(&self.inner);
+    }
+}
+
+/// Shut the store down: stop new re-syncs, join the in-flight ones
+/// (they check the flag and bail at their next step — the workers they
+/// talk to are still alive here, so they cannot hang), then close every
+/// worker channel and join the workers.
+fn teardown<S: KvStore + Send + 'static>(inner: &Arc<Inner<S>>) {
+    inner.shutdown.store(true, Ordering::SeqCst);
+    loop {
+        let handles = std::mem::take(&mut *lock_handles(&inner.resyncers));
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    for slot in &inner.slots {
+        *slot.sender.write().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+    loop {
+        let handles = std::mem::take(&mut *lock_handles(&inner.workers));
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
 
 impl<S: KvStore + Send + 'static> std::fmt::Debug for ShardedStore<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedStore").field("shards", &self.senders.len()).finish()
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.inner.groups)
+            .field("replicas", &self.inner.replicas)
+            .finish()
     }
+}
+
+/// Spawn (or respawn) the worker for one slot, building its store with
+/// the stored factory *inside* the worker thread, and publish its
+/// sender. Blocks until the factory reports.
+fn spawn_worker<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    slot: usize,
+) -> Result<(), StoreError> {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return Err(StoreError::ShardUnavailable { shard: slot / inner.replicas });
+    }
+    let (tx, rx) = mpsc::sync_channel(inner.queue_depth);
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let factory = Arc::clone(&inner.factory);
+    let ctx = WorkerCtx {
+        shard: slot as u32,
+        tele: Arc::clone(&inner.tele[slot]),
+        slow_ops: Arc::clone(&inner.slow_ops),
+        state: Arc::clone(&inner.slots[slot].state),
+    };
+    let handle = thread::Builder::new()
+        .name(format!("aria-shard-{slot}"))
+        .spawn(move || match factory(slot) {
+            Ok(store) => {
+                let _ = ready_tx.send(Ok(()));
+                worker_loop(store, rx, ctx);
+            }
+            Err(e) => {
+                let _ = ready_tx.send(Err(e));
+            }
+        })
+        .expect("spawn shard worker thread");
+    match ready_rx.recv() {
+        Ok(Ok(())) => {
+            // Replacing the sender drops the previous worker's channel;
+            // that worker drains what it already accepted and exits (its
+            // handle stays in the registry and is joined at teardown).
+            // The generation bump happens under the same write lock, so
+            // no sender can be observed with a mismatched generation.
+            let mut sender = inner.slots[slot].sender.write().unwrap_or_else(|p| p.into_inner());
+            inner.slots[slot].generation.fetch_add(1, Ordering::SeqCst);
+            *sender = Some(tx);
+            drop(sender);
+            let mut workers = lock_handles(&inner.workers);
+            workers.retain(|h| !h.is_finished());
+            workers.push(handle);
+            Ok(())
+        }
+        Ok(Err(e)) => {
+            let _ = handle.join();
+            Err(e)
+        }
+        Err(_) => panic!("shard worker panicked during construction"),
+    }
+}
+
+/// Run `f` on a slot's worker and wait for the result; a gone worker
+/// yields [`StoreError::ShardUnavailable`] instead of a hang or panic.
+fn exec_on_slot<S, R, F>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    slot: usize,
+    f: F,
+) -> Result<R, StoreError>
+where
+    S: KvStore + Send + 'static,
+    R: Send + 'static,
+    F: FnOnce(&mut S) -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let req = Request::Exec(Box::new(move |store: &mut S| {
+        let _ = tx.send(f(store));
+    }));
+    let sent = {
+        let guard = inner.slots[slot].sender.read().unwrap_or_else(|p| p.into_inner());
+        match &*guard {
+            Some(s) => s.send(req).is_ok(),
+            None => false,
+        }
+    };
+    if !sent {
+        return Err(StoreError::ShardUnavailable { shard: group });
+    }
+    rx.recv().map_err(|_| StoreError::ShardUnavailable { shard: group })
+}
+
+/// Start the single-flight re-sync thread for a replica (no-op once the
+/// store is shutting down). The registry is reaped as it grows and
+/// drained by [`teardown`].
+fn spawn_resync<S: KvStore + Send + 'static>(inner: &Arc<Inner<S>>, group: usize, replica: usize) {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    let inner2 = Arc::clone(inner);
+    let handle = thread::Builder::new()
+        .name(format!("aria-resync-{group}-{replica}"))
+        .spawn(move || resync_replica(&inner2, group, replica))
+        .expect("spawn re-sync thread");
+    let mut reg = lock_handles(&inner.resyncers);
+    reg.retain(|h| !h.is_finished());
+    reg.push(handle);
+}
+
+/// Anti-entropy re-sync of one replica from a surviving sibling (module
+/// docs, DESIGN.md §13). Runs on its own thread; single-flight via
+/// [`GroupHealthMachine::claim_recovery`].
+fn resync_replica<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    replica: usize,
+) {
+    let ctl = &inner.ctls[group];
+    let m = &ctl.machine;
+    let slot = inner.slot_index(group, replica);
+    let tele = Arc::clone(&inner.tele[slot]);
+    let Some(prev) = m.claim_recovery(replica) else { return };
+    tele.store.record_health_transition(prev.as_u8(), ShardHealth::Recovering.as_u8());
+    let fail = |err: StoreError| {
+        *ctl.last_resync_error.lock().unwrap_or_else(|p| p.into_inner()) = Some(err);
+        if m.fail_recovery(replica) {
+            tele.store.record_health_transition(
+                ShardHealth::Recovering.as_u8(),
+                ShardHealth::Dead.as_u8(),
+            );
+        }
+    };
+    if inner.shutdown.load(Ordering::SeqCst) {
+        fail(StoreError::ShardUnavailable { shard: group });
+        return;
+    }
+    // Survivor: a healthy sibling, preferring the acting primary.
+    let p = m.primary();
+    let survivor = if p != replica && m.health(p) == ShardHealth::Healthy {
+        Some(p)
+    } else {
+        (0..inner.replicas).find(|&r| r != replica && m.health(r) == ShardHealth::Healthy)
+    };
+    let Some(survivor) = survivor else {
+        // No surviving replica to stream from. If this replica's own
+        // worker is still alive (quarantined, not crashed) fall back to
+        // the in-place self-audit; a fresh respawn without a survivor to
+        // verify against could silently drop acknowledged writes, so a
+        // crashed last replica stays dead.
+        match exec_on_slot(inner, group, slot, |store: &mut S| {
+            for _ in 0..RECOVERY_ATTEMPTS {
+                if store.recover().is_ok() {
+                    return true;
+                }
+            }
+            false
+        }) {
+            Ok(true) => {
+                inner.slots[slot].state.recoveries.fetch_add(1, Ordering::SeqCst);
+                if m.readmit(replica) {
+                    tele.store.record_health_transition(
+                        ShardHealth::Recovering.as_u8(),
+                        ShardHealth::Healthy.as_u8(),
+                    );
+                }
+                if let Some(np) = m.promote() {
+                    let pslot = inner.slot_index(group, np);
+                    inner.tele[pslot].store.failovers.inc();
+                }
+            }
+            Ok(false) => fail(StoreError::ShardQuarantined { shard: group }),
+            Err(e) => fail(e),
+        }
+        return;
+    };
+    let sslot = inner.slot_index(group, survivor);
+    // The rejoiner always restarts from a fresh store (own enclave, own
+    // heap): its previous untrusted state is condemned wholesale rather
+    // than patched, and every byte it will serve arrives through the
+    // verified export stream below.
+    if let Err(e) = spawn_worker(inner, slot) {
+        fail(e);
+        return;
+    }
+    let mut streamed_bytes = 0u64;
+    // Phase 1 (live): bulk-copy a consistent snapshot of the survivor's
+    // verified contents while the group keeps serving writes.
+    let pairs1 = match exec_on_slot(inner, group, sslot, |s: &mut S| content_root_of(s)) {
+        Ok(Ok((pairs, _root))) => pairs,
+        Ok(Err(e)) => {
+            fail(e);
+            return;
+        }
+        Err(e) => {
+            fail(e);
+            return;
+        }
+    };
+    for chunk in pairs1.chunks(RESYNC_APPLY_CHUNK) {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            fail(StoreError::ShardUnavailable { shard: group });
+            return;
+        }
+        streamed_bytes += chunk.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+        let owned: Vec<(Vec<u8>, Vec<u8>)> = chunk.to_vec();
+        let applied = exec_on_slot(inner, group, slot, move |s: &mut S| {
+            let refs: Vec<(&[u8], &[u8])> =
+                owned.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            s.put_batch(&refs).into_iter().find_map(Result::err)
+        });
+        match applied {
+            Ok(None) => {}
+            Ok(Some(e)) => {
+                fail(e);
+                return;
+            }
+            Err(e) => {
+                fail(e);
+                return;
+            }
+        }
+    }
+    // Phase 2 (fenced delta): freeze writes, cycle the write lock so
+    // every pre-fence write is in the survivor's queue, then export
+    // again — the exec below queues *behind* those writes, making the
+    // export a true barrier snapshot.
+    ctl.fence.store(true, Ordering::SeqCst);
+    drop(ctl.write_lock.lock().unwrap_or_else(|p| p.into_inner()));
+    let verdict =
+        resync_delta_and_verify(inner, group, replica, sslot, slot, pairs1, &mut streamed_bytes);
+    match verdict {
+        Ok(()) => {
+            ctl.resyncs.fetch_add(1, Ordering::SeqCst);
+            inner.slots[slot].state.recoveries.fetch_add(1, Ordering::SeqCst);
+            tele.store.resyncs.inc();
+            tele.store.resync_bytes.observe(streamed_bytes);
+            // Re-admit while the fence still holds writes out: once the
+            // fence drops, any writer that sees the replica healthy will
+            // also reach its (now fully caught-up) queue.
+            if m.readmit(replica) {
+                tele.store.record_health_transition(
+                    ShardHealth::Recovering.as_u8(),
+                    ShardHealth::Healthy.as_u8(),
+                );
+            }
+            if let Some(np) = m.promote() {
+                let pslot = inner.slot_index(group, np);
+                inner.tele[pslot].store.failovers.inc();
+            }
+        }
+        Err(e) => fail(e),
+    }
+    ctl.fence.store(false, Ordering::SeqCst);
+}
+
+/// The fenced tail of a re-sync: export the survivor's barrier
+/// snapshot, apply the delta to the rejoiner, then compare content
+/// roots — each side's root computed inside its own enclave from its
+/// own MAC-verified reads.
+fn resync_delta_and_verify<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    _replica: usize,
+    survivor_slot: usize,
+    rejoiner_slot: usize,
+    pairs1: Vec<(Vec<u8>, Vec<u8>)>,
+    streamed_bytes: &mut u64,
+) -> Result<(), StoreError> {
+    let (pairs2, root2) =
+        exec_on_slot(inner, group, survivor_slot, |s: &mut S| content_root_of(s))??;
+    let mut have: HashMap<Vec<u8>, Vec<u8>> = pairs1.into_iter().collect();
+    let mut upserts: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for (k, v) in &pairs2 {
+        if have.remove(k).as_deref() != Some(v.as_slice()) {
+            upserts.push((k.clone(), v.clone()));
+        }
+    }
+    let deletes: Vec<Vec<u8>> = have.into_keys().collect();
+    for chunk in upserts.chunks(RESYNC_APPLY_CHUNK) {
+        *streamed_bytes += chunk.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum::<u64>();
+        let owned = chunk.to_vec();
+        exec_on_slot(inner, group, rejoiner_slot, move |s: &mut S| {
+            let refs: Vec<(&[u8], &[u8])> =
+                owned.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            s.put_batch(&refs).into_iter().find_map(Result::err)
+        })?
+        .map_or(Ok(()), Err)?;
+    }
+    if !deletes.is_empty() {
+        *streamed_bytes += deletes.iter().map(|k| k.len() as u64).sum::<u64>();
+        exec_on_slot(inner, group, rejoiner_slot, move |s: &mut S| {
+            deletes.into_iter().find_map(|k| s.delete(&k).err())
+        })?
+        .map_or(Ok(()), Err)?;
+    }
+    // Chaos hook: a replica that silently diverged mid-sync must be
+    // caught by the root comparison, never re-admitted.
+    let inject = {
+        let guard = inner.resync_fault.read().unwrap_or_else(|p| p.into_inner());
+        guard.as_ref().is_some_and(|hook| hook(group))
+    };
+    if inject {
+        exec_on_slot(inner, group, rejoiner_slot, |s: &mut S| {
+            let _ = s.put(b"\xffaria-divergence-injected", b"\xff");
+        })?;
+    }
+    let my_root = exec_on_slot(inner, group, rejoiner_slot, |s: &mut S| {
+        content_root_of(s).map(|(_, root)| root)
+    })??;
+    if my_root != root2 {
+        return Err(StoreError::ReplicaDiverged { shard: group });
+    }
+    Ok(())
 }
 
 fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCtx) {
@@ -984,6 +1933,13 @@ mod tests {
 
     fn small_sharded(shards: usize) -> ShardedStore<AriaHash> {
         ShardedStore::with_shards(shards, |_| {
+            AriaHash::new(StoreConfig::for_keys(4_096), Arc::new(Enclave::with_default_epc()))
+        })
+        .unwrap()
+    }
+
+    fn replicated(groups: usize, replicas: usize) -> ShardedStore<AriaHash> {
+        ShardedStore::with_replicas(groups, replicas, DEFAULT_QUEUE_DEPTH, |_| {
             AriaHash::new(StoreConfig::for_keys(4_096), Arc::new(Enclave::with_default_epc()))
         })
         .unwrap()
@@ -1255,5 +2211,271 @@ mod tests {
         assert!(stats.max_cycles <= stats.totals.cycles);
         let cache = store.aggregate_cache_stats().expect("AriaHash runs a Secure Cache");
         assert!(cache.accesses() > 0);
+    }
+
+    // --- replication -----------------------------------------------------------
+
+    #[test]
+    fn replicated_round_trip_and_backup_applies_writes() {
+        let store = replicated(2, 2);
+        for i in 0..64u32 {
+            store.put(format!("key{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..64u32 {
+            assert_eq!(store.get(format!("key{i}").as_bytes()).unwrap().unwrap(), i.to_le_bytes());
+        }
+        assert!(store.delete(b"key0").unwrap());
+        // The backups applied every write synchronously: per-group
+        // primary and backup lengths match (lag 0).
+        for snap in store.replica_healths() {
+            assert_eq!(snap.health, ShardHealth::Healthy);
+            assert_eq!(snap.lag, 0, "replica {snap:?} lags");
+        }
+        assert_eq!(store.len(), 63);
+    }
+
+    fn wait_group_stats<F>(store: &ShardedStore<AriaHash>, what: &str, ok: F)
+    where
+        F: Fn(&[GroupStats]) -> bool,
+    {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let stats = store.group_stats();
+            if ok(&stats) {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {what}: {stats:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn primary_kill_fails_over_and_resyncs() {
+        let store = replicated(2, 2);
+        for i in 0..128u32 {
+            store.put(format!("key{i}").as_bytes(), b"durable").unwrap();
+        }
+        for g in 0..2 {
+            let p = store.group_stats()[g].primary;
+            assert!(store.exec_detached_replica(g, p, |_| panic!("injected primary kill")));
+        }
+        // Every acknowledged write survives the failover: reads promote
+        // the backup on demand and must find all 128 keys.
+        for i in 0..128u32 {
+            let key = format!("key{i}");
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                match store.get(key.as_bytes()) {
+                    Ok(Some(v)) => {
+                        assert_eq!(v, b"durable");
+                        break;
+                    }
+                    Ok(None) => panic!("acked write {key} lost after failover"),
+                    Err(_) if std::time::Instant::now() < deadline => std::thread::yield_now(),
+                    Err(e) => panic!("group never failed over for {key}: {e:?}"),
+                }
+            }
+        }
+        // The killed replicas re-sync from the survivor and re-admit
+        // with matching content roots.
+        wait_group_stats(&store, "failover + re-sync", |stats| {
+            stats.iter().all(|g| {
+                g.failovers >= 1
+                    && g.resyncs >= 1
+                    && g.replicas.iter().all(|r| r.health == ShardHealth::Healthy)
+            })
+        });
+        // Post-re-admission the group serves writes on both replicas.
+        store.put(b"after-readmit", b"y").unwrap();
+        assert_eq!(store.get(b"after-readmit").unwrap().unwrap(), b"y");
+        for snap in store.replica_healths() {
+            assert_eq!(snap.lag, 0, "re-admitted replica lags: {snap:?}");
+        }
+    }
+
+    #[test]
+    fn diverged_replica_is_never_readmitted() {
+        let store = replicated(1, 2);
+        store.set_resync_fault_hook(|_| true);
+        for i in 0..64u32 {
+            store.put(format!("key{i}").as_bytes(), b"v").unwrap();
+        }
+        let p = store.group_stats()[0].primary;
+        assert!(store.exec_detached_replica(0, p, |_| panic!("injected primary kill")));
+        // Keep reading: the first op after the worker unwinds detects
+        // the death, fails over, and kicks the (sabotaged) re-sync.
+        wait_group_stats(&store, "divergence verdict", |stats| {
+            let _ = store.get(b"key1");
+            stats[0].last_resync_error == Some(StoreError::ReplicaDiverged { shard: 0 })
+        });
+        let stats = &store.group_stats()[0];
+        assert_eq!(stats.resyncs, 0, "diverged replica must not count as re-synced");
+        let diverged = &stats.replicas[p];
+        assert_eq!(diverged.health, ShardHealth::Dead, "diverged replica must stay dead");
+        // The survivor keeps the group serving.
+        assert_eq!(store.get(b"key1").unwrap().unwrap(), b"v");
+    }
+
+    #[test]
+    fn drop_mid_resync_under_load_joins_cleanly() {
+        for round in 0..3 {
+            let store = replicated(2, 2);
+            for i in 0..256u32 {
+                store.put(format!("key{round}-{i}").as_bytes(), b"load").unwrap();
+            }
+            let p = store.group_stats()[0].primary;
+            assert!(store.exec_detached_replica(0, p, |_| panic!("injected primary kill")));
+            // Keep the store busy so Drop races an in-flight re-sync.
+            for i in 0..64u32 {
+                let _ = store.put(format!("busy{round}-{i}").as_bytes(), b"x");
+            }
+            // Dropping here must join the re-sync thread (not leave it
+            // touching freed channels) and never deadlock.
+            drop(store);
+        }
+    }
+
+    #[test]
+    fn replication_off_keeps_single_slot_per_group() {
+        let store = small_sharded(4);
+        assert_eq!(store.replicas(), 1);
+        assert_eq!(store.telemetry().len(), 4);
+        let snaps = store.replica_healths();
+        assert_eq!(snaps.len(), 4);
+        assert!(snaps.iter().all(|s| s.role == ReplicaRole::Primary));
+    }
+
+    // --- GroupHealthMachine property tests --------------------------------------
+
+    mod machine_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The events a driver can throw at the machine.
+        #[derive(Debug, Clone, Copy)]
+        enum Event {
+            Quarantine(usize),
+            ClaimRecovery(usize),
+            Readmit(usize),
+            FailRecovery(usize),
+            MarkDead(usize),
+            Promote,
+        }
+
+        fn event_strategy(replicas: usize) -> impl Strategy<Value = Event> {
+            let r = 0..replicas;
+            prop_oneof![
+                r.clone().prop_map(Event::Quarantine),
+                r.clone().prop_map(Event::ClaimRecovery),
+                r.clone().prop_map(Event::Readmit),
+                r.clone().prop_map(Event::FailRecovery),
+                r.prop_map(Event::MarkDead),
+                Just(Event::Promote),
+            ]
+        }
+
+        /// Valid edges of the health machine (module docs).
+        fn valid_edge(from: ShardHealth, to: ShardHealth) -> bool {
+            use ShardHealth::*;
+            matches!(
+                (from, to),
+                (Healthy, Quarantined)
+                    | (Quarantined, Recovering)
+                    | (Dead, Recovering)
+                    | (Recovering, Healthy)
+                    | (Recovering, Dead)
+                    | (Healthy, Dead)
+                    | (Quarantined, Dead)
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Arbitrary interleavings of fault/recover/promote events
+            /// never produce an invalid transition, the primary index is
+            /// always in range, and promotion only lands on a healthy
+            /// replica — i.e. there is exactly one primary per group and
+            /// it is never a replica known-bad at promotion time.
+            #[test]
+            fn machine_never_reaches_invalid_state(
+                replicas in 1usize..=4,
+                events in proptest::collection::vec(event_strategy(4), 0..64),
+            ) {
+                let m = GroupHealthMachine::new(replicas);
+                let mut states: Vec<ShardHealth> =
+                    (0..replicas).map(|r| m.health(r)).collect();
+                for ev in events {
+                    let before_primary = m.primary();
+                    prop_assert!(before_primary < replicas);
+                    match ev {
+                        Event::Quarantine(r) if r < replicas => { m.quarantine(r); }
+                        Event::ClaimRecovery(r) if r < replicas => { m.claim_recovery(r); }
+                        Event::Readmit(r) if r < replicas => { m.readmit(r); }
+                        Event::FailRecovery(r) if r < replicas => { m.fail_recovery(r); }
+                        Event::MarkDead(r) if r < replicas => {
+                            let was = m.health(r);
+                            let prev = m.mark_dead(r);
+                            // `Recovering` belongs to its recovery
+                            // claimant: external death reports must not
+                            // touch it (only `fail_recovery` may).
+                            if was == ShardHealth::Recovering {
+                                prop_assert_eq!(prev, None);
+                                prop_assert_eq!(m.health(r), ShardHealth::Recovering);
+                            }
+                        }
+                        Event::Promote => {
+                            if let Some(np) = m.promote() {
+                                // Promotion must land on a replica that
+                                // was healthy when promoted.
+                                prop_assert_eq!(m.role_of(np), ReplicaRole::Primary);
+                            }
+                        }
+                        _ => {}
+                    }
+                    // Every observed state change walks a valid edge.
+                    for (r, state) in states.iter_mut().enumerate() {
+                        let now = m.health(r);
+                        if now != *state {
+                            prop_assert!(
+                                valid_edge(*state, now),
+                                "invalid transition {:?} -> {:?} on replica {}",
+                                *state, now, r
+                            );
+                            *state = now;
+                        }
+                    }
+                    // Exactly one primary: the index is single-valued and
+                    // in range at all times.
+                    prop_assert!(m.primary() < replicas);
+                }
+            }
+
+            /// Recovery claims are single-flight: from any state, at most
+            /// one of N concurrent claims wins.
+            #[test]
+            fn recovery_claim_is_single_flight(
+                start in (0u8..4).prop_map(ShardHealth::from_u8),
+                claimants in 2usize..=8,
+            ) {
+                let m = Arc::new(GroupHealthMachine::new(1));
+                m.force(0, start);
+                let wins: usize = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..claimants)
+                        .map(|_| {
+                            let m = Arc::clone(&m);
+                            s.spawn(move || m.claim_recovery(0).is_some() as usize)
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+                let claimable =
+                    matches!(start, ShardHealth::Quarantined | ShardHealth::Dead);
+                prop_assert_eq!(wins, usize::from(claimable));
+            }
+        }
     }
 }

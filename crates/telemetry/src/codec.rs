@@ -213,6 +213,11 @@ fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
         put_u64(b, v);
     }
     put_counters(b, &st.violations);
+    put_u64(b, st.failovers);
+    put_u64(b, st.resyncs);
+    put_hist(b, &st.resync_bytes);
+    put_u64(b, st.replica_role);
+    put_u64(b, st.replica_lag);
     put_u32(b, st.health_events.len() as u32);
     for e in &st.health_events {
         put_u64(b, e.seq);
@@ -255,6 +260,11 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
     let counter_capacity = c.u64()?;
     let health_state = c.u64()?;
     let violations = c.counters(VIOLATION_CLASSES)?;
+    let failovers = c.u64()?;
+    let resyncs = c.u64()?;
+    let resync_bytes = c.hist()?;
+    let replica_role = c.u64()?;
+    let replica_lag = c.u64()?;
     let nev = c.u32()? as usize;
     if nev > MAX_LIST {
         return Err(CodecError::Malformed);
@@ -283,6 +293,11 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
             counter_capacity,
             health_state,
             violations,
+            failovers,
+            resyncs,
+            resync_bytes,
+            replica_role,
+            replica_lag,
             health_events,
         },
     })
@@ -368,9 +383,15 @@ mod tests {
         hub.shards[1].store.get_latency.observe(1234);
         hub.shards[1].store.record_health_transition(0, 1);
         hub.shards[1].store.record_violation(2);
+        hub.shards[1].store.failovers.inc();
+        hub.shards[1].store.resyncs.inc();
+        hub.shards[1].store.resync_bytes.observe(8192);
+        hub.shards[1].store.replica_role.set(1);
+        hub.shards[1].store.replica_lag.set(12);
         hub.net.op_latency[1].observe(999);
         hub.net.frame_bytes_in.add(4096);
         hub.chaos.record_injection(3);
+        hub.chaos.record_injection(7);
         hub.slow_ops.record(crate::trace::SlowOp {
             seq: 0,
             shard: 1,

@@ -75,6 +75,11 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_store_counter_live", &sh, st.counter_live);
             prom_line(&mut o, "aria_store_counter_capacity", &sh, st.counter_capacity);
             prom_line(&mut o, "aria_store_health_state", &sh, st.health_state);
+            prom_line(&mut o, "aria_store_failovers_total", &sh, st.failovers);
+            prom_line(&mut o, "aria_store_resyncs_total", &sh, st.resyncs);
+            prom_hist(&mut o, "aria_store_resync_bytes", &sh, &st.resync_bytes);
+            prom_line(&mut o, "aria_store_replica_role", &sh, st.replica_role);
+            prom_line(&mut o, "aria_store_replica_lag_keys", &sh, st.replica_lag);
             for (ci, &v) in st.violations.iter().enumerate() {
                 let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
                 prom_line(
@@ -218,8 +223,17 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
     hist_json(o, &st.batch_size);
     o.push_str(&format!(
         ",\"index_probes\":{},\"keys_live\":{},\"counter_live\":{},\"counter_capacity\":{},\
-         \"health_state\":{},\"violations\":{{",
-        st.index_probes, st.keys_live, st.counter_live, st.counter_capacity, st.health_state
+         \"health_state\":{},\"failovers\":{},\"resyncs\":{},\"replica_role\":{},\
+         \"replica_lag\":{},\"violations\":{{",
+        st.index_probes,
+        st.keys_live,
+        st.counter_live,
+        st.counter_capacity,
+        st.health_state,
+        st.failovers,
+        st.resyncs,
+        st.replica_role,
+        st.replica_lag
     ));
     let mut first = true;
     for (ci, &v) in st.violations.iter().enumerate() {

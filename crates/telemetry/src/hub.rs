@@ -17,7 +17,11 @@ use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
 use crate::trace::{SlowOp, SlowOpTracer};
 
 /// Version of the snapshot layout carried on the wire.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 added the replication fields (`failovers`, `resyncs`,
+/// `resync_bytes`, `replica_role`, `replica_lag`) to the store section
+/// and grew the chaos site table to 8.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -36,7 +40,7 @@ pub const VIOLATION_NAMES: [&str; VIOLATION_CLASSES] = [
 
 /// Number of chaos fault-injection sites (mirrors
 /// `aria_chaos::FaultSite` order).
-pub const FAULT_SITES: usize = 6;
+pub const FAULT_SITES: usize = 8;
 
 /// Stable names for the fault sites, indexable by `FaultSite as usize`.
 pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
@@ -46,6 +50,8 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
     "node_flip",
     "index_pointer_swap",
     "free_list_tamper",
+    "primary_kill",
+    "replica_divergence",
 ];
 
 /// Number of tracked wire opcodes.
@@ -351,6 +357,16 @@ pub struct StoreTelemetry {
     pub health_state: Gauge,
     /// Integrity violations by class (see [`VIOLATION_NAMES`]).
     pub violations: [Counter; VIOLATION_CLASSES],
+    /// Completed primary promotions that landed on this replica slot.
+    pub failovers: Counter,
+    /// Completed anti-entropy re-sync re-admissions of this slot.
+    pub resyncs: Counter,
+    /// Bytes streamed per completed re-sync.
+    pub resync_bytes: Histogram,
+    /// Current replica role (gauge; 0 primary, 1 backup).
+    pub replica_role: Gauge,
+    /// Current replication lag in keys (gauge; 0 when in sync).
+    pub replica_lag: Gauge,
     health_seq: AtomicU64,
     health_events: Mutex<VecDeque<HealthTransition>>,
 }
@@ -368,6 +384,11 @@ impl Default for StoreTelemetry {
             counter_capacity: Gauge::new(),
             health_state: Gauge::new(),
             violations: Default::default(),
+            failovers: Counter::new(),
+            resyncs: Counter::new(),
+            resync_bytes: Histogram::new(),
+            replica_role: Gauge::new(),
+            replica_lag: Gauge::new(),
             health_seq: AtomicU64::new(0),
             health_events: Mutex::new(VecDeque::new()),
         }
@@ -425,6 +446,11 @@ impl StoreTelemetry {
             counter_capacity: self.counter_capacity.get(),
             health_state: self.health_state.get(),
             violations: self.violations.iter().map(|c| c.get()).collect(),
+            failovers: self.failovers.get(),
+            resyncs: self.resyncs.get(),
+            resync_bytes: self.resync_bytes.snapshot(),
+            replica_role: self.replica_role.get(),
+            replica_lag: self.replica_lag.get(),
             health_events,
         }
     }
@@ -453,6 +479,16 @@ pub struct StoreSnapshot {
     pub health_state: u64,
     /// Violations by class (`VIOLATION_CLASSES` entries).
     pub violations: Vec<u64>,
+    /// Completed failovers onto this slot.
+    pub failovers: u64,
+    /// Completed re-sync re-admissions of this slot.
+    pub resyncs: u64,
+    /// Bytes streamed per completed re-sync.
+    pub resync_bytes: HistSnapshot,
+    /// Replica role (0 primary, 1 backup).
+    pub replica_role: u64,
+    /// Replication lag in keys.
+    pub replica_lag: u64,
     /// Recent health transitions, oldest first.
     pub health_events: Vec<HealthTransition>,
 }
@@ -470,6 +506,11 @@ impl Default for StoreSnapshot {
             counter_capacity: 0,
             health_state: 0,
             violations: vec![0; VIOLATION_CLASSES],
+            failovers: 0,
+            resyncs: 0,
+            resync_bytes: HistSnapshot::empty(),
+            replica_role: 0,
+            replica_lag: 0,
             health_events: Vec::new(),
         }
     }
@@ -491,6 +532,13 @@ impl StoreSnapshot {
         for (a, b) in self.violations.iter_mut().zip(&other.violations) {
             *a += *b;
         }
+        self.failovers += other.failovers;
+        self.resyncs += other.resyncs;
+        self.resync_bytes.merge(&other.resync_bytes);
+        // Roles/lags aggregate pessimistically: any backup → backup,
+        // worst lag wins.
+        self.replica_role = self.replica_role.max(other.replica_role);
+        self.replica_lag = self.replica_lag.max(other.replica_lag);
         self.health_events.extend(other.health_events.iter().cloned());
     }
 
@@ -514,6 +562,11 @@ impl StoreSnapshot {
                 .zip(&earlier.violations)
                 .map(|(a, b)| a.saturating_sub(*b))
                 .collect(),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            resyncs: self.resyncs.saturating_sub(earlier.resyncs),
+            resync_bytes: self.resync_bytes.delta(&earlier.resync_bytes),
+            replica_role: self.replica_role,
+            replica_lag: self.replica_lag,
             health_events: self
                 .health_events
                 .iter()

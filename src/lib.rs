@@ -74,7 +74,8 @@ pub mod prelude {
     pub use aria_sim::{CostModel, Enclave, DEFAULT_EPC_BYTES};
     pub use aria_store::{
         AriaBPlusTree, AriaHash, AriaTree, BaselineStore, BatchOp, BatchReply, CacheStats,
-        ConfigError, KvStore, Scheme, ShardedStore, StoreConfig, StoreError, Violation,
+        ConfigError, GroupStats, KvStore, ReplicaRole, Scheme, ShardHealth, ShardedStore,
+        StoreConfig, StoreError, Violation,
     };
     pub use aria_workload::{
         encode_key, value_bytes, EtcConfig, EtcWorkload, KeyDistribution, Request, YcsbConfig,

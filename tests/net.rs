@@ -161,6 +161,7 @@ fn killing_server_mid_load_yields_typed_errors() {
                         connect_timeout: Duration::from_millis(200),
                         reconnect_attempts: 2,
                         reconnect_backoff: Duration::from_millis(10),
+                        ..ClientConfig::default()
                     },
                 )
                 .unwrap();
