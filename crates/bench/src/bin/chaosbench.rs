@@ -74,7 +74,7 @@ use aria_bench::{git_rev, json_str, print_table, Args, SCHEMA_VERSION};
 use aria_chaos::{ChaosEngine, FaultPlan, FaultSite, HeapInjector, SITE_COUNT};
 use aria_merkle::NodeId;
 use aria_net::{AriaClient, ClientConfig, ErrorCode, NetError};
-use aria_net::{AriaServer, ServerConfig};
+use aria_net::{AriaServer, Engine, ServerConfig};
 use aria_sim::Enclave;
 use aria_store::sharded::{BatchOp, ShardedStore};
 use aria_store::{AriaHash, KvStore, RecoveryReport, ShardHealth, StoreConfig};
@@ -344,6 +344,8 @@ fn main() {
     let out_dir = args.out_dir();
     let injected_floor = args.get("min-injected", if smoke { 200u64 } else { 10_000 });
     let listen = args.get_str("listen", "127.0.0.1:0");
+    let net_engine = Engine::parse(&args.get_str("engine", "reactor"))
+        .expect("--engine must be 'reactor' or 'threads'");
 
     println!(
         "chaosbench: shards={shards} clients={clients} keys={keys} ops={ops} \
@@ -430,11 +432,15 @@ fn main() {
     let server = AriaServer::bind(
         listen.as_str(),
         Arc::clone(&store),
-        ServerConfig { max_connections: clients + 8, ..ServerConfig::default() },
+        ServerConfig::builder()
+            .engine(net_engine)
+            .max_connections(clients + 8)
+            .build()
+            .expect("valid chaos server config"),
     )
     .expect("bind chaos server");
     let addr = server.local_addr();
-    println!("chaosbench: serving on {addr}");
+    println!("chaosbench: serving on {addr} (engine={net_engine})");
     // Injections recorded per fault site in the same snapshot the
     // METRICS opcode serves.
     engine.set_telemetry(Arc::clone(&server.telemetry().chaos));
@@ -717,7 +723,7 @@ fn write_json(
     failures: &[String],
     telemetry: &aria_telemetry::TelemetrySnapshot,
 ) {
-    let _ = args;
+    let engine = args.get_str("engine", "reactor");
     let sites = FaultSite::ALL
         .iter()
         .map(|&s| {
@@ -761,6 +767,7 @@ fn write_json(
     let failures_json = failures.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(",");
     let doc = format!(
         "{{\n\"schema_version\":{SCHEMA_VERSION},\n\"experiment\":\"chaos\",\n\
+         \"engine\":{},\n\
          \"git_rev\":{},\n\"seed\":{seed},\n\"elapsed_s\":{:.3},\n\"ops\":{},\n\
          \"wrong_reads\":{},\n\"integrity_errors\":{},\n\"destroyed_errors\":{},\n\
          \"quarantined_errors\":{},\n\"unavailable_errors\":{},\n\
@@ -772,6 +779,7 @@ fn write_json(
          \"latency_us\":{{\"p50\":{:.1},\"p99\":{:.1}}},\n\
          \"telemetry\":{},\n\
          \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
+        json_str(&engine),
         json_str(git_rev()),
         elapsed.as_secs_f64(),
         report.ops,
@@ -881,6 +889,8 @@ fn run_failover(args: &Args) {
     let seed = args.seed();
     let out_dir = args.out_dir();
     let listen = args.get_str("listen", "127.0.0.1:0");
+    let net_engine = Engine::parse(&args.get_str("engine", "reactor"))
+        .expect("--engine must be 'reactor' or 'threads'");
 
     println!(
         "chaosbench[failover]: groups={groups} replicas={replicas} clients={clients} \
@@ -981,11 +991,15 @@ fn run_failover(args: &Args) {
     let server = AriaServer::bind(
         listen.as_str(),
         Arc::clone(&store),
-        ServerConfig { max_connections: clients + 8, ..ServerConfig::default() },
+        ServerConfig::builder()
+            .engine(net_engine)
+            .max_connections(clients + 8)
+            .build()
+            .expect("valid chaos server config"),
     )
     .expect("bind failover server");
     let addr = server.local_addr();
-    println!("chaosbench[failover]: serving on {addr}");
+    println!("chaosbench[failover]: serving on {addr} (engine={net_engine})");
     engine.set_telemetry(Arc::clone(&server.telemetry().chaos));
 
     // --- health poller + traffic pulse ---------------------------------------
@@ -1316,6 +1330,7 @@ fn run_failover(args: &Args) {
     let failures_json = failures.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(",");
     let doc = format!(
         "{{\n\"schema_version\":{SCHEMA_VERSION},\n\"experiment\":\"failover\",\n\
+         \"engine\":{},\n\
          \"git_rev\":{},\n\"seed\":{seed},\n\"elapsed_s\":{:.3},\n\
          \"groups\":{groups},\n\"replicas\":{replicas},\n\"ops\":{},\n\
          \"kills\":{kills},\n\"failovers\":{failovers},\n\"resyncs\":{resyncs},\n\
@@ -1332,6 +1347,7 @@ fn run_failover(args: &Args) {
          \"group_stats\":[{group_json}],\n\
          \"telemetry\":{},\n\
          \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
+        json_str(net_engine.name()),
         json_str(git_rev()),
         elapsed.as_secs_f64(),
         report.ops,

@@ -13,9 +13,9 @@
 //!
 //! ```sh
 //! cargo run --release -p aria-bench --bin netbench -- \
-//!     [--conns 1,2,4,8] [--depths 1,8,32] [--ops 30000] [--keys 20000] \
-//!     [--shards 4] [--smoke] [--real] [--out results] \
-//!     [--metrics-out results/metrics.prom]
+//!     [--engine reactor|threads] [--conns 1,2,4,8] [--depths 1,8,32] \
+//!     [--ops 30000] [--keys 20000] [--shards 4] [--smoke] [--real] \
+//!     [--out results] [--metrics-out results/metrics.prom]
 //! ```
 //!
 //! Results go to `<out>/net.json` (one self-describing JSON document
@@ -31,7 +31,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use aria_bench::{fmt_tput, git_rev, json_f64, json_str, print_table, Args, SCHEMA_VERSION};
-use aria_net::{proto, AriaClient, AriaServer, ClientConfig, ServerConfig};
+use aria_net::{proto, AriaClient, AriaServer, ClientConfig, Engine, ServerConfig};
 use aria_sim::Enclave;
 use aria_store::sharded::{BatchOp, ShardedStore};
 use aria_store::{AriaHash, StoreConfig};
@@ -62,6 +62,8 @@ fn main() {
     let conns = parse_list(&args.get_str("conns", if smoke { "2,4" } else { "1,2,4,8" }));
     let depths = parse_list(&args.get_str("depths", if smoke { "1,16" } else { "1,8,32" }));
     let real_suite = args.flag("real");
+    let engine = Engine::parse(&args.get_str("engine", "reactor"))
+        .expect("--engine must be 'reactor' or 'threads'");
     let seed = args.seed();
 
     let dists: [(&'static str, KeyDistribution); 2] = [
@@ -74,6 +76,7 @@ fn main() {
         for &connections in &conns {
             for &depth in &depths {
                 let point = run_point(
+                    engine,
                     shards,
                     connections,
                     depth,
@@ -110,12 +113,12 @@ fn main() {
         })
         .collect();
     print_table(
-        "netbench (loopback, wall-clock)",
+        &format!("netbench (loopback, wall-clock, engine={engine})"),
         &["distribution", "conns", "depth", "ops/s", "p50 us", "p95 us", "p99 us"],
         &table,
     );
 
-    write_net_json(&args.out_dir(), shards, keys, ops, &points);
+    write_net_json(&args.out_dir(), engine, shards, keys, ops, &points);
 
     let metrics_out = args.get_str("metrics-out", "");
     if !metrics_out.is_empty() {
@@ -133,6 +136,7 @@ fn main() {
 
 #[allow(clippy::too_many_arguments)]
 fn run_point(
+    engine: Engine,
     shards: usize,
     connections: usize,
     depth: usize,
@@ -172,7 +176,11 @@ fn run_point(
     let server = AriaServer::bind(
         "127.0.0.1:0",
         Arc::clone(&store),
-        ServerConfig { max_connections: connections + 8, ..ServerConfig::default() },
+        ServerConfig::builder()
+            .engine(engine)
+            .max_connections(connections + 8)
+            .build()
+            .expect("valid bench server config"),
     )
     .expect("bind loopback server");
     let addr = server.local_addr();
@@ -267,11 +275,19 @@ fn parse_list(s: &str) -> Vec<usize> {
     list
 }
 
-fn write_net_json(out_dir: &str, shards: usize, keys: u64, ops: u64, points: &[Point]) {
+fn write_net_json(
+    out_dir: &str,
+    engine: Engine,
+    shards: usize,
+    keys: u64,
+    ops: u64,
+    points: &[Point],
+) {
     let mut doc = String::new();
     doc.push_str(&format!(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"git_rev\": {},\n  \
-         \"bench\": \"netbench\",\n  \"shards\": {shards},\n  \"keys\": {keys},\n  \
+         \"bench\": \"netbench\",\n  \"engine\": \"{engine}\",\n  \
+         \"shards\": {shards},\n  \"keys\": {keys},\n  \
          \"ops_per_point\": {ops},\n  \"value_len\": {VALUE_LEN},\n  \
          \"read_ratio\": {READ_RATIO},\n  \"points\": [\n",
         json_str(git_rev()),

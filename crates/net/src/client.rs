@@ -31,6 +31,14 @@
 //! and surface the *last typed error* when the budget or deadline runs
 //! out. Transport errors and every other server error are never
 //! retried.
+//!
+//! Each new connection opens with a versioned `HELLO` handshake
+//! ([`ClientConfig::handshake`], on by default): the client offers its
+//! protocol version and feature bits, the server answers with the
+//! negotiated pair ([`AriaClient::protocol_version`] /
+//! [`AriaClient::negotiated_features`]). A pre-HELLO server rejects
+//! the opcode and hangs up; the client redials once and speaks the
+//! base protocol, so old servers keep working transparently.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -63,6 +71,12 @@ pub struct ClientConfig {
     /// Sleep before the first op retry; doubles (with jitter) each
     /// further retry.
     pub retry_backoff: Duration,
+    /// Open each connection with a versioned `HELLO` handshake
+    /// (protocol version + feature bits). A pre-HELLO server answers
+    /// `UnknownOpcode` and hangs up; the client then redials once and
+    /// speaks the base protocol — so this is safe to leave on against
+    /// servers of any age. `false` skips the handshake entirely.
+    pub handshake: bool,
 }
 
 impl Default for ClientConfig {
@@ -75,6 +89,7 @@ impl Default for ClientConfig {
             retry_budget: 0,
             op_deadline: Duration::from_secs(30),
             retry_backoff: Duration::from_millis(5),
+            handshake: true,
         }
     }
 }
@@ -187,6 +202,12 @@ pub struct AriaClient {
     next_id: u64,
     /// splitmix64 state for backoff jitter (advanced per draw).
     rng: u64,
+    /// `(version, features)` from the last completed handshake;
+    /// `None` until a handshake has run (or with `handshake: false`).
+    negotiated: Option<(u16, u64)>,
+    /// The peer rejected `HELLO` once: skip the handshake on every
+    /// further redial instead of burning a connection each time.
+    peer_pre_hello: bool,
 }
 
 impl AriaClient {
@@ -205,9 +226,31 @@ impl AriaClient {
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
         let rng = splitmix64(now ^ (u64::from(addr.port()) << 32));
-        let mut client = AriaClient { addr, config, conn: None, next_id: 1, rng };
+        let mut client = AriaClient {
+            addr,
+            config,
+            conn: None,
+            next_id: 1,
+            rng,
+            negotiated: None,
+            peer_pre_hello: false,
+        };
         client.ensure_connected()?;
         Ok(client)
+    }
+
+    /// Protocol version negotiated by the `HELLO` handshake: the
+    /// server's answer, or [`proto::BASE_PROTOCOL_VERSION`] when the
+    /// peer predates `HELLO`. `None` until the first handshake (or
+    /// always, with [`ClientConfig::handshake`] off).
+    pub fn protocol_version(&self) -> Option<u16> {
+        self.negotiated.map(|(v, _)| v)
+    }
+
+    /// Feature bits granted by the server in the `HELLO` handshake
+    /// (`0` for pre-`HELLO` peers). `None` until the first handshake.
+    pub fn negotiated_features(&self) -> Option<u64> {
+        self.negotiated.map(|(_, f)| f)
     }
 
     /// Whether a live connection is currently held (it may still be
@@ -225,6 +268,29 @@ impl AriaClient {
         if self.conn.is_some() {
             return Ok(());
         }
+        self.dial()?;
+        if self.config.handshake && !self.peer_pre_hello {
+            match self.try_hello() {
+                Ok(Some(negotiated)) => self.negotiated = Some(negotiated),
+                Ok(None) => {
+                    // Pre-HELLO server: it reported the opcode as a
+                    // framing failure and hung up. Redial once and
+                    // speak the base protocol from here on.
+                    self.peer_pre_hello = true;
+                    self.negotiated = Some((proto::BASE_PROTOCOL_VERSION, 0));
+                    self.conn = None;
+                    self.dial()?;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dial(&mut self) -> Result<(), NetError> {
         let mut backoff = self.config.reconnect_backoff;
         let attempts = self.config.reconnect_attempts.max(1);
         let mut last = None;
@@ -245,6 +311,32 @@ impl AriaClient {
             }
         }
         Err(NetError::Io(last.expect("at least one connect attempt")))
+    }
+
+    /// One `HELLO` exchange on the fresh connection. `Ok(Some(_))` is
+    /// the negotiated `(version, features)`; `Ok(None)` means the peer
+    /// predates `HELLO` (it answered `UnknownOpcode`).
+    fn try_hello(&mut self) -> Result<Option<(u16, u64)>, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let conn = self.conn.as_mut().expect("dial succeeded");
+        let mut out = Vec::new();
+        proto::encode_request(
+            &mut out,
+            id,
+            &Request::Hello {
+                version: proto::PROTOCOL_VERSION,
+                features: proto::features::SUPPORTED,
+            },
+        )?;
+        conn.stream.write_all(&out)?;
+        let (rid, resp) = read_response(conn)?;
+        match resp {
+            Response::HelloAck { version, features } if rid == id => Ok(Some((version, features))),
+            Response::Error { code: ErrorCode::UnknownOpcode, .. } => Ok(None),
+            Response::Error { code, message } => Err(NetError::Server { code, message }),
+            _ => Err(NetError::UnexpectedResponse),
+        }
     }
 
     /// Uniform draw from `[backoff/2, backoff]`, advancing the client's
@@ -495,8 +587,22 @@ mod tests {
             let mut chunk = [0u8; 4096];
             loop {
                 match proto::decode_request(&rbuf) {
-                    Ok(Decoded::Frame(consumed, id, _req)) => {
+                    Ok(Decoded::Frame(consumed, id, req)) => {
                         rbuf.drain(..consumed);
+                        // Answer the connection handshake out-of-band so
+                        // scripts stay about the operations under test.
+                        if let Request::Hello { version, features } = req {
+                            let mut out = Vec::new();
+                            let ack = Response::HelloAck {
+                                version: version.min(proto::PROTOCOL_VERSION),
+                                features: features & proto::features::SUPPORTED,
+                            };
+                            proto::encode_response(&mut out, id, &ack).expect("encode");
+                            if stream.write_all(&out).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
                         let resp = if next < responses.len() {
                             let r = responses[next].clone();
                             if next + 1 < responses.len() || !repeat_last {
@@ -538,6 +644,57 @@ mod tests {
             retry_backoff: Duration::from_millis(1),
             ..ClientConfig::default()
         }
+    }
+
+    /// A server that predates `HELLO` reports the opcode as a framing
+    /// failure and hangs up; the client must redial, skip the
+    /// handshake, and settle on the base protocol version.
+    #[test]
+    fn pre_hello_server_falls_back_to_base_protocol() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = thread::spawn(move || {
+            // First connection: reject the HELLO the way the old server
+            // rejects any unknown opcode — control error, then close.
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut chunk = [0u8; 4096];
+            let _ = stream.read(&mut chunk).expect("read hello");
+            let mut out = Vec::new();
+            proto::encode_response(
+                &mut out,
+                proto::CONTROL_ID,
+                &Response::Error { code: ErrorCode::UnknownOpcode, message: "opcode".into() },
+            )
+            .expect("encode");
+            stream.write_all(&out).expect("write rejection");
+            drop(stream);
+            // Second connection: no handshake arrives; serve one ping.
+            let (mut stream, _) = listener.accept().expect("re-accept");
+            let mut rbuf = Vec::new();
+            loop {
+                if let Ok(Decoded::Frame(consumed, id, req)) = proto::decode_request(&rbuf) {
+                    rbuf.drain(..consumed);
+                    assert!(
+                        matches!(req, Request::Ping),
+                        "fallback connection must not re-send HELLO"
+                    );
+                    let mut out = Vec::new();
+                    proto::encode_response(&mut out, id, &Response::Pong).expect("encode");
+                    stream.write_all(&out).expect("write pong");
+                    return;
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+                }
+            }
+        });
+        let mut client = AriaClient::connect(addr, ClientConfig::default()).unwrap();
+        assert_eq!(client.protocol_version(), Some(proto::BASE_PROTOCOL_VERSION));
+        assert_eq!(client.negotiated_features(), Some(0));
+        client.ping().expect("base-protocol ops must work against the old server");
+        drop(client);
+        handle.join().unwrap();
     }
 
     #[test]

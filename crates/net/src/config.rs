@@ -1,0 +1,376 @@
+//! Server construction: the [`ServerConfig`] builder, the serving
+//! [`Engine`] choice, and the typed [`NetConfigError`] the builder
+//! returns, matching the `StoreConfig`/`CacheConfig` builder pattern.
+//!
+//! `ServerConfig` fields are private — every construction goes through
+//! [`ServerConfig::builder`] (or [`ServerConfig::default`], which is
+//! the builder's output on defaults), so an `AriaServer` can never be
+//! started on an unvalidated knob set.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::proto::MAX_FRAME_LEN;
+
+/// Which serving engine [`crate::AriaServer::bind`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Epoll-based run-to-completion reactors: connections are pinned
+    /// to one of N reactor threads at accept time, frames are parsed
+    /// in place out of the per-connection read buffer, and each tick
+    /// coalesces every decoded request across the reactor's
+    /// connections into one store submission per shard.
+    #[default]
+    Reactor,
+    /// The original thread-per-connection engine: one OS thread per
+    /// accepted connection, one store batch per pipeline window.
+    Threads,
+}
+
+impl Engine {
+    /// Parse a CLI-style engine name (`"reactor"` / `"threads"`).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "reactor" => Some(Engine::Reactor),
+            "threads" => Some(Engine::Threads),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`"reactor"` / `"threads"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Reactor => "reactor",
+            Engine::Threads => "threads",
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a [`ServerConfigBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetConfigError {
+    /// `max_connections` must be at least one.
+    ZeroConnections,
+    /// `pipeline_window` must be at least one.
+    ZeroPipelineWindow,
+    /// The write-buffer bound is outside the accepted range: it must
+    /// hold at least one minimal frame and must not exceed the frame
+    /// cap times 16 (the server may buffer up to one over-bound frame
+    /// beyond the limit, so an unbounded limit would unbound memory).
+    WriteBufferBound {
+        /// The rejected limit.
+        limit: usize,
+        /// Smallest accepted limit.
+        min: usize,
+        /// Largest accepted limit.
+        max: usize,
+    },
+    /// A timeout was zero (`write_timeout`, or a `Some(0)` read
+    /// timeout); zero timeouts disconnect every client instantly.
+    ZeroTimeout {
+        /// Which knob was zero.
+        which: &'static str,
+    },
+    /// The reactor count must be at least one.
+    ZeroReactors,
+    /// Fewer connections than reactors: at least one reactor could
+    /// never be assigned a connection, so the thread count is a
+    /// misconfiguration (lower `reactors` or raise `max_connections`).
+    ConnectionsBelowReactors {
+        /// Configured connection limit.
+        max_connections: usize,
+        /// Configured reactor count.
+        reactors: usize,
+    },
+}
+
+impl fmt::Display for NetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetConfigError::ZeroConnections => write!(f, "max_connections must be non-zero"),
+            NetConfigError::ZeroPipelineWindow => write!(f, "pipeline_window must be non-zero"),
+            NetConfigError::WriteBufferBound { limit, min, max } => {
+                write!(f, "write_buffer_limit {limit} outside accepted range [{min}, {max}]")
+            }
+            NetConfigError::ZeroTimeout { which } => write!(f, "{which} must be non-zero"),
+            NetConfigError::ZeroReactors => write!(f, "reactors must be non-zero"),
+            NetConfigError::ConnectionsBelowReactors { max_connections, reactors } => write!(
+                f,
+                "max_connections ({max_connections}) below reactor count ({reactors}): \
+                 some reactors could never serve a connection"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetConfigError {}
+
+/// Smallest accepted `write_buffer_limit`: room for one minimal frame.
+pub const MIN_WRITE_BUFFER: usize = 64;
+
+/// Largest accepted `write_buffer_limit`.
+pub const MAX_WRITE_BUFFER: usize = MAX_FRAME_LEN * 16;
+
+/// Validated tuning knobs for [`crate::AriaServer`]. Construct with
+/// [`ServerConfig::builder`]; read with the accessor methods.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    engine: Engine,
+    max_connections: usize,
+    pipeline_window: usize,
+    write_buffer_limit: usize,
+    write_timeout: Duration,
+    read_timeout: Option<Duration>,
+    reactors: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::builder().build().expect("default server config is valid")
+    }
+}
+
+impl ServerConfig {
+    /// A fallible builder starting from the default configuration.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            engine: Engine::default(),
+            max_connections: 64,
+            pipeline_window: 256,
+            write_buffer_limit: 256 * 1024,
+            write_timeout: Duration::from_secs(5),
+            read_timeout: None,
+            reactors: default_reactors(),
+        }
+    }
+
+    /// The serving engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Connections beyond this are rejected with
+    /// [`crate::proto::ErrorCode::TooManyConnections`] and closed.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Max requests decoded and dispatched as one store batch per
+    /// connection (threads engine) or per connection per tick (reactor).
+    pub fn pipeline_window(&self) -> usize {
+        self.pipeline_window
+    }
+
+    /// Bound on buffered response bytes before a flush is forced (and,
+    /// on the reactor engine, before the connection stops being read).
+    pub fn write_buffer_limit(&self) -> usize {
+        self.write_buffer_limit
+    }
+
+    /// A response flush slower than this disconnects the client.
+    pub fn write_timeout(&self) -> Duration {
+        self.write_timeout
+    }
+
+    /// Close a connection with no complete request for this long
+    /// (`None`: idle connections are kept forever).
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    /// Number of reactor threads the reactor engine runs.
+    pub fn reactors(&self) -> usize {
+        self.reactors
+    }
+}
+
+/// One reactor per available core by default (minimum one).
+fn default_reactors() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Fallible builder for [`ServerConfig`].
+///
+/// ```
+/// use aria_net::{Engine, ServerConfig};
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig::builder()
+///     .engine(Engine::Reactor)
+///     .max_connections(128)
+///     .write_timeout(Duration::from_secs(2))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_connections(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    engine: Engine,
+    max_connections: usize,
+    pipeline_window: usize,
+    write_buffer_limit: usize,
+    write_timeout: Duration,
+    read_timeout: Option<Duration>,
+    reactors: usize,
+}
+
+impl ServerConfigBuilder {
+    /// Select the serving engine (default [`Engine::Reactor`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the connection limit (default 64).
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Set the pipeline window (default 256).
+    pub fn pipeline_window(mut self, n: usize) -> Self {
+        self.pipeline_window = n;
+        self
+    }
+
+    /// Set the write-buffer bound in bytes (default 256 KiB).
+    pub fn write_buffer_limit(mut self, bytes: usize) -> Self {
+        self.write_buffer_limit = bytes;
+        self
+    }
+
+    /// Set the flush timeout (default 5 s).
+    pub fn write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
+    /// Set (or clear) the idle read timeout (default `None`).
+    pub fn read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Set the reactor thread count (default: one per core).
+    pub fn reactors(mut self, n: usize) -> Self {
+        self.reactors = n;
+        self
+    }
+
+    /// Validate and build the configuration.
+    pub fn build(self) -> Result<ServerConfig, NetConfigError> {
+        if self.max_connections == 0 {
+            return Err(NetConfigError::ZeroConnections);
+        }
+        if self.pipeline_window == 0 {
+            return Err(NetConfigError::ZeroPipelineWindow);
+        }
+        if !(MIN_WRITE_BUFFER..=MAX_WRITE_BUFFER).contains(&self.write_buffer_limit) {
+            return Err(NetConfigError::WriteBufferBound {
+                limit: self.write_buffer_limit,
+                min: MIN_WRITE_BUFFER,
+                max: MAX_WRITE_BUFFER,
+            });
+        }
+        if self.write_timeout.is_zero() {
+            return Err(NetConfigError::ZeroTimeout { which: "write_timeout" });
+        }
+        if self.read_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(NetConfigError::ZeroTimeout { which: "read_timeout" });
+        }
+        if self.reactors == 0 {
+            return Err(NetConfigError::ZeroReactors);
+        }
+        if self.engine == Engine::Reactor && self.max_connections < self.reactors {
+            return Err(NetConfigError::ConnectionsBelowReactors {
+                max_connections: self.max_connections,
+                reactors: self.reactors,
+            });
+        }
+        Ok(ServerConfig {
+            engine: self.engine,
+            max_connections: self.max_connections,
+            pipeline_window: self.pipeline_window,
+            write_buffer_limit: self.write_buffer_limit,
+            write_timeout: self.write_timeout,
+            read_timeout: self.read_timeout,
+            reactors: self.reactors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_and_read_back() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.engine(), Engine::Reactor);
+        assert_eq!(cfg.max_connections(), 64);
+        assert_eq!(cfg.pipeline_window(), 256);
+        assert_eq!(cfg.write_buffer_limit(), 256 * 1024);
+        assert_eq!(cfg.write_timeout(), Duration::from_secs(5));
+        assert_eq!(cfg.read_timeout(), None);
+        assert!(cfg.reactors() >= 1);
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_knob() {
+        assert_eq!(
+            ServerConfig::builder().max_connections(0).build().unwrap_err(),
+            NetConfigError::ZeroConnections
+        );
+        assert_eq!(
+            ServerConfig::builder().pipeline_window(0).build().unwrap_err(),
+            NetConfigError::ZeroPipelineWindow
+        );
+        assert!(matches!(
+            ServerConfig::builder().write_buffer_limit(1).build().unwrap_err(),
+            NetConfigError::WriteBufferBound { limit: 1, .. }
+        ));
+        assert!(matches!(
+            ServerConfig::builder().write_buffer_limit(MAX_WRITE_BUFFER + 1).build().unwrap_err(),
+            NetConfigError::WriteBufferBound { .. }
+        ));
+        assert_eq!(
+            ServerConfig::builder().write_timeout(Duration::ZERO).build().unwrap_err(),
+            NetConfigError::ZeroTimeout { which: "write_timeout" }
+        );
+        assert_eq!(
+            ServerConfig::builder().read_timeout(Some(Duration::ZERO)).build().unwrap_err(),
+            NetConfigError::ZeroTimeout { which: "read_timeout" }
+        );
+        assert_eq!(
+            ServerConfig::builder().reactors(0).build().unwrap_err(),
+            NetConfigError::ZeroReactors
+        );
+        assert_eq!(
+            ServerConfig::builder().max_connections(2).reactors(4).build().unwrap_err(),
+            NetConfigError::ConnectionsBelowReactors { max_connections: 2, reactors: 4 }
+        );
+        // The same knobs are fine on the threads engine, which ignores
+        // the reactor count.
+        assert!(ServerConfig::builder()
+            .engine(Engine::Threads)
+            .max_connections(2)
+            .reactors(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [Engine::Reactor, Engine::Threads] {
+            assert_eq!(Engine::parse(e.name()), Some(e));
+            assert_eq!(e.to_string(), e.name());
+        }
+        assert_eq!(Engine::parse("fibers"), None);
+    }
+}

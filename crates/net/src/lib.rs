@@ -5,19 +5,26 @@
 //!
 //! * [`proto`] — the compact length-prefixed binary wire protocol
 //!   (`GET`/`PUT`/`DELETE`/`MULTI_GET`/`PUT_BATCH`/`STATS`/`PING`,
-//!   client-chosen request ids, stable typed error codes);
-//! * [`server`] — [`AriaServer`], a thread-per-connection server with
-//!   request pipelining (whole windows dispatched as one sharded store
-//!   batch), bounded write buffers with backpressure, a connection
-//!   limit with clean rejection, and graceful drain-then-join shutdown;
+//!   client-chosen request ids, stable typed error codes, and a
+//!   versioned `HELLO` handshake with feature negotiation);
+//! * [`config`] — the validated [`ServerConfig`] builder and the
+//!   serving [`Engine`] choice;
+//! * [`server`] — [`AriaServer`], serving with either the epoll
+//!   [`reactor`] engine (default: run-to-completion reactors that
+//!   batch every connection's requests into one store submission per
+//!   shard per tick) or the thread-per-connection engine — both with
+//!   request pipelining, bounded write buffers with backpressure, a
+//!   connection limit with clean rejection, and graceful
+//!   drain-then-join shutdown;
 //! * [`client`] — [`AriaClient`], a pipelined synchronous client with
-//!   reconnect-with-backoff and per-op timeouts.
+//!   reconnect-with-backoff, per-op timeouts, and automatic `HELLO`
+//!   version negotiation (falling back cleanly to pre-HELLO servers).
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use std::sync::Arc;
-//! use aria_net::{AriaClient, AriaServer, ClientConfig, ServerConfig};
+//! use aria_net::{AriaClient, AriaServer, ClientConfig, Engine, ServerConfig};
 //! use aria_sim::Enclave;
 //! use aria_store::sharded::ShardedStore;
 //! use aria_store::{AriaHash, StoreConfig};
@@ -28,7 +35,12 @@
 //!     })
 //!     .unwrap(),
 //! );
-//! let server = AriaServer::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+//! let config = ServerConfig::builder()
+//!     .engine(Engine::Reactor) // the default; Engine::Threads also available
+//!     .max_connections(128)
+//!     .build()
+//!     .unwrap();
+//! let server = AriaServer::bind("127.0.0.1:0", store, config).unwrap();
 //!
 //! let mut client = AriaClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
 //! client.put(b"user:1", b"alice").unwrap();
@@ -44,16 +56,25 @@
 //! entries live in. All confidentiality and integrity guarantees come
 //! from the enclave layer underneath (sealed entries, counter Merkle
 //! trees); see DESIGN.md §10 for the full argument.
+//!
+//! Unsafe code is denied crate-wide with one audited exception: the
+//! raw epoll FFI in [`reactor`]'s `sys` module (Linux only).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod config;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 
+mod service;
+
 pub use client::{AriaClient, ClientConfig, KeyResult, NetError};
+pub use config::{Engine, NetConfigError, ServerConfig, ServerConfigBuilder};
 pub use proto::{
-    ErrorCode, HealthReply, Request, Response, ShardHealthInfo, StatsReply, WireError,
+    features, ErrorCode, HealthReply, Request, RequestRef, Response, ShardHealthInfo, StatsReply,
+    WireError, BASE_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{AriaServer, ServerConfig};
+pub use server::AriaServer;

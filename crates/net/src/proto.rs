@@ -31,6 +31,31 @@ pub const FRAME_HEADER_LEN: usize = 9;
 /// errors (e.g. rejecting a connection over the limit).
 pub const CONTROL_ID: u64 = 0;
 
+/// The protocol version this build speaks. Version 1 is the pre-`HELLO`
+/// wire format; version 2 adds the `HELLO` handshake itself. A peer
+/// that never sends `HELLO` is treated as speaking
+/// [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake client
+/// working unchanged.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The version assumed for clients that skip the `HELLO` handshake.
+pub const BASE_PROTOCOL_VERSION: u16 = 1;
+
+/// Feature bits a client may request in `HELLO`. The server answers
+/// with the intersection of what was asked and what it supports, so
+/// unknown bits degrade to "off" instead of failing the handshake.
+/// Bits are protocol surface: never renumber them.
+pub mod features {
+    /// Placeholder bit reserved for the planned `SCAN` opcode
+    /// (ROADMAP item 2). No released server sets it yet.
+    pub const SCAN: u64 = 1 << 0;
+    /// Placeholder bit reserved for routing-epoch exchange
+    /// (ROADMAP item 4). No released server sets it yet.
+    pub const ROUTING_EPOCH: u64 = 1 << 1;
+    /// Every feature bit this build understands.
+    pub const SUPPORTED: u64 = 0;
+}
+
 // Request opcodes.
 const OP_PING: u8 = 0x01;
 const OP_GET: u8 = 0x02;
@@ -41,6 +66,7 @@ const OP_PUT_BATCH: u8 = 0x06;
 const OP_STATS: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
+const OP_HELLO: u8 = 0x0A;
 
 // Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -52,11 +78,12 @@ const OP_BATCH_STATUS: u8 = 0x86;
 const OP_STATS_REPLY: u8 = 0x87;
 const OP_HEALTH_REPLY: u8 = 0x88;
 const OP_METRICS_REPLY: u8 = 0x89;
+const OP_HELLO_REPLY: u8 = 0x8A;
 const OP_ERROR: u8 = 0xFF;
 
-/// Number of request opcodes (`0x01..=0x09`), for per-opcode telemetry
+/// Number of request opcodes (`0x01..=0x0A`), for per-opcode telemetry
 /// tables. Matches `aria_telemetry::NET_OPS`.
-pub const REQUEST_OPCODES: usize = 9;
+pub const REQUEST_OPCODES: usize = 10;
 
 /// Telemetry table index of a request, `0..REQUEST_OPCODES`.
 pub fn request_op_index(req: &Request) -> usize {
@@ -70,6 +97,7 @@ pub fn request_op_index(req: &Request) -> usize {
         Request::Stats => 6,
         Request::Health => 7,
         Request::Metrics => 8,
+        Request::Hello { .. } => 9,
     }
 }
 
@@ -231,6 +259,15 @@ pub enum Request {
     Health,
     /// Full telemetry snapshot (metrics + slow-op traces).
     Metrics,
+    /// Versioned handshake: the client's protocol version and the
+    /// feature bits it would like enabled. Optional — a client that
+    /// never sends it is served at [`BASE_PROTOCOL_VERSION`].
+    Hello {
+        /// The highest protocol version the client speaks.
+        version: u16,
+        /// Feature bits the client requests (see [`features`]).
+        features: u64,
+    },
 }
 
 /// One replica's health on the wire (see [`aria_store::ShardHealth`]).
@@ -342,6 +379,15 @@ pub enum Response {
     /// [`aria_telemetry::TelemetrySnapshot::decode`]), kept opaque here
     /// so the snapshot layout can evolve without renumbering opcodes.
     Metrics(Vec<u8>),
+    /// Answer to [`Request::Hello`]: the version the connection will
+    /// speak (`min(client, server)`) and the negotiated feature bits
+    /// (the intersection of requested and supported).
+    HelloAck {
+        /// Negotiated protocol version for this connection.
+        version: u16,
+        /// Negotiated feature bits (see [`features`]).
+        features: u64,
+    },
     /// The request (or, with id [`CONTROL_ID`], the connection) failed.
     Error {
         /// Stable error code.
@@ -464,6 +510,10 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), W
         Request::Stats => frame(out, OP_STATS, id, |_| {}),
         Request::Health => frame(out, OP_HEALTH, id, |_| {}),
         Request::Metrics => frame(out, OP_METRICS, id, |_| {}),
+        Request::Hello { version, features } => frame(out, OP_HELLO, id, |b| {
+            put_u16(b, *version);
+            put_u64(b, *features);
+        }),
     }
 }
 
@@ -514,6 +564,10 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
         Response::Metrics(snapshot) => frame(out, OP_METRICS_REPLY, id, |b| put_bytes(b, snapshot)),
+        Response::HelloAck { version, features } => frame(out, OP_HELLO_REPLY, id, |b| {
+            put_u16(b, *version);
+            put_u64(b, *features);
+        }),
         Response::Error { code, message } => frame(out, OP_ERROR, id, |b| {
             put_u16(b, *code as u16);
             put_bytes(b, message.as_bytes());
@@ -554,9 +608,13 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_ref()?.to_vec())
     }
 
     fn finished(&self) -> Result<(), WireError> {
@@ -617,17 +675,113 @@ fn split_frame(buf: &[u8]) -> Result<Option<RawFrame<'_>>, WireError> {
     Ok(Some((4 + frame_len, opcode, id, &buf[13..4 + frame_len])))
 }
 
-/// Decode one request frame from the front of `buf`.
-pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
+/// A request decoded *in place*: key and value fields borrow straight
+/// out of the connection's read buffer instead of copying into owned
+/// `Vec`s. This is the reactor's hot-path decode — bytes are copied at
+/// most once, when an op is handed to the store — while
+/// [`decode_request`] remains the owned convenience form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Liveness probe.
+    Ping,
+    /// Fetch one key.
+    Get {
+        /// The key, borrowed from the frame.
+        key: &'a [u8],
+    },
+    /// Insert or update one key.
+    Put {
+        /// The key, borrowed from the frame.
+        key: &'a [u8],
+        /// The value, borrowed from the frame.
+        value: &'a [u8],
+    },
+    /// Remove one key.
+    Delete {
+        /// The key, borrowed from the frame.
+        key: &'a [u8],
+    },
+    /// Fetch several keys in one request.
+    MultiGet {
+        /// The keys, borrowed from the frame, answered in order.
+        keys: Vec<&'a [u8]>,
+    },
+    /// Insert or update several pairs in one request.
+    PutBatch {
+        /// The pairs, borrowed from the frame, applied in order.
+        pairs: Vec<(&'a [u8], &'a [u8])>,
+    },
+    /// Server/store statistics.
+    Stats,
+    /// Per-shard health.
+    Health,
+    /// Full telemetry snapshot.
+    Metrics,
+    /// Versioned handshake (see [`Request::Hello`]).
+    Hello {
+        /// The highest protocol version the client speaks.
+        version: u16,
+        /// Feature bits the client requests.
+        features: u64,
+    },
+}
+
+impl RequestRef<'_> {
+    /// Telemetry table index, `0..REQUEST_OPCODES`; matches
+    /// [`request_op_index`] on the owned form.
+    pub fn op_index(&self) -> usize {
+        match self {
+            RequestRef::Ping => 0,
+            RequestRef::Get { .. } => 1,
+            RequestRef::Put { .. } => 2,
+            RequestRef::Delete { .. } => 3,
+            RequestRef::MultiGet { .. } => 4,
+            RequestRef::PutBatch { .. } => 5,
+            RequestRef::Stats => 6,
+            RequestRef::Health => 7,
+            RequestRef::Metrics => 8,
+            RequestRef::Hello { .. } => 9,
+        }
+    }
+
+    /// Copy the borrowed fields into an owned [`Request`].
+    pub fn to_owned(&self) -> Request {
+        match self {
+            RequestRef::Ping => Request::Ping,
+            RequestRef::Get { key } => Request::Get { key: key.to_vec() },
+            RequestRef::Put { key, value } => {
+                Request::Put { key: key.to_vec(), value: value.to_vec() }
+            }
+            RequestRef::Delete { key } => Request::Delete { key: key.to_vec() },
+            RequestRef::MultiGet { keys } => {
+                Request::MultiGet { keys: keys.iter().map(|k| k.to_vec()).collect() }
+            }
+            RequestRef::PutBatch { pairs } => Request::PutBatch {
+                pairs: pairs.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect(),
+            },
+            RequestRef::Stats => Request::Stats,
+            RequestRef::Health => Request::Health,
+            RequestRef::Metrics => Request::Metrics,
+            RequestRef::Hello { version, features } => {
+                Request::Hello { version: *version, features: *features }
+            }
+        }
+    }
+}
+
+/// Decode one request frame from the front of `buf` without copying
+/// key/value bytes — they borrow from `buf` for the lifetime of the
+/// returned [`RequestRef`].
+pub fn decode_request_ref(buf: &[u8]) -> Result<Decoded<RequestRef<'_>>, WireError> {
     let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
         return Ok(Decoded::Incomplete);
     };
     let mut c = Cursor { buf: body, pos: 0 };
     let req = match opcode {
-        OP_PING => Request::Ping,
-        OP_GET => Request::Get { key: c.bytes()? },
-        OP_PUT => Request::Put { key: c.bytes()?, value: c.bytes()? },
-        OP_DELETE => Request::Delete { key: c.bytes()? },
+        OP_PING => RequestRef::Ping,
+        OP_GET => RequestRef::Get { key: c.bytes_ref()? },
+        OP_PUT => RequestRef::Put { key: c.bytes_ref()?, value: c.bytes_ref()? },
+        OP_DELETE => RequestRef::Delete { key: c.bytes_ref()? },
         OP_MULTI_GET => {
             let n = c.u32()? as usize;
             // A count can't promise more items than bytes remain.
@@ -636,9 +790,9 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
             }
             let mut keys = Vec::with_capacity(n);
             for _ in 0..n {
-                keys.push(c.bytes()?);
+                keys.push(c.bytes_ref()?);
             }
-            Request::MultiGet { keys }
+            RequestRef::MultiGet { keys }
         }
         OP_PUT_BATCH => {
             let n = c.u32()? as usize;
@@ -647,17 +801,26 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
             }
             let mut pairs = Vec::with_capacity(n);
             for _ in 0..n {
-                pairs.push((c.bytes()?, c.bytes()?));
+                pairs.push((c.bytes_ref()?, c.bytes_ref()?));
             }
-            Request::PutBatch { pairs }
+            RequestRef::PutBatch { pairs }
         }
-        OP_STATS => Request::Stats,
-        OP_HEALTH => Request::Health,
-        OP_METRICS => Request::Metrics,
+        OP_STATS => RequestRef::Stats,
+        OP_HEALTH => RequestRef::Health,
+        OP_METRICS => RequestRef::Metrics,
+        OP_HELLO => RequestRef::Hello { version: c.u16()?, features: c.u64()? },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finished()?;
     Ok(Decoded::Frame(consumed, id, req))
+}
+
+/// Decode one request frame from the front of `buf`.
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
+    Ok(match decode_request_ref(buf)? {
+        Decoded::Frame(consumed, id, req) => Decoded::Frame(consumed, id, req.to_owned()),
+        Decoded::Incomplete => Decoded::Incomplete,
+    })
 }
 
 /// Decode one response frame from the front of `buf`.
@@ -716,6 +879,7 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
         }),
         OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
         OP_METRICS_REPLY => Response::Metrics(c.bytes()?),
+        OP_HELLO_REPLY => Response::HelloAck { version: c.u16()?, features: c.u64()? },
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
             message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
@@ -769,6 +933,46 @@ mod tests {
         round_trip_request(Request::Stats);
         round_trip_request(Request::Health);
         round_trip_request(Request::Metrics);
+        round_trip_request(Request::Hello { version: PROTOCOL_VERSION, features: 0b101 });
+    }
+
+    #[test]
+    fn ref_decode_matches_owned_and_borrows_in_place() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Get { key: b"k".to_vec() },
+            Request::Put { key: b"key".to_vec(), value: vec![9u8; 64] },
+            Request::Delete { key: b"gone".to_vec() },
+            Request::MultiGet { keys: vec![b"a".to_vec(), vec![], b"c".to_vec()] },
+            Request::PutBatch { pairs: vec![(b"a".to_vec(), b"1".to_vec())] },
+            Request::Stats,
+            Request::Health,
+            Request::Metrics,
+            Request::Hello { version: 2, features: 3 },
+        ];
+        let mut buf = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            encode_request(&mut buf, i as u64 + 1, req).unwrap();
+        }
+        let mut offset = 0;
+        for (i, want) in reqs.iter().enumerate() {
+            match decode_request_ref(&buf[offset..]).unwrap() {
+                Decoded::Frame(consumed, id, got) => {
+                    assert_eq!(id, i as u64 + 1);
+                    assert_eq!(&got.to_owned(), want, "ref decode diverged for {want:?}");
+                    assert_eq!(got.op_index(), request_op_index(want));
+                    // The borrowed form must point into the frame buffer,
+                    // not at a copy.
+                    if let RequestRef::Put { key, .. } = got {
+                        let buf_range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+                        assert!(buf_range.contains(&(key.as_ptr() as usize)));
+                    }
+                    offset += consumed;
+                }
+                Decoded::Incomplete => panic!("complete frame decoded as incomplete"),
+            }
+        }
+        assert_eq!(offset, buf.len());
     }
 
     #[test]
@@ -806,6 +1010,7 @@ mod tests {
             }],
         }));
         round_trip_response(Response::Metrics(vec![1, 2, 3, 4, 5]));
+        round_trip_response(Response::HelloAck { version: 2, features: 0 });
         round_trip_response(Response::Error {
             code: ErrorCode::TooManyConnections,
             message: "busy".to_string(),

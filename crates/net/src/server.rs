@@ -1,5 +1,12 @@
-//! `AriaServer`: a thread-per-connection TCP front door over a
-//! [`ShardedStore`].
+//! `AriaServer`: the TCP front door over a [`ShardedStore`], serving
+//! with either engine selected by [`ServerConfig::engine`]:
+//!
+//! - [`Engine::Reactor`] (default) — epoll-based run-to-completion
+//!   reactors with cross-connection batching; see [`crate::reactor`].
+//! - [`Engine::Threads`] — one OS thread per accepted connection,
+//!   implemented in this module.
+//!
+//! # Threads engine
 //!
 //! Each accepted connection gets a dedicated thread that repeatedly
 //! decodes a *pipeline window* — every complete request frame already
@@ -10,14 +17,14 @@
 //! client amortizes per-request fixed costs exactly like an in-process
 //! batch caller.
 //!
-//! # Ordering
+//! # Ordering (both engines)
 //!
 //! Responses are written in request order per connection. Requests on
 //! the *same key* (same shard) are applied in order even within a
 //! window; requests on different shards may interleave — identical to
 //! the in-process [`ShardedStore::run_batch`] contract.
 //!
-//! # Backpressure
+//! # Backpressure (both engines)
 //!
 //! The per-connection write buffer is bounded by
 //! [`ServerConfig::write_buffer_limit`]: once a window's responses are
@@ -27,7 +34,7 @@
 //! and, once its flush times out, is disconnected — instead of growing
 //! an unbounded queue inside the server.
 //!
-//! # Shutdown
+//! # Shutdown (both engines)
 //!
 //! [`AriaServer::shutdown`] stops the acceptor, lets every connection
 //! finish the window it is processing (all its responses are flushed —
@@ -43,56 +50,33 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
-use aria_store::{KvStore, ShardHealth};
+use aria_store::sharded::{BatchOp, ShardedStore};
+use aria_store::KvStore;
 use aria_telemetry::TelemetryHub;
 
-use crate::proto::{
-    self, Decoded, ErrorCode, HealthReply, Request, Response, StatsReply, WireError,
+use crate::config::{Engine, ServerConfig};
+use crate::proto::{self, Decoded, ErrorCode, Response, WireError};
+use crate::reactor::ReactorEngine;
+use crate::service::{
+    build_response, encode_or_substitute, observe_amortized, plan_request, wire_failure_response,
+    ServerStats, Slot,
 };
 
 /// How often blocked reads and the acceptor wake to check for shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Read chunk size for connection sockets.
-const READ_CHUNK: usize = 64 * 1024;
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
-/// Tuning knobs for [`AriaServer`].
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Connections beyond this are rejected with
-    /// [`ErrorCode::TooManyConnections`] and closed.
-    pub max_connections: usize,
-    /// Max requests decoded and dispatched as one store batch.
-    pub pipeline_window: usize,
-    /// Bound on buffered response bytes before a flush is forced.
-    pub write_buffer_limit: usize,
-    /// A response flush slower than this disconnects the client.
-    pub write_timeout: Duration,
-    /// Close a connection with no complete request for this long
-    /// (`None`: idle connections are kept forever).
-    pub read_timeout: Option<Duration>,
-}
-
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            max_connections: 64,
-            pipeline_window: 256,
-            write_buffer_limit: 256 * 1024,
-            write_timeout: Duration::from_secs(5),
-            read_timeout: None,
-        }
-    }
-}
-
-struct Shared {
-    shutdown: AtomicBool,
-    active: AtomicUsize,
-    accepted: AtomicU64,
-    ops_served: AtomicU64,
-    conns: Mutex<Vec<JoinHandle<()>>>,
-    tele: Arc<TelemetryHub>,
+/// State both engines publish through: lifecycle flag, connection and
+/// op accounting, and the telemetry hub METRICS snapshots come from.
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) accepted: AtomicU64,
+    pub(crate) ops_served: AtomicU64,
+    pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) tele: Arc<TelemetryHub>,
 }
 
 /// Lock the connection registry even if a previous holder panicked. A
@@ -104,17 +88,24 @@ fn lock_conns(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>>
     shared.conns.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// The engine actually running behind an [`AriaServer`].
+enum EngineState {
+    Threads { acceptor: Option<JoinHandle<()>> },
+    Reactor(ReactorEngine),
+}
+
 /// A running TCP server; dropping (or [`AriaServer::shutdown`]) drains
 /// and joins every thread it spawned.
 pub struct AriaServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    engine: EngineState,
 }
 
 impl AriaServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// start serving `store` with the given configuration.
+    /// start serving `store` with the given configuration, using the
+    /// engine it selects ([`ServerConfig::engine`]).
     pub fn bind<S, A>(
         addr: A,
         store: Arc<ShardedStore<S>>,
@@ -141,14 +132,25 @@ impl AriaServer {
             conns: Mutex::new(Vec::new()),
             tele,
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("aria-accept".to_string())
-                .spawn(move || accept_loop(listener, store, shared, config))
-                .expect("spawn acceptor thread")
+        let engine = match config.engine() {
+            Engine::Reactor => EngineState::Reactor(ReactorEngine::start(
+                listener,
+                store,
+                Arc::clone(&shared),
+                config,
+            )?),
+            Engine::Threads => {
+                let acceptor = {
+                    let shared = Arc::clone(&shared);
+                    thread::Builder::new()
+                        .name("aria-accept".to_string())
+                        .spawn(move || accept_loop(listener, store, shared, config))
+                        .expect("spawn acceptor thread")
+                };
+                EngineState::Threads { acceptor: Some(acceptor) }
+            }
         };
-        Ok(AriaServer { addr, shared, acceptor: Some(acceptor) })
+        Ok(AriaServer { addr, shared, engine })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` binds).
@@ -182,12 +184,17 @@ impl AriaServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        let conns = std::mem::take(&mut *lock_conns(&self.shared));
-        for h in conns {
-            let _ = h.join();
+        match &mut self.engine {
+            EngineState::Threads { acceptor } => {
+                if let Some(h) = acceptor.take() {
+                    let _ = h.join();
+                }
+                let conns = std::mem::take(&mut *lock_conns(&self.shared));
+                for h in conns {
+                    let _ = h.join();
+                }
+            }
+            EngineState::Reactor(engine) => engine.stop(),
         }
     }
 }
@@ -218,9 +225,9 @@ fn accept_loop<S: KvStore + Send + 'static>(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 reap_finished(&shared);
-                if shared.active.load(Ordering::SeqCst) >= config.max_connections {
+                if shared.active.load(Ordering::SeqCst) >= config.max_connections() {
                     shared.tele.net.rejected_connections.inc();
-                    reject_connection(stream, &config);
+                    reject_connection(stream, config.write_timeout());
                     continue;
                 }
                 shared.active.fetch_add(1, Ordering::SeqCst);
@@ -260,8 +267,8 @@ fn reap_finished(shared: &Shared) {
 }
 
 /// Over the connection limit: tell the client why, then hang up.
-fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
+pub(crate) fn reject_connection(mut stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
     let mut buf = Vec::new();
     encode_or_substitute(
         &mut buf,
@@ -275,19 +282,6 @@ fn reject_connection(mut stream: TcpStream, config: &ServerConfig) {
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// What one request expects back from the flattened store batch.
-enum Slot {
-    Pong,
-    Stats,
-    Health,
-    Metrics,
-    Get,
-    Put,
-    Delete,
-    MultiGet(usize),
-    PutBatch(usize),
-}
-
 fn serve_connection<S: KvStore + Send + 'static>(
     mut stream: TcpStream,
     store: Arc<ShardedStore<S>>,
@@ -296,7 +290,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout()));
 
     let mut rbuf: Vec<u8> = Vec::new();
     let mut roff = 0usize;
@@ -305,14 +299,21 @@ fn serve_connection<S: KvStore + Send + 'static>(
     let mut last_request = Instant::now();
 
     'conn: loop {
-        // Decode one pipeline window from what is already buffered.
-        let mut window: Vec<(u64, Request)> = Vec::new();
+        // Decode and plan one pipeline window from what is already
+        // buffered: store ops are copied out of the read buffer here
+        // (the single copy on the request path), everything else is
+        // parsed in place.
+        let mut ops: Vec<BatchOp> = Vec::new();
+        let mut plan: Vec<(u64, Slot)> = Vec::new();
+        let mut op_idxs: Vec<usize> = Vec::new();
         let mut wire_failure: Option<WireError> = None;
-        while window.len() < cfg.pipeline_window {
-            match proto::decode_request(&rbuf[roff..]) {
+        while plan.len() < cfg.pipeline_window() {
+            match proto::decode_request_ref(&rbuf[roff..]) {
                 Ok(Decoded::Frame(consumed, id, req)) => {
+                    op_idxs.push(req.op_index());
+                    let slot = plan_request(&req, &mut |op| ops.push(op));
+                    plan.push((id, slot));
                     roff += consumed;
-                    window.push((id, req));
                 }
                 Ok(Decoded::Incomplete) => break,
                 Err(e) => {
@@ -329,11 +330,12 @@ fn serve_connection<S: KvStore + Send + 'static>(
             roff = 0;
         }
 
-        if !window.is_empty() {
+        if !plan.is_empty() {
             last_request = Instant::now();
-            let inflight = window.len() as u64;
+            let inflight = plan.len() as u64;
             shared.tele.net.inflight.add(inflight);
-            let dispatched = dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, window);
+            let dispatched =
+                dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, ops, plan, &op_idxs);
             shared.tele.net.inflight.sub(inflight);
             if let Err(e) = dispatched {
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
@@ -347,16 +349,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
             // The valid prefix was served; report the poisoned stream as
             // a connection-level error and hang up (resynchronization is
             // impossible once framing is lost).
-            let code = match e {
-                WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
-                WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
-                WireError::Malformed => ErrorCode::BadRequest,
-            };
-            encode_or_substitute(
-                &mut wbuf,
-                proto::CONTROL_ID,
-                &Response::Error { code, message: e.to_string() },
-            );
+            encode_or_substitute(&mut wbuf, proto::CONTROL_ID, &wire_failure_response(&e));
             let _ = flush(&mut stream, &mut wbuf, &shared.tele);
             break 'conn;
         }
@@ -376,7 +369,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    if let Some(limit) = cfg.read_timeout {
+                    if let Some(limit) = cfg.read_timeout() {
                         if last_request.elapsed() > limit {
                             break 'conn;
                         }
@@ -393,175 +386,44 @@ fn serve_connection<S: KvStore + Send + 'static>(
 
 /// Whether the buffered bytes could still contain a complete frame.
 fn window_possible(buf: &[u8]) -> bool {
-    matches!(proto::decode_request(buf), Ok(Decoded::Frame(..)) | Err(_))
+    matches!(proto::decode_request_ref(buf), Ok(Decoded::Frame(..)) | Err(_))
 }
 
-/// Flatten a window into one store batch, run it, and stream the
-/// responses out (flushing whenever the write buffer tops its bound).
+/// Run a planned window as one store batch and stream the responses
+/// out (flushing whenever the write buffer tops its bound).
+#[allow(clippy::too_many_arguments)]
 fn dispatch_window<S: KvStore + Send + 'static>(
     store: &ShardedStore<S>,
     shared: &Shared,
     cfg: &ServerConfig,
     stream: &mut TcpStream,
     wbuf: &mut Vec<u8>,
-    window: Vec<(u64, Request)>,
+    ops: Vec<BatchOp>,
+    plan: Vec<(u64, Slot)>,
+    op_idxs: &[usize],
 ) -> io::Result<()> {
     let start = Instant::now();
-    let mut ops: Vec<BatchOp> = Vec::new();
-    let mut plan: Vec<(u64, Slot)> = Vec::with_capacity(window.len());
-    let mut op_idxs: Vec<usize> = Vec::with_capacity(window.len());
-    let mut control = 0u64; // pings + stats, served without store ops
-    for (id, req) in window {
-        op_idxs.push(proto::request_op_index(&req));
-        match req {
-            Request::Ping => {
-                control += 1;
-                plan.push((id, Slot::Pong));
-            }
-            Request::Stats => {
-                control += 1;
-                plan.push((id, Slot::Stats));
-            }
-            Request::Health => {
-                control += 1;
-                plan.push((id, Slot::Health));
-            }
-            Request::Metrics => {
-                control += 1;
-                plan.push((id, Slot::Metrics));
-            }
-            Request::Get { key } => {
-                ops.push(BatchOp::Get(key));
-                plan.push((id, Slot::Get));
-            }
-            Request::Put { key, value } => {
-                ops.push(BatchOp::Put(key, value));
-                plan.push((id, Slot::Put));
-            }
-            Request::Delete { key } => {
-                ops.push(BatchOp::Delete(key));
-                plan.push((id, Slot::Delete));
-            }
-            Request::MultiGet { keys } => {
-                let n = keys.len();
-                ops.extend(keys.into_iter().map(BatchOp::Get));
-                plan.push((id, Slot::MultiGet(n)));
-            }
-            Request::PutBatch { pairs } => {
-                let n = pairs.len();
-                ops.extend(pairs.into_iter().map(|(k, v)| BatchOp::Put(k, v)));
-                plan.push((id, Slot::PutBatch(n)));
-            }
-        }
-    }
-    shared.ops_served.fetch_add(ops.len() as u64 + control, Ordering::Relaxed);
+    let served: u64 = plan.iter().map(|(_, slot)| slot.served_units()).sum();
+    shared.ops_served.fetch_add(served, Ordering::Relaxed);
 
     let mut replies = store.run_batch(ops).into_iter();
+    let stats = ServerStats {
+        ops_served: shared.ops_served.load(Ordering::Relaxed),
+        active_connections: shared.active.load(Ordering::SeqCst) as u32,
+        connections_accepted: shared.accepted.load(Ordering::SeqCst),
+    };
     for (id, slot) in plan {
-        let resp = match slot {
-            Slot::Pong => Response::Pong,
-            Slot::Stats => {
-                // Size and health come from worker-published atomics, so
-                // quarantined/recovering/dead shards are *included* (at
-                // their last-known size) instead of silently dropped —
-                // `degraded` flags that some of it may be stale.
-                let healths = store.healths();
-                let degraded = healths.iter().any(|h| h.health != ShardHealth::Healthy);
-                Response::Stats(StatsReply {
-                    shards: store.shards() as u32,
-                    len: store.len_estimate(),
-                    ops_served: shared.ops_served.load(Ordering::Relaxed),
-                    active_connections: shared.active.load(Ordering::SeqCst) as u32,
-                    connections_accepted: shared.accepted.load(Ordering::SeqCst),
-                    degraded,
-                    health: healths.into_iter().map(Into::into).collect(),
-                })
-            }
-            // HEALTH reports per-replica entries (role + lag) so clients
-            // can watch failovers and re-sync progress; STATS stays
-            // group-aggregated for capacity accounting.
-            Slot::Health => Response::Health(HealthReply {
-                shards: store.replica_healths().into_iter().map(Into::into).collect(),
-            }),
-            Slot::Metrics => Response::Metrics(shared.tele.snapshot().encode()),
-            Slot::Get => match next_get(&mut replies) {
-                Ok(v) => Response::Value(v),
-                Err(e) => error_response(&e),
-            },
-            Slot::Put => match next_put(&mut replies) {
-                Ok(()) => Response::PutOk,
-                Err(e) => error_response(&e),
-            },
-            Slot::Delete => match next_delete(&mut replies) {
-                Ok(existed) => Response::Deleted(existed),
-                Err(e) => error_response(&e),
-            },
-            Slot::MultiGet(n) => Response::Values(
-                (0..n)
-                    .map(|_| next_get(&mut replies).map_err(|e| ErrorCode::from_store_error(&e)))
-                    .collect(),
-            ),
-            Slot::PutBatch(n) => Response::BatchStatus(
-                (0..n)
-                    .map(|_| next_put(&mut replies).map_err(|e| ErrorCode::from_store_error(&e)))
-                    .collect(),
-            ),
-        };
+        let resp = build_response(slot, &mut replies, store, &shared.tele, &stats);
         encode_or_substitute(wbuf, id, &resp);
-        if wbuf.len() >= cfg.write_buffer_limit {
+        if wbuf.len() >= cfg.write_buffer_limit() {
             flush(stream, wbuf, &shared.tele)?;
         }
     }
-    // Amortized per-request service time, attributed per opcode. The
-    // whole window was one store batch, so the per-request figure is the
-    // honest number a pipelined client experiences.
-    let per_req = start.elapsed().as_nanos() as u64 / op_idxs.len().max(1) as u64;
-    for idx in op_idxs {
-        shared.tele.net.op_latency[idx].observe(per_req);
-    }
+    observe_amortized(&shared.tele, start.elapsed().as_nanos() as u64, op_idxs);
     // Every response of the window is acknowledged before more requests
     // are read: the flush is both the backpressure point and what makes
     // graceful shutdown lose nothing that was acked.
     flush(stream, wbuf, &shared.tele)
-}
-
-fn error_response(e: &aria_store::StoreError) -> Response {
-    Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
-}
-
-/// Encode `resp`; if it exceeds the wire frame cap, send a typed error
-/// frame under the same request id instead — the client always gets an
-/// answer for every id, never a silently dropped response.
-fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response) {
-    if let Err(e) = proto::encode_response(wbuf, id, resp) {
-        let fallback = Response::Error { code: ErrorCode::FrameTooLarge, message: e.to_string() };
-        proto::encode_response(wbuf, id, &fallback).expect("error frames are tiny");
-    }
-}
-
-fn next_get(
-    replies: &mut impl Iterator<Item = BatchReply>,
-) -> Result<Option<Vec<u8>>, aria_store::StoreError> {
-    match replies.next() {
-        Some(BatchReply::Get(r)) => r,
-        _ => unreachable!("store answered a get slot with a non-get reply"),
-    }
-}
-
-fn next_put(replies: &mut impl Iterator<Item = BatchReply>) -> Result<(), aria_store::StoreError> {
-    match replies.next() {
-        Some(BatchReply::Put(r)) => r,
-        _ => unreachable!("store answered a put slot with a non-put reply"),
-    }
-}
-
-fn next_delete(
-    replies: &mut impl Iterator<Item = BatchReply>,
-) -> Result<bool, aria_store::StoreError> {
-    match replies.next() {
-        Some(BatchReply::Delete(r)) => r,
-        _ => unreachable!("store answered a delete slot with a non-delete reply"),
-    }
 }
 
 fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, tele: &TelemetryHub) -> io::Result<()> {
@@ -579,6 +441,7 @@ fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, tele: &TelemetryHub) -> io:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::Request;
     use aria_sim::Enclave;
     use aria_store::{AriaHash, StoreConfig};
 
@@ -606,6 +469,7 @@ mod tests {
 
     /// A connection thread that panics while holding the registry lock
     /// must not take the acceptor (or graceful shutdown) down with it.
+    /// Threads-engine specific: the reactor has no connection registry.
     #[test]
     fn poisoned_conn_registry_keeps_accepting_and_shuts_down() {
         let store = Arc::new(
@@ -614,7 +478,8 @@ mod tests {
             })
             .unwrap(),
         );
-        let server = AriaServer::bind("127.0.0.1:0", store, ServerConfig::default()).unwrap();
+        let config = ServerConfig::builder().engine(Engine::Threads).build().unwrap();
+        let server = AriaServer::bind("127.0.0.1:0", store, config).unwrap();
         let addr = server.local_addr();
         assert!(ping_over(addr), "server must serve before the poisoning");
 
@@ -634,6 +499,24 @@ mod tests {
         assert!(ping_over(addr));
 
         // … and shutdown still drains and joins everything.
+        server.shutdown();
+    }
+
+    /// The reactor engine serves the same wire protocol: a HELLO-less
+    /// PING round-trips, and shutdown joins cleanly.
+    #[test]
+    fn reactor_engine_serves_and_shuts_down() {
+        let store = Arc::new(
+            ShardedStore::with_shards(2, |_| {
+                AriaHash::new(StoreConfig::for_keys(1_024), Arc::new(Enclave::with_default_epc()))
+            })
+            .unwrap(),
+        );
+        let config = ServerConfig::builder().engine(Engine::Reactor).reactors(2).build().unwrap();
+        let server = AriaServer::bind("127.0.0.1:0", store, config).unwrap();
+        let addr = server.local_addr();
+        assert!(ping_over(addr));
+        assert!(ping_over(addr));
         server.shutdown();
     }
 }

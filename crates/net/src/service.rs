@@ -1,0 +1,271 @@
+//! Engine-agnostic request service machinery shared by the
+//! thread-per-connection engine ([`crate::server`]) and the epoll
+//! reactor ([`crate::reactor`]): planning a decoded request into store
+//! ops plus a response [`Slot`], assembling the response from store
+//! replies, HELLO negotiation, and frame-cap-safe encoding.
+//!
+//! Both engines follow the same contract: a request is *planned*
+//! exactly once (its store ops are appended to some batch, its slot
+//! remembers what to take back), the batch runs through the sharded
+//! store, and [`build_response`] consumes exactly
+//! [`Slot::store_ops`] replies per slot, in plan order.
+
+use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
+use aria_store::{KvStore, ShardHealth};
+use aria_telemetry::TelemetryHub;
+
+use crate::proto::{self, ErrorCode, HealthReply, RequestRef, Response, StatsReply};
+
+/// What one request expects back from the flattened store batch.
+pub(crate) enum Slot {
+    Pong,
+    Stats,
+    Health,
+    Metrics,
+    Hello { version: u16, features: u64 },
+    Get,
+    Put,
+    Delete,
+    MultiGet(usize),
+    PutBatch(usize),
+}
+
+impl Slot {
+    /// How many store replies this slot consumes from the batch.
+    pub(crate) fn store_ops(&self) -> usize {
+        match self {
+            Slot::Pong | Slot::Stats | Slot::Health | Slot::Metrics | Slot::Hello { .. } => 0,
+            Slot::Get | Slot::Put | Slot::Delete => 1,
+            Slot::MultiGet(n) | Slot::PutBatch(n) => *n,
+        }
+    }
+
+    /// Operations this request counts as in `ops_served`: store ops for
+    /// data requests, one for control requests answered in-line.
+    pub(crate) fn served_units(&self) -> u64 {
+        match self {
+            Slot::Pong | Slot::Stats | Slot::Health | Slot::Metrics | Slot::Hello { .. } => 1,
+            _ => self.store_ops() as u64,
+        }
+    }
+}
+
+/// Plan one decoded request: append its store ops (copied out of the
+/// read buffer here — the single copy on the request path) through
+/// `sink`, and return the [`Slot`] that will consume the replies.
+pub(crate) fn plan_request(req: &RequestRef<'_>, sink: &mut impl FnMut(BatchOp)) -> Slot {
+    match req {
+        RequestRef::Ping => Slot::Pong,
+        RequestRef::Stats => Slot::Stats,
+        RequestRef::Health => Slot::Health,
+        RequestRef::Metrics => Slot::Metrics,
+        RequestRef::Hello { version, features } => {
+            Slot::Hello { version: *version, features: *features }
+        }
+        RequestRef::Get { key } => {
+            sink(BatchOp::Get(key.to_vec()));
+            Slot::Get
+        }
+        RequestRef::Put { key, value } => {
+            sink(BatchOp::Put(key.to_vec(), value.to_vec()));
+            Slot::Put
+        }
+        RequestRef::Delete { key } => {
+            sink(BatchOp::Delete(key.to_vec()));
+            Slot::Delete
+        }
+        RequestRef::MultiGet { keys } => {
+            for key in keys {
+                sink(BatchOp::Get(key.to_vec()));
+            }
+            Slot::MultiGet(keys.len())
+        }
+        RequestRef::PutBatch { pairs } => {
+            for (key, value) in pairs {
+                sink(BatchOp::Put(key.to_vec(), value.to_vec()));
+            }
+            Slot::PutBatch(pairs.len())
+        }
+    }
+}
+
+/// Server-side counters a STATS reply reports; each engine snapshots
+/// its own bookkeeping into this.
+pub(crate) struct ServerStats {
+    pub ops_served: u64,
+    pub active_connections: u32,
+    pub connections_accepted: u64,
+}
+
+/// HELLO negotiation: meet at the lower protocol version (never below
+/// the base version every peer speaks) and grant only the feature bits
+/// both sides know.
+pub(crate) fn negotiate_hello(version: u16, features: u64) -> Response {
+    Response::HelloAck {
+        version: version.clamp(proto::BASE_PROTOCOL_VERSION, proto::PROTOCOL_VERSION),
+        features: features & proto::features::SUPPORTED,
+    }
+}
+
+/// Assemble the response for one planned slot, consuming exactly
+/// [`Slot::store_ops`] replies from `replies`.
+pub(crate) fn build_response<S: KvStore + Send + 'static>(
+    slot: Slot,
+    replies: &mut impl Iterator<Item = BatchReply>,
+    store: &ShardedStore<S>,
+    tele: &TelemetryHub,
+    stats: &ServerStats,
+) -> Response {
+    match slot {
+        Slot::Pong => Response::Pong,
+        Slot::Hello { version, features } => negotiate_hello(version, features),
+        Slot::Stats => {
+            // Size and health come from worker-published atomics, so
+            // quarantined/recovering/dead shards are *included* (at
+            // their last-known size) instead of silently dropped —
+            // `degraded` flags that some of it may be stale.
+            let healths = store.healths();
+            let degraded = healths.iter().any(|h| h.health != ShardHealth::Healthy);
+            Response::Stats(StatsReply {
+                shards: store.shards() as u32,
+                len: store.len_estimate(),
+                ops_served: stats.ops_served,
+                active_connections: stats.active_connections,
+                connections_accepted: stats.connections_accepted,
+                degraded,
+                health: healths.into_iter().map(Into::into).collect(),
+            })
+        }
+        // HEALTH reports per-replica entries (role + lag) so clients
+        // can watch failovers and re-sync progress; STATS stays
+        // group-aggregated for capacity accounting.
+        Slot::Health => Response::Health(HealthReply {
+            shards: store.replica_healths().into_iter().map(Into::into).collect(),
+        }),
+        Slot::Metrics => Response::Metrics(tele.snapshot().encode()),
+        Slot::Get => match next_get(replies) {
+            Ok(v) => Response::Value(v),
+            Err(e) => error_response(&e),
+        },
+        Slot::Put => match next_put(replies) {
+            Ok(()) => Response::PutOk,
+            Err(e) => error_response(&e),
+        },
+        Slot::Delete => match next_delete(replies) {
+            Ok(existed) => Response::Deleted(existed),
+            Err(e) => error_response(&e),
+        },
+        Slot::MultiGet(n) => Response::Values(
+            (0..n)
+                .map(|_| next_get(replies).map_err(|e| ErrorCode::from_store_error(&e)))
+                .collect(),
+        ),
+        Slot::PutBatch(n) => Response::BatchStatus(
+            (0..n)
+                .map(|_| next_put(replies).map_err(|e| ErrorCode::from_store_error(&e)))
+                .collect(),
+        ),
+    }
+}
+
+pub(crate) fn error_response(e: &aria_store::StoreError) -> Response {
+    Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
+}
+
+/// Encode `resp`; if it exceeds the wire frame cap, send a typed error
+/// frame under the same request id instead — the client always gets an
+/// answer for every id, never a silently dropped response.
+pub(crate) fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response) {
+    if let Err(e) = proto::encode_response(wbuf, id, resp) {
+        let fallback = Response::Error { code: ErrorCode::FrameTooLarge, message: e.to_string() };
+        proto::encode_response(wbuf, id, &fallback).expect("error frames are tiny");
+    }
+}
+
+/// Map a framing failure on the inbound stream to the error frame that
+/// is sent (under [`proto::CONTROL_ID`]) before the connection closes.
+pub(crate) fn wire_failure_response(e: &proto::WireError) -> Response {
+    let code = match e {
+        proto::WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+        proto::WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+        proto::WireError::Malformed => ErrorCode::BadRequest,
+    };
+    Response::Error { code, message: e.to_string() }
+}
+
+/// Record one window/tick worth of per-opcode service latency: the
+/// whole window was one store submission, so the amortized per-request
+/// figure is the honest number a pipelined client experiences.
+pub(crate) fn observe_amortized(tele: &TelemetryHub, elapsed_nanos: u64, op_idxs: &[usize]) {
+    let per_req = elapsed_nanos / op_idxs.len().max(1) as u64;
+    for &idx in op_idxs {
+        tele.net.op_latency[idx].observe(per_req);
+    }
+}
+
+fn next_get(
+    replies: &mut impl Iterator<Item = BatchReply>,
+) -> Result<Option<Vec<u8>>, aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Get(r)) => r,
+        _ => unreachable!("store answered a get slot with a non-get reply"),
+    }
+}
+
+fn next_put(replies: &mut impl Iterator<Item = BatchReply>) -> Result<(), aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Put(r)) => r,
+        _ => unreachable!("store answered a put slot with a non-put reply"),
+    }
+}
+
+fn next_delete(
+    replies: &mut impl Iterator<Item = BatchReply>,
+) -> Result<bool, aria_store::StoreError> {
+    match replies.next() {
+        Some(BatchReply::Delete(r)) => r,
+        _ => unreachable!("store answered a delete slot with a non-delete reply"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_negotiation_meets_low_and_masks_features() {
+        // Newer client: meet at our version, grant no unknown bits.
+        match negotiate_hello(9, u64::MAX) {
+            Response::HelloAck { version, features } => {
+                assert_eq!(version, proto::PROTOCOL_VERSION);
+                assert_eq!(features, proto::features::SUPPORTED);
+            }
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        // Older (or zero) client version never negotiates below base.
+        match negotiate_hello(0, 0) {
+            Response::HelloAck { version, features } => {
+                assert_eq!(version, proto::BASE_PROTOCOL_VERSION);
+                assert_eq!(features, 0);
+            }
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_counts_store_ops_and_served_units() {
+        let mut ops = Vec::new();
+        let slot =
+            plan_request(&RequestRef::MultiGet { keys: vec![b"a", b"b", b"c"] }, &mut |op| {
+                ops.push(op)
+            });
+        assert_eq!(slot.store_ops(), 3);
+        assert_eq!(slot.served_units(), 3);
+        assert_eq!(ops.len(), 3);
+        let slot =
+            plan_request(&RequestRef::Hello { version: 2, features: 0 }, &mut |op| ops.push(op));
+        assert_eq!(slot.store_ops(), 0);
+        assert_eq!(slot.served_units(), 1);
+        assert_eq!(ops.len(), 3, "control requests push no store ops");
+    }
+}

@@ -53,18 +53,18 @@ fn sharded(shards: usize) -> Arc<ShardedStore<AriaHash>> {
     )
 }
 
+fn quick_config() -> ClientConfig {
+    ClientConfig {
+        op_timeout: Duration::from_secs(10),
+        connect_timeout: Duration::from_secs(1),
+        reconnect_attempts: 3,
+        reconnect_backoff: Duration::from_millis(10),
+        ..ClientConfig::default()
+    }
+}
+
 fn quick_client(addr: std::net::SocketAddr) -> AriaClient {
-    AriaClient::connect(
-        addr,
-        ClientConfig {
-            op_timeout: Duration::from_secs(10),
-            connect_timeout: Duration::from_secs(1),
-            reconnect_attempts: 3,
-            reconnect_backoff: Duration::from_millis(10),
-            ..ClientConfig::default()
-        },
-    )
-    .expect("connect to loopback server")
+    AriaClient::connect(addr, quick_config()).expect("connect to loopback server")
 }
 
 #[test]
@@ -160,18 +160,16 @@ fn connection_limit_rejects_cleanly() {
     let server = AriaServer::bind(
         "127.0.0.1:0",
         sharded(1),
-        ServerConfig { max_connections: 1, ..ServerConfig::default() },
+        ServerConfig::builder().max_connections(1).reactors(1).build().unwrap(),
     )
     .unwrap();
     let mut first = quick_client(server.local_addr());
     first.ping().unwrap(); // the slot is provably taken
 
-    let mut second = quick_client(server.local_addr());
-    match second.ping() {
+    // The HELLO handshake consumes the rejection frame, so an
+    // over-limit connection fails at connect time with the typed code.
+    match AriaClient::connect(server.local_addr(), quick_config()) {
         Err(NetError::Server { code, .. }) => assert_eq!(code, ErrorCode::TooManyConnections),
-        // The rejection frame may race the first request; a closed
-        // connection is acceptable only if the code was consumed — so
-        // demand the typed code.
         other => panic!("want TooManyConnections, got {other:?}"),
     }
 
@@ -179,9 +177,11 @@ fn connection_limit_rejects_cleanly() {
     drop(first);
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let mut retry = quick_client(server.local_addr());
-        match retry.ping() {
-            Ok(()) => break,
+        match AriaClient::connect(server.local_addr(), quick_config()) {
+            Ok(mut retry) => {
+                retry.ping().expect("admitted connection must serve");
+                break;
+            }
             Err(NetError::Server { code: ErrorCode::TooManyConnections, .. })
                 if std::time::Instant::now() < deadline =>
             {
@@ -343,7 +343,7 @@ fn bounded_write_buffer_streams_large_windows() {
     let server = AriaServer::bind(
         "127.0.0.1:0",
         Arc::clone(&store),
-        ServerConfig { write_buffer_limit: 8 * 1024, ..ServerConfig::default() },
+        ServerConfig::builder().write_buffer_limit(8 * 1024).build().unwrap(),
     )
     .unwrap();
     let mut client = quick_client(server.local_addr());

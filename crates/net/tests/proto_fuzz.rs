@@ -4,9 +4,34 @@
 //! and never panic, over-read, or accept a frame beyond the 4 MiB cap.
 
 use aria_net::proto::{
-    self, decode_request, decode_response, Decoded, Request, Response, WireError, MAX_FRAME_LEN,
+    self, decode_request, decode_request_ref, decode_response, Decoded, Request, Response,
+    WireError, MAX_FRAME_LEN,
 };
 use proptest::prelude::*;
+
+/// A small request generator for stream-level properties: every opcode
+/// the wire speaks, with short keys/values so many frames fit a case.
+fn arb_request() -> impl Strategy<Value = Request> {
+    fn key() -> impl Strategy<Value = Vec<u8>> {
+        collection::vec(any::<u8>(), 0..24)
+    }
+    fn val() -> impl Strategy<Value = Vec<u8>> {
+        collection::vec(any::<u8>(), 0..48)
+    }
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Health),
+        Just(Request::Metrics),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(version, features)| Request::Hello { version, features }),
+        key().prop_map(|key| Request::Get { key }),
+        (key(), val()).prop_map(|(key, value)| Request::Put { key, value }),
+        key().prop_map(|key| Request::Delete { key }),
+        collection::vec(key(), 0..4).prop_map(|keys| Request::MultiGet { keys }),
+        collection::vec((key(), val()), 0..4).prop_map(|pairs| Request::PutBatch { pairs }),
+    ]
+}
 
 /// Exercise one decoder over a buffer and sanity-check what comes back.
 fn check_decode<T>(
@@ -99,6 +124,105 @@ proptest! {
         let pos = pos_pick % buf.len();
         buf[pos] ^= 1 << bit;
         check_decode(&buf, decode_request)?;
+    }
+
+    /// HELLO is version/feature negotiation — it must round-trip every
+    /// possible (version, features) pair through both decoders, and the
+    /// borrowed decode must agree with the owned one.
+    #[test]
+    fn hello_round_trips_all_versions(id in any::<u64>(), version in any::<u16>(), features in any::<u64>()) {
+        let req = Request::Hello { version, features };
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, id, &req).expect("hello frames are tiny");
+        match decode_request(&buf) {
+            Ok(Decoded::Frame(consumed, got_id, got)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(&got, &req);
+            }
+            other => prop_assert!(false, "hello failed to decode: {other:?}"),
+        }
+        match decode_request_ref(&buf) {
+            Ok(Decoded::Frame(_, got_id, got)) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req);
+            }
+            other => prop_assert!(false, "borrowed hello decode failed: {other:?}"),
+        }
+        // Truncations stay Incomplete — never a bogus negotiation.
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(decode_request(&buf[..cut]), Ok(Decoded::Incomplete)),
+                "truncated hello at {} must be Incomplete", cut
+            );
+        }
+    }
+
+    /// Stream reassembly, the reactor's read path in miniature: several
+    /// frames encoded back to back, delivered in arbitrary chunk splits,
+    /// must decode to exactly the same sequence as one contiguous
+    /// buffer — no frame lost, duplicated, reordered, or corrupted at a
+    /// chunk boundary.
+    #[test]
+    fn split_reads_reassemble_identically(
+        reqs in collection::vec(arb_request(), 1..8),
+        splits in collection::vec(1usize..64, 0..16),
+    ) {
+        let mut stream = Vec::new();
+        for (id, req) in reqs.iter().enumerate() {
+            proto::encode_request(&mut stream, id as u64, req).expect("small frame encodes");
+        }
+
+        // Reference: decode the whole stream in one pass.
+        let mut expect = Vec::new();
+        let mut off = 0;
+        while off < stream.len() {
+            match decode_request(&stream[off..]) {
+                Ok(Decoded::Frame(consumed, id, req)) => {
+                    off += consumed;
+                    expect.push((id, req));
+                }
+                other => prop_assert!(false, "contiguous decode failed: {other:?}"),
+            }
+        }
+        prop_assert_eq!(expect.len(), reqs.len());
+
+        // Replay through an incremental buffer, feeding one chunk at a
+        // time (chunk sizes from `splits`, cycled; remainder at the
+        // end), draining every complete frame after each arrival —
+        // exactly what a reactor does with its per-connection rbuf.
+        let mut got = Vec::new();
+        let mut rbuf: Vec<u8> = Vec::new();
+        let mut fed = 0;
+        let mut split_idx = 0;
+        while fed < stream.len() {
+            let step = if splits.is_empty() {
+                stream.len() - fed
+            } else {
+                splits[split_idx % splits.len()].min(stream.len() - fed)
+            };
+            split_idx += 1;
+            rbuf.extend_from_slice(&stream[fed..fed + step]);
+            fed += step;
+
+            let mut roff = 0;
+            loop {
+                match decode_request_ref(&rbuf[roff..]) {
+                    Ok(Decoded::Frame(consumed, id, req)) => {
+                        got.push((id, req.to_owned()));
+                        roff += consumed;
+                    }
+                    Ok(Decoded::Incomplete) => break,
+                    Err(e) => {
+                        prop_assert!(false, "split decode failed: {e:?}");
+                        break;
+                    }
+                }
+            }
+            rbuf.drain(..roff);
+        }
+        prop_assert!(rbuf.is_empty(), "stream ended with {} undecoded bytes", rbuf.len());
+        prop_assert_eq!(got, expect);
     }
 
     /// Hostile batch counts (`MultiGet`/`PutBatch` claiming more items

@@ -789,18 +789,49 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         let total = ops.len();
         let mut per_group_ops: Vec<Vec<BatchOp>> = (0..groups).map(|_| Vec::new()).collect();
         let mut per_group_idx: Vec<Vec<usize>> = (0..groups).map(|_| Vec::new()).collect();
-        let mut per_group_kinds: Vec<Vec<OpKind>> = (0..groups).map(|_| Vec::new()).collect();
         for (i, op) in ops.into_iter().enumerate() {
             let group = self.shard_of(op.key());
             per_group_idx[group].push(i);
-            per_group_kinds[group].push(OpKind::of(&op));
             per_group_ops[group].push(op);
         }
         let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
-        let refuse = |out: &mut Vec<Option<BatchReply>>, group: usize, err: &StoreError| {
-            for (&i, &kind) in per_group_idx[group].iter().zip(&per_group_kinds[group]) {
-                out[i] = Some(kind.with_err(err.clone()));
+        for (group, replies) in self.run_sharded(per_group_ops).into_iter().enumerate() {
+            debug_assert_eq!(replies.len(), per_group_idx[group].len());
+            for (&i, reply) in per_group_idx[group].iter().zip(replies) {
+                out[i] = Some(reply);
             }
+        }
+        out.into_iter().map(|r| r.expect("every op answered")).collect()
+    }
+
+    /// Run pre-grouped batches, one op vector per shard group, skipping
+    /// the partitioning pass of [`ShardedStore::run_batch`]. This is
+    /// the reactor's submission path: the network layer already groups
+    /// decoded ops by shard across all of a reactor's connections, so
+    /// the whole tick reaches the workers as one hand-off per shard.
+    ///
+    /// `per_group.len()` must equal [`ShardedStore::shards`], and every
+    /// op in `per_group[g]` must satisfy `shard_of(op.key()) == g`
+    /// (checked in debug builds) — a misrouted op would be applied on
+    /// the wrong shard. Replies come back in the same shape: one vector
+    /// per group, one reply per op in submission order. Failure
+    /// semantics are identical to [`ShardedStore::run_batch`].
+    pub fn run_sharded(&self, per_group: Vec<Vec<BatchOp>>) -> Vec<Vec<BatchReply>> {
+        assert_eq!(per_group.len(), self.inner.groups, "one op vector per shard group");
+        #[cfg(debug_assertions)]
+        for (group, gops) in per_group.iter().enumerate() {
+            for op in gops {
+                debug_assert_eq!(self.shard_of(op.key()), group, "op routed to the wrong group");
+            }
+        }
+        let mut per_group_kinds: Vec<Vec<OpKind>> = Vec::with_capacity(per_group.len());
+        for gops in &per_group {
+            per_group_kinds.push(gops.iter().map(OpKind::of).collect());
+        }
+        let mut out: Vec<Option<Vec<BatchReply>>> = (0..per_group.len()).map(|_| None).collect();
+        let refuse = |out: &mut Vec<Option<Vec<BatchReply>>>, group: usize, err: &StoreError| {
+            out[group] =
+                Some(per_group_kinds[group].iter().map(|k| k.with_err(err.clone())).collect());
         };
         // Send every group its slice first so they all work in parallel,
         // then collect. `backups` carries the receivers whose replies
@@ -813,8 +844,9 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             backups: Vec<(usize, u64, Receiver<Vec<BatchReply>>)>,
         }
         let mut pending: Vec<Pending> = Vec::new();
-        for (group, gops) in per_group_ops.into_iter().enumerate() {
+        for (group, gops) in per_group.into_iter().enumerate() {
             if gops.is_empty() {
+                out[group] = Some(Vec::new());
                 continue;
             }
             match self.dispatch_group(group, gops) {
@@ -827,11 +859,9 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         for p in pending {
             match p.rx.recv() {
                 Ok(replies) => {
-                    debug_assert_eq!(replies.len(), per_group_idx[p.group].len());
+                    debug_assert_eq!(replies.len(), per_group_kinds[p.group].len());
                     self.observe_replies(p.group, p.primary, &replies);
-                    for (&i, reply) in per_group_idx[p.group].iter().zip(replies) {
-                        out[i] = Some(reply);
-                    }
+                    out[p.group] = Some(replies);
                 }
                 // The primary died after accepting the request (reply
                 // sender dropped during unwind): the ops are
@@ -853,7 +883,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                 }
             }
         }
-        out.into_iter().map(|r| r.expect("every op answered")).collect()
+        out.into_iter().map(|r| r.expect("every group answered")).collect()
     }
 
     /// Route one group's op slice: pick (and if needed promote) the
@@ -1981,6 +2011,48 @@ mod tests {
             match reply {
                 BatchReply::Get(Ok(Some(v))) => assert_eq!(v, (i as u32).to_le_bytes()),
                 other => panic!("op {i}: unexpected reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_matches_run_batch() {
+        let store = small_sharded(4);
+        // Pre-group the ops exactly as the reactor would, submit via
+        // the pre-grouped path, and check shape + contents.
+        let mut per_group: Vec<Vec<BatchOp>> = (0..4).map(|_| Vec::new()).collect();
+        let mut group_of: Vec<usize> = Vec::new();
+        for i in 0..48u32 {
+            let key = format!("rs{i}").into_bytes();
+            let g = store.shard_of(&key);
+            group_of.push(g);
+            per_group[g].push(BatchOp::Put(key, i.to_le_bytes().to_vec()));
+        }
+        let replies = store.run_sharded(per_group.clone());
+        assert_eq!(replies.len(), 4);
+        for (g, group_replies) in replies.iter().enumerate() {
+            assert_eq!(group_replies.len(), per_group[g].len(), "group {g} reply shape");
+            assert!(group_replies.iter().all(|r| matches!(r, BatchReply::Put(Ok(())))));
+        }
+        // Every key is readable back through the ordinary path.
+        for i in 0..48u32 {
+            let key = format!("rs{i}").into_bytes();
+            assert_eq!(store.get(&key).unwrap().unwrap(), i.to_le_bytes());
+        }
+        // Reads through run_sharded see the same data, and empty groups
+        // answer with empty vectors.
+        let mut gets: Vec<Vec<BatchOp>> = (0..4).map(|_| Vec::new()).collect();
+        let key0 = b"rs0".to_vec();
+        gets[group_of[0]].push(BatchOp::Get(key0));
+        let got = store.run_sharded(gets);
+        for (g, group_replies) in got.iter().enumerate() {
+            if g == group_of[0] {
+                assert_eq!(
+                    group_replies,
+                    &vec![BatchReply::Get(Ok(Some(0u32.to_le_bytes().to_vec())))]
+                );
+            } else {
+                assert!(group_replies.is_empty(), "group {g} had no ops");
             }
         }
     }

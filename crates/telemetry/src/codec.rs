@@ -314,9 +314,13 @@ fn encode_net(b: &mut Vec<u8>, n: &NetSnapshot) {
         n.frame_bytes_out,
         n.rejected_connections,
         n.timed_out_connections,
+        n.reactor_conns,
     ] {
         put_u64(b, v);
     }
+    put_hist(b, &n.tick_batch_size);
+    put_u64(b, n.reactor_ops);
+    put_u64(b, n.reactor_submissions);
 }
 
 fn decode_net(c: &mut Cursor<'_>) -> Result<NetSnapshot, CodecError> {
@@ -332,6 +336,10 @@ fn decode_net(c: &mut Cursor<'_>) -> Result<NetSnapshot, CodecError> {
         frame_bytes_out: c.u64()?,
         rejected_connections: c.u64()?,
         timed_out_connections: c.u64()?,
+        reactor_conns: c.u64()?,
+        tick_batch_size: c.hist()?,
+        reactor_ops: c.u64()?,
+        reactor_submissions: c.u64()?,
     })
 }
 
@@ -390,6 +398,10 @@ mod tests {
         hub.shards[1].store.replica_lag.set(12);
         hub.net.op_latency[1].observe(999);
         hub.net.frame_bytes_in.add(4096);
+        hub.net.reactor_conns.set(3);
+        hub.net.tick_batch_size.observe(17);
+        hub.net.reactor_ops.add(17);
+        hub.net.reactor_submissions.add(2);
         hub.chaos.record_injection(3);
         hub.chaos.record_injection(7);
         hub.slow_ops.record(crate::trace::SlowOp {

@@ -104,6 +104,11 @@ impl TelemetrySnapshot {
             "",
             self.net.timed_out_connections,
         );
+        prom_line(&mut o, "aria_net_reactor_conns", "", self.net.reactor_conns);
+        prom_hist(&mut o, "aria_net_tick_batch_size_ops", "", &self.net.tick_batch_size);
+        prom_line(&mut o, "aria_net_reactor_ops_total", "", self.net.reactor_ops);
+        prom_line(&mut o, "aria_net_reactor_submissions_total", "", self.net.reactor_submissions);
+        let _ = writeln!(o, "aria_net_coalesce_ratio {:.3}", self.net.coalesce_ratio());
         for (i, &v) in self.chaos.injected.iter().enumerate() {
             let name = FAULT_SITE_NAMES.get(i).copied().unwrap_or("unknown");
             prom_line(&mut o, "aria_chaos_injected_total", &format!("site=\"{name}\""), v);
@@ -143,12 +148,21 @@ impl TelemetrySnapshot {
         }
         o.push_str(&format!(
             "}},\"inflight\":{},\"frame_bytes_in\":{},\"frame_bytes_out\":{},\
-             \"rejected_connections\":{},\"timed_out_connections\":{}}}",
+             \"rejected_connections\":{},\"timed_out_connections\":{},\
+             \"reactor_conns\":{},\"tick_batch_size\":",
             self.net.inflight,
             self.net.frame_bytes_in,
             self.net.frame_bytes_out,
             self.net.rejected_connections,
-            self.net.timed_out_connections
+            self.net.timed_out_connections,
+            self.net.reactor_conns
+        ));
+        hist_json(&mut o, &self.net.tick_batch_size);
+        o.push_str(&format!(
+            ",\"reactor_ops\":{},\"reactor_submissions\":{},\"coalesce_ratio\":{:.3}}}",
+            self.net.reactor_ops,
+            self.net.reactor_submissions,
+            self.net.coalesce_ratio()
         ));
         o.push_str(",\"chaos\":{");
         for (i, &v) in self.chaos.injected.iter().enumerate() {
@@ -268,6 +282,8 @@ mod tests {
             "aria_net_op_latency_nanos_sum{op=\"get\"}",
             "aria_chaos_injected_total{site=\"entry_flip\"}",
             "aria_net_inflight",
+            "aria_net_reactor_conns",
+            "aria_net_coalesce_ratio",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -20,8 +20,10 @@ use crate::trace::{SlowOp, SlowOpTracer};
 ///
 /// v2 added the replication fields (`failovers`, `resyncs`,
 /// `resync_bytes`, `replica_role`, `replica_lag`) to the store section
-/// and grew the chaos site table to 8.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// and grew the chaos site table to 8. v3 grew the net opcode table to
+/// 10 (`hello`) and added the reactor fields (`reactor_conns`,
+/// `tick_batch_size`, `reactor_ops`, `reactor_submissions`).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -55,11 +57,21 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
 ];
 
 /// Number of tracked wire opcodes.
-pub const NET_OPS: usize = 9;
+pub const NET_OPS: usize = 10;
 
 /// Stable names for the tracked wire opcodes.
-pub const NET_OP_NAMES: [&str; NET_OPS] =
-    ["ping", "get", "put", "delete", "multi_get", "put_batch", "stats", "health", "metrics"];
+pub const NET_OP_NAMES: [&str; NET_OPS] = [
+    "ping",
+    "get",
+    "put",
+    "delete",
+    "multi_get",
+    "put_batch",
+    "stats",
+    "health",
+    "metrics",
+    "hello",
+];
 
 /// Per-shard health-event ring capacity.
 pub const HEALTH_EVENT_CAP: usize = 64;
@@ -594,6 +606,18 @@ pub struct NetTelemetry {
     pub rejected_connections: Counter,
     /// Connections dropped for idling past the read timeout.
     pub timed_out_connections: Counter,
+    /// Connections currently pinned to reactor threads (gauge; 0 on
+    /// the thread-per-connection engine).
+    pub reactor_conns: Gauge,
+    /// Decoded store ops handed off per reactor tick (only ticks that
+    /// submitted at least one op are recorded).
+    pub tick_batch_size: Histogram,
+    /// Store ops served through coalesced reactor tick batches.
+    pub reactor_ops: Counter,
+    /// Store submissions made by reactors (one per shard with work per
+    /// tick). `reactor_ops / reactor_submissions` is the coalesce
+    /// ratio: average ops amortized over one store hand-off.
+    pub reactor_submissions: Counter,
 }
 
 impl Default for NetTelemetry {
@@ -605,6 +629,10 @@ impl Default for NetTelemetry {
             frame_bytes_out: Counter::new(),
             rejected_connections: Counter::new(),
             timed_out_connections: Counter::new(),
+            reactor_conns: Gauge::new(),
+            tick_batch_size: Histogram::new(),
+            reactor_ops: Counter::new(),
+            reactor_submissions: Counter::new(),
         }
     }
 }
@@ -624,6 +652,14 @@ pub struct NetSnapshot {
     pub rejected_connections: u64,
     /// Timed-out connections.
     pub timed_out_connections: u64,
+    /// Connections currently pinned to reactors.
+    pub reactor_conns: u64,
+    /// Ops handed off per reactor tick.
+    pub tick_batch_size: HistSnapshot,
+    /// Ops served through reactor tick batches.
+    pub reactor_ops: u64,
+    /// Store submissions made by reactors.
+    pub reactor_submissions: u64,
 }
 
 impl Default for NetSnapshot {
@@ -635,6 +671,10 @@ impl Default for NetSnapshot {
             frame_bytes_out: 0,
             rejected_connections: 0,
             timed_out_connections: 0,
+            reactor_conns: 0,
+            tick_batch_size: HistSnapshot::empty(),
+            reactor_ops: 0,
+            reactor_submissions: 0,
         }
     }
 }
@@ -649,12 +689,26 @@ impl NetTelemetry {
             frame_bytes_out: self.frame_bytes_out.get(),
             rejected_connections: self.rejected_connections.get(),
             timed_out_connections: self.timed_out_connections.get(),
+            reactor_conns: self.reactor_conns.get(),
+            tick_batch_size: self.tick_batch_size.snapshot(),
+            reactor_ops: self.reactor_ops.get(),
+            reactor_submissions: self.reactor_submissions.get(),
         }
     }
 }
 
 impl NetSnapshot {
-    /// Activity since `earlier`; the inflight gauge keeps its reading.
+    /// Average decoded ops amortized over one reactor → store
+    /// submission (0 when the reactor engine is idle or unused).
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.reactor_submissions == 0 {
+            0.0
+        } else {
+            self.reactor_ops as f64 / self.reactor_submissions as f64
+        }
+    }
+
+    /// Activity since `earlier`; the gauges keep their readings.
     pub fn delta(&self, earlier: &NetSnapshot) -> NetSnapshot {
         NetSnapshot {
             op_latency: self
@@ -672,6 +726,12 @@ impl NetSnapshot {
             timed_out_connections: self
                 .timed_out_connections
                 .saturating_sub(earlier.timed_out_connections),
+            reactor_conns: self.reactor_conns,
+            tick_batch_size: self.tick_batch_size.delta(&earlier.tick_batch_size),
+            reactor_ops: self.reactor_ops.saturating_sub(earlier.reactor_ops),
+            reactor_submissions: self
+                .reactor_submissions
+                .saturating_sub(earlier.reactor_submissions),
         }
     }
 }
@@ -958,6 +1018,7 @@ impl TelemetrySnapshot {
         for h in &self.net.op_latency {
             hists.push(("net_op_latency", h));
         }
+        hists.push(("tick_batch_size", &self.net.tick_batch_size));
         for (name, h) in hists {
             let (lo, hi) = h.sum_bounds();
             debug_assert!(

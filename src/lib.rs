@@ -69,7 +69,10 @@ pub mod prelude {
     pub use aria_cache::{CacheConfig, EvictionPolicy, SwapMode};
     pub use aria_crypto::{CipherSuite, RealSuite};
     pub use aria_mem::AllocStrategy;
-    pub use aria_net::{AriaClient, AriaServer, ClientConfig, ErrorCode, NetError, ServerConfig};
+    pub use aria_net::{
+        AriaClient, AriaServer, ClientConfig, Engine, ErrorCode, NetConfigError, NetError,
+        ServerConfig,
+    };
     pub use aria_shieldstore::ShieldStore;
     pub use aria_sim::{CostModel, Enclave, DEFAULT_EPC_BYTES};
     pub use aria_store::{

@@ -62,7 +62,7 @@ fn replicated_server() -> (Arc<ShardedStore<AriaHash>>, AriaServer) {
     let server = AriaServer::bind(
         "127.0.0.1:0",
         Arc::clone(&store),
-        ServerConfig { max_connections: CLIENTS + 4, ..ServerConfig::default() },
+        ServerConfig::builder().max_connections(CLIENTS + 4).build().expect("valid server config"),
     )
     .expect("bind loopback server");
     (store, server)
