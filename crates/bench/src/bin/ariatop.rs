@@ -142,6 +142,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
             us(lat.percentile(0.99)),
             format!("{:.1}", d.cache.hit_ratio() * 100.0),
             d.store.keys_live.to_string(),
+            d.store.hot_entries.to_string(),
+            d.store.cold_entries.to_string(),
             fmt_tput(d.cache.evictions as f64 / secs),
             cum.store.violations.iter().sum::<u64>().to_string(),
             cum.store.failovers.to_string(),
@@ -161,6 +163,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         us(lat.percentile(0.99)),
         format!("{:.1}", agg.cache.hit_ratio() * 100.0),
         agg.store.keys_live.to_string(),
+        agg.store.hot_entries.to_string(),
+        agg.store.cold_entries.to_string(),
         fmt_tput(agg.cache.evictions as f64 / secs),
         cum_agg.store.violations.iter().sum::<u64>().to_string(),
         cum_agg.store.failovers.to_string(),
@@ -169,10 +173,14 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         "shards",
         &[
             "shard", "state", "role", "lag", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys",
-            "evict/s", "viol", "fover",
+            "hot", "cold", "evict/s", "viol", "fover",
         ],
         &rows,
     );
+    let recovering = snap.shards.iter().filter(|s| s.store.health_state == 2).count();
+    if recovering > 0 {
+        println!("\nrecovering: {recovering} shard(s) replaying / verifying logs");
+    }
 
     let n = &delta.net;
     println!(

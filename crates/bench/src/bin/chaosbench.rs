@@ -318,11 +318,15 @@ fn deliver(
         }
         // Write-path sites are the HeapInjector's job, not ours; the
         // replication sites belong to the failover mode's killer and
-        // re-sync hook.
+        // re-sync hook; the durability-log sites belong to durabench,
+        // which owns a tiered store with an on-disk log to strike.
         FaultSite::EntryFlip
         | FaultSite::TornWrite
         | FaultSite::PrimaryKill
-        | FaultSite::ReplicaDivergence => false,
+        | FaultSite::ReplicaDivergence
+        | FaultSite::LogBitFlip
+        | FaultSite::TornAppend
+        | FaultSite::StaleCheckpointRollback => false,
     }
 }
 

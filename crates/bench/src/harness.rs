@@ -219,6 +219,7 @@ impl RunConfig {
             alloc: self.alloc,
             master_key: [0x42; 16],
             seed: self.seed,
+            hot_budget_bytes: None,
         }
     }
 

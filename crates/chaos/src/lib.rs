@@ -83,10 +83,23 @@ pub enum FaultSite {
     /// `StoreError::ReplicaDiverged` — the replica must never be
     /// re-admitted.
     ReplicaDivergence = 7,
+    /// Flip one byte of a sealed record in the cold segment log on
+    /// disk. Detected at read time as `Violation::EntryMacMismatch`, or
+    /// at restart as `StoreError::RecoveryDiverged` (log corrupt /
+    /// tampered).
+    LogBitFlip = 8,
+    /// Tear a log append: only a prefix of the sealed record reaches
+    /// the segment file (power cut mid-write). The torn tail must be
+    /// truncated on replay, never decoded as data.
+    TornAppend = 9,
+    /// Replace the log directory with an older, internally-consistent
+    /// snapshot (host rollback). Detected as
+    /// `StoreError::RecoveryDiverged` by the checkpoint epoch floor.
+    StaleCheckpointRollback = 10,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 8;
+pub const SITE_COUNT: usize = 11;
 
 impl FaultSite {
     /// Every site, in `repr` order.
@@ -99,6 +112,9 @@ impl FaultSite {
         FaultSite::FreeListTamper,
         FaultSite::PrimaryKill,
         FaultSite::ReplicaDivergence,
+        FaultSite::LogBitFlip,
+        FaultSite::TornAppend,
+        FaultSite::StaleCheckpointRollback,
     ];
 
     /// Stable machine-readable name (used in plans, reports, CI logs).
@@ -112,6 +128,9 @@ impl FaultSite {
             FaultSite::FreeListTamper => "freelist_tamper",
             FaultSite::PrimaryKill => "primary_kill",
             FaultSite::ReplicaDivergence => "replica_divergence",
+            FaultSite::LogBitFlip => "log_bit_flip",
+            FaultSite::TornAppend => "torn_append",
+            FaultSite::StaleCheckpointRollback => "stale_checkpoint_rollback",
         }
     }
 

@@ -1,0 +1,183 @@
+//! The verified checkpoint: a tiny sealed file that pins the store's
+//! content root to a log position.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   4   magic "ACKP"
+//! 4   4   crc32 over bytes [8..end)
+//! 8   8   epoch        — monotonically increasing checkpoint counter
+//! 16  8   last_seqno   — log frontier this root was computed at
+//! 24  8   pairs        — live pair count at the checkpoint
+//! 32  16  root         — commutative content-root digest
+//! 48  16  mac          — CMAC over bytes [8..48) under the log key
+//! ```
+//!
+//! The CRC again only classifies damage (crash vs tamper); the MAC is
+//! what makes the file trustworthy. The *epoch* is the rollback
+//! defence: the file itself cannot prove freshness (the host can keep
+//! an old file + matching old segments), so recovery compares the
+//! epoch against a minimum the caller obtained out-of-band — in real
+//! SGX a monotonic counter, here a value the harness carries across
+//! restarts. See DESIGN.md §15.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use aria_crypto::{CipherSuite, RealSuite, MAC_LEN};
+
+use crate::record::crc32;
+use crate::LogError;
+
+const MAGIC: &[u8; 4] = b"ACKP";
+const PAYLOAD_LEN: usize = 8 + 8 + 8 + 16;
+const FILE_LEN: usize = 8 + PAYLOAD_LEN + MAC_LEN;
+
+/// A checkpoint of the store's verified content at a log position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint counter; recovery refuses epochs below the
+    /// caller's expectation (rollback defence).
+    pub epoch: u64,
+    /// The log sequence number the root covers: replaying records with
+    /// `seqno <= last_seqno` must reproduce exactly this root.
+    pub last_seqno: u64,
+    /// Live pair count at the checkpoint (diagnostic only; the root is
+    /// authoritative).
+    pub pairs: u64,
+    /// Commutative content-root digest over all live pairs.
+    pub root: [u8; 16],
+}
+
+/// Path of the checkpoint file inside a log directory.
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("CHECKPOINT")
+}
+
+/// Atomically persist `cp` into `dir` (temp file + rename, fsynced).
+pub fn save_checkpoint(dir: &Path, log_key: &[u8; 16], cp: &Checkpoint) -> Result<(), LogError> {
+    let suite = RealSuite::from_master(log_key);
+    let mut buf = Vec::with_capacity(FILE_LEN);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&cp.epoch.to_le_bytes());
+    buf.extend_from_slice(&cp.last_seqno.to_le_bytes());
+    buf.extend_from_slice(&cp.pairs.to_le_bytes());
+    buf.extend_from_slice(&cp.root);
+    let mac = suite.mac_parts(&[&buf[8..]]);
+    buf.extend_from_slice(&mac);
+    let crc = crc32(&buf[8..]);
+    buf[4..8].copy_from_slice(&crc.to_le_bytes());
+
+    let tmp = dir.join("CHECKPOINT.tmp");
+    let mut f = std::fs::File::create(&tmp).map_err(|e| LogError::io("checkpoint-write", e))?;
+    f.write_all(&buf).map_err(|e| LogError::io("checkpoint-write", e))?;
+    f.sync_data().map_err(|e| LogError::io("checkpoint-sync", e))?;
+    drop(f);
+    std::fs::rename(&tmp, checkpoint_path(dir))
+        .map_err(|e| LogError::io("checkpoint-rename", e))?;
+    Ok(())
+}
+
+/// Load and verify the checkpoint in `dir`. `Ok(None)` means no
+/// checkpoint file exists (a first boot); any present-but-unverifiable
+/// file is [`LogError::CheckpointCorrupt`] — recovery must refuse, not
+/// guess.
+pub fn load_checkpoint(dir: &Path, log_key: &[u8; 16]) -> Result<Option<Checkpoint>, LogError> {
+    let path = checkpoint_path(dir);
+    let mut buf = Vec::new();
+    match std::fs::File::open(&path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(LogError::io("checkpoint-open", e)),
+        Ok(mut f) => {
+            f.read_to_end(&mut buf).map_err(|e| LogError::io("checkpoint-read", e))?;
+        }
+    }
+    if buf.len() != FILE_LEN || &buf[..4] != MAGIC {
+        return Err(LogError::CheckpointCorrupt);
+    }
+    let stored_crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if crc32(&buf[8..]) != stored_crc {
+        return Err(LogError::CheckpointCorrupt);
+    }
+    let suite = RealSuite::from_master(log_key);
+    let mac_start = FILE_LEN - MAC_LEN;
+    let mac: [u8; MAC_LEN] = buf[mac_start..].try_into().expect("16 bytes");
+    if !suite.verify_parts(&[&buf[8..mac_start]], &mac) {
+        return Err(LogError::CheckpointCorrupt);
+    }
+    Ok(Some(Checkpoint {
+        epoch: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+        last_seqno: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+        pairs: u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")),
+        root: buf[32..48].try_into().expect("16 bytes"),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8; 16] = b"checkpoint-key-0";
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aria-ckp-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_absent() {
+        let dir = tmpdir("rt");
+        assert_eq!(load_checkpoint(&dir, KEY).unwrap(), None);
+        let cp = Checkpoint { epoch: 3, last_seqno: 999, pairs: 42, root: [0xab; 16] };
+        save_checkpoint(&dir, KEY, &cp).unwrap();
+        assert_eq!(load_checkpoint(&dir, KEY).unwrap(), Some(cp));
+        // Overwrite is atomic and monotone from the caller's side.
+        let cp2 = Checkpoint { epoch: 4, last_seqno: 1200, pairs: 40, root: [0xcd; 16] };
+        save_checkpoint(&dir, KEY, &cp2).unwrap();
+        assert_eq!(load_checkpoint(&dir, KEY).unwrap(), Some(cp2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_byte_flip_refused() {
+        let dir = tmpdir("flip");
+        let cp = Checkpoint { epoch: 1, last_seqno: 10, pairs: 5, root: [7; 16] };
+        save_checkpoint(&dir, KEY, &cp).unwrap();
+        let path = checkpoint_path(&dir);
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            assert_eq!(
+                load_checkpoint(&dir, KEY),
+                Err(LogError::CheckpointCorrupt),
+                "flip at byte {i} must be refused"
+            );
+        }
+        // Truncation too.
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+        assert_eq!(load_checkpoint(&dir, KEY), Err(LogError::CheckpointCorrupt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_refused() {
+        let dir = tmpdir("key");
+        save_checkpoint(
+            &dir,
+            KEY,
+            &Checkpoint { epoch: 1, last_seqno: 1, pairs: 1, root: [1; 16] },
+        )
+        .unwrap();
+        assert_eq!(load_checkpoint(&dir, b"a-different-key!"), Err(LogError::CheckpointCorrupt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

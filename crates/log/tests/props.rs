@@ -1,0 +1,170 @@
+//! Property tests for the log codec through its public API: round-trip
+//! fidelity, crash-cut prefix semantics, and the tamper guarantee that
+//! a flipped byte is never *mis-decoded* — every surviving record is
+//! byte-identical to one that was appended.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aria_log::{crash_cut, flip_byte, LogConfig, LogError, RecordKind, ReplayRecord, SegmentLog};
+use proptest::prelude::*;
+
+const KEY: &[u8; 16] = b"props-log-key-00";
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aria-log-props-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type Op = (bool, Vec<u8>, Vec<u8>);
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..24),
+            proptest::collection::vec(any::<u8>(), 0..48),
+        ),
+        1..24,
+    )
+}
+
+/// Append `ops`, returning what was written (kind, key, value, seqno).
+fn write_ops(
+    dir: &Path,
+    segment_bytes: u64,
+    ops: &[Op],
+) -> Vec<(RecordKind, Vec<u8>, Vec<u8>, u64)> {
+    let mut log = SegmentLog::open(
+        LogConfig::new(dir.to_path_buf()).segment_bytes(segment_bytes),
+        KEY,
+        &mut |_| {},
+    )
+    .expect("fresh open");
+    let mut written = Vec::new();
+    for (is_put, key, value) in ops {
+        let kind = if *is_put { RecordKind::Put } else { RecordKind::Delete };
+        let value: &[u8] = if *is_put { value } else { &[] };
+        let info = log.append(kind, key, value).expect("append");
+        written.push((kind, key.clone(), value.to_vec(), info.seqno));
+    }
+    written
+}
+
+fn replay_all(dir: &Path, segment_bytes: u64) -> Result<Vec<ReplayRecord>, LogError> {
+    let mut seen = Vec::new();
+    SegmentLog::open(
+        LogConfig::new(dir.to_path_buf()).segment_bytes(segment_bytes),
+        KEY,
+        &mut |r| seen.push(r),
+    )?;
+    Ok(seen)
+}
+
+fn total_len(dir: &Path) -> (u64, u64) {
+    // (last segment id, its length)
+    let mut last = 0u64;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name();
+        let name = name.to_string_lossy().to_string();
+        if let Some(id) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".log")) {
+            last = last.max(id.parse::<u64>().unwrap());
+        }
+    }
+    (last, aria_log::segment_file_len(dir, last).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_round_trips_every_record(ops in ops_strategy(), small_seg in any::<bool>()) {
+        let dir = tmpdir();
+        let seg = if small_seg { 4096 } else { 8 << 20 };
+        let written = write_ops(&dir, seg, &ops);
+        let seen = replay_all(&dir, seg).expect("clean replay");
+        prop_assert_eq!(seen.len(), written.len());
+        for (r, w) in seen.iter().zip(written.iter()) {
+            prop_assert_eq!(r.kind, w.0);
+            prop_assert_eq!(&r.key, &w.1);
+            prop_assert_eq!(&r.value, &w.2);
+            prop_assert_eq!(r.seqno, w.3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_cut_yields_exact_prefix(ops in ops_strategy(), cut_frac in 0.0f64..1.0) {
+        let dir = tmpdir();
+        let written = write_ops(&dir, 8 << 20, &ops);
+        let (seg, len) = total_len(&dir);
+        prop_assert_eq!(seg, 0);
+        let cut = (len as f64 * cut_frac) as u64;
+        crash_cut(&dir, seg, cut).unwrap();
+        let seen = replay_all(&dir, 8 << 20).expect("cut replay must succeed");
+        // Whatever survives is an exact prefix of what was appended.
+        prop_assert!(seen.len() <= written.len());
+        for (r, w) in seen.iter().zip(written.iter()) {
+            prop_assert_eq!(r.kind, w.0);
+            prop_assert_eq!(&r.key, &w.1);
+            prop_assert_eq!(&r.value, &w.2);
+        }
+        // And every record wholly below the cut survived.
+        for (i, r) in seen.iter().enumerate() {
+            prop_assert_eq!(r.seqno, written[i].3);
+        }
+        let survivors = seen.len();
+        drop(seen);
+        // Re-open after truncation and append: the log must be writable
+        // and the new record must replay.
+        {
+            let mut log = SegmentLog::open(
+                LogConfig::new(dir.to_path_buf()),
+                KEY,
+                &mut |_| {},
+            ).expect("post-cut open");
+            log.append(RecordKind::Put, b"post-crash", b"write").expect("append after cut");
+        }
+        let seen2 = replay_all(&dir, 8 << 20).expect("replay after post-cut append");
+        prop_assert_eq!(seen2.len(), survivors + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_flip_never_misdecodes(ops in ops_strategy(), pos_frac in 0.0f64..1.0, mask in 1u8..=255) {
+        let dir = tmpdir();
+        let written = write_ops(&dir, 8 << 20, &ops);
+        let (seg, len) = total_len(&dir);
+        prop_assert!(len > 0, "ops_strategy always writes at least one record");
+        let pos = ((len - 1) as f64 * pos_frac) as u64;
+        flip_byte(&dir, seg, pos, mask).unwrap();
+        match replay_all(&dir, 8 << 20) {
+            // Detected: the only acceptable errors are integrity ones.
+            Err(LogError::Corrupt { .. }) | Err(LogError::Tampered { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            // Undetected at the log layer: only possible when the flip
+            // hit a frame_len field and manufactured a "torn tail" —
+            // every surviving record must still be byte-exact, and the
+            // loss must be a suffix (the checkpoint root catches the
+            // loss one layer up).
+            Ok(seen) => {
+                prop_assert!(seen.len() < written.len(),
+                    "a flip cannot leave all records intact");
+                for (r, w) in seen.iter().zip(written.iter()) {
+                    prop_assert_eq!(r.kind, w.0);
+                    prop_assert_eq!(&r.key, &w.1);
+                    prop_assert_eq!(&r.value, &w.2);
+                    prop_assert_eq!(r.seqno, w.3);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,11 +32,12 @@ pub const FRAME_HEADER_LEN: usize = 9;
 pub const CONTROL_ID: u64 = 0;
 
 /// The protocol version this build speaks. Version 1 is the pre-`HELLO`
-/// wire format; version 2 adds the `HELLO` handshake itself. A peer
-/// that never sends `HELLO` is treated as speaking
-/// [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake client
-/// working unchanged.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// wire format; version 2 adds the `HELLO` handshake itself; version 3
+/// adds the tiering fields (`hot_keys`, `cold_keys`, `recovering`) to
+/// the `STATS` reply. A peer that never sends `HELLO` is treated as
+/// speaking [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake
+/// client working unchanged.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The version assumed for clients that skip the `HELLO` handshake.
 pub const BASE_PROTOCOL_VERSION: u16 = 1;
@@ -143,6 +144,13 @@ pub enum ErrorCode {
     ReplicaDiverged = 23,
     /// The store cannot stream verified contents for re-sync.
     ExportUnsupported = 24,
+    /// Verified crash recovery refused to serve: the replayed log does
+    /// not reproduce the sealed checkpoint (corruption, tampering, or
+    /// rollback below the attested epoch floor).
+    RecoveryDiverged = 25,
+    /// The durability log failed at the I/O layer (disk error, not a
+    /// detected attack).
+    LogIo = 26,
     /// The request frame could not be decoded.
     BadRequest = 32,
     /// Unknown request opcode.
@@ -176,6 +184,8 @@ impl ErrorCode {
             22 => ShardQuarantined,
             23 => ReplicaDiverged,
             24 => ExportUnsupported,
+            25 => RecoveryDiverged,
+            26 => LogIo,
             32 => BadRequest,
             33 => UnknownOpcode,
             34 => FrameTooLarge,
@@ -206,6 +216,8 @@ impl ErrorCode {
             StoreError::ShardQuarantined { .. } => ErrorCode::ShardQuarantined,
             StoreError::ReplicaDiverged { .. } => ErrorCode::ReplicaDiverged,
             StoreError::ExportUnsupported => ErrorCode::ExportUnsupported,
+            StoreError::RecoveryDiverged { .. } => ErrorCode::RecoveryDiverged,
+            StoreError::Log { .. } => ErrorCode::LogIo,
         }
     }
 
@@ -351,6 +363,15 @@ pub struct StatsReply {
     /// then includes last-known (possibly stale) counts for the
     /// unhealthy shards instead of silently excluding them.
     pub degraded: bool,
+    /// Live keys resident in the hot (DRAM) tier across all shards
+    /// (equals `len` when tiering is off).
+    pub hot_keys: u64,
+    /// Live keys resident only in the cold segment log across all
+    /// shards (0 when tiering is off).
+    pub cold_keys: u64,
+    /// Whether any shard is currently replaying / verifying its log
+    /// (crash recovery or anti-entropy re-sync in flight).
+    pub recovering: bool,
     /// Per-shard health, index = shard.
     pub health: Vec<ShardHealthInfo>,
 }
@@ -560,6 +581,9 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             put_u32(b, s.active_connections);
             put_u64(b, s.connections_accepted);
             b.push(s.degraded as u8);
+            put_u64(b, s.hot_keys);
+            put_u64(b, s.cold_keys);
+            b.push(s.recovering as u8);
             put_health(b, &s.health);
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
@@ -875,6 +899,9 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
             active_connections: c.u32()?,
             connections_accepted: c.u64()?,
             degraded: c.u8()? != 0,
+            hot_keys: c.u64()?,
+            cold_keys: c.u64()?,
+            recovering: c.u8()? != 0,
             health: c.health_list()?,
         }),
         OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
@@ -995,6 +1022,9 @@ mod tests {
             active_connections: 2,
             connections_accepted: 9,
             degraded: true,
+            hot_keys: 100,
+            cold_keys: 23,
+            recovering: true,
             health: vec![
                 ShardHealthInfo { state: 0, role: 0, lag: 0, violations: 0, recoveries: 0 },
                 ShardHealthInfo { state: 1, role: 1, lag: 42, violations: 3, recoveries: 1 },
@@ -1120,6 +1150,8 @@ mod tests {
             ErrorCode::ShardQuarantined,
             ErrorCode::ReplicaDiverged,
             ErrorCode::ExportUnsupported,
+            ErrorCode::RecoveryDiverged,
+            ErrorCode::LogIo,
             ErrorCode::DataDestroyed,
             ErrorCode::BadRequest,
             ErrorCode::UnknownOpcode,

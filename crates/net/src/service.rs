@@ -126,6 +126,13 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
             // `degraded` flags that some of it may be stale.
             let healths = store.healths();
             let degraded = healths.iter().any(|h| h.health != ShardHealth::Healthy);
+            let recovering = healths.iter().any(|h| h.health == ShardHealth::Recovering);
+            // Tier occupancy comes from the gauges each shard refreshes
+            // after batches and maintenance passes — reading them never
+            // blocks a worker. Untiered stores leave both at zero.
+            let (hot_keys, cold_keys) = store.telemetry().iter().fold((0, 0), |(h, c), t| {
+                (h + t.store.hot_entries.get(), c + t.store.cold_entries.get())
+            });
             Response::Stats(StatsReply {
                 shards: store.shards() as u32,
                 len: store.len_estimate(),
@@ -133,6 +140,9 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
                 active_connections: stats.active_connections,
                 connections_accepted: stats.connections_accepted,
                 degraded,
+                hot_keys,
+                cold_keys,
+                recovering,
                 health: healths.into_iter().map(Into::into).collect(),
             })
         }

@@ -39,6 +39,12 @@ pub struct StoreConfig {
     pub master_key: [u8; 16],
     /// Seed for counter initialization.
     pub seed: u64,
+    /// DRAM budget (bytes of plaintext key+value) for the hot in-memory
+    /// region when the store is tiered over a cold log. `None` keeps
+    /// the store fully RAM-resident (no tiering); `Some(0)` is rejected
+    /// by validation — a hot tier that can hold nothing would thrash
+    /// every access through the log.
+    pub hot_budget_bytes: Option<usize>,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +60,7 @@ impl Default for StoreConfig {
             alloc: AllocStrategy::UserSpace,
             master_key: [0x42; 16],
             seed: 0xa21a,
+            hot_budget_bytes: None,
         }
     }
 }
@@ -95,6 +102,9 @@ impl StoreConfig {
         }
         if self.btree_order < 3 {
             return Err(ConfigError::BTreeOrderTooSmall { order: self.btree_order });
+        }
+        if self.hot_budget_bytes == Some(0) {
+            return Err(ConfigError::ZeroHotBudget);
         }
         self.cache.validate()?;
         let height = self.merkle_height();
@@ -157,6 +167,9 @@ pub enum ConfigError {
         /// Declared enclave EPC budget.
         epc_budget: usize,
     },
+    /// `hot_budget_bytes` was `Some(0)`: a tiered store whose hot region
+    /// holds nothing would send every access through the cold log.
+    ZeroHotBudget,
     /// The embedded [`CacheConfig`] failed its own validation.
     Cache(CacheConfigError),
 }
@@ -179,6 +192,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CacheExceedsEpcBudget { cache_bytes, epc_budget } => {
                 write!(f, "cache capacity {cache_bytes} B exceeds the EPC budget {epc_budget} B")
+            }
+            ConfigError::ZeroHotBudget => {
+                write!(f, "hot_budget_bytes must be non-zero when tiering is enabled")
             }
             ConfigError::Cache(e) => write!(f, "cache config: {e}"),
         }
@@ -287,6 +303,13 @@ impl StoreConfigBuilder {
         self
     }
 
+    /// Set the hot-region DRAM budget for tiered stores (`None`
+    /// disables tiering).
+    pub fn hot_budget_bytes(mut self, bytes: Option<usize>) -> Self {
+        self.cfg.hot_budget_bytes = bytes;
+        self
+    }
+
     /// Size counter capacity and bucket count for `keys` expected keys,
     /// like [`StoreConfig::for_keys`], keeping other overrides.
     pub fn for_keys(mut self, keys: u64) -> Self {
@@ -348,6 +371,11 @@ mod tests {
             StoreConfig::builder().btree_order(2).build().unwrap_err(),
             ConfigError::BTreeOrderTooSmall { order: 2 }
         );
+        assert_eq!(
+            StoreConfig::builder().hot_budget_bytes(Some(0)).build().unwrap_err(),
+            ConfigError::ZeroHotBudget
+        );
+        StoreConfig::builder().hot_budget_bytes(Some(1 << 20)).build().unwrap();
     }
 
     #[test]

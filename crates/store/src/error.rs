@@ -73,6 +73,64 @@ impl std::fmt::Display for Violation {
     }
 }
 
+/// Why a verified restart refused to serve ([`StoreError::RecoveryDiverged`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryFailure {
+    /// Replaying the log up to the checkpoint's sequence number produced
+    /// a content root that does not match the checkpointed root: the
+    /// on-disk state does not reproduce what the enclave last attested.
+    RootMismatch,
+    /// The checkpoint's epoch is behind the minimum the caller carries
+    /// (or the checkpoint is missing while one is expected): the host is
+    /// replaying stale-but-internally-consistent state — a rollback
+    /// attack.
+    Rollback {
+        /// Epoch found on disk (0 when the checkpoint is missing).
+        checkpoint_epoch: u64,
+        /// Minimum epoch the caller expected.
+        min_epoch: u64,
+    },
+    /// The checkpoint file fails its CRC or MAC.
+    CheckpointCorrupt,
+    /// A log record is structurally broken in a way a crash cannot
+    /// explain (bad CRC mid-file, impossible framing).
+    LogCorrupt {
+        /// Segment holding the broken record.
+        segment: u64,
+        /// Byte offset of the broken record.
+        offset: u64,
+    },
+    /// A log record is CRC-consistent but fails its MAC: deliberate
+    /// on-disk tampering.
+    LogTampered {
+        /// Segment holding the tampered record.
+        segment: u64,
+        /// Byte offset of the tampered record.
+        offset: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryFailure::RootMismatch => {
+                write!(f, "replayed content root does not match the checkpointed root")
+            }
+            RecoveryFailure::Rollback { checkpoint_epoch, min_epoch } => write!(
+                f,
+                "checkpoint epoch {checkpoint_epoch} is behind expected minimum {min_epoch} (rollback)"
+            ),
+            RecoveryFailure::CheckpointCorrupt => write!(f, "checkpoint corrupt or tampered"),
+            RecoveryFailure::LogCorrupt { segment, offset } => {
+                write!(f, "log segment {segment} corrupt at offset {offset}")
+            }
+            RecoveryFailure::LogTampered { segment, offset } => {
+                write!(f, "log segment {segment} tampered at offset {offset}")
+            }
+        }
+    }
+}
+
 /// Errors returned by store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -120,6 +178,21 @@ pub enum StoreError {
     /// ([`crate::KvStore::export_chunk`]), so it cannot act as a
     /// re-sync survivor or rejoiner.
     ExportUnsupported,
+    /// A verified restart could not prove the on-disk log + checkpoint
+    /// reproduce the state the enclave last attested; the store refuses
+    /// to serve rather than serve silently wrong or rolled-back data.
+    RecoveryDiverged {
+        /// What diverged.
+        reason: RecoveryFailure,
+    },
+    /// A durability-log filesystem operation failed (plain I/O, not an
+    /// integrity verdict).
+    Log {
+        /// The operation that failed (`"append"`, `"sync"`, ...).
+        op: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -143,6 +216,10 @@ impl std::fmt::Display for StoreError {
             StoreError::ExportUnsupported => {
                 write!(f, "store cannot stream verified contents for re-sync")
             }
+            StoreError::RecoveryDiverged { reason } => {
+                write!(f, "verified recovery refused: {reason}")
+            }
+            StoreError::Log { op, detail } => write!(f, "durability log {op} failed: {detail}"),
         }
     }
 }

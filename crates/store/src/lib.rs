@@ -31,6 +31,7 @@ pub mod entry;
 pub mod error;
 pub mod resync;
 pub mod sharded;
+pub mod tiered;
 
 use std::sync::Arc;
 
@@ -42,12 +43,15 @@ pub use bplus::AriaBPlusTree;
 pub use btree::AriaTree;
 pub use config::{ConfigError, Scheme, StoreConfig, StoreConfigBuilder};
 pub use counter::{CounterBackend, CounterStore};
-pub use error::{StoreError, Violation};
-pub use resync::{content_root, content_root_of, ContentRoot};
+pub use error::{RecoveryFailure, StoreError, Violation};
+pub use resync::{
+    content_root, content_root_from_digests, content_root_of, pair_digest_keyed, ContentRoot,
+};
 pub use sharded::{
     BatchOp, BatchReply, GroupHealthMachine, GroupStats, ReplicaHealthSnapshot, ReplicaRole,
     ShardHealth, ShardHealthSnapshot, ShardedStore,
 };
+pub use tiered::{TierStats, TieredOptions, TieredStore};
 
 /// What a [`KvStore::recover`] pass found and repaired. All counts are
 /// zero for stores whose untrusted state checked out (or that have none).
@@ -65,6 +69,27 @@ pub struct RecoveryReport {
     /// Index buckets poisoned: misses there now fail closed with
     /// [`Violation::DataDestroyed`] instead of answering "absent".
     pub buckets_poisoned: u64,
+}
+
+/// What one [`KvStore::maintain`] pass did. All counts are zero for
+/// stores with no background upkeep (the default implementation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Entries migrated from the hot region to the cold tier.
+    pub migrated: u64,
+    /// Log segments compacted (live records rewritten, file removed).
+    pub segments_compacted: u64,
+    /// Live records rewritten by compaction.
+    pub records_rewritten: u64,
+    /// Whether a checkpoint was persisted during this pass.
+    pub checkpointed: bool,
+}
+
+impl MaintenanceReport {
+    /// Whether the pass changed anything at all.
+    pub fn did_work(&self) -> bool {
+        self.migrated != 0 || self.segments_compacted != 0 || self.checkpointed
+    }
 }
 
 impl RecoveryReport {
@@ -191,6 +216,15 @@ pub trait KvStore {
         max: usize,
     ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<u64>), StoreError> {
         Err(StoreError::ExportUnsupported)
+    }
+    /// Run one bounded slice of background upkeep: tier migration,
+    /// log compaction, checkpointing. Called periodically by the
+    /// sharded layer's maintenance ticker on the shard's own worker
+    /// thread (so it is exclusive with regular operations); must do a
+    /// *bounded* amount of work per call to keep tail latency sane.
+    /// The default is a no-op for stores with nothing to maintain.
+    fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
+        Ok(MaintenanceReport::default())
     }
 }
 

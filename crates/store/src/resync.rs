@@ -62,6 +62,16 @@ impl std::fmt::Display for ContentRoot {
     }
 }
 
+/// Digest one verified pair under the fixed convention key
+/// (length-prefixed, so the encoding is injective). Exposed so callers
+/// that hold pairs in different places — e.g. the tiered store's hot
+/// region and cold log — can digest incrementally and combine with
+/// [`content_root_from_digests`] instead of materializing every pair
+/// at once.
+pub fn pair_digest_keyed(key: &[u8], value: &[u8]) -> [u8; 16] {
+    pair_digest(&CmacKey::new(&CONTENT_DIGEST_KEY), key, value)
+}
+
 /// Digest one verified pair (length-prefixed, so the encoding is
 /// injective).
 fn pair_digest(mac: &CmacKey, key: &[u8], value: &[u8]) -> [u8; 16] {
@@ -70,11 +80,11 @@ fn pair_digest(mac: &CmacKey, key: &[u8], value: &[u8]) -> [u8; 16] {
     mac.mac_parts(&[&klen, key, &vlen, value])
 }
 
-/// Combine verified pairs into a [`ContentRoot`]. Order-independent:
-/// any permutation of the same pairs yields the same root.
-pub fn content_root(pairs: &[(Vec<u8>, Vec<u8>)]) -> ContentRoot {
+/// Combine per-pair digests (from [`pair_digest_keyed`]) into a
+/// [`ContentRoot`]. Order-independent — the digests are sorted before
+/// the final MAC, exactly as [`content_root`] does.
+pub fn content_root_from_digests(mut digests: Vec<[u8; 16]>) -> ContentRoot {
     let mac = CmacKey::new(&CONTENT_DIGEST_KEY);
-    let mut digests: Vec<[u8; 16]> = pairs.iter().map(|(k, v)| pair_digest(&mac, k, v)).collect();
     digests.sort_unstable();
     let count = (digests.len() as u64).to_le_bytes();
     let mut parts: Vec<&[u8]> = Vec::with_capacity(digests.len() + 1);
@@ -82,7 +92,15 @@ pub fn content_root(pairs: &[(Vec<u8>, Vec<u8>)]) -> ContentRoot {
     for d in &digests {
         parts.push(d);
     }
-    ContentRoot { pairs: pairs.len() as u64, digest: mac.mac_parts(&parts) }
+    ContentRoot { pairs: digests.len() as u64, digest: mac.mac_parts(&parts) }
+}
+
+/// Combine verified pairs into a [`ContentRoot`]. Order-independent:
+/// any permutation of the same pairs yields the same root.
+pub fn content_root(pairs: &[(Vec<u8>, Vec<u8>)]) -> ContentRoot {
+    let mac = CmacKey::new(&CONTENT_DIGEST_KEY);
+    let digests: Vec<[u8; 16]> = pairs.iter().map(|(k, v)| pair_digest(&mac, k, v)).collect();
+    content_root_from_digests(digests)
 }
 
 /// Stream a store's entire verified contents

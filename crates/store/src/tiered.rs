@@ -1,0 +1,1122 @@
+//! Hot/cold tiering: a RAM-resident hot region over an append-only
+//! sealed segment log, with verified crash recovery.
+//!
+//! [`TieredStore`] wraps any [`KvStore`] as the *hot* region and pairs
+//! it with an `aria-log` [`SegmentLog`] as the *cold* tier:
+//!
+//! * **Writes** go to the hot store first (so its validation and
+//!   integrity machinery applies), then append a sealed record to the
+//!   log. The log is therefore always a complete history of
+//!   acknowledged writes — the hot region is a cache of the log's
+//!   latest state, not a separate source of truth.
+//! * **Reads** hit the hot region; a miss that lands on a cold key
+//!   reads the record from the log (CRC + MAC verified inside the
+//!   enclave, crypto charged to the cost model) and *promotes* it back
+//!   into the hot region. Under the skewed workloads Aria targets, the
+//!   hot region absorbs the working set and cold reads stay rare.
+//! * **Migration** ([`KvStore::maintain`]) evicts the
+//!   least-recently-accessed hot entries once the hot region exceeds
+//!   its byte budget. Eviction is free of log writes: every hot entry
+//!   already has a live log record.
+//! * **Compaction** rewrites the live records (including tombstones)
+//!   of the deadest sealed segment into the active segment and deletes
+//!   the victim file. Rewrites preserve the record's original sequence
+//!   number, so replay ordering — and any checkpointed content root —
+//!   is unaffected by compaction.
+//! * **Checkpoints** pin the store's content root (the same
+//!   commutative digest anti-entropy re-sync uses, see
+//!   [`crate::resync`]) to a log sequence number, sealed under the log
+//!   key. [`TieredStore::open`] replays the log, recomputes the root
+//!   over the state at the checkpoint's sequence number, and refuses
+//!   to serve ([`StoreError::RecoveryDiverged`]) unless it matches —
+//!   torn writes past the checkpoint are truncated, but silent
+//!   corruption, tampering, and rollback below the caller's
+//!   `min_epoch` floor are detected and refused, never served.
+//!
+//! The trust model — what the checkpoint does and does not protect
+//! against — is spelled out in DESIGN.md §15.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aria_crypto::CmacKey;
+use aria_log::{
+    load_checkpoint, save_checkpoint, AppendFaultHook, Checkpoint, LogConfig, LogError, RecordKind,
+    RecordPtr, SegmentLog,
+};
+use aria_sim::Enclave;
+
+use crate::error::RecoveryFailure;
+use crate::resync::{content_root_from_digests, pair_digest_keyed};
+use crate::{CacheStats, KvStore, MaintenanceReport, RecoveryReport, StoreError};
+
+/// Tiering knobs for a [`TieredStore`].
+#[derive(Debug, Clone)]
+pub struct TieredOptions {
+    /// Directory holding the shard's segment log and checkpoint.
+    pub dir: PathBuf,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Byte budget (plaintext key+value) for the hot region; migration
+    /// evicts down to this.
+    pub hot_budget_bytes: usize,
+    /// Compact a sealed segment once this fraction of its bytes is
+    /// dead.
+    pub compact_min_dead_ratio: f64,
+    /// Checkpoint after this many mutations (puts + deletes) during
+    /// [`KvStore::maintain`]. `0` disables automatic checkpoints.
+    pub checkpoint_every: u64,
+    /// Minimum checkpoint epoch accepted at open — the rollback floor
+    /// the caller carries across restarts (an SGX monotonic counter in
+    /// a real deployment). `0` accepts any state, including a missing
+    /// checkpoint (first boot).
+    pub min_epoch: u64,
+    /// Maximum entries migrated per maintenance pass (bounds pause
+    /// length).
+    pub migrate_batch: usize,
+}
+
+impl TieredOptions {
+    /// Defaults rooted at `dir`: 8 MiB segments, 64 MiB hot budget,
+    /// compaction at 40% dead, checkpoint every 4096 mutations.
+    pub fn new<P: Into<PathBuf>>(dir: P) -> TieredOptions {
+        TieredOptions {
+            dir: dir.into(),
+            segment_bytes: 8 << 20,
+            hot_budget_bytes: 64 << 20,
+            compact_min_dead_ratio: 0.4,
+            checkpoint_every: 4096,
+            min_epoch: 0,
+            migrate_batch: 4096,
+        }
+    }
+
+    /// Set the hot-region byte budget.
+    pub fn hot_budget_bytes(mut self, bytes: usize) -> TieredOptions {
+        self.hot_budget_bytes = bytes;
+        self
+    }
+
+    /// Set the segment rotation threshold.
+    pub fn segment_bytes(mut self, bytes: u64) -> TieredOptions {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Set the automatic checkpoint interval (mutations; 0 disables).
+    pub fn checkpoint_every(mut self, ops: u64) -> TieredOptions {
+        self.checkpoint_every = ops;
+        self
+    }
+
+    /// Set the rollback floor.
+    pub fn min_epoch(mut self, epoch: u64) -> TieredOptions {
+        self.min_epoch = epoch;
+        self
+    }
+
+    /// Set the compaction dead-ratio threshold.
+    pub fn compact_min_dead_ratio(mut self, ratio: f64) -> TieredOptions {
+        self.compact_min_dead_ratio = ratio;
+        self
+    }
+}
+
+/// Point-in-time tier occupancy, for STATS/telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Entries resident in the hot region.
+    pub hot_entries: u64,
+    /// Entries resident only in the cold log.
+    pub cold_entries: u64,
+    /// Live tombstones awaiting compaction.
+    pub tombstones: u64,
+    /// Plaintext bytes held by the hot region.
+    pub hot_bytes: u64,
+    /// Total record bytes across log segments.
+    pub log_bytes: u64,
+    /// Number of log segment files.
+    pub segments: u64,
+    /// Epoch of the most recent checkpoint (0 = none yet).
+    pub checkpoint_epoch: u64,
+}
+
+/// Where a live key's latest record lives.
+#[derive(Debug, Clone, Copy)]
+struct KeyMeta {
+    ptr: RecordPtr,
+    seqno: u64,
+    /// Plaintext key+value bytes (hot accounting); 0 for cold entries.
+    bytes: usize,
+    /// Logical access clock value at last touch (hot LRU).
+    last_access: u64,
+}
+
+/// A [`KvStore`] split into a hot in-memory region and a cold sealed
+/// segment log, with verified crash recovery. See the module docs.
+pub struct TieredStore<S: KvStore> {
+    hot: S,
+    log: SegmentLog,
+    log_key: [u8; 16],
+    opts: TieredOptions,
+    /// Keys resident in the hot region (their record also lives in the
+    /// log).
+    hot_meta: HashMap<Vec<u8>, KeyMeta>,
+    /// Keys resident only in the log.
+    cold: HashMap<Vec<u8>, KeyMeta>,
+    /// Deleted keys whose tombstone record must stay live until a new
+    /// put supersedes it (dropping it would resurrect older puts on
+    /// replay).
+    tombstones: HashMap<Vec<u8>, KeyMeta>,
+    /// Keys whose cold record failed verification during a recovery
+    /// sweep; reads fail closed ([`crate::Violation::DataDestroyed`]).
+    destroyed: HashSet<Vec<u8>>,
+    hot_bytes: usize,
+    /// Logical access clock for hot LRU.
+    clock: u64,
+    mutations_since_checkpoint: u64,
+    checkpoint_epoch: u64,
+    tele: Option<Arc<aria_telemetry::ShardTelemetry>>,
+}
+
+impl<S: KvStore> std::fmt::Debug for TieredStore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredStore")
+            .field("hot_entries", &self.hot_meta.len())
+            .field("cold_entries", &self.cold.len())
+            .field("tombstones", &self.tombstones.len())
+            .field("hot_bytes", &self.hot_bytes)
+            .field("checkpoint_epoch", &self.checkpoint_epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Map a log failure on the *runtime* read path: detected corruption or
+/// tampering of a sealed record is an integrity violation (it triggers
+/// shard quarantine + recovery like any other tampered entry); plain
+/// I/O failure is not.
+fn runtime_log_err(e: LogError) -> StoreError {
+    match e {
+        LogError::Corrupt { .. } | LogError::Tampered { .. } => {
+            StoreError::Integrity(crate::Violation::EntryMacMismatch)
+        }
+        LogError::Io { op, msg, .. } => StoreError::Log { op, detail: msg },
+        LogError::CheckpointCorrupt => {
+            StoreError::RecoveryDiverged { reason: RecoveryFailure::CheckpointCorrupt }
+        }
+        LogError::Config(msg) => StoreError::Log { op: "config", detail: msg },
+    }
+}
+
+/// Map a log failure during *recovery*: integrity failures become typed
+/// [`StoreError::RecoveryDiverged`] refusals.
+fn recovery_log_err(e: LogError) -> StoreError {
+    match e {
+        LogError::Corrupt { segment, offset } => {
+            StoreError::RecoveryDiverged { reason: RecoveryFailure::LogCorrupt { segment, offset } }
+        }
+        LogError::Tampered { segment, offset } => StoreError::RecoveryDiverged {
+            reason: RecoveryFailure::LogTampered { segment, offset },
+        },
+        LogError::CheckpointCorrupt => {
+            StoreError::RecoveryDiverged { reason: RecoveryFailure::CheckpointCorrupt }
+        }
+        LogError::Io { op, msg, .. } => StoreError::Log { op, detail: msg },
+        LogError::Config(msg) => StoreError::Log { op: "config", detail: msg },
+    }
+}
+
+/// Derive the log sealing key from the store's master secret (domain
+/// separated from the entry/counter keys the hot store derives).
+fn derive_log_key(master_key: &[u8; 16]) -> [u8; 16] {
+    CmacKey::new(master_key).mac(b"aria-log-tier-key-v1")
+}
+
+/// Replay bookkeeping for one key while scanning segments.
+struct ReplayState {
+    /// Latest record overall (the live state after full replay).
+    all: (u64, RecordKind, RecordPtr),
+    /// Latest record at or below the checkpoint seqno, with its value
+    /// (needed to recompute the checkpointed root).
+    at_checkpoint: Option<(u64, RecordKind, Vec<u8>)>,
+}
+
+impl<S: KvStore> TieredStore<S> {
+    /// Open the tier over `hot` (which must be empty — recovery leaves
+    /// every key cold and re-heats lazily): replay the log, verify the
+    /// replayed state against the sealed checkpoint, and refuse to
+    /// serve on any divergence. A directory with no log and no
+    /// checkpoint is a first boot (only accepted when
+    /// `opts.min_epoch == 0`).
+    pub fn open(
+        hot: S,
+        master_key: &[u8; 16],
+        opts: TieredOptions,
+    ) -> Result<TieredStore<S>, StoreError> {
+        let log_key = derive_log_key(master_key);
+        let checkpoint = load_checkpoint(&opts.dir, &log_key).map_err(recovery_log_err)?;
+        if let Some(cp) = &checkpoint {
+            if cp.epoch < opts.min_epoch {
+                return Err(StoreError::RecoveryDiverged {
+                    reason: RecoveryFailure::Rollback {
+                        checkpoint_epoch: cp.epoch,
+                        min_epoch: opts.min_epoch,
+                    },
+                });
+            }
+        } else if opts.min_epoch > 0 {
+            // The caller has attested state; a missing checkpoint is a
+            // rollback to before the first attestation.
+            return Err(StoreError::RecoveryDiverged {
+                reason: RecoveryFailure::Rollback {
+                    checkpoint_epoch: 0,
+                    min_epoch: opts.min_epoch,
+                },
+            });
+        }
+        let checkpoint_seqno = checkpoint.map(|c| c.last_seqno).unwrap_or(0);
+
+        // Replay every segment; per key keep the overall winner (live
+        // state) and the winner at the checkpoint frontier (for root
+        // verification). Compaction rewrites reuse seqnos, so
+        // latest-wins MUST resolve by seqno, not file order.
+        let mut state: HashMap<Vec<u8>, ReplayState> = HashMap::new();
+        let mut dead: Vec<RecordPtr> = Vec::new();
+        let log_cfg = LogConfig::new(opts.dir.clone()).segment_bytes(opts.segment_bytes);
+        let log = SegmentLog::open(log_cfg, &log_key, &mut |r| {
+            let at_cp = r.seqno <= checkpoint_seqno;
+            match state.get_mut(&r.key) {
+                None => {
+                    state.insert(
+                        r.key,
+                        ReplayState {
+                            all: (r.seqno, r.kind, r.ptr),
+                            at_checkpoint: at_cp.then_some((r.seqno, r.kind, r.value)),
+                        },
+                    );
+                }
+                Some(st) => {
+                    if r.seqno > st.all.0 {
+                        dead.push(st.all.2);
+                        st.all = (r.seqno, r.kind, r.ptr);
+                    } else {
+                        // A compaction rewrite of an older record (or
+                        // the original of a rewritten one): dead.
+                        dead.push(r.ptr);
+                    }
+                    if at_cp {
+                        match &st.at_checkpoint {
+                            Some((s, _, _)) if *s >= r.seqno => {}
+                            _ => st.at_checkpoint = Some((r.seqno, r.kind, r.value)),
+                        }
+                    }
+                }
+            }
+        })
+        .map_err(recovery_log_err)?;
+
+        // Verify: the state at the checkpoint frontier must reproduce
+        // the sealed root exactly.
+        if let Some(cp) = &checkpoint {
+            let mut digests = Vec::new();
+            for (key, st) in &state {
+                if let Some((_, RecordKind::Put, value)) = &st.at_checkpoint {
+                    digests.push(pair_digest_keyed(key, value));
+                }
+            }
+            let root = content_root_from_digests(digests);
+            if root.pairs != cp.pairs || root.digest != cp.root {
+                return Err(StoreError::RecoveryDiverged { reason: RecoveryFailure::RootMismatch });
+            }
+        }
+
+        // Build the live (all-cold) index from the overall winners.
+        let mut store = TieredStore {
+            hot,
+            log,
+            log_key,
+            opts,
+            hot_meta: HashMap::new(),
+            cold: HashMap::new(),
+            tombstones: HashMap::new(),
+            destroyed: HashSet::new(),
+            hot_bytes: 0,
+            clock: 0,
+            mutations_since_checkpoint: 0,
+            checkpoint_epoch: checkpoint.map(|c| c.epoch).unwrap_or(0),
+            tele: None,
+        };
+        for (key, st) in state {
+            let (seqno, kind, ptr) = st.all;
+            let meta = KeyMeta { ptr, seqno, bytes: 0, last_access: 0 };
+            match kind {
+                RecordKind::Put => {
+                    store.cold.insert(key, meta);
+                }
+                RecordKind::Delete => {
+                    store.tombstones.insert(key, meta);
+                }
+            }
+        }
+        for ptr in dead {
+            store.log.mark_dead(ptr);
+        }
+        Ok(store)
+    }
+
+    /// Tier occupancy snapshot.
+    pub fn tier_stats(&self) -> TierStats {
+        TierStats {
+            hot_entries: self.hot_meta.len() as u64,
+            cold_entries: self.cold.len() as u64,
+            tombstones: self.tombstones.len() as u64,
+            hot_bytes: self.hot_bytes as u64,
+            log_bytes: self.log.total_bytes(),
+            segments: self.log.segment_count() as u64,
+            checkpoint_epoch: self.checkpoint_epoch,
+        }
+    }
+
+    /// The log's append frontier (segment id, byte offset) — everything
+    /// below it is flushed state a crash cut can land in. Used by the
+    /// durability bench to aim SIGKILL-style cuts.
+    pub fn log_frontier(&self) -> (u64, u64) {
+        self.log.frontier()
+    }
+
+    /// The epoch of the most recent checkpoint (0 = none yet). Carry
+    /// `epoch` forward as [`TieredOptions::min_epoch`] across restarts
+    /// to arm the rollback defence.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.checkpoint_epoch
+    }
+
+    /// Install (or clear) the chaos harness's append fault hook (torn
+    /// appends / host bit flips on the write path).
+    pub fn set_log_fault_hook(&mut self, hook: Option<AppendFaultHook>) {
+        self.log.set_fault_hook(hook);
+    }
+
+    /// Checkpoint now: flush the log, digest the full verified state
+    /// (hot region via [`KvStore::export_chunk`], cold tier via
+    /// MAC-verified log reads) and seal root + counters to disk.
+    /// Returns the new checkpoint.
+    pub fn force_checkpoint(&mut self) -> Result<Checkpoint, StoreError> {
+        let mut digests: Vec<[u8; 16]> = Vec::with_capacity(self.len() as usize);
+        // Hot region: stream verified pairs from the inner store.
+        let mut cursor = 0u64;
+        loop {
+            let (pairs, next) = self.hot.export_chunk(cursor, crate::resync::EXPORT_CHUNK_PAIRS)?;
+            for (k, v) in &pairs {
+                self.hot.enclave().charge_mac(16 + k.len() + v.len());
+                digests.push(pair_digest_keyed(k, v));
+            }
+            match next {
+                Some(c) => cursor = c,
+                None => break,
+            }
+        }
+        // Cold tier: verified log reads.
+        let cold_keys: Vec<(Vec<u8>, RecordPtr)> =
+            self.cold.iter().map(|(k, m)| (k.clone(), m.ptr)).collect();
+        for (key, ptr) in cold_keys {
+            let (kind, k, v, _) = self.log.read(ptr).map_err(runtime_log_err)?;
+            if kind != RecordKind::Put || k != key {
+                return Err(StoreError::Integrity(crate::Violation::EntryMacMismatch));
+            }
+            self.hot.enclave().charge_crypt(k.len() + v.len());
+            self.hot.enclave().charge_mac(16 + k.len() + v.len());
+            digests.push(pair_digest_keyed(&k, &v));
+        }
+        let root = content_root_from_digests(digests);
+        self.log.sync().map_err(runtime_log_err)?;
+        let cp = Checkpoint {
+            epoch: self.checkpoint_epoch + 1,
+            last_seqno: self.log.last_seqno(),
+            pairs: root.pairs,
+            root: root.digest,
+        };
+        save_checkpoint(&self.opts.dir, &self.log_key, &cp).map_err(runtime_log_err)?;
+        self.checkpoint_epoch = cp.epoch;
+        self.mutations_since_checkpoint = 0;
+        if let Some(tele) = &self.tele {
+            tele.store.checkpoints.inc();
+        }
+        Ok(cp)
+    }
+
+    /// Mark the predecessor record of `key` dead (it is being
+    /// superseded by a fresh append) and drop it from whichever index
+    /// holds it. Returns the plaintext bytes the hot region frees.
+    fn supersede(&mut self, key: &[u8]) -> usize {
+        if let Some(meta) = self.hot_meta.remove(key) {
+            self.log.mark_dead(meta.ptr);
+            self.hot_bytes -= meta.bytes.min(self.hot_bytes);
+            meta.bytes
+        } else if let Some(meta) = self.cold.remove(key) {
+            self.log.mark_dead(meta.ptr);
+            0
+        } else if let Some(meta) = self.tombstones.remove(key) {
+            self.log.mark_dead(meta.ptr);
+            0
+        } else {
+            0
+        }
+    }
+
+    /// Migrate least-recently-accessed hot entries to cold until the
+    /// hot region fits its budget (bounded by `migrate_batch`).
+    fn migrate(&mut self) -> Result<u64, StoreError> {
+        if self.hot_bytes <= self.opts.hot_budget_bytes {
+            return Ok(0);
+        }
+        let mut order: Vec<(u64, Vec<u8>)> =
+            self.hot_meta.iter().map(|(k, m)| (m.last_access, k.clone())).collect();
+        order.sort_unstable();
+        let mut migrated = 0u64;
+        for (_, key) in order {
+            if self.hot_bytes <= self.opts.hot_budget_bytes
+                || migrated as usize >= self.opts.migrate_batch
+            {
+                break;
+            }
+            let meta = match self.hot_meta.remove(&key) {
+                Some(m) => m,
+                None => continue,
+            };
+            // The log already holds the entry's latest record; eviction
+            // just drops the DRAM copy.
+            self.hot.delete(&key)?;
+            self.hot_bytes -= meta.bytes.min(self.hot_bytes);
+            self.cold.insert(key, KeyMeta { bytes: 0, ..meta });
+            migrated += 1;
+        }
+        if migrated > 0 {
+            if let Some(tele) = &self.tele {
+                tele.store.migrations.add(migrated);
+            }
+        }
+        Ok(migrated)
+    }
+
+    /// Compact the deadest sealed segment, if any qualifies: rewrite
+    /// its live records (puts *and* tombstones — dropping a tombstone
+    /// would resurrect older puts on replay) into the active segment,
+    /// then delete the victim file.
+    fn compact(&mut self) -> Result<(u64, u64), StoreError> {
+        let Some(victim) = self.log.victim_segment(self.opts.compact_min_dead_ratio) else {
+            return Ok((0, 0));
+        };
+        let mut rewritten = 0u64;
+        // Collect the live records pointing into the victim.
+        let in_victim = |m: &KeyMeta| m.ptr.segment == victim;
+        let hot_keys: Vec<Vec<u8>> =
+            self.hot_meta.iter().filter(|(_, m)| in_victim(m)).map(|(k, _)| k.clone()).collect();
+        let cold_keys: Vec<Vec<u8>> =
+            self.cold.iter().filter(|(_, m)| in_victim(m)).map(|(k, _)| k.clone()).collect();
+        let tomb_keys: Vec<Vec<u8>> =
+            self.tombstones.iter().filter(|(_, m)| in_victim(m)).map(|(k, _)| k.clone()).collect();
+        for (keys, map_kind) in [(hot_keys, 0usize), (cold_keys, 1), (tomb_keys, 2)] {
+            for key in keys {
+                let meta = match map_kind {
+                    0 => self.hot_meta.get(&key),
+                    1 => self.cold.get(&key),
+                    _ => self.tombstones.get(&key),
+                };
+                let Some(&meta) = meta else { continue };
+                let (kind, k, v, seqno) = self.log.read(meta.ptr).map_err(runtime_log_err)?;
+                if k != key || seqno != meta.seqno {
+                    return Err(StoreError::Integrity(crate::Violation::EntryMacMismatch));
+                }
+                let info = self.log.append_rewrite(seqno, kind, &k, &v).map_err(runtime_log_err)?;
+                let target = match map_kind {
+                    0 => self.hot_meta.get_mut(&key),
+                    1 => self.cold.get_mut(&key),
+                    _ => self.tombstones.get_mut(&key),
+                };
+                if let Some(m) = target {
+                    m.ptr = info.ptr;
+                }
+                rewritten += 1;
+            }
+        }
+        self.log.remove_segment(victim).map_err(runtime_log_err)?;
+        if let Some(tele) = &self.tele {
+            tele.store.compactions.inc();
+        }
+        Ok((1, rewritten))
+    }
+}
+
+impl<S: KvStore> KvStore for TieredStore<S> {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        // Hot store first: its validation (key/value limits) and
+        // integrity machinery gate what reaches the log. A crash
+        // between the two loses only an unacknowledged write.
+        self.hot.put(key, value)?;
+        let info = self.log.append(RecordKind::Put, key, value).map_err(runtime_log_err)?;
+        let freed = self.supersede(key);
+        let _ = freed;
+        self.destroyed.remove(key);
+        self.clock += 1;
+        let bytes = key.len() + value.len();
+        self.hot_meta.insert(
+            key.to_vec(),
+            KeyMeta { ptr: info.ptr, seqno: info.seqno, bytes, last_access: self.clock },
+        );
+        self.hot_bytes += bytes;
+        self.mutations_since_checkpoint += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        if self.destroyed.contains(key) {
+            return Err(StoreError::Integrity(crate::Violation::DataDestroyed));
+        }
+        self.clock += 1;
+        if let Some(meta) = self.hot_meta.get_mut(key) {
+            meta.last_access = self.clock;
+            return self.hot.get(key);
+        }
+        if self.tombstones.contains_key(key) {
+            return Ok(None);
+        }
+        let Some(&meta) = self.cold.get(key) else {
+            return Ok(None);
+        };
+        // Cold read: verified log read, charged to the enclave like any
+        // sealed-entry open, then promote into the hot region (the
+        // record stays live — promotion changes residency, not truth).
+        let started = Instant::now();
+        let (kind, k, v, seqno) = self.log.read(meta.ptr).map_err(runtime_log_err)?;
+        if kind != RecordKind::Put || k != key || seqno != meta.seqno {
+            return Err(StoreError::Integrity(crate::Violation::EntryMacMismatch));
+        }
+        self.hot.enclave().charge_crypt(k.len() + v.len());
+        self.hot.enclave().charge_mac(16 + k.len() + v.len());
+        self.hot.put(&k, &v)?;
+        self.cold.remove(key);
+        let bytes = k.len() + v.len();
+        self.hot_meta.insert(
+            k,
+            KeyMeta { ptr: meta.ptr, seqno: meta.seqno, bytes, last_access: self.clock },
+        );
+        self.hot_bytes += bytes;
+        if let Some(tele) = &self.tele {
+            tele.store.cold_read_latency.observe(started.elapsed().as_nanos() as u64);
+        }
+        Ok(Some(v))
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, StoreError> {
+        if self.destroyed.contains(key) {
+            return Err(StoreError::Integrity(crate::Violation::DataDestroyed));
+        }
+        let was_hot = self.hot_meta.contains_key(key);
+        let existed = was_hot || self.cold.contains_key(key);
+        if !existed {
+            return Ok(false);
+        }
+        if was_hot {
+            self.hot.delete(key)?;
+        }
+        let freed = self.supersede(key);
+        let _ = freed;
+        let info = self.log.append(RecordKind::Delete, key, &[]).map_err(runtime_log_err)?;
+        self.tombstones.insert(
+            key.to_vec(),
+            KeyMeta { ptr: info.ptr, seqno: info.seqno, bytes: 0, last_access: 0 },
+        );
+        self.mutations_since_checkpoint += 1;
+        Ok(true)
+    }
+
+    fn len(&self) -> u64 {
+        (self.hot_meta.len() + self.cold.len()) as u64
+    }
+
+    fn enclave(&self) -> &Arc<Enclave> {
+        self.hot.enclave()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.hot.cache_stats()
+    }
+
+    fn recover(&mut self) -> Result<RecoveryReport, StoreError> {
+        let mut report = self.hot.recover()?;
+        // Audit the cold tier: every record must still verify. Records
+        // that no longer do are destroyed — their keys fail closed from
+        // here on, exactly like a condemned hot entry.
+        let cold_keys: Vec<(Vec<u8>, KeyMeta)> =
+            self.cold.iter().map(|(k, m)| (k.clone(), *m)).collect();
+        for (key, meta) in cold_keys {
+            match self.log.read(meta.ptr) {
+                Ok((RecordKind::Put, k, _, seqno)) if k == key && seqno == meta.seqno => {
+                    report.entries_verified += 1;
+                }
+                Ok(_) | Err(LogError::Corrupt { .. }) | Err(LogError::Tampered { .. }) => {
+                    self.cold.remove(&key);
+                    self.log.mark_dead(meta.ptr);
+                    self.destroyed.insert(key);
+                    report.entries_destroyed += 1;
+                }
+                Err(e) => return Err(runtime_log_err(e)),
+            }
+        }
+        Ok(report)
+    }
+
+    fn attach_telemetry(&mut self, tele: Arc<aria_telemetry::ShardTelemetry>) {
+        self.hot.attach_telemetry(Arc::clone(&tele));
+        self.tele = Some(tele);
+    }
+
+    fn refresh_gauges(&self) {
+        self.hot.refresh_gauges();
+        if let Some(tele) = &self.tele {
+            tele.store.hot_entries.set(self.hot_meta.len() as u64);
+            tele.store.cold_entries.set(self.cold.len() as u64);
+            // The inner store's keys_live gauge only covers the hot
+            // region; report the full logical key count.
+            tele.store.keys_live.set(self.len());
+        }
+    }
+
+    /// Stream the full verified contents: first the hot region
+    /// (delegated to the inner store's export, cursor tagged with LSB
+    /// 0), then the cold tier from verified log reads (LSB 1, index
+    /// into the sorted cold key list).
+    fn export_chunk(
+        &mut self,
+        cursor: u64,
+        max: usize,
+    ) -> Result<(Vec<(Vec<u8>, Vec<u8>)>, Option<u64>), StoreError> {
+        let cold_start = |cold_empty: bool| if cold_empty { None } else { Some(1u64) };
+        if cursor & 1 == 0 {
+            let (pairs, next) = self.hot.export_chunk(cursor >> 1, max)?;
+            return Ok((
+                pairs,
+                match next {
+                    Some(c) => Some(c << 1),
+                    None => cold_start(self.cold.is_empty()),
+                },
+            ));
+        }
+        // Cold phase: deterministic order over the (unmutated) cold set.
+        let mut keys: Vec<&Vec<u8>> = self.cold.keys().collect();
+        keys.sort_unstable();
+        let start = (cursor >> 1) as usize;
+        let slice: Vec<Vec<u8>> = keys.into_iter().skip(start).take(max).cloned().collect();
+        let mut out = Vec::with_capacity(slice.len());
+        for key in slice {
+            let meta = *self.cold.get(&key).expect("key just listed");
+            let (kind, k, v, seqno) = self.log.read(meta.ptr).map_err(runtime_log_err)?;
+            if kind != RecordKind::Put || k != key || seqno != meta.seqno {
+                return Err(StoreError::Integrity(crate::Violation::EntryMacMismatch));
+            }
+            out.push((k, v));
+        }
+        let consumed = start + out.len();
+        let next =
+            if consumed < self.cold.len() { Some(((consumed as u64) << 1) | 1) } else { None };
+        Ok((out, next))
+    }
+
+    fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
+        let migrated = self.migrate()?;
+        let (segments_compacted, records_rewritten) = self.compact()?;
+        let mut checkpointed = false;
+        if self.opts.checkpoint_every > 0
+            && self.mutations_since_checkpoint >= self.opts.checkpoint_every
+        {
+            self.force_checkpoint()?;
+            checkpointed = true;
+        }
+        Ok(MaintenanceReport { migrated, segments_compacted, records_rewritten, checkpointed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AriaHash, StoreConfig, Violation};
+    use aria_cache::CacheConfig;
+    use aria_sim::{CostModel, Enclave};
+
+    const MASTER: &[u8; 16] = b"tiered-test-mast";
+
+    fn hot_store() -> AriaHash {
+        let mut cfg = StoreConfig::for_keys(4096);
+        cfg.cache = CacheConfig::with_capacity(8 << 20);
+        cfg.master_key = *MASTER;
+        AriaHash::new(cfg, Arc::new(Enclave::new(CostModel::default(), 512 << 20))).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aria-tiered-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(dir: &std::path::Path) -> TieredOptions {
+        TieredOptions::new(dir.to_path_buf()).segment_bytes(8192).hot_budget_bytes(4 << 10)
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        format!("tier-key-{i:05}").into_bytes()
+    }
+
+    fn value(i: u64) -> Vec<u8> {
+        format!("tier-value-{i:05}-{}", "x".repeat(32)).into_bytes()
+    }
+
+    #[test]
+    fn put_get_delete_with_tiering() {
+        let dir = tmpdir("basic");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..100 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        assert_eq!(s.len(), 100);
+        // Force migration: budget is 4 KiB, 100 entries * ~60 B ≈ 6 KiB.
+        let report = s.maintain().unwrap();
+        assert!(report.migrated > 0, "over-budget hot region must migrate");
+        let stats = s.tier_stats();
+        assert!(stats.cold_entries > 0);
+        assert!(stats.hot_bytes <= 4 << 10);
+        // Every key still reads correctly (cold ones promote back).
+        for i in 0..100 {
+            assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(i), "key {i}");
+        }
+        // Deletes work across tiers.
+        assert!(s.delete(&key(7)).unwrap());
+        assert!(!s.delete(&key(7)).unwrap());
+        assert_eq!(s.get(&key(7)).unwrap(), None);
+        assert_eq!(s.len(), 99);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skewed_access_keeps_working_set_hot() {
+        let dir = tmpdir("skew");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..200 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        // Touch a small working set, then migrate.
+        for _ in 0..5 {
+            for i in 0..20 {
+                s.get(&key(i)).unwrap();
+            }
+        }
+        s.maintain().unwrap();
+        // The recently-touched keys must have survived in the hot region.
+        let stats = s.tier_stats();
+        assert!(stats.cold_entries > 0);
+        for i in 0..20 {
+            assert!(s.hot_meta.contains_key(&key(i)), "hot key {i} was evicted before cold keys");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_segments() {
+        let dir = tmpdir("compact");
+        let mut o = opts(&dir);
+        o.compact_min_dead_ratio = 0.5;
+        let mut s = TieredStore::open(hot_store(), MASTER, o).unwrap();
+        // Overwrite the same keys repeatedly: most records die.
+        for round in 0..20 {
+            for i in 0..20 {
+                s.put(&key(i), &value(round * 100 + i)).unwrap();
+            }
+        }
+        let before = s.tier_stats();
+        assert!(before.segments > 1);
+        let mut compacted = 0;
+        for _ in 0..20 {
+            let r = s.maintain().unwrap();
+            compacted += r.segments_compacted;
+        }
+        assert!(compacted > 0, "mostly-dead segments must compact");
+        let after = s.tier_stats();
+        assert!(after.log_bytes < before.log_bytes, "compaction must reclaim bytes");
+        // Data intact.
+        for i in 0..20 {
+            assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(1900 + i));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_recovers_with_root_match() {
+        let dir = tmpdir("restart");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..50 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.delete(&key(3)).unwrap();
+        let cp = s.force_checkpoint().unwrap();
+        assert_eq!(cp.epoch, 1);
+        drop(s);
+
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1)).unwrap();
+        assert_eq!(s.len(), 49);
+        assert_eq!(s.checkpoint_epoch(), 1);
+        for i in 0..50 {
+            if i == 3 {
+                assert_eq!(s.get(&key(i)).unwrap(), None);
+            } else {
+                assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(i), "key {i}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_after_checkpoint_survive_restart() {
+        let dir = tmpdir("after-cp");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..30 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap();
+        for i in 30..60 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.delete(&key(0)).unwrap();
+        drop(s);
+        // Records past the checkpoint frontier replay on top of the
+        // verified prefix.
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1)).unwrap();
+        assert_eq!(s.len(), 59);
+        assert_eq!(s.get(&key(0)).unwrap(), None);
+        assert_eq!(s.get(&key(45)).unwrap().unwrap(), value(45));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_log_refused_at_open() {
+        let dir = tmpdir("tamper");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..30 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap();
+        drop(s);
+        // Flip a byte mid-log.
+        let len = aria_log::segment_file_len(&dir, 0).unwrap();
+        aria_log::flip_byte(&dir, 0, len / 2, 0x08).unwrap();
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect_err("tampered log must refuse");
+        assert!(
+            matches!(
+                err,
+                StoreError::RecoveryDiverged {
+                    reason: RecoveryFailure::LogCorrupt { .. }
+                        | RecoveryFailure::LogTampered { .. }
+                }
+            ),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_refused_at_open() {
+        let dir = tmpdir("rollback");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..20 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap(); // epoch 1
+        drop(s);
+        // Snapshot the epoch-1 state, run forward to epoch 2, then
+        // restore the stale snapshot — a host replaying old state.
+        let snap = tmpdir("rollback-snap");
+        std::fs::create_dir_all(&snap).unwrap();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), snap.join(entry.file_name())).unwrap();
+        }
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1)).unwrap();
+        for i in 20..40 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap(); // epoch 2
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::rename(&snap, &dir).unwrap();
+        // The stale state is internally consistent — only the epoch
+        // floor catches it.
+        TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect("stale state passes without a floor");
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(2))
+            .expect_err("rollback below the floor must refuse");
+        assert!(
+            matches!(
+                err,
+                StoreError::RecoveryDiverged {
+                    reason: RecoveryFailure::Rollback { checkpoint_epoch: 1, min_epoch: 2 }
+                }
+            ),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_with_floor_refused() {
+        let dir = tmpdir("missing-cp");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        s.put(&key(1), &value(1)).unwrap();
+        s.force_checkpoint().unwrap();
+        drop(s);
+        std::fs::remove_file(dir.join("CHECKPOINT")).unwrap();
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect_err("deleted checkpoint with a floor must refuse");
+        assert!(matches!(
+            err,
+            StoreError::RecoveryDiverged {
+                reason: RecoveryFailure::Rollback { checkpoint_epoch: 0, min_epoch: 1 }
+            }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_checkpoint_state() {
+        let dir = tmpdir("torn");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..25 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap();
+        let frontier = s.log_frontier();
+        s.put(&key(99), &value(99)).unwrap();
+        drop(s);
+        // Cut inside the post-checkpoint record: the unacked tail is
+        // torn away, the checkpointed prefix verifies.
+        aria_log::crash_cut(&dir, frontier.0, frontier.1 + 10).unwrap();
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1)).unwrap();
+        assert_eq!(s.len(), 25);
+        assert_eq!(s.get(&key(99)).unwrap(), None);
+        assert_eq!(s.get(&key(10)).unwrap().unwrap(), value(10));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cut_below_checkpoint_frontier_refused() {
+        let dir = tmpdir("cut-deep");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..25 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap();
+        let (seg, off) = s.log_frontier();
+        drop(s);
+        // Cut *below* the checkpoint frontier: acknowledged-and-attested
+        // state is missing, the root cannot match.
+        aria_log::crash_cut(&dir, seg, off / 2).unwrap();
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect_err("state loss below the checkpoint must refuse");
+        assert!(
+            matches!(err, StoreError::RecoveryDiverged { reason: RecoveryFailure::RootMismatch }),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_checkpoint_root() {
+        let dir = tmpdir("compact-root");
+        let mut o = opts(&dir);
+        o.compact_min_dead_ratio = 0.3;
+        let mut s = TieredStore::open(hot_store(), MASTER, o.clone()).unwrap();
+        for round in 0..10 {
+            for i in 0..20 {
+                s.put(&key(i), &value(round * 100 + i)).unwrap();
+            }
+        }
+        s.force_checkpoint().unwrap();
+        // Compact after the checkpoint: rewrites move records to new
+        // segments but preserve seqnos, so the checkpoint still
+        // verifies.
+        for _ in 0..20 {
+            s.maintain().unwrap();
+        }
+        drop(s);
+        let mut s = TieredStore::open(hot_store(), MASTER, o.min_epoch(1)).unwrap();
+        assert_eq!(s.len(), 20);
+        for i in 0..20 {
+            assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(900 + i));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_chunk_covers_both_tiers() {
+        let dir = tmpdir("export");
+        let mut s =
+            TieredStore::open(hot_store(), MASTER, opts(&dir).hot_budget_bytes(1 << 10)).unwrap();
+        for i in 0..60 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.maintain().unwrap(); // push some keys cold
+        assert!(s.tier_stats().cold_entries > 0);
+        let (pairs, root) = crate::resync::content_root_of(&mut s).unwrap();
+        assert_eq!(pairs.len(), 60);
+        assert_eq!(root.pairs, 60);
+        // Root equals the flat-pairs root over the same contents.
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = (0..60).map(|i| (key(i), value(i))).collect();
+        assert_eq!(crate::resync::content_root(&expect), root);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runtime_cold_tamper_is_integrity_violation_and_recover_contains() {
+        let dir = tmpdir("cold-tamper");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        for i in 0..80 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.maintain().unwrap();
+        let cold_key = {
+            let mut cold: Vec<&Vec<u8>> = s.cold.keys().collect();
+            cold.sort_unstable();
+            cold.first().expect("some cold key").to_vec()
+        };
+        let ptr = s.cold[&cold_key].ptr;
+        // Host flips a byte inside the cold record's sealed payload.
+        aria_log::flip_byte(&dir, ptr.segment, ptr.offset + 30, 0x04).unwrap();
+        let err = s.get(&cold_key).unwrap_err();
+        assert!(err.is_integrity_violation());
+        assert!(err.is_quarantine_trigger());
+        // Recovery sweeps the cold tier, destroys the damaged record,
+        // and the key fails closed afterwards.
+        let report = s.recover().unwrap();
+        assert_eq!(report.entries_destroyed, 1);
+        assert!(report.entries_verified > 0);
+        assert_eq!(s.get(&cold_key).unwrap_err(), StoreError::Integrity(Violation::DataDestroyed));
+        // Other keys unaffected.
+        let stats = s.tier_stats();
+        assert_eq!(stats.hot_entries + stats.cold_entries, 79);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn first_boot_without_checkpoint_is_accepted() {
+        let dir = tmpdir("first-boot");
+        let s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.checkpoint_epoch(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

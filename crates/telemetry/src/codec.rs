@@ -218,6 +218,12 @@ fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
     put_hist(b, &st.resync_bytes);
     put_u64(b, st.replica_role);
     put_u64(b, st.replica_lag);
+    put_u64(b, st.hot_entries);
+    put_u64(b, st.cold_entries);
+    put_u64(b, st.migrations);
+    put_u64(b, st.compactions);
+    put_u64(b, st.checkpoints);
+    put_hist(b, &st.cold_read_latency);
     put_u32(b, st.health_events.len() as u32);
     for e in &st.health_events {
         put_u64(b, e.seq);
@@ -265,6 +271,12 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
     let resync_bytes = c.hist()?;
     let replica_role = c.u64()?;
     let replica_lag = c.u64()?;
+    let hot_entries = c.u64()?;
+    let cold_entries = c.u64()?;
+    let migrations = c.u64()?;
+    let compactions = c.u64()?;
+    let checkpoints = c.u64()?;
+    let cold_read_latency = c.hist()?;
     let nev = c.u32()? as usize;
     if nev > MAX_LIST {
         return Err(CodecError::Malformed);
@@ -298,6 +310,12 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
             resync_bytes,
             replica_role,
             replica_lag,
+            hot_entries,
+            cold_entries,
+            migrations,
+            compactions,
+            checkpoints,
+            cold_read_latency,
             health_events,
         },
     })
@@ -396,6 +414,12 @@ mod tests {
         hub.shards[1].store.resync_bytes.observe(8192);
         hub.shards[1].store.replica_role.set(1);
         hub.shards[1].store.replica_lag.set(12);
+        hub.shards[1].store.hot_entries.set(100);
+        hub.shards[1].store.cold_entries.set(900);
+        hub.shards[1].store.migrations.add(40);
+        hub.shards[1].store.compactions.inc();
+        hub.shards[1].store.checkpoints.add(3);
+        hub.shards[1].store.cold_read_latency.observe(45_000);
         hub.net.op_latency[1].observe(999);
         hub.net.frame_bytes_in.add(4096);
         hub.net.reactor_conns.set(3);

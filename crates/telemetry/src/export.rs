@@ -80,6 +80,12 @@ impl TelemetrySnapshot {
             prom_hist(&mut o, "aria_store_resync_bytes", &sh, &st.resync_bytes);
             prom_line(&mut o, "aria_store_replica_role", &sh, st.replica_role);
             prom_line(&mut o, "aria_store_replica_lag_keys", &sh, st.replica_lag);
+            prom_line(&mut o, "aria_store_hot_entries", &sh, st.hot_entries);
+            prom_line(&mut o, "aria_store_cold_entries", &sh, st.cold_entries);
+            prom_line(&mut o, "aria_store_migrations_total", &sh, st.migrations);
+            prom_line(&mut o, "aria_store_compactions_total", &sh, st.compactions);
+            prom_line(&mut o, "aria_store_checkpoints_total", &sh, st.checkpoints);
+            prom_hist(&mut o, "aria_store_cold_read_latency_nanos", &sh, &st.cold_read_latency);
             for (ci, &v) in st.violations.iter().enumerate() {
                 let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
                 prom_line(
@@ -238,7 +244,8 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
     o.push_str(&format!(
         ",\"index_probes\":{},\"keys_live\":{},\"counter_live\":{},\"counter_capacity\":{},\
          \"health_state\":{},\"failovers\":{},\"resyncs\":{},\"replica_role\":{},\
-         \"replica_lag\":{},\"violations\":{{",
+         \"replica_lag\":{},\"hot_entries\":{},\"cold_entries\":{},\"migrations\":{},\
+         \"compactions\":{},\"checkpoints\":{},\"violations\":{{",
         st.index_probes,
         st.keys_live,
         st.counter_live,
@@ -247,7 +254,12 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
         st.failovers,
         st.resyncs,
         st.replica_role,
-        st.replica_lag
+        st.replica_lag,
+        st.hot_entries,
+        st.cold_entries,
+        st.migrations,
+        st.compactions,
+        st.checkpoints
     ));
     let mut first = true;
     for (ci, &v) in st.violations.iter().enumerate() {

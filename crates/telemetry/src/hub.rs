@@ -22,8 +22,11 @@ use crate::trace::{SlowOp, SlowOpTracer};
 /// `resync_bytes`, `replica_role`, `replica_lag`) to the store section
 /// and grew the chaos site table to 8. v3 grew the net opcode table to
 /// 10 (`hello`) and added the reactor fields (`reactor_conns`,
-/// `tick_batch_size`, `reactor_ops`, `reactor_submissions`).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// `tick_batch_size`, `reactor_ops`, `reactor_submissions`). v4 added
+/// the tiering fields (`hot_entries`, `cold_entries`, `migrations`,
+/// `compactions`, `checkpoints`, `cold_read_latency`) to the store
+/// section and grew the chaos site table to 11 (durability log sites).
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -42,7 +45,7 @@ pub const VIOLATION_NAMES: [&str; VIOLATION_CLASSES] = [
 
 /// Number of chaos fault-injection sites (mirrors
 /// `aria_chaos::FaultSite` order).
-pub const FAULT_SITES: usize = 8;
+pub const FAULT_SITES: usize = 11;
 
 /// Stable names for the fault sites, indexable by `FaultSite as usize`.
 pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
@@ -54,6 +57,9 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
     "free_list_tamper",
     "primary_kill",
     "replica_divergence",
+    "log_bit_flip",
+    "torn_append",
+    "stale_checkpoint_rollback",
 ];
 
 /// Number of tracked wire opcodes.
@@ -379,6 +385,21 @@ pub struct StoreTelemetry {
     pub replica_role: Gauge,
     /// Current replication lag in keys (gauge; 0 when in sync).
     pub replica_lag: Gauge,
+    /// Entries resident in the hot (DRAM) tier (gauge; equals
+    /// `keys_live` on untiered stores).
+    pub hot_entries: Gauge,
+    /// Entries resident only in the cold segment log (gauge; 0 on
+    /// untiered stores).
+    pub cold_entries: Gauge,
+    /// Hot entries migrated to the cold tier.
+    pub migrations: Counter,
+    /// Log segments compacted.
+    pub compactions: Counter,
+    /// Verified checkpoints sealed to disk.
+    pub checkpoints: Counter,
+    /// Latency per cold-tier read (verified log read + promotion),
+    /// nanoseconds.
+    pub cold_read_latency: Histogram,
     health_seq: AtomicU64,
     health_events: Mutex<VecDeque<HealthTransition>>,
 }
@@ -401,6 +422,12 @@ impl Default for StoreTelemetry {
             resync_bytes: Histogram::new(),
             replica_role: Gauge::new(),
             replica_lag: Gauge::new(),
+            hot_entries: Gauge::new(),
+            cold_entries: Gauge::new(),
+            migrations: Counter::new(),
+            compactions: Counter::new(),
+            checkpoints: Counter::new(),
+            cold_read_latency: Histogram::new(),
             health_seq: AtomicU64::new(0),
             health_events: Mutex::new(VecDeque::new()),
         }
@@ -463,6 +490,12 @@ impl StoreTelemetry {
             resync_bytes: self.resync_bytes.snapshot(),
             replica_role: self.replica_role.get(),
             replica_lag: self.replica_lag.get(),
+            hot_entries: self.hot_entries.get(),
+            cold_entries: self.cold_entries.get(),
+            migrations: self.migrations.get(),
+            compactions: self.compactions.get(),
+            checkpoints: self.checkpoints.get(),
+            cold_read_latency: self.cold_read_latency.snapshot(),
             health_events,
         }
     }
@@ -501,6 +534,18 @@ pub struct StoreSnapshot {
     pub replica_role: u64,
     /// Replication lag in keys.
     pub replica_lag: u64,
+    /// Entries resident in the hot tier.
+    pub hot_entries: u64,
+    /// Entries resident only in the cold log.
+    pub cold_entries: u64,
+    /// Hot entries migrated cold.
+    pub migrations: u64,
+    /// Log segments compacted.
+    pub compactions: u64,
+    /// Verified checkpoints sealed.
+    pub checkpoints: u64,
+    /// Cold-read latency histogram (nanoseconds).
+    pub cold_read_latency: HistSnapshot,
     /// Recent health transitions, oldest first.
     pub health_events: Vec<HealthTransition>,
 }
@@ -523,6 +568,12 @@ impl Default for StoreSnapshot {
             resync_bytes: HistSnapshot::empty(),
             replica_role: 0,
             replica_lag: 0,
+            hot_entries: 0,
+            cold_entries: 0,
+            migrations: 0,
+            compactions: 0,
+            checkpoints: 0,
+            cold_read_latency: HistSnapshot::empty(),
             health_events: Vec::new(),
         }
     }
@@ -551,6 +602,12 @@ impl StoreSnapshot {
         // worst lag wins.
         self.replica_role = self.replica_role.max(other.replica_role);
         self.replica_lag = self.replica_lag.max(other.replica_lag);
+        self.hot_entries += other.hot_entries;
+        self.cold_entries += other.cold_entries;
+        self.migrations += other.migrations;
+        self.compactions += other.compactions;
+        self.checkpoints += other.checkpoints;
+        self.cold_read_latency.merge(&other.cold_read_latency);
         self.health_events.extend(other.health_events.iter().cloned());
     }
 
@@ -579,6 +636,12 @@ impl StoreSnapshot {
             resync_bytes: self.resync_bytes.delta(&earlier.resync_bytes),
             replica_role: self.replica_role,
             replica_lag: self.replica_lag,
+            hot_entries: self.hot_entries,
+            cold_entries: self.cold_entries,
+            migrations: self.migrations.saturating_sub(earlier.migrations),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            cold_read_latency: self.cold_read_latency.delta(&earlier.cold_read_latency),
             health_events: self
                 .health_events
                 .iter()

@@ -55,6 +55,7 @@
 pub use aria_cache as cache;
 pub use aria_chaos as chaos;
 pub use aria_crypto as crypto;
+pub use aria_log as log;
 pub use aria_mem as mem;
 pub use aria_merkle as merkle;
 pub use aria_net as net;
@@ -77,8 +78,9 @@ pub mod prelude {
     pub use aria_sim::{CostModel, Enclave, DEFAULT_EPC_BYTES};
     pub use aria_store::{
         AriaBPlusTree, AriaHash, AriaTree, BaselineStore, BatchOp, BatchReply, CacheStats,
-        ConfigError, GroupStats, KvStore, ReplicaRole, Scheme, ShardHealth, ShardedStore,
-        StoreConfig, StoreError, Violation,
+        ConfigError, GroupStats, KvStore, MaintenanceReport, RecoveryFailure, ReplicaRole, Scheme,
+        ShardHealth, ShardedStore, StoreConfig, StoreError, TierStats, TieredOptions, TieredStore,
+        Violation,
     };
     pub use aria_workload::{
         encode_key, value_bytes, EtcConfig, EtcWorkload, KeyDistribution, Request, YcsbConfig,
