@@ -15,6 +15,12 @@
 //! * `CHECKPOINT` — the latest verified checkpoint (epoch, last
 //!   sequence number, pair count, content-root digest), written
 //!   atomically via a temp file + rename. See [`checkpoint`].
+//! * `LOGID` — the directory's random identity nonce, mixed into the
+//!   log-key derivation so logs sharing a master secret never share a
+//!   CTR keystream. See [`meta`].
+//! * `SEQNO` — the sealed seqno high-water reservation, preventing
+//!   seqno (and therefore keystream) reuse after a torn-tail
+//!   truncation. See [`meta`].
 //!
 //! Opening a log replays every segment in id order. A record that ends
 //! past the end of the **last** segment is a torn tail from a crash and
@@ -35,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod meta;
 pub mod record;
 pub mod segment;
 
@@ -43,6 +50,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
+pub use meta::load_or_create_log_nonce;
 pub use record::{RecordKind, RecordPtr, MAX_KEY_LEN, MAX_VALUE_LEN};
 pub use segment::{AppendFaultHook, AppendInfo, ReplayRecord, SegmentLog, SegmentStats};
 
@@ -81,6 +89,15 @@ pub enum LogError {
     /// The checkpoint file exists but fails its CRC or MAC, or has an
     /// impossible layout. Recovery must refuse rather than guess.
     CheckpointCorrupt,
+    /// A sealed log metadata file (`LOGID` identity nonce or `SEQNO`
+    /// reservation) is malformed, fails its MAC, or is missing where
+    /// the write protocol guarantees it exists. Both files are written
+    /// atomically before the state they protect, so a crash cannot
+    /// explain their absence — this is host tampering.
+    MetaCorrupt {
+        /// Which file failed (`"LOGID"` or `"SEQNO"`).
+        file: &'static str,
+    },
     /// The configuration is unusable (zero segment size, missing dir).
     Config(String),
 }
@@ -96,6 +113,9 @@ impl fmt::Display for LogError {
                 write!(f, "tampered log record in segment {segment} at offset {offset}")
             }
             LogError::CheckpointCorrupt => write!(f, "checkpoint file corrupt or tampered"),
+            LogError::MetaCorrupt { file } => {
+                write!(f, "log metadata file {file} missing, corrupt or tampered")
+            }
             LogError::Config(msg) => write!(f, "log config: {msg}"),
         }
     }
@@ -111,7 +131,10 @@ impl LogError {
     /// Whether this error reports detected tampering (as opposed to
     /// crash damage or plain I/O failure).
     pub fn is_tamper(&self) -> bool {
-        matches!(self, LogError::Tampered { .. } | LogError::CheckpointCorrupt)
+        matches!(
+            self,
+            LogError::Tampered { .. } | LogError::CheckpointCorrupt | LogError::MetaCorrupt { .. }
+        )
     }
 }
 

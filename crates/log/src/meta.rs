@@ -1,0 +1,243 @@
+//! Per-log-directory metadata files: the log identity nonce and the
+//! sealed sequence-number reservation.
+//!
+//! **`LOGID`** — 16 random bytes stamped into the directory the first
+//! time a log is created there. The caller mixes this nonce into the
+//! log-key derivation, so two logs sealed under the same master secret
+//! (e.g. the shards of one `ShardedStore`) still encrypt under
+//! *distinct* keys — without it, shard A's record seqno `n` and shard
+//! B's record seqno `n` would share an AES-CTR keystream and the
+//! untrusted host could XOR the ciphertexts. The file is plain (it is
+//! an input to key derivation, so it cannot be MACed under the derived
+//! key), but it is self-protecting: any change to it changes the
+//! derived key, which makes every already-sealed record and checkpoint
+//! fail its MAC — the store refuses to serve rather than decrypting
+//! with the wrong key.
+//!
+//! **`SEQNO`** — a sealed high-water reservation on sequence numbers:
+//!
+//! ```text
+//! 0   4   magic "ASQN"
+//! 4   4   crc32 over bytes [8..end)
+//! 8   8   reserved  — seqnos < reserved may have been allocated
+//! 16  16  mac       — CMAC over bytes [8..16) under the log key
+//! ```
+//!
+//! The writer fsyncs a raised reservation *before* allocating past the
+//! previous one, and a fresh open resumes allocation at the reserved
+//! bound rather than at `max(replayed seqno) + 1`. That closes a
+//! keystream-reuse hole: after a crash tears the tail record off the
+//! active segment, replay no longer re-allocates the torn record's
+//! seqno to a different plaintext (a host that kept the torn frame
+//! would otherwise hold two ciphertexts under one (key, counter)
+//! pair). The cost is a bounded gap in the seqno space per reopen,
+//! which latest-wins replay is indifferent to.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use aria_crypto::{CipherSuite, RealSuite, MAC_LEN};
+
+use crate::record::crc32;
+use crate::LogError;
+
+const LOGID_MAGIC: &[u8; 4] = b"ALID";
+const LOGID_LEN: usize = 4 + 16;
+
+const SEQNO_MAGIC: &[u8; 4] = b"ASQN";
+const SEQNO_LEN: usize = 4 + 4 + 8 + MAC_LEN;
+
+/// Path of the log identity (nonce) file inside a log directory.
+pub fn logid_path(dir: &Path) -> PathBuf {
+    dir.join("LOGID")
+}
+
+/// Path of the sealed seqno reservation file inside a log directory.
+pub fn seqno_path(dir: &Path) -> PathBuf {
+    dir.join("SEQNO")
+}
+
+fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), LogError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut f = std::fs::File::create(&tmp).map_err(|e| LogError::io("meta-write", e))?;
+    f.write_all(bytes).map_err(|e| LogError::io("meta-write", e))?;
+    f.sync_data().map_err(|e| LogError::io("meta-sync", e))?;
+    drop(f);
+    std::fs::rename(&tmp, dir.join(name)).map_err(|e| LogError::io("meta-rename", e))?;
+    Ok(())
+}
+
+/// 16 bytes from the OS entropy pool. `aria-rand` is a deterministic
+/// simulation PRNG, not a CSPRNG, so it must not mint key material;
+/// if `/dev/urandom` is unavailable (non-Unix test hosts), fall back
+/// to whitened clock/pid/address entropy — weak, but the nonce only
+/// needs uniqueness per directory, not unpredictability.
+fn random_nonce() -> [u8; 16] {
+    let mut nonce = [0u8; 16];
+    let from_os =
+        std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(&mut nonce)).is_ok();
+    if !from_os || nonce == [0u8; 16] {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mix = |x: &mut u64, v: u64| {
+            *x = (*x ^ v).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            *x ^= *x >> 31;
+        };
+        if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            mix(&mut x, d.as_nanos() as u64);
+            mix(&mut x, (d.as_nanos() >> 64) as u64);
+        }
+        mix(&mut x, std::process::id() as u64);
+        mix(&mut x, &nonce as *const _ as usize as u64);
+        nonce[..8].copy_from_slice(&x.to_le_bytes());
+        mix(&mut x, 0x2545_f491_4f6c_dd1d);
+        nonce[8..].copy_from_slice(&x.to_le_bytes());
+    }
+    nonce
+}
+
+/// Load the log directory's identity nonce, creating it (from OS
+/// entropy) on first boot. A directory that already holds segment
+/// files but no `LOGID` is [`LogError::MetaCorrupt`]: the file is
+/// written before the first segment ever is, so it cannot be missing
+/// unless the host removed it.
+pub fn load_or_create_log_nonce(dir: &Path) -> Result<[u8; 16], LogError> {
+    std::fs::create_dir_all(dir).map_err(|e| LogError::io("create-dir", e))?;
+    let path = logid_path(dir);
+    match std::fs::read(&path) {
+        Ok(buf) => {
+            if buf.len() != LOGID_LEN || &buf[..4] != LOGID_MAGIC {
+                return Err(LogError::MetaCorrupt { file: "LOGID" });
+            }
+            Ok(buf[4..].try_into().expect("16 bytes"))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            if crate::segment::dir_has_segments(dir)? {
+                return Err(LogError::MetaCorrupt { file: "LOGID" });
+            }
+            let nonce = random_nonce();
+            let mut buf = Vec::with_capacity(LOGID_LEN);
+            buf.extend_from_slice(LOGID_MAGIC);
+            buf.extend_from_slice(&nonce);
+            atomic_write(dir, "LOGID", &buf)?;
+            Ok(nonce)
+        }
+        Err(e) => Err(LogError::io("meta-open", e)),
+    }
+}
+
+/// Atomically persist the seqno reservation `reserved` (sealed under
+/// the log key).
+pub(crate) fn save_seqno_reserve(
+    dir: &Path,
+    log_key: &[u8; 16],
+    reserved: u64,
+) -> Result<(), LogError> {
+    let suite = RealSuite::from_master(log_key);
+    let mut buf = Vec::with_capacity(SEQNO_LEN);
+    buf.extend_from_slice(SEQNO_MAGIC);
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&reserved.to_le_bytes());
+    let mac = suite.mac_parts(&[&buf[8..]]);
+    buf.extend_from_slice(&mac);
+    let crc = crc32(&buf[8..]);
+    buf[4..8].copy_from_slice(&crc.to_le_bytes());
+    atomic_write(dir, "SEQNO", &buf)
+}
+
+/// Load and verify the seqno reservation. `Ok(None)` means the file
+/// does not exist (first boot — the caller decides whether that is
+/// plausible); a present-but-unverifiable file is
+/// [`LogError::MetaCorrupt`].
+pub(crate) fn load_seqno_reserve(dir: &Path, log_key: &[u8; 16]) -> Result<Option<u64>, LogError> {
+    let buf = match std::fs::read(seqno_path(dir)) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(LogError::io("meta-open", e)),
+    };
+    let corrupt = LogError::MetaCorrupt { file: "SEQNO" };
+    if buf.len() != SEQNO_LEN || &buf[..4] != SEQNO_MAGIC {
+        return Err(corrupt);
+    }
+    let stored_crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if crc32(&buf[8..]) != stored_crc {
+        return Err(corrupt);
+    }
+    let suite = RealSuite::from_master(log_key);
+    let mac_start = SEQNO_LEN - MAC_LEN;
+    let mac: [u8; MAC_LEN] = buf[mac_start..].try_into().expect("16 bytes");
+    if !suite.verify_parts(&[&buf[8..mac_start]], &mac) {
+        return Err(corrupt);
+    }
+    Ok(Some(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8; 16] = b"meta-test-key-00";
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aria-meta-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn nonce_is_created_once_and_stable() {
+        let dir = tmpdir("nonce");
+        let a = load_or_create_log_nonce(&dir).unwrap();
+        let b = load_or_create_log_nonce(&dir).unwrap();
+        assert_eq!(a, b, "reloading must return the persisted nonce");
+        assert_ne!(a, [0u8; 16]);
+        let other = tmpdir("nonce-other");
+        let c = load_or_create_log_nonce(&other).unwrap();
+        assert_ne!(a, c, "distinct directories must get distinct nonces");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&other);
+    }
+
+    #[test]
+    fn missing_nonce_with_segments_is_meta_corrupt() {
+        let dir = tmpdir("nonce-gone");
+        load_or_create_log_nonce(&dir).unwrap();
+        std::fs::write(crate::segment_path(&dir, 0), b"").unwrap();
+        std::fs::remove_file(logid_path(&dir)).unwrap();
+        assert_eq!(
+            load_or_create_log_nonce(&dir),
+            Err(LogError::MetaCorrupt { file: "LOGID" }),
+            "a deleted nonce must not be silently re-minted over live segments"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seqno_reserve_round_trip_and_flips_refused() {
+        let dir = tmpdir("seqno");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load_seqno_reserve(&dir, KEY).unwrap(), None);
+        save_seqno_reserve(&dir, KEY, 70_000).unwrap();
+        assert_eq!(load_seqno_reserve(&dir, KEY).unwrap(), Some(70_000));
+        let path = seqno_path(&dir);
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x11;
+            std::fs::write(&path, &bad).unwrap();
+            assert_eq!(
+                load_seqno_reserve(&dir, KEY),
+                Err(LogError::MetaCorrupt { file: "SEQNO" }),
+                "flip at byte {i} must be refused"
+            );
+        }
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(load_seqno_reserve(&dir, KEY).is_err());
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_seqno_reserve(&dir, b"a-different-key!").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

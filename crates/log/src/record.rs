@@ -89,6 +89,14 @@ pub struct RecordPtr {
 /// logical write and *preserved by compaction rewrites* — so a rewrite
 /// of the same (seqno, key, value) produces byte-identical ciphertext
 /// and the content root stays stable across compaction.
+///
+/// Because the counter depends only on the seqno, keystream uniqueness
+/// rests on two caller obligations: the log key must be unique *per
+/// log* (derive it by mixing the directory's [`crate::meta`] `LOGID`
+/// nonce into the master secret — never seal two logs under one key),
+/// and a seqno, once allocated, must never be re-allocated to
+/// different plaintext (enforced by the sealed `SEQNO` reservation in
+/// [`crate::SegmentLog`]).
 pub(crate) struct Sealer {
     suite: RealSuite,
 }

@@ -69,18 +69,31 @@ impl SegmentStats {
 /// the chaos harness only.
 pub type AppendFaultHook = Box<dyn FnMut(&mut Vec<u8>) -> Option<usize> + Send>;
 
+/// Reserve seqnos in blocks of this size: the sealed `SEQNO` file is
+/// rewritten (one fsync) once per block, and each reopen burns at most
+/// one block of the 2^64 seqno space.
+const SEQNO_RESERVE_STEP: u64 = 1 << 16;
+
 /// An append-only log of sealed records split across rotated segment
 /// files. All reads verify CRC + MAC before returning plaintext.
 pub struct SegmentLog {
     dir: PathBuf,
     cfg: LogConfig,
     sealer: Sealer,
+    log_key: [u8; 16],
     /// Occupancy for every segment, active included.
     stats: BTreeMap<u64, SegmentStats>,
     active_id: u64,
     active_len: u64,
     writer: File,
     next_seqno: u64,
+    /// Exclusive sealed upper bound on allocated seqnos: every seqno
+    /// handed out is `< reserved`, and `reserved` is fsynced to the
+    /// `SEQNO` file before allocation crosses the previous bound. A
+    /// reopen resumes at the bound, so a seqno lost to a torn tail is
+    /// never re-allocated to a different plaintext (CTR keystream
+    /// reuse).
+    reserved: u64,
     fault_hook: Option<AppendFaultHook>,
 }
 
@@ -109,6 +122,21 @@ impl SegmentLog {
             stats.insert(id, seg_stats);
         }
 
+        // Resume seqno allocation at the sealed reservation bound, not
+        // at max(replayed) + 1: a torn-tail truncation may have erased
+        // records whose seqnos (and CTR keystreams) were already used.
+        // The file is written before the first segment is created, so
+        // "segments exist but no reservation" is host tampering.
+        match crate::meta::load_seqno_reserve(&cfg.dir, log_key)? {
+            Some(bound) => next_seqno = next_seqno.max(bound),
+            None if !ids.is_empty() => {
+                return Err(LogError::MetaCorrupt { file: "SEQNO" });
+            }
+            None => {}
+        }
+        let reserved = next_seqno + SEQNO_RESERVE_STEP;
+        crate::meta::save_seqno_reserve(&cfg.dir, log_key, reserved)?;
+
         let active_id = ids.last().copied().unwrap_or(0);
         stats.entry(active_id).or_default();
         let path = segment_path(&cfg.dir, active_id);
@@ -124,11 +152,13 @@ impl SegmentLog {
             dir: cfg.dir.clone(),
             cfg,
             sealer,
+            log_key: *log_key,
             stats,
             active_id,
             active_len,
             writer,
             next_seqno,
+            reserved,
             fault_hook: None,
         })
     }
@@ -141,6 +171,11 @@ impl SegmentLog {
         value: &[u8],
     ) -> Result<AppendInfo, LogError> {
         let seqno = self.next_seqno;
+        if seqno >= self.reserved {
+            let bound = seqno + SEQNO_RESERVE_STEP;
+            crate::meta::save_seqno_reserve(&self.dir, &self.log_key, bound)?;
+            self.reserved = bound;
+        }
         let info = self.append_with_seqno(seqno, kind, key, value)?;
         self.next_seqno = seqno + 1;
         Ok(info)
@@ -304,6 +339,16 @@ impl SegmentLog {
     /// Install (or clear) the append fault hook. Chaos harness only.
     pub fn set_fault_hook(&mut self, hook: Option<AppendFaultHook>) {
         self.fault_hook = hook;
+    }
+}
+
+/// Whether `dir` holds any segment files (used by [`crate::meta`] to
+/// refuse re-minting a nonce over an existing log).
+pub(crate) fn dir_has_segments(dir: &std::path::Path) -> Result<bool, LogError> {
+    match std::fs::read_dir(dir) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(LogError::io("read-dir", e)),
+        Ok(_) => Ok(!list_segment_ids(dir)?.is_empty()),
     }
 }
 
@@ -565,6 +610,48 @@ mod tests {
         let seen = collect_replay(&dir, 8 << 20).unwrap();
         assert_eq!(seen.len(), 1, "torn append must vanish on replay");
         assert_eq!(seen[0].key, b"whole");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_seqno_is_never_reallocated() {
+        let dir = tmpdir("seqno-reuse");
+        let mut log = SegmentLog::open(LogConfig::new(dir.clone()), KEY, &mut |_| {}).unwrap();
+        for i in 0..5u32 {
+            log.append(RecordKind::Put, &i.to_le_bytes(), b"payload").unwrap();
+        }
+        let (seg, frontier) = log.frontier();
+        drop(log);
+        // Tear the last record (seqno 5) off; the host may have kept
+        // the torn ciphertext bytes.
+        crash_cut(&dir, seg, frontier - 3).unwrap();
+        let mut seen = Vec::new();
+        let mut log =
+            SegmentLog::open(LogConfig::new(dir.clone()), KEY, &mut |r| seen.push(r.seqno))
+                .unwrap();
+        assert_eq!(seen.last().copied(), Some(4));
+        // The next allocation must NOT reuse seqno 5 with different
+        // plaintext — that would repeat a CTR (key, counter) pair. The
+        // sealed reservation forces allocation past the pre-crash
+        // bound.
+        let fresh = log.append(RecordKind::Put, b"other", b"plaintext").unwrap();
+        assert!(fresh.seqno > 5, "torn seqno reallocated: got {}", fresh.seqno);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_seqno_reservation_with_segments_refused() {
+        let dir = tmpdir("seqno-gone");
+        let mut log = SegmentLog::open(LogConfig::new(dir.clone()), KEY, &mut |_| {}).unwrap();
+        log.append(RecordKind::Put, b"k", b"v").unwrap();
+        drop(log);
+        std::fs::remove_file(crate::meta::seqno_path(&dir)).unwrap();
+        let err = match SegmentLog::open(LogConfig::new(dir.clone()), KEY, &mut |_| {}) {
+            Ok(_) => panic!("deleted reservation over live segments must refuse"),
+            Err(e) => e,
+        };
+        assert_eq!(err, LogError::MetaCorrupt { file: "SEQNO" });
+        assert!(err.is_tamper());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -330,7 +330,8 @@ impl AriaClient {
             },
         )?;
         conn.stream.write_all(&out)?;
-        let (rid, resp) = read_response(conn)?;
+        // The ack itself is encoded pre-negotiation: decode at base.
+        let (rid, resp) = read_response(conn, proto::BASE_PROTOCOL_VERSION)?;
         match resp {
             Response::HelloAck { version, features } if rid == id => Ok(Some((version, features))),
             Response::Error { code: ErrorCode::UnknownOpcode, .. } => Ok(None),
@@ -369,6 +370,10 @@ impl AriaClient {
         first_id: u64,
         reqs: &[Request],
     ) -> Result<Vec<Response>, NetError> {
+        // Decode at what HELLO negotiated; without a handshake the
+        // server takes this peer for a base-version client and encodes
+        // responses (notably STATS) accordingly.
+        let version = self.negotiated.map(|(v, _)| v).unwrap_or(proto::BASE_PROTOCOL_VERSION);
         let conn = self.conn.as_mut().expect("ensure_connected succeeded");
         let mut out = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
@@ -379,7 +384,7 @@ impl AriaClient {
         conn.stream.write_all(&out)?;
         let mut responses = Vec::with_capacity(reqs.len());
         for i in 0..reqs.len() {
-            let (id, resp) = read_response(conn)?;
+            let (id, resp) = read_response(conn, version)?;
             if id == proto::CONTROL_ID {
                 // Connection-level server error (e.g. over the limit).
                 if let Response::Error { code, message } = resp {
@@ -532,9 +537,13 @@ fn fail<T>(resp: Response) -> Result<T, NetError> {
     }
 }
 
-fn read_response(conn: &mut Conn) -> Result<(u64, Response), NetError> {
+/// Read one response frame, decoding at `version` — what `HELLO`
+/// negotiated, or [`proto::BASE_PROTOCOL_VERSION`] when the handshake
+/// was skipped (the server then treats this peer as a base-version
+/// client and encodes accordingly).
+fn read_response(conn: &mut Conn, version: u16) -> Result<(u64, Response), NetError> {
     loop {
-        match proto::decode_response(&conn.rbuf[conn.roff..])? {
+        match proto::decode_response_versioned(&conn.rbuf[conn.roff..], version)? {
             Decoded::Frame(consumed, id, resp) => {
                 conn.roff += consumed;
                 if conn.roff == conn.rbuf.len() {

@@ -36,7 +36,9 @@ pub const CONTROL_ID: u64 = 0;
 /// adds the tiering fields (`hot_keys`, `cold_keys`, `recovering`) to
 /// the `STATS` reply. A peer that never sends `HELLO` is treated as
 /// speaking [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake
-/// client working unchanged.
+/// client working unchanged: the server emits the v3 `STATS` fields
+/// only on connections whose negotiated version is ≥ 3 (see
+/// [`encode_response_versioned`]), so v1/v2 decoders never see them.
 pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The version assumed for clients that skip the `HELLO` handshake.
@@ -538,9 +540,24 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), W
     }
 }
 
-/// Append `resp` as one frame to `out`. On [`WireError::FrameTooLarge`],
-/// `out` is left exactly as it was.
+/// Append `resp` as one frame to `out`, encoded at [`PROTOCOL_VERSION`].
+/// On [`WireError::FrameTooLarge`], `out` is left exactly as it was.
 pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<(), WireError> {
+    encode_response_versioned(out, id, resp, PROTOCOL_VERSION)
+}
+
+/// Append `resp` as one frame to `out`, encoded for a peer speaking
+/// `version` (the connection's negotiated version, or
+/// [`BASE_PROTOCOL_VERSION`] before/without a `HELLO`). Fields that a
+/// given version does not know — today the v3 tiering fields of the
+/// `STATS` reply — are omitted so older decoders keep working. On
+/// [`WireError::FrameTooLarge`], `out` is left exactly as it was.
+pub fn encode_response_versioned(
+    out: &mut Vec<u8>,
+    id: u64,
+    resp: &Response,
+    version: u16,
+) -> Result<(), WireError> {
     match resp {
         Response::Pong => frame(out, OP_PONG, id, |_| {}),
         Response::Value(v) => frame(out, OP_VALUE, id, |b| match v {
@@ -581,9 +598,11 @@ pub fn encode_response(out: &mut Vec<u8>, id: u64, resp: &Response) -> Result<()
             put_u32(b, s.active_connections);
             put_u64(b, s.connections_accepted);
             b.push(s.degraded as u8);
-            put_u64(b, s.hot_keys);
-            put_u64(b, s.cold_keys);
-            b.push(s.recovering as u8);
+            if version >= 3 {
+                put_u64(b, s.hot_keys);
+                put_u64(b, s.cold_keys);
+                b.push(s.recovering as u8);
+            }
             put_health(b, &s.health);
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
@@ -847,8 +866,18 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, WireError> {
     })
 }
 
-/// Decode one response frame from the front of `buf`.
+/// Decode one response frame from the front of `buf`, assuming the
+/// peer encoded it at [`PROTOCOL_VERSION`].
 pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
+    decode_response_versioned(buf, PROTOCOL_VERSION)
+}
+
+/// Decode one response frame from the front of `buf`, assuming the
+/// peer encoded it for a connection speaking `version` (what `HELLO`
+/// negotiated, or [`BASE_PROTOCOL_VERSION`] without a handshake).
+/// Fields a given version does not carry — today the v3 tiering fields
+/// of the `STATS` reply — decode to their zero values.
+pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Response>, WireError> {
     let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
         return Ok(Decoded::Incomplete);
     };
@@ -892,18 +921,28 @@ pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, WireError> {
             }
             Response::BatchStatus(items)
         }
-        OP_STATS_REPLY => Response::Stats(StatsReply {
-            shards: c.u32()?,
-            len: c.u64()?,
-            ops_served: c.u64()?,
-            active_connections: c.u32()?,
-            connections_accepted: c.u64()?,
-            degraded: c.u8()? != 0,
-            hot_keys: c.u64()?,
-            cold_keys: c.u64()?,
-            recovering: c.u8()? != 0,
-            health: c.health_list()?,
-        }),
+        OP_STATS_REPLY => {
+            let shards = c.u32()?;
+            let len = c.u64()?;
+            let ops_served = c.u64()?;
+            let active_connections = c.u32()?;
+            let connections_accepted = c.u64()?;
+            let degraded = c.u8()? != 0;
+            let (hot_keys, cold_keys, recovering) =
+                if version >= 3 { (c.u64()?, c.u64()?, c.u8()? != 0) } else { (0, 0, false) };
+            Response::Stats(StatsReply {
+                shards,
+                len,
+                ops_served,
+                active_connections,
+                connections_accepted,
+                degraded,
+                hot_keys,
+                cold_keys,
+                recovering,
+                health: c.health_list()?,
+            })
+        }
         OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
         OP_METRICS_REPLY => Response::Metrics(c.bytes()?),
         OP_HELLO_REPLY => Response::HelloAck { version: c.u16()?, features: c.u64()? },
@@ -1045,6 +1084,57 @@ mod tests {
             code: ErrorCode::TooManyConnections,
             message: "busy".to_string(),
         });
+    }
+
+    /// The v3 tiering fields of the STATS reply must stay invisible to
+    /// v1/v2 peers: encoded at an old version, the frame decodes
+    /// cleanly at that same version (with the tier fields zeroed and
+    /// the health list intact), and the old frame is a strict prefix
+    /// layout — no bytes an old decoder would misread as the
+    /// health-list length.
+    #[test]
+    fn stats_tier_fields_are_gated_on_version() {
+        let stats = Response::Stats(StatsReply {
+            shards: 2,
+            len: 10,
+            ops_served: 55,
+            active_connections: 1,
+            connections_accepted: 4,
+            degraded: false,
+            hot_keys: 7,
+            cold_keys: 3,
+            recovering: true,
+            health: vec![ShardHealthInfo {
+                state: 0,
+                role: 0,
+                lag: 0,
+                violations: 0,
+                recoveries: 0,
+            }],
+        });
+        for old in [1u16, 2] {
+            let mut buf = Vec::new();
+            encode_response_versioned(&mut buf, 5, &stats, old).unwrap();
+            match decode_response_versioned(&buf, old).unwrap() {
+                Decoded::Frame(consumed, id, Response::Stats(got)) => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(id, 5);
+                    assert_eq!(got.shards, 2);
+                    assert_eq!(got.ops_served, 55);
+                    assert_eq!((got.hot_keys, got.cold_keys, got.recovering), (0, 0, false));
+                    assert_eq!(got.health.len(), 1, "health list survives the omitted fields");
+                }
+                other => panic!("expected a STATS frame, got {other:?}"),
+            }
+        }
+        // The old-version frame is exactly 17 bytes (8 + 8 + 1) shorter.
+        let (mut v1, mut v3) = (Vec::new(), Vec::new());
+        encode_response_versioned(&mut v1, 5, &stats, 1).unwrap();
+        encode_response_versioned(&mut v3, 5, &stats, 3).unwrap();
+        assert_eq!(v3.len(), v1.len() + 17);
+        // Mixing versions across the wire is detected, not misread: a
+        // v1 frame is short for a v3 decoder.
+        assert!(matches!(decode_response_versioned(&v1, 3), Err(WireError::Malformed)));
     }
 
     #[test]

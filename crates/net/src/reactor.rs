@@ -368,6 +368,9 @@ struct Conn {
     /// Complete frames may remain beyond the window cap — tick again
     /// without waiting on the poller.
     more_buffered: bool,
+    /// What this peer speaks: the base version until a HELLO negotiates
+    /// higher. Responses (notably STATS) are encoded at this version.
+    version: u16,
 }
 
 impl Conn {
@@ -535,7 +538,12 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                 let mut replies = TakeReplies { table: &mut table, refs: refs.iter() };
                 let resp = build_response(slot, &mut replies, &store, &shared.tele, &stats);
                 if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
-                    encode_or_substitute(&mut conn.wbuf, id, &resp);
+                    encode_or_substitute(&mut conn.wbuf, id, &resp, conn.version);
+                    // Responses after the HELLO ack (even later in this
+                    // tick) use the version the handshake negotiated.
+                    if let proto::Response::HelloAck { version, .. } = resp {
+                        conn.version = version;
+                    }
                 }
             }
             shared.tele.net.inflight.sub(nreq);
@@ -652,6 +660,7 @@ fn adopt_new(inbox: &Inbox, conns: &mut Vec<Option<Conn>>, poller: &mut Poller, 
             peer_closed: false,
             poisoned: false,
             more_buffered: false,
+            version: proto::BASE_PROTOCOL_VERSION,
         });
         shared.tele.net.reactor_conns.add(1);
     }
@@ -688,7 +697,12 @@ fn read_into(conn: &mut Conn, chunk: &mut [u8], shared: &Shared) {
 /// the connection to close once everything is flushed.
 fn poison(conn: &mut Conn, e: &WireError) {
     conn.poisoned = true;
-    encode_or_substitute(&mut conn.wbuf, proto::CONTROL_ID, &wire_failure_response(e));
+    encode_or_substitute(
+        &mut conn.wbuf,
+        proto::CONTROL_ID,
+        &wire_failure_response(e),
+        conn.version,
+    );
 }
 
 /// Write as much pending output as the socket accepts. `WouldBlock`

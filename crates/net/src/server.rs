@@ -277,6 +277,7 @@ pub(crate) fn reject_connection(mut stream: TcpStream, write_timeout: Duration) 
             code: ErrorCode::TooManyConnections,
             message: "connection limit reached".to_string(),
         },
+        proto::BASE_PROTOCOL_VERSION,
     );
     let _ = stream.write_all(&buf);
     let _ = stream.shutdown(Shutdown::Both);
@@ -297,6 +298,9 @@ fn serve_connection<S: KvStore + Send + 'static>(
     let mut wbuf: Vec<u8> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     let mut last_request = Instant::now();
+    // What this peer speaks: the base version until a HELLO negotiates
+    // higher. Responses (notably STATS) are encoded at this version.
+    let mut version = proto::BASE_PROTOCOL_VERSION;
 
     'conn: loop {
         // Decode and plan one pipeline window from what is already
@@ -334,8 +338,17 @@ fn serve_connection<S: KvStore + Send + 'static>(
             last_request = Instant::now();
             let inflight = plan.len() as u64;
             shared.tele.net.inflight.add(inflight);
-            let dispatched =
-                dispatch_window(&store, shared, cfg, &mut stream, &mut wbuf, ops, plan, &op_idxs);
+            let dispatched = dispatch_window(
+                &store,
+                shared,
+                cfg,
+                &mut stream,
+                &mut wbuf,
+                ops,
+                plan,
+                &op_idxs,
+                &mut version,
+            );
             shared.tele.net.inflight.sub(inflight);
             if let Err(e) = dispatched {
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
@@ -349,7 +362,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
             // The valid prefix was served; report the poisoned stream as
             // a connection-level error and hang up (resynchronization is
             // impossible once framing is lost).
-            encode_or_substitute(&mut wbuf, proto::CONTROL_ID, &wire_failure_response(&e));
+            encode_or_substitute(&mut wbuf, proto::CONTROL_ID, &wire_failure_response(&e), version);
             let _ = flush(&mut stream, &mut wbuf, &shared.tele);
             break 'conn;
         }
@@ -401,6 +414,7 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     ops: Vec<BatchOp>,
     plan: Vec<(u64, Slot)>,
     op_idxs: &[usize],
+    version: &mut u16,
 ) -> io::Result<()> {
     let start = Instant::now();
     let served: u64 = plan.iter().map(|(_, slot)| slot.served_units()).sum();
@@ -414,7 +428,12 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     };
     for (id, slot) in plan {
         let resp = build_response(slot, &mut replies, store, &shared.tele, &stats);
-        encode_or_substitute(wbuf, id, &resp);
+        encode_or_substitute(wbuf, id, &resp, *version);
+        // Responses after the HELLO ack (even later in this window) are
+        // encoded at the version the handshake just negotiated.
+        if let Response::HelloAck { version: negotiated, .. } = resp {
+            *version = negotiated;
+        }
         if wbuf.len() >= cfg.write_buffer_limit() {
             flush(stream, wbuf, &shared.tele)?;
         }

@@ -182,13 +182,16 @@ pub(crate) fn error_response(e: &aria_store::StoreError) -> Response {
     Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
 }
 
-/// Encode `resp`; if it exceeds the wire frame cap, send a typed error
-/// frame under the same request id instead — the client always gets an
-/// answer for every id, never a silently dropped response.
-pub(crate) fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response) {
-    if let Err(e) = proto::encode_response(wbuf, id, resp) {
+/// Encode `resp` for a connection speaking `version` (what `HELLO`
+/// negotiated, [`proto::BASE_PROTOCOL_VERSION`] before/without one); if
+/// it exceeds the wire frame cap, send a typed error frame under the
+/// same request id instead — the client always gets an answer for every
+/// id, never a silently dropped response.
+pub(crate) fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response, version: u16) {
+    if let Err(e) = proto::encode_response_versioned(wbuf, id, resp, version) {
         let fallback = Response::Error { code: ErrorCode::FrameTooLarge, message: e.to_string() };
-        proto::encode_response(wbuf, id, &fallback).expect("error frames are tiny");
+        proto::encode_response_versioned(wbuf, id, &fallback, version)
+            .expect("error frames are tiny");
     }
 }
 

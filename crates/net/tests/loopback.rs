@@ -154,6 +154,46 @@ fn same_key_pipelined_writes_read_their_own_writes() {
     server.shutdown();
 }
 
+/// A base-version peer (one that never sends HELLO) must keep decoding
+/// the STATS reply: the server notices the connection never negotiated
+/// v3 and omits the tiering fields, on both engines. A handshaking
+/// client on the same server sees the full v3 reply.
+#[test]
+fn base_version_client_still_decodes_stats() {
+    let _wd = watchdog("base_version_client_still_decodes_stats", Duration::from_secs(60));
+    for engine in [aria_net::Engine::Reactor, aria_net::Engine::Threads] {
+        let server = AriaServer::bind(
+            "127.0.0.1:0",
+            sharded(2),
+            ServerConfig::builder().engine(engine).build().unwrap(),
+        )
+        .unwrap();
+
+        let mut old = AriaClient::connect(
+            server.local_addr(),
+            ClientConfig { handshake: false, ..quick_config() },
+        )
+        .unwrap();
+        assert_eq!(old.protocol_version(), None, "no handshake ran");
+        old.put(b"k", b"v").unwrap();
+        let stats = old.stats().expect("v1 peer must still parse STATS");
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.len, 1);
+        assert_eq!(
+            (stats.hot_keys, stats.cold_keys, stats.recovering),
+            (0, 0, false),
+            "fields the base version does not carry decode to zero"
+        );
+
+        let mut new = quick_client(server.local_addr());
+        assert_eq!(new.protocol_version(), Some(proto::PROTOCOL_VERSION));
+        let stats = new.stats().expect("negotiated peer parses the v3 STATS");
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.len, 1);
+        server.shutdown();
+    }
+}
+
 #[test]
 fn connection_limit_rejects_cleanly() {
     let _wd = watchdog("connection_limit_rejects_cleanly", Duration::from_secs(60));

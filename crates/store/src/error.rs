@@ -92,6 +92,14 @@ pub enum RecoveryFailure {
     },
     /// The checkpoint file fails its CRC or MAC.
     CheckpointCorrupt,
+    /// A sealed log metadata file (the `LOGID` key-derivation nonce or
+    /// the `SEQNO` reservation) is missing, malformed, or fails its
+    /// MAC. These are written before the state they protect, so a
+    /// crash cannot explain it.
+    MetaCorrupt {
+        /// Which file failed (`"LOGID"` or `"SEQNO"`).
+        file: &'static str,
+    },
     /// A log record is structurally broken in a way a crash cannot
     /// explain (bad CRC mid-file, impossible framing).
     LogCorrupt {
@@ -121,6 +129,9 @@ impl std::fmt::Display for RecoveryFailure {
                 "checkpoint epoch {checkpoint_epoch} is behind expected minimum {min_epoch} (rollback)"
             ),
             RecoveryFailure::CheckpointCorrupt => write!(f, "checkpoint corrupt or tampered"),
+            RecoveryFailure::MetaCorrupt { file } => {
+                write!(f, "log metadata file {file} missing, corrupt or tampered")
+            }
             RecoveryFailure::LogCorrupt { segment, offset } => {
                 write!(f, "log segment {segment} corrupt at offset {offset}")
             }

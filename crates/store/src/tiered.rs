@@ -19,10 +19,13 @@
 //!   its byte budget. Eviction is free of log writes: every hot entry
 //!   already has a live log record.
 //! * **Compaction** rewrites the live records (including tombstones)
-//!   of the deadest sealed segment into the active segment and deletes
-//!   the victim file. Rewrites preserve the record's original sequence
-//!   number, so replay ordering — and any checkpointed content root —
-//!   is unaffected by compaction.
+//!   of the deadest sealed segment into the active segment, fsyncs
+//!   them, and deletes the victim file. Rewrites preserve the record's
+//!   original sequence number, so replay ordering — and any
+//!   checkpointed content root — is unaffected by compaction. A stale
+//!   checkpoint is refreshed first, so a record that died *after* the
+//!   last checkpoint (and is therefore still that checkpoint's winner
+//!   for its key) is never dropped while recovery still needs it.
 //! * **Checkpoints** pin the store's content root (the same
 //!   commutative digest anti-entropy re-sync uses, see
 //!   [`crate::resync`]) to a log sequence number, sealed under the log
@@ -206,6 +209,9 @@ fn runtime_log_err(e: LogError) -> StoreError {
         LogError::CheckpointCorrupt => {
             StoreError::RecoveryDiverged { reason: RecoveryFailure::CheckpointCorrupt }
         }
+        LogError::MetaCorrupt { file } => {
+            StoreError::RecoveryDiverged { reason: RecoveryFailure::MetaCorrupt { file } }
+        }
         LogError::Config(msg) => StoreError::Log { op: "config", detail: msg },
     }
 }
@@ -223,15 +229,26 @@ fn recovery_log_err(e: LogError) -> StoreError {
         LogError::CheckpointCorrupt => {
             StoreError::RecoveryDiverged { reason: RecoveryFailure::CheckpointCorrupt }
         }
+        LogError::MetaCorrupt { file } => {
+            StoreError::RecoveryDiverged { reason: RecoveryFailure::MetaCorrupt { file } }
+        }
         LogError::Io { op, msg, .. } => StoreError::Log { op, detail: msg },
         LogError::Config(msg) => StoreError::Log { op: "config", detail: msg },
     }
 }
 
-/// Derive the log sealing key from the store's master secret (domain
-/// separated from the entry/counter keys the hot store derives).
-fn derive_log_key(master_key: &[u8; 16]) -> [u8; 16] {
-    CmacKey::new(master_key).mac(b"aria-log-tier-key-v1")
+/// Derive the log sealing key from the store's master secret and the
+/// log directory's identity nonce (domain separated from the
+/// entry/counter keys the hot store derives). Mixing the nonce in
+/// gives every log its own key: the shards of a `ShardedStore` share
+/// one master secret and all start their seqnos at 1, so a
+/// nonce-less derivation would encrypt shard A's seqno `n` and shard
+/// B's seqno `n` under the same CTR keystream.
+fn derive_log_key(master_key: &[u8; 16], log_nonce: &[u8; 16]) -> [u8; 16] {
+    let mut input = Vec::with_capacity(20 + 16);
+    input.extend_from_slice(b"aria-log-tier-key-v2");
+    input.extend_from_slice(log_nonce);
+    CmacKey::new(master_key).mac(&input)
 }
 
 /// Replay bookkeeping for one key while scanning segments.
@@ -255,7 +272,8 @@ impl<S: KvStore> TieredStore<S> {
         master_key: &[u8; 16],
         opts: TieredOptions,
     ) -> Result<TieredStore<S>, StoreError> {
-        let log_key = derive_log_key(master_key);
+        let log_nonce = aria_log::load_or_create_log_nonce(&opts.dir).map_err(recovery_log_err)?;
+        let log_key = derive_log_key(master_key, &log_nonce);
         let checkpoint = load_checkpoint(&opts.dir, &log_key).map_err(recovery_log_err)?;
         if let Some(cp) = &checkpoint {
             if cp.epoch < opts.min_epoch {
@@ -509,6 +527,19 @@ impl<S: KvStore> TieredStore<S> {
         let Some(victim) = self.log.victim_segment(self.opts.compact_min_dead_ratio) else {
             return Ok((0, 0));
         };
+        // A *dead* record in the victim can still be the winner for its
+        // key at the checkpoint frontier (it was live when the root was
+        // sealed and got superseded afterwards). Dropping it would make
+        // the next open() unable to reproduce the checkpointed root —
+        // an unrecoverable RootMismatch from a perfectly normal
+        // workload. Re-checkpoint first: at a fresh frontier every
+        // winner is a live record, and live records are exactly what
+        // the rewrite loop below preserves. (This runs even when
+        // checkpoint_every is 0 — it is a correctness requirement, not
+        // a tuning knob.)
+        if self.checkpoint_epoch > 0 && self.mutations_since_checkpoint > 0 {
+            self.force_checkpoint()?;
+        }
         let mut rewritten = 0u64;
         // Collect the live records pointing into the victim.
         let in_victim = |m: &KeyMeta| m.ptr.segment == victim;
@@ -542,11 +573,33 @@ impl<S: KvStore> TieredStore<S> {
                 rewritten += 1;
             }
         }
+        // The rewrites must be durable before the victim — the only
+        // other copy of those records — is unlinked, or a power cut in
+        // between loses live state.
+        self.log.sync().map_err(runtime_log_err)?;
         self.log.remove_segment(victim).map_err(runtime_log_err)?;
         if let Some(tele) = &self.tele {
             tele.store.compactions.inc();
         }
         Ok((1, rewritten))
+    }
+
+    /// Undo a hot-store `put` whose log append failed: the inner store
+    /// holds a value with no log record, and leaving it there would
+    /// let `force_checkpoint` (which streams the inner store) seal a
+    /// root that replay can never reproduce. A previously-hot key
+    /// demotes to cold — its prior record is still live in the log.
+    fn rollback_hot_put(&mut self, key: &[u8]) {
+        if self.hot.delete(key).is_err() {
+            // The inner store refused the rollback (its own integrity
+            // machinery tripped); fail the key closed until recovery
+            // sorts it out.
+            self.destroyed.insert(key.to_vec());
+        }
+        if let Some(meta) = self.hot_meta.remove(key) {
+            self.hot_bytes -= meta.bytes.min(self.hot_bytes);
+            self.cold.insert(key.to_vec(), KeyMeta { bytes: 0, ..meta });
+        }
     }
 }
 
@@ -556,7 +609,13 @@ impl<S: KvStore> KvStore for TieredStore<S> {
         // integrity machinery gate what reaches the log. A crash
         // between the two loses only an unacknowledged write.
         self.hot.put(key, value)?;
-        let info = self.log.append(RecordKind::Put, key, value).map_err(runtime_log_err)?;
+        let info = match self.log.append(RecordKind::Put, key, value) {
+            Ok(info) => info,
+            Err(e) => {
+                self.rollback_hot_put(key);
+                return Err(runtime_log_err(e));
+            }
+        };
         let freed = self.supersede(key);
         let _ = freed;
         self.destroyed.remove(key);
@@ -619,17 +678,26 @@ impl<S: KvStore> KvStore for TieredStore<S> {
         if !existed {
             return Ok(false);
         }
-        if was_hot {
-            self.hot.delete(key)?;
-        }
+        // Tombstone append first: if it fails, nothing has mutated and
+        // the delete simply did not happen. (The mirror order — hot
+        // delete then append — left the key erased in DRAM but live in
+        // the log on append failure.)
+        let info = self.log.append(RecordKind::Delete, key, &[]).map_err(runtime_log_err)?;
+        let hot_result = if was_hot { self.hot.delete(key).map(|_| ()) } else { Ok(()) };
         let freed = self.supersede(key);
         let _ = freed;
-        let info = self.log.append(RecordKind::Delete, key, &[]).map_err(runtime_log_err)?;
         self.tombstones.insert(
             key.to_vec(),
             KeyMeta { ptr: info.ptr, seqno: info.seqno, bytes: 0, last_access: 0 },
         );
         self.mutations_since_checkpoint += 1;
+        if let Err(e) = hot_result {
+            // The tombstone is logged and indexed, but the inner store
+            // failed mid-delete (its integrity machinery tripped, which
+            // quarantines the shard); fail the key closed meanwhile.
+            self.destroyed.insert(key.to_vec());
+            return Err(e);
+        }
         Ok(true)
     }
 
@@ -662,6 +730,10 @@ impl<S: KvStore> KvStore for TieredStore<S> {
                     self.log.mark_dead(meta.ptr);
                     self.destroyed.insert(key);
                     report.entries_destroyed += 1;
+                    // The destroyed record may have been a checkpoint
+                    // winner; count it as a mutation so the next
+                    // compaction re-checkpoints before dropping it.
+                    self.mutations_since_checkpoint += 1;
                 }
                 Err(e) => return Err(runtime_log_err(e)),
             }
@@ -1108,6 +1180,140 @@ mod tests {
         // Other keys unaffected.
         let stats = s.tier_stats();
         assert_eq!(stats.hot_entries + stats.cold_entries, 79);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_after_overwrites_past_checkpoint_recovers() {
+        // The bricking sequence: checkpoint (root includes k=v_old),
+        // then overwrite/delete k (v_old's record goes dead), then
+        // compact away the segment holding v_old. v_old is dead *now*
+        // but is still the checkpoint-frontier winner for k — dropping
+        // it without refreshing the checkpoint makes the next open()
+        // refuse with RootMismatch on a perfectly normal workload.
+        let dir = tmpdir("compact-winner");
+        let mut o = opts(&dir);
+        o.compact_min_dead_ratio = 0.3;
+        let mut s = TieredStore::open(hot_store(), MASTER, o.clone()).unwrap();
+        for i in 0..40 {
+            s.put(&key(i), &value(i)).unwrap();
+        }
+        s.force_checkpoint().unwrap();
+        // Kill the checkpointed records: overwrites and deletes, with
+        // enough churn to rotate past several segments.
+        for round in 1..4 {
+            for i in 0..30 {
+                s.put(&key(i), &value(round * 1000 + i)).unwrap();
+            }
+        }
+        for i in 30..35 {
+            s.delete(&key(i)).unwrap();
+        }
+        // Compact until the segments holding the checkpoint winners are
+        // gone (maintain: migrate → compact → checkpoint).
+        let mut compacted = 0;
+        for _ in 0..30 {
+            compacted += s.maintain().unwrap().segments_compacted;
+        }
+        assert!(compacted > 0, "dead-heavy segments must compact");
+        let min_epoch = s.checkpoint_epoch();
+        assert!(min_epoch > 1, "compaction must have refreshed the checkpoint");
+        drop(s);
+
+        let mut s = TieredStore::open(hot_store(), MASTER, o.min_epoch(min_epoch))
+            .expect("a normal workload plus compaction must stay recoverable");
+        assert_eq!(s.len(), 35);
+        for i in 0..30 {
+            assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(3000 + i), "key {i}");
+        }
+        for i in 30..35 {
+            assert_eq!(s.get(&key(i)).unwrap(), None, "deleted key {i}");
+        }
+        for i in 35..40 {
+            assert_eq!(s.get(&key(i)).unwrap().unwrap(), value(i), "key {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_master_different_dirs_use_distinct_keystreams() {
+        // Two shards of one ShardedStore share the master secret and
+        // both stamp their first record with seqno 1. The per-log
+        // LOGID nonce must still give them distinct sealing keys —
+        // identical (key, counter) pairs across logs would let the
+        // host XOR ciphertexts into plaintext XOR.
+        let dir_a = tmpdir("keystream-a");
+        let dir_b = tmpdir("keystream-b");
+        let mut a = TieredStore::open(hot_store(), MASTER, opts(&dir_a)).unwrap();
+        let mut b = TieredStore::open(hot_store(), MASTER, opts(&dir_b)).unwrap();
+        a.put(b"same-key", b"same-value-payload").unwrap();
+        b.put(b"same-key", b"same-value-payload").unwrap();
+        let seg_a = std::fs::read(aria_log::segment_path(&dir_a, 0)).unwrap();
+        let seg_b = std::fs::read(aria_log::segment_path(&dir_b, 0)).unwrap();
+        assert_eq!(seg_a.len(), seg_b.len());
+        assert_ne!(seg_a, seg_b, "identical plaintext+seqno must seal differently per log");
+        // And within one log, reopening is stable.
+        drop(a);
+        let mut a = TieredStore::open(hot_store(), MASTER, opts(&dir_a)).unwrap();
+        assert_eq!(a.get(b"same-key").unwrap().unwrap(), b"same-value-payload");
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn tampered_log_nonce_refused_at_open() {
+        let dir = tmpdir("nonce-tamper");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        s.put(&key(1), &value(1)).unwrap();
+        s.force_checkpoint().unwrap();
+        drop(s);
+        // Host swaps the nonce: the derived key changes and nothing
+        // sealed under the old key verifies any more.
+        let path = dir.join("LOGID");
+        let mut buf = std::fs::read(&path).unwrap();
+        buf[7] ^= 0x5a;
+        std::fs::write(&path, &buf).unwrap();
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect_err("a swapped nonce must refuse, not decrypt garbage");
+        assert!(matches!(err, StoreError::RecoveryDiverged { .. }), "got {err:?}");
+        // Deleting the nonce outright is detected as metadata loss.
+        std::fs::remove_file(&path).unwrap();
+        let err = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect_err("a deleted nonce must refuse");
+        assert!(
+            matches!(
+                err,
+                StoreError::RecoveryDiverged {
+                    reason: RecoveryFailure::MetaCorrupt { file: "LOGID" }
+                }
+            ),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unlogged_hot_put_rolls_back_and_checkpoint_stays_reproducible() {
+        let dir = tmpdir("rollback-put");
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir)).unwrap();
+        s.put(&key(1), &value(1)).unwrap();
+        // Simulate put()'s append-failure path: the inner store took
+        // the new value, the log never did, and the rollback must
+        // leave no unlogged pair for force_checkpoint to digest.
+        s.hot.put(&key(1), &value(999)).unwrap();
+        s.rollback_hot_put(&key(1));
+        assert_eq!(s.get(&key(1)).unwrap().unwrap(), value(1), "old value must survive");
+        // A brand-new key: rollback erases it entirely.
+        s.hot.put(&key(2), &value(2)).unwrap();
+        s.rollback_hot_put(&key(2));
+        assert_eq!(s.get(&key(2)).unwrap(), None);
+        assert_eq!(s.len(), 1);
+        s.force_checkpoint().unwrap();
+        drop(s);
+        let mut s = TieredStore::open(hot_store(), MASTER, opts(&dir).min_epoch(1))
+            .expect("checkpoint sealed after rollback must replay");
+        assert_eq!(s.get(&key(1)).unwrap().unwrap(), value(1));
+        assert_eq!(s.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
