@@ -145,6 +145,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
             d.store.hot_entries.to_string(),
             d.store.cold_entries.to_string(),
             fmt_tput(d.cache.evictions as f64 / secs),
+            format!("{:.2}", cum.store.queue_delay_ns as f64 / 1e6),
+            fmt_tput(d.store.admission_shed as f64 / secs),
             cum.store.violations.iter().sum::<u64>().to_string(),
             cum.store.failovers.to_string(),
         ]);
@@ -166,6 +168,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         agg.store.hot_entries.to_string(),
         agg.store.cold_entries.to_string(),
         fmt_tput(agg.cache.evictions as f64 / secs),
+        format!("{:.2}", cum_agg.store.queue_delay_ns as f64 / 1e6),
+        fmt_tput(agg.store.admission_shed as f64 / secs),
         cum_agg.store.violations.iter().sum::<u64>().to_string(),
         cum_agg.store.failovers.to_string(),
     ]);
@@ -173,7 +177,7 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         "shards",
         &[
             "shard", "state", "role", "lag", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys",
-            "hot", "cold", "evict/s", "viol", "fover",
+            "hot", "cold", "evict/s", "qdly ms", "shed/s", "viol", "fover",
         ],
         &rows,
     );
@@ -184,13 +188,31 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
 
     let n = &delta.net;
     println!(
-        "\nnet: in {:.2} MiB/s  out {:.2} MiB/s  inflight {}  rejected {}  timed-out {}",
+        "\nnet: in {:.2} MiB/s  out {:.2} MiB/s  inflight {}  rejected {}  timed-out {}  slow-dropped {}",
         n.frame_bytes_in as f64 / secs / (1 << 20) as f64,
         n.frame_bytes_out as f64 / secs / (1 << 20) as f64,
         n.inflight,
         snap.net.rejected_connections,
         snap.net.timed_out_connections,
+        snap.net.conns_disconnected_slow,
     );
+    let shed_total = snap.net.ops_shed_overload
+        + snap.net.ops_shed_deadline
+        + snap.shards.iter().map(|s| s.store.admission_shed).sum::<u64>();
+    let quarantines: u64 = snap.shards.iter().map(|s| s.store.watchdog_quarantines).sum();
+    if shed_total > 0 || quarantines > 0 {
+        println!(
+            "overload: shed {:.0}/s (overload {}  deadline {}  admission {})  watchdog quarantines {}",
+            (delta.net.ops_shed_overload
+                + delta.net.ops_shed_deadline
+                + delta.shards.iter().map(|s| s.store.admission_shed).sum::<u64>()) as f64
+                / secs,
+            snap.net.ops_shed_overload,
+            snap.net.ops_shed_deadline,
+            snap.shards.iter().map(|s| s.store.admission_shed).sum::<u64>(),
+            quarantines,
+        );
+    }
     let injected: u64 = snap.chaos.injected.iter().sum();
     if injected > 0 {
         let sites: Vec<String> = snap

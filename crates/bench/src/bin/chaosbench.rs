@@ -319,14 +319,17 @@ fn deliver(
         // Write-path sites are the HeapInjector's job, not ours; the
         // replication sites belong to the failover mode's killer and
         // re-sync hook; the durability-log sites belong to durabench,
-        // which owns a tiered store with an on-disk log to strike.
+        // which owns a tiered store with an on-disk log to strike;
+        // shard stalls belong to the overload tests, which own the
+        // watchdog that must catch them.
         FaultSite::EntryFlip
         | FaultSite::TornWrite
         | FaultSite::PrimaryKill
         | FaultSite::ReplicaDivergence
         | FaultSite::LogBitFlip
         | FaultSite::TornAppend
-        | FaultSite::StaleCheckpointRollback => false,
+        | FaultSite::StaleCheckpointRollback
+        | FaultSite::ShardStall => false,
     }
 }
 

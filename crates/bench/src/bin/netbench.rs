@@ -224,7 +224,7 @@ fn run_point(
                     latencies_us.push(lat);
                     debug_assert_eq!(resps.len(), window.len());
                     for resp in resps {
-                        if let proto::Response::Error { code, message } = resp {
+                        if let proto::Response::Error { code, message, .. } = resp {
                             panic!("bench op failed: {code}: {message}");
                         }
                     }

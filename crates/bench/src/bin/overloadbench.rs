@@ -1,0 +1,722 @@
+//! Overload sweep for the admission control plane: offers load from
+//! 0.5x to 8x of measured capacity under zipf-0.99 skew and checks the
+//! four contracts of the overload design:
+//!
+//! 1. **Goodput holds** — acknowledged throughput at the highest
+//!    multiplier stays within 70% of the 1x plateau (refusing fast
+//!    instead of queueing means overload does not collapse service).
+//! 2. **Admitted latency is bounded** — the p99 round trip of fully
+//!    admitted windows stays near the configured queue-delay budget
+//!    instead of growing with offered load.
+//! 3. **Refused is not acknowledged** — every write the server acked is
+//!    readable afterwards with the acked value; no refused write is
+//!    ever observed (zero acked-then-lost, zero acked-then-wrong).
+//! 4. **The control plane stays up** — a prober issues PING/HEALTH/
+//!    STATS throughout every load point; any probe failure is fatal.
+//!
+//! Violations of (3) and (4) always exit non-zero; (1) and (2) are
+//! additionally enforced in full (non-`--smoke`) runs, where the
+//! sweep is long enough for the plateau to be meaningful.
+//!
+//! ```sh
+//! cargo run --release -p aria-bench --bin overloadbench -- \
+//!     [--engine reactor|threads] [--conns 8] [--depth 8] \
+//!     [--mults 0.5,1,2,4,8] [--secs 3.0] [--budget-ms 5] \
+//!     [--deadline-ms 50] [--smoke] [--out results]
+//! ```
+//!
+//! Results go to `<out>/overload.json`; the committed
+//! `BENCH_overload.json` is a snapshot of a full default sweep.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aria_bench::{fmt_tput, git_rev, json_f64, json_str, print_table, Args, SCHEMA_VERSION};
+use aria_net::{proto, AriaClient, AriaServer, ClientConfig, Engine, ServerConfig};
+use aria_sim::Enclave;
+use aria_store::sharded::{BatchOp, ShardedStore};
+use aria_store::{AriaHash, StoreConfig};
+use aria_workload::{encode_key, value_bytes, KeyDistribution, Request, YcsbConfig, YcsbWorkload};
+
+const VALUE_LEN: usize = 16;
+const READ_RATIO: f64 = 0.8;
+
+/// Versioned write payload: key id + per-key version, both LE. A
+/// read-back that decodes a version the client never got an ack for is
+/// an acked-then-wrong violation (a refusal that was secretly applied).
+fn versioned_value(key_id: u64, version: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(VALUE_LEN);
+    v.extend_from_slice(&key_id.to_le_bytes());
+    v.extend_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn decode_version(key_id: u64, value: &[u8]) -> Option<u64> {
+    if value.len() != VALUE_LEN || value[..8] != key_id.to_le_bytes() {
+        return None;
+    }
+    Some(u64::from_le_bytes(value[8..16].try_into().unwrap()))
+}
+
+/// Per-key write ledger a load client keeps for the integrity check.
+#[derive(Default, Clone, Copy)]
+struct KeyLedger {
+    /// Highest version the server acknowledged with PutOk.
+    acked: u64,
+    /// A transport error left a newer version in doubt: the key is
+    /// excluded from strict verification (the write may or may not have
+    /// been applied before the connection died).
+    in_doubt: bool,
+}
+
+struct ClientOutcome {
+    issued: u64,
+    acked: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    other_errors: u64,
+    transport_errors: u64,
+    /// Round trips of windows in which every op was admitted.
+    admitted_lats_ms: Vec<f64>,
+    ledger: HashMap<u64, KeyLedger>,
+}
+
+struct ProbeOutcome {
+    probes: u64,
+    failures: u64,
+    max_ms: f64,
+    degraded_seen: bool,
+    max_queue_delay_ms: u64,
+}
+
+struct Point {
+    mult: f64,
+    offered_target: f64,
+    offered_actual: f64,
+    goodput: f64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    other_errors: u64,
+    transport_errors: u64,
+    admitted_p50_ms: f64,
+    admitted_p99_ms: f64,
+    probe: ProbeOutcome,
+    lost_writes: u64,
+    wrong_writes: u64,
+    verified_keys: u64,
+    in_doubt_keys: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let engine = Engine::parse(&args.get_str("engine", "reactor"))
+        .expect("--engine must be 'reactor' or 'threads'");
+    let shards = args.get("shards", 4usize);
+    let read_keys = args.get("keys", if smoke { 4_000u64 } else { 20_000 });
+    let conns = args.get("conns", if smoke { 4usize } else { 8 });
+    let depth = args.get("depth", 16usize);
+    let secs = args
+        .get_str("secs", if smoke { "0.8" } else { "3.0" })
+        .parse::<f64>()
+        .expect("--secs must be a float");
+    let calib_secs = if smoke { 0.5 } else { 2.0 };
+    let budget_ms = args.get("budget-ms", 2u64);
+    let deadline_ms = args.get("deadline-ms", 50u64);
+    let mults: Vec<f64> = args
+        .get_str("mults", "0.5,1,2,4,8")
+        .split(',')
+        .filter_map(|p| p.trim().parse().ok())
+        .collect();
+    assert!(!mults.is_empty(), "empty --mults sweep");
+    let seed = args.seed();
+    // Disjoint per-client write ranges above the read keyspace, so two
+    // clients never race on one key and "last acked version" is exact.
+    let write_span = if smoke { 500u64 } else { 2_000 };
+
+    // A blocking client cannot offer more than the server serves, so
+    // overload is generated by scaling the client pool with the
+    // multiplier: at 8x there are 8x as many connections, each paced at
+    // the same per-connection rate as the 1x point.
+    let max_mult = mults.iter().cloned().fold(1.0f64, f64::max);
+    let max_conns = ((conns as f64 * max_mult).ceil() as usize).max(conns);
+
+    let total_keys = read_keys + max_conns as u64 * write_span;
+    let per_shard_keys = (total_keys / shards as u64) * 2 + 1024;
+    let store = Arc::new(
+        ShardedStore::with_shards(shards, move |_| {
+            let suite = Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                as Arc<dyn aria_crypto::CipherSuite>;
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                Some(suite),
+            )
+        })
+        .expect("construct sharded store"),
+    );
+
+    // Preload the read keyspace in-process.
+    let mut batch = Vec::with_capacity(512);
+    for id in 0..read_keys {
+        batch.push(BatchOp::Put(encode_key(id).to_vec(), value_bytes(id, VALUE_LEN)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+
+    let server = AriaServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&store),
+        ServerConfig::builder()
+            .engine(engine)
+            .max_connections(max_conns + 8)
+            // A tight per-tick decode window keeps ticks short and
+            // fair; frames past it wait in the read buffer, which is
+            // exactly what sojourn-based shedding measures.
+            .pipeline_window(64)
+            .queue_delay_budget(Some(Duration::from_millis(budget_ms)))
+            .shed_sojourn(Some(Duration::from_millis(budget_ms)))
+            .watchdog_window(Some(Duration::from_millis(500)))
+            .build()
+            .expect("valid overloadbench server config"),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // --- Calibrate capacity: closed-loop, admission off, no pacing ---
+    store.set_queue_delay_budget(None);
+    let capacity = calibrate(addr, conns, depth, read_keys, calib_secs, seed);
+    store.set_queue_delay_budget(Some(Duration::from_millis(budget_ms)));
+    eprintln!("calibrated capacity: {} ({conns} conns, depth {depth})", fmt_tput(capacity));
+
+    let mut points = Vec::new();
+    for &mult in &mults {
+        let point = run_point(RunPointCfg {
+            addr,
+            conns,
+            depth,
+            read_keys,
+            write_span,
+            secs,
+            deadline_ms,
+            seed,
+            mult,
+            offered: capacity * mult,
+        });
+        eprintln!(
+            "  [{:.1}x] offered {} goodput {} shed {}+{} admitted p99 {:.2}ms probes {}/{} ok",
+            mult,
+            fmt_tput(point.offered_actual),
+            fmt_tput(point.goodput),
+            point.shed_overload,
+            point.shed_deadline,
+            point.admitted_p99_ms,
+            point.probe.probes - point.probe.failures,
+            point.probe.probes,
+        );
+        points.push(point);
+    }
+
+    let telemetry = server.telemetry().snapshot();
+    server.shutdown();
+
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}x", p.mult),
+                fmt_tput(p.offered_actual),
+                fmt_tput(p.goodput),
+                p.shed_overload.to_string(),
+                p.shed_deadline.to_string(),
+                format!("{:.2}", p.admitted_p99_ms),
+                format!("{}/{}", p.probe.probes - p.probe.failures, p.probe.probes),
+                format!("{}/{}", p.lost_writes, p.wrong_writes),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("overloadbench (zipf-0.99, engine={engine}, budget {budget_ms}ms)"),
+        &[
+            "load",
+            "offered/s",
+            "goodput/s",
+            "shed(ovl)",
+            "shed(ddl)",
+            "adm p99 ms",
+            "probes ok",
+            "lost/wrong",
+        ],
+        &table,
+    );
+
+    // --- Acceptance ---
+    let goodput_1x = points
+        .iter()
+        .filter(|p| p.mult >= 1.0)
+        .map(|p| p.goodput)
+        .fold(f64::NAN, |a, b| if a.is_nan() { b } else { a });
+    let last = points.last().expect("at least one point");
+    let floor_ratio = last.goodput / goodput_1x.max(1e-9);
+    let goodput_floor_ok = floor_ratio >= 0.70;
+    // An admitted window's p99 should track the queue-delay budget, not
+    // the offered load. The bound leaves room for wire + scheduling on
+    // a shared CI box.
+    let p99_bound_ms = budget_ms as f64 * 5.0 + 10.0;
+    let p99_bounded =
+        points.iter().all(|p| p.admitted_p99_ms.is_nan() || p.admitted_p99_ms <= p99_bound_ms);
+    let lost: u64 = points.iter().map(|p| p.lost_writes).sum();
+    let wrong: u64 = points.iter().map(|p| p.wrong_writes).sum();
+    let probe_failures: u64 = points.iter().map(|p| p.probe.failures).sum();
+
+    write_overload_json(
+        &args.out_dir(),
+        engine,
+        shards,
+        budget_ms,
+        deadline_ms,
+        capacity,
+        &points,
+        floor_ratio,
+        goodput_floor_ok,
+        p99_bound_ms,
+        p99_bounded,
+        &telemetry,
+    );
+
+    let mut fatal = false;
+    if lost > 0 || wrong > 0 {
+        eprintln!("FAIL: write integrity violated (lost {lost}, wrong {wrong})");
+        fatal = true;
+    }
+    if probe_failures > 0 {
+        eprintln!("FAIL: control plane unresponsive ({probe_failures} probe failures)");
+        fatal = true;
+    }
+    if !smoke && !goodput_floor_ok {
+        eprintln!(
+            "FAIL: goodput collapsed under overload ({:.0}% of 1x plateau, need >= 70%)",
+            floor_ratio * 100.0
+        );
+        fatal = true;
+    }
+    if !smoke && !p99_bounded {
+        eprintln!("FAIL: admitted p99 exceeded {p99_bound_ms:.0}ms bound at some load point");
+        fatal = true;
+    }
+    if fatal {
+        std::process::exit(1);
+    }
+    println!(
+        "overload contract held: goodput floor {:.0}%, {} probes, 0 lost, 0 wrong",
+        floor_ratio * 100.0,
+        points.iter().map(|p| p.probe.probes).sum::<u64>(),
+    );
+}
+
+/// Closed-loop burst to find the acknowledged-ops/s plateau that the
+/// sweep's offered-load multipliers are anchored to.
+fn calibrate(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    depth: usize,
+    read_keys: u64,
+    secs: f64,
+    seed: u64,
+) -> f64 {
+    let start = Instant::now();
+    let end = start + Duration::from_secs_f64(secs);
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = AriaClient::connect(addr, ClientConfig::default())
+                    .expect("connect calibration client");
+                let mut wl = YcsbWorkload::new(YcsbConfig {
+                    keyspace: read_keys,
+                    read_ratio: READ_RATIO,
+                    value_len: VALUE_LEN,
+                    distribution: KeyDistribution::Zipfian { theta: 0.99 },
+                    seed: seed ^ (0xa076_1d64_78bd_642fu64.wrapping_mul(c as u64 + 1)),
+                });
+                let mut acked = 0u64;
+                let mut window = Vec::with_capacity(depth);
+                while Instant::now() < end {
+                    window.clear();
+                    for _ in 0..depth {
+                        window.push(match wl.next_request() {
+                            Request::Get { id } => {
+                                proto::Request::Get { key: encode_key(id).to_vec() }
+                            }
+                            Request::Put { id, value_len } => proto::Request::Put {
+                                key: encode_key(id).to_vec(),
+                                value: value_bytes(id, value_len),
+                            },
+                        });
+                    }
+                    match client.pipeline(&window) {
+                        Ok(resps) => {
+                            acked += resps
+                                .iter()
+                                .filter(|r| !matches!(r, proto::Response::Error { .. }))
+                                .count() as u64;
+                        }
+                        Err(e) => panic!("calibration pipeline failed: {e}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("calibration worker")).sum();
+    total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+struct RunPointCfg {
+    addr: std::net::SocketAddr,
+    conns: usize,
+    depth: usize,
+    read_keys: u64,
+    write_span: u64,
+    secs: f64,
+    deadline_ms: u64,
+    seed: u64,
+    mult: f64,
+    offered: f64,
+}
+
+fn run_point(cfg: RunPointCfg) -> Point {
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Control-plane prober: PING + HEALTH + STATS on a cadence for the
+    // whole point. Control ops bypass admission, so any failure or
+    // multi-hundred-ms stall here is an overload-contract violation.
+    let prober = {
+        let stop = Arc::clone(&stop);
+        let addr = cfg.addr;
+        thread::spawn(move || {
+            let mut client = AriaClient::connect(
+                addr,
+                ClientConfig { retry_budget: 0, ..ClientConfig::default() },
+            )
+            .expect("connect prober");
+            let mut out = ProbeOutcome {
+                probes: 0,
+                failures: 0,
+                max_ms: 0.0,
+                degraded_seen: false,
+                max_queue_delay_ms: 0,
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                let ok = client.ping().is_ok()
+                    && client.health().is_ok()
+                    && match client.stats() {
+                        Ok(s) => {
+                            out.degraded_seen |= s.degraded;
+                            out.max_queue_delay_ms = out.max_queue_delay_ms.max(s.queue_delay_ms);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                out.probes += 1;
+                if !ok {
+                    out.failures += 1;
+                }
+                if ms > out.max_ms {
+                    out.max_ms = ms;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            out
+        })
+    };
+
+    // A blocking client cannot outrun the server, so overload is
+    // generated on two axes: the connection pool grows with the
+    // multiplier (each connection paced at its 1x rate), and each
+    // window bursts `mult` times deeper — past the server's per-tick
+    // decode window, which is where sojourn shedding bites.
+    let load_conns = ((cfg.conns as f64 * cfg.mult).ceil() as usize).max(1);
+    let window_frames = (cfg.depth * (cfg.mult.ceil() as usize).max(1)).min(1024);
+    let per_client_rate = cfg.offered / load_conns as f64;
+    let interval = Duration::from_secs_f64(window_frames as f64 / per_client_rate.max(1.0));
+    let end = Instant::now() + Duration::from_secs_f64(cfg.secs);
+
+    let workers: Vec<_> = (0..load_conns)
+        .map(|c| {
+            let write_base = cfg.read_keys + c as u64 * cfg.write_span;
+            let RunPointCfg { addr, read_keys, write_span, deadline_ms, seed, .. } = cfg;
+            thread::spawn(move || {
+                let mut client = AriaClient::connect(addr, ClientConfig::default())
+                    .expect("connect load client");
+                let mut wl = YcsbWorkload::new(YcsbConfig {
+                    keyspace: read_keys,
+                    read_ratio: READ_RATIO,
+                    value_len: VALUE_LEN,
+                    distribution: KeyDistribution::Zipfian { theta: 0.99 },
+                    seed: seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1)),
+                });
+                let mut out = ClientOutcome {
+                    issued: 0,
+                    acked: 0,
+                    shed_overload: 0,
+                    shed_deadline: 0,
+                    other_errors: 0,
+                    transport_errors: 0,
+                    admitted_lats_ms: Vec::new(),
+                    ledger: HashMap::new(),
+                };
+                let mut versions: HashMap<u64, u64> = HashMap::new();
+                let mut window: Vec<proto::Request> = Vec::with_capacity(window_frames);
+                // Key ids of the writes in the current window, in op
+                // order (None for reads).
+                let mut window_writes: Vec<Option<(u64, u64)>> = Vec::with_capacity(window_frames);
+                let mut next = Instant::now();
+                while Instant::now() < end {
+                    // Open-loop pacing with bounded catch-up: if the
+                    // server stalls us for more than a second's worth of
+                    // windows, resynchronize instead of bursting.
+                    let now = Instant::now();
+                    if now < next {
+                        thread::sleep(next - now);
+                    } else if now > next + Duration::from_secs(1) {
+                        next = now;
+                    }
+                    next += interval;
+
+                    window.clear();
+                    window_writes.clear();
+                    for _ in 0..window_frames {
+                        match wl.next_request() {
+                            Request::Get { id } => {
+                                window.push(proto::Request::Get { key: encode_key(id).to_vec() });
+                                window_writes.push(None);
+                            }
+                            Request::Put { id, .. } => {
+                                // Map the zipf draw into this client's
+                                // private range, keeping the skew shape.
+                                let key_id = write_base + id % write_span;
+                                let v = versions.entry(key_id).or_insert(0);
+                                *v += 1;
+                                window.push(proto::Request::Put {
+                                    key: encode_key(key_id).to_vec(),
+                                    value: versioned_value(key_id, *v),
+                                });
+                                window_writes.push(Some((key_id, *v)));
+                            }
+                        }
+                    }
+                    out.issued += window_frames as u64;
+                    let op_deadline = Instant::now() + Duration::from_millis(deadline_ms);
+                    let t0 = Instant::now();
+                    match client.pipeline_with_deadline(&window, op_deadline) {
+                        Ok(resps) => {
+                            let lat_ms = t0.elapsed().as_secs_f64() * 1e3;
+                            let mut all_admitted = true;
+                            for (resp, write) in resps.iter().zip(window_writes.iter()) {
+                                match resp {
+                                    proto::Response::Error { code, .. } => {
+                                        all_admitted = false;
+                                        match *code {
+                                            proto::ErrorCode::Overloaded => out.shed_overload += 1,
+                                            proto::ErrorCode::DeadlineExceeded => {
+                                                out.shed_deadline += 1
+                                            }
+                                            _ => out.other_errors += 1,
+                                        }
+                                    }
+                                    _ => {
+                                        out.acked += 1;
+                                        if let Some((key_id, v)) = write {
+                                            let e = out.ledger.entry(*key_id).or_default();
+                                            e.acked = (*v).max(e.acked);
+                                        }
+                                    }
+                                }
+                            }
+                            if all_admitted {
+                                out.admitted_lats_ms.push(lat_ms);
+                            }
+                        }
+                        Err(_) => {
+                            // The whole window is in doubt: the server
+                            // may have applied any prefix before the
+                            // connection died.
+                            out.transport_errors += 1;
+                            for write in window_writes.iter().flatten() {
+                                out.ledger.entry(write.0).or_default().in_doubt = true;
+                            }
+                        }
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<ClientOutcome> =
+        workers.into_iter().map(|w| w.join().expect("load worker")).collect();
+
+    stop.store(true, Ordering::Relaxed);
+    let probe = prober.join().expect("prober");
+
+    // --- Read-back verification: every acked write must be readable
+    // with its acked version; any other version is acked-then-wrong.
+    let mut verifier =
+        AriaClient::connect(cfg.addr, ClientConfig::default()).expect("connect verifier");
+    let mut lost = 0u64;
+    let mut wrong = 0u64;
+    let mut verified = 0u64;
+    let mut in_doubt = 0u64;
+    for o in &outcomes {
+        for (&key_id, ledger) in &o.ledger {
+            if ledger.in_doubt {
+                in_doubt += 1;
+                continue;
+            }
+            if ledger.acked == 0 {
+                continue; // nothing ever acknowledged for this key
+            }
+            verified += 1;
+            let key = encode_key(key_id);
+            match verifier.get(&key) {
+                Ok(Some(value)) => match decode_version(key_id, &value) {
+                    Some(v) if v == ledger.acked => {}
+                    // A version above the ack means a refused or
+                    // unacknowledged write was applied; below means an
+                    // acked write was lost. Both are violations.
+                    Some(_) | None => wrong += 1,
+                },
+                Ok(None) => lost += 1,
+                Err(e) => panic!("verification read failed for key {key_id}: {e}"),
+            }
+        }
+    }
+
+    let mut admitted: Vec<f64> = outcomes.iter().flat_map(|o| o.admitted_lats_ms.clone()).collect();
+    admitted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let issued: u64 = outcomes.iter().map(|o| o.issued).sum();
+    let acked: u64 = outcomes.iter().map(|o| o.acked).sum();
+    Point {
+        mult: cfg.mult,
+        offered_target: cfg.offered,
+        offered_actual: issued as f64 / cfg.secs,
+        goodput: acked as f64 / cfg.secs,
+        shed_overload: outcomes.iter().map(|o| o.shed_overload).sum(),
+        shed_deadline: outcomes.iter().map(|o| o.shed_deadline).sum(),
+        other_errors: outcomes.iter().map(|o| o.other_errors).sum(),
+        transport_errors: outcomes.iter().map(|o| o.transport_errors).sum(),
+        admitted_p50_ms: percentile(&admitted, 0.50),
+        admitted_p99_ms: percentile(&admitted, 0.99),
+        probe,
+        lost_writes: lost,
+        wrong_writes: wrong,
+        verified_keys: verified,
+        in_doubt_keys: in_doubt,
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_overload_json(
+    out_dir: &str,
+    engine: Engine,
+    shards: usize,
+    budget_ms: u64,
+    deadline_ms: u64,
+    capacity: f64,
+    points: &[Point],
+    floor_ratio: f64,
+    goodput_floor_ok: bool,
+    p99_bound_ms: f64,
+    p99_bounded: bool,
+    telemetry: &aria_telemetry::TelemetrySnapshot,
+) {
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"git_rev\": {},\n  \
+         \"bench\": \"overloadbench\",\n  \"engine\": \"{engine}\",\n  \
+         \"shards\": {shards},\n  \"distribution\": \"zipf-0.99\",\n  \
+         \"queue_delay_budget_ms\": {budget_ms},\n  \
+         \"op_deadline_ms\": {deadline_ms},\n  \
+         \"capacity_ops_s\": {},\n  \"points\": [\n",
+        json_str(git_rev()),
+        json_f64(capacity),
+    ));
+    for (i, p) in points.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"mult\": {}, \"offered_target\": {}, \"offered_actual\": {}, \
+             \"goodput\": {}, \"shed_overload\": {}, \"shed_deadline\": {}, \
+             \"other_errors\": {}, \"transport_errors\": {}, \
+             \"admitted_p50_ms\": {}, \"admitted_p99_ms\": {}, \
+             \"health_probes\": {}, \"health_failures\": {}, \
+             \"health_max_ms\": {}, \"degraded_seen\": {}, \
+             \"max_queue_delay_ms\": {}, \"verified_keys\": {}, \
+             \"in_doubt_keys\": {}, \"lost_writes\": {}, \"wrong_writes\": {}}}{}\n",
+            json_f64(p.mult),
+            json_f64(p.offered_target),
+            json_f64(p.offered_actual),
+            json_f64(p.goodput),
+            p.shed_overload,
+            p.shed_deadline,
+            p.other_errors,
+            p.transport_errors,
+            json_f64(p.admitted_p50_ms),
+            json_f64(p.admitted_p99_ms),
+            p.probe.probes,
+            p.probe.failures,
+            json_f64(p.probe.max_ms),
+            p.probe.degraded_seen,
+            p.probe.max_queue_delay_ms,
+            p.verified_keys,
+            p.in_doubt_keys,
+            p.lost_writes,
+            p.wrong_writes,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    doc.push_str(&format!(
+        "  ],\n  \"summary\": {{\n    \"goodput_floor_ratio\": {},\n    \
+         \"goodput_floor_ok\": {},\n    \"admitted_p99_bound_ms\": {},\n    \
+         \"admitted_p99_bounded\": {},\n    \"lost_writes\": {},\n    \
+         \"wrong_writes\": {},\n    \"health_failures\": {}\n  }},\n  \
+         \"telemetry\": {}\n}}\n",
+        json_f64(floor_ratio),
+        goodput_floor_ok,
+        json_f64(p99_bound_ms),
+        p99_bounded,
+        points.iter().map(|p| p.lost_writes).sum::<u64>(),
+        points.iter().map(|p| p.wrong_writes).sum::<u64>(),
+        points.iter().map(|p| p.probe.failures).sum::<u64>(),
+        telemetry.to_json(),
+    ));
+
+    let dir = std::path::Path::new(out_dir);
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create {out_dir}; results not persisted");
+        return;
+    }
+    let path = dir.join("overload.json");
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(doc.as_bytes());
+            println!("\nresults written to {}", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {path:?}: {e}"),
+    }
+}

@@ -96,10 +96,16 @@ pub enum FaultSite {
     /// snapshot (host rollback). Detected as
     /// `StoreError::RecoveryDiverged` by the checkpoint epoch floor.
     StaleCheckpointRollback = 10,
+    /// Stall a shard group's acting primary worker: the thread sleeps
+    /// past the watchdog window while ops keep queueing. Not a data
+    /// fault: the stuck-shard watchdog must quarantine the stalled
+    /// primary through the health machine instead of letting callers
+    /// queue forever.
+    ShardStall = 11,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 11;
+pub const SITE_COUNT: usize = 12;
 
 impl FaultSite {
     /// Every site, in `repr` order.
@@ -115,6 +121,7 @@ impl FaultSite {
         FaultSite::LogBitFlip,
         FaultSite::TornAppend,
         FaultSite::StaleCheckpointRollback,
+        FaultSite::ShardStall,
     ];
 
     /// Stable machine-readable name (used in plans, reports, CI logs).
@@ -131,6 +138,7 @@ impl FaultSite {
             FaultSite::LogBitFlip => "log_bit_flip",
             FaultSite::TornAppend => "torn_append",
             FaultSite::StaleCheckpointRollback => "stale_checkpoint_rollback",
+            FaultSite::ShardStall => "shard_stall",
         }
     }
 

@@ -109,6 +109,11 @@ pub enum NetError {
         code: ErrorCode,
         /// Log detail from the server.
         message: String,
+        /// Server's cool-down hint for [`ErrorCode::Overloaded`]
+        /// refusals (milliseconds; 0 = no hint). The retry loop
+        /// honors it instead of its own backoff, still capped by
+        /// [`ClientConfig::op_deadline`].
+        retry_after_ms: u64,
     },
     /// The server answered with a frame that does not match the request
     /// (protocol bug or desynchronized stream).
@@ -132,14 +137,20 @@ impl NetError {
 
     /// Whether the op was *refused before touching data* and is
     /// therefore always safe to re-issue: the server answered with a
-    /// shard routing error (quarantined or unavailable), which happens
-    /// during failover and recovery windows. Transport errors are NOT
-    /// safe — the op may have been applied.
+    /// shard routing error (quarantined or unavailable, from failover
+    /// and recovery windows) or an admission refusal
+    /// ([`ErrorCode::Overloaded`], refused fast before execution).
+    /// [`ErrorCode::DeadlineExceeded`] is deliberately NOT here: the
+    /// op's own time budget is already spent, so re-issuing it would
+    /// only add load that can no longer help the caller. Transport
+    /// errors are NOT safe — the op may have been applied.
     pub fn is_safe_to_retry(&self) -> bool {
         matches!(
             self,
             NetError::Server {
-                code: ErrorCode::ShardQuarantined | ErrorCode::ShardUnavailable,
+                code: ErrorCode::ShardQuarantined
+                    | ErrorCode::ShardUnavailable
+                    | ErrorCode::Overloaded,
                 ..
             }
         )
@@ -152,7 +163,7 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "transport error: {e}"),
             NetError::Timeout => write!(f, "timed out waiting for a response"),
             NetError::Wire(e) => write!(f, "protocol error: {e}"),
-            NetError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            NetError::Server { code, message, .. } => write!(f, "server error {code}: {message}"),
             NetError::UnexpectedResponse => write!(f, "response does not match the request"),
         }
     }
@@ -205,6 +216,11 @@ pub struct AriaClient {
     /// `(version, features)` from the last completed handshake;
     /// `None` until a handshake has run (or with `handshake: false`).
     negotiated: Option<(u16, u64)>,
+    /// Wall-clock bound of the op currently inside [`AriaClient::one`];
+    /// v4+ data frames carry the remaining budget as their deadline
+    /// trailer. `None` for raw [`AriaClient::pipeline`] calls, which
+    /// send "no deadline".
+    op_deadline_hint: Option<Instant>,
     /// The peer rejected `HELLO` once: skip the handshake on every
     /// further redial instead of burning a connection each time.
     peer_pre_hello: bool,
@@ -233,6 +249,7 @@ impl AriaClient {
             next_id: 1,
             rng,
             negotiated: None,
+            op_deadline_hint: None,
             peer_pre_hello: false,
         };
         client.ensure_connected()?;
@@ -335,7 +352,9 @@ impl AriaClient {
         match resp {
             Response::HelloAck { version, features } if rid == id => Ok(Some((version, features))),
             Response::Error { code: ErrorCode::UnknownOpcode, .. } => Ok(None),
-            Response::Error { code, message } => Err(NetError::Server { code, message }),
+            Response::Error { code, message, retry_after_ms } => {
+                Err(NetError::Server { code, message, retry_after_ms })
+            }
             _ => Err(NetError::UnexpectedResponse),
         }
     }
@@ -365,6 +384,22 @@ impl AriaClient {
         result
     }
 
+    /// [`pipeline`](Self::pipeline), but every data frame in the window
+    /// carries the remaining budget until `deadline` (v4 peers only; on
+    /// older servers the window is sent without trailers). No retries —
+    /// `Overloaded`/`DeadlineExceeded` refusals surface as per-op error
+    /// responses for the caller to classify.
+    pub fn pipeline_with_deadline(
+        &mut self,
+        reqs: &[Request],
+        deadline: Instant,
+    ) -> Result<Vec<Response>, NetError> {
+        self.op_deadline_hint = Some(deadline);
+        let result = self.pipeline(reqs);
+        self.op_deadline_hint = None;
+        result
+    }
+
     fn pipeline_inner(
         &mut self,
         first_id: u64,
@@ -374,12 +409,27 @@ impl AriaClient {
         // server takes this peer for a base-version client and encodes
         // responses (notably STATS) accordingly.
         let version = self.negotiated.map(|(v, _)| v).unwrap_or(proto::BASE_PROTOCOL_VERSION);
+        // Deadline trailer (v4+): the remaining budget of the op in
+        // flight, clamped to ≥1ns so an about-to-expire deadline is not
+        // mistaken for "no deadline" (0).
+        let deadline_ns = match self.op_deadline_hint {
+            Some(d) if version >= proto::OVERLOAD_PROTOCOL_VERSION => {
+                (d.saturating_duration_since(Instant::now()).as_nanos() as u64).max(1)
+            }
+            _ => 0,
+        };
         let conn = self.conn.as_mut().expect("ensure_connected succeeded");
         let mut out = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
             // An over-limit request fails the pipeline before any byte
             // hits the wire; the connection is still clean.
-            proto::encode_request(&mut out, first_id + i as u64, req)?;
+            proto::encode_request_versioned(
+                &mut out,
+                first_id + i as u64,
+                req,
+                deadline_ns,
+                version,
+            )?;
         }
         conn.stream.write_all(&out)?;
         let mut responses = Vec::with_capacity(reqs.len());
@@ -387,8 +437,8 @@ impl AriaClient {
             let (id, resp) = read_response(conn, version)?;
             if id == proto::CONTROL_ID {
                 // Connection-level server error (e.g. over the limit).
-                if let Response::Error { code, message } = resp {
-                    return Err(NetError::Server { code, message });
+                if let Response::Error { code, message, retry_after_ms } = resp {
+                    return Err(NetError::Server { code, message, retry_after_ms });
                 }
                 return Err(NetError::UnexpectedResponse);
             }
@@ -406,6 +456,15 @@ impl AriaClient {
     /// failures included — fails on the first occurrence.
     fn one(&mut self, req: Request) -> Result<Response, NetError> {
         let deadline = Instant::now() + self.config.op_deadline;
+        // Expose the bound so v4+ request frames carry the remaining
+        // budget as their deadline trailer; cleared on every exit path.
+        self.op_deadline_hint = Some(deadline);
+        let result = self.one_with_deadline(req, deadline);
+        self.op_deadline_hint = None;
+        result
+    }
+
+    fn one_with_deadline(&mut self, req: Request, deadline: Instant) -> Result<Response, NetError> {
         let mut backoff = self.config.retry_backoff;
         let mut retries_left = self.config.retry_budget;
         loop {
@@ -414,7 +473,9 @@ impl AriaClient {
             // retry policy sees them (callers' `fail()` would have done
             // the same conversion anyway).
             let err = match self.one_attempt(&req) {
-                Ok(Response::Error { code, message }) => NetError::Server { code, message },
+                Ok(Response::Error { code, message, retry_after_ms }) => {
+                    NetError::Server { code, message, retry_after_ms }
+                }
                 Ok(resp) => return Ok(resp),
                 Err(e) => e,
             };
@@ -428,8 +489,22 @@ impl AriaClient {
                 return Err(err);
             }
             retries_left -= 1;
-            std::thread::sleep(self.jittered(backoff).min(deadline - now));
-            backoff = backoff.saturating_mul(2);
+            // An overload refusal carries the server's cool-down hint;
+            // honor it (jittered) instead of our own doubling envelope,
+            // still capped by the op deadline.
+            let sleep = match &err {
+                NetError::Server { code: ErrorCode::Overloaded, retry_after_ms, .. }
+                    if *retry_after_ms > 0 =>
+                {
+                    self.jittered(Duration::from_millis(*retry_after_ms))
+                }
+                _ => {
+                    let s = self.jittered(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    s
+                }
+            };
+            std::thread::sleep(sleep.min(deadline - now));
         }
     }
 
@@ -532,7 +607,9 @@ impl std::fmt::Debug for AriaClient {
 
 fn fail<T>(resp: Response) -> Result<T, NetError> {
     match resp {
-        Response::Error { code, message } => Err(NetError::Server { code, message }),
+        Response::Error { code, message, retry_after_ms } => {
+            Err(NetError::Server { code, message, retry_after_ms })
+        }
         _ => Err(NetError::UnexpectedResponse),
     }
 }
@@ -594,22 +671,36 @@ mod tests {
             let mut rbuf = Vec::new();
             let mut next = 0usize;
             let mut chunk = [0u8; 4096];
+            // Until HELLO negotiates higher, frames are base-version;
+            // after it the client sends v4 deadline trailers and
+            // expects v4-encoded responses.
+            let mut version = proto::BASE_PROTOCOL_VERSION;
             loop {
-                match proto::decode_request(&rbuf) {
-                    Ok(Decoded::Frame(consumed, id, req)) => {
+                let frame = match proto::decode_request_ref_versioned(&rbuf, version) {
+                    Ok(Decoded::Frame(consumed, id, (req, _deadline))) => {
+                        Some((consumed, id, req.to_owned()))
+                    }
+                    Ok(Decoded::Incomplete) => None,
+                    Err(_) => return,
+                };
+                match frame {
+                    Some((consumed, id, req)) => {
                         rbuf.drain(..consumed);
                         // Answer the connection handshake out-of-band so
                         // scripts stay about the operations under test.
-                        if let Request::Hello { version, features } = req {
+                        if let Request::Hello { version: v, features } = req {
+                            let negotiated = v.min(proto::PROTOCOL_VERSION);
                             let mut out = Vec::new();
                             let ack = Response::HelloAck {
-                                version: version.min(proto::PROTOCOL_VERSION),
+                                version: negotiated,
                                 features: features & proto::features::SUPPORTED,
                             };
+                            // The ack itself is pre-negotiation (base).
                             proto::encode_response(&mut out, id, &ack).expect("encode");
                             if stream.write_all(&out).is_err() {
                                 return;
                             }
+                            version = negotiated;
                             continue;
                         }
                         let resp = if next < responses.len() {
@@ -622,7 +713,8 @@ mod tests {
                             return; // script exhausted: hang up
                         };
                         let mut out = Vec::new();
-                        proto::encode_response(&mut out, id, &resp).expect("encode");
+                        proto::encode_response_versioned(&mut out, id, &resp, version)
+                            .expect("encode");
                         // Count before writing: the client may observe
                         // the response (and the test may assert) before
                         // this thread runs again.
@@ -631,11 +723,10 @@ mod tests {
                             return;
                         }
                     }
-                    Ok(Decoded::Incomplete) => match stream.read(&mut chunk) {
+                    None => match stream.read(&mut chunk) {
                         Ok(0) | Err(_) => return,
                         Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
                     },
-                    Err(_) => return,
                 }
             }
         });
@@ -643,7 +734,19 @@ mod tests {
     }
 
     fn quarantined() -> Response {
-        Response::Error { code: ErrorCode::ShardQuarantined, message: "shard 0 quarantined".into() }
+        Response::Error {
+            code: ErrorCode::ShardQuarantined,
+            message: "shard 0 quarantined".into(),
+            retry_after_ms: 0,
+        }
+    }
+
+    fn overloaded(retry_after_ms: u64) -> Response {
+        Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "server overloaded; op was not applied".into(),
+            retry_after_ms,
+        }
     }
 
     fn fast_retry_config(budget: u32, deadline: Duration) -> ClientConfig {
@@ -669,10 +772,17 @@ mod tests {
             let mut chunk = [0u8; 4096];
             let _ = stream.read(&mut chunk).expect("read hello");
             let mut out = Vec::new();
-            proto::encode_response(
+            // An old server encodes at the base version — no v4
+            // retry-after bytes on the wire.
+            proto::encode_response_versioned(
                 &mut out,
                 proto::CONTROL_ID,
-                &Response::Error { code: ErrorCode::UnknownOpcode, message: "opcode".into() },
+                &Response::Error {
+                    code: ErrorCode::UnknownOpcode,
+                    message: "opcode".into(),
+                    retry_after_ms: 0,
+                },
+                proto::BASE_PROTOCOL_VERSION,
             )
             .expect("encode");
             stream.write_all(&out).expect("write rejection");
@@ -754,7 +864,11 @@ mod tests {
     fn non_shard_errors_and_transport_failures_are_not_retried() {
         // A non-routing server error must fail on the first attempt.
         let (addr, served, handle) = scripted_server(
-            vec![Response::Error { code: ErrorCode::KeyTooLong, message: "nope".into() }],
+            vec![Response::Error {
+                code: ErrorCode::KeyTooLong,
+                message: "nope".into(),
+                retry_after_ms: 0,
+            }],
             true,
         );
         let mut client =
@@ -775,6 +889,74 @@ mod tests {
         assert!(err.is_transport(), "got {err:?}");
         assert!(!err.is_safe_to_retry());
         assert_eq!(served.load(Ordering::SeqCst), 0);
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    /// `Overloaded` is an admission refusal — the op never touched
+    /// data — so it is retried, and the server's `retry_after_ms` hint
+    /// drives the sleep instead of the client's own backoff envelope.
+    #[test]
+    fn overloaded_retry_honors_retry_after_hint() {
+        let (addr, served, handle) = scripted_server(vec![overloaded(60), Response::PutOk], false);
+        let mut config = fast_retry_config(3, Duration::from_secs(10));
+        // Make the client's own envelope negligible so any measured
+        // sleep is attributable to the server's hint.
+        config.retry_backoff = Duration::from_micros(1);
+        let mut client = AriaClient::connect(addr, config).unwrap();
+        let start = Instant::now();
+        client.put(b"k", b"v").expect("one refusal, then success");
+        // The jittered draw is uniform in [hint/2, hint].
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "retry must honor the 60ms hint (slept only {:?})",
+            start.elapsed()
+        );
+        assert_eq!(served.load(Ordering::SeqCst), 2, "one refusal plus the success");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    /// A huge `retry_after_ms` hint must not outlive the op deadline:
+    /// the sleep is capped so the typed error surfaces promptly.
+    #[test]
+    fn overload_hint_is_capped_by_op_deadline() {
+        let (addr, served, handle) = scripted_server(vec![overloaded(60_000)], true);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(u32::MAX, Duration::from_millis(150)))
+                .unwrap();
+        let start = Instant::now();
+        let err = client.put(b"k", b"v").expect_err("server never relents");
+        assert_eq!(err.code(), Some(ErrorCode::Overloaded));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a 60s hint must be capped by the 150ms op deadline (took {:?})",
+            start.elapsed()
+        );
+        assert!(served.load(Ordering::SeqCst) >= 1);
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    /// `DeadlineExceeded` means the op's time budget is already spent:
+    /// retrying can no longer help the caller, so the client must fail
+    /// on the first occurrence even with budget to spare.
+    #[test]
+    fn deadline_exceeded_is_never_retried() {
+        let (addr, served, handle) = scripted_server(
+            vec![Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "deadline expired before execution; op was not applied".into(),
+                retry_after_ms: 0,
+            }],
+            true,
+        );
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(5, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("deadline refusal is terminal");
+        assert_eq!(err.code(), Some(ErrorCode::DeadlineExceeded));
+        assert!(!err.is_safe_to_retry());
+        assert_eq!(served.load(Ordering::SeqCst), 1, "no retry after a deadline refusal");
         drop(client);
         handle.join().unwrap();
     }

@@ -72,7 +72,8 @@ pub enum NetConfigError {
         max: usize,
     },
     /// A timeout was zero (`write_timeout`, or a `Some(0)` read
-    /// timeout); zero timeouts disconnect every client instantly.
+    /// timeout / queue-delay budget / sojourn bound / watchdog
+    /// window); zero timeouts disconnect or shed everything instantly.
     ZeroTimeout {
         /// Which knob was zero.
         which: &'static str,
@@ -128,6 +129,9 @@ pub struct ServerConfig {
     write_timeout: Duration,
     read_timeout: Option<Duration>,
     reactors: usize,
+    queue_delay_budget: Option<Duration>,
+    shed_sojourn: Option<Duration>,
+    watchdog_window: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -147,6 +151,9 @@ impl ServerConfig {
             write_timeout: Duration::from_secs(5),
             read_timeout: None,
             reactors: default_reactors(),
+            queue_delay_budget: None,
+            shed_sojourn: None,
+            watchdog_window: None,
         }
     }
 
@@ -188,6 +195,26 @@ impl ServerConfig {
     pub fn reactors(&self) -> usize {
         self.reactors
     }
+
+    /// Per-shard admission budget: refuse new data ops when a shard's
+    /// estimated queue delay exceeds this (`None`: admission off).
+    pub fn queue_delay_budget(&self) -> Option<Duration> {
+        self.queue_delay_budget
+    }
+
+    /// CoDel-style sojourn bound: decoded data ops that waited longer
+    /// than this in server-side buffers are shed before store
+    /// submission (`None`: sojourn shedding off).
+    pub fn shed_sojourn(&self) -> Option<Duration> {
+        self.shed_sojourn
+    }
+
+    /// Stuck-shard watchdog window: a shard holding queued work but
+    /// retiring no batches for this long is quarantined (`None`:
+    /// watchdog off).
+    pub fn watchdog_window(&self) -> Option<Duration> {
+        self.watchdog_window
+    }
 }
 
 /// One reactor per available core by default (minimum one).
@@ -218,6 +245,9 @@ pub struct ServerConfigBuilder {
     write_timeout: Duration,
     read_timeout: Option<Duration>,
     reactors: usize,
+    queue_delay_budget: Option<Duration>,
+    shed_sojourn: Option<Duration>,
+    watchdog_window: Option<Duration>,
 }
 
 impl ServerConfigBuilder {
@@ -263,6 +293,27 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Set (or clear) the per-shard admission budget (default `None`:
+    /// admission control off).
+    pub fn queue_delay_budget(mut self, t: Option<Duration>) -> Self {
+        self.queue_delay_budget = t;
+        self
+    }
+
+    /// Set (or clear) the sojourn-shedding bound (default `None`:
+    /// sojourn shedding off).
+    pub fn shed_sojourn(mut self, t: Option<Duration>) -> Self {
+        self.shed_sojourn = t;
+        self
+    }
+
+    /// Set (or clear) the stuck-shard watchdog window (default `None`:
+    /// watchdog off).
+    pub fn watchdog_window(mut self, t: Option<Duration>) -> Self {
+        self.watchdog_window = t;
+        self
+    }
+
     /// Validate and build the configuration.
     pub fn build(self) -> Result<ServerConfig, NetConfigError> {
         if self.max_connections == 0 {
@@ -284,6 +335,15 @@ impl ServerConfigBuilder {
         if self.read_timeout.is_some_and(|t| t.is_zero()) {
             return Err(NetConfigError::ZeroTimeout { which: "read_timeout" });
         }
+        if self.queue_delay_budget.is_some_and(|t| t.is_zero()) {
+            return Err(NetConfigError::ZeroTimeout { which: "queue_delay_budget" });
+        }
+        if self.shed_sojourn.is_some_and(|t| t.is_zero()) {
+            return Err(NetConfigError::ZeroTimeout { which: "shed_sojourn" });
+        }
+        if self.watchdog_window.is_some_and(|t| t.is_zero()) {
+            return Err(NetConfigError::ZeroTimeout { which: "watchdog_window" });
+        }
         if self.reactors == 0 {
             return Err(NetConfigError::ZeroReactors);
         }
@@ -301,6 +361,9 @@ impl ServerConfigBuilder {
             write_timeout: self.write_timeout,
             read_timeout: self.read_timeout,
             reactors: self.reactors,
+            queue_delay_budget: self.queue_delay_budget,
+            shed_sojourn: self.shed_sojourn,
+            watchdog_window: self.watchdog_window,
         })
     }
 }
@@ -319,6 +382,34 @@ mod tests {
         assert_eq!(cfg.write_timeout(), Duration::from_secs(5));
         assert_eq!(cfg.read_timeout(), None);
         assert!(cfg.reactors() >= 1);
+        assert_eq!(cfg.queue_delay_budget(), None);
+        assert_eq!(cfg.shed_sojourn(), None);
+        assert_eq!(cfg.watchdog_window(), None);
+    }
+
+    #[test]
+    fn overload_knobs_build_and_reject_zero() {
+        let cfg = ServerConfig::builder()
+            .queue_delay_budget(Some(Duration::from_millis(50)))
+            .shed_sojourn(Some(Duration::from_millis(20)))
+            .watchdog_window(Some(Duration::from_secs(2)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.queue_delay_budget(), Some(Duration::from_millis(50)));
+        assert_eq!(cfg.shed_sojourn(), Some(Duration::from_millis(20)));
+        assert_eq!(cfg.watchdog_window(), Some(Duration::from_secs(2)));
+        assert_eq!(
+            ServerConfig::builder().queue_delay_budget(Some(Duration::ZERO)).build().unwrap_err(),
+            NetConfigError::ZeroTimeout { which: "queue_delay_budget" }
+        );
+        assert_eq!(
+            ServerConfig::builder().shed_sojourn(Some(Duration::ZERO)).build().unwrap_err(),
+            NetConfigError::ZeroTimeout { which: "shed_sojourn" }
+        );
+        assert_eq!(
+            ServerConfig::builder().watchdog_window(Some(Duration::ZERO)).build().unwrap_err(),
+            NetConfigError::ZeroTimeout { which: "watchdog_window" }
+        );
     }
 
     #[test]

@@ -34,12 +34,21 @@ pub const CONTROL_ID: u64 = 0;
 /// The protocol version this build speaks. Version 1 is the pre-`HELLO`
 /// wire format; version 2 adds the `HELLO` handshake itself; version 3
 /// adds the tiering fields (`hot_keys`, `cold_keys`, `recovering`) to
-/// the `STATS` reply. A peer that never sends `HELLO` is treated as
-/// speaking [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake
-/// client working unchanged: the server emits the v3 `STATS` fields
-/// only on connections whose negotiated version is ≥ 3 (see
-/// [`encode_response_versioned`]), so v1/v2 decoders never see them.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// the `STATS` reply; version 4 adds the overload control plane: a
+/// per-op deadline trailer on data requests (see
+/// [`encode_request_versioned`]), a retry-after hint on `ERROR`
+/// replies, and the shed/queue-delay fields on `STATS`. A peer that
+/// never sends `HELLO` is treated as speaking
+/// [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake client
+/// working unchanged: the server emits version-gated fields only on
+/// connections whose negotiated version carries them (see
+/// [`encode_response_versioned`]), so older decoders never see them.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// The first protocol version that carries the overload fields: the
+/// per-op deadline trailer on data requests, `retry_after_ms` on
+/// `ERROR` replies, and the shed counters on `STATS`.
+pub const OVERLOAD_PROTOCOL_VERSION: u16 = 4;
 
 /// The version assumed for clients that skip the `HELLO` handshake.
 pub const BASE_PROTOCOL_VERSION: u16 = 1;
@@ -153,6 +162,15 @@ pub enum ErrorCode {
     /// The durability log failed at the I/O layer (disk error, not a
     /// detected attack).
     LogIo = 26,
+    /// The shard's estimated queue delay exceeds its admission budget;
+    /// the op was refused *before* execution (nothing was applied).
+    /// The `ERROR` reply carries a retry-after hint on v4 connections.
+    Overloaded = 27,
+    /// The op's propagated deadline had already expired when the server
+    /// would have admitted it; it was refused *before* execution
+    /// (nothing was applied). Retrying is pointless — the caller
+    /// already gave up.
+    DeadlineExceeded = 28,
     /// The request frame could not be decoded.
     BadRequest = 32,
     /// Unknown request opcode.
@@ -188,6 +206,8 @@ impl ErrorCode {
             24 => ExportUnsupported,
             25 => RecoveryDiverged,
             26 => LogIo,
+            27 => Overloaded,
+            28 => DeadlineExceeded,
             32 => BadRequest,
             33 => UnknownOpcode,
             34 => FrameTooLarge,
@@ -220,6 +240,7 @@ impl ErrorCode {
             StoreError::ExportUnsupported => ErrorCode::ExportUnsupported,
             StoreError::RecoveryDiverged { .. } => ErrorCode::RecoveryDiverged,
             StoreError::Log { .. } => ErrorCode::LogIo,
+            StoreError::Overloaded { .. } => ErrorCode::Overloaded,
         }
     }
 
@@ -374,6 +395,18 @@ pub struct StatsReply {
     /// Whether any shard is currently replaying / verifying its log
     /// (crash recovery or anti-entropy re-sync in flight).
     pub recovering: bool,
+    /// Data ops refused with [`ErrorCode::Overloaded`] since start
+    /// (admission refusals + sojourn sheds). v4+; 0 on older peers.
+    pub ops_shed_overload: u64,
+    /// Data ops refused with [`ErrorCode::DeadlineExceeded`] since
+    /// start. v4+; 0 on older peers.
+    pub ops_shed_deadline: u64,
+    /// Worst current per-shard estimated queue delay, in milliseconds.
+    /// v4+; 0 on older peers.
+    pub queue_delay_ms: u64,
+    /// Connections dropped because the client read too slowly for the
+    /// write timeout. v4+; 0 on older peers.
+    pub slow_disconnects: u64,
     /// Per-shard health, index = shard.
     pub health: Vec<ShardHealthInfo>,
 }
@@ -417,6 +450,11 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail for logs; never required for handling.
         message: String,
+        /// Server hint: wait this many milliseconds before retrying
+        /// (0 = no hint). Carried on the wire from v4; older peers
+        /// decode it as 0. Only [`ErrorCode::Overloaded`] replies set
+        /// it today.
+        retry_after_ms: u64,
     },
 }
 
@@ -506,22 +544,68 @@ fn frame(
     Ok(())
 }
 
-/// Append `req` as one frame to `out`. On [`WireError::FrameTooLarge`],
-/// `out` is left exactly as it was.
+/// Whether a request is a data op (GET/PUT/DELETE/MULTI_GET/PUT_BATCH)
+/// as opposed to a control-plane op. Only data ops carry the v4
+/// deadline trailer, and only data ops are subject to admission
+/// control — PING/STATS/HEALTH/METRICS/HELLO must stay answerable
+/// while a server is shedding load.
+pub fn is_data_request(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Get { .. }
+            | Request::Put { .. }
+            | Request::Delete { .. }
+            | Request::MultiGet { .. }
+            | Request::PutBatch { .. }
+    )
+}
+
+/// Append `req` as one frame to `out`, encoded at
+/// [`BASE_PROTOCOL_VERSION`] (no deadline trailer). On
+/// [`WireError::FrameTooLarge`], `out` is left exactly as it was.
 pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), WireError> {
+    encode_request_versioned(out, id, req, 0, BASE_PROTOCOL_VERSION)
+}
+
+/// Append `req` as one frame to `out`, encoded for a peer speaking
+/// `version`. From v4, data-op bodies end with a `u64 deadline_ns`
+/// trailer: the client's remaining time budget for the op in
+/// nanoseconds (relative, so no clock synchronization is assumed;
+/// 0 = no deadline). Control ops never carry the trailer. On
+/// [`WireError::FrameTooLarge`], `out` is left exactly as it was.
+pub fn encode_request_versioned(
+    out: &mut Vec<u8>,
+    id: u64,
+    req: &Request,
+    deadline_ns: u64,
+    version: u16,
+) -> Result<(), WireError> {
+    let tail = |b: &mut Vec<u8>| {
+        if version >= OVERLOAD_PROTOCOL_VERSION {
+            put_u64(b, deadline_ns);
+        }
+    };
     match req {
         Request::Ping => frame(out, OP_PING, id, |_| {}),
-        Request::Get { key } => frame(out, OP_GET, id, |b| put_bytes(b, key)),
+        Request::Get { key } => frame(out, OP_GET, id, |b| {
+            put_bytes(b, key);
+            tail(b);
+        }),
         Request::Put { key, value } => frame(out, OP_PUT, id, |b| {
             put_bytes(b, key);
             put_bytes(b, value);
+            tail(b);
         }),
-        Request::Delete { key } => frame(out, OP_DELETE, id, |b| put_bytes(b, key)),
+        Request::Delete { key } => frame(out, OP_DELETE, id, |b| {
+            put_bytes(b, key);
+            tail(b);
+        }),
         Request::MultiGet { keys } => frame(out, OP_MULTI_GET, id, |b| {
             put_u32(b, keys.len() as u32);
             for key in keys {
                 put_bytes(b, key);
             }
+            tail(b);
         }),
         Request::PutBatch { pairs } => frame(out, OP_PUT_BATCH, id, |b| {
             put_u32(b, pairs.len() as u32);
@@ -529,6 +613,7 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), W
                 put_bytes(b, key);
                 put_bytes(b, value);
             }
+            tail(b);
         }),
         Request::Stats => frame(out, OP_STATS, id, |_| {}),
         Request::Health => frame(out, OP_HEALTH, id, |_| {}),
@@ -603,6 +688,12 @@ pub fn encode_response_versioned(
                 put_u64(b, s.cold_keys);
                 b.push(s.recovering as u8);
             }
+            if version >= OVERLOAD_PROTOCOL_VERSION {
+                put_u64(b, s.ops_shed_overload);
+                put_u64(b, s.ops_shed_deadline);
+                put_u64(b, s.queue_delay_ms);
+                put_u64(b, s.slow_disconnects);
+            }
             put_health(b, &s.health);
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
@@ -611,9 +702,12 @@ pub fn encode_response_versioned(
             put_u16(b, *version);
             put_u64(b, *features);
         }),
-        Response::Error { code, message } => frame(out, OP_ERROR, id, |b| {
+        Response::Error { code, message, retry_after_ms } => frame(out, OP_ERROR, id, |b| {
             put_u16(b, *code as u16);
             put_bytes(b, message.as_bytes());
+            if version >= OVERLOAD_PROTOCOL_VERSION {
+                put_u64(b, *retry_after_ms);
+            }
         }),
     }
 }
@@ -787,6 +881,20 @@ impl RequestRef<'_> {
         }
     }
 
+    /// Whether this is a data op (see [`is_data_request`]): subject to
+    /// admission control and, from v4, followed by the deadline
+    /// trailer on the wire.
+    pub fn is_data_op(&self) -> bool {
+        matches!(
+            self,
+            RequestRef::Get { .. }
+                | RequestRef::Put { .. }
+                | RequestRef::Delete { .. }
+                | RequestRef::MultiGet { .. }
+                | RequestRef::PutBatch { .. }
+        )
+    }
+
     /// Copy the borrowed fields into an owned [`Request`].
     pub fn to_owned(&self) -> Request {
         match self {
@@ -814,8 +922,26 @@ impl RequestRef<'_> {
 
 /// Decode one request frame from the front of `buf` without copying
 /// key/value bytes — they borrow from `buf` for the lifetime of the
-/// returned [`RequestRef`].
+/// returned [`RequestRef`]. Decodes at [`BASE_PROTOCOL_VERSION`]
+/// (no deadline trailer); frames carrying the v4 trailer must go
+/// through [`decode_request_ref_versioned`].
 pub fn decode_request_ref(buf: &[u8]) -> Result<Decoded<RequestRef<'_>>, WireError> {
+    Ok(match decode_request_ref_versioned(buf, BASE_PROTOCOL_VERSION)? {
+        Decoded::Frame(consumed, id, (req, _deadline)) => Decoded::Frame(consumed, id, req),
+        Decoded::Incomplete => Decoded::Incomplete,
+    })
+}
+
+/// Decode one request frame from the front of `buf` without copying,
+/// honoring the connection's negotiated `version`. From v4, data ops
+/// carry a trailing `u64 deadline_ns` (the client's remaining time
+/// budget, 0 = none) which is returned alongside the request; at older
+/// versions — and for control ops at any version — the returned
+/// deadline is 0.
+pub fn decode_request_ref_versioned(
+    buf: &[u8],
+    version: u16,
+) -> Result<Decoded<(RequestRef<'_>, u64)>, WireError> {
     let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
         return Ok(Decoded::Incomplete);
     };
@@ -854,8 +980,10 @@ pub fn decode_request_ref(buf: &[u8]) -> Result<Decoded<RequestRef<'_>>, WireErr
         OP_HELLO => RequestRef::Hello { version: c.u16()?, features: c.u64()? },
         other => return Err(WireError::UnknownOpcode(other)),
     };
+    let deadline_ns =
+        if version >= OVERLOAD_PROTOCOL_VERSION && req.is_data_op() { c.u64()? } else { 0 };
     c.finished()?;
-    Ok(Decoded::Frame(consumed, id, req))
+    Ok(Decoded::Frame(consumed, id, (req, deadline_ns)))
 }
 
 /// Decode one request frame from the front of `buf`.
@@ -930,6 +1058,12 @@ pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Res
             let degraded = c.u8()? != 0;
             let (hot_keys, cold_keys, recovering) =
                 if version >= 3 { (c.u64()?, c.u64()?, c.u8()? != 0) } else { (0, 0, false) };
+            let (ops_shed_overload, ops_shed_deadline, queue_delay_ms, slow_disconnects) =
+                if version >= OVERLOAD_PROTOCOL_VERSION {
+                    (c.u64()?, c.u64()?, c.u64()?, c.u64()?)
+                } else {
+                    (0, 0, 0, 0)
+                };
             Response::Stats(StatsReply {
                 shards,
                 len,
@@ -940,6 +1074,10 @@ pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Res
                 hot_keys,
                 cold_keys,
                 recovering,
+                ops_shed_overload,
+                ops_shed_deadline,
+                queue_delay_ms,
+                slow_disconnects,
                 health: c.health_list()?,
             })
         }
@@ -949,6 +1087,7 @@ pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Res
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
             message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
+            retry_after_ms: if version >= OVERLOAD_PROTOCOL_VERSION { c.u64()? } else { 0 },
         },
         other => return Err(WireError::UnknownOpcode(other)),
     };
@@ -1064,6 +1203,10 @@ mod tests {
             hot_keys: 100,
             cold_keys: 23,
             recovering: true,
+            ops_shed_overload: 12,
+            ops_shed_deadline: 5,
+            queue_delay_ms: 80,
+            slow_disconnects: 2,
             health: vec![
                 ShardHealthInfo { state: 0, role: 0, lag: 0, violations: 0, recoveries: 0 },
                 ShardHealthInfo { state: 1, role: 1, lag: 42, violations: 3, recoveries: 1 },
@@ -1083,6 +1226,12 @@ mod tests {
         round_trip_response(Response::Error {
             code: ErrorCode::TooManyConnections,
             message: "busy".to_string(),
+            retry_after_ms: 0,
+        });
+        round_trip_response(Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "shard 3 overloaded".to_string(),
+            retry_after_ms: 125,
         });
     }
 
@@ -1104,6 +1253,10 @@ mod tests {
             hot_keys: 7,
             cold_keys: 3,
             recovering: true,
+            ops_shed_overload: 9,
+            ops_shed_deadline: 4,
+            queue_delay_ms: 30,
+            slow_disconnects: 1,
             health: vec![ShardHealthInfo {
                 state: 0,
                 role: 0,
@@ -1135,6 +1288,149 @@ mod tests {
         // Mixing versions across the wire is detected, not misread: a
         // v1 frame is short for a v3 decoder.
         assert!(matches!(decode_response_versioned(&v1, 3), Err(WireError::Malformed)));
+    }
+
+    /// The v4 overload fields of the STATS reply must stay invisible to
+    /// v1–v3 peers — same contract as the v3 tiering fields above.
+    #[test]
+    fn stats_overload_fields_are_gated_on_version() {
+        let stats = Response::Stats(StatsReply {
+            shards: 2,
+            len: 10,
+            ops_served: 55,
+            active_connections: 1,
+            connections_accepted: 4,
+            degraded: true,
+            hot_keys: 7,
+            cold_keys: 3,
+            recovering: false,
+            ops_shed_overload: 900,
+            ops_shed_deadline: 41,
+            queue_delay_ms: 75,
+            slow_disconnects: 6,
+            health: vec![ShardHealthInfo::default()],
+        });
+        for old in [1u16, 2, 3] {
+            let mut buf = Vec::new();
+            encode_response_versioned(&mut buf, 5, &stats, old).unwrap();
+            match decode_response_versioned(&buf, old).unwrap() {
+                Decoded::Frame(consumed, id, Response::Stats(got)) => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(id, 5);
+                    assert_eq!(got.ops_served, 55);
+                    assert_eq!(
+                        (
+                            got.ops_shed_overload,
+                            got.ops_shed_deadline,
+                            got.queue_delay_ms,
+                            got.slow_disconnects
+                        ),
+                        (0, 0, 0, 0),
+                        "v{old} decode must zero the overload fields"
+                    );
+                    assert_eq!(got.health.len(), 1, "health list survives the omitted fields");
+                }
+                other => panic!("expected a STATS frame, got {other:?}"),
+            }
+        }
+        // The v3 frame is exactly the four u64s (32 bytes) shorter.
+        let (mut v3, mut v4) = (Vec::new(), Vec::new());
+        encode_response_versioned(&mut v3, 5, &stats, 3).unwrap();
+        encode_response_versioned(&mut v4, 5, &stats, 4).unwrap();
+        assert_eq!(v4.len(), v3.len() + 32);
+        // A v3 frame is short for a v4 decoder — detected, not misread.
+        assert!(matches!(decode_response_versioned(&v3, 4), Err(WireError::Malformed)));
+    }
+
+    /// The v4 retry-after hint on ERROR replies is gated the same way.
+    #[test]
+    fn error_retry_after_is_gated_on_version() {
+        let err = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "shard 1 overloaded".to_string(),
+            retry_after_ms: 250,
+        };
+        for old in [1u16, 2, 3] {
+            let mut buf = Vec::new();
+            encode_response_versioned(&mut buf, 9, &err, old).unwrap();
+            match decode_response_versioned(&buf, old).unwrap() {
+                Decoded::Frame(consumed, id, Response::Error { code, retry_after_ms, .. }) => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(id, 9);
+                    assert_eq!(code, ErrorCode::Overloaded);
+                    assert_eq!(retry_after_ms, 0, "v{old} decode must zero the hint");
+                }
+                other => panic!("expected an ERROR frame, got {other:?}"),
+            }
+        }
+        let (mut v3, mut v4) = (Vec::new(), Vec::new());
+        encode_response_versioned(&mut v3, 9, &err, 3).unwrap();
+        encode_response_versioned(&mut v4, 9, &err, 4).unwrap();
+        assert_eq!(v4.len(), v3.len() + 8);
+        assert!(matches!(decode_response_versioned(&v3, 4), Err(WireError::Malformed)));
+        match decode_response_versioned(&v4, 4).unwrap() {
+            Decoded::Frame(_, _, Response::Error { retry_after_ms, .. }) => {
+                assert_eq!(retry_after_ms, 250);
+            }
+            other => panic!("expected an ERROR frame, got {other:?}"),
+        }
+    }
+
+    /// The v4 deadline trailer on data requests: carried and returned
+    /// at v4, absent at v1–v3, never attached to control ops.
+    #[test]
+    fn request_deadline_trailer_is_gated_on_version() {
+        let data_ops = [
+            Request::Get { key: b"k".to_vec() },
+            Request::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            Request::Delete { key: b"k".to_vec() },
+            Request::MultiGet { keys: vec![b"a".to_vec(), b"b".to_vec()] },
+            Request::PutBatch { pairs: vec![(b"a".to_vec(), b"1".to_vec())] },
+        ];
+        for req in &data_ops {
+            assert!(is_data_request(req));
+            let (mut v1, mut v4) = (Vec::new(), Vec::new());
+            encode_request_versioned(&mut v1, 7, req, 5_000_000, 1).unwrap();
+            encode_request_versioned(&mut v4, 7, req, 5_000_000, 4).unwrap();
+            assert_eq!(v4.len(), v1.len() + 8, "v4 adds exactly the u64 trailer for {req:?}");
+            match decode_request_ref_versioned(&v4, 4).unwrap() {
+                Decoded::Frame(consumed, id, (got, deadline_ns)) => {
+                    assert_eq!(consumed, v4.len());
+                    assert_eq!(id, 7);
+                    assert_eq!(&got.to_owned(), req);
+                    assert!(got.is_data_op());
+                    assert_eq!(deadline_ns, 5_000_000);
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+            // The v1 frame has no trailer and decodes cleanly at v1...
+            match decode_request_ref_versioned(&v1, 1).unwrap() {
+                Decoded::Frame(_, _, (got, deadline_ns)) => {
+                    assert_eq!(&got.to_owned(), req);
+                    assert_eq!(deadline_ns, 0);
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+            // ...while mixing versions is detected, not misread.
+            assert_eq!(decode_request_ref_versioned(&v1, 4).map(|_| ()), Err(WireError::Malformed));
+            assert_eq!(decode_request_ref_versioned(&v4, 1).map(|_| ()), Err(WireError::Malformed));
+        }
+        // Control ops never carry the trailer, at any version.
+        for req in [Request::Ping, Request::Stats, Request::Health, Request::Metrics] {
+            assert!(!is_data_request(&req));
+            let (mut v1, mut v4) = (Vec::new(), Vec::new());
+            encode_request_versioned(&mut v1, 7, &req, 5_000_000, 1).unwrap();
+            encode_request_versioned(&mut v4, 7, &req, 5_000_000, 4).unwrap();
+            assert_eq!(v1, v4, "control frames are version-invariant for {req:?}");
+            match decode_request_ref_versioned(&v4, 4).unwrap() {
+                Decoded::Frame(_, _, (got, deadline_ns)) => {
+                    assert!(!got.is_data_op());
+                    assert_eq!(&got.to_owned(), &req);
+                    assert_eq!(deadline_ns, 0);
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -1242,6 +1538,8 @@ mod tests {
             ErrorCode::ExportUnsupported,
             ErrorCode::RecoveryDiverged,
             ErrorCode::LogIo,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
             ErrorCode::DataDestroyed,
             ErrorCode::BadRequest,
             ErrorCode::UnknownOpcode,
@@ -1284,5 +1582,8 @@ mod tests {
             ErrorCode::from_store_error(&StoreError::ExportUnsupported),
             ErrorCode::ExportUnsupported
         );
+        let overload = StoreError::Overloaded { shard: 2, retry_after_ms: 40 };
+        assert_eq!(ErrorCode::from_store_error(&overload), ErrorCode::Overloaded);
+        assert!(!ErrorCode::from_store_error(&overload).is_integrity_violation());
     }
 }

@@ -53,7 +53,7 @@ use crate::config::ServerConfig;
 use crate::proto::{self, Decoded, WireError};
 use crate::server::{reject_connection, Shared, POLL_INTERVAL, READ_CHUNK};
 use crate::service::{
-    build_response, encode_or_substitute, observe_amortized, plan_request, wire_failure_response,
+    build_response, encode_or_substitute, observe_amortized, shed_or_plan, wire_failure_response,
     ServerStats, Slot,
 };
 
@@ -368,8 +368,12 @@ struct Conn {
     /// Complete frames may remain beyond the window cap — tick again
     /// without waiting on the poller.
     more_buffered: bool,
+    /// When the bytes now buffered arrived: the sojourn lower bound
+    /// used by deadline/overload shedding at plan time.
+    read_stamp: Instant,
     /// What this peer speaks: the base version until a HELLO negotiates
-    /// higher. Responses (notably STATS) are encoded at this version.
+    /// higher. Responses (notably STATS) are encoded at this version,
+    /// and v4+ request frames carry the deadline trailer.
     version: u16,
 }
 
@@ -476,10 +480,14 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                 continue;
             }
             conn.more_buffered = false;
+            // CoDel-style sojourn: how long the decoded-but-unserved
+            // window sat in this connection's buffer before the tick
+            // got to it.
+            let sojourn_ns = conn.read_stamp.elapsed().as_nanos() as u64;
             let mut decoded = 0usize;
             while decoded < cfg.pipeline_window() {
-                match proto::decode_request_ref(&conn.rbuf[conn.roff..]) {
-                    Ok(Decoded::Frame(consumed, id, req)) => {
+                match proto::decode_request_ref_versioned(&conn.rbuf[conn.roff..], conn.version) {
+                    Ok(Decoded::Frame(consumed, id, (req, deadline_ns))) => {
                         op_idxs.push(req.op_index());
                         let mut refs = Vec::new();
                         let mut route = |op: BatchOp| {
@@ -487,7 +495,14 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                             refs.push((g, per_group[g].len()));
                             per_group[g].push(op);
                         };
-                        let slot = plan_request(&req, &mut route);
+                        let slot = shed_or_plan(
+                            &req,
+                            deadline_ns,
+                            sojourn_ns,
+                            cfg.shed_sojourn(),
+                            &shared.tele,
+                            &mut route,
+                        );
                         plan.push(Planned { token, id, slot, refs });
                         conn.roff += consumed;
                         decoded += 1;
@@ -567,12 +582,16 @@ fn reactor_loop<S: KvStore + Send + 'static>(
             }
             if let Some(deadline) = conn.write_deadline {
                 if now >= deadline {
-                    shared.tele.net.timed_out_connections.inc();
+                    // The peer stopped draining responses and the
+                    // flush deadline lapsed: a slow-reader disconnect,
+                    // observable in STATS rather than a silent drop.
+                    shared.tele.net.conns_disconnected_slow.inc();
                     close = true;
                 }
             }
             if let Some(limit) = cfg.read_timeout() {
                 if conn.pending_out() == 0 && conn.last_request.elapsed() > limit {
+                    shared.tele.net.timed_out_connections.inc();
                     close = true;
                 }
             }
@@ -622,7 +641,10 @@ fn reactor_loop<S: KvStore + Send + 'static>(
 /// Whether the connection's buffer could still yield a complete frame
 /// (or holds a framing error that must be reported).
 fn frames_possible(conn: &Conn) -> bool {
-    matches!(proto::decode_request_ref(&conn.rbuf[conn.roff..]), Ok(Decoded::Frame(..)) | Err(_))
+    matches!(
+        proto::decode_request_ref_versioned(&conn.rbuf[conn.roff..], conn.version),
+        Ok(Decoded::Frame(..)) | Err(_)
+    )
 }
 
 fn adopt_new(inbox: &Inbox, conns: &mut Vec<Option<Conn>>, poller: &mut Poller, shared: &Shared) {
@@ -660,6 +682,7 @@ fn adopt_new(inbox: &Inbox, conns: &mut Vec<Option<Conn>>, poller: &mut Poller, 
             peer_closed: false,
             poisoned: false,
             more_buffered: false,
+            read_stamp: Instant::now(),
             version: proto::BASE_PROTOCOL_VERSION,
         });
         shared.tele.net.reactor_conns.add(1);
@@ -678,6 +701,7 @@ fn read_into(conn: &mut Conn, chunk: &mut [u8], shared: &Shared) {
             Ok(n) => {
                 shared.tele.net.frame_bytes_in.add(n as u64);
                 conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.read_stamp = Instant::now();
                 if n < chunk.len() {
                     return;
                 }

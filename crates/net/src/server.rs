@@ -58,7 +58,7 @@ use crate::config::{Engine, ServerConfig};
 use crate::proto::{self, Decoded, ErrorCode, Response, WireError};
 use crate::reactor::ReactorEngine;
 use crate::service::{
-    build_response, encode_or_substitute, observe_amortized, plan_request, wire_failure_response,
+    build_response, encode_or_substitute, observe_amortized, shed_or_plan, wire_failure_response,
     ServerStats, Slot,
 };
 
@@ -118,6 +118,19 @@ impl AriaServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // The overload knobs live on the store (admission happens at
+        // dispatch, the watchdog on the maintenance ticker); the server
+        // config is their single front door.
+        store.set_queue_delay_budget(config.queue_delay_budget());
+        store.set_watchdog_window(config.watchdog_window());
+        if let Some(window) = config.watchdog_window() {
+            // The watchdog is sampled by the maintenance ticker; tick a
+            // few times per window so a stall is caught promptly. (If
+            // the caller already started maintenance this stacks a
+            // ticker — harmless for sampling, as quarantine fires only
+            // once per unhealthy transition.)
+            store.start_maintenance((window / 4).max(Duration::from_millis(10)));
+        }
         // The hub shares the store's live recorders and slow-op tracer,
         // so a METRICS snapshot covers every layer below the socket.
         let tele = Arc::new(TelemetryHub::with_parts(
@@ -276,6 +289,7 @@ pub(crate) fn reject_connection(mut stream: TcpStream, write_timeout: Duration) 
         &Response::Error {
             code: ErrorCode::TooManyConnections,
             message: "connection limit reached".to_string(),
+            retry_after_ms: 0,
         },
         proto::BASE_PROTOCOL_VERSION,
     );
@@ -298,8 +312,12 @@ fn serve_connection<S: KvStore + Send + 'static>(
     let mut wbuf: Vec<u8> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     let mut last_request = Instant::now();
+    // When the bytes now buffered arrived: the sojourn lower bound used
+    // by deadline/overload shedding at plan time.
+    let mut read_stamp = Instant::now();
     // What this peer speaks: the base version until a HELLO negotiates
-    // higher. Responses (notably STATS) are encoded at this version.
+    // higher. Responses (notably STATS) are encoded at this version,
+    // and v4+ request frames carry the deadline trailer.
     let mut version = proto::BASE_PROTOCOL_VERSION;
 
     'conn: loop {
@@ -311,11 +329,19 @@ fn serve_connection<S: KvStore + Send + 'static>(
         let mut plan: Vec<(u64, Slot)> = Vec::new();
         let mut op_idxs: Vec<usize> = Vec::new();
         let mut wire_failure: Option<WireError> = None;
+        let sojourn_ns = read_stamp.elapsed().as_nanos() as u64;
         while plan.len() < cfg.pipeline_window() {
-            match proto::decode_request_ref(&rbuf[roff..]) {
-                Ok(Decoded::Frame(consumed, id, req)) => {
+            match proto::decode_request_ref_versioned(&rbuf[roff..], version) {
+                Ok(Decoded::Frame(consumed, id, (req, deadline_ns))) => {
                     op_idxs.push(req.op_index());
-                    let slot = plan_request(&req, &mut |op| ops.push(op));
+                    let slot = shed_or_plan(
+                        &req,
+                        deadline_ns,
+                        sojourn_ns,
+                        cfg.shed_sojourn(),
+                        &shared.tele,
+                        &mut |op| ops.push(op),
+                    );
                     plan.push((id, slot));
                     roff += consumed;
                 }
@@ -352,7 +378,10 @@ fn serve_connection<S: KvStore + Send + 'static>(
             shared.tele.net.inflight.sub(inflight);
             if let Err(e) = dispatched {
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
-                    shared.tele.net.timed_out_connections.inc();
+                    // The peer stopped draining responses and the flush
+                    // timed out: a slow-reader disconnect, observable
+                    // in STATS rather than a silent drop.
+                    shared.tele.net.conns_disconnected_slow.inc();
                 }
                 break 'conn;
             }
@@ -367,7 +396,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
             break 'conn;
         }
 
-        if !window_possible(&rbuf[roff..]) {
+        if !window_possible(&rbuf[roff..], version) {
             // Fully drained and answered; now is the clean point to stop.
             if shared.shutdown.load(Ordering::SeqCst) {
                 break 'conn;
@@ -377,6 +406,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                 Ok(n) => {
                     shared.tele.net.frame_bytes_in.add(n as u64);
                     rbuf.extend_from_slice(&chunk[..n]);
+                    read_stamp = Instant::now();
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -384,6 +414,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                 {
                     if let Some(limit) = cfg.read_timeout() {
                         if last_request.elapsed() > limit {
+                            shared.tele.net.timed_out_connections.inc();
                             break 'conn;
                         }
                     }
@@ -398,8 +429,8 @@ fn serve_connection<S: KvStore + Send + 'static>(
 }
 
 /// Whether the buffered bytes could still contain a complete frame.
-fn window_possible(buf: &[u8]) -> bool {
-    matches!(proto::decode_request_ref(buf), Ok(Decoded::Frame(..)) | Err(_))
+fn window_possible(buf: &[u8], version: u16) -> bool {
+    matches!(proto::decode_request_ref_versioned(buf, version), Ok(Decoded::Frame(..)) | Err(_))
 }
 
 /// Run a planned window as one store batch and stream the responses

@@ -22,32 +22,88 @@ pub(crate) enum Slot {
     Stats,
     Health,
     Metrics,
-    Hello { version: u16, features: u64 },
+    Hello {
+        version: u16,
+        features: u64,
+    },
     Get,
     Put,
     Delete,
     MultiGet(usize),
     PutBatch(usize),
+    /// Refused before planning (expired deadline or net-layer overload
+    /// shedding): no store ops were appended, the reply is a typed
+    /// error carrying an optional retry-after hint.
+    Shed(ErrorCode, u64),
 }
 
 impl Slot {
     /// How many store replies this slot consumes from the batch.
     pub(crate) fn store_ops(&self) -> usize {
         match self {
-            Slot::Pong | Slot::Stats | Slot::Health | Slot::Metrics | Slot::Hello { .. } => 0,
+            Slot::Pong
+            | Slot::Stats
+            | Slot::Health
+            | Slot::Metrics
+            | Slot::Hello { .. }
+            | Slot::Shed(..) => 0,
             Slot::Get | Slot::Put | Slot::Delete => 1,
             Slot::MultiGet(n) | Slot::PutBatch(n) => *n,
         }
     }
 
     /// Operations this request counts as in `ops_served`: store ops for
-    /// data requests, one for control requests answered in-line.
+    /// data requests, one for control requests (and sheds) answered
+    /// in-line.
     pub(crate) fn served_units(&self) -> u64 {
         match self {
-            Slot::Pong | Slot::Stats | Slot::Health | Slot::Metrics | Slot::Hello { .. } => 1,
+            Slot::Pong
+            | Slot::Stats
+            | Slot::Health
+            | Slot::Metrics
+            | Slot::Hello { .. }
+            | Slot::Shed(..) => 1,
             _ => self.store_ops() as u64,
         }
     }
+}
+
+/// Whether the client's per-op time budget had already elapsed while
+/// the request sat in server-side buffers. Control-plane ops never
+/// carry a deadline (they bypass admission entirely), and a zero
+/// deadline means "no deadline".
+pub(crate) fn deadline_expired(deadline_ns: u64, sojourn_ns: u64) -> bool {
+    deadline_ns > 0 && sojourn_ns >= deadline_ns
+}
+
+/// Net-layer shedding gate, shared by both engines: a *data* op whose
+/// deadline already expired (or that sat in server buffers past the
+/// CoDel-style sojourn bound) is refused before any store op is
+/// planned. Control-plane ops (PING/STATS/HEALTH/METRICS/HELLO) always
+/// pass — observability and failover stay responsive during brownout.
+pub(crate) fn shed_or_plan(
+    req: &RequestRef<'_>,
+    deadline_ns: u64,
+    sojourn_ns: u64,
+    shed_sojourn: Option<std::time::Duration>,
+    tele: &TelemetryHub,
+    sink: &mut impl FnMut(BatchOp),
+) -> Slot {
+    if req.is_data_op() {
+        if deadline_expired(deadline_ns, sojourn_ns) {
+            tele.net.ops_shed_deadline.inc();
+            return Slot::Shed(ErrorCode::DeadlineExceeded, 0);
+        }
+        if let Some(bound) = shed_sojourn {
+            let bound_ns = bound.as_nanos() as u64;
+            if sojourn_ns > bound_ns {
+                tele.net.ops_shed_overload.inc();
+                let retry_after_ms = ((sojourn_ns - bound_ns) / 1_000_000).clamp(1, 1_000);
+                return Slot::Shed(ErrorCode::Overloaded, retry_after_ms);
+            }
+        }
+    }
+    plan_request(req, sink)
 }
 
 /// Plan one decoded request: append its store ops (copied out of the
@@ -133,16 +189,30 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
             let (hot_keys, cold_keys) = store.telemetry().iter().fold((0, 0), |(h, c), t| {
                 (h + t.store.hot_entries.get(), c + t.store.cold_entries.get())
             });
+            // Overload view: store-side admission refusals plus
+            // net-layer sojourn sheds, the worst shard's estimated
+            // queue delay, and slow-reader disconnects. A shard over
+            // its delay budget counts as degraded even while healthy —
+            // brownout is a visible state, not a silent one.
+            let ops_shed_overload = store.shed_ops_total() + tele.net.ops_shed_overload.get();
+            let ops_shed_deadline = tele.net.ops_shed_deadline.get();
+            let queue_delay_ns = store.queue_delay_estimates().into_iter().max().unwrap_or(0);
+            let over_budget =
+                store.queue_delay_budget().is_some_and(|b| queue_delay_ns > b.as_nanos() as u64);
             Response::Stats(StatsReply {
                 shards: store.shards() as u32,
                 len: store.len_estimate(),
                 ops_served: stats.ops_served,
                 active_connections: stats.active_connections,
                 connections_accepted: stats.connections_accepted,
-                degraded,
+                degraded: degraded || over_budget,
                 hot_keys,
                 cold_keys,
                 recovering,
+                ops_shed_overload,
+                ops_shed_deadline,
+                queue_delay_ms: queue_delay_ns / 1_000_000,
+                slow_disconnects: tele.net.conns_disconnected_slow.get(),
                 health: healths.into_iter().map(Into::into).collect(),
             })
         }
@@ -175,11 +245,24 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
                 .map(|_| next_put(replies).map_err(|e| ErrorCode::from_store_error(&e)))
                 .collect(),
         ),
+        Slot::Shed(code, retry_after_ms) => {
+            let message = match code {
+                ErrorCode::DeadlineExceeded => {
+                    "deadline expired before execution; op was not applied".to_string()
+                }
+                _ => "server overloaded; op was not applied".to_string(),
+            };
+            Response::Error { code, message, retry_after_ms }
+        }
     }
 }
 
 pub(crate) fn error_response(e: &aria_store::StoreError) -> Response {
-    Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string() }
+    let retry_after_ms = match e {
+        aria_store::StoreError::Overloaded { retry_after_ms, .. } => *retry_after_ms,
+        _ => 0,
+    };
+    Response::Error { code: ErrorCode::from_store_error(e), message: e.to_string(), retry_after_ms }
 }
 
 /// Encode `resp` for a connection speaking `version` (what `HELLO`
@@ -189,7 +272,11 @@ pub(crate) fn error_response(e: &aria_store::StoreError) -> Response {
 /// id, never a silently dropped response.
 pub(crate) fn encode_or_substitute(wbuf: &mut Vec<u8>, id: u64, resp: &Response, version: u16) {
     if let Err(e) = proto::encode_response_versioned(wbuf, id, resp, version) {
-        let fallback = Response::Error { code: ErrorCode::FrameTooLarge, message: e.to_string() };
+        let fallback = Response::Error {
+            code: ErrorCode::FrameTooLarge,
+            message: e.to_string(),
+            retry_after_ms: 0,
+        };
         proto::encode_response_versioned(wbuf, id, &fallback, version)
             .expect("error frames are tiny");
     }
@@ -203,7 +290,7 @@ pub(crate) fn wire_failure_response(e: &proto::WireError) -> Response {
         proto::WireError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
         proto::WireError::Malformed => ErrorCode::BadRequest,
     };
-    Response::Error { code, message: e.to_string() }
+    Response::Error { code, message: e.to_string(), retry_after_ms: 0 }
 }
 
 /// Record one window/tick worth of per-opcode service latency: the

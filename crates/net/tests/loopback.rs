@@ -248,7 +248,11 @@ fn malformed_frames_get_typed_error_then_close() {
     raw.write_all(&buf).unwrap();
     let mut resp = Vec::new();
     raw.read_to_end(&mut resp).unwrap(); // server answers then closes
-    match aria_net::proto::decode_response(&resp).unwrap() {
+                                         // No HELLO ran on this raw socket, so the server answers at the
+                                         // base version; decode accordingly.
+    match aria_net::proto::decode_response_versioned(&resp, aria_net::proto::BASE_PROTOCOL_VERSION)
+        .unwrap()
+    {
         aria_net::proto::Decoded::Frame(_, id, aria_net::proto::Response::Error { code, .. }) => {
             assert_eq!(id, aria_net::proto::CONTROL_ID);
             assert_eq!(code, ErrorCode::UnknownOpcode);

@@ -4,8 +4,9 @@
 //! and never panic, over-read, or accept a frame beyond the 4 MiB cap.
 
 use aria_net::proto::{
-    self, decode_request, decode_request_ref, decode_response, Decoded, Request, Response,
-    WireError, MAX_FRAME_LEN,
+    self, decode_request, decode_request_ref, decode_request_ref_versioned, decode_response,
+    decode_response_versioned, Decoded, ErrorCode, Request, Response, WireError,
+    BASE_PROTOCOL_VERSION, MAX_FRAME_LEN, OVERLOAD_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -237,6 +238,140 @@ proptest! {
         buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&count.to_le_bytes());
         prop_assert_eq!(decode_request(&buf), Err(WireError::Malformed));
+    }
+
+    /// v4 data ops carry a `deadline_ns` trailer: any (request, deadline)
+    /// pair must round-trip at v4, every truncation must stay
+    /// `Incomplete`, and the strict cross-version rule must hold — a v4
+    /// data frame decoded at an older version is `Malformed` (trailing
+    /// bytes), never silently misparsed.
+    #[test]
+    fn deadline_trailer_round_trips_and_gates(
+        id in any::<u64>(),
+        klen in 0usize..32,
+        deadline_ns in any::<u64>(),
+        old_version in 1u16..OVERLOAD_PROTOCOL_VERSION,
+    ) {
+        let req = Request::Put { key: vec![0xB7; klen], value: b"v".to_vec() };
+        let mut buf = Vec::new();
+        proto::encode_request_versioned(&mut buf, id, &req, deadline_ns, PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        match decode_request_ref_versioned(&buf, PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_deadline))) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req.clone());
+                prop_assert_eq!(got_deadline, deadline_ns);
+            }
+            other => prop_assert!(false, "v4 frame failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_request_ref_versioned(&buf[..cut], PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated v4 frame at {} must be Incomplete", cut
+            );
+        }
+        prop_assert!(
+            matches!(
+                decode_request_ref_versioned(&buf, old_version),
+                Err(WireError::Malformed)
+            ),
+            "a v4 data frame must not parse at v{}", old_version
+        );
+        // And the mirror image: an old-version frame decoded at v4 is
+        // missing its trailer — also Malformed, never a garbage deadline.
+        let mut old = Vec::new();
+        proto::encode_request_versioned(&mut old, id, &req, 0, old_version)
+            .expect("small frame encodes");
+        prop_assert_eq!(
+            decode_request_ref_versioned(&old, PROTOCOL_VERSION)
+                .map(|_| ()),
+            Err(WireError::Malformed),
+            "a v{} data frame must not parse at v4", old_version
+        );
+    }
+
+    /// The v4 `retry_after_ms` field of error responses round-trips at
+    /// v4, every truncation stays `Incomplete`, and peers at v1–v3
+    /// still parse the error encoded *for them* (the field is omitted,
+    /// decoding as 0) — version gating on the response side.
+    #[test]
+    fn retry_after_field_round_trips_and_gates(
+        id in any::<u64>(),
+        retry_after_ms in any::<u64>(),
+        mlen in 0usize..32,
+        old_version in 1u16..OVERLOAD_PROTOCOL_VERSION,
+    ) {
+        let resp = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "x".repeat(mlen),
+            retry_after_ms,
+        };
+        let mut buf = Vec::new();
+        proto::encode_response_versioned(&mut buf, id, &resp, PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        match decode_response_versioned(&buf, PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, got)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, resp.clone());
+            }
+            other => prop_assert!(false, "v4 error failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_response_versioned(&buf[..cut], PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated v4 error at {} must be Incomplete", cut
+            );
+        }
+        // Encoded for an older peer: the hint is omitted and decodes 0.
+        let mut old = Vec::new();
+        proto::encode_response_versioned(&mut old, id, &resp, old_version)
+            .expect("small frame encodes");
+        match decode_response_versioned(&old, old_version) {
+            Ok(Decoded::Frame(_, _, Response::Error { code, message, retry_after_ms: got })) => {
+                prop_assert_eq!(code, ErrorCode::Overloaded);
+                prop_assert_eq!(message.len(), mlen);
+                prop_assert_eq!(got, 0, "pre-v4 wire carries no hint");
+            }
+            other => prop_assert!(false, "v{} error failed to decode: {other:?}", old_version),
+        }
+    }
+
+    /// Control ops are version-invariant: their frames are byte-for-byte
+    /// identical at every version, so pre-v4 peers parse them unchanged.
+    #[test]
+    fn control_ops_are_version_invariant(id in any::<u64>(), version in 1u16..=PROTOCOL_VERSION) {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Health,
+            Request::Metrics,
+            Request::Hello { version: 7, features: 0b101 },
+        ] {
+            let mut base = Vec::new();
+            proto::encode_request_versioned(&mut base, id, &req, 0, BASE_PROTOCOL_VERSION)
+                .expect("control frames are tiny");
+            let mut at_v = Vec::new();
+            proto::encode_request_versioned(&mut at_v, id, &req, u64::MAX, version)
+                .expect("control frames are tiny");
+            prop_assert_eq!(&base, &at_v, "control frame differs at v{}", version);
+            // Both ends of the version range parse it.
+            prop_assert!(matches!(
+                decode_request_ref_versioned(&at_v, BASE_PROTOCOL_VERSION),
+                Ok(Decoded::Frame(..))
+            ));
+            prop_assert!(matches!(
+                decode_request_ref_versioned(&at_v, PROTOCOL_VERSION),
+                Ok(Decoded::Frame(..))
+            ));
+        }
     }
 }
 

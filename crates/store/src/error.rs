@@ -204,6 +204,16 @@ pub enum StoreError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A [`crate::sharded::ShardedStore`] shard's estimated queue delay
+    /// exceeds its admission budget; the op was refused *before* being
+    /// enqueued (nothing was applied, nothing acknowledged). Transient:
+    /// back off for roughly `retry_after_ms` and retry.
+    Overloaded {
+        /// The overloaded shard.
+        shard: usize,
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -231,6 +241,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "verified recovery refused: {reason}")
             }
             StoreError::Log { op, detail } => write!(f, "durability log {op} failed: {detail}"),
+            StoreError::Overloaded { shard, retry_after_ms } => {
+                write!(f, "shard {shard} overloaded; retry after ~{retry_after_ms} ms")
+            }
         }
     }
 }

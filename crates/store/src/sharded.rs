@@ -413,6 +413,26 @@ struct ShardState {
     /// this instead of asking the worker, so a quarantined (or busy)
     /// replica still contributes its last-known size.
     last_len: AtomicU64,
+    /// Ops accepted into the worker's queue and not yet retired.
+    /// Incremented by the front-end on a successful send, decremented
+    /// by the worker after applying (and reset on respawn — ops queued
+    /// to a dead worker are never retired). These are plain atomics,
+    /// not telemetry counters, because admission control must keep
+    /// working with the `telemetry` feature compiled out.
+    inflight_ops: AtomicU64,
+    /// Batches the worker has fully applied and replied to — the
+    /// progress heartbeat the stuck-shard watchdog samples. A slot
+    /// whose `inflight_ops` stays positive while this stands still is
+    /// accepting work but retiring nothing.
+    batches_retired: AtomicU64,
+    /// EWMA of per-op service time in nanoseconds (alpha = 1/8),
+    /// maintained by the worker. `inflight_ops * ewma_op_ns` is the
+    /// admission controller's queue-delay estimate. 0 until the first
+    /// batch retires.
+    ewma_op_ns: AtomicU64,
+    /// Data ops refused by admission control
+    /// ([`StoreError::Overloaded`]) since start.
+    shed_ops: AtomicU64,
 }
 
 impl ShardState {
@@ -421,7 +441,18 @@ impl ShardState {
             violations: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             last_len: AtomicU64::new(0),
+            inflight_ops: AtomicU64::new(0),
+            batches_retired: AtomicU64::new(0),
+            ewma_op_ns: AtomicU64::new(0),
+            shed_ops: AtomicU64::new(0),
         }
+    }
+
+    /// Current queue-delay estimate for this slot, in nanoseconds.
+    fn queue_delay_ns(&self) -> u64 {
+        self.inflight_ops
+            .load(Ordering::Relaxed)
+            .saturating_mul(self.ewma_op_ns.load(Ordering::Relaxed))
     }
 }
 
@@ -564,6 +595,14 @@ struct Inner<S: KvStore + Send + 'static> {
     resyncers: Mutex<Vec<JoinHandle<()>>>,
     maintainers: Mutex<Vec<JoinHandle<()>>>,
     resync_fault: RwLock<Option<Arc<ResyncFaultHook>>>,
+    /// Admission control: refuse data ops routed to a group whose
+    /// estimated queue delay exceeds this many nanoseconds. 0 = off
+    /// (the default — nothing changes for existing callers).
+    queue_delay_budget_ns: AtomicU64,
+    /// Stuck-shard watchdog: a primary that holds in-flight ops but
+    /// retires no batch for this many nanoseconds is quarantined by the
+    /// maintenance ticker. 0 = off (the default).
+    watchdog_window_ns: AtomicU64,
 }
 
 impl<S: KvStore + Send + 'static> Inner<S> {
@@ -690,6 +729,8 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             resyncers: Mutex::new(Vec::new()),
             maintainers: Mutex::new(Vec::new()),
             resync_fault: RwLock::new(None),
+            queue_delay_budget_ns: AtomicU64::new(0),
+            watchdog_window_ns: AtomicU64::new(0),
         });
         for slot in 0..slots {
             if let Err(e) = spawn_worker(&inner, slot) {
@@ -739,6 +780,84 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         F: Fn(usize) -> bool + Send + Sync + 'static,
     {
         *self.inner.resync_fault.write().unwrap_or_else(|p| p.into_inner()) = Some(Arc::new(hook));
+    }
+
+    // --- overload control ---------------------------------------------------
+
+    /// Enable (or, with `None`, disable) per-shard admission control:
+    /// data ops routed to a group whose estimated queue delay
+    /// (`in-flight ops × EWMA of per-op service time`) exceeds `budget`
+    /// are refused fast with [`StoreError::Overloaded`] instead of
+    /// queueing — nothing is enqueued, nothing applied, so a refusal is
+    /// never an acknowledgement. Off by default.
+    pub fn set_queue_delay_budget(&self, budget: Option<Duration>) {
+        let ns = budget.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        self.inner.queue_delay_budget_ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// The configured admission budget, if any.
+    pub fn queue_delay_budget(&self) -> Option<Duration> {
+        match self.inner.queue_delay_budget_ns.load(Ordering::SeqCst) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Arm (or, with `None`, disarm) the stuck-shard watchdog: a
+    /// group's acting primary that holds in-flight ops but retires no
+    /// batch for `window` is quarantined through the health machine by
+    /// the maintenance ticker (see [`ShardedStore::start_maintenance`]
+    /// — the watchdog samples on that ticker, so it needs maintenance
+    /// running to act). Off by default.
+    pub fn set_watchdog_window(&self, window: Option<Duration>) {
+        let ns = window.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        self.inner.watchdog_window_ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// Per-group estimated queue delay on the acting primary (index =
+    /// group), in nanoseconds. Reads atomics only — never blocks on a
+    /// worker — and refreshes each slot's `queue_delay_ns` telemetry
+    /// gauge as a side effect.
+    pub fn queue_delay_estimates(&self) -> Vec<u64> {
+        (0..self.inner.groups)
+            .map(|g| {
+                let p = self.inner.ctls[g].machine.primary();
+                let slot = self.inner.slot_index(g, p);
+                let est = self.inner.slots[slot].state.queue_delay_ns();
+                self.inner.tele[slot].store.queue_delay_ns.set(est);
+                est
+            })
+            .collect()
+    }
+
+    /// Total data ops refused by admission control since start, across
+    /// all slots.
+    pub fn shed_ops_total(&self) -> u64 {
+        self.inner.slots.iter().map(|s| s.state.shed_ops.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Admission check for one group: refuse fast when the acting
+    /// primary's estimated queue delay is over budget. `ops` is the
+    /// batch size, charged to the shed counter on refusal.
+    fn admit(&self, group: usize, ops: usize) -> Result<(), StoreError> {
+        let budget = self.inner.queue_delay_budget_ns.load(Ordering::Relaxed);
+        if budget == 0 {
+            return Ok(());
+        }
+        let p = self.inner.ctls[group].machine.primary();
+        let slot = self.inner.slot_index(group, p);
+        let st = &self.inner.slots[slot].state;
+        let est = st.queue_delay_ns();
+        if est <= budget {
+            return Ok(());
+        }
+        st.shed_ops.fetch_add(ops as u64, Ordering::Relaxed);
+        self.inner.tele[slot].store.admission_shed.add(ops as u64);
+        // Hint: the time the backlog needs to drain back under budget,
+        // floored at 1 ms (a zero hint reads as "no hint" on the wire)
+        // and capped at 1 s so a momentary spike never parks clients.
+        let retry_after_ms = (est.saturating_sub(budget) / 1_000_000).clamp(1, 1_000);
+        Err(StoreError::Overloaded { shard: group, retry_after_ms })
     }
 
     /// Insert or update a key (blocking).
@@ -902,6 +1021,10 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     > {
         let inner = &self.inner;
         let ctl = &inner.ctls[group];
+        // Admission first: an over-budget group refuses before anything
+        // is enqueued, so the worker never spends service time on ops
+        // whose callers are already backing off.
+        self.admit(group, gops.len())?;
         let has_writes = gops.iter().any(BatchOp::is_write);
         // Reads (and the unreplicated hot path) skip the write lock.
         if !has_writes || inner.replicas == 1 {
@@ -973,15 +1096,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// is handed back (worker gone or slot empty) along with the
     /// generation the failure was observed at.
     fn send_to_slot(&self, slot: usize, req: Request<S>) -> Result<u64, (Request<S>, u64)> {
-        let guard = self.inner.slots[slot].sender.read().unwrap_or_else(|p| p.into_inner());
-        // Read under the guard: a respawn bumps the generation while
-        // holding the write lock, so a sender observed here belongs to
-        // exactly this generation.
-        let generation = self.inner.slots[slot].generation.load(Ordering::SeqCst);
-        match &*guard {
-            Some(tx) => tx.send(req).map(|()| generation).map_err(|e| (e.0, generation)),
-            None => Err((req, generation)),
-        }
+        send_to_slot_inner(&self.inner, slot, req)
     }
 
     /// The replica that should serve this group right now, promoting a
@@ -1016,13 +1131,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     }
 
     fn record_failover(&self, group: usize, new_primary: usize) {
-        let inner = &self.inner;
-        let slot = inner.slot_index(group, new_primary);
-        inner.tele[slot].store.failovers.inc();
-        for r in 0..inner.replicas {
-            let role = inner.ctls[group].machine.role_of(r);
-            inner.tele[inner.slot_index(group, r)].store.replica_role.set(u64::from(role.as_u8()));
-        }
+        record_failover_inner(&self.inner, group, new_primary);
     }
 
     /// Total live keys across all groups (counted on each group's
@@ -1281,33 +1390,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// was the primary, and (when replicated) start a re-sync to pull a
     /// fresh replacement back into the group.
     fn mark_replica_dead(&self, group: usize, replica: usize, generation: u64) {
-        let inner = &self.inner;
-        let slot = inner.slot_index(group, replica);
-        // Stale evidence: a send/recv failure observed against an older
-        // worker incarnation says nothing about the current one — the
-        // replica may have been respawned, re-synced and re-admitted
-        // since that batch was dispatched. (A respawn bumps the
-        // generation *before* the rejoiner leaves `Recovering`, and
-        // `mark_dead` refuses `Recovering`, so current-generation
-        // evidence can never race a respawn into killing the fresh
-        // worker either.)
-        if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
-            return;
-        }
-        let m = &inner.ctls[group].machine;
-        let Some(prev) = m.mark_dead(replica) else { return };
-        inner.tele[slot].store.record_health_transition(prev.as_u8(), ShardHealth::Dead.as_u8());
-        if m.primary() == replica {
-            if let Some(np) = m.promote() {
-                self.record_failover(group, np);
-            }
-        }
-        // A previously-healthy replica rejoins via re-sync; a death from
-        // Quarantined already has a recovery claimant in flight (the
-        // claim CAS retargets Dead → Recovering).
-        if inner.replicas > 1 && prev == ShardHealth::Healthy {
-            spawn_resync(inner, group, replica);
-        }
+        mark_replica_dead_inner(&self.inner, group, replica, generation);
     }
 
     /// Scan a replica's replies for quarantine-triggering violations and
@@ -1334,64 +1417,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// one caller wins the CAS, so concurrent detections of the same
     /// incident start exactly one recovery.
     fn quarantine_replica(&self, group: usize, replica: usize, violations: u64) {
-        let inner = &self.inner;
-        let slot = inner.slot_index(group, replica);
-        inner.slots[slot].state.violations.fetch_add(violations, Ordering::SeqCst);
-        let m = &inner.ctls[group].machine;
-        if !m.quarantine(replica) {
-            // Already quarantined, recovering, or dead.
-            return;
-        }
-        inner.tele[slot].store.record_health_transition(
-            ShardHealth::Healthy.as_u8(),
-            ShardHealth::Quarantined.as_u8(),
-        );
-        if m.primary() == replica {
-            if let Some(np) = m.promote() {
-                self.record_failover(group, np);
-            }
-        }
-        if inner.replicas > 1 {
-            spawn_resync(inner, group, replica);
-        } else {
-            self.queue_local_recovery(group);
-        }
-    }
-
-    /// Unreplicated recovery: run [`KvStore::recover`] on the shard's
-    /// own worker thread, up to [`RECOVERY_ATTEMPTS`] times.
-    fn queue_local_recovery(&self, group: usize) {
-        let inner = Arc::clone(&self.inner);
-        let slot = inner.slot_index(group, 0);
-        let recovery = Request::Exec(Box::new(move |store: &mut S| {
-            let m = &inner.ctls[group].machine;
-            let tele = &inner.tele[slot].store;
-            let Some(prev) = m.claim_recovery(0) else { return };
-            tele.record_health_transition(prev.as_u8(), ShardHealth::Recovering.as_u8());
-            for _ in 0..RECOVERY_ATTEMPTS {
-                if store.recover().is_ok() {
-                    inner.slots[slot].state.recoveries.fetch_add(1, Ordering::SeqCst);
-                    if m.readmit(0) {
-                        tele.record_health_transition(
-                            ShardHealth::Recovering.as_u8(),
-                            ShardHealth::Healthy.as_u8(),
-                        );
-                    }
-                    return;
-                }
-            }
-            // The untrusted state cannot be re-verified: the shard never
-            // re-admits — answering from it could ack corrupt data.
-            if m.fail_recovery(0) {
-                tele.record_health_transition(
-                    ShardHealth::Recovering.as_u8(),
-                    ShardHealth::Dead.as_u8(),
-                );
-            }
-        }));
-        if let Err((_, generation)) = self.send_to_slot(slot, recovery) {
-            self.mark_replica_dead(group, 0, generation);
-        }
+        quarantine_replica_inner(&self.inner, group, replica, violations);
     }
 
     /// Test hook: force every replica of a group to a health state.
@@ -1432,7 +1458,10 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// stores) on the group's acting primary, then refreshes its
     /// gauges. Each pass runs on the shard's own worker thread like any
     /// other request, so it never races client operations, and the
-    /// ticker waits for one pass to finish before scheduling the next.
+    /// ticker schedules a new pass only after the previous one reported
+    /// back (no stacking). The same ticker samples the stuck-shard
+    /// watchdog (see [`ShardedStore::set_watchdog_window`]) with
+    /// non-blocking atomic reads, so a wedged worker cannot silence it.
     /// The tickers poll the shutdown flag and are joined by `Drop`
     /// (same lifecycle as the re-sync threads), so dropping the store
     /// mid-compaction cannot hang or leak a thread. Idempotent-ish:
@@ -1465,13 +1494,28 @@ fn spawn_maintainer<S: KvStore + Send + 'static>(
 }
 
 /// Body of a group's maintenance ticker: sleep in short slices (so
-/// shutdown is observed within ~10 ms), then run one synchronous
-/// maintenance pass on the acting primary.
+/// shutdown is observed within ~10 ms), then sample the stuck-shard
+/// watchdog and run one maintenance pass on the acting primary.
+///
+/// The watchdog samples *first* and reads atomics only — it must keep
+/// firing while the worker is wedged, which is exactly when anything
+/// queued behind the stall blocks. For the same reason the maintenance
+/// pass is dispatched fire-and-forget with a completion flag instead
+/// of synchronously: a new pass is only scheduled once the previous
+/// one reported back, preserving the no-stacking backpressure (a slow
+/// compaction still delays the next pass, it just no longer wedges the
+/// ticker — and with it the watchdog — behind a stuck worker).
 fn maintain_loop<S: KvStore + Send + 'static>(
     inner: &Arc<Inner<S>>,
     group: usize,
     interval: Duration,
 ) {
+    let mut last_retired: Option<u64> = None;
+    let mut last_progress = Instant::now();
+    let pass_done = Arc::new(AtomicBool::new(true));
+    // Where the outstanding pass went, to detect a respawn that dropped
+    // the closure unrun (the flag would otherwise stay false forever).
+    let mut pass_sent_to: Option<(usize, u64)> = None;
     loop {
         let mut remaining = interval;
         while !remaining.is_zero() {
@@ -1487,14 +1531,51 @@ fn maintain_loop<S: KvStore + Send + 'static>(
         }
         let primary = inner.ctls[group].machine.primary();
         let slot = inner.slot_index(group, primary);
-        // Waiting for the pass (rather than fire-and-forget) is the
-        // backpressure: a slow compaction delays the next tick instead
-        // of stacking passes in the worker queue. Errors surface
-        // through the store's own health machinery, not the ticker.
-        let _ = exec_on_slot(inner, group, slot, |s: &mut S| {
-            let _ = s.maintain();
-            s.refresh_gauges();
-        });
+        let st = &inner.slots[slot].state;
+        // --- stuck-shard watchdog (atomics only, never blocks) ---
+        let retired = st.batches_retired.load(Ordering::SeqCst);
+        let inflight = st.inflight_ops.load(Ordering::SeqCst);
+        let window_ns = inner.watchdog_window_ns.load(Ordering::SeqCst);
+        if last_retired != Some(retired) || inflight == 0 {
+            // Progress (or nothing owed): reset the heartbeat. A
+            // primary change lands here too via the retired mismatch.
+            last_retired = Some(retired);
+            last_progress = Instant::now();
+        } else if window_ns > 0
+            && (last_progress.elapsed().as_nanos() as u64) > window_ns
+            && inner.ctls[group].machine.health(primary) == ShardHealth::Healthy
+        {
+            // Accepting work but retiring nothing for a full window:
+            // quarantine through the health machine instead of letting
+            // callers queue forever. Recovery re-admits the shard once
+            // its worker verifies again (or a sibling re-syncs it).
+            inner.tele[slot].store.watchdog_quarantines.inc();
+            quarantine_replica_inner(inner, group, primary, 0);
+            last_progress = Instant::now();
+        }
+        // --- maintenance pass (fire-and-forget, no stacking) ---
+        if !pass_done.load(Ordering::SeqCst) {
+            // The outstanding pass is lost, not just slow, if its
+            // worker was respawned (generation moved): the closure was
+            // dropped unrun with the old channel.
+            if let Some((pslot, pgen)) = pass_sent_to {
+                if inner.slots[pslot].generation.load(Ordering::SeqCst) != pgen {
+                    pass_done.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if pass_done.swap(false, Ordering::SeqCst) {
+            let done = Arc::clone(&pass_done);
+            let req = Request::Exec(Box::new(move |s: &mut S| {
+                let _ = s.maintain();
+                s.refresh_gauges();
+                done.store(true, Ordering::SeqCst);
+            }));
+            match send_to_slot_inner(inner, slot, req) {
+                Ok(generation) => pass_sent_to = Some((slot, generation)),
+                Err(_) => pass_done.store(true, Ordering::SeqCst),
+            }
+        }
     }
 }
 
@@ -1519,9 +1600,9 @@ fn teardown<S: KvStore + Send + 'static>(inner: &Arc<Inner<S>>) {
             let _ = h.join();
         }
     }
-    // Maintenance tickers are joined while the workers are still alive:
-    // a ticker blocked on an in-flight maintenance pass needs its
-    // worker to finish the pass before it can observe shutdown.
+    // Maintenance tickers are joined while the workers are still alive
+    // so an in-flight maintenance pass they dispatched can still drain
+    // normally before the worker channels close.
     loop {
         let handles = std::mem::take(&mut *lock_handles(&inner.maintainers));
         if handles.is_empty() {
@@ -1594,6 +1675,9 @@ fn spawn_worker<S: KvStore + Send + 'static>(
             // no sender can be observed with a mismatched generation.
             let mut sender = inner.slots[slot].sender.write().unwrap_or_else(|p| p.into_inner());
             inner.slots[slot].generation.fetch_add(1, Ordering::SeqCst);
+            // Ops charged to a dead predecessor will never retire;
+            // start the fresh worker's queue estimate from zero.
+            inner.slots[slot].state.inflight_ops.store(0, Ordering::SeqCst);
             *sender = Some(tx);
             drop(sender);
             let mut workers = lock_handles(&inner.workers);
@@ -1637,6 +1721,175 @@ where
         return Err(StoreError::ShardUnavailable { shard: group });
     }
     rx.recv().map_err(|_| StoreError::ShardUnavailable { shard: group })
+}
+
+/// Send a request to a slot's worker (the free-function form —
+/// background threads like the maintenance ticker hold only an
+/// `Arc<Inner>`, never a `ShardedStore`, whose `Drop` runs teardown).
+/// Returns the slot's worker generation the send was made against; on
+/// failure the request is handed back along with the generation the
+/// failure was observed at. A successful `Ops` send charges the ops to
+/// the slot's in-flight counter — the worker retires them.
+fn send_to_slot_inner<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    slot: usize,
+    req: Request<S>,
+) -> Result<u64, (Request<S>, u64)> {
+    let guard = inner.slots[slot].sender.read().unwrap_or_else(|p| p.into_inner());
+    // Read under the guard: a respawn bumps the generation while
+    // holding the write lock, so a sender observed here belongs to
+    // exactly this generation.
+    let generation = inner.slots[slot].generation.load(Ordering::SeqCst);
+    let ops_sent = match &req {
+        Request::Ops { ops, .. } => ops.len() as u64,
+        Request::Exec(_) => 0,
+    };
+    match &*guard {
+        Some(tx) => {
+            // Charge in-flight BEFORE the send: once the request is in
+            // the channel the worker may retire it (and run its
+            // saturating decrement against 0) before a post-send
+            // increment would execute, leaking the counter upward for
+            // the rest of the worker's life.
+            if ops_sent > 0 {
+                inner.slots[slot].state.inflight_ops.fetch_add(ops_sent, Ordering::SeqCst);
+            }
+            match tx.send(req) {
+                Ok(()) => Ok(generation),
+                Err(e) => {
+                    if ops_sent > 0 {
+                        let _ = inner.slots[slot].state.inflight_ops.fetch_update(
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                            |v| Some(v.saturating_sub(ops_sent)),
+                        );
+                    }
+                    Err((e.0, generation))
+                }
+            }
+        }
+        None => Err((req, generation)),
+    }
+}
+
+/// Free-function form of [`ShardedStore::record_failover`].
+fn record_failover_inner<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    new_primary: usize,
+) {
+    let slot = inner.slot_index(group, new_primary);
+    inner.tele[slot].store.failovers.inc();
+    for r in 0..inner.replicas {
+        let role = inner.ctls[group].machine.role_of(r);
+        inner.tele[inner.slot_index(group, r)].store.replica_role.set(u64::from(role.as_u8()));
+    }
+}
+
+/// Free-function form of [`ShardedStore::mark_replica_dead`]: record a
+/// replica's worker as gone, fail over if it was the primary, and
+/// (when replicated) start a re-sync.
+fn mark_replica_dead_inner<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    replica: usize,
+    generation: u64,
+) {
+    let slot = inner.slot_index(group, replica);
+    // Stale evidence: a send/recv failure observed against an older
+    // worker incarnation says nothing about the current one — the
+    // replica may have been respawned, re-synced and re-admitted
+    // since that batch was dispatched. (A respawn bumps the
+    // generation *before* the rejoiner leaves `Recovering`, and
+    // `mark_dead` refuses `Recovering`, so current-generation
+    // evidence can never race a respawn into killing the fresh
+    // worker either.)
+    if inner.slots[slot].generation.load(Ordering::SeqCst) != generation {
+        return;
+    }
+    let m = &inner.ctls[group].machine;
+    let Some(prev) = m.mark_dead(replica) else { return };
+    inner.tele[slot].store.record_health_transition(prev.as_u8(), ShardHealth::Dead.as_u8());
+    if m.primary() == replica {
+        if let Some(np) = m.promote() {
+            record_failover_inner(inner, group, np);
+        }
+    }
+    // A previously-healthy replica rejoins via re-sync; a death from
+    // Quarantined already has a recovery claimant in flight (the
+    // claim CAS retargets Dead → Recovering).
+    if inner.replicas > 1 && prev == ShardHealth::Healthy {
+        spawn_resync(inner, group, replica);
+    }
+}
+
+/// Free-function form of [`ShardedStore::quarantine_replica`], also
+/// driven by the stuck-shard watchdog on the maintenance ticker.
+fn quarantine_replica_inner<S: KvStore + Send + 'static>(
+    inner: &Arc<Inner<S>>,
+    group: usize,
+    replica: usize,
+    violations: u64,
+) {
+    let slot = inner.slot_index(group, replica);
+    inner.slots[slot].state.violations.fetch_add(violations, Ordering::SeqCst);
+    let m = &inner.ctls[group].machine;
+    if !m.quarantine(replica) {
+        // Already quarantined, recovering, or dead.
+        return;
+    }
+    inner.tele[slot]
+        .store
+        .record_health_transition(ShardHealth::Healthy.as_u8(), ShardHealth::Quarantined.as_u8());
+    if m.primary() == replica {
+        if let Some(np) = m.promote() {
+            record_failover_inner(inner, group, np);
+        }
+    }
+    if inner.replicas > 1 {
+        spawn_resync(inner, group, replica);
+    } else {
+        queue_local_recovery_inner(inner, group);
+    }
+}
+
+/// Unreplicated recovery: run [`KvStore::recover`] on the shard's own
+/// worker thread, up to [`RECOVERY_ATTEMPTS`] times. Queued like any
+/// other request, so it runs after whatever the worker already
+/// accepted — including the stall that a watchdog quarantine caught —
+/// and re-admits the shard once the store verifies again.
+fn queue_local_recovery_inner<S: KvStore + Send + 'static>(inner: &Arc<Inner<S>>, group: usize) {
+    let inner2 = Arc::clone(inner);
+    let slot = inner.slot_index(group, 0);
+    let recovery = Request::Exec(Box::new(move |store: &mut S| {
+        let m = &inner2.ctls[group].machine;
+        let tele = &inner2.tele[slot].store;
+        let Some(prev) = m.claim_recovery(0) else { return };
+        tele.record_health_transition(prev.as_u8(), ShardHealth::Recovering.as_u8());
+        for _ in 0..RECOVERY_ATTEMPTS {
+            if store.recover().is_ok() {
+                inner2.slots[slot].state.recoveries.fetch_add(1, Ordering::SeqCst);
+                if m.readmit(0) {
+                    tele.record_health_transition(
+                        ShardHealth::Recovering.as_u8(),
+                        ShardHealth::Healthy.as_u8(),
+                    );
+                }
+                return;
+            }
+        }
+        // The untrusted state cannot be re-verified: the shard never
+        // re-admits — answering from it could ack corrupt data.
+        if m.fail_recovery(0) {
+            tele.record_health_transition(
+                ShardHealth::Recovering.as_u8(),
+                ShardHealth::Dead.as_u8(),
+            );
+        }
+    }));
+    if let Err((_, generation)) = send_to_slot_inner(inner, slot, recovery) {
+        mark_replica_dead_inner(inner, group, 0, generation);
+    }
 }
 
 /// Start the single-flight re-sync thread for a replica (no-op once the
@@ -1879,11 +2132,28 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
         for req in batch {
             match req {
                 Request::Ops { ops, reply } => {
-                    ctx.tele.store.batch_size.observe(ops.len() as u64);
+                    let n = ops.len() as u64;
+                    let started = Instant::now();
+                    ctx.tele.store.batch_size.observe(n);
                     let replies = apply_ops(&mut store, ops, &ctx);
                     // Publish the new size before the reply so a client
                     // that saw its ack also sees the updated estimate.
                     ctx.state.last_len.store(store.len(), Ordering::SeqCst);
+                    // Retire before replying: admission sees the queue
+                    // shrink no later than the caller sees its ack.
+                    let per_op = (started.elapsed().as_nanos() as u64) / n.max(1);
+                    let prev = ctx.state.ewma_op_ns.load(Ordering::Relaxed);
+                    let next = if prev == 0 { per_op } else { prev - prev / 8 + per_op / 8 };
+                    ctx.state.ewma_op_ns.store(next, Ordering::Relaxed);
+                    // Saturating: ops queued to a dead predecessor were
+                    // reset on respawn, so this worker must not drive
+                    // the counter through zero.
+                    let _ = ctx.state.inflight_ops.fetch_update(
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                        |v| Some(v.saturating_sub(n)),
+                    );
+                    ctx.state.batches_retired.fetch_add(1, Ordering::SeqCst);
                     // The client may have given up (dropped the
                     // receiver); the work is still applied.
                     let _ = reply.send(replies);
@@ -2535,6 +2805,88 @@ mod tests {
         let snaps = store.replica_healths();
         assert_eq!(snaps.len(), 4);
         assert!(snaps.iter().all(|s| s.role == ReplicaRole::Primary));
+    }
+
+    // --- overload control -------------------------------------------------------
+
+    #[test]
+    fn admission_refuses_over_budget_and_hints_retry() {
+        let store = small_sharded(1);
+        // No budget configured: everything is admitted.
+        store.put(b"k", b"v").unwrap();
+        assert_eq!(store.shed_ops_total(), 0);
+        store.set_queue_delay_budget(Some(Duration::from_millis(1)));
+        assert_eq!(store.queue_delay_budget(), Some(Duration::from_millis(1)));
+        // Fake a backlog on the only slot: 1000 in-flight ops at 1 ms
+        // EWMA each is a 1 s queue-delay estimate, far over budget.
+        let st = &store.inner.slots[0].state;
+        st.inflight_ops.store(1_000, Ordering::SeqCst);
+        st.ewma_op_ns.store(1_000_000, Ordering::SeqCst);
+        assert_eq!(store.queue_delay_estimates(), vec![1_000_000_000]);
+        match store.put(b"k2", b"v") {
+            Err(StoreError::Overloaded { shard, retry_after_ms }) => {
+                assert_eq!(shard, 0);
+                // (est - budget) / 1e6 = 999 ms, inside the clamp.
+                assert_eq!(retry_after_ms, 999);
+            }
+            other => panic!("want Overloaded, got {other:?}"),
+        }
+        assert_eq!(store.shed_ops_total(), 1, "the refused op is charged to the shed counter");
+        // A refusal is not an acknowledgement: nothing was enqueued, so
+        // the key must not exist once the backlog clears.
+        st.inflight_ops.store(0, Ordering::SeqCst);
+        assert_eq!(store.get(b"k2").unwrap(), None);
+        store.put(b"k2", b"v2").unwrap();
+        assert_eq!(store.get(b"k2").unwrap().unwrap(), b"v2");
+        // Disarming re-opens admission unconditionally.
+        store.set_queue_delay_budget(None);
+        assert_eq!(store.queue_delay_budget(), None);
+        st.inflight_ops.store(1_000, Ordering::SeqCst);
+        store.put(b"k3", b"v3").unwrap();
+        st.inflight_ops.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn watchdog_quarantines_stalled_shard_then_recovery_readmits() {
+        let store = Arc::new(small_sharded(1));
+        store.set_watchdog_window(Some(Duration::from_millis(40)));
+        store.start_maintenance(Duration::from_millis(5));
+        // Wedge the worker well past the window...
+        assert!(store.exec_detached(0, |_st| thread::sleep(Duration::from_millis(400))));
+        // ...while a client op queues behind the stall, so the shard is
+        // "accepting work but retiring nothing" — the watchdog's case.
+        let s2 = Arc::clone(&store);
+        let blocked = thread::spawn(move || s2.put(b"stalled", b"v"));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while store.health_of(0) == ShardHealth::Healthy {
+            assert!(Instant::now() < deadline, "watchdog never quarantined the stalled shard");
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Once the stall clears, queued recovery verifies the store and
+        // re-admits the shard.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while store.health_of(0) != ShardHealth::Healthy {
+            assert!(Instant::now() < deadline, "stalled shard was never re-admitted");
+            thread::sleep(Duration::from_millis(10));
+        }
+        // The queued op completed (either applied or typed-refused) —
+        // it must not hang — and new work flows again.
+        let _ = blocked.join().expect("blocked writer must not panic");
+        store.put(b"after", b"v").unwrap();
+        assert_eq!(store.get(b"after").unwrap().unwrap(), b"v");
+        let watchdog_fires: u64 =
+            store.telemetry().iter().map(|t| t.store.watchdog_quarantines.get()).sum();
+        assert!(watchdog_fires >= 1, "quarantine must be attributed to the watchdog");
+    }
+
+    #[test]
+    fn healthy_load_is_never_shed_under_a_sane_budget() {
+        let store = small_sharded(2);
+        store.set_queue_delay_budget(Some(Duration::from_secs(2)));
+        for i in 0..512u32 {
+            store.put(format!("ok{i}").as_bytes(), b"v").unwrap();
+        }
+        assert_eq!(store.shed_ops_total(), 0, "a generous budget must not shed a light load");
     }
 
     // --- GroupHealthMachine property tests --------------------------------------

@@ -224,6 +224,9 @@ fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
     put_u64(b, st.compactions);
     put_u64(b, st.checkpoints);
     put_hist(b, &st.cold_read_latency);
+    put_u64(b, st.admission_shed);
+    put_u64(b, st.watchdog_quarantines);
+    put_u64(b, st.queue_delay_ns);
     put_u32(b, st.health_events.len() as u32);
     for e in &st.health_events {
         put_u64(b, e.seq);
@@ -277,6 +280,9 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
     let compactions = c.u64()?;
     let checkpoints = c.u64()?;
     let cold_read_latency = c.hist()?;
+    let admission_shed = c.u64()?;
+    let watchdog_quarantines = c.u64()?;
+    let queue_delay_ns = c.u64()?;
     let nev = c.u32()? as usize;
     if nev > MAX_LIST {
         return Err(CodecError::Malformed);
@@ -316,6 +322,9 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
             compactions,
             checkpoints,
             cold_read_latency,
+            admission_shed,
+            watchdog_quarantines,
+            queue_delay_ns,
             health_events,
         },
     })
@@ -339,6 +348,9 @@ fn encode_net(b: &mut Vec<u8>, n: &NetSnapshot) {
     put_hist(b, &n.tick_batch_size);
     put_u64(b, n.reactor_ops);
     put_u64(b, n.reactor_submissions);
+    put_u64(b, n.conns_disconnected_slow);
+    put_u64(b, n.ops_shed_deadline);
+    put_u64(b, n.ops_shed_overload);
 }
 
 fn decode_net(c: &mut Cursor<'_>) -> Result<NetSnapshot, CodecError> {
@@ -358,6 +370,9 @@ fn decode_net(c: &mut Cursor<'_>) -> Result<NetSnapshot, CodecError> {
         tick_batch_size: c.hist()?,
         reactor_ops: c.u64()?,
         reactor_submissions: c.u64()?,
+        conns_disconnected_slow: c.u64()?,
+        ops_shed_deadline: c.u64()?,
+        ops_shed_overload: c.u64()?,
     })
 }
 
@@ -420,12 +435,18 @@ mod tests {
         hub.shards[1].store.compactions.inc();
         hub.shards[1].store.checkpoints.add(3);
         hub.shards[1].store.cold_read_latency.observe(45_000);
+        hub.shards[1].store.admission_shed.add(23);
+        hub.shards[1].store.watchdog_quarantines.inc();
+        hub.shards[1].store.queue_delay_ns.set(2_500_000);
         hub.net.op_latency[1].observe(999);
         hub.net.frame_bytes_in.add(4096);
         hub.net.reactor_conns.set(3);
         hub.net.tick_batch_size.observe(17);
         hub.net.reactor_ops.add(17);
         hub.net.reactor_submissions.add(2);
+        hub.net.conns_disconnected_slow.inc();
+        hub.net.ops_shed_deadline.add(4);
+        hub.net.ops_shed_overload.add(9);
         hub.chaos.record_injection(3);
         hub.chaos.record_injection(7);
         hub.slow_ops.record(crate::trace::SlowOp {

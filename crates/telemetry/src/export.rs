@@ -86,6 +86,14 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_store_compactions_total", &sh, st.compactions);
             prom_line(&mut o, "aria_store_checkpoints_total", &sh, st.checkpoints);
             prom_hist(&mut o, "aria_store_cold_read_latency_nanos", &sh, &st.cold_read_latency);
+            prom_line(&mut o, "aria_store_admission_shed_total", &sh, st.admission_shed);
+            prom_line(
+                &mut o,
+                "aria_store_watchdog_quarantines_total",
+                &sh,
+                st.watchdog_quarantines,
+            );
+            prom_line(&mut o, "aria_store_queue_delay_nanos", &sh, st.queue_delay_ns);
             for (ci, &v) in st.violations.iter().enumerate() {
                 let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
                 prom_line(
@@ -114,6 +122,14 @@ impl TelemetrySnapshot {
         prom_hist(&mut o, "aria_net_tick_batch_size_ops", "", &self.net.tick_batch_size);
         prom_line(&mut o, "aria_net_reactor_ops_total", "", self.net.reactor_ops);
         prom_line(&mut o, "aria_net_reactor_submissions_total", "", self.net.reactor_submissions);
+        prom_line(
+            &mut o,
+            "aria_net_conns_disconnected_slow_total",
+            "",
+            self.net.conns_disconnected_slow,
+        );
+        prom_line(&mut o, "aria_net_ops_shed_deadline_total", "", self.net.ops_shed_deadline);
+        prom_line(&mut o, "aria_net_ops_shed_overload_total", "", self.net.ops_shed_overload);
         let _ = writeln!(o, "aria_net_coalesce_ratio {:.3}", self.net.coalesce_ratio());
         for (i, &v) in self.chaos.injected.iter().enumerate() {
             let name = FAULT_SITE_NAMES.get(i).copied().unwrap_or("unknown");
@@ -165,10 +181,14 @@ impl TelemetrySnapshot {
         ));
         hist_json(&mut o, &self.net.tick_batch_size);
         o.push_str(&format!(
-            ",\"reactor_ops\":{},\"reactor_submissions\":{},\"coalesce_ratio\":{:.3}}}",
+            ",\"reactor_ops\":{},\"reactor_submissions\":{},\"coalesce_ratio\":{:.3},\
+             \"conns_disconnected_slow\":{},\"ops_shed_deadline\":{},\"ops_shed_overload\":{}}}",
             self.net.reactor_ops,
             self.net.reactor_submissions,
-            self.net.coalesce_ratio()
+            self.net.coalesce_ratio(),
+            self.net.conns_disconnected_slow,
+            self.net.ops_shed_deadline,
+            self.net.ops_shed_overload
         ));
         o.push_str(",\"chaos\":{");
         for (i, &v) in self.chaos.injected.iter().enumerate() {
@@ -245,7 +265,8 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
         ",\"index_probes\":{},\"keys_live\":{},\"counter_live\":{},\"counter_capacity\":{},\
          \"health_state\":{},\"failovers\":{},\"resyncs\":{},\"replica_role\":{},\
          \"replica_lag\":{},\"hot_entries\":{},\"cold_entries\":{},\"migrations\":{},\
-         \"compactions\":{},\"checkpoints\":{},\"violations\":{{",
+         \"compactions\":{},\"checkpoints\":{},\"admission_shed\":{},\
+         \"watchdog_quarantines\":{},\"queue_delay_ns\":{},\"violations\":{{",
         st.index_probes,
         st.keys_live,
         st.counter_live,
@@ -259,7 +280,10 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
         st.cold_entries,
         st.migrations,
         st.compactions,
-        st.checkpoints
+        st.checkpoints,
+        st.admission_shed,
+        st.watchdog_quarantines,
+        st.queue_delay_ns
     ));
     let mut first = true;
     for (ci, &v) in st.violations.iter().enumerate() {
@@ -296,6 +320,11 @@ mod tests {
             "aria_net_inflight",
             "aria_net_reactor_conns",
             "aria_net_coalesce_ratio",
+            "aria_net_conns_disconnected_slow_total",
+            "aria_net_ops_shed_deadline_total",
+            "aria_store_admission_shed_total{shard=\"0\"}",
+            "aria_store_queue_delay_nanos{shard=\"0\"}",
+            "aria_chaos_injected_total{site=\"shard_stall\"}",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -26,7 +26,12 @@ use crate::trace::{SlowOp, SlowOpTracer};
 /// the tiering fields (`hot_entries`, `cold_entries`, `migrations`,
 /// `compactions`, `checkpoints`, `cold_read_latency`) to the store
 /// section and grew the chaos site table to 11 (durability log sites).
-pub const SNAPSHOT_VERSION: u32 = 4;
+/// v5 added the overload fields (`admission_shed`,
+/// `watchdog_quarantines`, `queue_delay_ns` to the store section;
+/// `conns_disconnected_slow`, `ops_shed_deadline`, `ops_shed_overload`
+/// to the net section) and grew the chaos site table to 12
+/// (`shard_stall`).
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -45,7 +50,7 @@ pub const VIOLATION_NAMES: [&str; VIOLATION_CLASSES] = [
 
 /// Number of chaos fault-injection sites (mirrors
 /// `aria_chaos::FaultSite` order).
-pub const FAULT_SITES: usize = 11;
+pub const FAULT_SITES: usize = 12;
 
 /// Stable names for the fault sites, indexable by `FaultSite as usize`.
 pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
@@ -60,6 +65,7 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
     "log_bit_flip",
     "torn_append",
     "stale_checkpoint_rollback",
+    "shard_stall",
 ];
 
 /// Number of tracked wire opcodes.
@@ -400,6 +406,14 @@ pub struct StoreTelemetry {
     /// Latency per cold-tier read (verified log read + promotion),
     /// nanoseconds.
     pub cold_read_latency: Histogram,
+    /// Ops refused by admission control (queue-delay budget exceeded).
+    pub admission_shed: Counter,
+    /// Quarantines triggered by the stuck-shard watchdog (accepting
+    /// work but retiring no batches within the watchdog window).
+    pub watchdog_quarantines: Counter,
+    /// Estimated queue delay for this shard's acting primary (gauge,
+    /// nanoseconds; in-flight depth × EWMA per-op service time).
+    pub queue_delay_ns: Gauge,
     health_seq: AtomicU64,
     health_events: Mutex<VecDeque<HealthTransition>>,
 }
@@ -428,6 +442,9 @@ impl Default for StoreTelemetry {
             compactions: Counter::new(),
             checkpoints: Counter::new(),
             cold_read_latency: Histogram::new(),
+            admission_shed: Counter::new(),
+            watchdog_quarantines: Counter::new(),
+            queue_delay_ns: Gauge::new(),
             health_seq: AtomicU64::new(0),
             health_events: Mutex::new(VecDeque::new()),
         }
@@ -496,6 +513,9 @@ impl StoreTelemetry {
             compactions: self.compactions.get(),
             checkpoints: self.checkpoints.get(),
             cold_read_latency: self.cold_read_latency.snapshot(),
+            admission_shed: self.admission_shed.get(),
+            watchdog_quarantines: self.watchdog_quarantines.get(),
+            queue_delay_ns: self.queue_delay_ns.get(),
             health_events,
         }
     }
@@ -546,6 +566,12 @@ pub struct StoreSnapshot {
     pub checkpoints: u64,
     /// Cold-read latency histogram (nanoseconds).
     pub cold_read_latency: HistSnapshot,
+    /// Ops refused by admission control.
+    pub admission_shed: u64,
+    /// Watchdog-triggered quarantines.
+    pub watchdog_quarantines: u64,
+    /// Estimated queue delay, nanoseconds.
+    pub queue_delay_ns: u64,
     /// Recent health transitions, oldest first.
     pub health_events: Vec<HealthTransition>,
 }
@@ -574,6 +600,9 @@ impl Default for StoreSnapshot {
             compactions: 0,
             checkpoints: 0,
             cold_read_latency: HistSnapshot::empty(),
+            admission_shed: 0,
+            watchdog_quarantines: 0,
+            queue_delay_ns: 0,
             health_events: Vec::new(),
         }
     }
@@ -608,6 +637,11 @@ impl StoreSnapshot {
         self.compactions += other.compactions;
         self.checkpoints += other.checkpoints;
         self.cold_read_latency.merge(&other.cold_read_latency);
+        self.admission_shed += other.admission_shed;
+        self.watchdog_quarantines += other.watchdog_quarantines;
+        // Queue delay aggregates pessimistically: the worst shard's
+        // backlog is what callers of the hot key will actually see.
+        self.queue_delay_ns = self.queue_delay_ns.max(other.queue_delay_ns);
         self.health_events.extend(other.health_events.iter().cloned());
     }
 
@@ -642,6 +676,11 @@ impl StoreSnapshot {
             compactions: self.compactions.saturating_sub(earlier.compactions),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             cold_read_latency: self.cold_read_latency.delta(&earlier.cold_read_latency),
+            admission_shed: self.admission_shed.saturating_sub(earlier.admission_shed),
+            watchdog_quarantines: self
+                .watchdog_quarantines
+                .saturating_sub(earlier.watchdog_quarantines),
+            queue_delay_ns: self.queue_delay_ns,
             health_events: self
                 .health_events
                 .iter()
@@ -681,6 +720,16 @@ pub struct NetTelemetry {
     /// tick). `reactor_ops / reactor_submissions` is the coalesce
     /// ratio: average ops amortized over one store hand-off.
     pub reactor_submissions: Counter,
+    /// Connections dropped because the peer read replies too slowly
+    /// (write-deadline expiry while flushing).
+    pub conns_disconnected_slow: Counter,
+    /// Data ops shed because the client's deadline had already expired
+    /// when the server looked at them (decode or sojourn check).
+    pub ops_shed_deadline: Counter,
+    /// Data ops shed by net-layer overload control (CoDel-style
+    /// sojourn shedding at the reactor tick). Store-side admission
+    /// refusals are counted separately in the store section.
+    pub ops_shed_overload: Counter,
 }
 
 impl Default for NetTelemetry {
@@ -696,6 +745,9 @@ impl Default for NetTelemetry {
             tick_batch_size: Histogram::new(),
             reactor_ops: Counter::new(),
             reactor_submissions: Counter::new(),
+            conns_disconnected_slow: Counter::new(),
+            ops_shed_deadline: Counter::new(),
+            ops_shed_overload: Counter::new(),
         }
     }
 }
@@ -723,6 +775,12 @@ pub struct NetSnapshot {
     pub reactor_ops: u64,
     /// Store submissions made by reactors.
     pub reactor_submissions: u64,
+    /// Connections dropped for reading replies too slowly.
+    pub conns_disconnected_slow: u64,
+    /// Data ops shed at the net layer for expired deadlines.
+    pub ops_shed_deadline: u64,
+    /// Data ops shed by net-layer sojourn shedding.
+    pub ops_shed_overload: u64,
 }
 
 impl Default for NetSnapshot {
@@ -738,6 +796,9 @@ impl Default for NetSnapshot {
             tick_batch_size: HistSnapshot::empty(),
             reactor_ops: 0,
             reactor_submissions: 0,
+            conns_disconnected_slow: 0,
+            ops_shed_deadline: 0,
+            ops_shed_overload: 0,
         }
     }
 }
@@ -756,6 +817,9 @@ impl NetTelemetry {
             tick_batch_size: self.tick_batch_size.snapshot(),
             reactor_ops: self.reactor_ops.get(),
             reactor_submissions: self.reactor_submissions.get(),
+            conns_disconnected_slow: self.conns_disconnected_slow.get(),
+            ops_shed_deadline: self.ops_shed_deadline.get(),
+            ops_shed_overload: self.ops_shed_overload.get(),
         }
     }
 }
@@ -795,6 +859,11 @@ impl NetSnapshot {
             reactor_submissions: self
                 .reactor_submissions
                 .saturating_sub(earlier.reactor_submissions),
+            conns_disconnected_slow: self
+                .conns_disconnected_slow
+                .saturating_sub(earlier.conns_disconnected_slow),
+            ops_shed_deadline: self.ops_shed_deadline.saturating_sub(earlier.ops_shed_deadline),
+            ops_shed_overload: self.ops_shed_overload.saturating_sub(earlier.ops_shed_overload),
         }
     }
 }

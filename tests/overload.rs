@@ -1,0 +1,389 @@
+//! End-to-end overload-control tests over the real TCP stack: deadline
+//! shedding before execution, admission refusals with retry-after
+//! hints while the control plane stays responsive (brownout), the
+//! chaos-gated stuck-shard regression (stall → watchdog quarantine →
+//! recovery → re-admission), and v1–v3 wire compatibility on both
+//! engines.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aria::chaos::{ChaosEngine, FaultPlan, FaultSite};
+use aria::net::proto::{self, Decoded, Response};
+use aria::prelude::*;
+
+/// Fail fast (abort with a message) instead of letting a hung
+/// connection thread stall the whole test job.
+struct Watchdog(Arc<AtomicBool>);
+
+fn watchdog(name: &'static str, limit: Duration) -> Watchdog {
+    let armed = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&armed);
+    thread::spawn(move || {
+        let start = std::time::Instant::now();
+        while start.elapsed() < limit {
+            thread::sleep(Duration::from_millis(50));
+            if !flag.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        eprintln!("watchdog: test {name} exceeded {limit:?}; aborting");
+        std::process::abort();
+    });
+    Watchdog(armed)
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+fn server_with(shards: usize, config: ServerConfig) -> (Arc<ShardedStore<AriaHash>>, AriaServer) {
+    let store = Arc::new(
+        ShardedStore::with_shards(shards, |_| {
+            AriaHash::new(StoreConfig::for_keys(16_384), Arc::new(Enclave::with_default_epc()))
+        })
+        .unwrap(),
+    );
+    let server =
+        AriaServer::bind("127.0.0.1:0", Arc::clone(&store), config).expect("bind loopback server");
+    (store, server)
+}
+
+// --- raw-frame helpers (for exact version / deadline control) ------------
+
+fn send_req(stream: &mut TcpStream, id: u64, req: &proto::Request, deadline_ns: u64, version: u16) {
+    let mut out = Vec::new();
+    proto::encode_request_versioned(&mut out, id, req, deadline_ns, version).expect("encode");
+    stream.write_all(&out).expect("write frame");
+}
+
+fn read_resp(stream: &mut TcpStream, rbuf: &mut Vec<u8>, version: u16) -> (u64, Response) {
+    loop {
+        match proto::decode_response_versioned(rbuf, version).expect("typed decode") {
+            Decoded::Frame(consumed, id, resp) => {
+                rbuf.drain(..consumed);
+                return (id, resp);
+            }
+            Decoded::Incomplete => {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-conversation");
+                rbuf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+}
+
+/// Open a raw connection and run the HELLO handshake offering
+/// `version`; returns the negotiated version (= `version` for v1–v4
+/// against this server).
+fn raw_hello(addr: std::net::SocketAddr, version: u16) -> (TcpStream, Vec<u8>, u16) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut rbuf = Vec::new();
+    send_req(
+        &mut stream,
+        1,
+        &proto::Request::Hello { version, features: 0 },
+        0,
+        proto::BASE_PROTOCOL_VERSION,
+    );
+    let (id, resp) = read_resp(&mut stream, &mut rbuf, proto::BASE_PROTOCOL_VERSION);
+    assert_eq!(id, 1);
+    let negotiated = match resp {
+        Response::HelloAck { version: v, .. } => v,
+        other => panic!("want HelloAck, got {other:?}"),
+    };
+    assert_eq!(negotiated, version.min(proto::PROTOCOL_VERSION));
+    (stream, rbuf, negotiated)
+}
+
+// --- deadline shedding ----------------------------------------------------
+
+/// A data op whose client deadline already expired while buffered is
+/// refused with `DeadlineExceeded` *before* execution — the write must
+/// never be applied — while a no-deadline op in the same window runs.
+#[test]
+fn expired_deadline_sheds_before_execution_on_both_engines() {
+    let _wd = watchdog("expired_deadline_sheds", Duration::from_secs(60));
+    for engine in [Engine::Threads, Engine::Reactor] {
+        let config = ServerConfig::builder().engine(engine).build().unwrap();
+        let (store, server) = server_with(1, config);
+        let (mut stream, mut rbuf, v4) = raw_hello(server.local_addr(), proto::PROTOCOL_VERSION);
+        assert_eq!(v4, proto::PROTOCOL_VERSION);
+
+        // One pipelined window: a normal put, then a put whose budget
+        // (1 ns) has certainly lapsed by the time the server plans it.
+        let mut out = Vec::new();
+        proto::encode_request_versioned(
+            &mut out,
+            10,
+            &proto::Request::Put { key: b"live".to_vec(), value: b"v".to_vec() },
+            0, // no deadline
+            v4,
+        )
+        .unwrap();
+        proto::encode_request_versioned(
+            &mut out,
+            11,
+            &proto::Request::Put { key: b"dead".to_vec(), value: b"v".to_vec() },
+            1, // 1 ns: expired on arrival
+            v4,
+        )
+        .unwrap();
+        stream.write_all(&out).unwrap();
+
+        let (id, resp) = read_resp(&mut stream, &mut rbuf, v4);
+        assert_eq!(id, 10, "{engine:?}");
+        assert!(matches!(resp, Response::PutOk), "{engine:?}: live op must run, got {resp:?}");
+        let (id, resp) = read_resp(&mut stream, &mut rbuf, v4);
+        assert_eq!(id, 11, "{engine:?}");
+        match resp {
+            Response::Error { code, retry_after_ms, .. } => {
+                assert_eq!(code, ErrorCode::DeadlineExceeded, "{engine:?}");
+                assert_eq!(retry_after_ms, 0, "{engine:?}: deadline refusals carry no hint");
+            }
+            other => panic!("{engine:?}: want DeadlineExceeded, got {other:?}"),
+        }
+
+        // Refused ≠ acknowledged ≠ applied: the shed write must not
+        // exist, and the shed is visible in STATS.
+        assert_eq!(store.get(b"dead").unwrap(), None, "{engine:?}: shed write was applied");
+        assert_eq!(store.get(b"live").unwrap().unwrap(), b"v");
+        send_req(&mut stream, 12, &proto::Request::Stats, 0, v4);
+        let (_, resp) = read_resp(&mut stream, &mut rbuf, v4);
+        match resp {
+            Response::Stats(s) => {
+                assert_eq!(s.ops_shed_deadline, 1, "{engine:?}: shed count in STATS")
+            }
+            other => panic!("want Stats, got {other:?}"),
+        }
+        drop(stream);
+        server.shutdown();
+    }
+}
+
+// --- admission control + brownout ----------------------------------------
+
+/// With a queue-delay budget set, a backlogged shard refuses data ops
+/// fast with `Overloaded` + a retry-after hint, while control-plane
+/// ops (PING/HEALTH/STATS) keep answering — and STATS reports the
+/// brownout (shed count, degraded flag).
+#[test]
+fn overload_refusal_hints_retry_and_control_plane_stays_responsive() {
+    let _wd = watchdog("overload_refusal_hints_retry", Duration::from_secs(60));
+    let config = ServerConfig::builder()
+        .engine(Engine::Threads)
+        .queue_delay_budget(Some(Duration::from_nanos(1)))
+        .build()
+        .unwrap();
+    let (store, server) = server_with(1, config);
+    let addr = server.local_addr();
+    let no_retry = ClientConfig { retry_budget: 0, ..ClientConfig::default() };
+
+    // Warm the per-op service-time EWMA so the queue-delay estimate is
+    // nonzero once ops queue up.
+    let mut control = AriaClient::connect(addr, no_retry.clone()).unwrap();
+    for i in 0..32u32 {
+        control.put(format!("warm{i}").as_bytes(), b"v").unwrap();
+    }
+
+    // Wedge the only shard's worker, then park a pipelined window of
+    // writes behind the stall so the backlog estimate goes over budget.
+    const STALL: Duration = Duration::from_millis(600);
+    assert!(store.exec_detached(0, |_st| thread::sleep(STALL)));
+    let stalled_at = Instant::now();
+    let filler = thread::spawn(move || {
+        let mut c = AriaClient::connect(addr, ClientConfig::default()).unwrap();
+        let reqs: Vec<proto::Request> = (0..64u32)
+            .map(|i| proto::Request::Put {
+                key: format!("fill{i}").into_bytes(),
+                value: b"v".to_vec(),
+            })
+            .collect();
+        c.pipeline(&reqs).expect("queued window completes after the stall")
+    });
+    // The window is in the queue once the backlog estimate is visible.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while store.queue_delay_estimates()[0] == 0 {
+        assert!(Instant::now() < deadline, "filler window never reached the queue");
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    // Data ops are refused fast, with a usable hint.
+    let mut victim = AriaClient::connect(addr, no_retry).unwrap();
+    let refused_at = Instant::now();
+    let err = victim.put(b"refused", b"v").expect_err("over-budget shard must refuse");
+    assert!(
+        refused_at.elapsed() < Duration::from_millis(200),
+        "refusal must be fast, took {:?}",
+        refused_at.elapsed()
+    );
+    match &err {
+        NetError::Server { code: ErrorCode::Overloaded, retry_after_ms, .. } => {
+            assert!(*retry_after_ms >= 1, "refusal must carry a retry-after hint");
+        }
+        other => panic!("want Overloaded, got {other:?}"),
+    }
+    assert!(err.is_safe_to_retry(), "admission refusals are safe to re-issue");
+
+    // Brownout: the control plane bypasses admission and still answers
+    // while the data plane is refusing.
+    control.ping().expect("PING must answer during brownout");
+    let health = control.health().expect("HEALTH must answer during brownout");
+    assert_eq!(health.shards.len(), 1);
+    let stats = control.stats().expect("STATS must answer during brownout");
+    assert!(stats.ops_shed_overload >= 1, "shed count must be surfaced");
+    assert!(stats.degraded, "an over-budget shard must mark the server degraded");
+    assert!(stalled_at.elapsed() < STALL, "all brownout checks must land inside the stall");
+
+    // The refused write really was refused, and service recovers once
+    // the backlog drains.
+    let _ = filler.join().expect("filler thread must not panic");
+    assert_eq!(store.get(b"refused").unwrap(), None, "refused ≠ applied");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match victim.put(b"refused", b"v2") {
+            Ok(()) => break,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "service never recovered: {e}");
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    assert_eq!(store.get(b"refused").unwrap().unwrap(), b"v2");
+    server.shutdown();
+}
+
+// --- chaos: stuck-shard watchdog ------------------------------------------
+
+/// The `shard_stall` chaos site: a wedged primary that keeps accepting
+/// work but retires nothing is quarantined by the watchdog, recovered,
+/// and re-admitted — pinned end-to-end through HEALTH.
+#[test]
+fn chaos_shard_stall_quarantine_recovery_readmission() {
+    let _wd = watchdog("chaos_shard_stall", Duration::from_secs(120));
+    let config = ServerConfig::builder()
+        .engine(Engine::Threads)
+        .watchdog_window(Some(Duration::from_millis(60)))
+        .build()
+        .unwrap();
+    let (store, server) = server_with(1, config);
+    let addr = server.local_addr();
+
+    // Gate the stall through the chaos engine like every other fault.
+    let engine = ChaosEngine::new(
+        FaultPlan::new(0xA11A).with_rate(FaultSite::ShardStall, 10_000).with_budget(1),
+    );
+    engine.arm(true);
+    let _entropy = engine.try_inject(FaultSite::ShardStall).expect("armed site must fire");
+    assert!(store.exec_detached(0, |_st| thread::sleep(Duration::from_millis(400))));
+
+    // Work keeps arriving during the stall: the shard is accepting but
+    // not retiring — exactly what the watchdog quarantines.
+    let blocked = thread::spawn(move || {
+        let mut c = AriaClient::connect(addr, ClientConfig::default()).unwrap();
+        c.put(b"queued", b"v")
+    });
+
+    let mut health_client = AriaClient::connect(addr, ClientConfig::default()).unwrap();
+    let state_of = |h: &proto::HealthReply| ShardHealth::from_u8(h.shards[0].state);
+    // Quarantine must be observable through HEALTH while stalled.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let h = health_client.health().expect("HEALTH must answer during the stall");
+        if state_of(&h) != ShardHealth::Healthy {
+            break;
+        }
+        assert!(Instant::now() < deadline, "watchdog never quarantined the stalled shard");
+        thread::sleep(Duration::from_millis(5));
+    }
+    // After the stall clears, recovery verifies the store and re-admits.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let h = health_client.health().expect("HEALTH must answer");
+        if state_of(&h) == ShardHealth::Healthy {
+            assert!(h.shards[0].recoveries >= 1, "re-admission must count as a recovery");
+            break;
+        }
+        assert!(Instant::now() < deadline, "stalled shard was never re-admitted");
+        thread::sleep(Duration::from_millis(10));
+    }
+    let _ = blocked.join().expect("queued writer must not hang or panic");
+
+    // Re-admitted means serving again (ride out any tail refusals).
+    let mut client = AriaClient::connect(
+        addr,
+        ClientConfig {
+            retry_budget: 32,
+            op_deadline: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    client.put(b"after", b"v").expect("re-admitted shard must serve");
+    assert_eq!(client.get(b"after").unwrap().unwrap(), b"v");
+    assert_eq!(engine.stats().site(FaultSite::ShardStall).injected, 1);
+    server.shutdown();
+}
+
+// --- cross-version compatibility ------------------------------------------
+
+/// v1–v3 peers (and pre-HELLO base peers) still parse every response
+/// on both engines: the v4 deadline/retry-after fields are strictly
+/// version-gated.
+#[test]
+fn old_protocol_peers_parse_all_responses_on_both_engines() {
+    let _wd = watchdog("old_protocol_peers", Duration::from_secs(60));
+    for engine in [Engine::Threads, Engine::Reactor] {
+        let config = ServerConfig::builder().engine(engine).build().unwrap();
+        let (_store, server) = server_with(2, config);
+        for version in 1..proto::PROTOCOL_VERSION {
+            let (mut stream, mut rbuf, v) = raw_hello(server.local_addr(), version);
+            assert_eq!(v, version, "{engine:?}: server must negotiate down to v{version}");
+            let key = format!("k-{engine:?}-{version}").into_bytes();
+            send_req(
+                &mut stream,
+                2,
+                &proto::Request::Put { key: key.clone(), value: b"old".to_vec() },
+                0,
+                v,
+            );
+            let (_, resp) = read_resp(&mut stream, &mut rbuf, v);
+            assert!(matches!(resp, Response::PutOk), "{engine:?} v{version}: got {resp:?}");
+            send_req(&mut stream, 3, &proto::Request::Get { key }, 0, v);
+            let (_, resp) = read_resp(&mut stream, &mut rbuf, v);
+            match resp {
+                Response::Value(Some(val)) => assert_eq!(val, b"old"),
+                other => panic!("{engine:?} v{version}: want value, got {other:?}"),
+            }
+            send_req(&mut stream, 4, &proto::Request::Stats, 0, v);
+            let (_, resp) = read_resp(&mut stream, &mut rbuf, v);
+            match resp {
+                Response::Stats(s) => {
+                    assert_eq!(s.shards, 2, "{engine:?} v{version}");
+                    // v4 fields are not on the pre-v4 wire: decode 0.
+                    assert_eq!(s.ops_shed_overload, 0);
+                    assert_eq!(s.queue_delay_ms, 0);
+                    assert_eq!(s.slow_disconnects, 0);
+                }
+                other => panic!("{engine:?} v{version}: want stats, got {other:?}"),
+            }
+            send_req(&mut stream, 5, &proto::Request::Health, 0, v);
+            let (_, resp) = read_resp(&mut stream, &mut rbuf, v);
+            match resp {
+                Response::Health(h) => assert_eq!(h.shards.len(), 2),
+                other => panic!("{engine:?} v{version}: want health, got {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+}
