@@ -213,6 +213,19 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
             quarantines,
         );
     }
+    if snap.traces.spans_recorded > 0 {
+        use aria_telemetry::stage;
+        let t = &delta.traces;
+        println!(
+            "traces: {:.0} span/s ({} total)  hot {}  cold {}  queue-wait p99 {}us  exec p99 {}us",
+            t.spans_recorded as f64 / secs,
+            snap.traces.spans_recorded,
+            snap.traces.hot_spans,
+            snap.traces.cold_spans,
+            us(t.stage_nanos.get(stage::DEQUEUE).map_or(0, |h| h.percentile(0.99))),
+            us(t.stage_nanos.get(stage::EXEC_END).map_or(0, |h| h.percentile(0.99))),
+        );
+    }
     let injected: u64 = snap.chaos.injected.iter().sum();
     if injected > 0 {
         let sites: Vec<String> = snap

@@ -70,7 +70,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use aria_bench::{git_rev, json_str, print_table, Args, SCHEMA_VERSION};
+use aria_bench::{git_rev, json_str, newest_flight_dump, print_table, Args, SCHEMA_VERSION};
 use aria_chaos::{ChaosEngine, FaultPlan, FaultSite, HeapInjector, SITE_COUNT};
 use aria_merkle::NodeId;
 use aria_net::{AriaClient, ClientConfig, ErrorCode, NetError};
@@ -155,10 +155,12 @@ fn run_client(
     range: u64,
     ops: u64,
     seed: u64,
+    trace_sample: u32,
     done: Arc<AtomicBool>,
 ) -> ClientReport {
     let mut client =
-        AriaClient::connect(addr, ClientConfig::default()).expect("connect chaos client");
+        AriaClient::connect(addr, ClientConfig { trace_sample, ..ClientConfig::default() })
+            .expect("connect chaos client");
     let mut rng = StdRng::seed_from_u64(seed);
     let zipf = ScrambledZipfian::new(range, 0.99);
     let mut model: HashMap<u64, KeyModel> = HashMap::new();
@@ -353,6 +355,11 @@ fn main() {
     let listen = args.get_str("listen", "127.0.0.1:0");
     let net_engine = Engine::parse(&args.get_str("engine", "reactor"))
         .expect("--engine must be 'reactor' or 'threads'");
+    let trace_sample = args.get("trace-sample", 0u32);
+    let flight_dir = {
+        let d = args.get_str("flight-dir", "");
+        (!d.is_empty()).then(|| std::path::PathBuf::from(d))
+    };
 
     println!(
         "chaosbench: shards={shards} clients={clients} keys={keys} ops={ops} \
@@ -442,6 +449,7 @@ fn main() {
         ServerConfig::builder()
             .engine(net_engine)
             .max_connections(clients + 8)
+            .flight_dir(flight_dir.clone())
             .build()
             .expect("valid chaos server config"),
     )
@@ -535,7 +543,7 @@ fn main() {
             let base = c as u64 * keys_per_client;
             let cseed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1);
             thread::spawn(move || {
-                run_client(addr, base, keys_per_client, ops_per_client, cseed, done)
+                run_client(addr, base, keys_per_client, ops_per_client, cseed, trace_sample, done)
             })
         })
         .collect();
@@ -638,6 +646,24 @@ fn main() {
     check(sibling_serves >= 1, "no healthy sibling served while a shard was quarantined");
     check(detected_events >= 1, "no injected fault was ever detected");
     check(p99 < 500_000.0, "p99 latency above 500ms (hang-adjacent)");
+    if let Some(dir) = &flight_dir {
+        // Quarantines are flight-recorder anomalies: with the recorder
+        // armed, the cycle this run provokes must leave a post-mortem.
+        match newest_flight_dump(dir) {
+            Some((count, path, dump)) => {
+                println!(
+                    "flight recorder: {count} dump(s), newest {} ({} span(s) aboard)",
+                    path.display(),
+                    dump.matches("\"trace_id\"").count(),
+                );
+                check(
+                    dump.contains("\"reason\":\"anomaly\"") && dump.contains("\"events\""),
+                    "flight dump is not an anomaly post-mortem",
+                );
+            }
+            None => check(false, "quarantine cycle left no flight dump"),
+        }
+    }
 
     // --- report -------------------------------------------------------------
     let site_rows: Vec<Vec<String>> = FaultSite::ALL

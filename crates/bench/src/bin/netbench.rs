@@ -15,7 +15,8 @@
 //! cargo run --release -p aria-bench --bin netbench -- \
 //!     [--engine reactor|threads] [--conns 1,2,4,8] [--depths 1,8,32] \
 //!     [--ops 30000] [--keys 20000] [--shards 4] [--smoke] [--real] \
-//!     [--out results] [--metrics-out results/metrics.prom]
+//!     [--out results] [--metrics-out results/metrics.prom] \
+//!     [--trace-sample 0] [--flight-dir path]
 //! ```
 //!
 //! Results go to `<out>/net.json` (one self-describing JSON document
@@ -65,6 +66,34 @@ fn main() {
     let engine = Engine::parse(&args.get_str("engine", "reactor"))
         .expect("--engine must be 'reactor' or 'threads'");
     let seed = args.seed();
+    // Tracing knobs: `--trace-sample N` stamps one in N client requests
+    // with a sampled trace context; `--flight-dir` arms the server's
+    // flight recorder (anomaly / SIGUSR1 dumps land there).
+    let trace_sample = args.get("trace-sample", 0u32);
+    let flight_dir = {
+        let d = args.get_str("flight-dir", "");
+        (!d.is_empty()).then(|| std::path::PathBuf::from(d))
+    };
+
+    // `--serve <addr>` turns netbench into a long-lived demo server:
+    // bind the given address, drive continuous zipf load from in-process
+    // clients at the requested sampling rate, and park until killed.
+    // This is what ariatop/ariatrace attach to.
+    let serve = args.get_str("serve", "");
+    if !serve.is_empty() {
+        serve_forever(
+            &serve,
+            engine,
+            shards,
+            conns.first().copied().unwrap_or(2),
+            depths.first().copied().unwrap_or(8),
+            keys,
+            real_suite,
+            seed,
+            trace_sample,
+            flight_dir,
+        );
+    }
 
     let dists: [(&'static str, KeyDistribution); 2] = [
         ("uniform", KeyDistribution::Uniform),
@@ -86,6 +115,8 @@ fn main() {
                     ops,
                     real_suite,
                     seed,
+                    trace_sample,
+                    flight_dir.clone(),
                 );
                 eprintln!(
                     "  [{dist_label} conns={connections} depth={depth}] {} p50 {:.0}us p99 {:.0}us",
@@ -134,6 +165,106 @@ fn main() {
     }
 }
 
+/// Bind `addr`, preload the keyspace, and drive continuous zipf-0.99
+/// load from in-process clients forever. Never returns; the process is
+/// expected to be killed by its parent (CI trace-smoke, a demo shell).
+#[allow(clippy::too_many_arguments)]
+fn serve_forever(
+    addr: &str,
+    engine: Engine,
+    shards: usize,
+    connections: usize,
+    depth: usize,
+    keys: u64,
+    real_suite: bool,
+    seed: u64,
+    trace_sample: u32,
+    flight_dir: Option<std::path::PathBuf>,
+) -> ! {
+    let per_shard_keys = (keys / shards as u64) * 2 + 1024;
+    let store = Arc::new(
+        ShardedStore::with_shards(shards, move |_| {
+            let suite = (!real_suite).then(|| {
+                Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                    as Arc<dyn aria_crypto::CipherSuite>
+            });
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                suite,
+            )
+        })
+        .expect("construct sharded store"),
+    );
+    let mut batch = Vec::with_capacity(512);
+    for id in 0..keys {
+        batch.push(BatchOp::Put(encode_key(id).to_vec(), value_bytes(id, VALUE_LEN)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+
+    let server = AriaServer::bind(
+        addr,
+        Arc::clone(&store),
+        ServerConfig::builder()
+            .engine(engine)
+            .max_connections(connections + 8)
+            .flight_dir(flight_dir)
+            .build()
+            .expect("valid serve config"),
+    )
+    .unwrap_or_else(|e| panic!("netbench: cannot bind {addr}: {e}"));
+    let bound = server.local_addr();
+    println!("netbench: serving on {bound} (trace-sample {trace_sample}); kill to stop");
+
+    for c in 0..connections {
+        thread::spawn(move || {
+            let mut wl = YcsbWorkload::new(YcsbConfig {
+                keyspace: keys,
+                read_ratio: READ_RATIO,
+                value_len: VALUE_LEN,
+                distribution: KeyDistribution::Zipfian { theta: 0.99 },
+                seed: seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(c as u64 + 1)),
+            });
+            loop {
+                let mut client = match AriaClient::connect(
+                    bound,
+                    ClientConfig { trace_sample, ..ClientConfig::default() },
+                ) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        thread::sleep(Duration::from_millis(100));
+                        continue;
+                    }
+                };
+                loop {
+                    let window: Vec<proto::Request> = (0..depth)
+                        .map(|_| match wl.next_request() {
+                            Request::Get { id } => {
+                                proto::Request::Get { key: encode_key(id).to_vec() }
+                            }
+                            Request::Put { id, value_len } => proto::Request::Put {
+                                key: encode_key(id).to_vec(),
+                                value: value_bytes(id, value_len),
+                            },
+                        })
+                        .collect();
+                    if client.pipeline(&window).is_err() {
+                        break;
+                    }
+                    // Gentle pacing: this is a demo target, not a stress rig.
+                    thread::sleep(Duration::from_millis(2));
+                }
+            }
+        });
+    }
+    loop {
+        thread::sleep(Duration::from_secs(3600));
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_point(
     engine: Engine,
@@ -146,6 +277,8 @@ fn run_point(
     ops: u64,
     real_suite: bool,
     seed: u64,
+    trace_sample: u32,
+    flight_dir: Option<std::path::PathBuf>,
 ) -> Point {
     let per_shard_keys = (keys / shards as u64) * 2 + 1024;
     let store = Arc::new(
@@ -179,6 +312,7 @@ fn run_point(
         ServerConfig::builder()
             .engine(engine)
             .max_connections(connections + 8)
+            .flight_dir(flight_dir)
             .build()
             .expect("valid bench server config"),
     )
@@ -191,8 +325,11 @@ fn run_point(
         .map(|c| {
             let dist = dist.clone();
             thread::spawn(move || {
-                let mut client = AriaClient::connect(addr, ClientConfig::default())
-                    .expect("connect bench client");
+                let mut client = AriaClient::connect(
+                    addr,
+                    ClientConfig { trace_sample, ..ClientConfig::default() },
+                )
+                .expect("connect bench client");
                 let mut wl = YcsbWorkload::new(YcsbConfig {
                     keyspace: keys,
                     read_ratio: READ_RATIO,

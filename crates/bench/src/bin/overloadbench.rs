@@ -22,8 +22,14 @@
 //! cargo run --release -p aria-bench --bin overloadbench -- \
 //!     [--engine reactor|threads] [--conns 8] [--depth 8] \
 //!     [--mults 0.5,1,2,4,8] [--secs 3.0] [--budget-ms 5] \
-//!     [--deadline-ms 50] [--smoke] [--out results]
+//!     [--deadline-ms 50] [--smoke] [--out results] \
+//!     [--trace-sample 0] [--flight-dir path]
 //! ```
+//!
+//! With `--flight-dir`, the server's flight recorder is armed: the
+//! shed spike the sweep provokes must trigger an anomaly dump, and the
+//! run fails if none appears (pair with `--trace-sample` so the dump
+//! carries request spans).
 //!
 //! Results go to `<out>/overload.json`; the committed
 //! `BENCH_overload.json` is a snapshot of a full default sweep.
@@ -35,7 +41,9 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use aria_bench::{fmt_tput, git_rev, json_f64, json_str, print_table, Args, SCHEMA_VERSION};
+use aria_bench::{
+    fmt_tput, git_rev, json_f64, json_str, newest_flight_dump, print_table, Args, SCHEMA_VERSION,
+};
 use aria_net::{proto, AriaClient, AriaServer, ClientConfig, Engine, ServerConfig};
 use aria_sim::Enclave;
 use aria_store::sharded::{BatchOp, ShardedStore};
@@ -134,6 +142,11 @@ fn main() {
         .collect();
     assert!(!mults.is_empty(), "empty --mults sweep");
     let seed = args.seed();
+    let trace_sample = args.get("trace-sample", 0u32);
+    let flight_dir = {
+        let d = args.get_str("flight-dir", "");
+        (!d.is_empty()).then(|| std::path::PathBuf::from(d))
+    };
     // Disjoint per-client write ranges above the read keyspace, so two
     // clients never race on one key and "last acked version" is exact.
     let write_span = if smoke { 500u64 } else { 2_000 };
@@ -183,6 +196,7 @@ fn main() {
             .queue_delay_budget(Some(Duration::from_millis(budget_ms)))
             .shed_sojourn(Some(Duration::from_millis(budget_ms)))
             .watchdog_window(Some(Duration::from_millis(500)))
+            .flight_dir(flight_dir.clone())
             .build()
             .expect("valid overloadbench server config"),
     )
@@ -208,6 +222,7 @@ fn main() {
             seed,
             mult,
             offered: capacity * mult,
+            trace_sample,
         });
         eprintln!(
             "  [{:.1}x] offered {} goodput {} shed {}+{} admitted p99 {:.2}ms probes {}/{} ok",
@@ -310,6 +325,33 @@ fn main() {
         eprintln!("FAIL: admitted p99 exceeded {p99_bound_ms:.0}ms bound at some load point");
         fatal = true;
     }
+    if let Some(dir) = &flight_dir {
+        let sheds: u64 = points.iter().map(|p| p.shed_overload + p.shed_deadline).sum();
+        match newest_flight_dump(dir) {
+            Some((count, path, dump)) => {
+                let spans = dump.matches("\"trace_id\"").count();
+                println!(
+                    "flight recorder: {count} dump(s), newest {} ({spans} span(s) aboard)",
+                    path.display(),
+                );
+                if !dump.contains("\"reason\":\"anomaly\"") || !dump.contains("\"events\"") {
+                    eprintln!(
+                        "FAIL: flight dump at {} is not an anomaly post-mortem",
+                        path.display()
+                    );
+                    fatal = true;
+                }
+            }
+            None if sheds > 0 => {
+                eprintln!(
+                    "FAIL: {sheds} ops shed but no flight dump in {} (shed-spike trigger dead?)",
+                    dir.display()
+                );
+                fatal = true;
+            }
+            None => println!("flight recorder: armed, no sheds, no dump — nothing to verify"),
+        }
+    }
     if fatal {
         std::process::exit(1);
     }
@@ -388,6 +430,7 @@ struct RunPointCfg {
     seed: u64,
     mult: f64,
     offered: f64,
+    trace_sample: u32,
 }
 
 fn run_point(cfg: RunPointCfg) -> Point {
@@ -452,10 +495,15 @@ fn run_point(cfg: RunPointCfg) -> Point {
     let workers: Vec<_> = (0..load_conns)
         .map(|c| {
             let write_base = cfg.read_keys + c as u64 * cfg.write_span;
-            let RunPointCfg { addr, read_keys, write_span, deadline_ms, seed, .. } = cfg;
+            let RunPointCfg {
+                addr, read_keys, write_span, deadline_ms, seed, trace_sample, ..
+            } = cfg;
             thread::spawn(move || {
-                let mut client = AriaClient::connect(addr, ClientConfig::default())
-                    .expect("connect load client");
+                let mut client = AriaClient::connect(
+                    addr,
+                    ClientConfig { trace_sample, ..ClientConfig::default() },
+                )
+                .expect("connect load client");
                 let mut wl = YcsbWorkload::new(YcsbConfig {
                     keyspace: read_keys,
                     read_ratio: READ_RATIO,

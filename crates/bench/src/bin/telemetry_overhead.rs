@@ -14,6 +14,11 @@
 //! Both runs append one JSON row (tagged `telemetry_enabled`) to
 //! `<out>/telemetry_overhead.jsonl`; EXPERIMENTS.md records the
 //! measured overhead, which must stay under 3%.
+//!
+//! `--trace-sample N` additionally stamps one in `N` windows with a
+//! request span (stage stamps, execution attribution, ring publish) —
+//! the store-side cost of the tracing plane at a given sampling rate.
+//! The default rate for the guardrail is 128; `0` disables spans.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -37,6 +42,7 @@ fn main() {
     let shards = args.get("shards", 4usize);
     let threads = args.get("threads", 4usize);
     let depth = args.get("depth", 16usize);
+    let trace_sample = args.get("trace-sample", 0u32);
     let seed = args.seed();
 
     let per_shard_keys = (keys / shards as u64) * 2 + 1_024;
@@ -62,11 +68,17 @@ fn main() {
     }
     store.run_batch(batch);
 
+    // Span rings sized like a server's, so sampled windows pay the
+    // full tracing path: stamps, attribution reads, ring publish.
+    let traces =
+        Arc::new(aria_telemetry::TraceHub::new(shards, aria_telemetry::DEFAULT_TRACE_CAPACITY));
+
     let ops_per_thread = ops / threads as u64;
     let start = Instant::now();
     let workers: Vec<_> = (0..threads)
         .map(|t| {
             let store = Arc::clone(&store);
+            let traces = Arc::clone(&traces);
             thread::spawn(move || {
                 let mut wl = YcsbWorkload::new(YcsbConfig {
                     keyspace: keys,
@@ -76,6 +88,7 @@ fn main() {
                     seed: seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1),
                 });
                 let mut issued = 0u64;
+                let mut rng = seed ^ 0xd1b5_4a32_d192_ed03u64.wrapping_mul(t as u64 + 1);
                 let mut window = Vec::with_capacity(depth);
                 while issued < ops_per_thread {
                     window.clear();
@@ -88,10 +101,31 @@ fn main() {
                         });
                         issued += 1;
                     }
-                    for reply in store.run_batch(std::mem::take(&mut window)) {
+                    let len = window.len();
+                    let span = (trace_sample > 0)
+                        .then(|| {
+                            rng = rng
+                                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                                .wrapping_add(0x1405_7b7e_f767_814f);
+                            (rng.is_multiple_of(u64::from(trace_sample))).then(|| {
+                                let s = Arc::new(aria_telemetry::SpanCell::new(rng | 1, 0));
+                                s.stamp(aria_telemetry::stage::DECODE);
+                                s.set_ops(len as u64);
+                                s
+                            })
+                        })
+                        .flatten();
+                    let op_spans =
+                        span.as_ref().map(|s| vec![(0..len, Arc::clone(s))]).unwrap_or_default();
+                    for reply in store.run_batch_traced(std::mem::take(&mut window), op_spans) {
                         if let Some(e) = reply.error() {
                             panic!("overhead bench op failed: {e}");
                         }
+                    }
+                    if let Some(s) = span {
+                        s.stamp(aria_telemetry::stage::ENCODE);
+                        s.stamp(aria_telemetry::stage::FLUSH);
+                        traces.publish(&s.to_span());
                     }
                     window = Vec::with_capacity(depth);
                 }
@@ -104,8 +138,10 @@ fn main() {
     let throughput = total as f64 / elapsed.as_secs_f64().max(1e-9);
 
     let enabled = aria_telemetry::enabled();
+    let spans_recorded = traces.summary().spans_recorded;
     println!(
-        "telemetry_overhead: telemetry={} zipf-0.99 ops={total} elapsed={:.2}s tput={}",
+        "telemetry_overhead: telemetry={} trace-sample={trace_sample} ({spans_recorded} spans) \
+         zipf-0.99 ops={total} elapsed={:.2}s tput={}",
         if enabled { "on" } else { "off" },
         elapsed.as_secs_f64(),
         fmt_tput(throughput),
@@ -114,7 +150,8 @@ fn main() {
     let row = format!(
         "{{\"schema_version\":{SCHEMA_VERSION},\"git_rev\":{},\"experiment\":\"telemetry_overhead\",\
          \"telemetry_enabled\":{enabled},\"shards\":{shards},\"threads\":{threads},\
-         \"keys\":{keys},\"depth\":{depth},\"ops\":{total},\
+         \"keys\":{keys},\"depth\":{depth},\"trace_sample\":{trace_sample},\
+         \"spans_recorded\":{spans_recorded},\"ops\":{total},\
          \"elapsed_s\":{},\"throughput\":{}}}",
         json_str(git_rev()),
         json_f64(elapsed.as_secs_f64()),

@@ -22,5 +22,6 @@ pub mod report;
 pub use args::Args;
 pub use harness::{improvement, run, RunConfig, RunResult, StoreKind, Workload};
 pub use report::{
-    fmt_tput, git_rev, json_f64, json_str, print_table, write_jsonl, Row, SCHEMA_VERSION,
+    fmt_tput, git_rev, json_f64, json_str, newest_flight_dump, print_table, write_jsonl, Row,
+    SCHEMA_VERSION,
 };

@@ -153,6 +153,27 @@ pub fn write_jsonl(out_dir: &str, experiment: &str, rows: &[Row]) {
     println!("\nresults appended to {}", path.display());
 }
 
+/// Count the `aria-flight-*.json` post-mortems under `dir` and read
+/// the newest one (filenames embed the unix-millis stamp, so the
+/// lexicographically last is the newest). `None` when the directory
+/// is missing or holds no dumps.
+pub fn newest_flight_dump(dir: &std::path::Path) -> Option<(usize, std::path::PathBuf, String)> {
+    let mut dumps: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("aria-flight-") && n.ends_with(".json"))
+        })
+        .collect();
+    dumps.sort();
+    let newest = dumps.last()?.clone();
+    let body = fs::read_to_string(&newest).ok()?;
+    Some((dumps.len(), newest, body))
+}
+
 /// Human-readable ops/s (e.g. "1.23M", "456k").
 pub fn fmt_tput(t: f64) -> String {
     if t >= 1e6 {

@@ -77,6 +77,12 @@ pub struct ClientConfig {
     /// speaks the base protocol — so this is safe to leave on against
     /// servers of any age. `false` skips the handshake entirely.
     pub handshake: bool,
+    /// Trace sampling rate: `0` disables tracing; `N` stamps roughly
+    /// one in `N` requests with a sampled trace context so the server
+    /// captures a per-stage span for it. Only takes effect once the
+    /// `HELLO` handshake negotiates v5+ — against older servers the
+    /// trailer is never sent and the knob is inert.
+    pub trace_sample: u32,
 }
 
 impl Default for ClientConfig {
@@ -90,6 +96,7 @@ impl Default for ClientConfig {
             op_deadline: Duration::from_secs(30),
             retry_backoff: Duration::from_millis(5),
             handshake: true,
+            trace_sample: 0,
         }
     }
 }
@@ -359,6 +366,21 @@ impl AriaClient {
         }
     }
 
+    /// One sampling decision: [`TraceContext::NONE`] when tracing is
+    /// off (or the 1-in-N draw misses), otherwise a sampled context
+    /// with a fresh nonzero trace id.
+    fn draw_trace(&mut self, trace_on: bool) -> proto::TraceContext {
+        if !trace_on {
+            return proto::TraceContext::NONE;
+        }
+        self.rng = splitmix64(self.rng);
+        if !self.rng.is_multiple_of(u64::from(self.config.trace_sample)) {
+            return proto::TraceContext::NONE;
+        }
+        self.rng = splitmix64(self.rng);
+        proto::TraceContext { id: self.rng.max(1), sampled: true }
+    }
+
     /// Uniform draw from `[backoff/2, backoff]`, advancing the client's
     /// splitmix64 stream. Keeps the exponential doubling envelope while
     /// desynchronizing concurrent reconnectors.
@@ -418,16 +440,22 @@ impl AriaClient {
             }
             _ => 0,
         };
+        // Sampling decisions are drawn before the connection borrow;
+        // each sampled request gets a fresh splitmix64 trace id.
+        let trace_on = self.config.trace_sample > 0 && version >= proto::TRACE_PROTOCOL_VERSION;
+        let traces: Vec<proto::TraceContext> =
+            (0..reqs.len()).map(|_| self.draw_trace(trace_on)).collect();
         let conn = self.conn.as_mut().expect("ensure_connected succeeded");
         let mut out = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
             // An over-limit request fails the pipeline before any byte
             // hits the wire; the connection is still clean.
-            proto::encode_request_versioned(
+            proto::encode_request_traced(
                 &mut out,
                 first_id + i as u64,
                 req,
                 deadline_ns,
+                traces[i],
                 version,
             )?;
         }
@@ -594,6 +622,32 @@ impl AriaClient {
             other => fail(other),
         }
     }
+
+    /// Stream the server's sampled spans, resuming from `cursors`
+    /// (per-shard-ring positions; empty = everything still buffered).
+    /// Returns the spans plus the cursors to pass on the next call.
+    pub fn trace_spans(
+        &mut self,
+        cursors: &[u64],
+    ) -> Result<(Vec<aria_telemetry::Span>, Vec<u64>), NetError> {
+        match self.one(Request::Trace { mode: 0, cursors: cursors.to_vec() })? {
+            Response::Trace(bytes) => {
+                aria_telemetry::decode_spans(&bytes).map_err(|_| NetError::UnexpectedResponse)
+            }
+            other => fail(other),
+        }
+    }
+
+    /// Request an on-demand flight-recorder post-mortem (JSON: trigger
+    /// reason, recent system events, and the buffered sampled spans).
+    pub fn flight_dump(&mut self) -> Result<String, NetError> {
+        match self.one(Request::Trace { mode: 1, cursors: Vec::new() })? {
+            Response::Trace(bytes) => {
+                String::from_utf8(bytes).map_err(|_| NetError::UnexpectedResponse)
+            }
+            other => fail(other),
+        }
+    }
 }
 
 impl std::fmt::Debug for AriaClient {
@@ -677,7 +731,7 @@ mod tests {
             let mut version = proto::BASE_PROTOCOL_VERSION;
             loop {
                 let frame = match proto::decode_request_ref_versioned(&rbuf, version) {
-                    Ok(Decoded::Frame(consumed, id, (req, _deadline))) => {
+                    Ok(Decoded::Frame(consumed, id, (req, _meta))) => {
                         Some((consumed, id, req.to_owned()))
                     }
                     Ok(Decoded::Incomplete) => None,

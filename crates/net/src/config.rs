@@ -8,6 +8,7 @@
 //! started on an unvalidated knob set.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::proto::MAX_FRAME_LEN;
@@ -132,6 +133,7 @@ pub struct ServerConfig {
     queue_delay_budget: Option<Duration>,
     shed_sojourn: Option<Duration>,
     watchdog_window: Option<Duration>,
+    flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -154,6 +156,7 @@ impl ServerConfig {
             queue_delay_budget: None,
             shed_sojourn: None,
             watchdog_window: None,
+            flight_dir: None,
         }
     }
 
@@ -215,6 +218,12 @@ impl ServerConfig {
     pub fn watchdog_window(&self) -> Option<Duration> {
         self.watchdog_window
     }
+
+    /// Directory the flight recorder writes anomaly post-mortem dumps
+    /// to (`None`: no watcher thread, dumps only served over the wire).
+    pub fn flight_dir(&self) -> Option<&PathBuf> {
+        self.flight_dir.as_ref()
+    }
 }
 
 /// One reactor per available core by default (minimum one).
@@ -248,6 +257,7 @@ pub struct ServerConfigBuilder {
     queue_delay_budget: Option<Duration>,
     shed_sojourn: Option<Duration>,
     watchdog_window: Option<Duration>,
+    flight_dir: Option<PathBuf>,
 }
 
 impl ServerConfigBuilder {
@@ -314,6 +324,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Set (or clear) the flight-recorder dump directory (default
+    /// `None`: no watcher thread). The directory is created at bind.
+    pub fn flight_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.flight_dir = dir;
+        self
+    }
+
     /// Validate and build the configuration.
     pub fn build(self) -> Result<ServerConfig, NetConfigError> {
         if self.max_connections == 0 {
@@ -364,6 +381,7 @@ impl ServerConfigBuilder {
             queue_delay_budget: self.queue_delay_budget,
             shed_sojourn: self.shed_sojourn,
             watchdog_window: self.watchdog_window,
+            flight_dir: self.flight_dir,
         })
     }
 }
@@ -385,6 +403,7 @@ mod tests {
         assert_eq!(cfg.queue_delay_budget(), None);
         assert_eq!(cfg.shed_sojourn(), None);
         assert_eq!(cfg.watchdog_window(), None);
+        assert_eq!(cfg.flight_dir(), None);
     }
 
     #[test]

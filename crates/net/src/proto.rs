@@ -37,18 +37,26 @@ pub const CONTROL_ID: u64 = 0;
 /// the `STATS` reply; version 4 adds the overload control plane: a
 /// per-op deadline trailer on data requests (see
 /// [`encode_request_versioned`]), a retry-after hint on `ERROR`
-/// replies, and the shed/queue-delay fields on `STATS`. A peer that
+/// replies, and the shed/queue-delay fields on `STATS`; version 5 adds
+/// the trace-context trailer on data requests (`u64 trace_id` plus a
+/// flags byte, see [`encode_request_traced`]) and the `TRACE` opcode
+/// for streaming sampled spans and flight-recorder dumps. A peer that
 /// never sends `HELLO` is treated as speaking
 /// [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake client
 /// working unchanged: the server emits version-gated fields only on
 /// connections whose negotiated version carries them (see
 /// [`encode_response_versioned`]), so older decoders never see them.
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The first protocol version that carries the overload fields: the
 /// per-op deadline trailer on data requests, `retry_after_ms` on
 /// `ERROR` replies, and the shed counters on `STATS`.
 pub const OVERLOAD_PROTOCOL_VERSION: u16 = 4;
+
+/// The first protocol version that carries the trace-context trailer
+/// on data requests. (The `TRACE` opcode itself is not version-gated:
+/// it is a new opcode, so an old peer simply never sends it.)
+pub const TRACE_PROTOCOL_VERSION: u16 = 5;
 
 /// The version assumed for clients that skip the `HELLO` handshake.
 pub const BASE_PROTOCOL_VERSION: u16 = 1;
@@ -79,6 +87,7 @@ const OP_STATS: u8 = 0x07;
 const OP_HEALTH: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
 const OP_HELLO: u8 = 0x0A;
+const OP_TRACE: u8 = 0x0B;
 
 // Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -91,11 +100,12 @@ const OP_STATS_REPLY: u8 = 0x87;
 const OP_HEALTH_REPLY: u8 = 0x88;
 const OP_METRICS_REPLY: u8 = 0x89;
 const OP_HELLO_REPLY: u8 = 0x8A;
+const OP_TRACE_REPLY: u8 = 0x8B;
 const OP_ERROR: u8 = 0xFF;
 
-/// Number of request opcodes (`0x01..=0x0A`), for per-opcode telemetry
+/// Number of request opcodes (`0x01..=0x0B`), for per-opcode telemetry
 /// tables. Matches `aria_telemetry::NET_OPS`.
-pub const REQUEST_OPCODES: usize = 10;
+pub const REQUEST_OPCODES: usize = 11;
 
 /// Telemetry table index of a request, `0..REQUEST_OPCODES`.
 pub fn request_op_index(req: &Request) -> usize {
@@ -110,7 +120,34 @@ pub fn request_op_index(req: &Request) -> usize {
         Request::Health => 7,
         Request::Metrics => 8,
         Request::Hello { .. } => 9,
+        Request::Trace { .. } => 10,
     }
+}
+
+/// Trace context carried in the v5 data-request trailer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Client-chosen trace id (nonzero for sampled requests).
+    pub id: u64,
+    /// Whether the client sampled this request for span capture.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// The unsampled context — what every pre-v5 peer implicitly sends.
+    pub const NONE: TraceContext = TraceContext { id: 0, sampled: false };
+}
+
+/// Per-request metadata decoded from the version-gated data-op
+/// trailers: the v4 deadline and the v5 trace context. Control ops —
+/// and data ops from peers below the gating version — decode to the
+/// zero values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestMeta {
+    /// The client's remaining time budget in nanoseconds (0 = none).
+    pub deadline_ns: u64,
+    /// The v5 trace context ([`TraceContext::NONE`] when absent).
+    pub trace: TraceContext,
 }
 
 /// Stable numeric error codes carried on the wire.
@@ -303,6 +340,19 @@ pub enum Request {
         /// Feature bits the client requests (see [`features`]).
         features: u64,
     },
+    /// Fetch tracing data. Mode 0 streams sampled spans newer than the
+    /// supplied per-ring cursors (the reply carries new cursors to
+    /// resume from); mode 1 requests a flight-recorder post-mortem
+    /// dump. Control-plane: answerable while shedding, never carries
+    /// the data-op trailers.
+    Trace {
+        /// 0 = stream spans, 1 = flight-recorder dump. Unknown modes
+        /// are answered with [`ErrorCode::BadRequest`].
+        mode: u8,
+        /// Per-ring resume cursors for mode 0 (empty = from the
+        /// oldest resident span); ignored for mode 1.
+        cursors: Vec<u64>,
+    },
 }
 
 /// One replica's health on the wire (see [`aria_store::ShardHealth`]).
@@ -435,6 +485,12 @@ pub enum Response {
     /// [`aria_telemetry::TelemetrySnapshot::decode`]), kept opaque here
     /// so the snapshot layout can evolve without renumbering opcodes.
     Metrics(Vec<u8>),
+    /// Answer to [`Request::Trace`]: for mode 0, an encoded span stream
+    /// (see [`aria_telemetry::decode_spans`]); for mode 1, a
+    /// flight-recorder dump as UTF-8 JSON. Kept opaque here — like
+    /// [`Response::Metrics`] — so the span layout can evolve without
+    /// renumbering opcodes.
+    Trace(Vec<u8>),
     /// Answer to [`Request::Hello`]: the version the connection will
     /// speak (`min(client, server)`) and the negotiated feature bits
     /// (the intersection of requested and supported).
@@ -546,9 +602,9 @@ fn frame(
 
 /// Whether a request is a data op (GET/PUT/DELETE/MULTI_GET/PUT_BATCH)
 /// as opposed to a control-plane op. Only data ops carry the v4
-/// deadline trailer, and only data ops are subject to admission
-/// control — PING/STATS/HEALTH/METRICS/HELLO must stay answerable
-/// while a server is shedding load.
+/// deadline and v5 trace trailers, and only data ops are subject to
+/// admission control — PING/STATS/HEALTH/METRICS/HELLO/TRACE must stay
+/// answerable while a server is shedding load.
 pub fn is_data_request(req: &Request) -> bool {
     matches!(
         req,
@@ -568,11 +624,8 @@ pub fn encode_request(out: &mut Vec<u8>, id: u64, req: &Request) -> Result<(), W
 }
 
 /// Append `req` as one frame to `out`, encoded for a peer speaking
-/// `version`. From v4, data-op bodies end with a `u64 deadline_ns`
-/// trailer: the client's remaining time budget for the op in
-/// nanoseconds (relative, so no clock synchronization is assumed;
-/// 0 = no deadline). Control ops never carry the trailer. On
-/// [`WireError::FrameTooLarge`], `out` is left exactly as it was.
+/// `version`, unsampled (the v5 trace trailer, when the version carries
+/// it, says "not sampled"). See [`encode_request_traced`].
 pub fn encode_request_versioned(
     out: &mut Vec<u8>,
     id: u64,
@@ -580,9 +633,33 @@ pub fn encode_request_versioned(
     deadline_ns: u64,
     version: u16,
 ) -> Result<(), WireError> {
+    encode_request_traced(out, id, req, deadline_ns, TraceContext::NONE, version)
+}
+
+/// Append `req` as one frame to `out`, encoded for a peer speaking
+/// `version`. From v4, data-op bodies end with a `u64 deadline_ns`
+/// trailer: the client's remaining time budget for the op in
+/// nanoseconds (relative, so no clock synchronization is assumed;
+/// 0 = no deadline). From v5 the deadline is followed by the trace
+/// context: `u64 trace_id` plus a flags byte (bit 0 = sampled, all
+/// other bits reserved and rejected on decode). Control ops never
+/// carry either trailer. On [`WireError::FrameTooLarge`], `out` is
+/// left exactly as it was.
+pub fn encode_request_traced(
+    out: &mut Vec<u8>,
+    id: u64,
+    req: &Request,
+    deadline_ns: u64,
+    trace: TraceContext,
+    version: u16,
+) -> Result<(), WireError> {
     let tail = |b: &mut Vec<u8>| {
         if version >= OVERLOAD_PROTOCOL_VERSION {
             put_u64(b, deadline_ns);
+        }
+        if version >= TRACE_PROTOCOL_VERSION {
+            put_u64(b, trace.id);
+            b.push(trace.sampled as u8);
         }
     };
     match req {
@@ -621,6 +698,13 @@ pub fn encode_request_versioned(
         Request::Hello { version, features } => frame(out, OP_HELLO, id, |b| {
             put_u16(b, *version);
             put_u64(b, *features);
+        }),
+        Request::Trace { mode, cursors } => frame(out, OP_TRACE, id, |b| {
+            b.push(*mode);
+            put_u32(b, cursors.len() as u32);
+            for &cur in cursors {
+                put_u64(b, cur);
+            }
         }),
     }
 }
@@ -698,6 +782,7 @@ pub fn encode_response_versioned(
         }),
         Response::Health(h) => frame(out, OP_HEALTH_REPLY, id, |b| put_health(b, &h.shards)),
         Response::Metrics(snapshot) => frame(out, OP_METRICS_REPLY, id, |b| put_bytes(b, snapshot)),
+        Response::Trace(payload) => frame(out, OP_TRACE_REPLY, id, |b| put_bytes(b, payload)),
         Response::HelloAck { version, features } => frame(out, OP_HELLO_REPLY, id, |b| {
             put_u16(b, *version);
             put_u64(b, *features);
@@ -861,6 +946,13 @@ pub enum RequestRef<'a> {
         /// Feature bits the client requests.
         features: u64,
     },
+    /// Fetch tracing data (see [`Request::Trace`]).
+    Trace {
+        /// 0 = stream spans, 1 = flight-recorder dump.
+        mode: u8,
+        /// Per-ring resume cursors for mode 0.
+        cursors: Vec<u64>,
+    },
 }
 
 impl RequestRef<'_> {
@@ -878,6 +970,7 @@ impl RequestRef<'_> {
             RequestRef::Health => 7,
             RequestRef::Metrics => 8,
             RequestRef::Hello { .. } => 9,
+            RequestRef::Trace { .. } => 10,
         }
     }
 
@@ -916,6 +1009,9 @@ impl RequestRef<'_> {
             RequestRef::Hello { version, features } => {
                 Request::Hello { version: *version, features: *features }
             }
+            RequestRef::Trace { mode, cursors } => {
+                Request::Trace { mode: *mode, cursors: cursors.clone() }
+            }
         }
     }
 }
@@ -927,7 +1023,7 @@ impl RequestRef<'_> {
 /// through [`decode_request_ref_versioned`].
 pub fn decode_request_ref(buf: &[u8]) -> Result<Decoded<RequestRef<'_>>, WireError> {
     Ok(match decode_request_ref_versioned(buf, BASE_PROTOCOL_VERSION)? {
-        Decoded::Frame(consumed, id, (req, _deadline)) => Decoded::Frame(consumed, id, req),
+        Decoded::Frame(consumed, id, (req, _meta)) => Decoded::Frame(consumed, id, req),
         Decoded::Incomplete => Decoded::Incomplete,
     })
 }
@@ -935,13 +1031,16 @@ pub fn decode_request_ref(buf: &[u8]) -> Result<Decoded<RequestRef<'_>>, WireErr
 /// Decode one request frame from the front of `buf` without copying,
 /// honoring the connection's negotiated `version`. From v4, data ops
 /// carry a trailing `u64 deadline_ns` (the client's remaining time
-/// budget, 0 = none) which is returned alongside the request; at older
-/// versions — and for control ops at any version — the returned
-/// deadline is 0.
+/// budget, 0 = none), and from v5 additionally the trace context
+/// (`u64 trace_id` + flags byte); both are returned alongside the
+/// request as a [`RequestMeta`]. At older versions — and for control
+/// ops at any version — the meta decodes to its zero values. A trace
+/// flags byte with any bit other than bit 0 set is rejected as
+/// [`WireError::Malformed`] (reserved bits).
 pub fn decode_request_ref_versioned(
     buf: &[u8],
     version: u16,
-) -> Result<Decoded<(RequestRef<'_>, u64)>, WireError> {
+) -> Result<Decoded<(RequestRef<'_>, RequestMeta)>, WireError> {
     let Some((consumed, opcode, id, body)) = split_frame(buf)? else {
         return Ok(Decoded::Incomplete);
     };
@@ -978,12 +1077,36 @@ pub fn decode_request_ref_versioned(
         OP_HEALTH => RequestRef::Health,
         OP_METRICS => RequestRef::Metrics,
         OP_HELLO => RequestRef::Hello { version: c.u16()?, features: c.u64()? },
+        OP_TRACE => {
+            let mode = c.u8()?;
+            let n = c.u32()? as usize;
+            if n * 8 > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut cursors = Vec::with_capacity(n);
+            for _ in 0..n {
+                cursors.push(c.u64()?);
+            }
+            RequestRef::Trace { mode, cursors }
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
-    let deadline_ns =
-        if version >= OVERLOAD_PROTOCOL_VERSION && req.is_data_op() { c.u64()? } else { 0 };
+    let mut meta = RequestMeta::default();
+    if req.is_data_op() {
+        if version >= OVERLOAD_PROTOCOL_VERSION {
+            meta.deadline_ns = c.u64()?;
+        }
+        if version >= TRACE_PROTOCOL_VERSION {
+            let id = c.u64()?;
+            let flags = c.u8()?;
+            if flags & !1 != 0 {
+                return Err(WireError::Malformed);
+            }
+            meta.trace = TraceContext { id, sampled: flags & 1 != 0 };
+        }
+    }
     c.finished()?;
-    Ok(Decoded::Frame(consumed, id, (req, deadline_ns)))
+    Ok(Decoded::Frame(consumed, id, (req, meta)))
 }
 
 /// Decode one request frame from the front of `buf`.
@@ -1083,6 +1206,7 @@ pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Res
         }
         OP_HEALTH_REPLY => Response::Health(HealthReply { shards: c.health_list()? }),
         OP_METRICS_REPLY => Response::Metrics(c.bytes()?),
+        OP_TRACE_REPLY => Response::Trace(c.bytes()?),
         OP_HELLO_REPLY => Response::HelloAck { version: c.u16()?, features: c.u64()? },
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
@@ -1394,20 +1518,21 @@ mod tests {
             encode_request_versioned(&mut v4, 7, req, 5_000_000, 4).unwrap();
             assert_eq!(v4.len(), v1.len() + 8, "v4 adds exactly the u64 trailer for {req:?}");
             match decode_request_ref_versioned(&v4, 4).unwrap() {
-                Decoded::Frame(consumed, id, (got, deadline_ns)) => {
+                Decoded::Frame(consumed, id, (got, meta)) => {
                     assert_eq!(consumed, v4.len());
                     assert_eq!(id, 7);
                     assert_eq!(&got.to_owned(), req);
                     assert!(got.is_data_op());
-                    assert_eq!(deadline_ns, 5_000_000);
+                    assert_eq!(meta.deadline_ns, 5_000_000);
+                    assert_eq!(meta.trace, TraceContext::NONE);
                 }
                 other => panic!("expected a frame, got {other:?}"),
             }
             // The v1 frame has no trailer and decodes cleanly at v1...
             match decode_request_ref_versioned(&v1, 1).unwrap() {
-                Decoded::Frame(_, _, (got, deadline_ns)) => {
+                Decoded::Frame(_, _, (got, meta)) => {
                     assert_eq!(&got.to_owned(), req);
-                    assert_eq!(deadline_ns, 0);
+                    assert_eq!(meta.deadline_ns, 0);
                 }
                 other => panic!("expected a frame, got {other:?}"),
             }
@@ -1423,13 +1548,79 @@ mod tests {
             encode_request_versioned(&mut v4, 7, &req, 5_000_000, 4).unwrap();
             assert_eq!(v1, v4, "control frames are version-invariant for {req:?}");
             match decode_request_ref_versioned(&v4, 4).unwrap() {
-                Decoded::Frame(_, _, (got, deadline_ns)) => {
+                Decoded::Frame(_, _, (got, meta)) => {
                     assert!(!got.is_data_op());
                     assert_eq!(&got.to_owned(), &req);
-                    assert_eq!(deadline_ns, 0);
+                    assert_eq!(meta.deadline_ns, 0);
                 }
                 other => panic!("expected a frame, got {other:?}"),
             }
+        }
+    }
+
+    /// The v5 trace trailer on data requests: carried and returned at
+    /// v5, absent at v4, never attached to control ops, and reserved
+    /// flag bits are rejected.
+    #[test]
+    fn request_trace_trailer_is_gated_on_version() {
+        let req = Request::Get { key: b"k".to_vec() };
+        let trace = TraceContext { id: 0xDEAD_BEEF_F00D_CAFE, sampled: true };
+        let (mut v4, mut v5) = (Vec::new(), Vec::new());
+        encode_request_traced(&mut v4, 9, &req, 77, trace, 4).unwrap();
+        encode_request_traced(&mut v5, 9, &req, 77, trace, 5).unwrap();
+        assert_eq!(v5.len(), v4.len() + 9, "v5 adds exactly u64 id + flags byte");
+        match decode_request_ref_versioned(&v5, 5).unwrap() {
+            Decoded::Frame(consumed, id, (got, meta)) => {
+                assert_eq!(consumed, v5.len());
+                assert_eq!(id, 9);
+                assert_eq!(got.to_owned(), req);
+                assert_eq!(meta.deadline_ns, 77);
+                assert_eq!(meta.trace, trace);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // Mixing v4 and v5 is detected, not misread.
+        assert_eq!(decode_request_ref_versioned(&v4, 5).map(|_| ()), Err(WireError::Malformed));
+        assert_eq!(decode_request_ref_versioned(&v5, 4).map(|_| ()), Err(WireError::Malformed));
+        // Unsampled requests still carry the trailer at v5 (fixed-size
+        // tail keeps the framing version-deterministic), decoding NONE.
+        let mut plain = Vec::new();
+        encode_request_versioned(&mut plain, 9, &req, 0, 5).unwrap();
+        match decode_request_ref_versioned(&plain, 5).unwrap() {
+            Decoded::Frame(_, _, (_, meta)) => assert_eq!(meta.trace, TraceContext::NONE),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // Reserved flag bits fail closed.
+        *v5.last_mut().unwrap() = 0b10;
+        assert_eq!(decode_request_ref_versioned(&v5, 5).map(|_| ()), Err(WireError::Malformed));
+        // Control ops never carry the trailer, even when a trace is given.
+        let (mut c4, mut c5) = (Vec::new(), Vec::new());
+        encode_request_traced(&mut c4, 9, &Request::Stats, 77, trace, 4).unwrap();
+        encode_request_traced(&mut c5, 9, &Request::Stats, 77, trace, 5).unwrap();
+        assert_eq!(c4, c5, "control frames are version-invariant");
+    }
+
+    /// The TRACE opcode round-trips its mode and cursor list, and the
+    /// TRACE_REPLY payload comes back byte-identical.
+    #[test]
+    fn trace_request_and_reply_round_trip() {
+        let req = Request::Trace { mode: 0, cursors: vec![3, 0, u64::MAX] };
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 11, &req).unwrap();
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame(consumed, id, got) => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(id, 11);
+                assert_eq!(got, req);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        let resp = Response::Trace(vec![0xA5; 32]);
+        let mut out = Vec::new();
+        encode_response(&mut out, 11, &resp).unwrap();
+        match decode_response(&out).unwrap() {
+            Decoded::Frame(_, _, got) => assert_eq!(got, resp),
+            other => panic!("expected a frame, got {other:?}"),
         }
     }
 

@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 
 use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
 use aria_store::KvStore;
+use aria_telemetry::{outcome, stage, SpanCell};
 
 use crate::config::ServerConfig;
 use crate::proto::{self, Decoded, WireError};
@@ -375,6 +376,10 @@ struct Conn {
     /// higher. Responses (notably STATS) are encoded at this version,
     /// and v4+ request frames carry the deadline trailer.
     version: u16,
+    /// Sampled-request spans whose responses sit in `wbuf`: FLUSH is
+    /// stamped and the span published once the buffer drains (or the
+    /// connection closes — a span is never lost to a dead peer).
+    unflushed_spans: Vec<Arc<SpanCell>>,
 }
 
 impl Conn {
@@ -403,6 +408,8 @@ struct Planned {
     slot: Slot,
     /// `(group, index)` of each store op, in op order.
     refs: Vec<(usize, usize)>,
+    /// Live trace span when the request carried a sampled context.
+    span: Option<Arc<SpanCell>>,
 }
 
 /// Yields one connection's replies in plan order by taking them out of
@@ -470,6 +477,8 @@ fn reactor_loop<S: KvStore + Send + 'static>(
         // Decode and plan one window per connection, coalescing every
         // store op across connections into one per-group batch.
         let mut per_group: Vec<Vec<BatchOp>> = (0..groups).map(|_| Vec::new()).collect();
+        let mut per_group_spans: Vec<Vec<Arc<SpanCell>>> =
+            (0..groups).map(|_| Vec::new()).collect();
         let mut plan: Vec<Planned> = Vec::new();
         let mut op_idxs: Vec<usize> = Vec::new();
         immediate = false;
@@ -487,8 +496,15 @@ fn reactor_loop<S: KvStore + Send + 'static>(
             let mut decoded = 0usize;
             while decoded < cfg.pipeline_window() {
                 match proto::decode_request_ref_versioned(&conn.rbuf[conn.roff..], conn.version) {
-                    Ok(Decoded::Frame(consumed, id, (req, deadline_ns))) => {
+                    Ok(Decoded::Frame(consumed, id, (req, meta))) => {
                         op_idxs.push(req.op_index());
+                        let span = if meta.trace.sampled && aria_telemetry::enabled() {
+                            let s = Arc::new(SpanCell::new(meta.trace.id, req.op_index() as u8));
+                            s.stamp(stage::DECODE);
+                            Some(s)
+                        } else {
+                            None
+                        };
                         let mut refs = Vec::new();
                         let mut route = |op: BatchOp| {
                             let g = store.shard_of(op.key());
@@ -497,13 +513,28 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                         };
                         let slot = shed_or_plan(
                             &req,
-                            deadline_ns,
+                            meta.deadline_ns,
                             sojourn_ns,
                             cfg.shed_sojourn(),
                             &shared.tele,
+                            span.as_deref(),
                             &mut route,
                         );
-                        plan.push(Planned { token, id, slot, refs });
+                        if let Some(s) = &span {
+                            if let Some(&(first, _)) = refs.first() {
+                                s.set_shard(first as u32);
+                                s.set_ops(refs.len() as u64);
+                                // Hand the cell to every group executing
+                                // its ops so queue/execute stamps land.
+                                let mut gs: Vec<usize> = refs.iter().map(|r| r.0).collect();
+                                gs.sort_unstable();
+                                gs.dedup();
+                                for g in gs {
+                                    per_group_spans[g].push(Arc::clone(s));
+                                }
+                            }
+                        }
+                        plan.push(Planned { token, id, slot, refs, span });
                         conn.roff += consumed;
                         decoded += 1;
                     }
@@ -536,7 +567,7 @@ fn reactor_loop<S: KvStore + Send + 'static>(
             let start = Instant::now();
             shared.tele.net.inflight.add(nreq);
             let replies: Vec<Vec<BatchReply>> = if submissions > 0 {
-                store.run_sharded(per_group)
+                store.run_sharded_traced(per_group, per_group_spans)
             } else {
                 (0..groups).map(|_| Vec::new()).collect()
             };
@@ -549,15 +580,37 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                 active_connections: shared.active.load(Ordering::SeqCst) as u32,
                 connections_accepted: shared.accepted.load(Ordering::SeqCst),
             };
-            for Planned { token, id, slot, refs } in plan {
+            for Planned { token, id, slot, refs, span } in plan {
+                let was_shed = matches!(slot, Slot::Shed(..));
                 let mut replies = TakeReplies { table: &mut table, refs: refs.iter() };
                 let resp = build_response(slot, &mut replies, &store, &shared.tele, &stats);
-                if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
-                    encode_or_substitute(&mut conn.wbuf, id, &resp, conn.version);
-                    // Responses after the HELLO ack (even later in this
-                    // tick) use the version the handshake negotiated.
-                    if let proto::Response::HelloAck { version, .. } = resp {
-                        conn.version = version;
+                if let Some(s) = &span {
+                    s.stamp(stage::ENCODE);
+                    // Shed spans already carry their verdict; anything
+                    // else answering an error frame is marked ERROR.
+                    if !was_shed && matches!(resp, proto::Response::Error { .. }) {
+                        s.set_outcome(outcome::ERROR);
+                    }
+                }
+                match conns.get_mut(token).and_then(Option::as_mut) {
+                    Some(conn) => {
+                        encode_or_substitute(&mut conn.wbuf, id, &resp, conn.version);
+                        // Responses after the HELLO ack (even later in
+                        // this tick) use the version the handshake
+                        // negotiated.
+                        if let proto::Response::HelloAck { version, .. } = resp {
+                            conn.version = version;
+                        }
+                        if let Some(s) = span {
+                            conn.unflushed_spans.push(s);
+                        }
+                    }
+                    // Connection already gone: publish what was
+                    // captured rather than dropping the span.
+                    None => {
+                        if let Some(s) = span {
+                            shared.tele.traces.publish(&s.to_span());
+                        }
                     }
                 }
             }
@@ -574,6 +627,12 @@ fn reactor_loop<S: KvStore + Send + 'static>(
         for token in 0..conns.len() {
             let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else { continue };
             let mut close = try_flush(conn, &shared, cfg.write_timeout()).is_err();
+            if conn.pending_out() == 0 && !conn.unflushed_spans.is_empty() {
+                for s in conn.unflushed_spans.drain(..) {
+                    s.stamp(stage::FLUSH);
+                    shared.tele.traces.publish(&s.to_span());
+                }
+            }
             if conn.poisoned && conn.pending_out() == 0 {
                 close = true;
             }
@@ -682,6 +741,7 @@ fn adopt_new(inbox: &Inbox, conns: &mut Vec<Option<Conn>>, poller: &mut Poller, 
             peer_closed: false,
             poisoned: false,
             more_buffered: false,
+            unflushed_spans: Vec::new(),
             read_stamp: Instant::now(),
             version: proto::BASE_PROTOCOL_VERSION,
         });
@@ -763,5 +823,10 @@ fn close_conn(conns: &mut [Option<Conn>], token: usize, poller: &mut Poller, sha
         let _ = conn.stream.shutdown(Shutdown::Both);
         shared.active.fetch_sub(1, Ordering::SeqCst);
         shared.tele.net.reactor_conns.sub(1);
+        // Spans whose response never drained still describe real work
+        // the server did; publish them un-FLUSH-stamped.
+        for s in conn.unflushed_spans {
+            shared.tele.traces.publish(&s.to_span());
+        }
     }
 }

@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 
 use aria_store::sharded::{BatchOp, ShardedStore};
 use aria_store::KvStore;
-use aria_telemetry::TelemetryHub;
+use aria_telemetry::{outcome, stage, SpanCell, TelemetryHub};
 
 use crate::config::{Engine, ServerConfig};
 use crate::proto::{self, Decoded, ErrorCode, Response, WireError};
@@ -100,6 +100,9 @@ pub struct AriaServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     engine: EngineState,
+    /// Flight-recorder watcher thread (only when a dump directory is
+    /// configured); joined on shutdown like the engines.
+    recorder: Option<JoinHandle<()>>,
 }
 
 impl AriaServer {
@@ -145,6 +148,21 @@ impl AriaServer {
             conns: Mutex::new(Vec::new()),
             tele,
         });
+        let recorder = match config.flight_dir() {
+            Some(dir) => {
+                let dir = dir.clone();
+                std::fs::create_dir_all(&dir)?;
+                usr1::install();
+                let shared = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("aria-flight".to_string())
+                        .spawn(move || recorder_watch(shared, dir))
+                        .expect("spawn flight-recorder thread"),
+                )
+            }
+            None => None,
+        };
         let engine = match config.engine() {
             Engine::Reactor => EngineState::Reactor(ReactorEngine::start(
                 listener,
@@ -163,7 +181,7 @@ impl AriaServer {
                 EngineState::Threads { acceptor: Some(acceptor) }
             }
         };
-        Ok(AriaServer { addr, shared, engine })
+        Ok(AriaServer { addr, shared, engine, recorder })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` binds).
@@ -197,6 +215,9 @@ impl AriaServer {
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.recorder.take() {
+            let _ = h.join();
+        }
         match &mut self.engine {
             EngineState::Threads { acceptor } => {
                 if let Some(h) = acceptor.take() {
@@ -264,6 +285,99 @@ fn accept_loop<S: KvStore + Send + 'static>(
     }
 }
 
+/// How often the flight-recorder watcher samples the telemetry plane.
+const RECORDER_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Flight-recorder watcher: poll the telemetry snapshot, diff it into
+/// system events, and serialize a post-mortem dump into `dir` whenever
+/// an anomaly trigger fires (rate-limited) or the operator sends
+/// `SIGUSR1` (always honored).
+fn recorder_watch(shared: Arc<Shared>, dir: std::path::PathBuf) {
+    use aria_telemetry::{unix_millis, FlightEvent, FlightEventKind, SHARD_NONE};
+    let tele = &shared.tele;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(RECORDER_INTERVAL);
+        let snap = tele.snapshot();
+        let mut triggers = tele.recorder.observe(&snap);
+        let manual = usr1::take();
+        let reason = if manual {
+            let ev = FlightEvent {
+                unix_millis: unix_millis(),
+                kind: FlightEventKind::Manual,
+                shard: SHARD_NONE,
+                count: 1,
+            };
+            tele.recorder.record(ev);
+            triggers.push(ev);
+            "sigusr1"
+        } else if !triggers.is_empty() {
+            // Automatic dumps are rate-limited so a flapping shard
+            // cannot flood the dump directory; the events themselves
+            // are always recorded above.
+            if !tele.recorder.dump_permitted() {
+                continue;
+            }
+            "anomaly"
+        } else {
+            continue;
+        };
+        let (spans, _) = tele.traces.read_since(&[]);
+        let json = tele.recorder.render_dump(reason, &triggers, &spans);
+        let path = dir.join(format!("aria-flight-{}-{}.json", unix_millis(), reason));
+        if std::fs::write(&path, json).is_ok() {
+            tele.recorder.note_dump();
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod usr1 {
+    //! `SIGUSR1` → "dump now" flag. Declaring `signal` directly keeps
+    //! the workspace dependency-free (same pattern as the reactor's
+    //! epoll bindings); the handler only stores to an atomic, which is
+    //! async-signal-safe.
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGUSR1: i32 = 10;
+
+    extern "C" fn on_usr1(_sig: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Install the handler (idempotent; last install wins, which is
+    /// fine — every server process shares the one flag).
+    pub(super) fn install() {
+        #[allow(unsafe_code)]
+        unsafe {
+            signal(SIGUSR1, on_usr1)
+        };
+    }
+
+    /// Consume a pending dump request.
+    pub(super) fn take() -> bool {
+        REQUESTED.swap(false, Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod usr1 {
+    //! No signal plumbing off Linux: dumps still flow via the `TRACE`
+    //! wire opcode and anomaly triggers.
+    pub(super) fn install() {}
+
+    pub(super) fn take() -> bool {
+        false
+    }
+}
+
 /// Join connection threads that already returned so the registry does
 /// not grow with every connection ever accepted.
 fn reap_finished(shared: &Shared) {
@@ -326,23 +440,38 @@ fn serve_connection<S: KvStore + Send + 'static>(
         // (the single copy on the request path), everything else is
         // parsed in place.
         let mut ops: Vec<BatchOp> = Vec::new();
-        let mut plan: Vec<(u64, Slot)> = Vec::new();
+        let mut plan: Vec<(u64, Slot, Option<Arc<SpanCell>>)> = Vec::new();
+        let mut op_spans: Vec<(std::ops::Range<usize>, Arc<SpanCell>)> = Vec::new();
         let mut op_idxs: Vec<usize> = Vec::new();
         let mut wire_failure: Option<WireError> = None;
         let sojourn_ns = read_stamp.elapsed().as_nanos() as u64;
         while plan.len() < cfg.pipeline_window() {
             match proto::decode_request_ref_versioned(&rbuf[roff..], version) {
-                Ok(Decoded::Frame(consumed, id, (req, deadline_ns))) => {
+                Ok(Decoded::Frame(consumed, id, (req, meta))) => {
                     op_idxs.push(req.op_index());
+                    let span = if meta.trace.sampled && aria_telemetry::enabled() {
+                        let s = Arc::new(SpanCell::new(meta.trace.id, req.op_index() as u8));
+                        s.stamp(stage::DECODE);
+                        Some(s)
+                    } else {
+                        None
+                    };
+                    let op_start = ops.len();
                     let slot = shed_or_plan(
                         &req,
-                        deadline_ns,
+                        meta.deadline_ns,
                         sojourn_ns,
                         cfg.shed_sojourn(),
                         &shared.tele,
+                        span.as_deref(),
                         &mut |op| ops.push(op),
                     );
-                    plan.push((id, slot));
+                    if let Some(s) = &span {
+                        if ops.len() > op_start {
+                            op_spans.push((op_start..ops.len(), Arc::clone(s)));
+                        }
+                    }
+                    plan.push((id, slot, span));
                     roff += consumed;
                 }
                 Ok(Decoded::Incomplete) => break,
@@ -372,6 +501,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                 &mut wbuf,
                 ops,
                 plan,
+                op_spans,
                 &op_idxs,
                 &mut version,
             );
@@ -443,22 +573,34 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     stream: &mut TcpStream,
     wbuf: &mut Vec<u8>,
     ops: Vec<BatchOp>,
-    plan: Vec<(u64, Slot)>,
+    plan: Vec<(u64, Slot, Option<Arc<SpanCell>>)>,
+    op_spans: Vec<(std::ops::Range<usize>, Arc<SpanCell>)>,
     op_idxs: &[usize],
     version: &mut u16,
 ) -> io::Result<()> {
     let start = Instant::now();
-    let served: u64 = plan.iter().map(|(_, slot)| slot.served_units()).sum();
+    let served: u64 = plan.iter().map(|(_, slot, _)| slot.served_units()).sum();
     shared.ops_served.fetch_add(served, Ordering::Relaxed);
 
-    let mut replies = store.run_batch(ops).into_iter();
+    let mut replies = store.run_batch_traced(ops, op_spans).into_iter();
     let stats = ServerStats {
         ops_served: shared.ops_served.load(Ordering::Relaxed),
         active_connections: shared.active.load(Ordering::SeqCst) as u32,
         connections_accepted: shared.accepted.load(Ordering::SeqCst),
     };
-    for (id, slot) in plan {
+    let mut window_spans: Vec<Arc<SpanCell>> = Vec::new();
+    for (id, slot, span) in plan {
+        let was_shed = matches!(slot, Slot::Shed(..));
         let resp = build_response(slot, &mut replies, store, &shared.tele, &stats);
+        if let Some(s) = span {
+            s.stamp(stage::ENCODE);
+            // Shed spans already carry their verdict; anything else
+            // answering an error frame is marked ERROR.
+            if !was_shed && matches!(resp, Response::Error { .. }) {
+                s.set_outcome(outcome::ERROR);
+            }
+            window_spans.push(s);
+        }
         encode_or_substitute(wbuf, id, &resp, *version);
         // Responses after the HELLO ack (even later in this window) are
         // encoded at the version the handshake just negotiated.
@@ -473,7 +615,17 @@ fn dispatch_window<S: KvStore + Send + 'static>(
     // Every response of the window is acknowledged before more requests
     // are read: the flush is both the backpressure point and what makes
     // graceful shutdown lose nothing that was acked.
-    flush(stream, wbuf, &shared.tele)
+    let flushed = flush(stream, wbuf, &shared.tele);
+    for s in window_spans {
+        // A span describes work the server really did even when the
+        // peer vanished before the flush; only the FLUSH stamp is
+        // conditional on the bytes reaching the socket.
+        if flushed.is_ok() {
+            s.stamp(stage::FLUSH);
+        }
+        shared.tele.traces.publish(&s.to_span());
+    }
+    flushed
 }
 
 fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, tele: &TelemetryHub) -> io::Result<()> {

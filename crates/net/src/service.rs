@@ -12,7 +12,7 @@
 
 use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
 use aria_store::{KvStore, ShardHealth};
-use aria_telemetry::TelemetryHub;
+use aria_telemetry::{outcome, stage, SpanCell, TelemetryHub};
 
 use crate::proto::{self, ErrorCode, HealthReply, RequestRef, Response, StatsReply};
 
@@ -25,6 +25,10 @@ pub(crate) enum Slot {
     Hello {
         version: u16,
         features: u64,
+    },
+    Trace {
+        mode: u8,
+        cursors: Vec<u64>,
     },
     Get,
     Put,
@@ -46,6 +50,7 @@ impl Slot {
             | Slot::Health
             | Slot::Metrics
             | Slot::Hello { .. }
+            | Slot::Trace { .. }
             | Slot::Shed(..) => 0,
             Slot::Get | Slot::Put | Slot::Delete => 1,
             Slot::MultiGet(n) | Slot::PutBatch(n) => *n,
@@ -62,6 +67,7 @@ impl Slot {
             | Slot::Health
             | Slot::Metrics
             | Slot::Hello { .. }
+            | Slot::Trace { .. }
             | Slot::Shed(..) => 1,
             _ => self.store_ops() as u64,
         }
@@ -87,20 +93,30 @@ pub(crate) fn shed_or_plan(
     sojourn_ns: u64,
     shed_sojourn: Option<std::time::Duration>,
     tele: &TelemetryHub,
+    span: Option<&SpanCell>,
     sink: &mut impl FnMut(BatchOp),
 ) -> Slot {
     if req.is_data_op() {
-        if deadline_expired(deadline_ns, sojourn_ns) {
+        let verdict = if deadline_expired(deadline_ns, sojourn_ns) {
             tele.net.ops_shed_deadline.inc();
-            return Slot::Shed(ErrorCode::DeadlineExceeded, 0);
-        }
-        if let Some(bound) = shed_sojourn {
-            let bound_ns = bound.as_nanos() as u64;
-            if sojourn_ns > bound_ns {
-                tele.net.ops_shed_overload.inc();
-                let retry_after_ms = ((sojourn_ns - bound_ns) / 1_000_000).clamp(1, 1_000);
-                return Slot::Shed(ErrorCode::Overloaded, retry_after_ms);
+            Some(Slot::Shed(ErrorCode::DeadlineExceeded, 0))
+        } else {
+            shed_sojourn.map(|b| b.as_nanos() as u64).filter(|&bound_ns| sojourn_ns > bound_ns).map(
+                |bound_ns| {
+                    tele.net.ops_shed_overload.inc();
+                    let retry_after_ms = ((sojourn_ns - bound_ns) / 1_000_000).clamp(1, 1_000);
+                    Slot::Shed(ErrorCode::Overloaded, retry_after_ms)
+                },
+            )
+        };
+        if let Some(cell) = span {
+            cell.stamp(stage::ADMIT);
+            if verdict.is_some() {
+                cell.set_outcome(outcome::SHED);
             }
+        }
+        if let Some(shed) = verdict {
+            return shed;
         }
     }
     plan_request(req, sink)
@@ -117,6 +133,9 @@ pub(crate) fn plan_request(req: &RequestRef<'_>, sink: &mut impl FnMut(BatchOp))
         RequestRef::Metrics => Slot::Metrics,
         RequestRef::Hello { version, features } => {
             Slot::Hello { version: *version, features: *features }
+        }
+        RequestRef::Trace { mode, cursors } => {
+            Slot::Trace { mode: *mode, cursors: cursors.clone() }
         }
         RequestRef::Get { key } => {
             sink(BatchOp::Get(key.to_vec()));
@@ -223,6 +242,24 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
             shards: store.replica_healths().into_iter().map(Into::into).collect(),
         }),
         Slot::Metrics => Response::Metrics(tele.snapshot().encode()),
+        Slot::Trace { mode, cursors } => match mode {
+            0 => {
+                let (spans, next) = tele.traces.read_since(&cursors);
+                Response::Trace(aria_telemetry::encode_spans(&spans, &next))
+            }
+            1 => {
+                // On-request post-mortem: recent events + resident
+                // spans, regardless of whether an anomaly fired.
+                let (spans, _) = tele.traces.read_since(&[]);
+                tele.recorder.note_dump();
+                Response::Trace(tele.recorder.render_dump("request", &[], &spans).into_bytes())
+            }
+            _ => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown TRACE mode {mode}"),
+                retry_after_ms: 0,
+            },
+        },
         Slot::Get => match next_get(replies) {
             Ok(v) => Response::Value(v),
             Err(e) => error_response(&e),

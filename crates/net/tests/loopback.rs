@@ -443,3 +443,185 @@ fn dead_shard_maps_to_wire_error_code() {
     assert_eq!(client.get(&on1).unwrap().unwrap(), b"y");
     server.shutdown();
 }
+
+/// End-to-end tracing on both engines: a v5 client sampling every
+/// request produces server-side spans whose stamps cross
+/// decode → admission → queue → execute → encode → flush in causal
+/// order, streamable over the TRACE opcode; a wire dump request
+/// answers with a JSON flight-recorder post-mortem.
+#[test]
+fn sampled_requests_stream_spans_end_to_end() {
+    use aria_telemetry::{outcome, stage};
+    let _wd = watchdog("sampled_requests_stream_spans_end_to_end", Duration::from_secs(120));
+    for engine in [aria_net::Engine::Reactor, aria_net::Engine::Threads] {
+        let server = AriaServer::bind(
+            "127.0.0.1:0",
+            sharded(2),
+            ServerConfig::builder().engine(engine).build().unwrap(),
+        )
+        .unwrap();
+        let mut client = AriaClient::connect(
+            server.local_addr(),
+            ClientConfig { trace_sample: 1, ..quick_config() },
+        )
+        .unwrap();
+        assert_eq!(client.protocol_version(), Some(proto::PROTOCOL_VERSION));
+
+        client.put(b"traced", b"v").unwrap();
+        assert_eq!(client.get(b"traced").unwrap().unwrap(), b"v");
+        let values = client.multi_get(&[b"traced".as_ref(), b"missing"]).unwrap();
+        assert_eq!(values[0], Ok(Some(b"v".to_vec())));
+
+        // Spans publish when the response bytes drain to the socket, a
+        // beat after the client sees the response; poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let spans = loop {
+            let (spans, cursors) = client.trace_spans(&[]).unwrap();
+            assert!(!cursors.is_empty(), "one resume cursor per trace ring");
+            if spans.len() >= 3 {
+                break spans;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampled spans never reached the trace rings ({engine:?}): {spans:?}"
+            );
+            thread::sleep(Duration::from_millis(10));
+        };
+        for span in &spans {
+            assert_ne!(span.trace_id, 0, "sampled spans carry the wire trace id");
+            assert!(span.stages_monotone(), "stage stamps out of order: {span:?}");
+            for st in [
+                stage::DECODE,
+                stage::ADMIT,
+                stage::ENQUEUE,
+                stage::DEQUEUE,
+                stage::EXEC_START,
+                stage::EXEC_END,
+                stage::ENCODE,
+            ] {
+                assert_ne!(span.stages[st], 0, "stage {st} unstamped: {span:?}");
+            }
+            assert_eq!(span.outcome, outcome::OK);
+            assert!(span.ops >= 1);
+        }
+        assert!(
+            spans.iter().any(|s| s.stages[stage::FLUSH] != 0),
+            "at least one span must observe its bytes hitting the socket"
+        );
+        // Executed spans attribute their cache traffic: the get and the
+        // multi-get hit the hot tier.
+        assert!(spans.iter().any(|s| s.hot_hits > 0), "no span attributed a hot hit: {spans:?}");
+
+        // A wire-requested flight dump renders the JSON post-mortem.
+        let dump = client.flight_dump().expect("mode-1 TRACE answers with a dump");
+        assert!(dump.trim_start().starts_with('{'), "dump is a JSON object: {dump}");
+        assert!(dump.contains("\"reason\":\"request\""), "dump names its trigger: {dump}");
+        assert!(dump.contains("\"spans\""), "dump embeds recent spans: {dump}");
+        server.shutdown();
+    }
+}
+
+/// Pop the next response frame off a raw socket at the given
+/// negotiated version, carrying unconsumed bytes in `buf` across
+/// calls (pipelined replies can share one read).
+fn read_response_at(
+    stream: &mut std::net::TcpStream,
+    buf: &mut Vec<u8>,
+    version: u16,
+) -> proto::Response {
+    use std::io::Read;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match proto::decode_response_versioned(buf, version).expect("well-formed reply") {
+            proto::Decoded::Frame(consumed, _, resp) => {
+                buf.drain(..consumed);
+                return resp;
+            }
+            proto::Decoded::Incomplete => {}
+        }
+        let n = stream.read(&mut chunk).expect("read reply");
+        assert!(n > 0, "server closed mid-frame");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Peers below v5 are untouched by the trace trailer: a hand-rolled
+/// peer that negotiates v4 and a client that never sends HELLO both
+/// keep round-tripping data ops on both engines, even while the same
+/// server serves a sampling v5 client.
+#[test]
+fn pre_v5_peers_interoperate_unchanged() {
+    use std::io::Write;
+    let _wd = watchdog("pre_v5_peers_interoperate_unchanged", Duration::from_secs(120));
+    for engine in [aria_net::Engine::Reactor, aria_net::Engine::Threads] {
+        let server = AriaServer::bind(
+            "127.0.0.1:0",
+            sharded(2),
+            ServerConfig::builder().engine(engine).build().unwrap(),
+        )
+        .unwrap();
+
+        // A sampling v5 client shares the server the whole time.
+        let mut v5 = AriaClient::connect(
+            server.local_addr(),
+            ClientConfig { trace_sample: 1, ..quick_config() },
+        )
+        .unwrap();
+        v5.put(b"v5", b"yes").unwrap();
+
+        // Pre-HELLO peer: the client speaks the base protocol; the
+        // sampling knob is inert without a negotiated v5.
+        let mut old = AriaClient::connect(
+            server.local_addr(),
+            ClientConfig { handshake: false, trace_sample: 1, ..quick_config() },
+        )
+        .unwrap();
+        assert_eq!(old.protocol_version(), None);
+        old.put(b"base", b"ok").unwrap();
+        assert_eq!(old.get(b"base").unwrap().unwrap(), b"ok");
+
+        // Hand-rolled v4 peer: HELLO caps the connection at v4, after
+        // which data frames carry the deadline trailer but no trace
+        // trailer — and the server answers them cleanly.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut inbuf = Vec::new();
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, 1, &proto::Request::Hello { version: 4, features: 0 })
+            .unwrap();
+        raw.write_all(&buf).unwrap();
+        match read_response_at(&mut raw, &mut inbuf, proto::BASE_PROTOCOL_VERSION) {
+            proto::Response::HelloAck { version, .. } => {
+                assert_eq!(version, 4, "server meets an old peer at its version");
+            }
+            other => panic!("want HelloAck, got {other:?}"),
+        }
+        buf.clear();
+        proto::encode_request_versioned(
+            &mut buf,
+            2,
+            &proto::Request::Put { key: b"v4".to_vec(), value: b"ok".to_vec() },
+            0,
+            4,
+        )
+        .unwrap();
+        proto::encode_request_versioned(
+            &mut buf,
+            3,
+            &proto::Request::Get { key: b"v4".to_vec() },
+            0,
+            4,
+        )
+        .unwrap();
+        raw.write_all(&buf).unwrap();
+        assert_eq!(read_response_at(&mut raw, &mut inbuf, 4), proto::Response::PutOk);
+        assert_eq!(
+            read_response_at(&mut raw, &mut inbuf, 4),
+            proto::Response::Value(Some(b"ok".to_vec()))
+        );
+
+        // The v5 client still works after the old peers' traffic.
+        assert_eq!(v5.get(b"v5").unwrap().unwrap(), b"yes");
+        server.shutdown();
+    }
+}

@@ -5,8 +5,9 @@
 
 use aria_net::proto::{
     self, decode_request, decode_request_ref, decode_request_ref_versioned, decode_response,
-    decode_response_versioned, Decoded, ErrorCode, Request, Response, WireError,
+    decode_response_versioned, Decoded, ErrorCode, Request, Response, TraceContext, WireError,
     BASE_PROTOCOL_VERSION, MAX_FRAME_LEN, OVERLOAD_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    TRACE_PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -257,11 +258,12 @@ proptest! {
         proto::encode_request_versioned(&mut buf, id, &req, deadline_ns, PROTOCOL_VERSION)
             .expect("small frame encodes");
         match decode_request_ref_versioned(&buf, PROTOCOL_VERSION) {
-            Ok(Decoded::Frame(consumed, got_id, (got, got_deadline))) => {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_meta))) => {
                 prop_assert_eq!(consumed, buf.len());
                 prop_assert_eq!(got_id, id);
                 prop_assert_eq!(got.to_owned(), req.clone());
-                prop_assert_eq!(got_deadline, deadline_ns);
+                prop_assert_eq!(got_meta.deadline_ns, deadline_ns);
+                prop_assert_eq!(got_meta.trace, TraceContext::NONE, "unsampled encode");
             }
             other => prop_assert!(false, "v4 frame failed to decode: {other:?}"),
         }
@@ -372,6 +374,148 @@ proptest! {
                 Ok(Decoded::Frame(..))
             ));
         }
+    }
+
+    /// v5 data ops carry the trace-context trailer after the deadline:
+    /// any (trace id, sampled) pair must round-trip at v5, every
+    /// truncation must stay `Incomplete`, and the strict cross-version
+    /// rule must hold in both directions — a v5 frame at v4 and a v4
+    /// frame at v5 are each `Malformed`, never silently misparsed.
+    #[test]
+    fn trace_trailer_round_trips_and_gates(
+        id in any::<u64>(),
+        klen in 0usize..32,
+        deadline_ns in any::<u64>(),
+        trace_id in any::<u64>(),
+        sampled in any::<bool>(),
+    ) {
+        let req = Request::Get { key: vec![0x5E; klen] };
+        let trace = TraceContext { id: trace_id, sampled };
+        let mut buf = Vec::new();
+        proto::encode_request_traced(
+            &mut buf, id, &req, deadline_ns, trace, TRACE_PROTOCOL_VERSION,
+        )
+        .expect("small frame encodes");
+        match decode_request_ref_versioned(&buf, TRACE_PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_meta))) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req.clone());
+                prop_assert_eq!(got_meta.deadline_ns, deadline_ns);
+                prop_assert_eq!(got_meta.trace, trace);
+            }
+            other => prop_assert!(false, "v5 frame failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_request_ref_versioned(&buf[..cut], TRACE_PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated v5 frame at {} must be Incomplete", cut
+            );
+        }
+        prop_assert!(
+            matches!(
+                decode_request_ref_versioned(&buf, OVERLOAD_PROTOCOL_VERSION),
+                Err(WireError::Malformed)
+            ),
+            "a v5 data frame must not parse at v4"
+        );
+        // Mirror image: a v4 frame at v5 is missing the trace trailer.
+        let mut old = Vec::new();
+        proto::encode_request_versioned(&mut old, id, &req, deadline_ns, OVERLOAD_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        prop_assert_eq!(
+            decode_request_ref_versioned(&old, TRACE_PROTOCOL_VERSION).map(|_| ()),
+            Err(WireError::Malformed),
+            "a v4 data frame must not parse at v5"
+        );
+    }
+
+    /// The trace flags byte reserves bits 1–7: a frame whose flags byte
+    /// has any reserved bit set is `Malformed`, so future flag bits
+    /// cannot be smuggled past an old decoder as a sampled bit.
+    #[test]
+    fn reserved_trace_flag_bits_are_malformed(
+        id in any::<u64>(),
+        trace_id in any::<u64>(),
+        bad_flags in 2u8..=u8::MAX,
+    ) {
+        let req = Request::Get { key: b"k".to_vec() };
+        let mut buf = Vec::new();
+        proto::encode_request_traced(
+            &mut buf,
+            id,
+            &req,
+            0,
+            TraceContext { id: trace_id, sampled: true },
+            TRACE_PROTOCOL_VERSION,
+        )
+        .expect("small frame encodes");
+        // The flags byte is the final byte of the frame body.
+        *buf.last_mut().expect("non-empty frame") = bad_flags;
+        prop_assert_eq!(
+            decode_request_ref_versioned(&buf, TRACE_PROTOCOL_VERSION).map(|_| ()),
+            Err(WireError::Malformed),
+            "reserved flag bits must be rejected"
+        );
+    }
+
+    /// TRACE is a control op: its frames are version-invariant (no data
+    /// trailers at any version), any (mode, cursors) pair round-trips,
+    /// and every truncation stays `Incomplete`.
+    #[test]
+    fn trace_requests_round_trip_at_every_version(
+        id in any::<u64>(),
+        mode in any::<u8>(),
+        cursors in proptest::collection::vec(any::<u64>(), 0..8),
+        version in 1u16..=PROTOCOL_VERSION,
+    ) {
+        let req = Request::Trace { mode, cursors };
+        let mut base = Vec::new();
+        proto::encode_request_versioned(&mut base, id, &req, 0, BASE_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        let mut at_v = Vec::new();
+        proto::encode_request_versioned(&mut at_v, id, &req, u64::MAX, version)
+            .expect("small frame encodes");
+        prop_assert_eq!(&base, &at_v, "TRACE frame differs at v{}", version);
+        match decode_request_ref_versioned(&at_v, version) {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_meta))) => {
+                prop_assert_eq!(consumed, at_v.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req.clone());
+                prop_assert_eq!(got_meta.deadline_ns, 0, "control ops carry no deadline");
+                prop_assert_eq!(got_meta.trace, TraceContext::NONE);
+            }
+            other => prop_assert!(false, "TRACE frame failed to decode: {other:?}"),
+        }
+        for cut in 0..at_v.len() {
+            prop_assert!(
+                matches!(
+                    decode_request_ref_versioned(&at_v[..cut], version),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated TRACE frame at {} must be Incomplete", cut
+            );
+        }
+    }
+
+    /// A hostile TRACE cursor count that promises more cursors than the
+    /// body could hold is `Malformed`, not an allocation.
+    #[test]
+    fn hostile_trace_cursor_counts_are_malformed(id in any::<u64>(), count in 4u32..u32::MAX) {
+        let mut buf = Vec::new();
+        proto::encode_request(
+            &mut buf,
+            id,
+            &Request::Trace { mode: 0, cursors: vec![1, 2] },
+        )
+        .expect("small frame encodes");
+        // Overwrite the cursor count (1 mode byte after the 13-byte
+        // frame header) with one the 16-byte cursor area cannot satisfy.
+        buf[14..18].copy_from_slice(&count.to_le_bytes());
+        prop_assert_eq!(decode_request(&buf).map(|_| ()), Err(WireError::Malformed));
     }
 }
 

@@ -95,7 +95,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use aria_sim::{EnclaveSnapshot, EnclaveStats};
-use aria_telemetry::{OpKind as TeleOpKind, ShardTelemetry, SlowOp, SlowOpTracer};
+use aria_telemetry::{
+    stage as trace_stage, OpKind as TeleOpKind, ShardTelemetry, SlowOp, SlowOpTracer, SpanCell,
+};
 
 use crate::resync::content_root_of;
 use crate::{CacheStats, KvStore, StoreError};
@@ -511,7 +513,14 @@ impl BatchReply {
 }
 
 enum Request<S> {
-    Ops { ops: Vec<BatchOp>, reply: Sender<Vec<BatchReply>> },
+    Ops {
+        ops: Vec<BatchOp>,
+        /// Trace span cells for sampled requests whose ops are in this
+        /// batch (empty unless tracing sampled them). The worker stamps
+        /// queue/execute stages and attribution deltas on each.
+        spans: Vec<Arc<SpanCell>>,
+        reply: Sender<Vec<BatchReply>>,
+    },
     Exec(Box<dyn FnOnce(&mut S) + Send>),
 }
 
@@ -906,17 +915,50 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// an errored or unavailable reply means the write may or may not
     /// have been applied (the caller must treat it as unacknowledged).
     pub fn run_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
+        self.run_batch_traced(ops, Vec::new())
+    }
+
+    /// [`ShardedStore::run_batch`] with trace span cells riding along.
+    /// Each entry in `op_spans` is a sampled request's span plus the
+    /// half-open range of flat op indexes (into `ops`) that belong to
+    /// it; the span is handed to every shard group executing one of
+    /// those ops, gets its shard/op-count fields filled in here, and is
+    /// stamped through the queue and execute stages by the workers.
+    pub fn run_batch_traced(
+        &self,
+        ops: Vec<BatchOp>,
+        op_spans: Vec<(std::ops::Range<usize>, Arc<SpanCell>)>,
+    ) -> Vec<BatchReply> {
         let groups = self.inner.groups;
         let total = ops.len();
         let mut per_group_ops: Vec<Vec<BatchOp>> = (0..groups).map(|_| Vec::new()).collect();
         let mut per_group_idx: Vec<Vec<usize>> = (0..groups).map(|_| Vec::new()).collect();
+        let mut op_group: Vec<usize> = Vec::with_capacity(total);
         for (i, op) in ops.into_iter().enumerate() {
             let group = self.shard_of(op.key());
+            op_group.push(group);
             per_group_idx[group].push(i);
             per_group_ops[group].push(op);
         }
+        let mut per_group_spans: Vec<Vec<Arc<SpanCell>>> =
+            (0..groups).map(|_| Vec::new()).collect();
+        for (range, span) in op_spans {
+            let mut gs: Vec<usize> = op_group[range.clone()].to_vec();
+            if gs.is_empty() {
+                continue;
+            }
+            span.set_shard(gs[0] as u32);
+            gs.sort_unstable();
+            gs.dedup();
+            span.set_ops(range.len() as u64);
+            for g in gs {
+                per_group_spans[g].push(Arc::clone(&span));
+            }
+        }
         let mut out: Vec<Option<BatchReply>> = (0..total).map(|_| None).collect();
-        for (group, replies) in self.run_sharded(per_group_ops).into_iter().enumerate() {
+        for (group, replies) in
+            self.run_sharded_traced(per_group_ops, per_group_spans).into_iter().enumerate()
+        {
             debug_assert_eq!(replies.len(), per_group_idx[group].len());
             for (&i, reply) in per_group_idx[group].iter().zip(replies) {
                 out[i] = Some(reply);
@@ -938,7 +980,23 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     /// per group, one reply per op in submission order. Failure
     /// semantics are identical to [`ShardedStore::run_batch`].
     pub fn run_sharded(&self, per_group: Vec<Vec<BatchOp>>) -> Vec<Vec<BatchReply>> {
+        let groups = per_group.len();
+        self.run_sharded_traced(per_group, (0..groups).map(|_| Vec::new()).collect())
+    }
+
+    /// [`ShardedStore::run_sharded`] with trace span cells riding along:
+    /// `per_group_spans[g]` holds the cells of sampled requests whose
+    /// ops landed in `per_group[g]`. The store stamps queue entry/exit
+    /// and execute stages (plus verify/cold/hot attribution deltas) on
+    /// the primary's copy; backup sends carry no spans so replicated
+    /// writes are attributed exactly once.
+    pub fn run_sharded_traced(
+        &self,
+        per_group: Vec<Vec<BatchOp>>,
+        mut per_group_spans: Vec<Vec<Arc<SpanCell>>>,
+    ) -> Vec<Vec<BatchReply>> {
         assert_eq!(per_group.len(), self.inner.groups, "one op vector per shard group");
+        assert_eq!(per_group_spans.len(), self.inner.groups, "one span vector per shard group");
         #[cfg(debug_assertions)]
         for (group, gops) in per_group.iter().enumerate() {
             for op in gops {
@@ -970,7 +1028,8 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                 out[group] = Some(Vec::new());
                 continue;
             }
-            match self.dispatch_group(group, gops) {
+            let gspans = std::mem::take(&mut per_group_spans[group]);
+            match self.dispatch_group(group, gops, gspans) {
                 Ok((primary, primary_gen, rx, backups)) => {
                     pending.push(Pending { group, primary, primary_gen, rx, backups })
                 }
@@ -1015,6 +1074,7 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         &self,
         group: usize,
         gops: Vec<BatchOp>,
+        gspans: Vec<Arc<SpanCell>>,
     ) -> Result<
         (usize, u64, Receiver<Vec<BatchReply>>, Vec<(usize, u64, Receiver<Vec<BatchReply>>)>),
         StoreError,
@@ -1025,15 +1085,28 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         // is enqueued, so the worker never spends service time on ops
         // whose callers are already backing off.
         self.admit(group, gops.len())?;
+        let stamp_enqueue = |spans: &[Arc<SpanCell>]| {
+            for s in spans {
+                s.stamp(trace_stage::ENQUEUE);
+            }
+        };
         let has_writes = gops.iter().any(BatchOp::is_write);
         // Reads (and the unreplicated hot path) skip the write lock.
         if !has_writes || inner.replicas == 1 {
             let mut gops = gops;
+            let mut gspans = gspans;
             for _ in 0..inner.replicas {
                 let primary = self.acting_primary(group)?;
                 let (tx, rx) = mpsc::channel();
                 let slot = inner.slot_index(group, primary);
-                match self.send_to_slot(slot, Request::Ops { ops: gops, reply: tx }) {
+                // Stamp before the send: once the request is in the
+                // channel the worker may stamp DEQUEUE at any moment,
+                // and queue entry must not postdate queue exit. A failed
+                // send retries through here and re-stamps (fetch_max
+                // keeps the latest attempt).
+                stamp_enqueue(&gspans);
+                match self.send_to_slot(slot, Request::Ops { ops: gops, spans: gspans, reply: tx })
+                {
                     Ok(generation) => return Ok((primary, generation, rx, Vec::new())),
                     Err((req, generation)) => {
                         // Worker gone: record the death, then retry via
@@ -1041,7 +1114,10 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
                         // replica, if any).
                         self.mark_replica_dead(group, primary, generation);
                         match req {
-                            Request::Ops { ops, .. } => gops = ops,
+                            Request::Ops { ops, spans, .. } => {
+                                gops = ops;
+                                gspans = spans;
+                            }
                             Request::Exec(_) => unreachable!("ops request returned"),
                         }
                     }
@@ -1062,17 +1138,19 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         let primary = self.acting_primary(group)?;
         let (tx, rx) = mpsc::channel();
         let pslot = inner.slot_index(group, primary);
-        let primary_gen = match self.send_to_slot(pslot, Request::Ops { ops: gops, reply: tx }) {
-            Ok(generation) => generation,
-            Err((_, generation)) => {
-                drop(guard);
-                self.mark_replica_dead(group, primary, generation);
-                // No transparent write retry after a mid-send death: the
-                // backups' queues may already order other writers' ops
-                // around this batch. Unacknowledged is the honest answer.
-                return Err(StoreError::ShardUnavailable { shard: group });
-            }
-        };
+        stamp_enqueue(&gspans);
+        let primary_gen =
+            match self.send_to_slot(pslot, Request::Ops { ops: gops, spans: gspans, reply: tx }) {
+                Ok(generation) => generation,
+                Err((_, generation)) => {
+                    drop(guard);
+                    self.mark_replica_dead(group, primary, generation);
+                    // No transparent write retry after a mid-send death: the
+                    // backups' queues may already order other writers' ops
+                    // around this batch. Unacknowledged is the honest answer.
+                    return Err(StoreError::ShardUnavailable { shard: group });
+                }
+            };
         let mut backups = Vec::new();
         for replica in 0..inner.replicas {
             if replica == primary || ctl.machine.health(replica) != ShardHealth::Healthy {
@@ -1080,7 +1158,10 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             }
             let (btx, brx) = mpsc::channel();
             let bslot = inner.slot_index(group, replica);
-            match self.send_to_slot(bslot, Request::Ops { ops: writes.clone(), reply: btx }) {
+            // Backups carry no spans: execute-stage attribution belongs
+            // to the primary alone, not once per replica.
+            let breq = Request::Ops { ops: writes.clone(), spans: Vec::new(), reply: btx };
+            match self.send_to_slot(bslot, breq) {
                 Ok(generation) => backups.push((replica, generation, brx)),
                 Err((_, generation)) => self.mark_replica_dead(group, replica, generation),
             }
@@ -2131,11 +2212,40 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
         }
         for req in batch {
             match req {
-                Request::Ops { ops, reply } => {
+                Request::Ops { ops, spans, reply } => {
                     let n = ops.len() as u64;
                     let started = Instant::now();
                     ctx.tele.store.batch_size.observe(n);
+                    // Trace stamps and attribution baselines only when a
+                    // sampled request rode along (rare); the un-sampled
+                    // hot path sees one `is_empty` branch.
+                    let trace_base = if spans.is_empty() {
+                        None
+                    } else {
+                        for s in &spans {
+                            s.stamp(trace_stage::DEQUEUE);
+                            s.stamp(trace_stage::EXEC_START);
+                        }
+                        let t = &ctx.tele;
+                        Some((
+                            t.cache.verify_depth.sum(),
+                            t.store.cold_read_latency.count(),
+                            t.cache.hits.get(),
+                        ))
+                    };
                     let replies = apply_ops(&mut store, ops, &ctx);
+                    if let Some((verify0, cold0, hot0)) = trace_base {
+                        let t = &ctx.tele;
+                        let verify = t.cache.verify_depth.sum().saturating_sub(verify0);
+                        let cold = t.store.cold_read_latency.count().saturating_sub(cold0);
+                        let hot = t.cache.hits.get().saturating_sub(hot0);
+                        for s in &spans {
+                            s.stamp(trace_stage::EXEC_END);
+                            // Batch-level deltas: every sampled span in
+                            // the batch shares the coalesced run's cost.
+                            s.add_attribution(verify, cold, hot);
+                        }
+                    }
                     // Publish the new size before the reply so a client
                     // that saw its ack also sees the updated estimate.
                     ctx.state.last_len.store(store.len(), Ordering::SeqCst);

@@ -14,10 +14,17 @@ use crate::hub::{
     VIOLATION_CLASSES,
 };
 use crate::metrics::{HistSnapshot, BUCKETS};
+use crate::span::{stage, Span, TraceSummary};
 use crate::trace::{OpKind, SlowOp};
 
 /// Magic prefix of an encoded snapshot.
 pub const MAGIC: [u8; 4] = *b"ATEL";
+
+/// Magic prefix of an encoded span stream (`TRACE` opcode payload).
+pub const SPANS_MAGIC: [u8; 4] = *b"ATRC";
+
+/// Version of the span-stream layout.
+const SPANS_VERSION: u32 = 1;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +153,7 @@ impl TelemetrySnapshot {
             encode_slow_op(&mut b, op);
         }
         put_u64(&mut b, self.slow_dropped);
+        encode_traces(&mut b, &self.traces);
         b
     }
 
@@ -173,11 +181,123 @@ impl TelemetrySnapshot {
         }
         let slow_ops = (0..nslow).map(|_| decode_slow_op(&mut c)).collect::<Result<Vec<_>, _>>()?;
         let slow_dropped = c.u64()?;
+        let traces = decode_traces(&mut c)?;
         if !c.finished() {
             return Err(CodecError::Malformed);
         }
-        Ok(TelemetrySnapshot { version, unix_millis, shards, net, chaos, slow_ops, slow_dropped })
+        Ok(TelemetrySnapshot {
+            version,
+            unix_millis,
+            shards,
+            net,
+            chaos,
+            slow_ops,
+            slow_dropped,
+            traces,
+        })
     }
+}
+
+fn encode_traces(b: &mut Vec<u8>, t: &TraceSummary) {
+    put_u64(b, t.spans_recorded);
+    put_u64(b, t.cold_spans);
+    put_u64(b, t.hot_spans);
+    put_u32(b, t.stage_nanos.len() as u32);
+    for h in &t.stage_nanos {
+        put_hist(b, h);
+    }
+}
+
+fn decode_traces(c: &mut Cursor<'_>) -> Result<TraceSummary, CodecError> {
+    let spans_recorded = c.u64()?;
+    let cold_spans = c.u64()?;
+    let hot_spans = c.u64()?;
+    let nstages = c.u32()? as usize;
+    if nstages != stage::COUNT {
+        return Err(CodecError::Malformed);
+    }
+    let stage_nanos = (0..nstages).map(|_| c.hist()).collect::<Result<Vec<_>, _>>()?;
+    Ok(TraceSummary { spans_recorded, cold_spans, hot_spans, stage_nanos })
+}
+
+fn encode_span(b: &mut Vec<u8>, s: &Span) {
+    put_u64(b, s.trace_id);
+    put_u32(b, s.shard);
+    b.push(s.kind);
+    b.push(s.outcome);
+    put_u32(b, s.ops);
+    for &st in &s.stages {
+        put_u64(b, st);
+    }
+    put_u64(b, s.verify_depth);
+    put_u64(b, s.cold_reads);
+    put_u64(b, s.hot_hits);
+}
+
+fn decode_span(c: &mut Cursor<'_>) -> Result<Span, CodecError> {
+    let trace_id = c.u64()?;
+    let shard = c.u32()?;
+    let kind = c.u8()?;
+    let outcome = c.u8()?;
+    let ops = c.u32()?;
+    let mut stages = [0u64; stage::COUNT];
+    for st in stages.iter_mut() {
+        *st = c.u64()?;
+    }
+    Ok(Span {
+        trace_id,
+        shard,
+        kind,
+        outcome,
+        ops,
+        stages,
+        verify_depth: c.u64()?,
+        cold_reads: c.u64()?,
+        hot_hits: c.u64()?,
+    })
+}
+
+/// Encode a span stream plus the per-ring resume cursors (the `TRACE`
+/// opcode's mode-0 payload).
+pub fn encode_spans(spans: &[Span], cursors: &[u64]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(16 + spans.len() * 128);
+    b.extend_from_slice(&SPANS_MAGIC);
+    put_u32(&mut b, SPANS_VERSION);
+    put_u32(&mut b, cursors.len() as u32);
+    for &cur in cursors {
+        put_u64(&mut b, cur);
+    }
+    put_u32(&mut b, spans.len() as u32);
+    for s in spans {
+        encode_span(&mut b, s);
+    }
+    b
+}
+
+/// Decode a span stream: the spans and the per-ring resume cursors.
+pub fn decode_spans(buf: &[u8]) -> Result<(Vec<Span>, Vec<u64>), CodecError> {
+    let mut c = Cursor { buf, at: 0 };
+    if c.take(4)? != SPANS_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = c.u32()?;
+    if version != SPANS_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let ncur = c.u32()? as usize;
+    if ncur > MAX_LIST {
+        return Err(CodecError::Malformed);
+    }
+    let cursors = (0..ncur).map(|_| c.u64()).collect::<Result<Vec<_>, _>>()?;
+    let nspans = c.u32()? as usize;
+    if nspans > MAX_LIST {
+        return Err(CodecError::Malformed);
+    }
+    let spans = (0..nspans).map(|_| decode_span(&mut c)).collect::<Result<Vec<_>, _>>()?;
+    if !c.finished() {
+        return Err(CodecError::Malformed);
+    }
+    Ok((spans, cursors))
 }
 
 fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
@@ -462,7 +582,26 @@ mod tests {
             cache_admit_evict: 2,
             crypt_bytes: 256,
         });
+        hub.traces.publish(&sample_span(7, 1));
         hub.snapshot()
+    }
+
+    fn sample_span(trace_id: u64, shard: u32) -> Span {
+        let mut stages = [0u64; stage::COUNT];
+        for (i, s) in stages.iter_mut().enumerate() {
+            *s = 1_000 + i as u64 * 250;
+        }
+        Span {
+            trace_id,
+            shard,
+            kind: 2,
+            outcome: 0,
+            ops: 3,
+            stages,
+            verify_depth: 9,
+            cold_reads: 1,
+            hot_hits: 2,
+        }
     }
 
     #[test]
@@ -489,5 +628,34 @@ mod tests {
         let mut trailing = s.encode();
         trailing.push(0);
         assert_eq!(TelemetrySnapshot::decode(&trailing).unwrap_err(), CodecError::Malformed);
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let spans: Vec<Span> = (0..5).map(|i| sample_span(i, i as u32 % 2)).collect();
+        let cursors = vec![3u64, 2];
+        let bytes = encode_spans(&spans, &cursors);
+        let (back, cur) = decode_spans(&bytes).expect("decode");
+        assert_eq!(back, spans);
+        assert_eq!(cur, cursors);
+        // Empty stream round-trips too.
+        let (back, cur) = decode_spans(&encode_spans(&[], &[])).expect("decode empty");
+        assert!(back.is_empty());
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn spans_reject_garbage() {
+        assert_eq!(decode_spans(b"nope").unwrap_err(), CodecError::BadMagic);
+        let bytes = encode_spans(&[sample_span(1, 0)], &[1]);
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(matches!(decode_spans(&bad_version).unwrap_err(), CodecError::BadVersion(_)));
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() - 1);
+        assert_eq!(decode_spans(&truncated).unwrap_err(), CodecError::Truncated);
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(decode_spans(&trailing).unwrap_err(), CodecError::Malformed);
     }
 }

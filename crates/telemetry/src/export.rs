@@ -4,12 +4,24 @@
 
 use std::fmt::Write as _;
 
+use std::collections::HashSet;
+
 use crate::hub::{
     ShardSnapshot, TelemetrySnapshot, FAULT_SITE_NAMES, NET_OP_NAMES, VIOLATION_NAMES,
 };
 use crate::metrics::{bucket_bound, HistSnapshot};
+use crate::span::STAGE_NAMES;
 
-fn prom_hist(out: &mut String, name: &str, labels: &str, h: &HistSnapshot) {
+fn prom_hist<'a>(
+    out: &mut String,
+    typed: &mut HashSet<&'a str>,
+    name: &'a str,
+    labels: &str,
+    h: &HistSnapshot,
+) {
+    if typed.insert(name) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+    }
     let last = h.buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
     let mut cum = 0u64;
     let sep = if labels.is_empty() { "" } else { "," };
@@ -41,6 +53,7 @@ impl TelemetrySnapshot {
     pub fn render_prometheus(&self) -> String {
         self.debug_validate();
         let mut o = String::with_capacity(8192);
+        let mut typed: HashSet<&str> = HashSet::new();
         let _ = writeln!(o, "# aria telemetry snapshot v{} t={}ms", self.version, self.unix_millis);
         for (i, s) in self.shards.iter().enumerate() {
             let sh = format!("shard=\"{i}\"");
@@ -55,7 +68,7 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_cache_swap_bytes_out_total", &sh, c.swap_bytes_out);
             prom_line(&mut o, "aria_cache_swap_stops_total", &sh, c.swap_stops);
             prom_line(&mut o, "aria_cache_swap_starts_total", &sh, c.swap_starts);
-            prom_hist(&mut o, "aria_cache_verify_depth_levels", &sh, &c.verify_depth);
+            prom_hist(&mut o, &mut typed, "aria_cache_verify_depth_levels", &sh, &c.verify_depth);
             prom_line(&mut o, "aria_merkle_hash_ops_total", &sh, s.merkle.hash_ops);
             prom_line(&mut o, "aria_merkle_verified_nodes_total", &sh, s.merkle.verified_nodes);
             let m = &s.mem;
@@ -66,10 +79,16 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_mem_live_bytes", &sh, m.live_bytes);
             prom_line(&mut o, "aria_mem_free_buffer_bytes", &sh, m.free_buffer_bytes);
             let st = &s.store;
-            prom_hist(&mut o, "aria_store_get_latency_nanos", &sh, &st.get_latency);
-            prom_hist(&mut o, "aria_store_put_latency_nanos", &sh, &st.put_latency);
-            prom_hist(&mut o, "aria_store_delete_latency_nanos", &sh, &st.delete_latency);
-            prom_hist(&mut o, "aria_store_batch_size_ops", &sh, &st.batch_size);
+            prom_hist(&mut o, &mut typed, "aria_store_get_latency_nanos", &sh, &st.get_latency);
+            prom_hist(&mut o, &mut typed, "aria_store_put_latency_nanos", &sh, &st.put_latency);
+            prom_hist(
+                &mut o,
+                &mut typed,
+                "aria_store_delete_latency_nanos",
+                &sh,
+                &st.delete_latency,
+            );
+            prom_hist(&mut o, &mut typed, "aria_store_batch_size_ops", &sh, &st.batch_size);
             prom_line(&mut o, "aria_store_index_probes_total", &sh, st.index_probes);
             prom_line(&mut o, "aria_store_keys_live", &sh, st.keys_live);
             prom_line(&mut o, "aria_store_counter_live", &sh, st.counter_live);
@@ -77,7 +96,7 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_store_health_state", &sh, st.health_state);
             prom_line(&mut o, "aria_store_failovers_total", &sh, st.failovers);
             prom_line(&mut o, "aria_store_resyncs_total", &sh, st.resyncs);
-            prom_hist(&mut o, "aria_store_resync_bytes", &sh, &st.resync_bytes);
+            prom_hist(&mut o, &mut typed, "aria_store_resync_bytes", &sh, &st.resync_bytes);
             prom_line(&mut o, "aria_store_replica_role", &sh, st.replica_role);
             prom_line(&mut o, "aria_store_replica_lag_keys", &sh, st.replica_lag);
             prom_line(&mut o, "aria_store_hot_entries", &sh, st.hot_entries);
@@ -85,7 +104,13 @@ impl TelemetrySnapshot {
             prom_line(&mut o, "aria_store_migrations_total", &sh, st.migrations);
             prom_line(&mut o, "aria_store_compactions_total", &sh, st.compactions);
             prom_line(&mut o, "aria_store_checkpoints_total", &sh, st.checkpoints);
-            prom_hist(&mut o, "aria_store_cold_read_latency_nanos", &sh, &st.cold_read_latency);
+            prom_hist(
+                &mut o,
+                &mut typed,
+                "aria_store_cold_read_latency_nanos",
+                &sh,
+                &st.cold_read_latency,
+            );
             prom_line(&mut o, "aria_store_admission_shed_total", &sh, st.admission_shed);
             prom_line(
                 &mut o,
@@ -106,7 +131,13 @@ impl TelemetrySnapshot {
         }
         for (i, h) in self.net.op_latency.iter().enumerate() {
             let name = NET_OP_NAMES.get(i).copied().unwrap_or("unknown");
-            prom_hist(&mut o, "aria_net_op_latency_nanos", &format!("op=\"{name}\""), h);
+            prom_hist(
+                &mut o,
+                &mut typed,
+                "aria_net_op_latency_nanos",
+                &format!("op=\"{name}\""),
+                h,
+            );
         }
         prom_line(&mut o, "aria_net_inflight", "", self.net.inflight);
         prom_line(&mut o, "aria_net_frame_bytes_in_total", "", self.net.frame_bytes_in);
@@ -119,7 +150,13 @@ impl TelemetrySnapshot {
             self.net.timed_out_connections,
         );
         prom_line(&mut o, "aria_net_reactor_conns", "", self.net.reactor_conns);
-        prom_hist(&mut o, "aria_net_tick_batch_size_ops", "", &self.net.tick_batch_size);
+        prom_hist(
+            &mut o,
+            &mut typed,
+            "aria_net_tick_batch_size_ops",
+            "",
+            &self.net.tick_batch_size,
+        );
         prom_line(&mut o, "aria_net_reactor_ops_total", "", self.net.reactor_ops);
         prom_line(&mut o, "aria_net_reactor_submissions_total", "", self.net.reactor_submissions);
         prom_line(
@@ -137,6 +174,21 @@ impl TelemetrySnapshot {
         }
         prom_line(&mut o, "aria_slow_ops", "", self.slow_ops.len() as u64);
         prom_line(&mut o, "aria_slow_ops_dropped_total", "", self.slow_dropped);
+        let t = &self.traces;
+        prom_line(&mut o, "aria_trace_spans_recorded_total", "", t.spans_recorded);
+        prom_line(&mut o, "aria_trace_cold_spans_total", "", t.cold_spans);
+        prom_line(&mut o, "aria_trace_hot_spans_total", "", t.hot_spans);
+        // Index 0 (decode) has no preceding stage and stays empty.
+        for (i, h) in t.stage_nanos.iter().enumerate().skip(1) {
+            let name = STAGE_NAMES.get(i).copied().unwrap_or("unknown");
+            prom_hist(
+                &mut o,
+                &mut typed,
+                "aria_trace_stage_nanos",
+                &format!("stage=\"{name}\""),
+                h,
+            );
+        }
         o
     }
 
@@ -199,10 +251,30 @@ impl TelemetrySnapshot {
             o.push_str(&format!("\"{name}\":{v}"));
         }
         o.push_str(&format!(
-            "}},\"slow_ops\":{},\"slow_ops_dropped\":{}}}",
+            "}},\"slow_ops\":{},\"slow_ops_dropped\":{}",
             self.slow_ops.len(),
             self.slow_dropped
         ));
+        let t = &self.traces;
+        o.push_str(&format!(
+            ",\"traces\":{{\"spans_recorded\":{},\"cold_spans\":{},\"hot_spans\":{},\
+             \"stage_nanos\":{{",
+            t.spans_recorded, t.cold_spans, t.hot_spans
+        ));
+        let mut first = true;
+        for (i, h) in t.stage_nanos.iter().enumerate() {
+            if h.count() == 0 {
+                continue;
+            }
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            let name = STAGE_NAMES.get(i).copied().unwrap_or("unknown");
+            o.push_str(&format!("\"{name}\":"));
+            hist_json(&mut o, h);
+        }
+        o.push_str("}}}");
         o
     }
 }
@@ -303,10 +375,31 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
 #[cfg(test)]
 mod tests {
     use crate::hub::TelemetryHub;
+    use crate::span::{stage, Span};
+
+    fn traced_hub() -> TelemetryHub {
+        let hub = TelemetryHub::with_shards(1);
+        let mut stages = [0u64; stage::COUNT];
+        for (i, s) in stages.iter_mut().enumerate() {
+            *s = 50 + i as u64 * 25;
+        }
+        hub.traces.publish(&Span {
+            trace_id: 99,
+            shard: 0,
+            kind: 1,
+            outcome: 0,
+            ops: 1,
+            stages,
+            verify_depth: 2,
+            cold_reads: 0,
+            hot_hits: 1,
+        });
+        hub
+    }
 
     #[test]
     fn exposition_mentions_core_series() {
-        let hub = TelemetryHub::with_shards(1);
+        let hub = traced_hub();
         hub.shards[0].cache.hits.inc();
         hub.shards[0].cache.misses.inc();
         hub.shards[0].cache.verify_depth.observe(4);
@@ -325,20 +418,62 @@ mod tests {
             "aria_store_admission_shed_total{shard=\"0\"}",
             "aria_store_queue_delay_nanos{shard=\"0\"}",
             "aria_chaos_injected_total{site=\"shard_stall\"}",
+            "aria_slow_ops_dropped_total",
+            "aria_trace_spans_recorded_total",
+            "aria_trace_hot_spans_total",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        if crate::enabled() {
+            assert!(
+                text.contains("aria_trace_stage_nanos_bucket{stage=\"admit\",le="),
+                "missing trace stage histogram in:\n{text}"
+            );
         }
     }
 
     #[test]
+    fn histogram_families_carry_type_metadata_once() {
+        let hub = traced_hub();
+        hub.shards[0].cache.hits.inc();
+        hub.shards[0].cache.verify_depth.observe(4);
+        hub.net.op_latency[1].observe(2048);
+        hub.net.op_latency[2].observe(4096);
+        let text = hub.snapshot().render_prometheus();
+        // Every emitted bucket family is declared, exactly once, before
+        // its first sample.
+        let mut families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.split("_bucket{").next().filter(|_| l.contains("_bucket{")))
+            .collect();
+        families.sort_unstable();
+        families.dedup();
+        assert!(!families.is_empty());
+        for fam in families {
+            let ty = format!("# TYPE {fam} histogram");
+            assert_eq!(text.matches(&ty).count(), 1, "family {fam} not declared once:\n{text}");
+            let decl = text.find(&ty).unwrap();
+            let first_sample = text.find(&format!("{fam}_bucket{{")).unwrap();
+            assert!(decl < first_sample, "TYPE for {fam} appears after its first sample");
+        }
+        // The per-op net histogram is declared once even though it is
+        // emitted for several labels.
+        assert_eq!(text.matches("# TYPE aria_net_op_latency_nanos histogram").count(), 1);
+    }
+
+    #[test]
     fn json_is_balanced() {
-        let hub = TelemetryHub::with_shards(2);
-        hub.shards[1].store.get_latency.observe(777);
-        hub.shards[1].store.record_violation(1);
+        let hub = traced_hub();
+        hub.shards[0].store.get_latency.observe(777);
+        hub.shards[0].store.record_violation(1);
         let j = hub.snapshot().to_json();
         assert_eq!(j.matches('{').count(), j.matches('}').count(), "unbalanced braces: {j}");
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"shards\":["));
+        assert!(j.contains("\"traces\":{\"spans_recorded\":"));
+        if crate::enabled() {
+            assert!(j.contains("\"admit\":{\"buckets\":"));
+        }
     }
 }

@@ -14,6 +14,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+use crate::recorder::FlightRecorder;
+use crate::span::{TraceHub, TraceSummary, DEFAULT_TRACE_CAPACITY};
 use crate::trace::{SlowOp, SlowOpTracer};
 
 /// Version of the snapshot layout carried on the wire.
@@ -30,8 +32,10 @@ use crate::trace::{SlowOp, SlowOpTracer};
 /// `watchdog_quarantines`, `queue_delay_ns` to the store section;
 /// `conns_disconnected_slow`, `ops_shed_deadline`, `ops_shed_overload`
 /// to the net section) and grew the chaos site table to 12
-/// (`shard_stall`).
-pub const SNAPSHOT_VERSION: u32 = 5;
+/// (`shard_stall`). v6 grew the net opcode table to 11 (`trace`) and
+/// added the `traces` section (span counts plus per-stage latency
+/// histograms).
+pub const SNAPSHOT_VERSION: u32 = 6;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -69,7 +73,7 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
 ];
 
 /// Number of tracked wire opcodes.
-pub const NET_OPS: usize = 10;
+pub const NET_OPS: usize = 11;
 
 /// Stable names for the tracked wire opcodes.
 pub const NET_OP_NAMES: [&str; NET_OPS] = [
@@ -83,6 +87,7 @@ pub const NET_OP_NAMES: [&str; NET_OPS] = [
     "health",
     "metrics",
     "hello",
+    "trace",
 ];
 
 /// Per-shard health-event ring capacity.
@@ -992,7 +997,8 @@ impl ShardSnapshot {
 }
 
 /// Process-wide telemetry: per-shard bundles plus the net and chaos
-/// sections and the slow-op tracer.
+/// sections, the slow-op tracer, the span rings, and the flight
+/// recorder.
 pub struct TelemetryHub {
     /// Per-shard bundles.
     pub shards: Vec<Arc<ShardTelemetry>>,
@@ -1002,18 +1008,18 @@ pub struct TelemetryHub {
     pub chaos: Arc<ChaosTelemetry>,
     /// Slow-op ring.
     pub slow_ops: Arc<SlowOpTracer>,
+    /// Per-shard span rings (end-to-end request tracing).
+    pub traces: Arc<TraceHub>,
+    /// Black-box event ring + anomaly dump renderer.
+    pub recorder: Arc<FlightRecorder>,
 }
 
 impl TelemetryHub {
     /// Hub over existing per-shard bundles (e.g. from a running
     /// `ShardedStore`).
     pub fn new(shards: Vec<Arc<ShardTelemetry>>) -> Self {
-        TelemetryHub {
-            shards,
-            net: Arc::new(NetTelemetry::default()),
-            chaos: Arc::new(ChaosTelemetry::default()),
-            slow_ops: Arc::new(SlowOpTracer::default()),
-        }
+        let slow_ops = Arc::new(SlowOpTracer::default());
+        Self::with_parts(shards, slow_ops)
     }
 
     /// Hub with `n` freshly created shard bundles.
@@ -1024,11 +1030,14 @@ impl TelemetryHub {
     /// Hub over existing shard bundles *and* an existing slow-op tracer
     /// (the one the store's workers already record into).
     pub fn with_parts(shards: Vec<Arc<ShardTelemetry>>, slow_ops: Arc<SlowOpTracer>) -> Self {
+        let n = shards.len();
         TelemetryHub {
             shards,
             net: Arc::new(NetTelemetry::default()),
             chaos: Arc::new(ChaosTelemetry::default()),
             slow_ops,
+            traces: Arc::new(TraceHub::new(n.max(1), DEFAULT_TRACE_CAPACITY)),
+            recorder: Arc::new(FlightRecorder::default()),
         }
     }
 
@@ -1043,6 +1052,7 @@ impl TelemetryHub {
             chaos: self.chaos.snapshot(),
             slow_ops,
             slow_dropped,
+            traces: self.traces.summary(),
         }
     }
 }
@@ -1064,6 +1074,8 @@ pub struct TelemetrySnapshot {
     pub slow_ops: Vec<SlowOp>,
     /// Slow ops dropped from the ring.
     pub slow_dropped: u64,
+    /// Trace section: sampled-span volume and per-stage latency.
+    pub traces: TraceSummary,
 }
 
 impl Default for TelemetrySnapshot {
@@ -1076,6 +1088,7 @@ impl Default for TelemetrySnapshot {
             chaos: ChaosSnapshot::default(),
             slow_ops: Vec::new(),
             slow_dropped: 0,
+            traces: TraceSummary::default(),
         }
     }
 }
@@ -1115,6 +1128,7 @@ impl TelemetrySnapshot {
                 .cloned()
                 .collect(),
             slow_dropped: self.slow_dropped.saturating_sub(earlier.slow_dropped),
+            traces: self.traces.delta(&earlier.traces),
         }
     }
 
@@ -1151,6 +1165,9 @@ impl TelemetrySnapshot {
             hists.push(("net_op_latency", h));
         }
         hists.push(("tick_batch_size", &self.net.tick_batch_size));
+        for h in &self.traces.stage_nanos {
+            hists.push(("trace_stage_nanos", h));
+        }
         for (name, h) in hists {
             let (lo, hi) = h.sum_bounds();
             debug_assert!(

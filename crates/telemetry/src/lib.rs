@@ -29,9 +29,11 @@ mod codec;
 mod export;
 mod hub;
 mod metrics;
+mod recorder;
+mod span;
 mod trace;
 
-pub use codec::{CodecError, MAGIC};
+pub use codec::{decode_spans, encode_spans, CodecError, MAGIC, SPANS_MAGIC};
 pub use hub::{
     health_name, unix_millis, CacheSnapshot, CacheTelemetry, ChaosSnapshot, ChaosTelemetry,
     HealthTransition, MemSnapshot, MemTelemetry, MerkleSnapshot, MerkleTelemetry, NetSnapshot,
@@ -41,6 +43,14 @@ pub use hub::{
 };
 pub use metrics::{
     bucket_bound, bucket_mid, bucket_of, Counter, Gauge, HistSnapshot, Histogram, BUCKETS,
+};
+pub use recorder::{
+    span_json, FlightEvent, FlightEventKind, FlightRecorder, DEFAULT_DUMP_INTERVAL_MS,
+    DEFAULT_FLIGHT_EVENTS, DEFAULT_SHED_SPIKE, SHARD_NONE,
+};
+pub use span::{
+    clock_nanos, outcome, stage, Span, SpanCell, TraceHub, TraceRing, TraceSummary,
+    DEFAULT_TRACE_CAPACITY, STAGE_NAMES,
 };
 pub use trace::{OpKind, SlowOp, SlowOpTracer, DEFAULT_SLOW_OP_CAPACITY, DEFAULT_SLOW_OP_NANOS};
 

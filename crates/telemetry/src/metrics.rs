@@ -211,6 +211,18 @@ impl Histogram {
         0
     }
 
+    /// Total number of observed samples (sums the bucket counters; 65
+    /// relaxed loads — cheap enough for per-batch attribution deltas).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        }
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+
     /// Point-in-time copy of the buckets and sum. Readers racing
     /// writers may observe a sum slightly out of step with the bucket
     /// counts; a quiesced snapshot is exact.

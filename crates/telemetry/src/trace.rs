@@ -129,15 +129,21 @@ impl SlowOpTracer {
         self.threshold_nanos.store(nanos, Ordering::Relaxed);
     }
 
-    /// Append a slow op (slow path only; takes the ring mutex).
+    /// Append a slow op (slow path only). Never blocks a shard worker:
+    /// if another thread holds the ring mutex the op is dropped and
+    /// counted, rather than stalling execution on a diagnostics buffer.
     pub fn record(&self, mut op: SlowOp) {
         if !crate::enabled() {
             return;
         }
         op.seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut ring = match self.ring.lock() {
+        let mut ring = match self.ring.try_lock() {
             Ok(g) => g,
-            Err(p) => p.into_inner(),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.dropped.inc();
+                return;
+            }
         };
         if ring.len() == self.capacity {
             ring.pop_front();
@@ -192,5 +198,28 @@ mod tests {
             assert!(ops.is_empty());
             assert_eq!(t.threshold_nanos(), u64::MAX);
         }
+    }
+
+    #[test]
+    fn contended_record_drops_and_counts_instead_of_blocking() {
+        if !crate::enabled() {
+            return;
+        }
+        let t = SlowOpTracer::new(100, 8);
+        t.record(op(1000));
+        // Hold the ring mutex from this thread; a record from another
+        // thread must return promptly (drop) rather than deadlock.
+        let guard = t.ring.lock().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| t.record(op(2000))).join().unwrap();
+        });
+        drop(guard);
+        let (ops, dropped) = t.snapshot();
+        assert_eq!(ops.len(), 1, "contended record must not enqueue");
+        assert_eq!(dropped, 1, "contended record must be counted as dropped");
+        // Seq still advanced for the dropped op, so later entries sort after it.
+        t.record(op(3000));
+        let (ops, _) = t.snapshot();
+        assert_eq!(ops.last().unwrap().seq, 2);
     }
 }
