@@ -116,6 +116,17 @@ fn role_name(role: u64) -> String {
     }
 }
 
+/// Migration-state gauge: which side of an in-flight elastic migration
+/// this shard is on (0 neither, 1 source, 2 target).
+fn migration_name(state: u64) -> String {
+    match state {
+        0 => "-".to_string(),
+        1 => "src".to_string(),
+        2 => "tgt".to_string(),
+        other => format!("?{other}"),
+    }
+}
+
 fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs: f64, clear: bool) {
     if clear {
         print!("\x1b[2J\x1b[H");
@@ -136,6 +147,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
             health_name(d.store.health_state as u8).to_string(),
             role_name(cum.store.replica_role),
             cum.store.replica_lag.to_string(),
+            cum.store.routing_epoch.to_string(),
+            migration_name(cum.store.migration_state),
             fmt_tput(lat.count() as f64 / secs),
             us(lat.percentile(0.50)),
             us(lat.percentile(0.95)),
@@ -159,6 +172,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
         "-".to_string(),
         "-".to_string(),
         "-".to_string(),
+        cum_agg.store.routing_epoch.to_string(),
+        "-".to_string(),
         fmt_tput(lat.count() as f64 / secs),
         us(lat.percentile(0.50)),
         us(lat.percentile(0.95)),
@@ -176,8 +191,8 @@ fn render(addr: &str, snap: &TelemetrySnapshot, delta: &TelemetrySnapshot, secs:
     print_table(
         "shards",
         &[
-            "shard", "state", "role", "lag", "ops/s", "p50us", "p95us", "p99us", "hit%", "keys",
-            "hot", "cold", "evict/s", "qdly ms", "shed/s", "viol", "fover",
+            "shard", "state", "role", "lag", "epoch", "mig", "ops/s", "p50us", "p95us", "p99us",
+            "hit%", "keys", "hot", "cold", "evict/s", "qdly ms", "shed/s", "viol", "fover",
         ],
         &rows,
     );

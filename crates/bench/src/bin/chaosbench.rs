@@ -62,6 +62,35 @@
 //!
 //! Results go to `<out>/failover.json`; the committed
 //! `BENCH_failover.json` is a snapshot of a full default run.
+//!
+//! ## Reshard mode (`--reshard`)
+//!
+//! With `--reshard`, the harness exercises the *elastic resharding*
+//! contract: an elastic store starts with `--shards` active groups
+//! (twice that many sized), zipfian clients with routing caches churn
+//! it, and a conductor splits every group (4 → 8 by default), then
+//! merges them back — while the chaos engine tampers with migration
+//! copy streams ([`FaultSite::MigrationStreamTamper`]), kills targets
+//! mid-copy ([`FaultSite::TargetKill`]) and replays data ops stamped
+//! with pre-migration routing epochs
+//! ([`FaultSite::StaleEpochReplay`]). The run asserts
+//!
+//! * **zero acked-write loss across every flip** — the per-key model
+//!   plus a final sweep: no acknowledged-then-wrong, no
+//!   acknowledged-then-lost;
+//! * **aborts are clean** — a scripted tampered-stream migration and a
+//!   scripted target-kill migration both abort with the old epoch
+//!   still serving, the target scrubbed, and an anomaly flight dump
+//!   recorded;
+//! * **stale claims are refused** — every replayed stale-epoch frame
+//!   draws a typed `WRONG_SHARD` refusal, never data from the old
+//!   owner, while a refreshed claim on the same key still succeeds;
+//! * **convergence** — every planned migration commits (retrying
+//!   through the chaos schedule), the epoch advances once per commit,
+//!   and the group count returns to where it started.
+//!
+//! Results go to `<out>/reshard.json`; the committed
+//! `BENCH_reshard.json` is a snapshot of a full default run.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -323,7 +352,8 @@ fn deliver(
         // re-sync hook; the durability-log sites belong to durabench,
         // which owns a tiered store with an on-disk log to strike;
         // shard stalls belong to the overload tests, which own the
-        // watchdog that must catch them.
+        // watchdog that must catch them; the migration sites belong to
+        // the reshard mode's fault hook and raw replay probes.
         FaultSite::EntryFlip
         | FaultSite::TornWrite
         | FaultSite::PrimaryKill
@@ -331,7 +361,10 @@ fn deliver(
         | FaultSite::LogBitFlip
         | FaultSite::TornAppend
         | FaultSite::StaleCheckpointRollback
-        | FaultSite::ShardStall => false,
+        | FaultSite::ShardStall
+        | FaultSite::MigrationStreamTamper
+        | FaultSite::TargetKill
+        | FaultSite::StaleEpochReplay => false,
     }
 }
 
@@ -339,6 +372,9 @@ fn main() {
     let args = Args::parse();
     if args.flag("failover") {
         return run_failover(&args);
+    }
+    if args.flag("reshard") {
+        return run_reshard(&args);
     }
     let smoke = args.flag("smoke");
     let shards = args.get("shards", 4usize);
@@ -1404,6 +1440,660 @@ fn run_failover(args: &Args) {
     } else {
         for f in &failures {
             eprintln!("chaosbench[failover]: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reshard mode
+// ---------------------------------------------------------------------------
+
+/// One reshard-mode client: the failover loop plus routing-cache
+/// evidence — runs until the conductor finishes (and its op floor is
+/// met) so migrations always overlap live traffic, and reports the
+/// routing epoch it ended on (> 1 proves a `WRONG_SHARD` refusal
+/// refreshed the cache mid-run).
+fn run_reshard_client(
+    addr: std::net::SocketAddr,
+    base: u64,
+    range: u64,
+    min_ops: u64,
+    seed: u64,
+    done: Arc<AtomicBool>,
+) -> (ClientReport, HashMap<u64, Vec<u64>>, u64) {
+    let config = ClientConfig {
+        retry_budget: 64,
+        op_deadline: Duration::from_secs(20),
+        retry_backoff: Duration::from_millis(2),
+        ..ClientConfig::default()
+    };
+    let mut client = AriaClient::connect(addr, config).expect("connect reshard client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ScrambledZipfian::new(range, 0.99);
+    let mut model: HashMap<u64, KeyModel> = HashMap::new();
+    let mut report = ClientReport::default();
+    report.latencies_us.reserve(min_ops as usize);
+
+    while !done.load(Ordering::Relaxed) || report.ops < min_ops {
+        let key_id = base + zipf.next(&mut rng);
+        let key = encode_key(key_id);
+        let entry =
+            model.entry(key_id).or_insert(KeyModel { acceptable: vec![0], next_version: 1 });
+        let is_get = rng.gen_range(0..100u64) < READ_RATIO_PCT;
+        let start = Instant::now();
+        if is_get {
+            match client.get(&key) {
+                Ok(Some(bytes)) => match decode_value(&bytes) {
+                    Some((k, v)) if k == key_id && entry.acceptable.contains(&v) => {
+                        entry.acceptable = vec![v];
+                    }
+                    _ => report.wrong_reads += 1,
+                },
+                Ok(None) => report.wrong_reads += 1,
+                Err(e) => classify(&mut report, &e),
+            }
+        } else {
+            let v = entry.next_version;
+            entry.next_version += 1;
+            match client.put(&key, &value_for(key_id, v)) {
+                Ok(()) => entry.acceptable = vec![v],
+                Err(e) => {
+                    // The put may or may not have applied before the
+                    // error: both versions stay plausible.
+                    entry.acceptable.push(v);
+                    classify(&mut report, &e);
+                }
+            }
+        }
+        report.latencies_us.push(start.elapsed().as_secs_f64() * 1e6);
+        report.ops += 1;
+    }
+    let epoch = client.routing_epoch();
+    let acked = model.into_iter().map(|(k, m)| (k, m.acceptable)).collect();
+    (report, acked, epoch)
+}
+
+/// Replay one GET for `key` over a raw v6 connection, claiming
+/// `claim_epoch` as the routing epoch — a captured-frame replay from
+/// before a migration. Returns the server's answer.
+fn replay_with_claim(
+    addr: std::net::SocketAddr,
+    key: &[u8],
+    claim_epoch: u64,
+) -> Option<aria_net::proto::Response> {
+    use aria_net::proto::{self, Decoded, Request, Response, TraceContext};
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    let read_one = |stream: &mut std::net::TcpStream, version: u16| -> Option<Response> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Decoded::Frame(_, _, resp) =
+                proto::decode_response_versioned(&buf, version).ok()?
+            {
+                return Some(resp);
+            }
+            let n = stream.read(&mut chunk).ok()?;
+            if n == 0 {
+                return None;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    };
+    let mut out = Vec::new();
+    proto::encode_request(
+        &mut out,
+        1,
+        &Request::Hello { version: proto::PROTOCOL_VERSION, features: proto::features::SUPPORTED },
+    )
+    .ok()?;
+    stream.write_all(&out).ok()?;
+    let Response::HelloAck { version, .. } = read_one(&mut stream, proto::BASE_PROTOCOL_VERSION)?
+    else {
+        return None;
+    };
+    out.clear();
+    proto::encode_request_routed(
+        &mut out,
+        2,
+        &Request::Get { key: key.to_vec() },
+        0,
+        TraceContext::NONE,
+        claim_epoch,
+        version,
+    )
+    .ok()?;
+    stream.write_all(&out).ok()?;
+    read_one(&mut stream, version)
+}
+
+/// Drive one migration to commit through the chaos schedule: start it,
+/// wait for the driver to settle, retry on abort. Returns the number
+/// of aborts ridden through, or `None` if `deadline` passed first.
+fn drive_to_commit(
+    client: &mut AriaClient,
+    mode: aria_store::ReshardMode,
+    source: u32,
+    target: u32,
+    deadline: Instant,
+) -> Option<u64> {
+    let mut aborts = 0u64;
+    loop {
+        let before = client.reshard_status().expect("reshard status").committed;
+        let started = match mode {
+            aria_store::ReshardMode::Split => client.start_split(source, target),
+            aria_store::ReshardMode::Merge => client.start_merge(source, target),
+        };
+        if started.is_err() {
+            // Most likely "a migration is already running" (e.g. the
+            // previous attempt's driver has not settled yet).
+            if Instant::now() > deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let settled = loop {
+            let st = client.reshard_status().expect("reshard status");
+            if st.state != aria_store::ReshardState::Running.as_u8() {
+                break st;
+            }
+            if Instant::now() > deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(2));
+        };
+        if settled.committed > before {
+            return Some(aborts);
+        }
+        aborts += 1;
+        if Instant::now() > deadline {
+            return None;
+        }
+    }
+}
+
+/// Await the single-flight migration driver settling out of `Running`.
+fn await_reshard_settled(client: &mut AriaClient, deadline: Instant) -> aria_net::ReshardReply {
+    loop {
+        let st = client.reshard_status().expect("reshard status");
+        if st.state != aria_store::ReshardState::Running.as_u8() {
+            return st;
+        }
+        assert!(Instant::now() < deadline, "migration never settled");
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn run_reshard(args: &Args) {
+    use aria_store::{ReshardFault, ReshardMode, ReshardState};
+
+    let smoke = args.flag("smoke");
+    let start_groups = args.get("shards", 4usize);
+    let max_groups = start_groups * 2;
+    let clients = args.get("clients", 4usize);
+    let keys = args.get("keys", 8_192u64);
+    let ops = args.get("ops", if smoke { 24_000u64 } else { 160_000 });
+    let splits = args.get("splits", if smoke { 1u64 } else { start_groups as u64 }) as usize;
+    assert!(splits >= 1 && splits <= start_groups, "--splits must be in 1..=--shards");
+    let watchdog_secs = args.get("watchdog-secs", if smoke { 300u64 } else { 1_800 });
+    let tamper_rate = args.get("tamper-rate", 2_500u32);
+    let kill_rate = args.get("kill-rate", 800u32);
+    let budget = args.get("budget", 32u64);
+    let seed = args.seed();
+    let out_dir = args.out_dir();
+    let listen = args.get_str("listen", "127.0.0.1:0");
+    let net_engine = Engine::parse(&args.get_str("engine", "reactor"))
+        .expect("--engine must be 'reactor' or 'threads'");
+
+    println!(
+        "chaosbench[reshard]: groups={start_groups}->{} clients={clients} keys={keys} \
+         ops>={ops} splits={splits} tamper-rate={tamper_rate} kill-rate={kill_rate} seed={seed}",
+        start_groups + splits,
+    );
+
+    // Injected target kills panic a worker thread on purpose; keep the
+    // expected backtraces quiet while any other panic prints as usual.
+    const KILL_MSG: &str = "injected reshard target kill";
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains(KILL_MSG))
+            .or_else(|| info.payload().downcast_ref::<String>().map(|s| s.contains(KILL_MSG)))
+            .unwrap_or(false);
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    // --- watchdog: no hang, ever -------------------------------------------
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(watchdog_secs);
+            while !done.load(Ordering::Relaxed) {
+                if Instant::now() > deadline {
+                    eprintln!(
+                        "chaosbench[reshard]: WATCHDOG — run exceeded {watchdog_secs}s, aborting"
+                    );
+                    std::process::exit(2);
+                }
+                thread::sleep(Duration::from_millis(100));
+            }
+        });
+    }
+
+    // --- elastic store + chaos-consulting fault hook ------------------------
+    let per_shard_keys = (keys / start_groups as u64) * 2 + 1_024;
+    let store = Arc::new(
+        ShardedStore::with_elastic(start_groups, max_groups, 1, 64, move |_| {
+            let suite = Arc::new(aria_crypto::FastSuite::from_master(&[0x42; 16]))
+                as Arc<dyn aria_crypto::CipherSuite>;
+            AriaHash::with_suite(
+                StoreConfig::for_keys(per_shard_keys),
+                Arc::new(Enclave::with_default_epc()),
+                Some(suite),
+            )
+        })
+        .expect("construct elastic store"),
+    );
+
+    let plan = FaultPlan::new(seed)
+        .with_rate(FaultSite::MigrationStreamTamper, tamper_rate)
+        .with_rate(FaultSite::TargetKill, kill_rate)
+        .with_rate(FaultSite::StaleEpochReplay, FaultPlan::RATE_SCALE)
+        .with_budget(budget);
+    let engine = ChaosEngine::new(plan);
+    engine.arm(true);
+    // The migration driver consults this hook at its two injection
+    // points. Scripted one-shot faults take precedence (they prove the
+    // abort contract deterministically); otherwise the seed-scheduled
+    // engine decides, but only while ride-along chaos is armed, so the
+    // scripted phases observe exactly the fault they injected.
+    let force_tamper = Arc::new(AtomicBool::new(false));
+    let force_kill = Arc::new(AtomicBool::new(false));
+    let ride_along = Arc::new(AtomicBool::new(false));
+    let tamper_fires = Arc::new(AtomicU64::new(0));
+    let kill_fires = Arc::new(AtomicU64::new(0));
+    {
+        let engine = Arc::clone(&engine);
+        let (force_tamper, force_kill) = (Arc::clone(&force_tamper), Arc::clone(&force_kill));
+        let ride_along = Arc::clone(&ride_along);
+        let (tamper_fires, kill_fires) = (Arc::clone(&tamper_fires), Arc::clone(&kill_fires));
+        store.set_reshard_fault_hook(move |f| {
+            let (forced, site, fires) = match f {
+                ReshardFault::TamperStream => {
+                    (&force_tamper, FaultSite::MigrationStreamTamper, &tamper_fires)
+                }
+                ReshardFault::KillTarget => (&force_kill, FaultSite::TargetKill, &kill_fires),
+            };
+            let fire = forced.swap(false, Ordering::SeqCst)
+                || (ride_along.load(Ordering::SeqCst) && engine.try_inject(site).is_some());
+            if fire {
+                fires.fetch_add(1, Ordering::SeqCst);
+            }
+            fire
+        });
+    }
+
+    // --- preload: client keys + probe keys the clients never write ----------
+    let probe_count = 64u64;
+    let total_keys = keys + probe_count;
+    let mut batch = Vec::with_capacity(512);
+    for id in 0..total_keys {
+        batch.push(BatchOp::Put(encode_key(id).to_vec(), value_for(id, 0)));
+        if batch.len() == 512 {
+            store.run_batch(std::mem::take(&mut batch));
+        }
+    }
+    store.run_batch(batch);
+    let probe_ids: Vec<u64> = (keys..total_keys).collect();
+
+    // --- server (flight recorder armed: aborts must leave a post-mortem) ----
+    let flight_dir = std::path::PathBuf::from(format!("{out_dir}/flight-reshard"));
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    let server = AriaServer::bind(
+        listen.as_str(),
+        Arc::clone(&store),
+        ServerConfig::builder()
+            .engine(net_engine)
+            .max_connections(clients + 8)
+            .flight_dir(Some(flight_dir.clone()))
+            .build()
+            .expect("valid reshard server config"),
+    )
+    .expect("bind reshard server");
+    let addr = server.local_addr();
+    println!("chaosbench[reshard]: serving on {addr} (engine={net_engine})");
+    engine.set_telemetry(Arc::clone(&server.telemetry().chaos));
+
+    // --- epoch observer: watches the control plane from outside -------------
+    let poll_done = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let poll_done = Arc::clone(&poll_done);
+        thread::spawn(move || {
+            let mut client =
+                AriaClient::connect(addr, ClientConfig::default()).expect("connect epoch poller");
+            let mut max_epoch = 0u64;
+            let mut running_polls = 0u64;
+            let mut serves_during_migration = 0u64;
+            let mut pulse_rng: u64 = 0x6b6b_2121;
+            while !poll_done.load(Ordering::Relaxed) {
+                if let Ok(st) = client.reshard_status() {
+                    max_epoch = max_epoch.max(st.epoch);
+                    if st.state == aria_store::ReshardState::Running.as_u8() {
+                        running_polls += 1;
+                        // The store must keep serving mid-migration:
+                        // probe a key the clients never touch.
+                        pulse_rng = pulse_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let id = keys + pulse_rng % probe_count;
+                        if let Ok(Some(bytes)) = client.get(&encode_key(id)) {
+                            if decode_value(&bytes) == Some((id, 0)) {
+                                serves_during_migration += 1;
+                            }
+                        }
+                    }
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            (max_epoch, running_polls, serves_during_migration)
+        })
+    };
+
+    // --- clients: zipfian churn across every flip ----------------------------
+    let start = Instant::now();
+    let ops_per_client = ops / clients as u64;
+    let keys_per_client = keys / clients as u64;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            let base = c as u64 * keys_per_client;
+            let cseed = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c as u64 + 1);
+            thread::spawn(move || {
+                run_reshard_client(addr, base, keys_per_client, ops_per_client, cseed, done)
+            })
+        })
+        .collect();
+
+    // --- conductor: scripted aborts, then the split/merge schedule ----------
+    let mut ctl = AriaClient::connect(addr, ClientConfig::default()).expect("connect conductor");
+    let deadline = Instant::now() + Duration::from_secs(watchdog_secs.saturating_sub(60).max(60));
+    let probe_key = encode_key(probe_ids[0]);
+    let probe_serves = |ctl: &mut AriaClient| -> bool {
+        matches!(ctl.get(&probe_key), Ok(Some(bytes))
+            if decode_value(&bytes) == Some((probe_ids[0], 0)))
+    };
+
+    // Scripted abort #1: a tampered copy stream. The content-root
+    // handoff check must catch it, the old epoch must keep serving, and
+    // the half-built target must leave no trace.
+    let before = ctl.reshard_status().expect("reshard status");
+    force_tamper.store(true, Ordering::SeqCst);
+    ctl.start_split(0, start_groups as u32).expect("start tampered split");
+    let st = await_reshard_settled(&mut ctl, deadline);
+    let tamper_abort_clean = st.state == ReshardState::Aborted.as_u8()
+        && st.aborted == before.aborted + 1
+        && st.committed == before.committed
+        && st.epoch == before.epoch
+        && store.active_shards() == start_groups
+        && store.routing().owned_slots(start_groups).is_empty()
+        && matches!(
+            store.reshard_status().last_error,
+            Some(aria_store::StoreError::ReplicaDiverged { .. })
+        )
+        && probe_serves(&mut ctl);
+    println!(
+        "chaosbench[reshard]: scripted tamper abort {} (epoch {} unchanged)",
+        if tamper_abort_clean { "clean" } else { "DIRTY" },
+        st.epoch,
+    );
+
+    // Scripted abort #2: the target's primary dies mid-copy. Same
+    // contract: abort, no epoch movement, no target residue.
+    let before = ctl.reshard_status().expect("reshard status");
+    force_kill.store(true, Ordering::SeqCst);
+    ctl.start_split(0, start_groups as u32).expect("start killed split");
+    let st = await_reshard_settled(&mut ctl, deadline);
+    let kill_abort_clean = st.state == ReshardState::Aborted.as_u8()
+        && st.aborted == before.aborted + 1
+        && st.committed == before.committed
+        && st.epoch == before.epoch
+        && store.active_shards() == start_groups
+        && store.routing().owned_slots(start_groups).is_empty()
+        && probe_serves(&mut ctl);
+    println!(
+        "chaosbench[reshard]: scripted target-kill abort {} (epoch {} unchanged)",
+        if kill_abort_clean { "clean" } else { "DIRTY" },
+        st.epoch,
+    );
+
+    // The split/merge schedule, with seed-scheduled tampering and kills
+    // riding along (each abort is retried until the migration commits).
+    ride_along.store(true, Ordering::SeqCst);
+    let mut ride_along_aborts = 0u64;
+    let mut commits = 0u64;
+    for i in 0..splits {
+        let (s, t) = (i as u32, (start_groups + i) as u32);
+        let aborts = drive_to_commit(&mut ctl, ReshardMode::Split, s, t, deadline)
+            .unwrap_or_else(|| panic!("split {s}->{t} never committed"));
+        ride_along_aborts += aborts;
+        commits += 1;
+        println!("chaosbench[reshard]: split {s}->{t} committed after {aborts} abort(s)");
+    }
+
+    // Stale-epoch replays: frames captured before the splits, played
+    // back against the post-split table. Every one must draw a typed
+    // WRONG_SHARD refusal; a refreshed claim on the same key must work.
+    let moved_key = (0..total_keys)
+        .map(encode_key)
+        .find(|k| store.stale_claim(k, 1).is_some())
+        .expect("splits moved at least one key");
+    let mut replays_attempted = 0u64;
+    let mut replays_refused = 0u64;
+    for _ in 0..8 {
+        if engine.try_inject(FaultSite::StaleEpochReplay).is_none() {
+            continue;
+        }
+        replays_attempted += 1;
+        match replay_with_claim(addr, &moved_key, 1) {
+            Some(aria_net::proto::Response::WrongShard { .. }) => replays_refused += 1,
+            other => eprintln!("chaosbench[reshard]: stale replay was not refused: {other:?}"),
+        }
+    }
+    let fresh_claim_serves = matches!(
+        replay_with_claim(addr, &moved_key, store.routing_epoch()),
+        Some(aria_net::proto::Response::Value(Some(_)))
+    );
+    println!(
+        "chaosbench[reshard]: {replays_refused}/{replays_attempted} stale replays refused, \
+         fresh claim serves={fresh_claim_serves}"
+    );
+
+    for i in (0..splits).rev() {
+        let (s, t) = ((start_groups + i) as u32, i as u32);
+        let aborts = drive_to_commit(&mut ctl, ReshardMode::Merge, s, t, deadline)
+            .unwrap_or_else(|| panic!("merge {s}->{t} never committed"));
+        ride_along_aborts += aborts;
+        commits += 1;
+        println!("chaosbench[reshard]: merge {s}->{t} committed after {aborts} abort(s)");
+    }
+    done.store(true, Ordering::SeqCst);
+
+    // --- join clients, merge models ------------------------------------------
+    let mut report = ClientReport::default();
+    let mut acked: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut max_client_epoch = 0u64;
+    for w in workers {
+        let (r, model, epoch) = w.join().expect("reshard client panicked");
+        report.ops += r.ops;
+        report.wrong_reads += r.wrong_reads;
+        report.integrity_errs += r.integrity_errs;
+        report.destroyed_errs += r.destroyed_errs;
+        report.quarantined_errs += r.quarantined_errs;
+        report.unavailable_errs += r.unavailable_errs;
+        report.transport_errs += r.transport_errs;
+        report.other_errs += r.other_errs;
+        report.latencies_us.extend(r.latencies_us);
+        acked.extend(model); // client key ranges are disjoint
+        max_client_epoch = max_client_epoch.max(epoch);
+    }
+    let elapsed = start.elapsed();
+
+    // --- sweep: every acknowledged write must still be readable --------------
+    let mut sweep_client =
+        AriaClient::connect(addr, ClientConfig { retry_budget: 16, ..ClientConfig::default() })
+            .expect("connect sweep client");
+    let mut sweep_ok = 0u64;
+    let mut sweep_wrong = 0u64;
+    let preloaded = vec![0u64];
+    for id in 0..total_keys {
+        let acceptable = acked.get(&id).unwrap_or(&preloaded);
+        match sweep_client.get(&encode_key(id)) {
+            Ok(Some(bytes)) => match decode_value(&bytes) {
+                Some((k, v)) if k == id && acceptable.contains(&v) => sweep_ok += 1,
+                _ => sweep_wrong += 1,
+            },
+            _ => sweep_wrong += 1,
+        }
+    }
+
+    // --- flight dump: the scripted aborts must leave a post-mortem ----------
+    let dump_deadline = Instant::now() + Duration::from_secs(30);
+    let abort_dump = loop {
+        match newest_flight_dump(&flight_dir) {
+            Some((count, path, dump)) if dump.contains("\"reshard_abort\"") => {
+                println!(
+                    "flight recorder: {count} dump(s), newest {} records the abort",
+                    path.display()
+                );
+                break Some(dump);
+            }
+            _ if Instant::now() > dump_deadline => break None,
+            _ => thread::sleep(Duration::from_millis(100)),
+        }
+    };
+
+    poll_done.store(true, Ordering::SeqCst);
+    let (max_epoch_polled, running_polls, serves_during_migration) =
+        poller.join().expect("epoch poller panicked");
+    let status = store.reshard_status();
+    let telemetry = server.telemetry().snapshot();
+    server.shutdown();
+
+    // --- verdict --------------------------------------------------------------
+    let final_epoch = status.epoch;
+    report.latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let p50 = percentile(&report.latencies_us, 0.50);
+    let p99 = percentile(&report.latencies_us, 0.99);
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, msg: &str| {
+        if !ok {
+            failures.push(msg.to_string());
+        }
+    };
+    check(report.wrong_reads == 0, "acknowledged-then-wrong reads observed");
+    check(sweep_wrong == 0, "final sweep lost or corrupted an acknowledged write");
+    check(tamper_abort_clean, "tampered-stream migration did not abort cleanly");
+    check(kill_abort_clean, "target-kill migration did not abort cleanly");
+    check(status.committed == commits && commits == 2 * splits as u64, "commit count mismatch");
+    check(final_epoch == 1 + commits, "epoch did not advance exactly once per commit");
+    check(store.active_shards() == start_groups, "group count did not return to the start");
+    check(status.aborted >= 2, "fewer than the two scripted aborts were recorded");
+    check(replays_attempted >= 1, "no stale-epoch replay was attempted");
+    check(replays_refused == replays_attempted, "a stale-epoch replay was not refused");
+    check(fresh_claim_serves, "a fresh-epoch claim on a moved key was refused");
+    check(max_client_epoch > 1, "no client routing cache was refreshed by a WRONG_SHARD refusal");
+    check(max_epoch_polled == final_epoch, "RESHARD status never exposed the final epoch");
+    check(running_polls >= 1, "RESHARD status never observed a running migration");
+    check(serves_during_migration >= 1, "no probe was served mid-migration");
+    check(abort_dump.is_some(), "scripted aborts left no flight-recorder post-mortem");
+    check(p99 < 500_000.0, "p99 latency above 500ms (hang-adjacent)");
+
+    // --- report ---------------------------------------------------------------
+    println!(
+        "ops={} elapsed={:.2}s p50={:.0}us p99={:.0}us commits={} aborts={} \
+         (scripted=2 ride-along={}) tamper_fires={} kill_fires={} epoch={} \
+         wrong_reads={} sweep ok/wrong={}/{} max_client_epoch={} replays {}/{}",
+        report.ops,
+        elapsed.as_secs_f64(),
+        p50,
+        p99,
+        status.committed,
+        status.aborted,
+        ride_along_aborts,
+        tamper_fires.load(Ordering::SeqCst),
+        kill_fires.load(Ordering::SeqCst),
+        final_epoch,
+        report.wrong_reads,
+        sweep_ok,
+        sweep_wrong,
+        max_client_epoch,
+        replays_refused,
+        replays_attempted,
+    );
+
+    let failures_json = failures.iter().map(|f| json_str(f)).collect::<Vec<_>>().join(",");
+    let doc = format!(
+        "{{\n\"schema_version\":{SCHEMA_VERSION},\n\"experiment\":\"reshard\",\n\
+         \"engine\":{},\n\
+         \"git_rev\":{},\n\"seed\":{seed},\n\"elapsed_s\":{:.3},\n\
+         \"groups_start\":{start_groups},\n\"groups_max\":{max_groups},\n\
+         \"splits\":{splits},\n\"merges\":{splits},\n\"ops\":{},\n\
+         \"migrations\":{{\"started\":{},\"committed\":{},\"aborted\":{},\
+         \"ride_along_aborts\":{ride_along_aborts},\
+         \"tamper_fires\":{},\"kill_fires\":{}}},\n\
+         \"scripted_aborts\":{{\"tamper_clean\":{tamper_abort_clean},\
+         \"target_kill_clean\":{kill_abort_clean}}},\n\
+         \"routing\":{{\"final_epoch\":{final_epoch},\
+         \"max_epoch_polled\":{max_epoch_polled},\
+         \"max_client_epoch\":{max_client_epoch},\
+         \"running_polls\":{running_polls},\
+         \"serves_during_migration\":{serves_during_migration}}},\n\
+         \"stale_replays\":{{\"attempted\":{replays_attempted},\
+         \"refused\":{replays_refused},\"fresh_claim_serves\":{fresh_claim_serves}}},\n\
+         \"wrong_reads\":{},\n\"quarantined_errors\":{},\n\"unavailable_errors\":{},\n\
+         \"transport_errors\":{},\n\"other_errors\":{},\n\
+         \"sweep\":{{\"ok\":{sweep_ok},\"wrong\":{sweep_wrong}}},\n\
+         \"abort_flight_dump\":{},\n\
+         \"latency_us\":{{\"p50\":{:.1},\"p99\":{:.1}}},\n\
+         \"telemetry\":{},\n\
+         \"verdict\":{},\n\"failures\":[{failures_json}]\n}}\n",
+        json_str(net_engine.name()),
+        json_str(git_rev()),
+        elapsed.as_secs_f64(),
+        report.ops,
+        status.started,
+        status.committed,
+        status.aborted,
+        tamper_fires.load(Ordering::SeqCst),
+        kill_fires.load(Ordering::SeqCst),
+        report.wrong_reads,
+        report.quarantined_errs,
+        report.unavailable_errs,
+        report.transport_errs,
+        report.other_errs,
+        abort_dump.is_some(),
+        p50,
+        p99,
+        telemetry.to_json(),
+        json_str(if failures.is_empty() { "pass" } else { "fail" }),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let path = format!("{out_dir}/reshard.json");
+    std::fs::write(&path, doc).expect("write reshard.json");
+    println!("wrote {path}");
+
+    if failures.is_empty() {
+        println!("chaosbench[reshard]: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("chaosbench[reshard]: FAIL — {f}");
         }
         std::process::exit(1);
     }

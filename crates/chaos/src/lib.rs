@@ -102,10 +102,25 @@ pub enum FaultSite {
     /// primary through the health machine instead of letting callers
     /// queue forever.
     ShardStall = 11,
+    /// Flip one byte of a migration bulk-copy chunk in flight between
+    /// source and target shard groups during an elastic reshard. The
+    /// target's content-root comparison against the source's digest
+    /// must reject the handoff and abort the migration — the source
+    /// stays authoritative, no acked write is lost.
+    MigrationStreamTamper = 12,
+    /// Kill the migration *target* mid-copy (before the routing flip).
+    /// The migration must abort, the half-built target must leave no
+    /// trace, and the source keeps serving the old epoch.
+    TargetKill = 13,
+    /// Replay a data op stamped with a routing epoch from *before* a
+    /// committed migration (stale client cache / captured frame). The
+    /// server must refuse with `WrongShard` instead of applying the op
+    /// on the old owner.
+    StaleEpochReplay = 14,
 }
 
 /// Number of distinct fault sites.
-pub const SITE_COUNT: usize = 12;
+pub const SITE_COUNT: usize = 15;
 
 impl FaultSite {
     /// Every site, in `repr` order.
@@ -122,6 +137,9 @@ impl FaultSite {
         FaultSite::TornAppend,
         FaultSite::StaleCheckpointRollback,
         FaultSite::ShardStall,
+        FaultSite::MigrationStreamTamper,
+        FaultSite::TargetKill,
+        FaultSite::StaleEpochReplay,
     ];
 
     /// Stable machine-readable name (used in plans, reports, CI logs).
@@ -139,6 +157,9 @@ impl FaultSite {
             FaultSite::TornAppend => "torn_append",
             FaultSite::StaleCheckpointRollback => "stale_checkpoint_rollback",
             FaultSite::ShardStall => "shard_stall",
+            FaultSite::MigrationStreamTamper => "migration_stream_tamper",
+            FaultSite::TargetKill => "target_kill",
+            FaultSite::StaleEpochReplay => "stale_epoch_replay",
         }
     }
 

@@ -145,15 +145,30 @@ pub struct LogConfig {
     pub dir: PathBuf,
     /// Rotate the active segment once it reaches this many bytes.
     pub segment_bytes: u64,
-    /// `fsync` data after every append (slow; benches leave it off and
-    /// model the flush boundary explicitly).
+    /// `fsync` data after appends (benches leave it off and model the
+    /// flush boundary explicitly). With [`LogConfig::sync_window_bytes`]
+    /// at 0 every append pays its own fsync; with a window, fsyncs are
+    /// group-committed.
     pub sync_writes: bool,
+    /// Group-commit window, in bytes, effective only with
+    /// [`LogConfig::sync_writes`]. `0` keeps the classic
+    /// fsync-per-append. Non-zero lets appends accumulate un-fsynced
+    /// until the window fills (then an inline fsync covers them) or the
+    /// owner calls [`SegmentLog::sync`] — the covering fsync it must
+    /// issue *before acknowledging* any write in the window. A crash
+    /// inside the window can lose only that unacknowledged suffix.
+    pub sync_window_bytes: u64,
 }
 
 impl LogConfig {
     /// A configuration rooted at `dir` with an 8 MiB segment target.
     pub fn new<P: Into<PathBuf>>(dir: P) -> LogConfig {
-        LogConfig { dir: dir.into(), segment_bytes: 8 << 20, sync_writes: false }
+        LogConfig {
+            dir: dir.into(),
+            segment_bytes: 8 << 20,
+            sync_writes: false,
+            sync_window_bytes: 0,
+        }
     }
 
     /// Set the segment rotation threshold.
@@ -165,6 +180,12 @@ impl LogConfig {
     /// Enable fsync-per-append.
     pub fn sync_writes(mut self, on: bool) -> LogConfig {
         self.sync_writes = on;
+        self
+    }
+
+    /// Set the group-commit fsync window (bytes; 0 = fsync per append).
+    pub fn sync_window_bytes(mut self, bytes: u64) -> LogConfig {
+        self.sync_window_bytes = bytes;
         self
     }
 

@@ -94,6 +94,14 @@ pub struct SegmentLog {
     /// never re-allocated to a different plaintext (CTR keystream
     /// reuse).
     reserved: u64,
+    /// Bytes appended since the last fsync while group-commit is on
+    /// (`sync_writes` with a non-zero `sync_window_bytes`). These bytes
+    /// are NOT yet durable; the owner must not acknowledge them until a
+    /// covering [`SegmentLog::sync`].
+    unsynced_bytes: u64,
+    /// Data fsyncs issued (append path + explicit syncs), for tests and
+    /// telemetry to verify group-commit actually coalesces.
+    syncs: u64,
     fault_hook: Option<AppendFaultHook>,
 }
 
@@ -159,6 +167,8 @@ impl SegmentLog {
             writer,
             next_seqno,
             reserved,
+            unsynced_bytes: 0,
+            syncs: 0,
             fault_hook: None,
         })
     }
@@ -219,7 +229,18 @@ impl SegmentLog {
             RecordPtr { segment: self.active_id, offset: self.active_len, len: frame_len as u32 };
         self.writer.write_all(&frame[..write_len]).map_err(|e| LogError::io("append", e))?;
         if self.cfg.sync_writes {
-            self.writer.sync_data().map_err(|e| LogError::io("sync", e))?;
+            if self.cfg.sync_window_bytes == 0 {
+                // Classic durability: every append pays its own fsync.
+                self.do_sync()?;
+            } else {
+                // Group commit: accumulate until the window fills; the
+                // owner's covering sync() before acking closes smaller
+                // windows.
+                self.unsynced_bytes += frame_len;
+                if self.unsynced_bytes >= self.cfg.sync_window_bytes {
+                    self.do_sync()?;
+                }
+            }
         }
         // Account the intended length even when the hook tore the
         // write: the harness kills the process right after, and replay
@@ -231,8 +252,17 @@ impl SegmentLog {
         Ok(AppendInfo { ptr, seqno })
     }
 
-    fn rotate(&mut self) -> Result<(), LogError> {
+    fn do_sync(&mut self) -> Result<(), LogError> {
         self.writer.sync_data().map_err(|e| LogError::io("sync", e))?;
+        self.unsynced_bytes = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), LogError> {
+        // A retiring segment is always fully synced — the group-commit
+        // window never spans a rotation.
+        self.do_sync()?;
         self.active_id += 1;
         self.active_len = 0;
         self.stats.entry(self.active_id).or_default();
@@ -304,9 +334,22 @@ impl SegmentLog {
         Ok(())
     }
 
-    /// Flush and fsync the active segment.
+    /// Flush and fsync the active segment — the covering fsync that
+    /// closes an open group-commit window.
     pub fn sync(&mut self) -> Result<(), LogError> {
-        self.writer.sync_data().map_err(|e| LogError::io("sync", e))
+        self.do_sync()
+    }
+
+    /// Bytes appended since the last fsync (0 when every append syncs).
+    /// Non-zero means acknowledging those writes requires a covering
+    /// [`SegmentLog::sync`] first.
+    pub fn pending_sync_bytes(&self) -> u64 {
+        self.unsynced_bytes
+    }
+
+    /// Data fsyncs issued so far (group-commit coalescing metric).
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     /// The highest sequence number handed out so far (0 if none).
@@ -610,6 +653,87 @@ mod tests {
         let seen = collect_replay(&dir, 8 << 20).unwrap();
         assert_eq!(seen.len(), 1, "torn append must vanish on replay");
         assert_eq!(seen[0].key, b"whole");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_window_coalesces_fsyncs() {
+        let dir = tmpdir("gc-coalesce");
+        // Per-append fsync: every append is one sync.
+        let mut log =
+            SegmentLog::open(LogConfig::new(dir.clone()).sync_writes(true), KEY, &mut |_| {})
+                .unwrap();
+        for i in 0..8u32 {
+            log.append(RecordKind::Put, &i.to_le_bytes(), b"payload").unwrap();
+        }
+        assert_eq!(log.sync_count(), 8);
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Windowed: appends accumulate, the covering sync pays once.
+        let dir = tmpdir("gc-window");
+        let mut log = SegmentLog::open(
+            LogConfig::new(dir.clone()).sync_writes(true).sync_window_bytes(1 << 20),
+            KEY,
+            &mut |_| {},
+        )
+        .unwrap();
+        for i in 0..8u32 {
+            log.append(RecordKind::Put, &i.to_le_bytes(), b"payload").unwrap();
+        }
+        assert_eq!(log.sync_count(), 0, "small appends must not fsync inside the window");
+        assert!(log.pending_sync_bytes() > 0);
+        log.sync().unwrap();
+        assert_eq!(log.sync_count(), 1, "one covering fsync for the whole batch");
+        assert_eq!(log.pending_sync_bytes(), 0);
+        // A full window triggers an inline fsync without waiting for
+        // the owner.
+        let big = vec![0u8; 4096];
+        let mut tiny = SegmentLog::open(
+            LogConfig::new(tmpdir("gc-full")).sync_writes(true).sync_window_bytes(4096),
+            KEY,
+            &mut |_| {},
+        )
+        .unwrap();
+        tiny.append(RecordKind::Put, b"k", &big).unwrap();
+        assert_eq!(tiny.sync_count(), 1, "window overflow must fsync inline");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_inside_sync_window_loses_only_unacked_suffix() {
+        let dir = tmpdir("gc-crash");
+        let mut log = SegmentLog::open(
+            LogConfig::new(dir.clone()).sync_writes(true).sync_window_bytes(1 << 20),
+            KEY,
+            &mut |_| {},
+        )
+        .unwrap();
+        // Ten acked writes: the covering sync ran before any ack.
+        for i in 0..10u32 {
+            log.append(RecordKind::Put, &i.to_le_bytes(), b"acked").unwrap();
+        }
+        log.sync().unwrap();
+        let (seg, durable_frontier) = log.frontier();
+        // Five more inside the open window — never acked.
+        for i in 10..15u32 {
+            log.append(RecordKind::Put, &i.to_le_bytes(), b"unacked").unwrap();
+        }
+        drop(log);
+        // The crash model: everything past the last fsync is lost.
+        crash_cut(&dir, seg, durable_frontier).unwrap();
+        let seen = collect_replay(&dir, 8 << 20).unwrap();
+        assert_eq!(seen.len(), 10, "exactly the acked prefix survives");
+        assert!(seen.iter().all(|r| r.value == b"acked"));
+        // And the log remains appendable with fresh seqnos.
+        let mut log = SegmentLog::open(
+            LogConfig::new(dir.clone()).sync_writes(true).sync_window_bytes(1 << 20),
+            KEY,
+            &mut |_| {},
+        )
+        .unwrap();
+        let fresh = log.append(RecordKind::Put, b"after", b"crash").unwrap();
+        assert!(fresh.seqno > 15, "torn seqnos must not be reused");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

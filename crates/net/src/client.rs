@@ -39,6 +39,21 @@
 //! [`AriaClient::negotiated_features`]). A pre-HELLO server rejects
 //! the opcode and hangs up; the client redials once and speaks the
 //! base protocol, so old servers keep working transparently.
+//!
+//! # Routing cache (v6)
+//!
+//! When the handshake lands on v6 with the `ROUTING_EPOCH` feature
+//! granted, the client keeps a *routing cache*: the server's routing
+//! epoch, fetched once per connection (a `RESHARD` mode-0 query right
+//! after `HELLO`) and stamped on every data frame as the v6 trailer.
+//! A server mid-reshard refuses ops whose claimed epoch predates a
+//! slot move with the typed `WRONG_SHARD` reply; the client treats
+//! that as a *routing refresh*, not a failure — it adopts the epoch
+//! carried in the refusal (single-flight: the refusal itself is the
+//! refresh, no extra round-trip) and re-issues immediately. Refresh
+//! retries are bounded separately ([`WRONG_SHARD_REFRESH_ROUNDS`])
+//! and never consume [`ClientConfig::retry_budget`]; transport errors
+//! are never retried by this path either.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -206,6 +221,31 @@ impl From<WireError> for NetError {
 /// key exists) or the store's typed error code for that key.
 pub type KeyResult = Result<Option<Vec<u8>>, ErrorCode>;
 
+/// How many `WRONG_SHARD` refresh-and-retry rounds a single op may
+/// take before the typed error surfaces. Each refused round adopts the
+/// server's epoch from the refusal, so one round resolves any single
+/// committed move; the headroom covers back-to-back migrations landing
+/// while the op is in flight.
+pub const WRONG_SHARD_REFRESH_ROUNDS: u32 = 4;
+
+/// The server's resharding status as seen by [`AriaClient::reshard_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReshardReply {
+    /// Current routing epoch.
+    pub epoch: u64,
+    /// Per-slot owner shard.
+    pub slots: Vec<u32>,
+    /// Encoded `aria_store::ReshardState` (0 idle, 1 running,
+    /// 2 committed, 3 aborted).
+    pub state: u8,
+    /// Migrations started since the server came up.
+    pub started: u64,
+    /// Migrations committed.
+    pub committed: u64,
+    /// Migrations aborted.
+    pub aborted: u64,
+}
+
 struct Conn {
     stream: TcpStream,
     rbuf: Vec<u8>,
@@ -231,6 +271,10 @@ pub struct AriaClient {
     /// The peer rejected `HELLO` once: skip the handshake on every
     /// further redial instead of burning a connection each time.
     peer_pre_hello: bool,
+    /// Cached routing epoch, stamped on v6 data frames when the
+    /// `ROUTING_EPOCH` feature was granted. 0 = no claim (pre-v6 peer,
+    /// feature not granted, or not yet fetched).
+    routing_epoch: u64,
 }
 
 impl AriaClient {
@@ -258,6 +302,7 @@ impl AriaClient {
             negotiated: None,
             op_deadline_hint: None,
             peer_pre_hello: false,
+            routing_epoch: 0,
         };
         client.ensure_connected()?;
         Ok(client)
@@ -281,6 +326,20 @@ impl AriaClient {
     /// found dead by the next op).
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
+    }
+
+    /// The routing epoch this client currently claims on v6 data
+    /// frames (0 = no claim).
+    pub fn routing_epoch(&self) -> u64 {
+        self.routing_epoch
+    }
+
+    /// Whether the connection negotiated routing-epoch exchange (v6+
+    /// with the `ROUTING_EPOCH` feature granted).
+    fn routing_negotiated(&self) -> bool {
+        self.negotiated.is_some_and(|(v, f)| {
+            v >= proto::RESHARD_PROTOCOL_VERSION && f & proto::features::ROUTING_EPOCH != 0
+        })
     }
 
     /// The server address this client dials.
@@ -310,8 +369,46 @@ impl AriaClient {
                     return Err(e);
                 }
             }
+            // Prime the routing cache once per connection so data
+            // frames claim a live epoch from the first op. A failure
+            // here fails the connect — a v6 server that cannot answer
+            // a RESHARD query is not healthy.
+            if self.routing_negotiated() {
+                if let Err(e) = self.fetch_routing_epoch() {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// One `RESHARD` mode-0 query on the live connection, adopting the
+    /// server's epoch into the routing cache.
+    fn fetch_routing_epoch(&mut self) -> Result<(), NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let version = self.negotiated.map(|(v, _)| v).unwrap_or(proto::BASE_PROTOCOL_VERSION);
+        let conn = self.conn.as_mut().expect("connection is live");
+        let mut out = Vec::new();
+        proto::encode_request_versioned(
+            &mut out,
+            id,
+            &Request::Reshard { mode: 0, source: 0, target: 0 },
+            0,
+            version,
+        )?;
+        conn.stream.write_all(&out)?;
+        match read_response(conn, version)? {
+            (rid, Response::Reshard { epoch, .. }) if rid == id => {
+                self.routing_epoch = self.routing_epoch.max(epoch);
+                Ok(())
+            }
+            (_, Response::Error { code, message, retry_after_ms }) => {
+                Err(NetError::Server { code, message, retry_after_ms })
+            }
+            _ => Err(NetError::UnexpectedResponse),
+        }
     }
 
     fn dial(&mut self) -> Result<(), NetError> {
@@ -445,17 +542,21 @@ impl AriaClient {
         let trace_on = self.config.trace_sample > 0 && version >= proto::TRACE_PROTOCOL_VERSION;
         let traces: Vec<proto::TraceContext> =
             (0..reqs.len()).map(|_| self.draw_trace(trace_on)).collect();
+        // Routing claim (v6 + feature): the cached epoch rides on every
+        // data frame so the server can refuse against stale routing.
+        let routing_epoch = if self.routing_negotiated() { self.routing_epoch } else { 0 };
         let conn = self.conn.as_mut().expect("ensure_connected succeeded");
         let mut out = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
             // An over-limit request fails the pipeline before any byte
             // hits the wire; the connection is still clean.
-            proto::encode_request_traced(
+            proto::encode_request_routed(
                 &mut out,
                 first_id + i as u64,
                 req,
                 deadline_ns,
                 traces[i],
+                routing_epoch,
                 version,
             )?;
         }
@@ -495,12 +596,34 @@ impl AriaClient {
     fn one_with_deadline(&mut self, req: Request, deadline: Instant) -> Result<Response, NetError> {
         let mut backoff = self.config.retry_backoff;
         let mut retries_left = self.config.retry_budget;
+        let mut refresh_rounds = 0u32;
         loop {
             // Typed per-op server errors arrive as `Response::Error`
             // frames; fold them into `NetError::Server` here so the
             // retry policy sees them (callers' `fail()` would have done
             // the same conversion anyway).
             let err = match self.one_attempt(&req) {
+                Ok(Response::WrongShard { epoch, hint }) => {
+                    // A typed routing refusal: the op was refused
+                    // before execution because our claimed epoch went
+                    // stale. The refusal *carries* the fresh epoch, so
+                    // adopting it is the refresh — re-issue right away.
+                    // Bounded separately from (and never consuming) the
+                    // ordinary retry budget.
+                    if refresh_rounds < WRONG_SHARD_REFRESH_ROUNDS && Instant::now() < deadline {
+                        refresh_rounds += 1;
+                        self.routing_epoch = self.routing_epoch.max(epoch);
+                        continue;
+                    }
+                    return Err(NetError::Server {
+                        code: ErrorCode::WrongShard,
+                        message: format!(
+                            "routing refused after {refresh_rounds} refreshes \
+                             (server epoch {epoch}, owner hint {hint})"
+                        ),
+                        retry_after_ms: 0,
+                    });
+                }
                 Ok(Response::Error { code, message, retry_after_ms }) => {
                     NetError::Server { code, message, retry_after_ms }
                 }
@@ -648,6 +771,37 @@ impl AriaClient {
             other => fail(other),
         }
     }
+
+    /// Query the server's routing/resharding state (RESHARD mode 0),
+    /// folding the answered epoch into the routing cache.
+    pub fn reshard_status(&mut self) -> Result<ReshardReply, NetError> {
+        self.reshard(Request::Reshard { mode: 0, source: 0, target: 0 })
+    }
+
+    /// Ask the server to start a shard *split*: move half of `source`'s
+    /// routing slots to the inactive group `target`, activating it. The
+    /// reply is the accept-time status; poll
+    /// [`AriaClient::reshard_status`] for progress.
+    pub fn start_split(&mut self, source: u32, target: u32) -> Result<ReshardReply, NetError> {
+        self.reshard(Request::Reshard { mode: 1, source, target })
+    }
+
+    /// Ask the server to start a shard *merge*: move all of `source`'s
+    /// routing slots into the active group `target`, deactivating the
+    /// source once drained.
+    pub fn start_merge(&mut self, source: u32, target: u32) -> Result<ReshardReply, NetError> {
+        self.reshard(Request::Reshard { mode: 2, source, target })
+    }
+
+    fn reshard(&mut self, req: Request) -> Result<ReshardReply, NetError> {
+        match self.one(req)? {
+            Response::Reshard { epoch, slots, state, started, committed, aborted } => {
+                self.routing_epoch = self.routing_epoch.max(epoch);
+                Ok(ReshardReply { epoch, slots, state, started, committed, aborted })
+            }
+            other => fail(other),
+        }
+    }
 }
 
 impl std::fmt::Debug for AriaClient {
@@ -664,6 +818,13 @@ fn fail<T>(resp: Response) -> Result<T, NetError> {
         Response::Error { code, message, retry_after_ms } => {
             Err(NetError::Server { code, message, retry_after_ms })
         }
+        // A WRONG_SHARD that escaped the refresh loop (e.g. raw
+        // pipelines) still surfaces as its typed code.
+        Response::WrongShard { epoch, hint } => Err(NetError::Server {
+            code: ErrorCode::WrongShard,
+            message: format!("wrong shard (server epoch {epoch}, owner hint {hint})"),
+            retry_after_ms: 0,
+        }),
         _ => Err(NetError::UnexpectedResponse),
     }
 }
@@ -755,6 +916,26 @@ mod tests {
                                 return;
                             }
                             version = negotiated;
+                            continue;
+                        }
+                        // The connect-time routing-cache priming query
+                        // is likewise answered out-of-band so scripts
+                        // stay about the operations under test.
+                        if let Request::Reshard { mode: 0, .. } = req {
+                            let reply = Response::Reshard {
+                                epoch: 1,
+                                slots: Vec::new(),
+                                state: 0,
+                                started: 0,
+                                committed: 0,
+                                aborted: 0,
+                            };
+                            let mut out = Vec::new();
+                            proto::encode_response_versioned(&mut out, id, &reply, version)
+                                .expect("encode");
+                            if stream.write_all(&out).is_err() {
+                                return;
+                            }
                             continue;
                         }
                         let resp = if next < responses.len() {
@@ -988,6 +1169,63 @@ mod tests {
             start.elapsed()
         );
         assert!(served.load(Ordering::SeqCst) >= 1);
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    fn wrong_shard(epoch: u64) -> Response {
+        Response::WrongShard { epoch, hint: 1 }
+    }
+
+    /// A WRONG_SHARD storm resolves in one refresh round: the refusal
+    /// carries the fresh epoch, the client adopts it and re-issues —
+    /// with ZERO ordinary retry budget configured, proving the refresh
+    /// path does not consume it.
+    #[test]
+    fn wrong_shard_resolves_in_one_refresh_round_without_retry_budget() {
+        let (addr, served, handle) = scripted_server(vec![wrong_shard(5), Response::PutOk], false);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(0, Duration::from_secs(10))).unwrap();
+        assert_eq!(client.routing_epoch(), 1, "connect primes the routing cache");
+        client.put(b"k", b"v").expect("one refresh round must resolve the refusal");
+        assert_eq!(served.load(Ordering::SeqCst), 2, "refused attempt + refreshed success");
+        assert_eq!(client.routing_epoch(), 5, "the refusal's epoch was adopted");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    /// A server that keeps refusing (epoch racing ahead) is bounded by
+    /// the refresh-round cap, and the typed WrongShard error surfaces —
+    /// never a timeout, never an unbounded loop.
+    #[test]
+    fn wrong_shard_refresh_rounds_are_bounded() {
+        let (addr, served, handle) = scripted_server(vec![wrong_shard(9)], true);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(0, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("server never relents");
+        assert_eq!(err.code(), Some(ErrorCode::WrongShard));
+        assert_eq!(
+            served.load(Ordering::SeqCst),
+            u64::from(WRONG_SHARD_REFRESH_ROUNDS) + 1,
+            "first attempt plus the bounded refresh rounds"
+        );
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    /// The refresh path never retries transport errors: a connection
+    /// that dies after a WRONG_SHARD refusal surfaces the transport
+    /// failure immediately (the re-issued op may have been applied).
+    #[test]
+    fn wrong_shard_refresh_never_retries_transport_errors() {
+        // Script: one refusal, then the script is exhausted — the
+        // server hangs up on the re-issued attempt.
+        let (addr, served, handle) = scripted_server(vec![wrong_shard(3)], false);
+        let mut client =
+            AriaClient::connect(addr, fast_retry_config(5, Duration::from_secs(10))).unwrap();
+        let err = client.put(b"k", b"v").expect_err("server hangs up after the refusal");
+        assert!(err.is_transport(), "transport failure must surface, got {err:?}");
+        assert_eq!(served.load(Ordering::SeqCst), 1, "only the refused attempt was served");
         drop(client);
         handle.join().unwrap();
     }

@@ -71,7 +71,7 @@ pub mod server;
 
 mod service;
 
-pub use client::{AriaClient, ClientConfig, KeyResult, NetError};
+pub use client::{AriaClient, ClientConfig, KeyResult, NetError, ReshardReply};
 pub use config::{Engine, NetConfigError, ServerConfig, ServerConfigBuilder};
 pub use proto::{
     features, ErrorCode, HealthReply, Request, RequestRef, Response, ShardHealthInfo, StatsReply,

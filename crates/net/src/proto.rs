@@ -40,13 +40,19 @@ pub const CONTROL_ID: u64 = 0;
 /// replies, and the shed/queue-delay fields on `STATS`; version 5 adds
 /// the trace-context trailer on data requests (`u64 trace_id` plus a
 /// flags byte, see [`encode_request_traced`]) and the `TRACE` opcode
-/// for streaming sampled spans and flight-recorder dumps. A peer that
+/// for streaming sampled spans and flight-recorder dumps; version 6
+/// adds elastic resharding: a `u64 routing_epoch` trailer on data
+/// requests (the client's claimed routing view, see
+/// [`encode_request_routed`]), the `RESHARD` control opcode for
+/// starting and observing shard migrations, and the typed
+/// `WRONG_SHARD` refusal that carries the server's current epoch so
+/// clients refresh routing instead of blind-retrying. A peer that
 /// never sends `HELLO` is treated as speaking
 /// [`BASE_PROTOCOL_VERSION`], which keeps every pre-handshake client
 /// working unchanged: the server emits version-gated fields only on
 /// connections whose negotiated version carries them (see
 /// [`encode_response_versioned`]), so older decoders never see them.
-pub const PROTOCOL_VERSION: u16 = 5;
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// The first protocol version that carries the overload fields: the
 /// per-op deadline trailer on data requests, `retry_after_ms` on
@@ -57,6 +63,12 @@ pub const OVERLOAD_PROTOCOL_VERSION: u16 = 4;
 /// on data requests. (The `TRACE` opcode itself is not version-gated:
 /// it is a new opcode, so an old peer simply never sends it.)
 pub const TRACE_PROTOCOL_VERSION: u16 = 5;
+
+/// The first protocol version that carries the routing-epoch trailer
+/// on data requests and the typed `WRONG_SHARD` refusal. (The
+/// `RESHARD` opcode itself is not version-gated: it is a new opcode,
+/// so an old peer simply never sends it.)
+pub const RESHARD_PROTOCOL_VERSION: u16 = 6;
 
 /// The version assumed for clients that skip the `HELLO` handshake.
 pub const BASE_PROTOCOL_VERSION: u16 = 1;
@@ -69,11 +81,13 @@ pub mod features {
     /// Placeholder bit reserved for the planned `SCAN` opcode
     /// (ROADMAP item 2). No released server sets it yet.
     pub const SCAN: u64 = 1 << 0;
-    /// Placeholder bit reserved for routing-epoch exchange
-    /// (ROADMAP item 4). No released server sets it yet.
+    /// Routing-epoch exchange: the server publishes its routing epoch
+    /// via `RESHARD` mode 0 and honors the client's claimed epoch on
+    /// v6 data ops, answering stale claims with `WRONG_SHARD` instead
+    /// of an opaque retryable error.
     pub const ROUTING_EPOCH: u64 = 1 << 1;
     /// Every feature bit this build understands.
-    pub const SUPPORTED: u64 = 0;
+    pub const SUPPORTED: u64 = ROUTING_EPOCH;
 }
 
 // Request opcodes.
@@ -88,6 +102,7 @@ const OP_HEALTH: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
 const OP_HELLO: u8 = 0x0A;
 const OP_TRACE: u8 = 0x0B;
+const OP_RESHARD: u8 = 0x0C;
 
 // Response opcodes (high bit set).
 const OP_PONG: u8 = 0x81;
@@ -101,11 +116,13 @@ const OP_HEALTH_REPLY: u8 = 0x88;
 const OP_METRICS_REPLY: u8 = 0x89;
 const OP_HELLO_REPLY: u8 = 0x8A;
 const OP_TRACE_REPLY: u8 = 0x8B;
+const OP_RESHARD_REPLY: u8 = 0x8C;
+const OP_WRONG_SHARD: u8 = 0x8D;
 const OP_ERROR: u8 = 0xFF;
 
-/// Number of request opcodes (`0x01..=0x0B`), for per-opcode telemetry
+/// Number of request opcodes (`0x01..=0x0C`), for per-opcode telemetry
 /// tables. Matches `aria_telemetry::NET_OPS`.
-pub const REQUEST_OPCODES: usize = 11;
+pub const REQUEST_OPCODES: usize = 12;
 
 /// Telemetry table index of a request, `0..REQUEST_OPCODES`.
 pub fn request_op_index(req: &Request) -> usize {
@@ -121,6 +138,7 @@ pub fn request_op_index(req: &Request) -> usize {
         Request::Metrics => 8,
         Request::Hello { .. } => 9,
         Request::Trace { .. } => 10,
+        Request::Reshard { .. } => 11,
     }
 }
 
@@ -148,6 +166,9 @@ pub struct RequestMeta {
     pub deadline_ns: u64,
     /// The v5 trace context ([`TraceContext::NONE`] when absent).
     pub trace: TraceContext,
+    /// The routing epoch the client believes current (v6 trailer;
+    /// 0 = no claim, the server routes without a staleness check).
+    pub routing_epoch: u64,
 }
 
 /// Stable numeric error codes carried on the wire.
@@ -208,6 +229,13 @@ pub enum ErrorCode {
     /// (nothing was applied). Retrying is pointless — the caller
     /// already gave up.
     DeadlineExceeded = 28,
+    /// The key's slot moved to another shard after the routing epoch
+    /// the client claimed: refresh routing and retry. v6 connections
+    /// receive the typed `WRONG_SHARD` reply (epoch + owner hint)
+    /// instead of this bare code; pre-v6 peers see
+    /// [`ErrorCode::ShardQuarantined`] so their retry loops keep
+    /// working byte-identically.
+    WrongShard = 29,
     /// The request frame could not be decoded.
     BadRequest = 32,
     /// Unknown request opcode.
@@ -245,6 +273,7 @@ impl ErrorCode {
             26 => LogIo,
             27 => Overloaded,
             28 => DeadlineExceeded,
+            29 => WrongShard,
             32 => BadRequest,
             33 => UnknownOpcode,
             34 => FrameTooLarge,
@@ -278,6 +307,7 @@ impl ErrorCode {
             StoreError::RecoveryDiverged { .. } => ErrorCode::RecoveryDiverged,
             StoreError::Log { .. } => ErrorCode::LogIo,
             StoreError::Overloaded { .. } => ErrorCode::Overloaded,
+            StoreError::WrongShard { .. } => ErrorCode::WrongShard,
         }
     }
 
@@ -352,6 +382,23 @@ pub enum Request {
         /// Per-ring resume cursors for mode 0 (empty = from the
         /// oldest resident span); ignored for mode 1.
         cursors: Vec<u64>,
+    },
+    /// Observe or drive elastic resharding. Mode 0 queries the routing
+    /// state (current epoch, per-slot owners, migration status); mode
+    /// 1 starts a shard *split* (move half of `source`'s slots to
+    /// `target`); mode 2 starts a *merge* (move all of `source`'s
+    /// slots into `target`). Starting is asynchronous — the reply is
+    /// the status at accept time; poll mode 0 for progress.
+    /// Control-plane: answerable while shedding, never carries the
+    /// data-op trailers.
+    Reshard {
+        /// 0 = query, 1 = split, 2 = merge. Unknown modes are answered
+        /// with [`ErrorCode::BadRequest`].
+        mode: u8,
+        /// Source shard for modes 1/2 (ignored for mode 0).
+        source: u32,
+        /// Target shard for modes 1/2 (ignored for mode 0).
+        target: u32,
     },
 }
 
@@ -500,6 +547,37 @@ pub enum Response {
         /// Negotiated feature bits (see [`features`]).
         features: u64,
     },
+    /// Answer to [`Request::Reshard`]: the routing table's current
+    /// view. For modes 1/2 this is the state right after the start was
+    /// accepted (the migration itself runs in the background).
+    Reshard {
+        /// Current routing epoch (bumped once per committed move).
+        epoch: u64,
+        /// Per-slot owner shard, one entry per routing slot.
+        slots: Vec<u32>,
+        /// Encoded migration state (`aria_store::ReshardState` as u8:
+        /// 0 idle, 1 running, 2 committed, 3 aborted).
+        state: u8,
+        /// Migrations started since the server came up.
+        started: u64,
+        /// Migrations committed since the server came up.
+        committed: u64,
+        /// Migrations aborted since the server came up.
+        aborted: u64,
+    },
+    /// Typed refusal (v6 only): the key's slot moved after the routing
+    /// epoch the client claimed. Carries the server's current epoch —
+    /// at or above it the client's refreshed routing cannot be refused
+    /// again for the same move — plus the slot's owner as a hint.
+    /// Never sent on pre-v6 connections: those get
+    /// [`ErrorCode::ShardQuarantined`], which their retry loops
+    /// already handle.
+    WrongShard {
+        /// The server's current routing epoch.
+        epoch: u64,
+        /// The shard that owns the refused key's slot now.
+        hint: u32,
+    },
     /// The request (or, with id [`CONTROL_ID`], the connection) failed.
     Error {
         /// Stable error code.
@@ -643,14 +721,36 @@ pub fn encode_request_versioned(
 /// 0 = no deadline). From v5 the deadline is followed by the trace
 /// context: `u64 trace_id` plus a flags byte (bit 0 = sampled, all
 /// other bits reserved and rejected on decode). Control ops never
-/// carry either trailer. On [`WireError::FrameTooLarge`], `out` is
-/// left exactly as it was.
+/// carry either trailer. The v6 routing-epoch trailer encodes as 0
+/// (no claim) — see [`encode_request_routed`] for stamping a claim.
+/// On [`WireError::FrameTooLarge`], `out` is left exactly as it was.
 pub fn encode_request_traced(
     out: &mut Vec<u8>,
     id: u64,
     req: &Request,
     deadline_ns: u64,
     trace: TraceContext,
+    version: u16,
+) -> Result<(), WireError> {
+    encode_request_routed(out, id, req, deadline_ns, trace, 0, version)
+}
+
+/// Append `req` as one frame to `out`, encoded for a peer speaking
+/// `version`, stamping the client's claimed routing epoch. From v6,
+/// data-op bodies end with a `u64 routing_epoch` trailer after the v5
+/// trace context: the epoch of the routing table the client used to
+/// pick this connection (0 = no claim). A server whose table moved the
+/// key's slot *after* that epoch refuses the op with
+/// [`Response::WrongShard`] instead of serving it from the wrong
+/// shard. Control ops never carry the trailer. On
+/// [`WireError::FrameTooLarge`], `out` is left exactly as it was.
+pub fn encode_request_routed(
+    out: &mut Vec<u8>,
+    id: u64,
+    req: &Request,
+    deadline_ns: u64,
+    trace: TraceContext,
+    routing_epoch: u64,
     version: u16,
 ) -> Result<(), WireError> {
     let tail = |b: &mut Vec<u8>| {
@@ -660,6 +760,9 @@ pub fn encode_request_traced(
         if version >= TRACE_PROTOCOL_VERSION {
             put_u64(b, trace.id);
             b.push(trace.sampled as u8);
+        }
+        if version >= RESHARD_PROTOCOL_VERSION {
+            put_u64(b, routing_epoch);
         }
     };
     match req {
@@ -705,6 +808,11 @@ pub fn encode_request_traced(
             for &cur in cursors {
                 put_u64(b, cur);
             }
+        }),
+        Request::Reshard { mode, source, target } => frame(out, OP_RESHARD, id, |b| {
+            b.push(*mode);
+            put_u32(b, *source);
+            put_u32(b, *target);
         }),
     }
 }
@@ -787,6 +895,42 @@ pub fn encode_response_versioned(
             put_u16(b, *version);
             put_u64(b, *features);
         }),
+        Response::Reshard { epoch, slots, state, started, committed, aborted } => {
+            frame(out, OP_RESHARD_REPLY, id, |b| {
+                put_u64(b, *epoch);
+                put_u32(b, slots.len() as u32);
+                for &s in slots {
+                    put_u32(b, s);
+                }
+                b.push(*state);
+                put_u64(b, *started);
+                put_u64(b, *committed);
+                put_u64(b, *aborted);
+            })
+        }
+        // Pre-v6 peers never negotiated the typed refusal: degrade to
+        // the retryable error code their loops already understand, so
+        // the bytes on an old connection stay exactly what a pre-v6
+        // server would have sent.
+        Response::WrongShard { epoch, hint } => {
+            if version >= RESHARD_PROTOCOL_VERSION {
+                frame(out, OP_WRONG_SHARD, id, |b| {
+                    put_u64(b, *epoch);
+                    put_u32(b, *hint);
+                })
+            } else {
+                encode_response_versioned(
+                    out,
+                    id,
+                    &Response::Error {
+                        code: ErrorCode::ShardQuarantined,
+                        message: format!("wrong shard (moved; owner hint {hint})"),
+                        retry_after_ms: 0,
+                    },
+                    version,
+                )
+            }
+        }
         Response::Error { code, message, retry_after_ms } => frame(out, OP_ERROR, id, |b| {
             put_u16(b, *code as u16);
             put_bytes(b, message.as_bytes());
@@ -953,6 +1097,15 @@ pub enum RequestRef<'a> {
         /// Per-ring resume cursors for mode 0.
         cursors: Vec<u64>,
     },
+    /// Observe or drive elastic resharding (see [`Request::Reshard`]).
+    Reshard {
+        /// 0 = query, 1 = split, 2 = merge.
+        mode: u8,
+        /// Source shard for modes 1/2.
+        source: u32,
+        /// Target shard for modes 1/2.
+        target: u32,
+    },
 }
 
 impl RequestRef<'_> {
@@ -971,6 +1124,7 @@ impl RequestRef<'_> {
             RequestRef::Metrics => 8,
             RequestRef::Hello { .. } => 9,
             RequestRef::Trace { .. } => 10,
+            RequestRef::Reshard { .. } => 11,
         }
     }
 
@@ -1011,6 +1165,9 @@ impl RequestRef<'_> {
             }
             RequestRef::Trace { mode, cursors } => {
                 Request::Trace { mode: *mode, cursors: cursors.clone() }
+            }
+            RequestRef::Reshard { mode, source, target } => {
+                Request::Reshard { mode: *mode, source: *source, target: *target }
             }
         }
     }
@@ -1089,6 +1246,7 @@ pub fn decode_request_ref_versioned(
             }
             RequestRef::Trace { mode, cursors }
         }
+        OP_RESHARD => RequestRef::Reshard { mode: c.u8()?, source: c.u32()?, target: c.u32()? },
         other => return Err(WireError::UnknownOpcode(other)),
     };
     let mut meta = RequestMeta::default();
@@ -1103,6 +1261,9 @@ pub fn decode_request_ref_versioned(
                 return Err(WireError::Malformed);
             }
             meta.trace = TraceContext { id, sampled: flags & 1 != 0 };
+        }
+        if version >= RESHARD_PROTOCOL_VERSION {
+            meta.routing_epoch = c.u64()?;
         }
     }
     c.finished()?;
@@ -1208,6 +1369,26 @@ pub fn decode_response_versioned(buf: &[u8], version: u16) -> Result<Decoded<Res
         OP_METRICS_REPLY => Response::Metrics(c.bytes()?),
         OP_TRACE_REPLY => Response::Trace(c.bytes()?),
         OP_HELLO_REPLY => Response::HelloAck { version: c.u16()?, features: c.u64()? },
+        OP_RESHARD_REPLY => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            if n * 4 > body.len() {
+                return Err(WireError::Malformed);
+            }
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                slots.push(c.u32()?);
+            }
+            Response::Reshard {
+                epoch,
+                slots,
+                state: c.u8()?,
+                started: c.u64()?,
+                committed: c.u64()?,
+                aborted: c.u64()?,
+            }
+        }
+        OP_WRONG_SHARD => Response::WrongShard { epoch: c.u64()?, hint: c.u32()? },
         OP_ERROR => Response::Error {
             code: ErrorCode::from_u16(c.u16()?).ok_or(WireError::Malformed)?,
             message: String::from_utf8_lossy(&c.bytes()?).into_owned(),
@@ -1263,6 +1444,8 @@ mod tests {
         round_trip_request(Request::Health);
         round_trip_request(Request::Metrics);
         round_trip_request(Request::Hello { version: PROTOCOL_VERSION, features: 0b101 });
+        round_trip_request(Request::Reshard { mode: 0, source: 0, target: 0 });
+        round_trip_request(Request::Reshard { mode: 1, source: 2, target: 6 });
     }
 
     #[test]
@@ -1347,6 +1530,15 @@ mod tests {
         }));
         round_trip_response(Response::Metrics(vec![1, 2, 3, 4, 5]));
         round_trip_response(Response::HelloAck { version: 2, features: 0 });
+        round_trip_response(Response::Reshard {
+            epoch: 3,
+            slots: (0..64u32).map(|s| s % 4).collect(),
+            state: 2,
+            started: 4,
+            committed: 2,
+            aborted: 1,
+        });
+        round_trip_response(Response::WrongShard { epoch: 9, hint: 5 });
         round_trip_response(Response::Error {
             code: ErrorCode::TooManyConnections,
             message: "busy".to_string(),
@@ -1598,6 +1790,87 @@ mod tests {
         encode_request_traced(&mut c4, 9, &Request::Stats, 77, trace, 4).unwrap();
         encode_request_traced(&mut c5, 9, &Request::Stats, 77, trace, 5).unwrap();
         assert_eq!(c4, c5, "control frames are version-invariant");
+    }
+
+    /// The v6 routing-epoch trailer on data requests: carried and
+    /// returned at v6, absent at v5, never attached to control ops.
+    #[test]
+    fn request_routing_epoch_trailer_is_gated_on_version() {
+        let req = Request::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+        let (mut v5, mut v6) = (Vec::new(), Vec::new());
+        encode_request_routed(&mut v5, 9, &req, 77, TraceContext::NONE, 42, 5).unwrap();
+        encode_request_routed(&mut v6, 9, &req, 77, TraceContext::NONE, 42, 6).unwrap();
+        assert_eq!(v6.len(), v5.len() + 8, "v6 adds exactly the u64 epoch trailer");
+        match decode_request_ref_versioned(&v6, 6).unwrap() {
+            Decoded::Frame(consumed, id, (got, meta)) => {
+                assert_eq!(consumed, v6.len());
+                assert_eq!(id, 9);
+                assert_eq!(got.to_owned(), req);
+                assert_eq!(meta.deadline_ns, 77);
+                assert_eq!(meta.routing_epoch, 42);
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // A v5 peer's frame decodes at v5 with no claim...
+        match decode_request_ref_versioned(&v5, 5).unwrap() {
+            Decoded::Frame(_, _, (_, meta)) => assert_eq!(meta.routing_epoch, 0),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // ...and mixing versions is detected, not misread.
+        assert_eq!(decode_request_ref_versioned(&v5, 6).map(|_| ()), Err(WireError::Malformed));
+        assert_eq!(decode_request_ref_versioned(&v6, 5).map(|_| ()), Err(WireError::Malformed));
+        // encode_request_traced is the epoch-0 (no claim) form.
+        let mut traced = Vec::new();
+        encode_request_traced(&mut traced, 9, &req, 77, TraceContext::NONE, 6).unwrap();
+        match decode_request_ref_versioned(&traced, 6).unwrap() {
+            Decoded::Frame(_, _, (_, meta)) => assert_eq!(meta.routing_epoch, 0),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // Control ops never carry the trailer, even with a claim set.
+        for req in [
+            Request::Stats,
+            Request::Trace { mode: 0, cursors: vec![] },
+            Request::Reshard { mode: 0, source: 0, target: 0 },
+        ] {
+            assert!(!is_data_request(&req));
+            let (mut c5, mut c6) = (Vec::new(), Vec::new());
+            encode_request_routed(&mut c5, 9, &req, 77, TraceContext::NONE, 42, 5).unwrap();
+            encode_request_routed(&mut c6, 9, &req, 77, TraceContext::NONE, 42, 6).unwrap();
+            assert_eq!(c5, c6, "control frames are version-invariant for {req:?}");
+        }
+    }
+
+    /// A typed WRONG_SHARD refusal must never reach a pre-v6 decoder:
+    /// encoded for an old connection it degrades to the retryable
+    /// ShardQuarantined error those peers already handle, byte-layout
+    /// identical to what a pre-v6 server would send.
+    #[test]
+    fn wrong_shard_degrades_below_v6() {
+        let ws = Response::WrongShard { epoch: 9, hint: 5 };
+        for old in [1u16, 2, 3, 4, 5] {
+            let mut buf = Vec::new();
+            encode_response_versioned(&mut buf, 21, &ws, old).unwrap();
+            assert_eq!(buf[4], OP_ERROR, "v{old} peers see a plain ERROR frame");
+            match decode_response_versioned(&buf, old).unwrap() {
+                Decoded::Frame(consumed, id, Response::Error { code, retry_after_ms, .. }) => {
+                    assert_eq!(consumed, buf.len());
+                    assert_eq!(id, 21);
+                    assert_eq!(code, ErrorCode::ShardQuarantined);
+                    if old < OVERLOAD_PROTOCOL_VERSION {
+                        assert_eq!(retry_after_ms, 0);
+                    }
+                }
+                other => panic!("expected an ERROR frame at v{old}, got {other:?}"),
+            }
+        }
+        // At v6 the typed form goes out and comes back intact.
+        let mut buf = Vec::new();
+        encode_response_versioned(&mut buf, 21, &ws, 6).unwrap();
+        assert_eq!(buf[4], OP_WRONG_SHARD);
+        match decode_response_versioned(&buf, 6).unwrap() {
+            Decoded::Frame(_, _, got) => assert_eq!(got, ws),
+            other => panic!("expected a WRONG_SHARD frame, got {other:?}"),
+        }
     }
 
     /// The TRACE opcode round-trips its mode and cursor list, and the

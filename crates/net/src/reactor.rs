@@ -518,6 +518,7 @@ fn reactor_loop<S: KvStore + Send + 'static>(
                             cfg.shed_sojourn(),
                             &shared.tele,
                             span.as_deref(),
+                            &|k| store.stale_claim(k, meta.routing_epoch),
                             &mut route,
                         );
                         if let Some(s) = &span {

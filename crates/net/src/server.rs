@@ -153,6 +153,13 @@ impl AriaServer {
                 let dir = dir.clone();
                 std::fs::create_dir_all(&dir)?;
                 usr1::install();
+                // Prime the diff baseline now, before serving begins:
+                // the recorder's first observation only stores a
+                // baseline, so on a saturated host a starved watcher
+                // thread would otherwise swallow every event between
+                // bind and its first tick — exactly the window early
+                // anomalies land in.
+                shared.tele.recorder.observe(&shared.tele.snapshot());
                 let shared = Arc::clone(&shared);
                 Some(
                     thread::Builder::new()
@@ -464,6 +471,7 @@ fn serve_connection<S: KvStore + Send + 'static>(
                         cfg.shed_sojourn(),
                         &shared.tele,
                         span.as_deref(),
+                        &|k| store.stale_claim(k, meta.routing_epoch),
                         &mut |op| ops.push(op),
                     );
                     if let Some(s) = &span {

@@ -11,7 +11,7 @@
 //! [`Slot::store_ops`] replies per slot, in plan order.
 
 use aria_store::sharded::{BatchOp, BatchReply, ShardedStore};
-use aria_store::{KvStore, ShardHealth};
+use aria_store::{KvStore, ReshardMode, ShardHealth};
 use aria_telemetry::{outcome, stage, SpanCell, TelemetryHub};
 
 use crate::proto::{self, ErrorCode, HealthReply, RequestRef, Response, StatsReply};
@@ -29,6 +29,20 @@ pub(crate) enum Slot {
     Trace {
         mode: u8,
         cursors: Vec<u64>,
+    },
+    Reshard {
+        mode: u8,
+        source: u32,
+        target: u32,
+    },
+    /// Refused before planning: the client's claimed routing epoch is
+    /// stale for at least one key of the request (its slot moved after
+    /// that epoch). No store ops were appended; the reply is the typed
+    /// WRONG_SHARD refusal carrying the server's current epoch and the
+    /// slot's owner.
+    WrongShard {
+        epoch: u64,
+        hint: u32,
     },
     Get,
     Put,
@@ -51,6 +65,8 @@ impl Slot {
             | Slot::Metrics
             | Slot::Hello { .. }
             | Slot::Trace { .. }
+            | Slot::Reshard { .. }
+            | Slot::WrongShard { .. }
             | Slot::Shed(..) => 0,
             Slot::Get | Slot::Put | Slot::Delete => 1,
             Slot::MultiGet(n) | Slot::PutBatch(n) => *n,
@@ -68,6 +84,8 @@ impl Slot {
             | Slot::Metrics
             | Slot::Hello { .. }
             | Slot::Trace { .. }
+            | Slot::Reshard { .. }
+            | Slot::WrongShard { .. }
             | Slot::Shed(..) => 1,
             _ => self.store_ops() as u64,
         }
@@ -82,11 +100,16 @@ pub(crate) fn deadline_expired(deadline_ns: u64, sojourn_ns: u64) -> bool {
     deadline_ns > 0 && sojourn_ns >= deadline_ns
 }
 
+/// Per-key stale-routing probe: `Some((owner_hint, current_epoch))`
+/// when the key's slot moved after the client's claimed epoch.
+pub(crate) type StaleProbe<'a> = &'a dyn Fn(&[u8]) -> Option<(usize, u64)>;
+
 /// Net-layer shedding gate, shared by both engines: a *data* op whose
 /// deadline already expired (or that sat in server buffers past the
 /// CoDel-style sojourn bound) is refused before any store op is
 /// planned. Control-plane ops (PING/STATS/HEALTH/METRICS/HELLO) always
 /// pass — observability and failover stay responsive during brownout.
+#[allow(clippy::too_many_arguments)] // one per admission input, both engines thread them
 pub(crate) fn shed_or_plan(
     req: &RequestRef<'_>,
     deadline_ns: u64,
@@ -94,6 +117,7 @@ pub(crate) fn shed_or_plan(
     shed_sojourn: Option<std::time::Duration>,
     tele: &TelemetryHub,
     span: Option<&SpanCell>,
+    stale: StaleProbe<'_>,
     sink: &mut impl FnMut(BatchOp),
 ) -> Slot {
     if req.is_data_op() {
@@ -118,8 +142,29 @@ pub(crate) fn shed_or_plan(
         if let Some(shed) = verdict {
             return shed;
         }
+        // Routing-epoch admission: a v6 client that claimed an epoch is
+        // refused (whole request, nothing planned) if any of its keys'
+        // slots moved after that epoch — serving it could honor routing
+        // the client no longer holds. Claims of 0 never refuse, so v5-
+        // and-older peers (who cannot claim) are untouched.
+        if let Some((hint, epoch)) = first_stale_key(req, stale) {
+            return Slot::WrongShard { epoch, hint: hint as u32 };
+        }
     }
     plan_request(req, sink)
+}
+
+/// The first key of a data request whose routing claim is stale, if
+/// any, as `(owner_hint, current_epoch)`.
+fn first_stale_key(req: &RequestRef<'_>, stale: StaleProbe<'_>) -> Option<(usize, u64)> {
+    match req {
+        RequestRef::Get { key } | RequestRef::Put { key, .. } | RequestRef::Delete { key } => {
+            stale(key)
+        }
+        RequestRef::MultiGet { keys } => keys.iter().find_map(|k| stale(k)),
+        RequestRef::PutBatch { pairs } => pairs.iter().find_map(|(k, _)| stale(k)),
+        _ => None,
+    }
 }
 
 /// Plan one decoded request: append its store ops (copied out of the
@@ -136,6 +181,9 @@ pub(crate) fn plan_request(req: &RequestRef<'_>, sink: &mut impl FnMut(BatchOp))
         }
         RequestRef::Trace { mode, cursors } => {
             Slot::Trace { mode: *mode, cursors: cursors.clone() }
+        }
+        RequestRef::Reshard { mode, source, target } => {
+            Slot::Reshard { mode: *mode, source: *source, target: *target }
         }
         RequestRef::Get { key } => {
             sink(BatchOp::Get(key.to_vec()));
@@ -260,6 +308,24 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
                 retry_after_ms: 0,
             },
         },
+        Slot::WrongShard { epoch, hint } => Response::WrongShard { epoch, hint },
+        Slot::Reshard { mode, source, target } => match mode {
+            0 => reshard_reply(store),
+            1 | 2 => {
+                let m = ReshardMode::from_u8(mode).expect("modes 1 and 2 decode");
+                // Starting is asynchronous: the driver runs in the
+                // background and the reply is the accept-time status.
+                match store.start_reshard(m, source as usize, target as usize) {
+                    Ok(()) => reshard_reply(store),
+                    Err(e) => error_response(&e),
+                }
+            }
+            _ => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown RESHARD mode {mode}"),
+                retry_after_ms: 0,
+            },
+        },
         Slot::Get => match next_get(replies) {
             Ok(v) => Response::Value(v),
             Err(e) => error_response(&e),
@@ -294,7 +360,30 @@ pub(crate) fn build_response<S: KvStore + Send + 'static>(
     }
 }
 
+/// The RESHARD reply: current routing view + driver status. Also the
+/// answer to a successfully accepted start, so the caller immediately
+/// learns the epoch it raced against.
+fn reshard_reply<S: KvStore + Send + 'static>(store: &ShardedStore<S>) -> Response {
+    let status = store.reshard_status();
+    Response::Reshard {
+        epoch: status.epoch,
+        slots: store.routing().owners_snapshot(),
+        state: status.state.as_u8(),
+        started: status.started,
+        committed: status.committed,
+        aborted: status.aborted,
+    }
+}
+
 pub(crate) fn error_response(e: &aria_store::StoreError) -> Response {
+    // A stale routing claim gets the typed refusal so v6 clients can
+    // refresh-and-retry in one round; the encode layer degrades it to
+    // the retryable ShardQuarantined code for pre-v6 peers (who can
+    // only see it if something other than their own claim produced it
+    // — they never stamp an epoch).
+    if let aria_store::StoreError::WrongShard { epoch, hint, .. } = e {
+        return Response::WrongShard { epoch: *epoch, hint: *hint as u32 };
+    }
     let retry_after_ms = match e {
         aria_store::StoreError::Overloaded { retry_after_ms, .. } => *retry_after_ms,
         _ => 0,

@@ -625,3 +625,75 @@ fn pre_v5_peers_interoperate_unchanged() {
         server.shutdown();
     }
 }
+
+/// Peers below v6 are untouched by the routing-epoch trailer: a
+/// hand-rolled peer that negotiates v5 keeps sending trace-trailer
+/// frames byte-identical to the pre-reshard wire and round-trips data
+/// ops on both engines, even while a v6 client (which stamps epoch
+/// claims on every data op) shares the server.
+#[test]
+fn pre_v6_peers_interoperate_unchanged() {
+    use std::io::Write;
+    let _wd = watchdog("pre_v6_peers_interoperate_unchanged", Duration::from_secs(120));
+    for engine in [aria_net::Engine::Reactor, aria_net::Engine::Threads] {
+        let server = AriaServer::bind(
+            "127.0.0.1:0",
+            sharded(2),
+            ServerConfig::builder().engine(engine).build().unwrap(),
+        )
+        .unwrap();
+
+        // A v6 client shares the server the whole time and stamps its
+        // cached routing epoch on every data frame.
+        let mut v6 = AriaClient::connect(server.local_addr(), quick_config()).unwrap();
+        assert_eq!(v6.protocol_version(), Some(proto::PROTOCOL_VERSION));
+        assert_eq!(v6.routing_epoch(), 1, "connect primes the routing cache");
+        v6.put(b"v6", b"yes").unwrap();
+
+        // Hand-rolled v5 peer: HELLO caps the connection at v5, after
+        // which its data frames end at the trace trailer — no epoch
+        // claim — and must be byte-identical to the pre-v6 encoding.
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut inbuf = Vec::new();
+        let mut buf = Vec::new();
+        proto::encode_request(&mut buf, 1, &proto::Request::Hello { version: 5, features: 0 })
+            .unwrap();
+        raw.write_all(&buf).unwrap();
+        match read_response_at(&mut raw, &mut inbuf, proto::BASE_PROTOCOL_VERSION) {
+            proto::Response::HelloAck { version, .. } => {
+                assert_eq!(version, 5, "server meets an old peer at its version");
+            }
+            other => panic!("want HelloAck, got {other:?}"),
+        }
+        let put = proto::Request::Put { key: b"v5peer".to_vec(), value: b"ok".to_vec() };
+        buf.clear();
+        proto::encode_request_traced(&mut buf, 2, &put, 0, proto::TraceContext::NONE, 5).unwrap();
+        // Pin the bytes: a v5 frame from this build matches a v5 frame
+        // from a pre-v6 build (same encoder path, no trailing epoch).
+        let mut pinned = Vec::new();
+        proto::encode_request_versioned(&mut pinned, 2, &put, 0, 5).unwrap();
+        assert_eq!(buf, pinned, "v5 data frames grew bytes they must not have");
+        proto::encode_request_traced(
+            &mut buf,
+            3,
+            &proto::Request::Get { key: b"v5peer".to_vec() },
+            0,
+            proto::TraceContext::NONE,
+            5,
+        )
+        .unwrap();
+        raw.write_all(&buf).unwrap();
+        assert_eq!(read_response_at(&mut raw, &mut inbuf, 5), proto::Response::PutOk);
+        assert_eq!(
+            read_response_at(&mut raw, &mut inbuf, 5),
+            proto::Response::Value(Some(b"ok".to_vec()))
+        );
+
+        // The v6 client still works after the old peer's traffic, and
+        // can read what the v5 peer wrote.
+        assert_eq!(v6.get(b"v6").unwrap().unwrap(), b"yes");
+        assert_eq!(v6.get(b"v5peer").unwrap().unwrap(), b"ok");
+        server.shutdown();
+    }
+}

@@ -7,7 +7,7 @@ use aria_net::proto::{
     self, decode_request, decode_request_ref, decode_request_ref_versioned, decode_response,
     decode_response_versioned, Decoded, ErrorCode, Request, Response, TraceContext, WireError,
     BASE_PROTOCOL_VERSION, MAX_FRAME_LEN, OVERLOAD_PROTOCOL_VERSION, PROTOCOL_VERSION,
-    TRACE_PROTOCOL_VERSION,
+    RESHARD_PROTOCOL_VERSION, TRACE_PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -32,6 +32,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         key().prop_map(|key| Request::Delete { key }),
         collection::vec(key(), 0..4).prop_map(|keys| Request::MultiGet { keys }),
         collection::vec((key(), val()), 0..4).prop_map(|pairs| Request::PutBatch { pairs }),
+        (any::<u8>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mode, source, target)| Request::Reshard { mode, source, target }),
     ]
 }
 
@@ -499,6 +501,210 @@ proptest! {
                 "truncated TRACE frame at {} must be Incomplete", cut
             );
         }
+    }
+
+    /// v6 data ops carry a `routing_epoch` trailer after the v5 trace
+    /// context: any (request, epoch) combination must round-trip at v6,
+    /// every truncation must stay `Incomplete`, and the strict
+    /// cross-version rule must hold in both directions — a v6 frame at
+    /// v5 and a v5 frame at v6 are each `Malformed`, never silently
+    /// misparsed (an epoch claim can never be misread as key bytes).
+    #[test]
+    fn routing_epoch_trailer_round_trips_and_gates(
+        id in any::<u64>(),
+        klen in 0usize..32,
+        deadline_ns in any::<u64>(),
+        trace_id in any::<u64>(),
+        sampled in any::<bool>(),
+        routing_epoch in any::<u64>(),
+    ) {
+        let req = Request::Get { key: vec![0x6A; klen] };
+        let trace = TraceContext { id: trace_id, sampled };
+        let mut buf = Vec::new();
+        proto::encode_request_routed(
+            &mut buf, id, &req, deadline_ns, trace, routing_epoch, RESHARD_PROTOCOL_VERSION,
+        )
+        .expect("small frame encodes");
+        match decode_request_ref_versioned(&buf, RESHARD_PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_meta))) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req.clone());
+                prop_assert_eq!(got_meta.deadline_ns, deadline_ns);
+                prop_assert_eq!(got_meta.trace, trace);
+                prop_assert_eq!(got_meta.routing_epoch, routing_epoch);
+            }
+            other => prop_assert!(false, "v6 frame failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_request_ref_versioned(&buf[..cut], RESHARD_PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated v6 frame at {} must be Incomplete", cut
+            );
+        }
+        prop_assert!(
+            matches!(
+                decode_request_ref_versioned(&buf, TRACE_PROTOCOL_VERSION),
+                Err(WireError::Malformed)
+            ),
+            "a v6 data frame must not parse at v5"
+        );
+        // Mirror image: a v5 frame at v6 is missing the epoch trailer.
+        let mut old = Vec::new();
+        proto::encode_request_traced(&mut old, id, &req, deadline_ns, trace, TRACE_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        prop_assert_eq!(
+            decode_request_ref_versioned(&old, RESHARD_PROTOCOL_VERSION).map(|_| ()),
+            Err(WireError::Malformed),
+            "a v5 data frame must not parse at v6"
+        );
+    }
+
+    /// RESHARD is a control op: its frames are byte-identical at every
+    /// version (no data trailers), any (mode, source, target) triple
+    /// round-trips, and every truncation stays `Incomplete` — so a v6
+    /// control plane can never disturb the pre-v6 data framing.
+    #[test]
+    fn reshard_requests_round_trip_at_every_version(
+        id in any::<u64>(),
+        mode in any::<u8>(),
+        source in any::<u32>(),
+        target in any::<u32>(),
+        version in 1u16..=PROTOCOL_VERSION,
+    ) {
+        let req = Request::Reshard { mode, source, target };
+        let mut base = Vec::new();
+        proto::encode_request_versioned(&mut base, id, &req, 0, BASE_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        let mut at_v = Vec::new();
+        proto::encode_request_versioned(&mut at_v, id, &req, u64::MAX, version)
+            .expect("small frame encodes");
+        prop_assert_eq!(&base, &at_v, "RESHARD frame differs at v{}", version);
+        match decode_request_ref_versioned(&at_v, version) {
+            Ok(Decoded::Frame(consumed, got_id, (got, got_meta))) => {
+                prop_assert_eq!(consumed, at_v.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got.to_owned(), req.clone());
+                prop_assert_eq!(got_meta.deadline_ns, 0, "control ops carry no deadline");
+                prop_assert_eq!(got_meta.routing_epoch, 0, "control ops carry no epoch claim");
+            }
+            other => prop_assert!(false, "RESHARD frame failed to decode: {other:?}"),
+        }
+        for cut in 0..at_v.len() {
+            prop_assert!(
+                matches!(
+                    decode_request_ref_versioned(&at_v[..cut], version),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated RESHARD frame at {} must be Incomplete", cut
+            );
+        }
+    }
+
+    /// The typed `WRONG_SHARD` refusal round-trips at v6 and degrades
+    /// below v6 to a plain quarantine error a pre-v6 peer already
+    /// understands — never a new opcode an old decoder would reject the
+    /// connection over.
+    #[test]
+    fn wrong_shard_replies_round_trip_and_degrade(
+        id in any::<u64>(),
+        epoch in any::<u64>(),
+        hint in any::<u32>(),
+        old_version in 1u16..RESHARD_PROTOCOL_VERSION,
+    ) {
+        let resp = Response::WrongShard { epoch, hint };
+        let mut buf = Vec::new();
+        proto::encode_response_versioned(&mut buf, id, &resp, RESHARD_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        match decode_response_versioned(&buf, RESHARD_PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, got)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, resp.clone());
+            }
+            other => prop_assert!(false, "v6 WRONG_SHARD failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_response_versioned(&buf[..cut], RESHARD_PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated WRONG_SHARD at {} must be Incomplete", cut
+            );
+        }
+        let mut old = Vec::new();
+        proto::encode_response_versioned(&mut old, id, &resp, old_version)
+            .expect("small frame encodes");
+        match decode_response_versioned(&old, old_version) {
+            Ok(Decoded::Frame(_, got_id, Response::Error { code, retry_after_ms, .. })) => {
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(code, ErrorCode::ShardQuarantined);
+                prop_assert_eq!(retry_after_ms, 0);
+            }
+            other => prop_assert!(false, "degraded WRONG_SHARD must be a typed error: {other:?}"),
+        }
+    }
+
+    /// RESHARD replies round-trip any owner table at every version that
+    /// can carry them, and every truncation stays `Incomplete`.
+    #[test]
+    fn reshard_replies_round_trip(
+        id in any::<u64>(),
+        epoch in any::<u64>(),
+        slots in collection::vec(any::<u32>(), 0..80),
+        state in any::<u8>(),
+        counters in (any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let (started, committed, aborted) = counters;
+        let resp = Response::Reshard { epoch, slots, state, started, committed, aborted };
+        let mut buf = Vec::new();
+        proto::encode_response_versioned(&mut buf, id, &resp, RESHARD_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        match decode_response_versioned(&buf, RESHARD_PROTOCOL_VERSION) {
+            Ok(Decoded::Frame(consumed, got_id, got)) => {
+                prop_assert_eq!(consumed, buf.len());
+                prop_assert_eq!(got_id, id);
+                prop_assert_eq!(got, resp.clone());
+            }
+            other => prop_assert!(false, "RESHARD reply failed to decode: {other:?}"),
+        }
+        for cut in 0..buf.len() {
+            prop_assert!(
+                matches!(
+                    decode_response_versioned(&buf[..cut], RESHARD_PROTOCOL_VERSION),
+                    Ok(Decoded::Incomplete)
+                ),
+                "truncated RESHARD reply at {} must be Incomplete", cut
+            );
+        }
+    }
+
+    /// A hostile RESHARD-reply slot count that promises more owners
+    /// than the body could hold is `Malformed`, not an allocation.
+    #[test]
+    fn hostile_reshard_slot_counts_are_malformed(id in any::<u64>(), count in 1_000_000u32..u32::MAX) {
+        let reply = Response::Reshard {
+            epoch: 1,
+            slots: vec![0, 1],
+            state: 0,
+            started: 0,
+            committed: 0,
+            aborted: 0,
+        };
+        let mut buf = Vec::new();
+        proto::encode_response_versioned(&mut buf, id, &reply, RESHARD_PROTOCOL_VERSION)
+            .expect("small frame encodes");
+        // The slot count is a u32 right after the u64 epoch in the body
+        // (13-byte frame header, then epoch).
+        buf[21..25].copy_from_slice(&count.to_le_bytes());
+        prop_assert_eq!(
+            decode_response_versioned(&buf, RESHARD_PROTOCOL_VERSION).map(|_| ()),
+            Err(WireError::Malformed)
+        );
     }
 
     /// A hostile TRACE cursor count that promises more cursors than the

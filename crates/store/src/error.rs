@@ -214,6 +214,19 @@ pub enum StoreError {
         /// Suggested backoff before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// The key's routing slot is no longer owned by the shard group this
+    /// op reached: a reshard migration committed between routing and
+    /// execution (or the client claimed a stale routing epoch). Nothing
+    /// was applied, nothing acknowledged — refresh routing and retry
+    /// against `hint`.
+    WrongShard {
+        /// The group that refused the op.
+        shard: usize,
+        /// The group that owns the slot at `epoch`.
+        hint: usize,
+        /// The routing epoch the refusal was issued under.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -243,6 +256,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Log { op, detail } => write!(f, "durability log {op} failed: {detail}"),
             StoreError::Overloaded { shard, retry_after_ms } => {
                 write!(f, "shard {shard} overloaded; retry after ~{retry_after_ms} ms")
+            }
+            StoreError::WrongShard { shard, hint, epoch } => {
+                write!(f, "shard {shard} no longer owns this key (epoch {epoch}, now shard {hint})")
             }
         }
     }

@@ -29,6 +29,7 @@ pub mod core;
 pub mod counter;
 pub mod entry;
 pub mod error;
+pub mod reshard;
 pub mod resync;
 pub mod sharded;
 pub mod tiered;
@@ -44,6 +45,9 @@ pub use btree::AriaTree;
 pub use config::{ConfigError, Scheme, StoreConfig, StoreConfigBuilder};
 pub use counter::{CounterBackend, CounterStore};
 pub use error::{RecoveryFailure, StoreError, Violation};
+pub use reshard::{
+    ReshardFault, ReshardMode, ReshardState, ReshardStatus, RoutingTable, NUM_ROUTING_SLOTS,
+};
 pub use resync::{
     content_root, content_root_from_digests, content_root_of, pair_digest_keyed, ContentRoot,
 };
@@ -225,6 +229,15 @@ pub trait KvStore {
     /// The default is a no-op for stores with nothing to maintain.
     fn maintain(&mut self) -> Result<MaintenanceReport, StoreError> {
         Ok(MaintenanceReport::default())
+    }
+    /// Make every write applied so far durable (the covering fsync of a
+    /// group-commit window). Shard workers call this once per drained
+    /// batch *before* sending any of the batch's replies, so an
+    /// acknowledgement is never issued for a write that could still be
+    /// lost to a crash. The default is a no-op for stores with no
+    /// durability log (their writes are memory-only by design).
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
     }
 }
 

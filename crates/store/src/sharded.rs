@@ -99,6 +99,9 @@ use aria_telemetry::{
     stage as trace_stage, OpKind as TeleOpKind, ShardTelemetry, SlowOp, SlowOpTracer, SpanCell,
 };
 
+use crate::reshard::{
+    self, ReshardCtl, ReshardFault, ReshardMode, ReshardStatus, RoutingTable, NUM_ROUTING_SLOTS,
+};
 use crate::resync::content_root_of;
 use crate::{CacheStats, KvStore, StoreError};
 
@@ -408,7 +411,7 @@ impl std::fmt::Debug for GroupHealthMachine {
 }
 
 /// Shared (front-end ↔ recovery job) counters of one replica slot.
-struct ShardState {
+pub(crate) struct ShardState {
     violations: AtomicU64,
     recoveries: AtomicU64,
     /// Last key count the slot's worker reported. Monitoring paths read
@@ -512,7 +515,7 @@ impl BatchReply {
     }
 }
 
-enum Request<S> {
+pub(crate) enum Request<S> {
     Ops {
         ops: Vec<BatchOp>,
         /// Trace span cells for sampled requests whose ops are in this
@@ -553,9 +556,9 @@ impl OpKind {
 
 /// A replica slot: the (replaceable) channel to its worker plus its
 /// shared counters (telemetry lives in the parallel `Inner::tele` vec).
-struct Slot<S> {
-    sender: RwLock<Option<SyncSender<Request<S>>>>,
-    state: Arc<ShardState>,
+pub(crate) struct Slot<S> {
+    pub(crate) sender: RwLock<Option<SyncSender<Request<S>>>>,
+    pub(crate) state: Arc<ShardState>,
     /// Worker incarnation, bumped under the `sender` write lock each
     /// time [`spawn_worker`] publishes a fresh worker. Death evidence
     /// (a failed send or a dropped reply receiver) is stamped with the
@@ -563,26 +566,26 @@ struct Slot<S> {
     /// been respawned since — a receiver from a pre-crash batch failing
     /// *after* the replica was re-synced and re-admitted proves nothing
     /// about the current worker.
-    generation: AtomicU64,
+    pub(crate) generation: AtomicU64,
 }
 
 /// Per-group control block: health machine, write-order lock and the
 /// re-sync fence.
-struct GroupCtl {
-    machine: GroupHealthMachine,
+pub(crate) struct GroupCtl {
+    pub(crate) machine: GroupHealthMachine,
     /// Held around every replicated write send so the primary's and the
     /// backups' queues observe the same write order. Never taken when
     /// `replicas == 1`.
-    write_lock: Mutex<()>,
+    pub(crate) write_lock: Mutex<()>,
     /// While set, writes to this group are refused (retryable
     /// [`StoreError::ShardQuarantined`]); reads keep flowing to the
     /// primary. Raised only for the short delta phase of a re-sync.
-    fence: AtomicBool,
-    resyncs: AtomicU64,
-    last_resync_error: Mutex<Option<StoreError>>,
+    pub(crate) fence: AtomicBool,
+    pub(crate) resyncs: AtomicU64,
+    pub(crate) last_resync_error: Mutex<Option<StoreError>>,
 }
 
-type Factory<S> = dyn Fn(usize) -> Result<S, StoreError> + Send + Sync;
+pub(crate) type Factory<S> = dyn Fn(usize) -> Result<S, StoreError> + Send + Sync;
 
 /// Chaos hook consulted at the end of a re-sync: returning `true` for a
 /// group corrupts the rejoining replica just before root comparison,
@@ -590,20 +593,31 @@ type Factory<S> = dyn Fn(usize) -> Result<S, StoreError> + Send + Sync;
 /// refused with [`StoreError::ReplicaDiverged`]).
 type ResyncFaultHook = dyn Fn(usize) -> bool + Send + Sync;
 
-struct Inner<S: KvStore + Send + 'static> {
-    groups: usize,
-    replicas: usize,
-    queue_depth: usize,
-    slots: Vec<Slot<S>>,
-    ctls: Vec<GroupCtl>,
-    tele: Vec<Arc<ShardTelemetry>>,
-    factory: Arc<Factory<S>>,
-    slow_ops: Arc<SlowOpTracer>,
-    shutdown: AtomicBool,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    resyncers: Mutex<Vec<JoinHandle<()>>>,
-    maintainers: Mutex<Vec<JoinHandle<()>>>,
+pub(crate) struct Inner<S: KvStore + Send + 'static> {
+    /// Total shard groups the store is *sized* for. With elastic
+    /// construction ([`ShardedStore::with_elastic`]) only a prefix is
+    /// active at first; the rest have no workers and own no routing
+    /// slots until a split activates them.
+    pub(crate) groups: usize,
+    pub(crate) replicas: usize,
+    pub(crate) queue_depth: usize,
+    pub(crate) slots: Vec<Slot<S>>,
+    pub(crate) ctls: Vec<GroupCtl>,
+    pub(crate) tele: Vec<Arc<ShardTelemetry>>,
+    pub(crate) factory: Arc<Factory<S>>,
+    pub(crate) slow_ops: Arc<SlowOpTracer>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) workers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) resyncers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) maintainers: Mutex<Vec<JoinHandle<()>>>,
     resync_fault: RwLock<Option<Arc<ResyncFaultHook>>>,
+    /// Slot-granular key → group routing, replacing the fixed
+    /// `hash % groups` map; bumps its epoch on every committed
+    /// migration.
+    pub(crate) routing: Arc<RoutingTable>,
+    /// Migration driver state: single-flight claim, counters, per-group
+    /// active flags, chaos hook.
+    pub(crate) reshard: ReshardCtl,
     /// Admission control: refuse data ops routed to a group whose
     /// estimated queue delay exceeds this many nanoseconds. 0 = off
     /// (the default — nothing changes for existing callers).
@@ -615,14 +629,16 @@ struct Inner<S: KvStore + Send + 'static> {
 }
 
 impl<S: KvStore + Send + 'static> Inner<S> {
-    fn slot_index(&self, group: usize, replica: usize) -> usize {
+    pub(crate) fn slot_index(&self, group: usize, replica: usize) -> usize {
         group * self.replicas + replica
     }
 }
 
 /// Lock a registry even if a previous holder panicked: a
 /// `Vec<JoinHandle>` has no invariant a partial mutation can break.
-fn lock_handles(m: &Mutex<Vec<JoinHandle<()>>>) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+pub(crate) fn lock_handles(
+    m: &Mutex<Vec<JoinHandle<()>>>,
+) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -651,9 +667,14 @@ pub struct ShardedStore<S: KvStore + Send + 'static> {
     inner: Arc<Inner<S>>,
 }
 
-/// Everything a shard worker needs to report telemetry.
+/// Everything a shard worker needs to report telemetry and validate
+/// routing ownership at execution time.
 struct WorkerCtx {
     shard: u32,
+    /// The shard *group* this worker's replica belongs to — the unit
+    /// routing slots are owned by.
+    group: usize,
+    routing: Arc<RoutingTable>,
     tele: Arc<ShardTelemetry>,
     slow_ops: Arc<SlowOpTracer>,
     state: Arc<ShardState>,
@@ -703,10 +724,39 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
     where
         F: Fn(usize) -> Result<S, StoreError> + Send + Sync + 'static,
     {
-        assert!(groups > 0, "a sharded store needs at least one shard group");
+        Self::with_elastic(groups, groups, replicas, queue_depth, factory)
+    }
+
+    /// Build an *elastic* store: sized for `max_groups` shard groups but
+    /// serving from only the first `active` at construction. Inactive
+    /// groups hold no workers (and no routing slots) until an online
+    /// split ([`ShardedStore::start_reshard`]) activates them; a merge
+    /// that empties a group deactivates it again. With
+    /// `active == max_groups` this is exactly
+    /// [`ShardedStore::with_replicas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is zero or exceeds `max_groups`, if
+    /// `max_groups` exceeds [`NUM_ROUTING_SLOTS`], or on the
+    /// [`ShardedStore::with_replicas`] bounds.
+    pub fn with_elastic<F>(
+        active: usize,
+        max_groups: usize,
+        replicas: usize,
+        queue_depth: usize,
+        factory: F,
+    ) -> Result<Self, StoreError>
+    where
+        F: Fn(usize) -> Result<S, StoreError> + Send + Sync + 'static,
+    {
+        assert!(active > 0, "a sharded store needs at least one active shard group");
+        assert!(active <= max_groups, "active groups cannot exceed the sized maximum");
+        assert!(max_groups <= NUM_ROUTING_SLOTS, "at most {NUM_ROUTING_SLOTS} shard groups");
         assert!(replicas > 0, "every group needs at least one replica");
         assert!(replicas <= MAX_REPLICAS, "at most {MAX_REPLICAS} replicas per group");
         assert!(queue_depth > 0, "request queues must hold at least one request");
+        let groups = max_groups;
         let slots = groups * replicas;
         let tele: Vec<Arc<ShardTelemetry>> =
             (0..slots).map(|_| Arc::new(ShardTelemetry::default())).collect();
@@ -738,15 +788,29 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
             resyncers: Mutex::new(Vec::new()),
             maintainers: Mutex::new(Vec::new()),
             resync_fault: RwLock::new(None),
+            routing: Arc::new(RoutingTable::new(active)),
+            reshard: ReshardCtl::new(groups, active),
             queue_delay_budget_ns: AtomicU64::new(0),
             watchdog_window_ns: AtomicU64::new(0),
         });
-        for slot in 0..slots {
-            if let Err(e) = spawn_worker(&inner, slot) {
-                teardown(&inner);
-                return Err(e);
+        for group in 0..groups {
+            if group < active {
+                for replica in 0..replicas {
+                    if let Err(e) = spawn_worker(&inner, inner.slot_index(group, replica)) {
+                        teardown(&inner);
+                        return Err(e);
+                    }
+                }
+            } else {
+                // Inactive groups are out of service until a split
+                // activates them; `Dead` refuses any op that somehow
+                // reaches one (routing never points there).
+                for replica in 0..replicas {
+                    inner.ctls[group].machine.force(replica, ShardHealth::Dead);
+                }
             }
         }
+        reshard::publish_routing_gauges(&inner);
         Ok(ShardedStore { inner })
     }
 
@@ -763,9 +827,16 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         &self.inner.slow_ops
     }
 
-    /// Number of shard groups (logical shards).
+    /// Number of shard groups the store is sized for (logical shards;
+    /// with elastic construction this includes inactive groups).
     pub fn shards(&self) -> usize {
         self.inner.groups
+    }
+
+    /// Number of currently *active* shard groups (groups with workers
+    /// that own routing slots).
+    pub fn active_shards(&self) -> usize {
+        self.inner.reshard.active_groups()
     }
 
     /// Replicas per group (1 = replication off).
@@ -773,10 +844,78 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         self.inner.replicas
     }
 
-    /// The shard group serving `key` (stable for the lifetime of the
-    /// store).
+    /// The shard group serving `key` *right now* — stable between
+    /// committed migrations, and changed only by an epoch bump.
     pub fn shard_of(&self, key: &[u8]) -> usize {
-        (splitmix64(fnv1a(key)) % self.inner.groups as u64) as usize
+        self.inner.routing.group_of(key)
+    }
+
+    /// The routing slot `key` hashes to (stable for the lifetime of the
+    /// store — migrations move slot *ownership*, never the key → slot
+    /// map).
+    pub fn slot_of(&self, key: &[u8]) -> usize {
+        self.inner.routing.slot_of(key)
+    }
+
+    /// The live routing table (epoch, slot owners, migration freeze
+    /// state).
+    pub fn routing(&self) -> &Arc<RoutingTable> {
+        &self.inner.routing
+    }
+
+    /// Current routing epoch (starts at 1; bumped once per committed
+    /// migration).
+    pub fn routing_epoch(&self) -> u64 {
+        self.inner.routing.epoch()
+    }
+
+    /// If a client claiming routing knowledge as of `claimed_epoch`
+    /// would misinterpret ops on `key` — i.e. the key's slot changed
+    /// owner after that epoch — returns `(current_owner, current_epoch)`
+    /// so the caller can refuse with a typed `WrongShard` instead of
+    /// serving against routing the client no longer holds. A claim of 0
+    /// means "no claim" and never refuses.
+    pub fn stale_claim(&self, key: &[u8], claimed_epoch: u64) -> Option<(usize, u64)> {
+        let routing = &self.inner.routing;
+        let slot = routing.slot_of(key);
+        if claimed_epoch > 0 && routing.moved_epoch(slot) > claimed_epoch {
+            Some((routing.owner(slot), routing.epoch()))
+        } else {
+            None
+        }
+    }
+
+    /// Start an online shard migration in the background: `Split` moves
+    /// half of `source`'s routing slots to (and activates) the inactive
+    /// group `target`; `Merge` moves *all* of `source`'s slots to the
+    /// active group `target` and deactivates `source` once drained.
+    /// Single-flight: a second call while one runs is refused. The
+    /// migration is crash-safe and abortable — `source` stays
+    /// authoritative until the epoch flip commits, and an aborted (or
+    /// killed) target is scrubbed back out of service. Progress is
+    /// observable through [`ShardedStore::reshard_status`].
+    pub fn start_reshard(
+        &self,
+        mode: ReshardMode,
+        source: usize,
+        target: usize,
+    ) -> Result<(), StoreError> {
+        reshard::start(&self.inner, mode, source, target)
+    }
+
+    /// Point-in-time migration driver status and counters.
+    pub fn reshard_status(&self) -> ReshardStatus {
+        reshard::status(&self.inner)
+    }
+
+    /// Install the reshard chaos hook, consulted at the driver's
+    /// injection points (stream tamper mid-copy, target kill mid-copy).
+    /// Returning `true` injects the fault once at that point.
+    pub fn set_reshard_fault_hook<F>(&self, hook: F)
+    where
+        F: Fn(ReshardFault) -> bool + Send + Sync + 'static,
+    {
+        self.inner.reshard.set_fault_hook(hook);
     }
 
     /// Install the re-sync divergence chaos hook (see
@@ -1000,7 +1139,17 @@ impl<S: KvStore + Send + 'static> ShardedStore<S> {
         #[cfg(debug_assertions)]
         for (group, gops) in per_group.iter().enumerate() {
             for op in gops {
-                debug_assert_eq!(self.shard_of(op.key()), group, "op routed to the wrong group");
+                // A slot that has migrated at least once may legitimately
+                // race an epoch flip between routing and submission; the
+                // worker refuses such stragglers with `WrongShard` at
+                // execution time. A mismatch on a never-moved slot is a
+                // plain routing bug.
+                let slot = self.inner.routing.slot_of(op.key());
+                debug_assert!(
+                    self.inner.routing.owner(slot) == group
+                        || self.inner.routing.moved_epoch(slot) > 0,
+                    "op routed to the wrong group"
+                );
             }
         }
         let mut per_group_kinds: Vec<Vec<OpKind>> = Vec::with_capacity(per_group.len());
@@ -1719,7 +1868,7 @@ impl<S: KvStore + Send + 'static> std::fmt::Debug for ShardedStore<S> {
 /// Spawn (or respawn) the worker for one slot, building its store with
 /// the stored factory *inside* the worker thread, and publish its
 /// sender. Blocks until the factory reports.
-fn spawn_worker<S: KvStore + Send + 'static>(
+pub(crate) fn spawn_worker<S: KvStore + Send + 'static>(
     inner: &Arc<Inner<S>>,
     slot: usize,
 ) -> Result<(), StoreError> {
@@ -1731,6 +1880,8 @@ fn spawn_worker<S: KvStore + Send + 'static>(
     let factory = Arc::clone(&inner.factory);
     let ctx = WorkerCtx {
         shard: slot as u32,
+        group: slot / inner.replicas,
+        routing: Arc::clone(&inner.routing),
         tele: Arc::clone(&inner.tele[slot]),
         slow_ops: Arc::clone(&inner.slow_ops),
         state: Arc::clone(&inner.slots[slot].state),
@@ -1776,7 +1927,7 @@ fn spawn_worker<S: KvStore + Send + 'static>(
 
 /// Run `f` on a slot's worker and wait for the result; a gone worker
 /// yields [`StoreError::ShardUnavailable`] instead of a hang or panic.
-fn exec_on_slot<S, R, F>(
+pub(crate) fn exec_on_slot<S, R, F>(
     inner: &Arc<Inner<S>>,
     group: usize,
     slot: usize,
@@ -1811,7 +1962,7 @@ where
 /// failure the request is handed back along with the generation the
 /// failure was observed at. A successful `Ops` send charges the ops to
 /// the slot's in-flight counter — the worker retires them.
-fn send_to_slot_inner<S: KvStore + Send + 'static>(
+pub(crate) fn send_to_slot_inner<S: KvStore + Send + 'static>(
     inner: &Arc<Inner<S>>,
     slot: usize,
     req: Request<S>,
@@ -2210,6 +2361,12 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
                 Err(_) => break,
             }
         }
+        // Group commit: every Ops reply in this drained batch is held
+        // back until one covering `flush` has made the whole window
+        // durable — an acknowledgement is never issued for a write a
+        // crash could still lose. Stores without a durability log
+        // flush as a no-op and nothing changes for them.
+        let mut held: Vec<(Sender<Vec<BatchReply>>, Vec<BatchReply>)> = Vec::new();
         for req in batch {
             match req {
                 Request::Ops { ops, spans, reply } => {
@@ -2233,7 +2390,7 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
                             t.cache.hits.get(),
                         ))
                     };
-                    let replies = apply_ops(&mut store, ops, &ctx);
+                    let replies = apply_ops_validated(&mut store, ops, &ctx);
                     if let Some((verify0, cold0, hot0)) = trace_base {
                         let t = &ctx.tele;
                         let verify = t.cache.verify_depth.sum().saturating_sub(verify0);
@@ -2264,9 +2421,7 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
                         |v| Some(v.saturating_sub(n)),
                     );
                     ctx.state.batches_retired.fetch_add(1, Ordering::SeqCst);
-                    // The client may have given up (dropped the
-                    // receiver); the work is still applied.
-                    let _ = reply.send(replies);
+                    held.push((reply, replies));
                 }
                 Request::Exec(f) => {
                     // Exec closures can do anything (recovery, attack
@@ -2276,8 +2431,80 @@ fn worker_loop<S: KvStore>(mut store: S, rx: Receiver<Request<S>>, ctx: WorkerCt
                 }
             }
         }
+        if !held.is_empty() {
+            if let Err(e) = store.flush() {
+                // The covering fsync failed: nothing in this window is
+                // provably durable, so no write in it may be
+                // acknowledged. Reads stand — they reflect in-memory
+                // state that is correct regardless of durability.
+                for (_, replies) in &mut held {
+                    for r in replies.iter_mut() {
+                        match r {
+                            BatchReply::Put(res) if res.is_ok() => *res = Err(e.clone()),
+                            BatchReply::Delete(res) if res.is_ok() => *res = Err(e.clone()),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            for (reply, replies) in held {
+                // The client may have given up (dropped the receiver);
+                // the work is still applied.
+                let _ = reply.send(replies);
+            }
+        }
         store.refresh_gauges();
     }
+}
+
+/// [`apply_ops`] behind the execution-time routing check: an op whose
+/// slot this worker's group no longer owns is refused with a typed
+/// [`StoreError::WrongShard`] (the op was routed before an epoch flip
+/// landed — applying it here could read or mutate state the new owner
+/// is now authoritative for), and a *write* to a slot frozen by an
+/// in-flight migration delta is refused retryably. Both refusals are
+/// decided on this worker's own thread, so they are totally ordered
+/// with the migration driver's barrier Execs on the same queue — the
+/// property the zero-acked-write-loss argument rests on (DESIGN.md §18).
+fn apply_ops_validated<S: KvStore>(
+    store: &mut S,
+    ops: Vec<BatchOp>,
+    ctx: &WorkerCtx,
+) -> Vec<BatchReply> {
+    let mut verdicts: Vec<Option<BatchReply>> = Vec::with_capacity(ops.len());
+    let mut kept: Vec<BatchOp> = Vec::with_capacity(ops.len());
+    let mut refused = false;
+    for op in ops {
+        let slot = ctx.routing.slot_of(op.key());
+        let owner = ctx.routing.owner(slot);
+        if owner != ctx.group {
+            refused = true;
+            verdicts.push(Some(OpKind::of(&op).with_err(StoreError::WrongShard {
+                shard: ctx.group,
+                hint: owner,
+                epoch: ctx.routing.epoch(),
+            })));
+        } else if op.is_write() && ctx.routing.is_frozen(slot) {
+            // Migration delta barrier: the write is refused, never
+            // applied, never acknowledged — the client retries once the
+            // slot lands on its new owner.
+            refused = true;
+            verdicts.push(Some(
+                OpKind::of(&op).with_err(StoreError::ShardQuarantined { shard: ctx.group }),
+            ));
+        } else {
+            verdicts.push(None);
+            kept.push(op);
+        }
+    }
+    if !refused {
+        return apply_ops(store, kept, ctx);
+    }
+    let mut applied = apply_ops(store, kept, ctx).into_iter();
+    verdicts
+        .into_iter()
+        .map(|v| v.unwrap_or_else(|| applied.next().expect("one reply per kept op")))
+        .collect()
 }
 
 /// Pre-segment readings of the per-shard activity counters. The slow-op
@@ -2400,7 +2627,7 @@ fn apply_ops<S: KvStore>(store: &mut S, ops: Vec<BatchOp>, ctx: &WorkerCtx) -> V
     out
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

@@ -347,6 +347,11 @@ fn encode_shard(b: &mut Vec<u8>, s: &ShardSnapshot) {
     put_u64(b, st.admission_shed);
     put_u64(b, st.watchdog_quarantines);
     put_u64(b, st.queue_delay_ns);
+    put_u64(b, st.routing_epoch);
+    put_u64(b, st.migration_state);
+    put_u64(b, st.reshards_started);
+    put_u64(b, st.reshards_committed);
+    put_u64(b, st.reshards_aborted);
     put_u32(b, st.health_events.len() as u32);
     for e in &st.health_events {
         put_u64(b, e.seq);
@@ -403,6 +408,11 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
     let admission_shed = c.u64()?;
     let watchdog_quarantines = c.u64()?;
     let queue_delay_ns = c.u64()?;
+    let routing_epoch = c.u64()?;
+    let migration_state = c.u64()?;
+    let reshards_started = c.u64()?;
+    let reshards_committed = c.u64()?;
+    let reshards_aborted = c.u64()?;
     let nev = c.u32()? as usize;
     if nev > MAX_LIST {
         return Err(CodecError::Malformed);
@@ -445,6 +455,11 @@ fn decode_shard(c: &mut Cursor<'_>) -> Result<ShardSnapshot, CodecError> {
             admission_shed,
             watchdog_quarantines,
             queue_delay_ns,
+            routing_epoch,
+            migration_state,
+            reshards_started,
+            reshards_committed,
+            reshards_aborted,
             health_events,
         },
     })
@@ -558,6 +573,11 @@ mod tests {
         hub.shards[1].store.admission_shed.add(23);
         hub.shards[1].store.watchdog_quarantines.inc();
         hub.shards[1].store.queue_delay_ns.set(2_500_000);
+        hub.shards[1].store.routing_epoch.set(3);
+        hub.shards[1].store.migration_state.set(1);
+        hub.shards[1].store.reshards_started.add(2);
+        hub.shards[1].store.reshards_committed.inc();
+        hub.shards[1].store.reshards_aborted.inc();
         hub.net.op_latency[1].observe(999);
         hub.net.frame_bytes_in.add(4096);
         hub.net.reactor_conns.set(3);

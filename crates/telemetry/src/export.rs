@@ -119,6 +119,11 @@ impl TelemetrySnapshot {
                 st.watchdog_quarantines,
             );
             prom_line(&mut o, "aria_store_queue_delay_nanos", &sh, st.queue_delay_ns);
+            prom_line(&mut o, "aria_store_routing_epoch", &sh, st.routing_epoch);
+            prom_line(&mut o, "aria_store_migration_state", &sh, st.migration_state);
+            prom_line(&mut o, "aria_store_reshards_started_total", &sh, st.reshards_started);
+            prom_line(&mut o, "aria_store_reshards_committed_total", &sh, st.reshards_committed);
+            prom_line(&mut o, "aria_store_reshards_aborted_total", &sh, st.reshards_aborted);
             for (ci, &v) in st.violations.iter().enumerate() {
                 let name = VIOLATION_NAMES.get(ci).copied().unwrap_or("unknown");
                 prom_line(
@@ -338,7 +343,9 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
          \"health_state\":{},\"failovers\":{},\"resyncs\":{},\"replica_role\":{},\
          \"replica_lag\":{},\"hot_entries\":{},\"cold_entries\":{},\"migrations\":{},\
          \"compactions\":{},\"checkpoints\":{},\"admission_shed\":{},\
-         \"watchdog_quarantines\":{},\"queue_delay_ns\":{},\"violations\":{{",
+         \"watchdog_quarantines\":{},\"queue_delay_ns\":{},\"routing_epoch\":{},\
+         \"migration_state\":{},\"reshards_started\":{},\"reshards_committed\":{},\
+         \"reshards_aborted\":{},\"violations\":{{",
         st.index_probes,
         st.keys_live,
         st.counter_live,
@@ -355,7 +362,12 @@ fn shard_json(o: &mut String, s: &ShardSnapshot) {
         st.checkpoints,
         st.admission_shed,
         st.watchdog_quarantines,
-        st.queue_delay_ns
+        st.queue_delay_ns,
+        st.routing_epoch,
+        st.migration_state,
+        st.reshards_started,
+        st.reshards_committed,
+        st.reshards_aborted
     ));
     let mut first = true;
     for (ci, &v) in st.violations.iter().enumerate() {

@@ -34,8 +34,12 @@ use crate::trace::{SlowOp, SlowOpTracer};
 /// to the net section) and grew the chaos site table to 12
 /// (`shard_stall`). v6 grew the net opcode table to 11 (`trace`) and
 /// added the `traces` section (span counts plus per-stage latency
-/// histograms).
-pub const SNAPSHOT_VERSION: u32 = 6;
+/// histograms). v7 added the resharding fields (`routing_epoch`,
+/// `migration_state`, `reshards_started`, `reshards_committed`,
+/// `reshards_aborted` to the store section), grew the chaos site table
+/// to 15 (`migration_stream_tamper`, `target_kill`,
+/// `stale_epoch_replay`) and the net opcode table to 12 (`reshard`).
+pub const SNAPSHOT_VERSION: u32 = 7;
 
 /// Number of integrity-violation classes (mirrors the store's
 /// `Violation` variants / wire error codes 1..=7).
@@ -54,7 +58,7 @@ pub const VIOLATION_NAMES: [&str; VIOLATION_CLASSES] = [
 
 /// Number of chaos fault-injection sites (mirrors
 /// `aria_chaos::FaultSite` order).
-pub const FAULT_SITES: usize = 12;
+pub const FAULT_SITES: usize = 15;
 
 /// Stable names for the fault sites, indexable by `FaultSite as usize`.
 pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
@@ -70,10 +74,13 @@ pub const FAULT_SITE_NAMES: [&str; FAULT_SITES] = [
     "torn_append",
     "stale_checkpoint_rollback",
     "shard_stall",
+    "migration_stream_tamper",
+    "target_kill",
+    "stale_epoch_replay",
 ];
 
 /// Number of tracked wire opcodes.
-pub const NET_OPS: usize = 11;
+pub const NET_OPS: usize = 12;
 
 /// Stable names for the tracked wire opcodes.
 pub const NET_OP_NAMES: [&str; NET_OPS] = [
@@ -88,6 +95,7 @@ pub const NET_OP_NAMES: [&str; NET_OPS] = [
     "metrics",
     "hello",
     "trace",
+    "reshard",
 ];
 
 /// Per-shard health-event ring capacity.
@@ -419,6 +427,18 @@ pub struct StoreTelemetry {
     /// Estimated queue delay for this shard's acting primary (gauge,
     /// nanoseconds; in-flight depth × EWMA per-op service time).
     pub queue_delay_ns: Gauge,
+    /// Current routing epoch (gauge; identical on every slot of a
+    /// store, bumps once per committed reshard migration).
+    pub routing_epoch: Gauge,
+    /// Reshard involvement of this slot's group (gauge; 0 = none,
+    /// 1 = migration source, 2 = migration target).
+    pub migration_state: Gauge,
+    /// Reshard migrations started (counted on the source primary).
+    pub reshards_started: Counter,
+    /// Reshard migrations committed (epoch flipped).
+    pub reshards_committed: Counter,
+    /// Reshard migrations aborted (routing left untouched).
+    pub reshards_aborted: Counter,
     health_seq: AtomicU64,
     health_events: Mutex<VecDeque<HealthTransition>>,
 }
@@ -450,6 +470,11 @@ impl Default for StoreTelemetry {
             admission_shed: Counter::new(),
             watchdog_quarantines: Counter::new(),
             queue_delay_ns: Gauge::new(),
+            routing_epoch: Gauge::new(),
+            migration_state: Gauge::new(),
+            reshards_started: Counter::new(),
+            reshards_committed: Counter::new(),
+            reshards_aborted: Counter::new(),
             health_seq: AtomicU64::new(0),
             health_events: Mutex::new(VecDeque::new()),
         }
@@ -521,6 +546,11 @@ impl StoreTelemetry {
             admission_shed: self.admission_shed.get(),
             watchdog_quarantines: self.watchdog_quarantines.get(),
             queue_delay_ns: self.queue_delay_ns.get(),
+            routing_epoch: self.routing_epoch.get(),
+            migration_state: self.migration_state.get(),
+            reshards_started: self.reshards_started.get(),
+            reshards_committed: self.reshards_committed.get(),
+            reshards_aborted: self.reshards_aborted.get(),
             health_events,
         }
     }
@@ -577,6 +607,16 @@ pub struct StoreSnapshot {
     pub watchdog_quarantines: u64,
     /// Estimated queue delay, nanoseconds.
     pub queue_delay_ns: u64,
+    /// Current routing epoch.
+    pub routing_epoch: u64,
+    /// Reshard involvement (0 = none, 1 = source, 2 = target).
+    pub migration_state: u64,
+    /// Reshard migrations started.
+    pub reshards_started: u64,
+    /// Reshard migrations committed.
+    pub reshards_committed: u64,
+    /// Reshard migrations aborted.
+    pub reshards_aborted: u64,
     /// Recent health transitions, oldest first.
     pub health_events: Vec<HealthTransition>,
 }
@@ -608,6 +648,11 @@ impl Default for StoreSnapshot {
             admission_shed: 0,
             watchdog_quarantines: 0,
             queue_delay_ns: 0,
+            routing_epoch: 0,
+            migration_state: 0,
+            reshards_started: 0,
+            reshards_committed: 0,
+            reshards_aborted: 0,
             health_events: Vec::new(),
         }
     }
@@ -647,6 +692,14 @@ impl StoreSnapshot {
         // Queue delay aggregates pessimistically: the worst shard's
         // backlog is what callers of the hot key will actually see.
         self.queue_delay_ns = self.queue_delay_ns.max(other.queue_delay_ns);
+        // One store publishes the same epoch on every slot; merging by
+        // max keeps that reading (and prefers the newest if a snapshot
+        // races a flip).
+        self.routing_epoch = self.routing_epoch.max(other.routing_epoch);
+        self.migration_state = self.migration_state.max(other.migration_state);
+        self.reshards_started += other.reshards_started;
+        self.reshards_committed += other.reshards_committed;
+        self.reshards_aborted += other.reshards_aborted;
         self.health_events.extend(other.health_events.iter().cloned());
     }
 
@@ -686,6 +739,11 @@ impl StoreSnapshot {
                 .watchdog_quarantines
                 .saturating_sub(earlier.watchdog_quarantines),
             queue_delay_ns: self.queue_delay_ns,
+            routing_epoch: self.routing_epoch,
+            migration_state: self.migration_state,
+            reshards_started: self.reshards_started.saturating_sub(earlier.reshards_started),
+            reshards_committed: self.reshards_committed.saturating_sub(earlier.reshards_committed),
+            reshards_aborted: self.reshards_aborted.saturating_sub(earlier.reshards_aborted),
             health_events: self
                 .health_events
                 .iter()

@@ -39,6 +39,13 @@ pub enum FlightEventKind {
     Checkpoint = 5,
     /// Operator-requested dump (SIGUSR1 or wire request).
     Manual = 6,
+    /// A reshard migration started (routine, never an anomaly).
+    ReshardStart = 7,
+    /// A reshard migration committed its epoch flip (routine).
+    ReshardCommit = 8,
+    /// A reshard migration aborted — the old routing epoch keeps
+    /// serving; the abort's post-mortem is the dump trigger.
+    ReshardAbort = 9,
 }
 
 impl FlightEventKind {
@@ -52,12 +59,20 @@ impl FlightEventKind {
             FlightEventKind::Watchdog => "watchdog",
             FlightEventKind::Checkpoint => "checkpoint",
             FlightEventKind::Manual => "manual",
+            FlightEventKind::ReshardStart => "reshard_start",
+            FlightEventKind::ReshardCommit => "reshard_commit",
+            FlightEventKind::ReshardAbort => "reshard_abort",
         }
     }
 
     /// Whether this event should trigger an automatic dump.
     pub fn is_anomaly(self) -> bool {
-        !matches!(self, FlightEventKind::Checkpoint)
+        !matches!(
+            self,
+            FlightEventKind::Checkpoint
+                | FlightEventKind::ReshardStart
+                | FlightEventKind::ReshardCommit
+        )
     }
 }
 
@@ -203,6 +218,21 @@ impl FlightRecorder {
                 FlightEventKind::Checkpoint,
                 shard,
                 cur.checkpoints.saturating_sub(old.checkpoints),
+            );
+            emit(
+                FlightEventKind::ReshardStart,
+                shard,
+                cur.reshards_started.saturating_sub(old.reshards_started),
+            );
+            emit(
+                FlightEventKind::ReshardCommit,
+                shard,
+                cur.reshards_committed.saturating_sub(old.reshards_committed),
+            );
+            emit(
+                FlightEventKind::ReshardAbort,
+                shard,
+                cur.reshards_aborted.saturating_sub(old.reshards_aborted),
             );
         }
         let shed: u64 = snap
@@ -410,6 +440,26 @@ mod tests {
         hub.net.ops_shed_deadline.inc();
         assert!(r.observe(&hub.snapshot()).is_empty());
         assert!(r.events().iter().any(|e| e.kind == FlightEventKind::Shed && e.count == 1));
+    }
+
+    #[test]
+    fn reshard_events_and_abort_anomaly() {
+        let hub = TelemetryHub::with_shards(2);
+        let r = FlightRecorder::default();
+        assert!(r.observe(&hub.snapshot()).is_empty());
+        if !crate::enabled() {
+            return;
+        }
+        // Start + commit are recorded but routine.
+        hub.shards[0].store.reshards_started.inc();
+        hub.shards[0].store.reshards_committed.inc();
+        assert!(r.observe(&hub.snapshot()).is_empty());
+        assert!(r.events().iter().any(|e| e.kind == FlightEventKind::ReshardStart));
+        assert!(r.events().iter().any(|e| e.kind == FlightEventKind::ReshardCommit));
+        // An abort is the post-mortem trigger.
+        hub.shards[0].store.reshards_aborted.inc();
+        let anomalies = r.observe(&hub.snapshot());
+        assert!(anomalies.iter().any(|e| e.kind == FlightEventKind::ReshardAbort));
     }
 
     #[test]
